@@ -1,0 +1,26 @@
+//! Byzantine fault-strategy library for the BVC reproduction.
+//!
+//! The paper tolerates up to `f` processes that "may behave arbitrarily".
+//! This crate provides the concrete adversaries the experiments and tests use
+//! to attack the algorithms of `bvc-core`:
+//!
+//! * [`ByzantineStrategy`] — named attacks on validity (outliers), agreement
+//!   (equivocation, anti-convergence corners) and liveness (crash, silence).
+//! * [`PointForge`] — deterministic, seeded forging of adversarial points for
+//!   a given strategy (used by the protocol-aware Byzantine processes in
+//!   `bvc-core`).
+//! * payload-agnostic wrappers ([`CrashAfterSync`], [`SilenceTowardsSync`],
+//!   [`DuplicateSync`], [`CrashAfterAsync`], [`SilentSync`], [`SilentAsync`])
+//!   that mutate the message schedule of any inner process without needing to
+//!   understand its payloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod wrappers;
+
+pub use strategy::{ByzantineStrategy, PointForge};
+pub use wrappers::{
+    CrashAfterAsync, CrashAfterSync, DuplicateSync, SilenceTowardsSync, SilentAsync, SilentSync,
+};

@@ -1,0 +1,328 @@
+//! Payload-agnostic Byzantine wrappers for network processes.
+//!
+//! Some attacks do not need to understand the protocol's message contents at
+//! all: dropping messages, crashing mid-protocol, selectively silencing the
+//! traffic towards a victim, or duplicating everything.  These wrappers
+//! implement such attacks generically for any [`SyncProcess`] or
+//! [`AsyncProcess`], by post-processing the outgoing message list of an inner
+//! (honest) implementation.
+//!
+//! Attacks that forge protocol-specific *values* (outliers, equivocation,
+//! anti-convergence) need to know where the points live inside the messages;
+//! those are implemented next to the protocols in `bvc-core`, driven by
+//! [`crate::strategy::PointForge`].
+
+use bvc_net::{AsyncProcess, Delivery, Outgoing, ProcessId, SyncProcess};
+
+/// A synchronous process that behaves exactly like `inner` but stops sending
+/// anything after round `last_round` (crash-stop).  `last_round = 0` silences
+/// it from the start.
+pub struct CrashAfterSync<P> {
+    inner: P,
+    last_round: usize,
+}
+
+impl<P> CrashAfterSync<P> {
+    /// Wraps `inner`, participating through round `last_round` and silent
+    /// afterwards.
+    pub fn new(inner: P, last_round: usize) -> Self {
+        Self { inner, last_round }
+    }
+}
+
+impl<P: SyncProcess> SyncProcess for CrashAfterSync<P> {
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn round(&mut self, round: usize, inbox: &[Delivery<Self::Msg>]) -> Vec<Outgoing<Self::Msg>> {
+        let outgoing = self.inner.round(round, inbox);
+        if round > self.last_round {
+            Vec::new()
+        } else {
+            outgoing
+        }
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        // A crashed process never announces a decision.
+        None
+    }
+}
+
+/// A synchronous process that drops every message addressed to the victims
+/// (selective silence / targeted partition attempt), forwarding the rest
+/// unchanged.
+pub struct SilenceTowardsSync<P> {
+    inner: P,
+    victims: Vec<ProcessId>,
+}
+
+impl<P> SilenceTowardsSync<P> {
+    /// Wraps `inner`, dropping all messages to `victims`.
+    pub fn new(inner: P, victims: Vec<ProcessId>) -> Self {
+        Self { inner, victims }
+    }
+}
+
+impl<P: SyncProcess> SyncProcess for SilenceTowardsSync<P> {
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn round(&mut self, round: usize, inbox: &[Delivery<Self::Msg>]) -> Vec<Outgoing<Self::Msg>> {
+        self.inner
+            .round(round, inbox)
+            .into_iter()
+            .filter(|m| !self.victims.contains(&m.to))
+            .collect()
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        self.inner.output()
+    }
+}
+
+/// A synchronous process that sends every outgoing message twice (a simple
+/// replay/duplication attack; protocols relying on per-slot first-write-wins
+/// must be immune to it).
+pub struct DuplicateSync<P> {
+    inner: P,
+}
+
+impl<P> DuplicateSync<P> {
+    /// Wraps `inner`, duplicating everything it sends.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+}
+
+impl<P: SyncProcess> SyncProcess for DuplicateSync<P>
+where
+    P::Msg: Clone,
+{
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn round(&mut self, round: usize, inbox: &[Delivery<Self::Msg>]) -> Vec<Outgoing<Self::Msg>> {
+        let outgoing = self.inner.round(round, inbox);
+        let mut doubled = Vec::with_capacity(outgoing.len() * 2);
+        for m in outgoing {
+            doubled.push(Outgoing::new(m.to, m.msg.clone()));
+            doubled.push(m);
+        }
+        doubled
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        self.inner.output()
+    }
+}
+
+/// An asynchronous process that stops reacting after `max_deliveries`
+/// messages have been delivered to it (asynchronous crash-stop).
+pub struct CrashAfterAsync<P> {
+    inner: P,
+    max_deliveries: usize,
+    seen: usize,
+}
+
+impl<P> CrashAfterAsync<P> {
+    /// Wraps `inner`, which processes at most `max_deliveries` messages.
+    pub fn new(inner: P, max_deliveries: usize) -> Self {
+        Self {
+            inner,
+            max_deliveries,
+            seen: 0,
+        }
+    }
+}
+
+impl<P: AsyncProcess> AsyncProcess for CrashAfterAsync<P> {
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn on_start(&mut self) -> Vec<Outgoing<Self::Msg>> {
+        if self.max_deliveries == 0 {
+            return Vec::new();
+        }
+        self.inner.on_start()
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg) -> Vec<Outgoing<Self::Msg>> {
+        if self.seen >= self.max_deliveries {
+            return Vec::new();
+        }
+        self.seen += 1;
+        self.inner.on_message(from, msg)
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        None
+    }
+}
+
+/// A fully silent asynchronous process: sends nothing, reacts to nothing.
+/// This is the "process that takes no steps" adversary from the necessity
+/// proof of Theorem 4.
+pub struct SilentAsync<M, O> {
+    _marker: std::marker::PhantomData<(M, O)>,
+}
+
+impl<M, O> SilentAsync<M, O> {
+    /// Creates a silent process.
+    pub fn new() -> Self {
+        Self {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, O> Default for SilentAsync<M, O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone, O: Clone> AsyncProcess for SilentAsync<M, O> {
+    type Msg = M;
+    type Output = O;
+
+    fn on_start(&mut self) -> Vec<Outgoing<M>> {
+        Vec::new()
+    }
+
+    fn on_message(&mut self, _from: ProcessId, _msg: M) -> Vec<Outgoing<M>> {
+        Vec::new()
+    }
+
+    fn output(&self) -> Option<O> {
+        None
+    }
+}
+
+/// A fully silent synchronous process.
+pub struct SilentSync<M, O> {
+    _marker: std::marker::PhantomData<(M, O)>,
+}
+
+impl<M, O> SilentSync<M, O> {
+    /// Creates a silent process.
+    pub fn new() -> Self {
+        Self {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, O> Default for SilentSync<M, O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone, O: Clone> SyncProcess for SilentSync<M, O> {
+    type Msg = M;
+    type Output = O;
+
+    fn round(&mut self, _round: usize, _inbox: &[Delivery<M>]) -> Vec<Outgoing<M>> {
+        Vec::new()
+    }
+
+    fn output(&self) -> Option<O> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvc_net::broadcast_to_all;
+
+    /// A simple honest process that broadcasts its id every round and never
+    /// decides (enough to observe the wrappers' message-level effects).
+    struct Chatter {
+        id: ProcessId,
+        n: usize,
+    }
+
+    impl SyncProcess for Chatter {
+        type Msg = usize;
+        type Output = usize;
+        fn round(&mut self, _round: usize, _inbox: &[Delivery<usize>]) -> Vec<Outgoing<usize>> {
+            broadcast_to_all(self.n, Some(self.id), &self.id.index())
+        }
+        fn output(&self) -> Option<usize> {
+            Some(self.id.index())
+        }
+    }
+
+    impl AsyncProcess for Chatter {
+        type Msg = usize;
+        type Output = usize;
+        fn on_start(&mut self) -> Vec<Outgoing<usize>> {
+            broadcast_to_all(self.n, Some(self.id), &self.id.index())
+        }
+        fn on_message(&mut self, _from: ProcessId, _msg: usize) -> Vec<Outgoing<usize>> {
+            broadcast_to_all(self.n, Some(self.id), &self.id.index())
+        }
+        fn output(&self) -> Option<usize> {
+            Some(self.id.index())
+        }
+    }
+
+    fn chatter() -> Chatter {
+        Chatter {
+            id: ProcessId::new(0),
+            n: 4,
+        }
+    }
+
+    #[test]
+    fn crash_after_sync_silences_later_rounds() {
+        let mut p = CrashAfterSync::new(chatter(), 2);
+        assert_eq!(p.round(1, &[]).len(), 3);
+        assert_eq!(p.round(2, &[]).len(), 3);
+        assert_eq!(p.round(3, &[]).len(), 0);
+        assert!(p.output().is_none());
+    }
+
+    #[test]
+    fn silence_towards_drops_only_victims() {
+        let mut p = SilenceTowardsSync::new(chatter(), vec![ProcessId::new(2)]);
+        let out = p.round(1, &[]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|m| m.to != ProcessId::new(2)));
+        assert_eq!(p.output(), Some(0));
+    }
+
+    #[test]
+    fn duplicate_sync_doubles_traffic() {
+        let mut p = DuplicateSync::new(chatter());
+        assert_eq!(p.round(1, &[]).len(), 6);
+    }
+
+    #[test]
+    fn crash_after_async_limits_reactions() {
+        let mut p = CrashAfterAsync::new(chatter(), 1);
+        assert_eq!(p.on_start().len(), 3);
+        assert_eq!(p.on_message(ProcessId::new(1), 5).len(), 3);
+        assert_eq!(p.on_message(ProcessId::new(1), 5).len(), 0);
+        assert!(AsyncProcess::output(&p).is_none());
+    }
+
+    #[test]
+    fn crash_after_async_with_zero_budget_is_silent_from_start() {
+        let mut p = CrashAfterAsync::new(chatter(), 0);
+        assert!(p.on_start().is_empty());
+    }
+
+    #[test]
+    fn silent_processes_do_nothing() {
+        let mut s: SilentAsync<u8, u8> = SilentAsync::new();
+        assert!(s.on_start().is_empty());
+        assert!(s.on_message(ProcessId::new(0), 1).is_empty());
+        assert!(s.output().is_none());
+        let mut s: SilentSync<u8, u8> = SilentSync::default();
+        assert!(s.round(1, &[]).is_empty());
+        assert!(s.output().is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Baseline: iterative scalar approximate agreement (Dolev et al. style).
+//!
+//! The classical iterative algorithm for approximate Byzantine agreement on
+//! **scalars** in a synchronous complete graph (Dolev, Lynch, Pinter, Stark,
+//! Weihl 1986): in every round each process broadcasts its value, discards the
+//! `f` lowest and `f` highest values it received, and moves to the average of
+//! what remains.  The paper's Section 4 restricted-round algorithms generalise
+//! exactly this structure to vectors; the experiments use this baseline to
+//! compare per-round contraction against the vector algorithms on
+//! 1-dimensional inputs.
+
+use bvc_geometry::Point;
+use bvc_net::{broadcast_to_all, Delivery, Outgoing, ProcessId, SyncProcess};
+
+/// Message of the scalar iterative baseline: the sender's current value.
+pub type ScalarMsg = f64;
+
+/// Honest process of the iterative scalar algorithm.
+pub struct IterativeScalarProcess {
+    n: usize,
+    f: usize,
+    me: usize,
+    value: f64,
+    rounds: usize,
+    history: Vec<f64>,
+    decision: Option<f64>,
+}
+
+impl IterativeScalarProcess {
+    /// Creates the process with index `me`, initial value `value`, running
+    /// for `rounds` exchange rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3f` (the classical requirement for trimming to be
+    /// safe) and `me < n` and `rounds > 0`.
+    pub fn new(n: usize, f: usize, me: usize, value: f64, rounds: usize) -> Self {
+        assert!(n > 3 * f, "iterative scalar agreement requires n > 3f");
+        assert!(me < n, "process index {me} out of range");
+        assert!(rounds > 0, "need at least one round");
+        Self {
+            n,
+            f,
+            me,
+            value,
+            rounds,
+            history: vec![value],
+            decision: None,
+        }
+    }
+
+    /// Per-round values (`history()[t]` is the value after round `t`).
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    fn update(&mut self, inbox: &[Delivery<f64>]) {
+        let mut values: Vec<f64> = inbox.iter().map(|d| d.msg).collect();
+        values.push(self.value);
+        values.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+        // Trim f from each side; average the rest.
+        if values.len() > 2 * self.f {
+            let kept = &values[self.f..values.len() - self.f];
+            self.value = kept.iter().sum::<f64>() / kept.len() as f64;
+        }
+        self.history.push(self.value);
+    }
+}
+
+impl SyncProcess for IterativeScalarProcess {
+    type Msg = f64;
+    type Output = Point;
+
+    fn round(&mut self, round: usize, inbox: &[Delivery<f64>]) -> Vec<Outgoing<f64>> {
+        if round >= 2 && round <= self.rounds + 1 {
+            self.update(inbox);
+            if round == self.rounds + 1 {
+                self.decision = Some(self.value);
+            }
+        }
+        if round <= self.rounds {
+            broadcast_to_all(self.n, Some(ProcessId::new(self.me)), &self.value)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn output(&self) -> Option<Point> {
+        self.decision.map(|v| Point::new(vec![v]))
+    }
+}
+
+/// A Byzantine participant that always reports the given extreme value
+/// (pushing the honest average towards it).
+pub struct ExtremeScalarProcess {
+    n: usize,
+    me: usize,
+    report: f64,
+    rounds: usize,
+}
+
+impl ExtremeScalarProcess {
+    /// Creates the adversary reporting `report` for `rounds` rounds.
+    pub fn new(n: usize, me: usize, report: f64, rounds: usize) -> Self {
+        Self {
+            n,
+            me,
+            report,
+            rounds,
+        }
+    }
+}
+
+impl SyncProcess for ExtremeScalarProcess {
+    type Msg = f64;
+    type Output = Point;
+
+    fn round(&mut self, round: usize, _inbox: &[Delivery<f64>]) -> Vec<Outgoing<f64>> {
+        if round <= self.rounds {
+            broadcast_to_all(self.n, Some(ProcessId::new(self.me)), &self.report)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn output(&self) -> Option<Point> {
+        None
+    }
+}
+
+/// Runs the iterative scalar baseline with the last `f` processes reporting
+/// the extreme value `attack_value`, and returns the honest decisions.
+pub fn run_iterative_scalar(
+    n: usize,
+    f: usize,
+    honest_values: &[f64],
+    attack_value: f64,
+    rounds: usize,
+) -> Vec<f64> {
+    assert_eq!(honest_values.len(), n - f, "need n − f honest values");
+    use bvc_net::SyncNetwork;
+    let mut processes: Vec<Box<dyn SyncProcess<Msg = f64, Output = Point>>> = Vec::new();
+    for (i, &v) in honest_values.iter().enumerate() {
+        processes.push(Box::new(IterativeScalarProcess::new(n, f, i, v, rounds)));
+    }
+    for b in 0..f {
+        processes.push(Box::new(ExtremeScalarProcess::new(
+            n,
+            n - f + b,
+            attack_value,
+            rounds,
+        )));
+    }
+    let honest: Vec<usize> = (0..n - f).collect();
+    let outcome = SyncNetwork::new(processes, rounds + 2).run(&honest);
+    honest
+        .iter()
+        .map(|&i| outcome.outputs[i].as_ref().expect("honest decision").coord(0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_only_execution_converges_to_agreement() {
+        let decisions = run_iterative_scalar(4, 1, &[0.0, 0.5, 1.0], 0.5, 20);
+        let spread = decisions.iter().cloned().fold(f64::MIN, f64::max)
+            - decisions.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1e-3, "spread {spread} too large after 20 rounds");
+    }
+
+    #[test]
+    fn decisions_stay_within_the_honest_range_despite_extreme_attack() {
+        let decisions = run_iterative_scalar(4, 1, &[0.2, 0.4, 0.6], 1_000.0, 15);
+        for d in &decisions {
+            assert!(
+                (0.2 - 1e-9..=0.6 + 1e-9).contains(d),
+                "decision {d} escaped the honest range"
+            );
+        }
+    }
+
+    #[test]
+    fn spread_contracts_every_round() {
+        // Drive three honest processes directly and check monotone contraction
+        // of the spread of their histories.
+        let decisions = run_iterative_scalar(5, 1, &[0.0, 0.25, 0.75, 1.0], 0.0, 10);
+        let spread = decisions.iter().cloned().fold(f64::MIN, f64::max)
+            - decisions.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.5, "after 10 rounds the spread must have shrunk");
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn too_few_processes_panics() {
+        let _ = IterativeScalarProcess::new(3, 1, 0, 0.0, 5);
+    }
+
+    #[test]
+    fn history_is_recorded() {
+        let mut p = IterativeScalarProcess::new(4, 1, 0, 0.5, 3);
+        for round in 1..=4 {
+            let _ = p.round(round, &[]);
+        }
+        assert_eq!(p.history().len(), 4);
+        assert!(p.output().is_some());
+    }
+}

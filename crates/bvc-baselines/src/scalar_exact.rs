@@ -1,0 +1,224 @@
+//! Baseline: per-dimension scalar Byzantine consensus.
+//!
+//! Section 1 of the paper motivates vector consensus by showing that running
+//! a scalar Byzantine consensus independently on every coordinate does **not**
+//! solve the vector problem: each coordinate of the decision can individually
+//! lie between the honest minima and maxima of that coordinate while the
+//! combined vector falls outside the convex hull of the honest input vectors
+//! (the probability-vector example with inputs `[2/3,1/6,1/6]`,
+//! `[1/6,2/3,1/6]`, `[1/6,1/6,2/3]` and possible decision `[1/6,1/6,1/6]`).
+//!
+//! This module implements that baseline faithfully: Step 1 (Byzantine
+//! broadcast of all inputs) is reused unchanged from the Exact BVC
+//! implementation, and Step 2 is replaced by an independent scalar decision
+//! per coordinate.  Experiment E8 runs both algorithms on the same inputs and
+//! reports how often the baseline violates vector validity.
+
+use bvc_core::{BvcConfig, ExactBvcProcess, ExactMsg};
+use bvc_geometry::{Point, PointMultiset};
+use bvc_net::{Delivery, Outgoing, SyncProcess};
+
+/// Which point of the per-coordinate admissible interval the scalar baseline
+/// picks.
+///
+/// For scalar Byzantine consensus with `n` values of which at most `f` are
+/// faulty, any value between the `(f+1)`-th smallest and the `(n−f)`-th
+/// smallest received value satisfies scalar validity.  The choice within that
+/// interval is the baseline's degree of freedom — and the source of the
+/// vector-validity violation the paper points out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarPick {
+    /// The lower end of the admissible interval (the `(f+1)`-th smallest).
+    Lower,
+    /// The midpoint of the admissible interval.
+    Middle,
+    /// The upper end of the admissible interval (the `(n−f)`-th smallest).
+    Upper,
+}
+
+/// The admissible interval of scalar Byzantine consensus on `values` with at
+/// most `f` faults: `[(f+1)-th smallest, (n−f)-th smallest]`.
+///
+/// # Panics
+///
+/// Panics if `values.len() <= 2f`.
+pub fn scalar_safe_interval(values: &[f64], f: usize) -> (f64, f64) {
+    assert!(
+        values.len() > 2 * f,
+        "need more than 2f values to trim f from each side"
+    );
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    (sorted[f], sorted[sorted.len() - 1 - f])
+}
+
+/// The per-dimension scalar decision on the agreed multiset `s`: every
+/// coordinate is decided independently by scalar consensus with the given
+/// pick rule.
+///
+/// # Panics
+///
+/// Panics if `s.len() <= 2f`.
+pub fn per_dimension_decision(s: &PointMultiset, f: usize, pick: ScalarPick) -> Point {
+    let coords = (0..s.dim())
+        .map(|l| {
+            let values: Vec<f64> = s.iter().map(|p| p.coord(l)).collect();
+            let (lo, hi) = scalar_safe_interval(&values, f);
+            match pick {
+                ScalarPick::Lower => lo,
+                ScalarPick::Middle => 0.5 * (lo + hi),
+                ScalarPick::Upper => hi,
+            }
+        })
+        .collect();
+    Point::new(coords)
+}
+
+/// A process that runs Step 1 of the Exact BVC algorithm (Byzantine broadcast
+/// of all inputs) but replaces Step 2 by independent per-dimension scalar
+/// consensus — the baseline the paper argues against.
+pub struct PerDimensionScalarProcess {
+    inner: ExactBvcProcess,
+    f: usize,
+    pick: ScalarPick,
+}
+
+impl PerDimensionScalarProcess {
+    /// Creates the baseline process with index `me`, input `input` and the
+    /// given per-coordinate pick rule.
+    pub fn new(config: BvcConfig, me: usize, input: Point, pick: ScalarPick) -> Self {
+        let f = config.f;
+        Self {
+            inner: ExactBvcProcess::new(config, me, input),
+            f,
+            pick,
+        }
+    }
+
+    /// Number of synchronous rounds until the decision is available.
+    pub fn total_rounds(config: &BvcConfig) -> usize {
+        ExactBvcProcess::total_rounds(config)
+    }
+}
+
+impl SyncProcess for PerDimensionScalarProcess {
+    type Msg = ExactMsg;
+    type Output = Point;
+
+    fn round(&mut self, round: usize, inbox: &[Delivery<ExactMsg>]) -> Vec<Outgoing<ExactMsg>> {
+        self.inner.round(round, inbox)
+    }
+
+    fn output(&self) -> Option<Point> {
+        self.inner
+            .agreed_multiset()
+            .map(|s| per_dimension_decision(s, self.f, self.pick))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvc_geometry::ConvexHull;
+
+    fn probability_example() -> PointMultiset {
+        // The intro example: three honest probability vectors plus one faulty
+        // report (here: the all-zero vector, which drags each coordinate's
+        // lower trim down to 1/6).
+        PointMultiset::new(vec![
+            Point::new(vec![2.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0]),
+            Point::new(vec![1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0]),
+            Point::new(vec![1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0]),
+            Point::new(vec![0.0, 0.0, 0.0]),
+        ])
+    }
+
+    #[test]
+    fn scalar_safe_interval_trims_f_from_each_side() {
+        let (lo, hi) = scalar_safe_interval(&[5.0, 1.0, 3.0, 100.0], 1);
+        assert_eq!(lo, 3.0);
+        assert_eq!(hi, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 2f")]
+    fn scalar_safe_interval_needs_enough_values() {
+        let _ = scalar_safe_interval(&[1.0, 2.0], 1);
+    }
+
+    #[test]
+    fn per_dimension_lower_pick_reproduces_the_papers_counterexample() {
+        // With the Lower pick, every coordinate decides 1/6, giving the vector
+        // [1/6, 1/6, 1/6], which is NOT in the hull of the three honest
+        // probability vectors (their hull lies in the plane Σ = 1).
+        let s = probability_example();
+        let decision = per_dimension_decision(&s, 1, ScalarPick::Lower);
+        assert!(decision.approx_eq(&Point::new(vec![1.0 / 6.0; 3]), 1e-9));
+        let honest_hull = ConvexHull::new(PointMultiset::new(
+            s.points()[..3].to_vec(),
+        ));
+        assert!(
+            !honest_hull.contains(&decision),
+            "the baseline decision must violate vector validity"
+        );
+        // Each coordinate individually satisfies scalar validity: it lies
+        // within the range of honest values of that coordinate.
+        for l in 0..3 {
+            let honest: Vec<f64> = s.points()[..3].iter().map(|p| p.coord(l)).collect();
+            let min = honest.iter().cloned().fold(f64::MAX, f64::min);
+            let max = honest.iter().cloned().fold(f64::MIN, f64::max);
+            assert!(decision.coord(l) >= min - 1e-9 && decision.coord(l) <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn middle_and_upper_picks_are_within_the_interval() {
+        let s = probability_example();
+        let lower = per_dimension_decision(&s, 1, ScalarPick::Lower);
+        let middle = per_dimension_decision(&s, 1, ScalarPick::Middle);
+        let upper = per_dimension_decision(&s, 1, ScalarPick::Upper);
+        for l in 0..3 {
+            assert!(lower.coord(l) <= middle.coord(l) + 1e-12);
+            assert!(middle.coord(l) <= upper.coord(l) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn baseline_process_decides_after_step_one() {
+        use bvc_net::SyncNetwork;
+        let config = BvcConfig::new(4, 1, 3).unwrap();
+        let inputs = [
+            Point::new(vec![2.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0]),
+            Point::new(vec![1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0]),
+            Point::new(vec![1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0]),
+            Point::new(vec![0.0, 0.0, 0.0]),
+        ];
+        // Note: with 4 processes and f = 1, (d+1)f+1 = 4 is violated for the
+        // *vector* algorithm's Γ step, but the baseline never calls Γ — it is
+        // exactly the "scalar consensus per dimension" the paper's example
+        // uses, and n = 4 ≥ 3f + 1 suffices for the scalar broadcasts.
+        let processes: Vec<Box<dyn SyncProcess<Msg = ExactMsg, Output = Point>>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Box::new(PerDimensionScalarProcess::new(
+                    config.clone(),
+                    i,
+                    p.clone(),
+                    ScalarPick::Lower,
+                )) as Box<dyn SyncProcess<Msg = ExactMsg, Output = Point>>
+            })
+            .collect();
+        let outcome = SyncNetwork::new(processes, PerDimensionScalarProcess::total_rounds(&config))
+            .run(&[0, 1, 2, 3]);
+        let decisions: Vec<Point> = outcome.outputs.iter().map(|o| o.clone().unwrap()).collect();
+        // All processes agree (they hold the same S and apply the same rule).
+        for pair in decisions.windows(2) {
+            assert!(pair[0].approx_eq(&pair[1], 1e-9));
+        }
+        // And the common decision violates vector validity w.r.t. the first
+        // three (honest) inputs.
+        let honest_hull = ConvexHull::new(PointMultiset::new(inputs[..3].to_vec()));
+        assert!(!honest_hull.contains(&decisions[0]));
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion bench: cost of the asynchronous approximate algorithm —
+//! the Step 2 update rule in isolation (full subsets vs the Appendix F
+//! witness optimisation) and a complete small execution.
+
+use bvc_adversary::ByzantineStrategy;
+use bvc_bench::honest_workload;
+use bvc_core::{build_zi_full, build_zi_witness, ApproxBvcRun, UpdateRule};
+use bvc_geometry::{Point, WorkloadGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn entries(count: usize, d: usize, seed: u64) -> Vec<Point> {
+    WorkloadGenerator::new(seed)
+        .box_points(count, d, 0.0, 1.0)
+        .into_points()
+}
+
+fn bench_update_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_step2");
+    group.sample_size(10);
+    // |B_i| = n entries, quorum n − f: full rule builds C(n, n−f) points,
+    // the witness rule at most n.  Parameters respect n ≥ (d+2)f + 1 so that
+    // every (n−f)-subset has a non-empty Γ (Lemma 1), exactly as in the
+    // protocol.
+    for &(n, f, d) in &[(5usize, 1usize, 2usize), (6, 1, 3), (9, 2, 2)] {
+        let b_entries = entries(n, d, 3);
+        let quorum = n - f;
+        group.bench_with_input(
+            BenchmarkId::new("full_subsets", format!("n{n}_f{f}_d{d}")),
+            &b_entries,
+            |bench, b_entries| {
+                bench.iter(|| {
+                    let zi = build_zi_full(b_entries, quorum, f);
+                    assert!(!zi.is_empty());
+                })
+            },
+        );
+        // Witness sets: n sets of size quorum (the Appendix F shape).
+        let witness_sets: Vec<Vec<Point>> = (0..n)
+            .map(|k| entries(quorum, d, 100 + k as u64))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("witness_optimised", format!("n{n}_f{f}_d{d}")),
+            &witness_sets,
+            |bench, witness_sets| {
+                bench.iter(|| {
+                    let zi = build_zi_witness(witness_sets, f);
+                    assert!(!zi.is_empty());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_approx_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_bvc_end_to_end");
+    group.sample_size(10);
+    let (n, f, d) = (4usize, 1usize, 1usize);
+    let inputs = honest_workload(8, n - f, d);
+    for rule in [UpdateRule::FullSubsets, UpdateRule::WitnessOptimized] {
+        group.bench_with_input(
+            BenchmarkId::new("rule", format!("{rule:?}")),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let run = ApproxBvcRun::builder(n, f, d)
+                        .honest_inputs(inputs.clone())
+                        .adversary(ByzantineStrategy::Equivocate)
+                        .epsilon(0.1)
+                        .update_rule(rule)
+                        .seed(3)
+                        .run()
+                        .expect("bound satisfied");
+                    assert!(run.verdict().all_hold());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_rules, bench_approx_end_to_end);
+criterion_main!(benches);

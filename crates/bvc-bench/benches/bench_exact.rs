@@ -1,0 +1,59 @@
+//! Criterion bench: end-to-end Exact BVC executions (Theorem 3) on the
+//! synchronous simulator, as a function of `(n, f, d)` and adversary.
+
+use bvc_adversary::ByzantineStrategy;
+use bvc_bench::honest_workload;
+use bvc_core::ExactBvcRun;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_exact_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_bvc");
+    group.sample_size(10);
+    for &(n, f, d) in &[(4usize, 1usize, 2usize), (5, 1, 3), (6, 1, 2), (7, 2, 2)] {
+        let inputs = honest_workload(5, n - f, d);
+        group.bench_with_input(
+            BenchmarkId::new("equivocate", format!("n{n}_f{f}_d{d}")),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let run = ExactBvcRun::builder(n, f, d)
+                        .honest_inputs(inputs.clone())
+                        .adversary(ByzantineStrategy::Equivocate)
+                        .seed(1)
+                        .run()
+                        .expect("bound satisfied");
+                    assert!(run.verdict().all_hold());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_adversaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_bvc_adversaries");
+    group.sample_size(10);
+    let (n, f, d) = (5usize, 1usize, 2usize);
+    let inputs = honest_workload(6, n - f, d);
+    for strategy in ByzantineStrategy::active_attacks() {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", strategy.name()),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let run = ExactBvcRun::builder(n, f, d)
+                        .honest_inputs(inputs.clone())
+                        .adversary(strategy)
+                        .seed(2)
+                        .run()
+                        .expect("bound satisfied");
+                    assert!(run.verdict().all_hold());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_end_to_end, bench_exact_adversaries);
+criterion_main!(benches);

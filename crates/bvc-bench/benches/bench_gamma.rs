@@ -1,0 +1,48 @@
+//! Criterion bench: finding a point of `Γ(S)` (the Section 2.2 LP) as a
+//! function of `n`, `f` and `d` — the computational heart of both the exact
+//! decision step and the approximate update rule (experiment E7 reports the
+//! corresponding LP sizes).
+
+use bvc_geometry::{gamma_point, PointMultiset, WorkloadGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn multiset(n: usize, d: usize, seed: u64) -> PointMultiset {
+    WorkloadGenerator::new(seed).box_points(n, d, 0.0, 1.0)
+}
+
+fn bench_gamma_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma_point");
+    group.sample_size(20);
+    // f = 1 sweep over n and d.
+    for &(n, d) in &[(4usize, 1usize), (5, 2), (6, 3), (8, 2)] {
+        let s = multiset(n, d, 7);
+        group.bench_with_input(
+            BenchmarkId::new("f1", format!("n{n}_d{d}")),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    let p = gamma_point(s, 1);
+                    assert!(p.is_some());
+                })
+            },
+        );
+    }
+    // f = 2: the C(n, n−2) growth the paper warns about.
+    for &(n, d) in &[(7usize, 2usize), (8, 2)] {
+        let s = multiset(n, d, 9);
+        group.bench_with_input(
+            BenchmarkId::new("f2", format!("n{n}_d{d}")),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    let p = gamma_point(s, 2);
+                    assert!(p.is_some());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gamma_point);
+criterion_main!(benches);

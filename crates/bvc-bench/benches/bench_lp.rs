@@ -1,0 +1,44 @@
+//! Criterion bench: the two-phase simplex solver on feasibility LPs of the
+//! shape the consensus geometry produces (convex-combination membership).
+
+use bvc_lp::{LinearProgram, Objective, Relation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the membership LP "is the centroid of `k` random points in their
+/// hull?" in dimension `d`.
+fn membership_lp(k: usize, d: usize, seed: u64) -> LinearProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let centroid: Vec<f64> = (0..d)
+        .map(|l| points.iter().map(|p| p[l]).sum::<f64>() / k as f64)
+        .collect();
+    let mut lp = LinearProgram::new(k, Objective::Minimize);
+    lp.add_constraint(vec![1.0; k], Relation::Equal, 1.0);
+    for l in 0..d {
+        let coeffs: Vec<f64> = points.iter().map(|p| p[l]).collect();
+        lp.add_constraint(coeffs, Relation::Equal, centroid[l]);
+    }
+    lp
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_membership");
+    group.sample_size(30);
+    for &(k, d) in &[(5usize, 2usize), (10, 3), (20, 4), (40, 6)] {
+        let lp = membership_lp(k, d, 42);
+        group.bench_with_input(BenchmarkId::new("solve", format!("k{k}_d{d}")), &lp, |b, lp| {
+            b.iter(|| {
+                let solution = lp.solve();
+                assert!(solution.is_optimal());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: the restricted-round algorithms of Section 4 — end-to-end
+//! synchronous and asynchronous executions at their tight bounds.
+
+use bvc_adversary::ByzantineStrategy;
+use bvc_bench::honest_workload;
+use bvc_core::{RestrictedRun, Setting};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_restricted_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restricted_sync");
+    group.sample_size(10);
+    for &(d, f) in &[(1usize, 1usize), (2, 1)] {
+        let n = Setting::RestrictedSync.min_processes(d, f);
+        let inputs = honest_workload(21, n - f, d);
+        group.bench_with_input(
+            BenchmarkId::new("run", format!("n{n}_f{f}_d{d}")),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let run = RestrictedRun::sync_builder(n, f, d)
+                        .honest_inputs(inputs.clone())
+                        .adversary(ByzantineStrategy::FixedOutlier)
+                        .epsilon(0.1)
+                        .seed(4)
+                        .run()
+                        .expect("bound satisfied");
+                    assert!(run.verdict().all_hold());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_restricted_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restricted_async");
+    group.sample_size(10);
+    let (d, f) = (1usize, 1usize);
+    let n = Setting::RestrictedAsync.min_processes(d, f);
+    let inputs = honest_workload(22, n - f, d);
+    group.bench_with_input(
+        BenchmarkId::new("run", format!("n{n}_f{f}_d{d}")),
+        &inputs,
+        |b, inputs| {
+            b.iter(|| {
+                let run = RestrictedRun::async_builder(n, f, d)
+                    .honest_inputs(inputs.clone())
+                    .adversary(ByzantineStrategy::AntiConvergence)
+                    .epsilon(0.1)
+                    .seed(4)
+                    .run()
+                    .expect("bound satisfied");
+                assert!(run.verdict().all_hold());
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_restricted_sync, bench_restricted_async);
+criterion_main!(benches);

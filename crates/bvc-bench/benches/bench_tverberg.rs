@@ -1,0 +1,35 @@
+//! Criterion bench: brute-force Tverberg partition search (Theorem 2 /
+//! Figure 1).  The paper notes no polynomial algorithm is known for general
+//! dimension; this bench quantifies how quickly the exhaustive search blows
+//! up with the multiset size, which is why the algorithms use the Γ LP
+//! instead.
+
+use bvc_geometry::{find_tverberg_partition, PointMultiset, WorkloadGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn multiset(n: usize, d: usize, seed: u64) -> PointMultiset {
+    WorkloadGenerator::new(seed).box_points(n, d, 0.0, 1.0)
+}
+
+fn bench_tverberg_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tverberg_partition");
+    group.sample_size(10);
+    // Radon case (2 parts) and the Figure 1 case (3 parts).
+    for &(n, d, parts) in &[(4usize, 2usize, 2usize), (5, 3, 2), (7, 2, 3)] {
+        let s = multiset(n, d, 11);
+        group.bench_with_input(
+            BenchmarkId::new("search", format!("n{n}_d{d}_parts{parts}")),
+            &(s, parts),
+            |b, (s, parts)| {
+                b.iter(|| {
+                    let partition = find_tverberg_partition(s, *parts);
+                    assert!(partition.is_some());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tverberg_search);
+criterion_main!(benches);

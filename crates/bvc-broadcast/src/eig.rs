@@ -1,0 +1,370 @@
+//! Exponential Information Gathering (EIG) Byzantine consensus core.
+//!
+//! Step 1 of the Exact BVC algorithm (Section 2.2 of the paper) uses a
+//! "scalar Byzantine broadcast algorithm (such as [12, 6])" as a black box
+//! with the two classical properties: all non-faulty processes decide the same
+//! value, and if the sender is non-faulty they decide the sender's value.
+//! This module implements the textbook construction behind those citations:
+//! the EIG (a.k.a. `OM(f)`) protocol, correct for `n ≥ 3f + 1` in a
+//! synchronous complete graph.
+//!
+//! [`EigTree`] is the per-process data structure for one *consensus* instance:
+//! a tree of values indexed by strings of distinct process ids, filled in over
+//! `f + 1` relay rounds and resolved bottom-up by recursive majority.  The
+//! broadcast wrapper (source sends, then everybody runs consensus on what they
+//! received) lives in [`crate::broadcast`].
+
+use std::collections::HashMap;
+
+/// A label of an EIG tree node: a sequence of distinct process indices.
+/// The root is the empty label.
+pub type Label = Vec<usize>;
+
+/// Per-process EIG tree for one Byzantine consensus instance over values of
+/// type `V`.
+///
+/// `V` only needs `Clone + PartialEq`: majorities are computed by pairwise
+/// comparison, so no `Ord`/`Hash` is required (the consensus values in this
+/// workspace are vectors of `f64`).
+#[derive(Debug, Clone)]
+pub struct EigTree<V> {
+    n: usize,
+    f: usize,
+    me: usize,
+    default: V,
+    /// Values stored at tree nodes, keyed by label.
+    values: HashMap<Label, V>,
+}
+
+impl<V: Clone + PartialEq> EigTree<V> {
+    /// Creates the tree for a system of `n` processes tolerating `f` faults,
+    /// as seen by process `me`, with `default` used for missing/garbled
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ 3f + 1`, `f ≥ 1` and `me < n`.
+    pub fn new(n: usize, f: usize, me: usize, default: V) -> Self {
+        assert!(f >= 1, "EIG needs f >= 1 (use direct exchange for f = 0)");
+        assert!(n >= 3 * f + 1, "EIG requires n >= 3f + 1 (n = {n}, f = {f})");
+        assert!(me < n, "process index {me} out of range");
+        Self {
+            n,
+            f,
+            me,
+            default,
+            values: HashMap::new(),
+        }
+    }
+
+    /// Number of relay rounds the protocol needs: `f + 1`.
+    pub fn rounds(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Sets this process's input (the value stored at the root).
+    pub fn set_input(&mut self, value: V) {
+        self.values.insert(Vec::new(), value);
+    }
+
+    /// The value currently stored at `label`, if any.
+    pub fn value(&self, label: &[usize]) -> Option<&V> {
+        self.values.get(label)
+    }
+
+    /// The `(label, value)` pairs this process must relay in round `round`
+    /// (1-based): the values of all level-`round − 1` nodes whose labels do
+    /// not contain this process.
+    ///
+    /// Missing values are relayed as the default, which keeps the relay
+    /// schedule deterministic even if earlier senders were silent.
+    pub fn messages_for_round(&self, round: usize) -> Vec<(Label, V)> {
+        assert!(round >= 1 && round <= self.rounds(), "round {round} out of range");
+        self.labels_at_level(round - 1)
+            .into_iter()
+            .filter(|label| !label.contains(&self.me))
+            .map(|label| {
+                let value = self
+                    .values
+                    .get(&label)
+                    .cloned()
+                    .unwrap_or_else(|| self.default.clone());
+                (label, value)
+            })
+            .collect()
+    }
+
+    /// Applies this process's own round-`round` relays to its own tree: the
+    /// classical protocol has every process broadcast to *all* processes,
+    /// including itself, so the nodes `label · me` must be populated with the
+    /// values this process relays.  Call once per round, alongside
+    /// [`EigTree::messages_for_round`].
+    pub fn apply_own_relays(&mut self, round: usize) {
+        let own = self.messages_for_round(round);
+        for (label, value) in own {
+            let mut child = label;
+            child.push(self.me);
+            self.values.entry(child).or_insert(value);
+        }
+    }
+
+    /// Records the relays received from `from` in round `round`.  A pair
+    /// `(label, value)` sent by `from` assigns `value` to the node
+    /// `label · from`, provided the label is well-formed for that round and
+    /// sender (correct length, distinct ids, does not already contain `from`).
+    /// Malformed pairs are ignored, which is how a Byzantine sender's garbage
+    /// is neutralised.
+    pub fn receive(&mut self, round: usize, from: usize, pairs: &[(Label, V)]) {
+        assert!(round >= 1 && round <= self.rounds(), "round {round} out of range");
+        for (label, value) in pairs {
+            if label.len() != round - 1 {
+                continue;
+            }
+            if label.contains(&from) || from >= self.n {
+                continue;
+            }
+            if !labels_distinct(label) || label.iter().any(|&p| p >= self.n) {
+                continue;
+            }
+            let mut child = label.clone();
+            child.push(from);
+            // First write wins: a FIFO channel delivers at most one relay per
+            // (round, label, sender) in a correct execution; keeping the first
+            // protects against duplicates.
+            self.values.entry(child).or_insert_with(|| value.clone());
+        }
+    }
+
+    /// Fills every still-missing node of level `round` with the default
+    /// value.  Call at the end of round `round` so silent senders are treated
+    /// as having sent the default, as the classical protocol prescribes.
+    pub fn fill_defaults(&mut self, round: usize) {
+        assert!(round >= 1 && round <= self.rounds(), "round {round} out of range");
+        for label in self.labels_at_level(round) {
+            self.values
+                .entry(label)
+                .or_insert_with(|| self.default.clone());
+        }
+    }
+
+    /// Resolves the tree bottom-up by recursive strict majority and returns
+    /// the decision value.  Call after all `f + 1` rounds have completed (and
+    /// defaults have been filled).
+    pub fn decide(&self) -> V {
+        self.resolve(&Vec::new())
+    }
+
+    fn resolve(&self, label: &Label) -> V {
+        if label.len() == self.rounds() {
+            return self
+                .values
+                .get(label)
+                .cloned()
+                .unwrap_or_else(|| self.default.clone());
+        }
+        let children: Vec<V> = (0..self.n)
+            .filter(|p| !label.contains(p))
+            .map(|p| {
+                let mut child = label.clone();
+                child.push(p);
+                self.resolve(&child)
+            })
+            .collect();
+        strict_majority(&children).unwrap_or_else(|| self.default.clone())
+    }
+
+    /// All well-formed labels of the given level: sequences of `level`
+    /// distinct process indices.
+    fn labels_at_level(&self, level: usize) -> Vec<Label> {
+        let mut result = vec![Vec::new()];
+        for _ in 0..level {
+            let mut next = Vec::new();
+            for label in &result {
+                for p in 0..self.n {
+                    if !label.contains(&p) {
+                        let mut extended = label.clone();
+                        extended.push(p);
+                        next.push(extended);
+                    }
+                }
+            }
+            result = next;
+        }
+        result
+    }
+}
+
+fn labels_distinct(label: &[usize]) -> bool {
+    for (i, a) in label.iter().enumerate() {
+        if label[i + 1..].contains(a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns the value held by a strict majority of `values` (by `PartialEq`
+/// comparison), if one exists.
+pub fn strict_majority<V: Clone + PartialEq>(values: &[V]) -> Option<V> {
+    for candidate in values {
+        let count = values.iter().filter(|v| *v == candidate).count();
+        if 2 * count > values.len() {
+            return Some(candidate.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a full synchronous execution of one EIG consensus instance with
+    /// the given inputs; `byzantine` processes send `garbage(round, to)`
+    /// instead of honest relays (possibly different values to different
+    /// receivers).  Returns the decisions of the honest processes.
+    fn run_eig(
+        n: usize,
+        f: usize,
+        inputs: &[i64],
+        byzantine: &[usize],
+        mut garbage: impl FnMut(usize, usize, usize) -> Vec<(Label, i64)>,
+    ) -> Vec<i64> {
+        let default = -1i64;
+        let mut trees: Vec<EigTree<i64>> = (0..n)
+            .map(|i| {
+                let mut t = EigTree::new(n, f, i, default);
+                t.set_input(inputs[i]);
+                t
+            })
+            .collect();
+        let rounds = f + 1;
+        for round in 1..=rounds {
+            // Gather every process's outgoing relays for this round and apply
+            // each process's own relays to its own tree (self-delivery).
+            let mut outgoing: Vec<Vec<(Label, i64)>> = Vec::with_capacity(n);
+            for tree in trees.iter_mut() {
+                outgoing.push(tree.messages_for_round(round));
+                tree.apply_own_relays(round);
+            }
+            // Deliver.
+            for to in 0..n {
+                for from in 0..n {
+                    if from == to {
+                        continue;
+                    }
+                    let pairs = if byzantine.contains(&from) {
+                        garbage(round, from, to)
+                    } else {
+                        outgoing[from].clone()
+                    };
+                    trees[to].receive(round, from, &pairs);
+                }
+            }
+            for tree in trees.iter_mut() {
+                tree.fill_defaults(round);
+            }
+        }
+        (0..n)
+            .filter(|i| !byzantine.contains(i))
+            .map(|i| trees[i].decide())
+            .collect()
+    }
+
+    #[test]
+    fn all_honest_processes_agree_with_no_faults_present() {
+        let decisions = run_eig(4, 1, &[7, 7, 7, 7], &[], |_, _, _| Vec::new());
+        assert!(decisions.iter().all(|&d| d == 7));
+    }
+
+    #[test]
+    fn validity_holds_when_all_honest_inputs_equal() {
+        // Byzantine process 3 sends nothing at all; honest inputs are all 5.
+        let decisions = run_eig(4, 1, &[5, 5, 5, 99], &[3], |_, _, _| Vec::new());
+        assert_eq!(decisions, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn agreement_holds_under_equivocation() {
+        // Byzantine process 0 relays different values to different receivers.
+        let decisions = run_eig(4, 1, &[10, 20, 30, 40], &[0], |round, _from, to| {
+            // Send a per-receiver fabricated root value in round 1, and
+            // per-receiver garbage relays in round 2.
+            if round == 1 {
+                vec![(vec![], 1000 + to as i64)]
+            } else {
+                vec![
+                    (vec![1], 2000 + to as i64),
+                    (vec![2], 3000 + to as i64),
+                    (vec![3], 4000 + to as i64),
+                ]
+            }
+        });
+        // All honest processes decide identically (agreement), whatever value
+        // that is.
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn agreement_holds_with_two_faults_and_seven_processes() {
+        let inputs = [1, 1, 1, 1, 1, 9, 9];
+        let decisions = run_eig(7, 2, &inputs, &[5, 6], |round, from, to| {
+            vec![(vec![], (round * 100 + from * 10 + to) as i64)]
+        });
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+        // Honest inputs are all 1, so validity forces the decision to 1.
+        assert_eq!(decisions[0], 1);
+    }
+
+    #[test]
+    fn malformed_relays_are_ignored() {
+        let mut tree = EigTree::new(4, 1, 0, 0i64);
+        tree.set_input(3);
+        // Label containing the sender, wrong level, out-of-range ids, and
+        // duplicate ids must all be ignored.
+        tree.receive(1, 2, &[(vec![2], 50)]); // wrong level for round 1
+        tree.receive(2, 2, &[(vec![2], 50)]); // label contains sender
+        tree.receive(2, 2, &[(vec![9], 50)]); // id out of range
+        tree.receive(2, 2, &[(vec![1, 1], 50)]); // duplicates (also wrong level)
+        assert!(tree.value(&[2, 2]).is_none());
+        assert!(tree.value(&[2]).is_none());
+    }
+
+    #[test]
+    fn duplicate_relays_keep_first_value() {
+        let mut tree = EigTree::new(4, 1, 0, 0i64);
+        tree.receive(1, 1, &[(vec![], 5)]);
+        tree.receive(1, 1, &[(vec![], 6)]);
+        assert_eq!(tree.value(&[1]), Some(&5));
+    }
+
+    #[test]
+    fn strict_majority_detects_presence_and_absence() {
+        assert_eq!(strict_majority(&[1, 1, 2]), Some(1));
+        assert_eq!(strict_majority(&[1, 2, 3]), None);
+        assert_eq!(strict_majority::<i32>(&[]), None);
+        assert_eq!(strict_majority(&[4]), Some(4));
+    }
+
+    #[test]
+    fn rounds_is_f_plus_one() {
+        let tree = EigTree::new(7, 2, 0, 0i64);
+        assert_eq!(tree.rounds(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3f + 1")]
+    fn too_few_processes_panics() {
+        let _ = EigTree::new(3, 1, 0, 0i64);
+    }
+
+    #[test]
+    fn fill_defaults_populates_missing_level_nodes() {
+        let mut tree = EigTree::new(4, 1, 0, -7i64);
+        tree.fill_defaults(1);
+        // Level-1 labels are [1], [2], [3] (and [0], which also gets a default
+        // because labels_at_level enumerates all distinct-id sequences).
+        assert_eq!(tree.value(&[1]), Some(&-7));
+        assert_eq!(tree.value(&[2]), Some(&-7));
+    }
+}

@@ -1,0 +1,286 @@
+//! System parameters and the paper's resilience bounds.
+//!
+//! [`BvcConfig`] bundles the parameters every algorithm needs — the number of
+//! processes `n`, the fault bound `f`, the dimension `d`, the agreement
+//! parameter `ε` and the a-priori value bounds `ν ≤ x ≤ U` assumed by the
+//! termination rule of Section 3.2 — and knows the paper's four tight
+//! resilience bounds:
+//!
+//! | setting                               | bound                          |
+//! |---------------------------------------|--------------------------------|
+//! | Exact BVC, synchronous (Thm 1/3)      | `n ≥ max(3f+1, (d+1)f+1)`      |
+//! | Approximate BVC, asynchronous (Thm 4/5)| `n ≥ (d+2)f+1`                |
+//! | Restricted rounds, synchronous (Thm 6)| `n ≥ (d+2)f+1`                 |
+//! | Restricted rounds, asynchronous (Thm 6)| `n ≥ (d+4)f+1`                |
+
+use std::fmt;
+
+/// Errors produced by configuration validation and the high-level runners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BvcError {
+    /// The number of processes is below the tight bound for the requested
+    /// algorithm.
+    InsufficientProcesses {
+        /// The algorithm/setting whose bound is violated.
+        setting: Setting,
+        /// Number of processes required by the paper's bound.
+        required: usize,
+        /// Number of processes actually configured.
+        actual: usize,
+    },
+    /// A parameter is structurally invalid (zero dimension, `ε ≤ 0`, bad
+    /// bounds, wrong number of inputs, …).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for BvcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BvcError::InsufficientProcesses {
+                setting,
+                required,
+                actual,
+            } => write!(
+                f,
+                "{setting} requires n >= {required} processes, but only {actual} were configured"
+            ),
+            BvcError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BvcError {}
+
+/// The four algorithm settings whose resilience bounds the paper establishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Setting {
+    /// Exact BVC in a synchronous system (Theorems 1 and 3).
+    ExactSync,
+    /// Approximate BVC in an asynchronous system (Theorems 4 and 5).
+    ApproxAsync,
+    /// Restricted-round approximate BVC, synchronous (Theorem 6).
+    RestrictedSync,
+    /// Restricted-round approximate BVC, asynchronous (Theorem 6).
+    RestrictedAsync,
+}
+
+impl Setting {
+    /// The minimum `n` the paper proves necessary and sufficient for this
+    /// setting with the given `d` and `f`.
+    pub fn min_processes(self, d: usize, f: usize) -> usize {
+        match self {
+            Setting::ExactSync => (3 * f + 1).max((d + 1) * f + 1),
+            Setting::ApproxAsync => (d + 2) * f + 1,
+            Setting::RestrictedSync => (d + 2) * f + 1,
+            Setting::RestrictedAsync => (d + 4) * f + 1,
+        }
+    }
+}
+
+impl fmt::Display for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Setting::ExactSync => "exact synchronous BVC",
+            Setting::ApproxAsync => "approximate asynchronous BVC",
+            Setting::RestrictedSync => "restricted-round synchronous BVC",
+            Setting::RestrictedAsync => "restricted-round asynchronous BVC",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// System configuration shared by all algorithms in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BvcConfig {
+    /// Total number of processes `n`.
+    pub n: usize,
+    /// Maximum number of Byzantine processes `f`.
+    pub f: usize,
+    /// Dimension `d` of input and decision vectors.
+    pub d: usize,
+    /// ε of the ε-agreement condition (approximate algorithms only).
+    pub epsilon: f64,
+    /// A-priori lower bound `ν` on every input coordinate (Section 3.2).
+    pub lower_bound: f64,
+    /// A-priori upper bound `U` on every input coordinate (Section 3.2).
+    pub upper_bound: f64,
+}
+
+impl BvcConfig {
+    /// Creates a configuration with the default agreement parameters
+    /// (`ε = 0.01`, value bounds `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BvcError::InvalidParameter`] if `n == 0`, `d == 0` or
+    /// `f >= n`.
+    pub fn new(n: usize, f: usize, d: usize) -> Result<Self, BvcError> {
+        let config = Self {
+            n,
+            f,
+            d,
+            epsilon: 0.01,
+            lower_bound: 0.0,
+            upper_bound: 1.0,
+        };
+        config.validate_structure()?;
+        Ok(config)
+    }
+
+    /// Sets the ε of ε-agreement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BvcError::InvalidParameter`] if `epsilon <= 0` or not finite.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Result<Self, BvcError> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(BvcError::InvalidParameter(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        self.epsilon = epsilon;
+        Ok(self)
+    }
+
+    /// Sets the a-priori value bounds `[ν, U]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BvcError::InvalidParameter`] if the bounds are not finite or
+    /// `lower >= upper`.
+    pub fn with_value_bounds(mut self, lower: f64, upper: f64) -> Result<Self, BvcError> {
+        if !(lower.is_finite() && upper.is_finite() && lower < upper) {
+            return Err(BvcError::InvalidParameter(format!(
+                "value bounds must be finite with lower < upper, got [{lower}, {upper}]"
+            )));
+        }
+        self.lower_bound = lower;
+        self.upper_bound = upper;
+        Ok(self)
+    }
+
+    fn validate_structure(&self) -> Result<(), BvcError> {
+        if self.n == 0 {
+            return Err(BvcError::InvalidParameter("n must be positive".into()));
+        }
+        if self.d == 0 {
+            return Err(BvcError::InvalidParameter("d must be positive".into()));
+        }
+        if self.f >= self.n {
+            return Err(BvcError::InvalidParameter(format!(
+                "f = {} must be smaller than n = {}",
+                self.f, self.n
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of non-faulty processes assumed by the runners (`n − f`).
+    pub fn honest_count(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// Checks the resilience bound for `setting`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BvcError::InsufficientProcesses`] when `n` is below the
+    /// paper's bound for `setting`.
+    pub fn require(&self, setting: Setting) -> Result<(), BvcError> {
+        let required = setting.min_processes(self.d, self.f);
+        if self.n < required {
+            return Err(BvcError::InsufficientProcesses {
+                setting,
+                required,
+                actual: self.n,
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns `true` when `n` meets the bound for `setting`.
+    pub fn satisfies(&self, setting: Setting) -> bool {
+        self.require(setting).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_process_counts_match_the_paper() {
+        // d = 1 collapses to the scalar bounds.
+        assert_eq!(Setting::ExactSync.min_processes(1, 1), 4);
+        assert_eq!(Setting::ApproxAsync.min_processes(1, 1), 4);
+        // d = 3, f = 1: exact needs max(4, 5) = 5; approx needs 6.
+        assert_eq!(Setting::ExactSync.min_processes(3, 1), 5);
+        assert_eq!(Setting::ApproxAsync.min_processes(3, 1), 6);
+        // d = 2, f = 2: exact max(7, 7) = 7; approx 9; restricted async 13.
+        assert_eq!(Setting::ExactSync.min_processes(2, 2), 7);
+        assert_eq!(Setting::ApproxAsync.min_processes(2, 2), 9);
+        assert_eq!(Setting::RestrictedSync.min_processes(2, 2), 9);
+        assert_eq!(Setting::RestrictedAsync.min_processes(2, 2), 13);
+        // Small d keeps the 3f + 1 term active for exact consensus.
+        assert_eq!(Setting::ExactSync.min_processes(1, 3), 10);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_shapes() {
+        assert!(BvcConfig::new(0, 0, 1).is_err());
+        assert!(BvcConfig::new(4, 4, 1).is_err());
+        assert!(BvcConfig::new(4, 1, 0).is_err());
+        assert!(BvcConfig::new(4, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn epsilon_and_bounds_validation() {
+        let config = BvcConfig::new(6, 1, 2).unwrap();
+        assert!(config.clone().with_epsilon(0.0).is_err());
+        assert!(config.clone().with_epsilon(-1.0).is_err());
+        assert!(config.clone().with_epsilon(0.5).is_ok());
+        assert!(config.clone().with_value_bounds(1.0, 1.0).is_err());
+        assert!(config.clone().with_value_bounds(0.0, f64::NAN).is_err());
+        assert!(config.with_value_bounds(-5.0, 5.0).is_ok());
+    }
+
+    #[test]
+    fn require_reports_the_tight_bound() {
+        let config = BvcConfig::new(5, 1, 3).unwrap();
+        assert!(config.satisfies(Setting::ExactSync));
+        let err = config.require(Setting::ApproxAsync).unwrap_err();
+        match err {
+            BvcError::InsufficientProcesses {
+                required, actual, ..
+            } => {
+                assert_eq!(required, 6);
+                assert_eq!(actual, 5);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let config = BvcConfig::new(4, 1, 3).unwrap();
+        let err = config.require(Setting::RestrictedAsync).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("restricted-round asynchronous"));
+        assert!(text.contains("8"));
+        assert!(text.contains("4"));
+    }
+
+    #[test]
+    fn honest_count() {
+        let config = BvcConfig::new(7, 2, 2).unwrap();
+        assert_eq!(config.honest_count(), 5);
+    }
+
+    #[test]
+    fn f_zero_is_always_feasible() {
+        let config = BvcConfig::new(2, 0, 5).unwrap();
+        assert!(config.satisfies(Setting::ExactSync));
+        assert!(config.satisfies(Setting::ApproxAsync));
+        assert!(config.satisfies(Setting::RestrictedAsync));
+    }
+}

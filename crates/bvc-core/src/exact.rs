@@ -1,0 +1,424 @@
+//! Exact Byzantine vector consensus in synchronous systems (Section 2.2).
+//!
+//! The algorithm, verbatim from the paper, for
+//! `n ≥ max(3f + 1, (d + 1)f + 1)`:
+//!
+//! 1. Every process uses a Byzantine broadcast algorithm to broadcast its
+//!    input vector to all processes.  At the end of this step every non-faulty
+//!    process holds an **identical** multiset `S` of `n` vectors in which the
+//!    entry of every non-faulty process equals that process's input.
+//! 2. Every process picks, with the same deterministic rule, a point of
+//!    `Γ(S)` as its decision.  `Γ(S) ≠ ∅` by Lemma 1 because
+//!    `|S| = n ≥ (d+1)f + 1`.
+//!
+//! [`ExactBvcProcess`] implements the honest protocol as a
+//! [`SyncProcess`]; [`ByzantineExactProcess`] wraps it with a
+//! [`PointForge`]-driven attack (equivocation during its own broadcast,
+//! forged relays in other instances, silence, …).
+
+use crate::config::BvcConfig;
+use bvc_adversary::PointForge;
+use bvc_broadcast::{BroadcastInstance, BroadcastMessage};
+use bvc_geometry::{Point, PointMultiset, SafeArea};
+use bvc_net::{broadcast_to_all, Delivery, Outgoing, ProcessId, SyncProcess};
+
+/// Message exchanged by the Exact BVC protocol: a Byzantine-broadcast message
+/// tagged with the instance (source) it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactMsg {
+    /// Index of the process whose input this broadcast instance disseminates.
+    pub source: usize,
+    /// The underlying broadcast-protocol message.
+    pub payload: BroadcastMessage<Point>,
+}
+
+impl ExactMsg {
+    /// Replaces every point payload in this message by `point` (used by the
+    /// Byzantine wrapper to forge values while keeping the message shape).
+    pub fn forge_points(&mut self, point: &Point) {
+        match &mut self.payload {
+            BroadcastMessage::Initial(v) => *v = point.clone(),
+            BroadcastMessage::Relay(pairs) => {
+                for (_, v) in pairs.iter_mut() {
+                    *v = point.clone();
+                }
+            }
+        }
+    }
+}
+
+/// Honest process of the Exact BVC algorithm.
+pub struct ExactBvcProcess {
+    config: BvcConfig,
+    me: usize,
+    instances: Vec<BroadcastInstance<Point>>,
+    agreed_multiset: Option<PointMultiset>,
+    decision: Option<Point>,
+}
+
+impl ExactBvcProcess {
+    /// Creates the honest process with index `me` and input vector `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= config.n`, `input.dim() != config.d`, or
+    /// `config.f == 0` (with no faults the problem is a plain deterministic
+    /// exchange; the runners handle that case separately).
+    pub fn new(config: BvcConfig, me: usize, input: Point) -> Self {
+        assert!(me < config.n, "process index {me} out of range");
+        assert_eq!(input.dim(), config.d, "input dimension must equal config.d");
+        assert!(config.f >= 1, "ExactBvcProcess requires f >= 1");
+        let default = Point::uniform(config.d, config.lower_bound);
+        let mut instances: Vec<BroadcastInstance<Point>> = (0..config.n)
+            .map(|source| BroadcastInstance::new(config.n, config.f, me, source, default.clone()))
+            .collect();
+        instances[me].set_input(input);
+        Self {
+            config,
+            me,
+            instances,
+            agreed_multiset: None,
+            decision: None,
+        }
+    }
+
+    /// Number of synchronous rounds until the decision is available:
+    /// `f + 2` broadcast rounds plus one closing round.
+    pub fn total_rounds(config: &BvcConfig) -> usize {
+        config.f + 3
+    }
+
+    /// The identical multiset `S` obtained at the end of Step 1, once
+    /// available.
+    pub fn agreed_multiset(&self) -> Option<&PointMultiset> {
+        self.agreed_multiset.as_ref()
+    }
+
+    fn broadcast_rounds(&self) -> usize {
+        self.config.f + 2
+    }
+
+    fn deliver_inbox(&mut self, round: usize, inbox: &[Delivery<ExactMsg>]) {
+        if round < 2 {
+            return;
+        }
+        let broadcast_round = round - 1;
+        if broadcast_round > self.broadcast_rounds() {
+            return;
+        }
+        for delivery in inbox {
+            let source = delivery.msg.source;
+            if source < self.instances.len() {
+                self.instances[source].receive(
+                    broadcast_round,
+                    delivery.from.index(),
+                    &delivery.msg.payload,
+                );
+            }
+        }
+        for instance in self.instances.iter_mut() {
+            instance.end_round(broadcast_round);
+        }
+        if broadcast_round == self.broadcast_rounds() {
+            self.conclude();
+        }
+    }
+
+    fn conclude(&mut self) {
+        let points: Vec<Point> = self
+            .instances
+            .iter()
+            .map(|inst| {
+                inst.decision()
+                    .cloned()
+                    .unwrap_or_else(|| Point::uniform(self.config.d, self.config.lower_bound))
+            })
+            .collect();
+        let multiset = PointMultiset::new(points);
+        let safe = SafeArea::new(multiset.clone(), self.config.f);
+        self.decision = safe.find_point();
+        self.agreed_multiset = Some(multiset);
+    }
+
+    fn outgoing_for_round(&mut self, round: usize) -> Vec<Outgoing<ExactMsg>> {
+        if round > self.broadcast_rounds() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for source in 0..self.config.n {
+            if let Some(payload) = self.instances[source].message_for_round(round) {
+                let msg = ExactMsg { source, payload };
+                out.extend(broadcast_to_all(
+                    self.config.n,
+                    Some(ProcessId::new(self.me)),
+                    &msg,
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl SyncProcess for ExactBvcProcess {
+    type Msg = ExactMsg;
+    type Output = Point;
+
+    fn round(&mut self, round: usize, inbox: &[Delivery<ExactMsg>]) -> Vec<Outgoing<ExactMsg>> {
+        self.deliver_inbox(round, inbox);
+        self.outgoing_for_round(round)
+    }
+
+    fn output(&self) -> Option<Point> {
+        self.decision.clone()
+    }
+}
+
+/// A Byzantine participant of the Exact BVC protocol: runs the honest message
+/// schedule internally and forges every point it sends according to a
+/// [`PointForge`] strategy (per-receiver, so equivocation is expressible), or
+/// stays silent when the strategy says so.
+pub struct ByzantineExactProcess {
+    inner: ExactBvcProcess,
+    forge: PointForge,
+}
+
+impl ByzantineExactProcess {
+    /// Creates a Byzantine process with the given forge.  The inner honest
+    /// skeleton uses the forge's strategy-independent "honest" value as its
+    /// nominal input so the message schedule stays well-formed.
+    pub fn new(config: BvcConfig, me: usize, nominal_input: Point, forge: PointForge) -> Self {
+        Self {
+            inner: ExactBvcProcess::new(config, me, nominal_input),
+            forge,
+        }
+    }
+}
+
+impl SyncProcess for ByzantineExactProcess {
+    type Msg = ExactMsg;
+    type Output = Point;
+
+    fn round(&mut self, round: usize, inbox: &[Delivery<ExactMsg>]) -> Vec<Outgoing<ExactMsg>> {
+        let honest = self.inner.round(round, inbox);
+        let mut forged = Vec::with_capacity(honest.len());
+        for mut outgoing in honest {
+            match self.forge.forge(round, outgoing.to.index()) {
+                Some(point) => {
+                    outgoing.msg.forge_points(&point);
+                    forged.push(outgoing);
+                }
+                None => {
+                    // Strategy says: send nothing to this receiver this round.
+                }
+            }
+        }
+        forged
+    }
+
+    fn output(&self) -> Option<Point> {
+        // A Byzantine process's output is irrelevant to the problem statement.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvc_adversary::ByzantineStrategy;
+    use bvc_geometry::ConvexHull;
+    use bvc_net::SyncNetwork;
+
+    fn config(n: usize, f: usize, d: usize) -> BvcConfig {
+        BvcConfig::new(n, f, d).unwrap()
+    }
+
+    /// Builds a network of `n` processes where the last `f` are Byzantine with
+    /// the given strategy, runs it, and returns (honest decisions, honest
+    /// inputs).
+    fn run_exact(
+        n: usize,
+        f: usize,
+        d: usize,
+        honest_inputs: Vec<Point>,
+        strategy: ByzantineStrategy,
+        seed: u64,
+    ) -> (Vec<Point>, Vec<Point>) {
+        assert_eq!(honest_inputs.len(), n - f);
+        let cfg = config(n, f, d);
+        let mut processes: Vec<Box<dyn SyncProcess<Msg = ExactMsg, Output = Point>>> = Vec::new();
+        for (i, input) in honest_inputs.iter().enumerate() {
+            processes.push(Box::new(ExactBvcProcess::new(cfg.clone(), i, input.clone())));
+        }
+        for b in 0..f {
+            let me = n - f + b;
+            let mut forge = PointForge::new(
+                strategy,
+                d,
+                cfg.lower_bound,
+                cfg.upper_bound,
+                seed + b as u64,
+            );
+            forge.set_honest_value(Point::uniform(d, cfg.upper_bound));
+            processes.push(Box::new(ByzantineExactProcess::new(
+                cfg.clone(),
+                me,
+                Point::uniform(d, cfg.lower_bound),
+                forge,
+            )));
+        }
+        let honest_indices: Vec<usize> = (0..n - f).collect();
+        let outcome = SyncNetwork::new(processes, ExactBvcProcess::total_rounds(&cfg))
+            .run(&honest_indices);
+        let decisions: Vec<Point> = honest_indices
+            .iter()
+            .map(|&i| outcome.outputs[i].clone().expect("honest process must decide"))
+            .collect();
+        (decisions, honest_inputs)
+    }
+
+    fn assert_agreement(decisions: &[Point]) {
+        for pair in decisions.windows(2) {
+            assert!(
+                pair[0].approx_eq(&pair[1], 1e-7),
+                "agreement violated: {} vs {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    fn assert_validity(decisions: &[Point], honest_inputs: &[Point]) {
+        let hull = ConvexHull::new(PointMultiset::new(honest_inputs.to_vec()));
+        for decision in decisions {
+            assert!(
+                hull.contains(decision),
+                "validity violated: {decision} outside the honest hull"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_skeleton_agrees_on_input_multiset() {
+        // n = 4, f = 1 but the "Byzantine" process is benign: everyone honest
+        // in effect. d = 1.
+        let inputs = vec![
+            Point::new(vec![0.1]),
+            Point::new(vec![0.5]),
+            Point::new(vec![0.9]),
+        ];
+        let (decisions, honest) = run_exact(4, 1, 1, inputs, ByzantineStrategy::Benign, 1);
+        assert_agreement(&decisions);
+        assert_validity(&decisions, &honest);
+    }
+
+    #[test]
+    fn outlier_attack_cannot_break_validity_d2() {
+        // d = 2, f = 1, n = max(4, 4) = 4 ... but (d+1)f+1 = 4, 3f+1 = 4.
+        let inputs = vec![
+            Point::new(vec![0.2, 0.2]),
+            Point::new(vec![0.8, 0.3]),
+            Point::new(vec![0.5, 0.9]),
+        ];
+        let (decisions, honest) = run_exact(4, 1, 2, inputs, ByzantineStrategy::FixedOutlier, 2);
+        assert_agreement(&decisions);
+        assert_validity(&decisions, &honest);
+    }
+
+    #[test]
+    fn equivocation_attack_cannot_break_agreement_d2() {
+        let inputs = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+        ];
+        let (decisions, honest) = run_exact(4, 1, 2, inputs, ByzantineStrategy::Equivocate, 3);
+        assert_agreement(&decisions);
+        assert_validity(&decisions, &honest);
+    }
+
+    #[test]
+    fn silent_byzantine_process_does_not_block_termination() {
+        let inputs = vec![
+            Point::new(vec![0.25, 0.75]),
+            Point::new(vec![0.5, 0.5]),
+            Point::new(vec![0.75, 0.25]),
+        ];
+        let (decisions, honest) = run_exact(4, 1, 2, inputs, ByzantineStrategy::Silent, 4);
+        assert_agreement(&decisions);
+        assert_validity(&decisions, &honest);
+    }
+
+    #[test]
+    fn probability_vector_inputs_stay_probability_vectors() {
+        // The paper's motivating example: if every honest input is a
+        // probability vector, the decision must be one too (it lies in their
+        // convex hull). d = 3, f = 1, n = max(4, 5) = 5.
+        let inputs = vec![
+            Point::new(vec![2.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0]),
+            Point::new(vec![1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0]),
+            Point::new(vec![1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0]),
+            Point::new(vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]),
+        ];
+        let (decisions, honest) =
+            run_exact(5, 1, 3, inputs, ByzantineStrategy::AntiConvergence, 5);
+        assert_agreement(&decisions);
+        assert_validity(&decisions, &honest);
+        let d = &decisions[0];
+        let sum: f64 = d.coords().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "decision must remain a probability vector");
+        assert!(d.coords().iter().all(|&c| c >= -1e-6));
+    }
+
+    #[test]
+    fn two_faults_seven_processes_d2() {
+        let inputs = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+            Point::new(vec![1.0, 1.0]),
+            Point::new(vec![0.5, 0.5]),
+        ];
+        let (decisions, honest) = run_exact(7, 2, 2, inputs, ByzantineStrategy::RandomNoise, 6);
+        assert_agreement(&decisions);
+        assert_validity(&decisions, &honest);
+    }
+
+    #[test]
+    fn extra_processes_beyond_the_bound_still_work() {
+        // n = 6 > 4 required for d = 2, f = 1.
+        let inputs = vec![
+            Point::new(vec![0.1, 0.1]),
+            Point::new(vec![0.9, 0.1]),
+            Point::new(vec![0.5, 0.9]),
+            Point::new(vec![0.4, 0.4]),
+            Point::new(vec![0.6, 0.6]),
+        ];
+        let (decisions, honest) = run_exact(6, 1, 2, inputs, ByzantineStrategy::Equivocate, 7);
+        assert_agreement(&decisions);
+        assert_validity(&decisions, &honest);
+    }
+
+    #[test]
+    fn forge_points_rewrites_payloads() {
+        let mut msg = ExactMsg {
+            source: 0,
+            payload: BroadcastMessage::Relay(vec![
+                (vec![], Point::new(vec![1.0, 2.0])),
+                (vec![1], Point::new(vec![3.0, 4.0])),
+            ]),
+        };
+        msg.forge_points(&Point::new(vec![9.0, 9.0]));
+        if let BroadcastMessage::Relay(pairs) = &msg.payload {
+            assert!(pairs.iter().all(|(_, v)| v.coords() == &[9.0, 9.0]));
+        } else {
+            panic!("payload kind changed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires f >= 1")]
+    fn zero_faults_rejected_by_process() {
+        let cfg = config(3, 0, 2);
+        let _ = ExactBvcProcess::new(cfg, 0, Point::new(vec![0.0, 0.0]));
+    }
+}

@@ -1,0 +1,76 @@
+//! Byzantine vector consensus in complete graphs — the algorithms of
+//! Vaidya & Garg (PODC 2013).
+//!
+//! The input of each of `n` processes is a `d`-dimensional vector of reals; up
+//! to `f` processes are Byzantine.  The decision of every non-faulty process
+//! must lie in the convex hull of the non-faulty inputs (validity) and the
+//! decisions must agree (exactly, or within ε per coordinate).  This crate
+//! implements the paper's four algorithms with their tight resilience bounds:
+//!
+//! | algorithm | module | bound |
+//! |-----------|--------|-------|
+//! | Exact BVC, synchronous | [`exact`] | `n ≥ max(3f+1, (d+1)f+1)` |
+//! | Approximate BVC, asynchronous (AAD exchange) | [`approx`] + [`aad`] | `n ≥ (d+2)f+1` |
+//! | Restricted-round, synchronous | [`restricted`] | `n ≥ (d+2)f+1` |
+//! | Restricted-round, asynchronous | [`restricted`] | `n ≥ (d+4)f+1` |
+//!
+//! The necessity halves of the bounds are materialised as executable
+//! constructions in [`lower_bounds`]; the convergence formulas (the
+//! contraction factor `γ` and the round budget) live in [`convergence`]; the
+//! high-level runners that wire protocols, network executors and adversaries
+//! together and score the outcome are in [`run`].
+//!
+//! # Example
+//!
+//! ```
+//! use bvc_core::{ByzantineStrategy, ExactBvcRun};
+//! use bvc_geometry::Point;
+//!
+//! // d = 2, f = 1 ⇒ n ≥ max(3f+1, (d+1)f+1) = 4; use n = 5.
+//! let run = ExactBvcRun::builder(5, 1, 2)
+//!     .honest_inputs(vec![
+//!         Point::new(vec![0.0, 0.0]),
+//!         Point::new(vec![1.0, 0.0]),
+//!         Point::new(vec![0.0, 1.0]),
+//!         Point::new(vec![1.0, 1.0]),
+//!     ])
+//!     .adversary(ByzantineStrategy::Equivocate)
+//!     .seed(42)
+//!     .run()
+//!     .expect("parameters satisfy the resilience bound");
+//! assert!(run.verdict().agreement);
+//! assert!(run.verdict().validity);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aad;
+pub mod approx;
+pub mod config;
+pub mod convergence;
+pub mod exact;
+pub mod lower_bounds;
+pub mod restricted;
+pub mod run;
+pub mod witness;
+
+pub use aad::{AadExchange, AadMsg, CompletedExchange};
+pub use approx::{ApproxBvcProcess, ApproxOutput, ByzantineApproxProcess, UpdateRule};
+pub use bvc_adversary::{ByzantineStrategy, PointForge};
+pub use config::{BvcConfig, BvcError, Setting};
+pub use convergence::{gamma, gamma_witness_optimized, guaranteed_range, round_threshold};
+pub use exact::{ByzantineExactProcess, ExactBvcProcess, ExactMsg};
+pub use lower_bounds::{
+    theorem1_control_inputs, theorem1_evidence, theorem1_inputs, theorem4_evidence,
+    theorem4_inputs, Theorem1Evidence, Theorem4Evidence,
+};
+pub use restricted::{
+    restricted_round_budget, ByzantineRestrictedAsync, ByzantineRestrictedSync,
+    RestrictedAsyncProcess, RestrictedSyncProcess, StateMsg,
+};
+pub use run::{
+    ApproxBvcRun, ApproxBvcRunBuilder, ExactBvcRun, ExactBvcRunBuilder, RestrictedAsyncRunBuilder,
+    RestrictedRun, RestrictedSyncRunBuilder, Verdict,
+};
+pub use witness::{average_state, build_zi_full, build_zi_witness};

@@ -1,0 +1,876 @@
+//! High-level runners: configure a system, attack it, run it, judge it.
+//!
+//! The runners wire together the protocol implementations, the simulated
+//! network executors and the adversary strategies, and score the outcome
+//! against the paper's correctness conditions:
+//!
+//! * [`ExactBvcRun`] — Exact BVC over the synchronous executor
+//!   (Agreement, Validity, Termination — Section 2.2).
+//! * [`ApproxBvcRun`] — Approximate BVC over the asynchronous simulator
+//!   (ε-Agreement, Validity, Termination — Section 3.2).
+//! * [`RestrictedSyncRun`] / [`RestrictedAsyncRun`] — the Section 4
+//!   restricted-round algorithms.
+//!
+//! Every runner follows the same builder pattern: construct with
+//! `builder(n, f, d)`, supply the `n − f` honest inputs, pick an adversary, a
+//! seed and (for the approximate algorithms) an ε, then call `run()`.  The
+//! result carries the honest decisions, a [`Verdict`], and execution
+//! statistics.
+
+use crate::approx::{ApproxBvcProcess, ApproxOutput, ByzantineApproxProcess, UpdateRule};
+use crate::config::{BvcConfig, BvcError, Setting};
+use crate::exact::{ByzantineExactProcess, ExactBvcProcess, ExactMsg};
+use crate::restricted::{
+    ByzantineRestrictedAsync, ByzantineRestrictedSync, RestrictedAsyncProcess,
+    RestrictedSyncProcess, StateMsg,
+};
+use bvc_adversary::{ByzantineStrategy, PointForge};
+use bvc_geometry::{ConvexHull, Point, PointMultiset};
+use bvc_net::{
+    AsyncNetwork, AsyncProcess, DeliveryPolicy, ExecutionStats, SyncNetwork, SyncProcess,
+};
+
+/// How an execution scored against the paper's correctness conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Exact algorithms: all honest decisions identical.  Approximate
+    /// algorithms: all honest decisions within ε per coordinate.
+    pub agreement: bool,
+    /// Every honest decision lies in the convex hull of the honest inputs.
+    pub validity: bool,
+    /// Every honest process decided before the executor's budget ran out.
+    pub termination: bool,
+    /// Largest L∞ distance between two honest decisions.
+    pub max_pairwise_distance: f64,
+}
+
+impl Verdict {
+    /// `true` when all three conditions hold.
+    pub fn all_hold(&self) -> bool {
+        self.agreement && self.validity && self.termination
+    }
+
+    fn score(decisions: &[Point], honest_inputs: &[Point], terminated: bool, tolerance: f64) -> Self {
+        if decisions.is_empty() || !terminated {
+            return Self {
+                agreement: false,
+                validity: false,
+                termination: false,
+                max_pairwise_distance: f64::INFINITY,
+            };
+        }
+        let mut max_distance: f64 = 0.0;
+        for i in 0..decisions.len() {
+            for j in (i + 1)..decisions.len() {
+                max_distance = max_distance.max(decisions[i].linf_distance(&decisions[j]));
+            }
+        }
+        let hull = ConvexHull::new(PointMultiset::new(honest_inputs.to_vec()));
+        let validity = decisions.iter().all(|d| hull.contains(d));
+        Self {
+            agreement: max_distance <= tolerance,
+            validity,
+            termination: true,
+            max_pairwise_distance: max_distance,
+        }
+    }
+}
+
+fn validate_inputs(config: &BvcConfig, honest_inputs: &[Point]) -> Result<(), BvcError> {
+    if config.f == 0 {
+        return Err(BvcError::InvalidParameter(
+            "the runners model at least one Byzantine process; use f >= 1".into(),
+        ));
+    }
+    if honest_inputs.len() != config.honest_count() {
+        return Err(BvcError::InvalidParameter(format!(
+            "expected {} honest inputs (n − f), got {}",
+            config.honest_count(),
+            honest_inputs.len()
+        )));
+    }
+    if let Some(bad) = honest_inputs.iter().find(|p| p.dim() != config.d) {
+        return Err(BvcError::InvalidParameter(format!(
+            "input {bad} has dimension {}, expected {}",
+            bad.dim(),
+            config.d
+        )));
+    }
+    Ok(())
+}
+
+fn make_forge(
+    strategy: ByzantineStrategy,
+    config: &BvcConfig,
+    seed: u64,
+    index: usize,
+) -> PointForge {
+    let mut forge = PointForge::new(
+        strategy,
+        config.d,
+        config.lower_bound,
+        config.upper_bound,
+        seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)),
+    );
+    forge.set_honest_value(Point::uniform(
+        config.d,
+        0.5 * (config.lower_bound + config.upper_bound),
+    ));
+    forge
+}
+
+// ---------------------------------------------------------------------------
+// Exact BVC (synchronous)
+// ---------------------------------------------------------------------------
+
+/// Builder for an Exact BVC execution.
+#[derive(Debug, Clone)]
+pub struct ExactBvcRunBuilder {
+    n: usize,
+    f: usize,
+    d: usize,
+    honest_inputs: Vec<Point>,
+    adversary: ByzantineStrategy,
+    seed: u64,
+    value_bounds: (f64, f64),
+}
+
+impl ExactBvcRunBuilder {
+    /// Honest inputs, one per non-faulty process (`n − f` of them).
+    pub fn honest_inputs(mut self, inputs: Vec<Point>) -> Self {
+        self.honest_inputs = inputs;
+        self
+    }
+
+    /// The Byzantine strategy of the last `f` processes.
+    pub fn adversary(mut self, strategy: ByzantineStrategy) -> Self {
+        self.adversary = strategy;
+        self
+    }
+
+    /// Seed of all randomness in the execution.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A-priori bounds on the input coordinates (defaults to `[0, 1]`).
+    pub fn value_bounds(mut self, lower: f64, upper: f64) -> Self {
+        self.value_bounds = (lower, upper);
+        self
+    }
+
+    /// Runs the execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are invalid or `n` is below the
+    /// Theorem 1 bound `max(3f+1, (d+1)f+1)`.
+    pub fn run(self) -> Result<ExactBvcRun, BvcError> {
+        let config = BvcConfig::new(self.n, self.f, self.d)?
+            .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
+        config.require(Setting::ExactSync)?;
+        validate_inputs(&config, &self.honest_inputs)?;
+
+        let mut processes: Vec<Box<dyn SyncProcess<Msg = ExactMsg, Output = Point>>> = Vec::new();
+        for (i, input) in self.honest_inputs.iter().enumerate() {
+            processes.push(Box::new(ExactBvcProcess::new(config.clone(), i, input.clone())));
+        }
+        for b in 0..config.f {
+            let me = config.honest_count() + b;
+            let forge = make_forge(self.adversary, &config, self.seed, b);
+            processes.push(Box::new(ByzantineExactProcess::new(
+                config.clone(),
+                me,
+                Point::uniform(config.d, config.lower_bound),
+                forge,
+            )));
+        }
+        let honest: Vec<usize> = (0..config.honest_count()).collect();
+        let outcome = SyncNetwork::new(processes, ExactBvcProcess::total_rounds(&config))
+            .run(&honest);
+        let decisions: Vec<Point> = honest
+            .iter()
+            .filter_map(|&i| outcome.outputs[i].clone())
+            .collect();
+        let terminated = decisions.len() == honest.len();
+        // Exact consensus: agreement means identical decisions (up to LP
+        // round-off).
+        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, 1e-6);
+        Ok(ExactBvcRun {
+            decisions,
+            honest_inputs: self.honest_inputs,
+            verdict,
+            rounds: outcome.rounds,
+            stats: outcome.stats,
+        })
+    }
+}
+
+/// A completed Exact BVC execution.
+#[derive(Debug, Clone)]
+pub struct ExactBvcRun {
+    decisions: Vec<Point>,
+    honest_inputs: Vec<Point>,
+    verdict: Verdict,
+    rounds: usize,
+    stats: ExecutionStats,
+}
+
+impl ExactBvcRun {
+    /// Starts building an execution with `n` processes, `f` Byzantine, inputs
+    /// of dimension `d`.
+    pub fn builder(n: usize, f: usize, d: usize) -> ExactBvcRunBuilder {
+        ExactBvcRunBuilder {
+            n,
+            f,
+            d,
+            honest_inputs: Vec::new(),
+            adversary: ByzantineStrategy::Equivocate,
+            seed: 0,
+            value_bounds: (0.0, 1.0),
+        }
+    }
+
+    /// The honest processes' decisions (index = honest process index).
+    pub fn decisions(&self) -> &[Point] {
+        &self.decisions
+    }
+
+    /// The honest inputs the run was configured with.
+    pub fn honest_inputs(&self) -> &[Point] {
+        &self.honest_inputs
+    }
+
+    /// The verdict against Agreement / Validity / Termination.
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// Number of synchronous rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Message statistics of the execution.
+    pub fn stats(&self) -> &ExecutionStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Approximate BVC (asynchronous)
+// ---------------------------------------------------------------------------
+
+/// Builder for an Approximate BVC execution.
+#[derive(Debug, Clone)]
+pub struct ApproxBvcRunBuilder {
+    n: usize,
+    f: usize,
+    d: usize,
+    honest_inputs: Vec<Point>,
+    adversary: ByzantineStrategy,
+    seed: u64,
+    epsilon: f64,
+    value_bounds: (f64, f64),
+    rule: UpdateRule,
+    policy: DeliveryPolicy,
+    max_steps: usize,
+}
+
+impl ApproxBvcRunBuilder {
+    /// Honest inputs, one per non-faulty process (`n − f` of them).
+    pub fn honest_inputs(mut self, inputs: Vec<Point>) -> Self {
+        self.honest_inputs = inputs;
+        self
+    }
+
+    /// The Byzantine strategy of the last `f` processes.
+    pub fn adversary(mut self, strategy: ByzantineStrategy) -> Self {
+        self.adversary = strategy;
+        self
+    }
+
+    /// Seed of all randomness (adversary and scheduler).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The ε of ε-agreement (defaults to `0.01`).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// A-priori bounds on the input coordinates (defaults to `[0, 1]`).
+    pub fn value_bounds(mut self, lower: f64, upper: f64) -> Self {
+        self.value_bounds = (lower, upper);
+        self
+    }
+
+    /// Which Step-2 subset rule to use (defaults to the Appendix F witness
+    /// optimisation).
+    pub fn update_rule(mut self, rule: UpdateRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// The asynchronous scheduling adversary (defaults to
+    /// [`DeliveryPolicy::RandomFair`]).
+    pub fn delivery_policy(mut self, policy: DeliveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Cap on scheduler delivery steps (defaults to 5,000,000).
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs the execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are invalid or `n` is below the
+    /// Theorem 4 bound `(d+2)f + 1`.
+    pub fn run(self) -> Result<ApproxBvcRun, BvcError> {
+        let config = BvcConfig::new(self.n, self.f, self.d)?
+            .with_epsilon(self.epsilon)?
+            .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
+        config.require(Setting::ApproxAsync)?;
+        validate_inputs(&config, &self.honest_inputs)?;
+
+        let mut processes: Vec<Box<dyn AsyncProcess<Msg = crate::aad::AadMsg, Output = ApproxOutput>>> =
+            Vec::new();
+        for (i, input) in self.honest_inputs.iter().enumerate() {
+            processes.push(Box::new(ApproxBvcProcess::new(
+                config.clone(),
+                i,
+                input.clone(),
+                self.rule,
+            )));
+        }
+        for b in 0..config.f {
+            let me = config.honest_count() + b;
+            let forge = make_forge(self.adversary, &config, self.seed, b);
+            processes.push(Box::new(ByzantineApproxProcess::new(
+                config.clone(),
+                me,
+                Point::uniform(config.d, 0.5 * (config.lower_bound + config.upper_bound)),
+                self.rule,
+                forge,
+            )));
+        }
+        let honest: Vec<usize> = (0..config.honest_count()).collect();
+        let outcome =
+            AsyncNetwork::new(processes, self.policy, self.seed, self.max_steps).run(&honest);
+        let outputs: Vec<ApproxOutput> = honest
+            .iter()
+            .filter_map(|&i| outcome.outputs[i].clone())
+            .collect();
+        let terminated = outputs.len() == honest.len() && outcome.completed;
+        let decisions: Vec<Point> = outputs.iter().map(|o| o.decision.clone()).collect();
+        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, config.epsilon);
+        let round_budget = ApproxBvcProcess::round_budget(&config, self.rule);
+        Ok(ApproxBvcRun {
+            outputs,
+            honest_inputs: self.honest_inputs,
+            verdict,
+            round_budget,
+            epsilon: config.epsilon,
+            stats: outcome.stats,
+        })
+    }
+}
+
+/// A completed Approximate BVC execution.
+#[derive(Debug, Clone)]
+pub struct ApproxBvcRun {
+    outputs: Vec<ApproxOutput>,
+    honest_inputs: Vec<Point>,
+    verdict: Verdict,
+    round_budget: usize,
+    epsilon: f64,
+    stats: ExecutionStats,
+}
+
+impl ApproxBvcRun {
+    /// Starts building an execution with `n` processes, `f` Byzantine, inputs
+    /// of dimension `d`.
+    pub fn builder(n: usize, f: usize, d: usize) -> ApproxBvcRunBuilder {
+        ApproxBvcRunBuilder {
+            n,
+            f,
+            d,
+            honest_inputs: Vec::new(),
+            adversary: ByzantineStrategy::Equivocate,
+            seed: 0,
+            epsilon: 0.01,
+            value_bounds: (0.0, 1.0),
+            rule: UpdateRule::WitnessOptimized,
+            policy: DeliveryPolicy::RandomFair,
+            max_steps: 5_000_000,
+        }
+    }
+
+    /// The honest processes' decisions.
+    pub fn decisions(&self) -> Vec<Point> {
+        self.outputs.iter().map(|o| o.decision.clone()).collect()
+    }
+
+    /// Full per-process outputs (decision, state history, `|Z_i|` sizes).
+    pub fn outputs(&self) -> &[ApproxOutput] {
+        &self.outputs
+    }
+
+    /// The honest inputs the run was configured with.
+    pub fn honest_inputs(&self) -> &[Point] {
+        &self.honest_inputs
+    }
+
+    /// The verdict against ε-Agreement / Validity / Termination.
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// The static round budget of Step 3 for this configuration.
+    pub fn round_budget(&self) -> usize {
+        self.round_budget
+    }
+
+    /// The ε the run was judged against.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Message statistics of the execution.
+    pub fn stats(&self) -> &ExecutionStats {
+        &self.stats
+    }
+
+    /// The per-round range `max_l (Ω_l[t] − µ_l[t])` across the honest
+    /// processes, computed from the recorded histories (index 0 is the range
+    /// of the inputs).  Used by the convergence experiment.
+    pub fn range_history(&self) -> Vec<f64> {
+        if self.outputs.is_empty() {
+            return Vec::new();
+        }
+        let rounds = self
+            .outputs
+            .iter()
+            .map(|o| o.history.len())
+            .min()
+            .unwrap_or(0);
+        (0..rounds)
+            .map(|t| {
+                let states: Vec<Point> = self
+                    .outputs
+                    .iter()
+                    .map(|o| o.history[t].clone())
+                    .collect();
+                PointMultiset::new(states).coordinate_range()
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Restricted-round algorithms (Section 4)
+// ---------------------------------------------------------------------------
+
+/// Builder and result for the restricted-round synchronous algorithm.
+#[derive(Debug, Clone)]
+pub struct RestrictedSyncRunBuilder {
+    n: usize,
+    f: usize,
+    d: usize,
+    honest_inputs: Vec<Point>,
+    adversary: ByzantineStrategy,
+    seed: u64,
+    epsilon: f64,
+    value_bounds: (f64, f64),
+}
+
+impl RestrictedSyncRunBuilder {
+    /// Honest inputs, one per non-faulty process (`n − f` of them).
+    pub fn honest_inputs(mut self, inputs: Vec<Point>) -> Self {
+        self.honest_inputs = inputs;
+        self
+    }
+
+    /// The Byzantine strategy of the last `f` processes.
+    pub fn adversary(mut self, strategy: ByzantineStrategy) -> Self {
+        self.adversary = strategy;
+        self
+    }
+
+    /// Seed of all randomness in the execution.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The ε of ε-agreement (defaults to `0.01`).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// A-priori bounds on the input coordinates (defaults to `[0, 1]`).
+    pub fn value_bounds(mut self, lower: f64, upper: f64) -> Self {
+        self.value_bounds = (lower, upper);
+        self
+    }
+
+    /// Runs the execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are invalid or `n < (d+2)f + 1`.
+    pub fn run(self) -> Result<RestrictedRun, BvcError> {
+        let config = BvcConfig::new(self.n, self.f, self.d)?
+            .with_epsilon(self.epsilon)?
+            .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
+        config.require(Setting::RestrictedSync)?;
+        validate_inputs(&config, &self.honest_inputs)?;
+
+        let mut processes: Vec<Box<dyn SyncProcess<Msg = StateMsg, Output = Point>>> = Vec::new();
+        for (i, input) in self.honest_inputs.iter().enumerate() {
+            processes.push(Box::new(RestrictedSyncProcess::new(
+                config.clone(),
+                i,
+                input.clone(),
+            )));
+        }
+        for b in 0..config.f {
+            let me = config.honest_count() + b;
+            let forge = make_forge(self.adversary, &config, self.seed, b);
+            processes.push(Box::new(ByzantineRestrictedSync::new(config.clone(), me, forge)));
+        }
+        let honest: Vec<usize> = (0..config.honest_count()).collect();
+        let outcome = SyncNetwork::new(
+            processes,
+            RestrictedSyncProcess::total_rounds(&config) + 1,
+        )
+        .run(&honest);
+        let decisions: Vec<Point> = honest
+            .iter()
+            .filter_map(|&i| outcome.outputs[i].clone())
+            .collect();
+        let terminated = decisions.len() == honest.len();
+        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, config.epsilon);
+        Ok(RestrictedRun {
+            decisions,
+            verdict,
+            rounds: outcome.rounds,
+            stats: outcome.stats,
+        })
+    }
+}
+
+/// Builder for the restricted-round asynchronous algorithm.
+#[derive(Debug, Clone)]
+pub struct RestrictedAsyncRunBuilder {
+    n: usize,
+    f: usize,
+    d: usize,
+    honest_inputs: Vec<Point>,
+    adversary: ByzantineStrategy,
+    seed: u64,
+    epsilon: f64,
+    value_bounds: (f64, f64),
+    policy: DeliveryPolicy,
+    max_steps: usize,
+}
+
+impl RestrictedAsyncRunBuilder {
+    /// Honest inputs, one per non-faulty process (`n − f` of them).
+    pub fn honest_inputs(mut self, inputs: Vec<Point>) -> Self {
+        self.honest_inputs = inputs;
+        self
+    }
+
+    /// The Byzantine strategy of the last `f` processes.
+    pub fn adversary(mut self, strategy: ByzantineStrategy) -> Self {
+        self.adversary = strategy;
+        self
+    }
+
+    /// Seed of all randomness (adversary and scheduler).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The ε of ε-agreement (defaults to `0.01`).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// A-priori bounds on the input coordinates (defaults to `[0, 1]`).
+    pub fn value_bounds(mut self, lower: f64, upper: f64) -> Self {
+        self.value_bounds = (lower, upper);
+        self
+    }
+
+    /// The asynchronous scheduling adversary.
+    pub fn delivery_policy(mut self, policy: DeliveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Cap on scheduler delivery steps (defaults to 5,000,000).
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs the execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are invalid or `n < (d+4)f + 1`.
+    pub fn run(self) -> Result<RestrictedRun, BvcError> {
+        let config = BvcConfig::new(self.n, self.f, self.d)?
+            .with_epsilon(self.epsilon)?
+            .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
+        config.require(Setting::RestrictedAsync)?;
+        validate_inputs(&config, &self.honest_inputs)?;
+
+        let mut processes: Vec<Box<dyn AsyncProcess<Msg = StateMsg, Output = Point>>> = Vec::new();
+        for (i, input) in self.honest_inputs.iter().enumerate() {
+            processes.push(Box::new(RestrictedAsyncProcess::new(
+                config.clone(),
+                i,
+                input.clone(),
+            )));
+        }
+        for b in 0..config.f {
+            let me = config.honest_count() + b;
+            let forge = make_forge(self.adversary, &config, self.seed, b);
+            processes.push(Box::new(ByzantineRestrictedAsync::new(config.clone(), me, forge)));
+        }
+        let honest: Vec<usize> = (0..config.honest_count()).collect();
+        let outcome =
+            AsyncNetwork::new(processes, self.policy, self.seed, self.max_steps).run(&honest);
+        let decisions: Vec<Point> = honest
+            .iter()
+            .filter_map(|&i| outcome.outputs[i].clone())
+            .collect();
+        let terminated = decisions.len() == honest.len() && outcome.completed;
+        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, config.epsilon);
+        Ok(RestrictedRun {
+            decisions,
+            verdict,
+            rounds: outcome.stats.steps,
+            stats: outcome.stats,
+        })
+    }
+}
+
+/// A completed restricted-round execution (synchronous or asynchronous).
+#[derive(Debug, Clone)]
+pub struct RestrictedRun {
+    decisions: Vec<Point>,
+    verdict: Verdict,
+    rounds: usize,
+    stats: ExecutionStats,
+}
+
+impl RestrictedRun {
+    /// Starts building a synchronous restricted-round execution.
+    pub fn sync_builder(n: usize, f: usize, d: usize) -> RestrictedSyncRunBuilder {
+        RestrictedSyncRunBuilder {
+            n,
+            f,
+            d,
+            honest_inputs: Vec::new(),
+            adversary: ByzantineStrategy::Equivocate,
+            seed: 0,
+            epsilon: 0.01,
+            value_bounds: (0.0, 1.0),
+        }
+    }
+
+    /// Starts building an asynchronous restricted-round execution.
+    pub fn async_builder(n: usize, f: usize, d: usize) -> RestrictedAsyncRunBuilder {
+        RestrictedAsyncRunBuilder {
+            n,
+            f,
+            d,
+            honest_inputs: Vec::new(),
+            adversary: ByzantineStrategy::Equivocate,
+            seed: 0,
+            epsilon: 0.01,
+            value_bounds: (0.0, 1.0),
+            policy: DeliveryPolicy::RandomFair,
+            max_steps: 5_000_000,
+        }
+    }
+
+    /// The honest processes' decisions.
+    pub fn decisions(&self) -> &[Point] {
+        &self.decisions
+    }
+
+    /// The verdict against ε-Agreement / Validity / Termination.
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// Rounds (synchronous) or scheduler steps (asynchronous) executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Message statistics of the execution.
+    pub fn stats(&self) -> &ExecutionStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_inputs() -> Vec<Point> {
+        vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+            Point::new(vec![1.0, 1.0]),
+        ]
+    }
+
+    #[test]
+    fn exact_run_builder_happy_path() {
+        let run = ExactBvcRun::builder(5, 1, 2)
+            .honest_inputs(square_inputs())
+            .adversary(ByzantineStrategy::FixedOutlier)
+            .seed(7)
+            .run()
+            .expect("parameters satisfy the bound");
+        assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+        assert_eq!(run.decisions().len(), 4);
+        assert!(run.rounds() <= 4);
+        assert!(run.stats().messages_delivered > 0);
+    }
+
+    #[test]
+    fn exact_run_rejects_insufficient_processes() {
+        // d = 3, f = 1 requires n ≥ 5.
+        let err = ExactBvcRun::builder(4, 1, 3)
+            .honest_inputs(vec![
+                Point::new(vec![0.0, 0.0, 0.0]),
+                Point::new(vec![1.0, 0.0, 0.0]),
+                Point::new(vec![0.0, 1.0, 0.0]),
+            ])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, BvcError::InsufficientProcesses { required: 5, .. }));
+    }
+
+    #[test]
+    fn exact_run_rejects_wrong_input_count() {
+        let err = ExactBvcRun::builder(5, 1, 2)
+            .honest_inputs(vec![Point::new(vec![0.0, 0.0])])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, BvcError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn exact_run_rejects_zero_faults() {
+        let err = ExactBvcRun::builder(3, 0, 2)
+            .honest_inputs(square_inputs()[..3].to_vec())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, BvcError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn approx_run_builder_happy_path() {
+        let run = ApproxBvcRun::builder(5, 1, 2)
+            .honest_inputs(square_inputs())
+            .adversary(ByzantineStrategy::AntiConvergence)
+            .epsilon(0.1)
+            .seed(3)
+            .run()
+            .expect("parameters satisfy the bound");
+        assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+        assert!(run.verdict().max_pairwise_distance <= 0.1);
+        assert!(run.round_budget() >= 2);
+        let ranges = run.range_history();
+        assert!(!ranges.is_empty());
+        assert!(ranges.last().unwrap() <= &0.1);
+    }
+
+    #[test]
+    fn approx_run_rejects_insufficient_processes() {
+        let err = ApproxBvcRun::builder(4, 1, 2)
+            .honest_inputs(square_inputs()[..3].to_vec())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, BvcError::InsufficientProcesses { required: 5, .. }));
+    }
+
+    #[test]
+    fn restricted_sync_run_happy_path() {
+        let run = RestrictedRun::sync_builder(5, 1, 2)
+            .honest_inputs(square_inputs())
+            .adversary(ByzantineStrategy::Equivocate)
+            .epsilon(0.1)
+            .seed(5)
+            .run()
+            .expect("parameters satisfy the bound");
+        assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+    }
+
+    #[test]
+    fn restricted_async_run_happy_path() {
+        // d = 1, f = 1 requires n ≥ 6 for the restricted asynchronous variant.
+        let inputs = vec![
+            Point::new(vec![0.0]),
+            Point::new(vec![0.25]),
+            Point::new(vec![0.5]),
+            Point::new(vec![0.75]),
+            Point::new(vec![1.0]),
+        ];
+        let run = RestrictedRun::async_builder(6, 1, 1)
+            .honest_inputs(inputs)
+            .adversary(ByzantineStrategy::AntiConvergence)
+            .epsilon(0.1)
+            .seed(9)
+            .run()
+            .expect("parameters satisfy the bound");
+        assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+    }
+
+    #[test]
+    fn restricted_async_rejects_below_bound() {
+        let err = RestrictedRun::async_builder(5, 1, 1)
+            .honest_inputs(vec![
+                Point::new(vec![0.0]),
+                Point::new(vec![0.5]),
+                Point::new(vec![0.75]),
+                Point::new(vec![1.0]),
+            ])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, BvcError::InsufficientProcesses { required: 6, .. }));
+    }
+
+    #[test]
+    fn verdict_all_hold_logic() {
+        let verdict = Verdict {
+            agreement: true,
+            validity: true,
+            termination: false,
+            max_pairwise_distance: 0.0,
+        };
+        assert!(!verdict.all_hold());
+    }
+}

@@ -1,0 +1,165 @@
+//! Construction of the multiset `Z_i` used in Step 2 of the approximate
+//! algorithms.
+//!
+//! Given the tuples a process collected in a round (its `B_i[t]`), Step 2 of
+//! the asynchronous algorithm adds to `Z_i` one deterministically chosen point
+//! of `Γ(Φ(C))` for certain `(n−f)`-sized subsets `C ⊆ B_i[t]`, and the new
+//! state is the average of `Z_i` (equation (9)).  Two subset-selection rules
+//! appear in the paper:
+//!
+//! * the **full rule** (Section 3.2): every `C ⊆ B_i[t]` with `|C| = n − f`,
+//!   giving `|Z_i| = C(|B_i|, n−f)`;
+//! * the **witness-optimised rule** (Appendix F): only the `≤ n` subsets
+//!   advertised by this process's witnesses, giving `|Z_i| ≤ n` and improving
+//!   the contraction constant to `γ = 1/n²`.
+//!
+//! Both rules are provided here and shared by the AAD-based algorithm
+//! ([`crate::approx`]) and the restricted-round algorithms
+//! ([`crate::restricted`]).
+
+use bvc_geometry::combinatorics::combinations;
+use bvc_geometry::{Point, PointMultiset, SafeArea};
+
+/// Builds `Z_i` with the full rule: one `Γ` point per `(n−f)`-subset of
+/// `entries`.
+///
+/// `entries` are the values of the tuples in `B_i[t]` (order irrelevant);
+/// `quorum` is `n − f` and `f` the fault bound used inside `Γ`.
+/// Subsets whose `Γ` is empty (possible only when `quorum < (d+1)f + 1`,
+/// i.e. below the resilience bound) are skipped.
+///
+/// # Panics
+///
+/// Panics if `entries.len() < quorum` or `quorum == 0`.
+pub fn build_zi_full(entries: &[Point], quorum: usize, f: usize) -> Vec<Point> {
+    assert!(quorum > 0, "quorum must be positive");
+    assert!(
+        entries.len() >= quorum,
+        "need at least {quorum} entries, got {}",
+        entries.len()
+    );
+    let mut zi = Vec::new();
+    for subset in combinations(entries.len(), quorum) {
+        let points: Vec<Point> = subset.iter().map(|&i| entries[i].clone()).collect();
+        let safe = SafeArea::new(PointMultiset::new(points), f);
+        if let Some(point) = safe.find_point() {
+            zi.push(point);
+        }
+    }
+    zi
+}
+
+/// Builds `Z_i` with the witness-optimised rule: one `Γ` point per witness-
+/// advertised subset (each subset is a list of tuple values of size `n − f`).
+///
+/// Subsets whose `Γ` is empty are skipped (they cannot arise for parameters
+/// meeting the paper's bounds).
+pub fn build_zi_witness(witness_sets: &[Vec<Point>], f: usize) -> Vec<Point> {
+    let mut zi = Vec::new();
+    for set in witness_sets {
+        if set.is_empty() {
+            continue;
+        }
+        let safe = SafeArea::new(PointMultiset::new(set.clone()), f);
+        if let Some(point) = safe.find_point() {
+            zi.push(point);
+        }
+    }
+    zi
+}
+
+/// The state-update rule of equation (9): the average of the points of `Z_i`.
+///
+/// # Panics
+///
+/// Panics if `zi` is empty.
+pub fn average_state(zi: &[Point]) -> Point {
+    assert!(!zi.is_empty(), "Z_i must be non-empty to compute the new state");
+    Point::centroid(zi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvc_geometry::ConvexHull;
+
+    fn pts(vals: &[f64]) -> Vec<Point> {
+        vals.iter().map(|&v| Point::new(vec![v])).collect()
+    }
+
+    #[test]
+    fn full_rule_produces_binomial_many_points() {
+        // 4 entries, quorum 3, f = 1 (d = 1 so quorum ≥ (d+1)f+1 = 3 holds).
+        let zi = build_zi_full(&pts(&[0.0, 1.0, 2.0, 10.0]), 3, 1);
+        assert_eq!(zi.len(), 4); // C(4,3)
+    }
+
+    #[test]
+    fn full_rule_points_lie_in_the_entry_hull() {
+        let entries = pts(&[0.0, 1.0, 2.0, 10.0]);
+        let hull = ConvexHull::new(PointMultiset::new(entries.clone()));
+        for z in build_zi_full(&entries, 3, 1) {
+            assert!(hull.contains(&z));
+        }
+    }
+
+    #[test]
+    fn witness_rule_produces_one_point_per_set() {
+        let sets = vec![pts(&[0.0, 1.0, 2.0]), pts(&[1.0, 2.0, 3.0])];
+        let zi = build_zi_witness(&sets, 1);
+        assert_eq!(zi.len(), 2);
+    }
+
+    #[test]
+    fn witness_rule_skips_empty_sets() {
+        let sets = vec![Vec::new(), pts(&[0.0, 1.0, 2.0])];
+        let zi = build_zi_witness(&sets, 1);
+        assert_eq!(zi.len(), 1);
+    }
+
+    #[test]
+    fn gamma_points_are_robust_to_one_outlier() {
+        // With f = 1 and three honest-looking values near 1 plus one huge
+        // outlier, every Γ point must stay within the range spanned by at
+        // least n − 2f = 2 honest values — in particular far below the
+        // outlier.
+        let entries = pts(&[0.9, 1.0, 1.1, 1000.0]);
+        for z in build_zi_full(&entries, 3, 1) {
+            assert!(z.coord(0) <= 1.1 + 1e-6, "Γ point dragged by the outlier: {z}");
+        }
+    }
+
+    #[test]
+    fn average_state_is_the_centroid() {
+        let avg = average_state(&pts(&[0.0, 1.0, 2.0]));
+        assert!((avg.coord(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn average_of_empty_zi_panics() {
+        let _ = average_state(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn full_rule_with_too_few_entries_panics() {
+        let _ = build_zi_full(&pts(&[0.0]), 2, 1);
+    }
+
+    #[test]
+    fn two_dimensional_subsets_work() {
+        // d = 2, f = 1, quorum 4 (≥ (d+1)f+1 = 4).
+        let entries = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+            Point::new(vec![1.0, 1.0]),
+            Point::new(vec![5.0, 5.0]),
+        ];
+        let zi = build_zi_full(&entries, 4, 1);
+        assert_eq!(zi.len(), 5); // C(5,4)
+        let hull = ConvexHull::new(PointMultiset::new(entries));
+        assert!(zi.iter().all(|z| hull.contains(z)));
+    }
+}

@@ -1,0 +1,331 @@
+//! The safe-area operator `Γ(Y)` (equation (1) of the paper).
+//!
+//! For a multiset `Y` of points in `R^d` and a fault bound `f`,
+//!
+//! ```text
+//! Γ(Y) = ∩_{T ⊆ Y, |T| = |Y| − f}  H(T)
+//! ```
+//!
+//! is the intersection of the convex hulls of all sub-multisets obtained by
+//! removing `f` members.  Lemma 1 of the paper shows that `Γ(Y) ≠ ∅` whenever
+//! `|Y| ≥ (d+1)f + 1` (a corollary of Tverberg's theorem), and both the exact
+//! and approximate BVC algorithms pick their decision/update points inside
+//! `Γ` of suitable multisets.
+//!
+//! This module provides membership tests, emptiness checks, and the
+//! deterministic point-selection rule shared by all non-faulty processes.  It
+//! also exposes [`lp_size`], the size of the single "joint" linear program of
+//! Section 2.2, which experiment E7 compares against the paper's formula.
+
+use crate::combinatorics::{binomial, combinations};
+use crate::hull::ConvexHull;
+use crate::multiset::PointMultiset;
+use crate::point::Point;
+
+/// The safe area `Γ(Y)` for a multiset `Y` and fault bound `f`, represented
+/// implicitly by its defining hulls.
+#[derive(Debug, Clone)]
+pub struct SafeArea {
+    source: PointMultiset,
+    f: usize,
+    hulls: Vec<ConvexHull>,
+}
+
+impl SafeArea {
+    /// Builds `Γ(Y)` for the multiset `y` tolerating `f` removals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= y.len()` (there must be at least one remaining member).
+    pub fn new(y: PointMultiset, f: usize) -> Self {
+        assert!(
+            f < y.len(),
+            "fault bound f = {f} must be smaller than |Y| = {}",
+            y.len()
+        );
+        let subset_size = y.len() - f;
+        let hulls = y
+            .subsets_of_size(subset_size)
+            .into_iter()
+            .map(ConvexHull::new)
+            .collect();
+        Self { source: y, f, hulls }
+    }
+
+    /// The source multiset `Y`.
+    pub fn source(&self) -> &PointMultiset {
+        &self.source
+    }
+
+    /// The fault bound `f`.
+    pub fn fault_bound(&self) -> usize {
+        self.f
+    }
+
+    /// The defining hulls `H(T)`, one per `(|Y|−f)`-subset `T`.
+    pub fn hulls(&self) -> &[ConvexHull] {
+        &self.hulls
+    }
+
+    /// Returns `true` if `point` lies in `Γ(Y)`, i.e. in every defining hull.
+    pub fn contains(&self, point: &Point) -> bool {
+        self.hulls.iter().all(|h| h.contains(point))
+    }
+
+    /// Returns a deterministically chosen point of `Γ(Y)`, or `None` when the
+    /// safe area is empty.
+    ///
+    /// The point is produced by the joint linear program of Section 2.2
+    /// (variables `z ∈ R^d` plus convex-combination coefficients per subset),
+    /// solved by the deterministic simplex pivoting rule, so every caller that
+    /// supplies the same multiset obtains the same point — which is exactly
+    /// the "deterministic function" the Exact BVC algorithm requires in
+    /// Step 2.
+    pub fn find_point(&self) -> Option<Point> {
+        ConvexHull::common_point(&self.hulls)
+    }
+
+    /// Returns `true` if `Γ(Y)` is empty.
+    pub fn is_empty_region(&self) -> bool {
+        self.find_point().is_none()
+    }
+
+    /// Lemma 1 precondition: `|Y| ≥ (d+1)f + 1` guarantees `Γ(Y) ≠ ∅`.
+    pub fn lemma1_applies(&self) -> bool {
+        self.source.len() >= (self.source.dim() + 1) * self.f + 1
+    }
+}
+
+/// Convenience wrapper: a deterministically chosen point of `Γ(y)` with fault
+/// bound `f`, or `None` if the safe area is empty.
+///
+/// # Panics
+///
+/// Panics if `f >= y.len()`.
+pub fn gamma_point(y: &PointMultiset, f: usize) -> Option<Point> {
+    SafeArea::new(y.clone(), f).find_point()
+}
+
+/// Returns `true` if `point ∈ Γ(y)` with fault bound `f`.
+///
+/// # Panics
+///
+/// Panics if `f >= y.len()`.
+pub fn gamma_contains(y: &PointMultiset, f: usize, point: &Point) -> bool {
+    SafeArea::new(y.clone(), f).contains(point)
+}
+
+/// Returns `true` if `Γ(y)` is empty for fault bound `f`.
+///
+/// # Panics
+///
+/// Panics if `f >= y.len()`.
+pub fn gamma_is_empty(y: &PointMultiset, f: usize) -> bool {
+    SafeArea::new(y.clone(), f).is_empty_region()
+}
+
+/// A deterministically chosen common point of the hulls of the *given*
+/// sub-multisets of `y` (identified by index lists), or `None` if they do not
+/// intersect.
+///
+/// This is the primitive behind the witness-optimised Step 2 of the
+/// asynchronous algorithm (Appendix F): instead of intersecting the hulls of
+/// *all* `(n−f)`-subsets, only the subsets advertised by witnesses are used.
+///
+/// # Panics
+///
+/// Panics if `subsets` is empty or any index list is empty/out of range.
+pub fn common_point_of_subsets(y: &PointMultiset, subsets: &[Vec<usize>]) -> Option<Point> {
+    assert!(!subsets.is_empty(), "need at least one subset");
+    let hulls: Vec<ConvexHull> = subsets
+        .iter()
+        .map(|idx| ConvexHull::new(y.select(idx)))
+        .collect();
+    ConvexHull::common_point(&hulls)
+}
+
+/// The intersection `∩_i H(Y − {i})` of the *leave-one-out* hulls of `y`
+/// (used by the necessity argument of Theorem 1, equation (16) in Appendix C):
+/// returns a point of the intersection, or `None` when it is empty.
+pub fn leave_one_out_intersection(y: &PointMultiset) -> Option<Point> {
+    let n = y.len();
+    assert!(n >= 2, "leave-one-out intersection needs at least two points");
+    let all: Vec<usize> = (0..n).collect();
+    let subsets: Vec<Vec<usize>> = (0..n)
+        .map(|drop| all.iter().copied().filter(|&i| i != drop).collect())
+        .collect();
+    common_point_of_subsets(y, &subsets)
+}
+
+/// Size of the joint linear program of Section 2.2 for parameters
+/// `(n, f, d)`: returns `(variables, constraints)` where
+/// `variables = d + C(n, n−f)·(n−f)` and
+/// `constraints = C(n, n−f)·(d + 1 + n − f)`.
+///
+/// Saturates at `u128::MAX` for out-of-range parameters.
+pub fn lp_size(n: usize, f: usize, d: usize) -> (u128, u128) {
+    assert!(f < n, "f must be smaller than n");
+    let subsets = binomial(n, n - f);
+    let vars = (d as u128).saturating_add(subsets.saturating_mul((n - f) as u128));
+    let cons = subsets.saturating_mul((d + 1 + n - f) as u128);
+    (vars, cons)
+}
+
+/// Enumerates the index sets of all `(|y|−f)`-subsets of `y`, in the canonical
+/// (lexicographic) order used by [`SafeArea`].
+pub fn gamma_subset_indices(len: usize, f: usize) -> Vec<Vec<usize>> {
+    assert!(f < len, "fault bound must be smaller than the multiset size");
+    combinations(len, len - f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[&[f64]]) -> PointMultiset {
+        PointMultiset::new(coords.iter().map(|c| Point::new(c.to_vec())).collect())
+    }
+
+    #[test]
+    fn gamma_with_f_zero_is_the_full_hull() {
+        let y = pts(&[&[0.0, 0.0], &[2.0, 0.0], &[0.0, 2.0]]);
+        let area = SafeArea::new(y, 0);
+        assert_eq!(area.hulls().len(), 1);
+        assert!(area.contains(&Point::new(vec![0.5, 0.5])));
+        assert!(!area.contains(&Point::new(vec![2.0, 2.0])));
+    }
+
+    #[test]
+    fn gamma_scalar_case_is_trimmed_interval() {
+        // d = 1, f = 1, Y = {0, 1, 2, 3, 10}. Γ is the intersection of hulls of
+        // all 4-subsets = [1, 3]: dropping the largest still leaves [0,3];
+        // dropping the smallest leaves [1,10]; intersection [1,3].
+        let y = pts(&[&[0.0], &[1.0], &[2.0], &[3.0], &[10.0]]);
+        let area = SafeArea::new(y, 1);
+        assert!(area.contains(&Point::new(vec![1.0])));
+        assert!(area.contains(&Point::new(vec![2.5])));
+        assert!(area.contains(&Point::new(vec![3.0])));
+        assert!(!area.contains(&Point::new(vec![0.5])));
+        assert!(!area.contains(&Point::new(vec![3.5])));
+        let p = area.find_point().expect("non-empty by Lemma 1");
+        assert!(p.coord(0) >= 1.0 - 1e-6 && p.coord(0) <= 3.0 + 1e-6);
+    }
+
+    #[test]
+    fn lemma1_guarantees_nonempty_gamma_in_2d() {
+        // d = 2, f = 1, need |Y| ≥ 4. Use 4 generic points.
+        let y = pts(&[&[0.0, 0.0], &[4.0, 0.0], &[0.0, 4.0], &[4.0, 4.0]]);
+        let area = SafeArea::new(y, 1);
+        assert!(area.lemma1_applies());
+        let p = area.find_point().expect("Lemma 1");
+        assert!(area.contains(&p));
+    }
+
+    #[test]
+    fn lemma1_guarantees_nonempty_gamma_for_f_two() {
+        // d = 2, f = 2, need |Y| ≥ 7: regular heptagon (the Figure 1 setup).
+        let y = heptagon();
+        let area = SafeArea::new(y, 2);
+        assert!(area.lemma1_applies());
+        let p = area.find_point().expect("Lemma 1 for the heptagon");
+        assert!(area.contains(&p));
+    }
+
+    fn heptagon() -> PointMultiset {
+        let pts: Vec<Point> = (0..7)
+            .map(|k| {
+                let theta = 2.0 * std::f64::consts::PI * k as f64 / 7.0;
+                Point::new(vec![theta.cos(), theta.sin()])
+            })
+            .collect();
+        PointMultiset::new(pts)
+    }
+
+    #[test]
+    fn gamma_can_be_empty_below_lemma1_threshold() {
+        // Theorem 1's construction: d = 2, the standard basis plus the origin
+        // gives |Y| = d + 1 = 3 points. With f = 1, the leave-one-out hulls
+        // have empty intersection, and so does Γ (|T| = 2 here).
+        let y = pts(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]);
+        assert!(gamma_is_empty(&y, 1));
+        assert!(leave_one_out_intersection(&y).is_none());
+    }
+
+    #[test]
+    fn leave_one_out_intersection_nonempty_with_enough_points() {
+        // d = 2, n = 4 = d + 2: Theorem 1 says n ≥ d+2 is needed for f = 1;
+        // with the basis vectors plus two interior points the intersection is
+        // non-empty for this particular input set.
+        let y = pts(&[&[1.0, 0.0], &[0.0, 1.0], &[0.3, 0.3], &[0.4, 0.2]]);
+        let p = leave_one_out_intersection(&y);
+        assert!(p.is_some());
+    }
+
+    #[test]
+    fn gamma_point_is_deterministic() {
+        let y = pts(&[&[0.0, 0.0], &[4.0, 0.0], &[0.0, 4.0], &[4.0, 4.0], &[2.0, 2.0]]);
+        let p1 = gamma_point(&y, 1).unwrap();
+        let p2 = gamma_point(&y, 1).unwrap();
+        assert!(p1.approx_eq(&p2, 1e-12));
+    }
+
+    #[test]
+    fn gamma_point_lies_in_hull_of_every_subset() {
+        let y = pts(&[&[0.0, 0.0], &[4.0, 0.0], &[0.0, 4.0], &[4.0, 4.0], &[2.0, 2.0]]);
+        let area = SafeArea::new(y, 1);
+        let p = area.find_point().unwrap();
+        for hull in area.hulls() {
+            assert!(hull.contains(&p));
+        }
+    }
+
+    #[test]
+    fn gamma_contains_helper_agrees_with_safe_area() {
+        let y = pts(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        assert!(gamma_contains(&y, 1, &Point::new(vec![1.5])));
+        assert!(!gamma_contains(&y, 1, &Point::new(vec![0.1])));
+    }
+
+    #[test]
+    fn common_point_of_selected_subsets() {
+        let y = pts(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0]]);
+        // Two overlapping subsets: {0,1,2} (hull [0,2]) and {2,3,4} (hull [2,4]).
+        let p = common_point_of_subsets(&y, &[vec![0, 1, 2], vec![2, 3, 4]]).unwrap();
+        assert!((p.coord(0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_size_matches_paper_formula() {
+        // n = 4, f = 1, d = 3: C(4,3) = 4 subsets,
+        // vars = 3 + 4*3 = 15, constraints = 4*(3+1+3) = 28.
+        assert_eq!(lp_size(4, 1, 3), (15, 28));
+        // n = 7, f = 2, d = 2: C(7,5) = 21, vars = 2 + 21*5 = 107,
+        // constraints = 21*(2+1+5) = 168.
+        assert_eq!(lp_size(7, 2, 2), (107, 168));
+    }
+
+    #[test]
+    fn gamma_subset_indices_counts() {
+        assert_eq!(gamma_subset_indices(5, 1).len(), 5);
+        assert_eq!(gamma_subset_indices(7, 2).len(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than")]
+    fn fault_bound_too_large_panics() {
+        let y = pts(&[&[0.0], &[1.0]]);
+        let _ = SafeArea::new(y, 2);
+    }
+
+    #[test]
+    fn duplicate_points_respect_multiplicity() {
+        // Y = {0, 0, 5}, f = 1: subsets of size 2 are {0,0}, {0,5}, {0,5};
+        // Γ = {0} ∩ [0,5] ∩ [0,5] = {0}.
+        let y = pts(&[&[0.0], &[0.0], &[5.0]]);
+        let area = SafeArea::new(y, 1);
+        assert!(area.contains(&Point::new(vec![0.0])));
+        assert!(!area.contains(&Point::new(vec![1.0])));
+        let p = area.find_point().unwrap();
+        assert!(p.coord(0).abs() < 1e-6);
+    }
+}

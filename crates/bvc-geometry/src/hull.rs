@@ -1,0 +1,285 @@
+//! Convex hulls of point multisets, represented implicitly.
+//!
+//! The consensus algorithms never need an explicit facet representation of a
+//! convex hull; they only need to answer two questions about `H(T)`, the hull
+//! of a multiset `T`:
+//!
+//! 1. *membership*: is a given point `p` inside `H(T)`?
+//! 2. *witness*: exhibit convex-combination weights showing `p ∈ H(T)`.
+//!
+//! Both reduce to a small linear-programming feasibility problem (find
+//! `α ≥ 0`, `Σα = 1`, `Σ α_i t_i = p`), which is how Section 2.2 of the paper
+//! treats them.  This module also provides the common-point query used by the
+//! Tverberg search: a single LP that decides whether several hulls share a
+//! point and, if so, produces one.
+
+use crate::multiset::PointMultiset;
+use crate::point::Point;
+use bvc_lp::{LinearProgram, Objective, Relation, SolveStatus};
+
+/// Tolerance used when verifying convex-combination witnesses.
+pub const HULL_TOLERANCE: f64 = 1e-6;
+
+/// A convex hull `H(T)` of a multiset of points, represented implicitly by its
+/// generating points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexHull {
+    generators: PointMultiset,
+}
+
+impl ConvexHull {
+    /// Creates the hull of the given generating multiset.
+    pub fn new(generators: PointMultiset) -> Self {
+        Self { generators }
+    }
+
+    /// The generating points.
+    pub fn generators(&self) -> &PointMultiset {
+        &self.generators
+    }
+
+    /// The ambient dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.generators.dim()
+    }
+
+    /// Returns `true` if `point` lies in this hull (within LP tolerance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.dim()` differs from the hull's dimension.
+    pub fn contains(&self, point: &Point) -> bool {
+        self.convex_combination(point).is_some()
+    }
+
+    /// Returns convex-combination weights `α` over the generators such that
+    /// `Σ α_i g_i = point`, or `None` if `point` is outside the hull.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.dim()` differs from the hull's dimension.
+    pub fn convex_combination(&self, point: &Point) -> Option<Vec<f64>> {
+        assert_eq!(
+            point.dim(),
+            self.dim(),
+            "query point dimension must match the hull dimension"
+        );
+        let k = self.generators.len();
+        let d = self.dim();
+        // Variables: α_0 .. α_{k-1} ≥ 0.
+        let mut lp = LinearProgram::new(k, Objective::Minimize);
+        // Σ α_i = 1
+        lp.add_constraint(vec![1.0; k], Relation::Equal, 1.0);
+        // For each coordinate l: Σ α_i g_i[l] = point[l]
+        for l in 0..d {
+            let coeffs: Vec<f64> = self.generators.iter().map(|g| g.coord(l)).collect();
+            lp.add_constraint(coeffs, Relation::Equal, point.coord(l));
+        }
+        let solution = lp.solve();
+        if solution.status != SolveStatus::Optimal {
+            return None;
+        }
+        let weights: Vec<f64> = solution.values.iter().map(|&w| w.max(0.0)).collect();
+        // Double-check the witness numerically before handing it out.
+        let reconstructed = Point::convex_combination(self.generators.points(), &normalise(&weights));
+        if reconstructed.approx_eq(point, HULL_TOLERANCE) {
+            Some(normalise(&weights))
+        } else {
+            None
+        }
+    }
+
+    /// Returns a point common to all the given hulls, if one exists.
+    ///
+    /// This solves a single LP with a free point variable `z ∈ R^d` and one
+    /// block of convex-combination variables per hull, mirroring the linear
+    /// program of Section 2.2 of the paper (there the hulls are the
+    /// `H(T)` for all `(n−f)`-subsets `T`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hulls` is empty or the hulls disagree on dimension.
+    pub fn common_point(hulls: &[ConvexHull]) -> Option<Point> {
+        assert!(!hulls.is_empty(), "need at least one hull");
+        let d = hulls[0].dim();
+        assert!(
+            hulls.iter().all(|h| h.dim() == d),
+            "all hulls must share a dimension"
+        );
+        // Variable layout: z_0..z_{d-1} free, then per hull a block of α's.
+        let total_alpha: usize = hulls.iter().map(|h| h.generators.len()).sum();
+        let num_vars = d + total_alpha;
+        let mut lp = LinearProgram::new(num_vars, Objective::Minimize);
+        for zi in 0..d {
+            lp.mark_free(zi);
+        }
+        let mut offset = d;
+        for hull in hulls {
+            let k = hull.generators.len();
+            // Σ α = 1 for this hull.
+            let mut row = vec![0.0; num_vars];
+            for a in 0..k {
+                row[offset + a] = 1.0;
+            }
+            lp.add_constraint(row, Relation::Equal, 1.0);
+            // z - Σ α_i g_i = 0 per coordinate.
+            for l in 0..d {
+                let mut row = vec![0.0; num_vars];
+                row[l] = 1.0;
+                for (a, g) in hull.generators.iter().enumerate() {
+                    row[offset + a] = -g.coord(l);
+                }
+                lp.add_constraint(row, Relation::Equal, 0.0);
+            }
+            offset += k;
+        }
+        let solution = lp.solve();
+        if solution.status != SolveStatus::Optimal {
+            return None;
+        }
+        let z = Point::new(solution.values[..d].to_vec());
+        // Verify the candidate against every hull with an independent
+        // membership query; the combined LP can in rare cases report a point
+        // whose per-hull witnesses are slightly off numerically.
+        if hulls.iter().all(|h| h.contains(&z)) {
+            Some(z)
+        } else {
+            None
+        }
+    }
+}
+
+fn normalise(weights: &[f64]) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return weights.to_vec();
+    }
+    weights.iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> ConvexHull {
+        ConvexHull::new(PointMultiset::new(vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![2.0, 0.0]),
+            Point::new(vec![0.0, 2.0]),
+        ]))
+    }
+
+    #[test]
+    fn vertices_and_interior_are_inside() {
+        let hull = triangle();
+        assert!(hull.contains(&Point::new(vec![0.0, 0.0])));
+        assert!(hull.contains(&Point::new(vec![2.0, 0.0])));
+        assert!(hull.contains(&Point::new(vec![0.5, 0.5])));
+        assert!(hull.contains(&Point::new(vec![1.0, 1.0]))); // on the hypotenuse
+    }
+
+    #[test]
+    fn outside_points_are_rejected() {
+        let hull = triangle();
+        assert!(!hull.contains(&Point::new(vec![1.5, 1.5])));
+        assert!(!hull.contains(&Point::new(vec![-0.1, 0.0])));
+        assert!(!hull.contains(&Point::new(vec![3.0, 0.0])));
+    }
+
+    #[test]
+    fn convex_combination_witness_reconstructs_the_point() {
+        let hull = triangle();
+        let p = Point::new(vec![0.4, 0.6]);
+        let weights = hull.convex_combination(&p).expect("p is inside");
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(weights.iter().all(|&w| w >= 0.0));
+        let rebuilt = Point::convex_combination(hull.generators().points(), &weights);
+        assert!(rebuilt.approx_eq(&p, 1e-6));
+    }
+
+    #[test]
+    fn degenerate_hull_of_single_point() {
+        let hull = ConvexHull::new(PointMultiset::new(vec![Point::new(vec![1.0, 2.0, 3.0])]));
+        assert!(hull.contains(&Point::new(vec![1.0, 2.0, 3.0])));
+        assert!(!hull.contains(&Point::new(vec![1.0, 2.0, 3.1])));
+    }
+
+    #[test]
+    fn segment_hull_in_three_dimensions() {
+        let hull = ConvexHull::new(PointMultiset::new(vec![
+            Point::new(vec![0.0, 0.0, 0.0]),
+            Point::new(vec![2.0, 2.0, 2.0]),
+        ]));
+        assert!(hull.contains(&Point::new(vec![1.0, 1.0, 1.0])));
+        assert!(!hull.contains(&Point::new(vec![1.0, 1.0, 1.2])));
+    }
+
+    #[test]
+    fn duplicate_generators_do_not_confuse_membership() {
+        let hull = ConvexHull::new(PointMultiset::new(vec![
+            Point::new(vec![0.0]),
+            Point::new(vec![0.0]),
+            Point::new(vec![1.0]),
+        ]));
+        assert!(hull.contains(&Point::new(vec![0.5])));
+        assert!(!hull.contains(&Point::new(vec![1.5])));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must match")]
+    fn dimension_mismatch_panics() {
+        let hull = triangle();
+        let _ = hull.contains(&Point::new(vec![0.0]));
+    }
+
+    #[test]
+    fn common_point_of_overlapping_segments() {
+        let h1 = ConvexHull::new(PointMultiset::new(vec![
+            Point::new(vec![0.0]),
+            Point::new(vec![2.0]),
+        ]));
+        let h2 = ConvexHull::new(PointMultiset::new(vec![
+            Point::new(vec![1.0]),
+            Point::new(vec![3.0]),
+        ]));
+        let p = ConvexHull::common_point(&[h1.clone(), h2.clone()]).expect("they overlap");
+        assert!(h1.contains(&p) && h2.contains(&p));
+        assert!(p.coord(0) >= 1.0 - 1e-6 && p.coord(0) <= 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn common_point_absent_for_disjoint_hulls() {
+        let h1 = ConvexHull::new(PointMultiset::new(vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+        ]));
+        let h2 = ConvexHull::new(PointMultiset::new(vec![
+            Point::new(vec![3.0, 3.0]),
+            Point::new(vec![4.0, 3.0]),
+        ]));
+        assert!(ConvexHull::common_point(&[h1, h2]).is_none());
+    }
+
+    #[test]
+    fn common_point_of_three_triangles_sharing_centre() {
+        // Three triangles around the origin that all contain the origin.
+        let mk = |pts: Vec<Vec<f64>>| {
+            ConvexHull::new(PointMultiset::new(
+                pts.into_iter().map(Point::new).collect(),
+            ))
+        };
+        let h1 = mk(vec![vec![-1.0, -1.0], vec![2.0, 0.0], vec![0.0, 2.0]]);
+        let h2 = mk(vec![vec![1.0, 1.0], vec![-2.0, 0.0], vec![0.0, -2.0]]);
+        let h3 = mk(vec![vec![0.0, 1.5], vec![1.5, -1.0], vec![-1.5, -1.0]]);
+        let p = ConvexHull::common_point(&[h1.clone(), h2.clone(), h3.clone()])
+            .expect("all contain a neighbourhood of the origin");
+        assert!(h1.contains(&p) && h2.contains(&p) && h3.contains(&p));
+    }
+
+    #[test]
+    fn common_point_single_hull_returns_member() {
+        let hull = triangle();
+        let p = ConvexHull::common_point(std::slice::from_ref(&hull)).unwrap();
+        assert!(hull.contains(&p));
+    }
+}

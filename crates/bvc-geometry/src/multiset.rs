@@ -1,0 +1,289 @@
+//! Multisets of points.
+//!
+//! The paper is careful to work with **multisets** rather than sets (Appendix
+//! B): two processes may hold identical state, so the collection of inputs or
+//! states of a subset of processes may contain repeated points.
+//! [`PointMultiset`] preserves multiplicity and the positional identity of its
+//! members, which is exactly the notion of "subset of a multiset" the paper
+//! defines (a subset of the index set).
+
+use crate::combinatorics::combinations;
+use crate::point::Point;
+
+/// A multiset of points in `R^d`, all with the same dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointMultiset {
+    dim: usize,
+    points: Vec<Point>,
+}
+
+impl PointMultiset {
+    /// Creates a multiset from a list of points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or the points do not share a dimension.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "a point multiset must be non-empty");
+        let dim = points[0].dim();
+        assert!(
+            points.iter().all(|p| p.dim() == dim),
+            "all points in a multiset must share a dimension"
+        );
+        Self { dim, points }
+    }
+
+    /// The common dimension of the points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The number of members, counting multiplicity (the paper's `|Y|`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: the constructor rejects empty multisets.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Borrows the member points in index order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The member at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn point(&self, i: usize) -> &Point {
+        &self.points[i]
+    }
+
+    /// Iterates over the member points.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point> {
+        self.points.iter()
+    }
+
+    /// Consumes the multiset, returning its points.
+    pub fn into_points(self) -> Vec<Point> {
+        self.points
+    }
+
+    /// The sub-multiset picked out by `indices` (the paper's notion of a
+    /// multiset subset via a subset of the index set `N_Y`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn select(&self, indices: &[usize]) -> PointMultiset {
+        assert!(!indices.is_empty(), "cannot select an empty sub-multiset");
+        let points = indices
+            .iter()
+            .map(|&i| {
+                assert!(i < self.points.len(), "index {i} out of range");
+                self.points[i].clone()
+            })
+            .collect();
+        PointMultiset::new(points)
+    }
+
+    /// All sub-multisets of size `k`, in lexicographic order of their index
+    /// sets.  This enumerates the sets `T ⊆ Y, |T| = k` used by the safe-area
+    /// operator `Γ` (equation (1) in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > self.len()`.
+    pub fn subsets_of_size(&self, k: usize) -> Vec<PointMultiset> {
+        assert!(k > 0 && k <= self.len(), "subset size {k} out of range");
+        combinations(self.len(), k)
+            .into_iter()
+            .map(|idx| self.select(&idx))
+            .collect()
+    }
+
+    /// Splits the multiset into the parts named by `index_partition`, which
+    /// must be a partition of `0..len()` (the paper's multiset partition,
+    /// Appendix B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index lists do not form a partition of `0..len()` or any
+    /// part is empty.
+    pub fn partition(&self, index_partition: &[Vec<usize>]) -> Vec<PointMultiset> {
+        let mut seen = vec![false; self.len()];
+        for part in index_partition {
+            assert!(!part.is_empty(), "partition parts must be non-empty");
+            for &i in part {
+                assert!(i < self.len(), "index {i} out of range");
+                assert!(!seen[i], "index {i} appears in two parts");
+                seen[i] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "partition must cover every index of the multiset"
+        );
+        index_partition.iter().map(|part| self.select(part)).collect()
+    }
+
+    /// Per-coordinate minimum over the members: the vector `(µ_1, …, µ_d)`.
+    pub fn coordinate_min(&self) -> Point {
+        let mut coords = vec![f64::INFINITY; self.dim];
+        for p in &self.points {
+            for (c, v) in coords.iter_mut().zip(p.coords()) {
+                *c = c.min(*v);
+            }
+        }
+        Point::new(coords)
+    }
+
+    /// Per-coordinate maximum over the members: the vector `(Ω_1, …, Ω_d)`.
+    pub fn coordinate_max(&self) -> Point {
+        let mut coords = vec![f64::NEG_INFINITY; self.dim];
+        for p in &self.points {
+            for (c, v) in coords.iter_mut().zip(p.coords()) {
+                *c = c.max(*v);
+            }
+        }
+        Point::new(coords)
+    }
+
+    /// The largest per-coordinate range `max_l (Ω_l − µ_l)`: the paper's
+    /// `max_l ρ_l[t]`, used to measure convergence of the approximate
+    /// algorithms.
+    pub fn coordinate_range(&self) -> f64 {
+        let lo = self.coordinate_min();
+        let hi = self.coordinate_max();
+        lo.coords()
+            .iter()
+            .zip(hi.coords())
+            .map(|(a, b)| b - a)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl FromIterator<Point> for PointMultiset {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for PointMultiset {
+    type Item = Point;
+    type IntoIter = std::vec::IntoIter<Point>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PointMultiset {
+    type Item = &'a Point;
+    type IntoIter = std::slice::Iter<'a, Point>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointMultiset {
+        PointMultiset::new(vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+            Point::new(vec![1.0, 0.0]), // duplicate member: multiplicity matters
+        ])
+    }
+
+    #[test]
+    fn construction_preserves_multiplicity() {
+        let ms = sample();
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms.dim(), 2);
+        assert_eq!(ms.point(1), ms.point(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_multiset_panics() {
+        let _ = PointMultiset::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn mixed_dimensions_panic() {
+        let _ = PointMultiset::new(vec![Point::new(vec![0.0]), Point::new(vec![0.0, 1.0])]);
+    }
+
+    #[test]
+    fn select_preserves_order_and_duplicates() {
+        let ms = sample();
+        let sub = ms.select(&[3, 1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.point(0), sub.point(1));
+    }
+
+    #[test]
+    fn subsets_of_size_counts_match_binomial() {
+        let ms = sample();
+        assert_eq!(ms.subsets_of_size(2).len(), 6);
+        assert_eq!(ms.subsets_of_size(4).len(), 1);
+        assert_eq!(ms.subsets_of_size(1).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_subset_panics() {
+        let ms = sample();
+        let _ = ms.subsets_of_size(5);
+    }
+
+    #[test]
+    fn partition_into_parts() {
+        let ms = sample();
+        let parts = ms.partition(&[vec![0, 2], vec![1], vec![3]]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 2);
+        assert_eq!(parts[1].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every index")]
+    fn incomplete_partition_panics() {
+        let ms = sample();
+        let _ = ms.partition(&[vec![0], vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two parts")]
+    fn overlapping_partition_panics() {
+        let ms = sample();
+        let _ = ms.partition(&[vec![0, 1], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn coordinate_extrema_and_range() {
+        let ms = sample();
+        assert_eq!(ms.coordinate_min().coords(), &[0.0, 0.0]);
+        assert_eq!(ms.coordinate_max().coords(), &[1.0, 1.0]);
+        assert_eq!(ms.coordinate_range(), 1.0);
+    }
+
+    #[test]
+    fn from_iterator_and_into_iterator() {
+        let ms: PointMultiset = (0..3).map(|i| Point::new(vec![i as f64])).collect();
+        assert_eq!(ms.len(), 3);
+        let back: Vec<Point> = ms.clone().into_iter().collect();
+        assert_eq!(back.len(), 3);
+        let borrowed: Vec<&Point> = (&ms).into_iter().collect();
+        assert_eq!(borrowed.len(), 3);
+    }
+}

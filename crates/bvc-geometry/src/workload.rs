@@ -1,0 +1,170 @@
+//! Randomised input-vector workloads for tests, experiments and benchmarks.
+//!
+//! The paper motivates vector consensus with inputs that are points of a
+//! convex feasible set — probability vectors (distributed optimisation /
+//! Byzantine ML) and robot positions in a bounded region are the two examples
+//! given in Section 1 and Section 3.2.  This module generates both families,
+//! plus generic box-bounded inputs, from a seeded RNG so that every experiment
+//! is reproducible.
+
+use crate::multiset::PointMultiset;
+use crate::point::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible generator of input-vector workloads.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    rng: StdRng,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator from a seed; equal seeds produce equal workloads.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `count` points drawn uniformly from the axis-aligned box
+    /// `[lo, hi]^dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `count == 0` or `lo > hi`.
+    pub fn box_points(&mut self, count: usize, dim: usize, lo: f64, hi: f64) -> PointMultiset {
+        assert!(dim > 0 && count > 0, "count and dim must be positive");
+        assert!(lo <= hi, "lo must not exceed hi");
+        let points = (0..count)
+            .map(|_| {
+                Point::new(
+                    (0..dim)
+                        .map(|_| self.rng.gen_range(lo..=hi))
+                        .collect::<Vec<f64>>(),
+                )
+            })
+            .collect();
+        PointMultiset::new(points)
+    }
+
+    /// `count` probability vectors of dimension `dim` (non-negative entries
+    /// summing to 1), drawn from a flat Dirichlet via exponential sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `count == 0`.
+    pub fn probability_vectors(&mut self, count: usize, dim: usize) -> PointMultiset {
+        assert!(dim > 0 && count > 0, "count and dim must be positive");
+        let points = (0..count)
+            .map(|_| {
+                let raw: Vec<f64> = (0..dim)
+                    .map(|_| {
+                        let u: f64 = self.rng.gen_range(1e-9..1.0);
+                        -u.ln()
+                    })
+                    .collect();
+                let total: f64 = raw.iter().sum();
+                Point::new(raw.into_iter().map(|x| x / total).collect())
+            })
+            .collect();
+        PointMultiset::new(points)
+    }
+
+    /// `count` robot positions inside the cube `[0, side]^3`, the mobile-robot
+    /// gathering scenario from Section 3.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `side <= 0`.
+    pub fn robot_positions(&mut self, count: usize, side: f64) -> PointMultiset {
+        assert!(side > 0.0, "the operating region must have positive size");
+        self.box_points(count, 3, 0.0, side)
+    }
+
+    /// `count` points clustered around `centre` with coordinates perturbed by
+    /// at most `radius` (uniform).  Useful for workloads where honest inputs
+    /// are close and an adversary tries to drag the decision away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `radius < 0`.
+    pub fn clustered(&mut self, count: usize, centre: &Point, radius: f64) -> PointMultiset {
+        assert!(count > 0, "count must be positive");
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let points = (0..count)
+            .map(|_| {
+                Point::new(
+                    centre
+                        .coords()
+                        .iter()
+                        .map(|&c| c + self.rng.gen_range(-radius..=radius))
+                        .collect::<Vec<f64>>(),
+                )
+            })
+            .collect();
+        PointMultiset::new(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = WorkloadGenerator::new(7).box_points(5, 3, -1.0, 1.0);
+        let b = WorkloadGenerator::new(7).box_points(5, 3, -1.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadGenerator::new(1).box_points(5, 3, -1.0, 1.0);
+        let b = WorkloadGenerator::new(2).box_points(5, 3, -1.0, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn box_points_respect_bounds() {
+        let ms = WorkloadGenerator::new(3).box_points(20, 4, -2.0, 5.0);
+        for p in ms.iter() {
+            for &c in p.coords() {
+                assert!((-2.0..=5.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn probability_vectors_sum_to_one_and_are_nonnegative() {
+        let ms = WorkloadGenerator::new(11).probability_vectors(10, 5);
+        for p in ms.iter() {
+            let total: f64 = p.coords().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(p.coords().iter().all(|&c| c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn robot_positions_are_three_dimensional() {
+        let ms = WorkloadGenerator::new(5).robot_positions(4, 10.0);
+        assert_eq!(ms.dim(), 3);
+        for p in ms.iter() {
+            assert!(p.coords().iter().all(|&c| (0.0..=10.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn clustered_points_stay_within_radius() {
+        let centre = Point::new(vec![1.0, 2.0]);
+        let ms = WorkloadGenerator::new(9).clustered(8, &centre, 0.25);
+        for p in ms.iter() {
+            assert!(p.linf_distance(&centre) <= 0.25 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_count_panics() {
+        let _ = WorkloadGenerator::new(0).box_points(0, 2, 0.0, 1.0);
+    }
+}

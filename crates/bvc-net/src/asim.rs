@@ -1,0 +1,424 @@
+//! Deterministic asynchronous execution simulator.
+//!
+//! In the paper's asynchronous model, processes take steps at arbitrary
+//! relative speeds and message delays are unbounded but finite; channels are
+//! reliable and FIFO.  The [`AsyncNetwork`] simulator models an execution as a
+//! sequence of *delivery steps*: at each step an adversarial (but fair)
+//! scheduler picks one non-empty channel, delivers its oldest message, and
+//! lets the recipient react by sending further messages.
+//!
+//! The scheduler is seeded, so a given `(processes, policy, seed)` triple
+//! always produces exactly the same execution — which is what makes the
+//! asynchronous experiments and property tests reproducible.
+
+use crate::process::{ExecutionStats, Outgoing, ProcessId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// An event-driven state machine driven by the asynchronous executor.
+pub trait AsyncProcess {
+    /// Message payload type exchanged by the protocol.
+    type Msg: Clone;
+    /// Decision/output type of the protocol.
+    type Output: Clone;
+
+    /// Called once when the execution starts; returns the initial messages.
+    fn on_start(&mut self) -> Vec<Outgoing<Self::Msg>>;
+
+    /// Called when a message is delivered to this process; returns the
+    /// messages to send in response.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg) -> Vec<Outgoing<Self::Msg>>;
+
+    /// The process's decision, once reached.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Scheduling policy of the asynchronous adversary.
+///
+/// All policies are *fair*: a message sitting in a channel is eventually
+/// delivered, because the scheduler only ever chooses among non-empty
+/// channels and every policy gives every non-empty channel a chance once the
+/// preferred ones are drained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryPolicy {
+    /// Pick a uniformly random non-empty channel at each step.
+    RandomFair,
+    /// Cycle through channels in a fixed order.
+    RoundRobin,
+    /// Starve messages **from** the listed processes for as long as any other
+    /// channel has pending messages (the "slow process" adversary used in the
+    /// necessity proof of Theorem 4, where `p_{d+2}` takes no steps until the
+    /// others are done).
+    DelayFrom(Vec<ProcessId>),
+    /// Starve messages **to** the listed processes for as long as any other
+    /// channel has pending messages.
+    DelayTo(Vec<ProcessId>),
+}
+
+/// Outcome of running an asynchronous execution.
+#[derive(Debug, Clone)]
+pub struct AsyncOutcome<O> {
+    /// Output of each process, by index (`None` if it never decided).
+    pub outputs: Vec<Option<O>>,
+    /// Whether every process the caller waited for decided before the step
+    /// cap was reached.
+    pub completed: bool,
+    /// Message statistics (`steps` counts delivery steps).
+    pub stats: ExecutionStats,
+}
+
+impl<O> AsyncOutcome<O> {
+    /// Outputs of the processes whose indices appear in `indices`; `None`
+    /// entries are skipped.
+    pub fn outputs_of(&self, indices: &[usize]) -> Vec<&O> {
+        indices
+            .iter()
+            .filter_map(|&i| self.outputs.get(i).and_then(|o| o.as_ref()))
+            .collect()
+    }
+}
+
+/// The asynchronous executor over a complete graph of processes.
+pub struct AsyncNetwork<M, O> {
+    processes: Vec<Box<dyn AsyncProcess<Msg = M, Output = O>>>,
+    policy: DeliveryPolicy,
+    seed: u64,
+    max_steps: usize,
+}
+
+impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
+    /// Creates an executor with the given scheduling policy, RNG seed and a
+    /// safety cap on the number of delivery steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty or `max_steps == 0`.
+    pub fn new(
+        processes: Vec<Box<dyn AsyncProcess<Msg = M, Output = O>>>,
+        policy: DeliveryPolicy,
+        seed: u64,
+        max_steps: usize,
+    ) -> Self {
+        assert!(!processes.is_empty(), "need at least one process");
+        assert!(max_steps > 0, "max_steps must be positive");
+        Self {
+            processes,
+            policy,
+            seed,
+            max_steps,
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Always `false`; the constructor rejects empty process sets.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Runs the execution until every process listed in `wait_for` has
+    /// produced an output, all channels are empty, or the step cap is hit.
+    pub fn run(mut self, wait_for: &[usize]) -> AsyncOutcome<O> {
+        let n = self.processes.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut stats = ExecutionStats::default();
+        // channels[from][to] is a FIFO queue of in-flight messages.
+        let mut channels: Vec<Vec<VecDeque<M>>> = vec![(0..n).map(|_| VecDeque::new()).collect(); n];
+        let mut round_robin_cursor = 0usize;
+
+        // Start every process and enqueue its initial messages.
+        for index in 0..n {
+            let outgoing = self.processes[index].on_start();
+            stats.messages_sent += outgoing.len();
+            enqueue(&mut channels, index, outgoing, n);
+        }
+
+        let decided = |processes: &[Box<dyn AsyncProcess<Msg = M, Output = O>>]| {
+            wait_for.iter().all(|&i| processes[i].output().is_some())
+        };
+
+        while stats.steps < self.max_steps {
+            if decided(&self.processes) {
+                return AsyncOutcome {
+                    outputs: self.processes.iter().map(|p| p.output()).collect(),
+                    completed: true,
+                    stats,
+                };
+            }
+            let nonempty: Vec<(usize, usize)> = (0..n)
+                .flat_map(|from| (0..n).map(move |to| (from, to)))
+                .filter(|&(from, to)| !channels[from][to].is_empty())
+                .collect();
+            if nonempty.is_empty() {
+                break;
+            }
+            let (from, to) = self.pick_channel(&nonempty, &mut rng, &mut round_robin_cursor);
+            let msg = channels[from][to]
+                .pop_front()
+                .expect("channel selected among non-empty channels");
+            stats.messages_delivered += 1;
+            stats.steps += 1;
+            let outgoing = self.processes[to].on_message(ProcessId::new(from), msg);
+            stats.messages_sent += outgoing.len();
+            enqueue(&mut channels, to, outgoing, n);
+        }
+
+        let completed = decided(&self.processes);
+        AsyncOutcome {
+            outputs: self.processes.iter().map(|p| p.output()).collect(),
+            completed,
+            stats,
+        }
+    }
+
+    fn pick_channel(
+        &self,
+        nonempty: &[(usize, usize)],
+        rng: &mut StdRng,
+        cursor: &mut usize,
+    ) -> (usize, usize) {
+        match &self.policy {
+            DeliveryPolicy::RandomFair => nonempty[rng.gen_range(0..nonempty.len())],
+            DeliveryPolicy::RoundRobin => {
+                let choice = nonempty[*cursor % nonempty.len()];
+                *cursor = cursor.wrapping_add(1);
+                choice
+            }
+            DeliveryPolicy::DelayFrom(slow) => {
+                let preferred: Vec<(usize, usize)> = nonempty
+                    .iter()
+                    .copied()
+                    .filter(|&(from, _)| !slow.iter().any(|p| p.index() == from))
+                    .collect();
+                let pool = if preferred.is_empty() { nonempty } else { &preferred };
+                pool[rng.gen_range(0..pool.len())]
+            }
+            DeliveryPolicy::DelayTo(slow) => {
+                let preferred: Vec<(usize, usize)> = nonempty
+                    .iter()
+                    .copied()
+                    .filter(|&(_, to)| !slow.iter().any(|p| p.index() == to))
+                    .collect();
+                let pool = if preferred.is_empty() { nonempty } else { &preferred };
+                pool[rng.gen_range(0..pool.len())]
+            }
+        }
+    }
+}
+
+fn enqueue<M>(
+    channels: &mut [Vec<VecDeque<M>>],
+    from: usize,
+    outgoing: Vec<Outgoing<M>>,
+    n: usize,
+) {
+    for Outgoing { to, msg } in outgoing {
+        if to.index() < n {
+            channels[from][to.index()].push_back(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::broadcast_to_all;
+
+    /// Toy protocol: each process broadcasts its value once, then outputs the
+    /// sum of the first `n - 1` values it receives (including duplicates).
+    struct Summer {
+        id: ProcessId,
+        n: usize,
+        value: u64,
+        received: Vec<u64>,
+        result: Option<u64>,
+    }
+
+    impl AsyncProcess for Summer {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self) -> Vec<Outgoing<u64>> {
+            broadcast_to_all(self.n, Some(self.id), &self.value)
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u64) -> Vec<Outgoing<u64>> {
+            if self.result.is_none() {
+                self.received.push(msg);
+                if self.received.len() == self.n - 1 {
+                    self.result = Some(self.received.iter().sum::<u64>() + self.value);
+                }
+            }
+            Vec::new()
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.result
+        }
+    }
+
+    fn summer_network(values: &[u64], policy: DeliveryPolicy, seed: u64) -> AsyncNetwork<u64, u64> {
+        let n = values.len();
+        let processes: Vec<Box<dyn AsyncProcess<Msg = u64, Output = u64>>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                Box::new(Summer {
+                    id: ProcessId::new(i),
+                    n,
+                    value: v,
+                    received: Vec::new(),
+                    result: None,
+                }) as Box<dyn AsyncProcess<Msg = u64, Output = u64>>
+            })
+            .collect();
+        AsyncNetwork::new(processes, policy, seed, 10_000)
+    }
+
+    #[test]
+    fn all_messages_eventually_delivered_random_policy() {
+        let all: Vec<usize> = (0..4).collect();
+        let outcome = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 7).run(&all);
+        assert!(outcome.completed);
+        assert_eq!(outcome.outputs, vec![Some(10), Some(10), Some(10), Some(10)]);
+    }
+
+    #[test]
+    fn round_robin_policy_also_completes() {
+        let all: Vec<usize> = (0..3).collect();
+        let outcome = summer_network(&[1, 2, 3], DeliveryPolicy::RoundRobin, 0).run(&all);
+        assert!(outcome.completed);
+        assert_eq!(outcome.outputs, vec![Some(6), Some(6), Some(6)]);
+    }
+
+    #[test]
+    fn executions_are_reproducible_for_equal_seeds() {
+        let all: Vec<usize> = (0..4).collect();
+        let a = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 42).run(&all);
+        let b = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 42).run(&all);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn delayed_process_messages_arrive_last_but_arrive() {
+        // Delay messages from process 0; everyone still completes because the
+        // policy is fair.
+        let all: Vec<usize> = (0..3).collect();
+        let outcome = summer_network(
+            &[100, 1, 2],
+            DeliveryPolicy::DelayFrom(vec![ProcessId::new(0)]),
+            3,
+        )
+        .run(&all);
+        assert!(outcome.completed);
+        assert_eq!(outcome.outputs, vec![Some(103), Some(103), Some(103)]);
+    }
+
+    #[test]
+    fn waiting_for_a_subset_ignores_others() {
+        // Only wait for processes 1 and 2; process 0 needs n-1 = 3 messages
+        // like the others, but we do not require it.
+        let outcome = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 9).run(&[1, 2]);
+        assert!(outcome.completed);
+        assert!(outcome.outputs[1].is_some() && outcome.outputs[2].is_some());
+    }
+
+    #[test]
+    fn step_cap_halts_runaway_executions() {
+        // A protocol that ping-pongs forever between two processes.
+        struct PingPong {
+            id: ProcessId,
+        }
+        impl AsyncProcess for PingPong {
+            type Msg = ();
+            type Output = ();
+            fn on_start(&mut self) -> Vec<Outgoing<()>> {
+                vec![Outgoing::new(ProcessId::new(1 - self.id.index()), ())]
+            }
+            fn on_message(&mut self, from: ProcessId, _msg: ()) -> Vec<Outgoing<()>> {
+                vec![Outgoing::new(from, ())]
+            }
+            fn output(&self) -> Option<()> {
+                None
+            }
+        }
+        let processes: Vec<Box<dyn AsyncProcess<Msg = (), Output = ()>>> = (0..2)
+            .map(|i| Box::new(PingPong { id: ProcessId::new(i) }) as Box<dyn AsyncProcess<Msg = (), Output = ()>>)
+            .collect();
+        let outcome = AsyncNetwork::new(processes, DeliveryPolicy::RoundRobin, 0, 50).run(&[0, 1]);
+        assert!(!outcome.completed);
+        assert_eq!(outcome.stats.steps, 50);
+    }
+
+    #[test]
+    fn outputs_of_selects_indices() {
+        let all: Vec<usize> = (0..3).collect();
+        let outcome = summer_network(&[1, 2, 3], DeliveryPolicy::RandomFair, 5).run(&all);
+        assert_eq!(outcome.outputs_of(&[0, 2]), vec![&6, &6]);
+    }
+
+    #[test]
+    fn per_channel_fifo_order_is_respected() {
+        // Process 0 sends two ordered messages to process 1 at start; process
+        // 1 records the order it sees them in.
+        struct Sender;
+        struct Receiver {
+            seen: Vec<u64>,
+            done: Option<Vec<u64>>,
+        }
+        #[derive(Clone)]
+        enum Msg {
+            Value(u64),
+        }
+        impl AsyncProcess for Sender {
+            type Msg = Msg;
+            type Output = Vec<u64>;
+            fn on_start(&mut self) -> Vec<Outgoing<Msg>> {
+                vec![
+                    Outgoing::new(ProcessId::new(1), Msg::Value(1)),
+                    Outgoing::new(ProcessId::new(1), Msg::Value(2)),
+                    Outgoing::new(ProcessId::new(1), Msg::Value(3)),
+                ]
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: Msg) -> Vec<Outgoing<Msg>> {
+                Vec::new()
+            }
+            fn output(&self) -> Option<Vec<u64>> {
+                Some(Vec::new())
+            }
+        }
+        impl AsyncProcess for Receiver {
+            type Msg = Msg;
+            type Output = Vec<u64>;
+            fn on_start(&mut self) -> Vec<Outgoing<Msg>> {
+                Vec::new()
+            }
+            fn on_message(&mut self, _f: ProcessId, m: Msg) -> Vec<Outgoing<Msg>> {
+                let Msg::Value(v) = m;
+                self.seen.push(v);
+                if self.seen.len() == 3 {
+                    self.done = Some(self.seen.clone());
+                }
+                Vec::new()
+            }
+            fn output(&self) -> Option<Vec<u64>> {
+                self.done.clone()
+            }
+        }
+        let processes: Vec<Box<dyn AsyncProcess<Msg = Msg, Output = Vec<u64>>>> = vec![
+            Box::new(Sender),
+            Box::new(Receiver {
+                seen: Vec::new(),
+                done: None,
+            }),
+        ];
+        let outcome =
+            AsyncNetwork::new(processes, DeliveryPolicy::RandomFair, 123, 1000).run(&[1]);
+        assert_eq!(outcome.outputs[1], Some(vec![1, 2, 3]));
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulated message-passing substrate for Byzantine vector consensus.
+//!
+//! The paper's model (Section 1): `n` processes on a **complete graph** with
+//! **reliable FIFO channels**, in either a synchronous or an asynchronous
+//! timing model.  This crate provides that substrate three ways:
+//!
+//! * [`SyncNetwork`] — a lock-step synchronous round executor (Section 2's
+//!   model).
+//! * [`AsyncNetwork`] — a deterministic, seeded, adversarially scheduled
+//!   event simulator (Section 3's model); the [`DeliveryPolicy`] controls the
+//!   scheduling adversary.
+//! * [`run_threaded`] — a thread-per-process runtime over `crossbeam`
+//!   channels, used by the examples and the cross-executor integration tests.
+//!
+//! Protocols are written once against the [`SyncProcess`] / [`AsyncProcess`]
+//! traits and can run on any of the executors that match their timing model.
+//!
+//! # Example
+//!
+//! A two-process echo protocol on the asynchronous simulator:
+//!
+//! ```
+//! use bvc_net::{AsyncNetwork, AsyncProcess, DeliveryPolicy, Outgoing, ProcessId};
+//!
+//! struct Echo { done: Option<u32> }
+//! impl AsyncProcess for Echo {
+//!     type Msg = u32;
+//!     type Output = u32;
+//!     fn on_start(&mut self) -> Vec<Outgoing<u32>> {
+//!         vec![Outgoing::new(ProcessId::new(1), 7)]
+//!     }
+//!     fn on_message(&mut self, _from: ProcessId, msg: u32) -> Vec<Outgoing<u32>> {
+//!         self.done = Some(msg);
+//!         Vec::new()
+//!     }
+//!     fn output(&self) -> Option<u32> { self.done }
+//! }
+//!
+//! let processes: Vec<Box<dyn AsyncProcess<Msg = u32, Output = u32>>> =
+//!     vec![Box::new(Echo { done: None }), Box::new(Echo { done: None })];
+//! let outcome = AsyncNetwork::new(processes, DeliveryPolicy::RandomFair, 1, 100).run(&[1]);
+//! assert_eq!(outcome.outputs[1], Some(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asim;
+pub mod process;
+pub mod sync;
+pub mod threaded;
+
+pub use asim::{AsyncNetwork, AsyncOutcome, AsyncProcess, DeliveryPolicy};
+pub use process::{broadcast_to_all, Delivery, ExecutionStats, Outgoing, ProcessId};
+pub use sync::{SyncNetwork, SyncOutcome, SyncProcess};
+pub use threaded::{run_threaded, ThreadedOutcome};

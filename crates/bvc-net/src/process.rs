@@ -1,0 +1,147 @@
+//! Process identities and message envelopes.
+//!
+//! The paper's system model (Section 1): `n` processes
+//! `P = {p_1, …, p_n}`, every pair connected by a reliable FIFO channel
+//! (complete graph).  Processes are identified here by a zero-based
+//! [`ProcessId`]; the paper's `p_i` corresponds to `ProcessId::new(i - 1)`.
+
+use std::fmt;
+
+/// Identifier of a process in the system (zero-based index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process id from its zero-based index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The zero-based index of the process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// All process ids `0..n`.
+    pub fn all(n: usize) -> Vec<ProcessId> {
+        (0..n).map(ProcessId::new).collect()
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One-based in display, matching the paper's p_1..p_n.
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        Self::new(index)
+    }
+}
+
+/// A message queued for sending: destination plus payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outgoing<M> {
+    /// Destination process.
+    pub to: ProcessId,
+    /// Message payload.
+    pub msg: M,
+}
+
+impl<M> Outgoing<M> {
+    /// Creates an outgoing message.
+    pub fn new(to: ProcessId, msg: M) -> Self {
+        Self { to, msg }
+    }
+}
+
+/// A delivered message: original sender plus payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<M> {
+    /// The process that sent the message.
+    pub from: ProcessId,
+    /// Message payload.
+    pub msg: M,
+}
+
+impl<M> Delivery<M> {
+    /// Creates a delivery record.
+    pub fn new(from: ProcessId, msg: M) -> Self {
+        Self { from, msg }
+    }
+}
+
+/// Builds one copy of `msg` addressed to every process in `0..n` except
+/// (optionally) the sender itself.
+pub fn broadcast_to_all<M: Clone>(n: usize, exclude: Option<ProcessId>, msg: &M) -> Vec<Outgoing<M>> {
+    ProcessId::all(n)
+        .into_iter()
+        .filter(|&p| Some(p) != exclude)
+        .map(|p| Outgoing::new(p, msg.clone()))
+        .collect()
+}
+
+/// Execution statistics common to the synchronous and asynchronous executors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionStats {
+    /// Total number of messages delivered.
+    pub messages_delivered: usize,
+    /// Total number of messages sent (may exceed deliveries if the execution
+    /// was cut off).
+    pub messages_sent: usize,
+    /// Number of synchronous rounds executed, or of scheduler steps for the
+    /// asynchronous executor.
+    pub steps: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip_and_display() {
+        let p = ProcessId::new(2);
+        assert_eq!(p.index(), 2);
+        assert_eq!(format!("{p}"), "p3");
+        let q: ProcessId = 5usize.into();
+        assert_eq!(q.index(), 5);
+    }
+
+    #[test]
+    fn all_ids_enumerates_in_order() {
+        let ids = ProcessId::all(3);
+        assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+    }
+
+    #[test]
+    fn broadcast_excludes_sender_when_requested() {
+        let msgs = broadcast_to_all(4, Some(ProcessId::new(1)), &"hello");
+        assert_eq!(msgs.len(), 3);
+        assert!(msgs.iter().all(|m| m.to != ProcessId::new(1)));
+    }
+
+    #[test]
+    fn broadcast_includes_everyone_without_exclusion() {
+        let msgs = broadcast_to_all(3, None, &7u32);
+        assert_eq!(msgs.len(), 3);
+    }
+
+    #[test]
+    fn outgoing_and_delivery_constructors() {
+        let out = Outgoing::new(ProcessId::new(0), 42);
+        assert_eq!(out.to.index(), 0);
+        assert_eq!(out.msg, 42);
+        let del = Delivery::new(ProcessId::new(1), "x");
+        assert_eq!(del.from.index(), 1);
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = ExecutionStats::default();
+        assert_eq!(s.messages_delivered, 0);
+        assert_eq!(s.messages_sent, 0);
+        assert_eq!(s.steps, 0);
+    }
+}

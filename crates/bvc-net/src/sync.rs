@@ -1,0 +1,286 @@
+//! Lock-step synchronous round executor.
+//!
+//! In the paper's synchronous model, computation proceeds in rounds: in every
+//! round each process sends messages that are delivered before the next round
+//! begins, and message delays are bounded by the round structure.  The
+//! [`SyncNetwork`] executor reproduces this: it calls every process once per
+//! round with the messages sent to it in the previous round, collects the
+//! messages it wants to send, and delivers them (per-sender FIFO, complete
+//! graph) at the start of the next round.
+//!
+//! Byzantine processes are ordinary [`SyncProcess`] implementations — they may
+//! return arbitrary messages, including different messages to different
+//! receivers (equivocation) or none at all (silence/crash); the adversary
+//! crate provides reusable wrappers.
+
+use crate::process::{Delivery, ExecutionStats, Outgoing, ProcessId};
+
+/// A deterministic state machine driven by the synchronous executor.
+///
+/// `round` is called once per round, starting at round `1`, with the messages
+/// delivered to this process at the start of the round (i.e. the messages sent
+/// to it during the previous round, ordered by sender id, preserving
+/// per-sender FIFO order).  It returns the messages to send during this round.
+pub trait SyncProcess {
+    /// Message payload type exchanged by the protocol.
+    type Msg: Clone;
+    /// Decision/output type of the protocol.
+    type Output: Clone;
+
+    /// Executes one synchronous round.
+    fn round(&mut self, round: usize, inbox: &[Delivery<Self::Msg>]) -> Vec<Outgoing<Self::Msg>>;
+
+    /// The process's decision, once reached.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Outcome of running a synchronous execution to completion.
+#[derive(Debug, Clone)]
+pub struct SyncOutcome<O> {
+    /// Output of each process, by process index (None if it never decided —
+    /// e.g. a crashed or silent Byzantine process).
+    pub outputs: Vec<Option<O>>,
+    /// Number of rounds actually executed.
+    pub rounds: usize,
+    /// Message statistics.
+    pub stats: ExecutionStats,
+}
+
+impl<O> SyncOutcome<O> {
+    /// Outputs of the processes whose indices appear in `indices`, in order;
+    /// `None` entries are skipped.
+    pub fn outputs_of(&self, indices: &[usize]) -> Vec<&O> {
+        indices
+            .iter()
+            .filter_map(|&i| self.outputs.get(i).and_then(|o| o.as_ref()))
+            .collect()
+    }
+}
+
+/// The synchronous executor over a complete graph of `n` processes.
+pub struct SyncNetwork<M, O> {
+    processes: Vec<Box<dyn SyncProcess<Msg = M, Output = O>>>,
+    max_rounds: usize,
+}
+
+impl<M: Clone, O: Clone> SyncNetwork<M, O> {
+    /// Creates an executor over the given processes (index = process id) with
+    /// a safety cap on the number of rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty or `max_rounds == 0`.
+    pub fn new(
+        processes: Vec<Box<dyn SyncProcess<Msg = M, Output = O>>>,
+        max_rounds: usize,
+    ) -> Self {
+        assert!(!processes.is_empty(), "need at least one process");
+        assert!(max_rounds > 0, "max_rounds must be positive");
+        Self {
+            processes,
+            max_rounds,
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Always `false`; the constructor rejects empty process sets.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Runs rounds until every process listed in `wait_for` has produced an
+    /// output, or the round cap is reached.  Typically `wait_for` is the set
+    /// of non-faulty process indices (Byzantine processes need not terminate).
+    pub fn run(mut self, wait_for: &[usize]) -> SyncOutcome<O> {
+        let n = self.processes.len();
+        let mut stats = ExecutionStats::default();
+        // inboxes[i] = messages delivered to process i at the start of the
+        // upcoming round.
+        let mut inboxes: Vec<Vec<Delivery<M>>> = vec![Vec::new(); n];
+        let mut rounds_executed = 0;
+
+        for round in 1..=self.max_rounds {
+            rounds_executed = round;
+            let mut next_inboxes: Vec<Vec<Delivery<M>>> = vec![Vec::new(); n];
+            for (index, process) in self.processes.iter_mut().enumerate() {
+                let outgoing = process.round(round, &inboxes[index]);
+                stats.messages_sent += outgoing.len();
+                for Outgoing { to, msg } in outgoing {
+                    if to.index() < n {
+                        next_inboxes[to.index()].push(Delivery::new(ProcessId::new(index), msg));
+                        stats.messages_delivered += 1;
+                    }
+                }
+            }
+            // Deterministic delivery order: sort by sender id (stable sort
+            // preserves per-sender FIFO order).
+            for inbox in next_inboxes.iter_mut() {
+                inbox.sort_by_key(|d| d.from.index());
+            }
+            inboxes = next_inboxes;
+
+            let all_decided = wait_for
+                .iter()
+                .all(|&i| self.processes[i].output().is_some());
+            if all_decided {
+                break;
+            }
+        }
+
+        stats.steps = rounds_executed;
+        let outputs = self.processes.iter().map(|p| p.output()).collect();
+        SyncOutcome {
+            outputs,
+            rounds: rounds_executed,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::broadcast_to_all;
+
+    /// A toy protocol: every process broadcasts its value each round; after
+    /// `target_rounds` rounds it outputs the sum of everything it received in
+    /// the last round plus its own value.
+    struct SummingProcess {
+        id: ProcessId,
+        n: usize,
+        value: u64,
+        target_rounds: usize,
+        result: Option<u64>,
+    }
+
+    impl SyncProcess for SummingProcess {
+        type Msg = u64;
+        type Output = u64;
+
+        fn round(&mut self, round: usize, inbox: &[Delivery<u64>]) -> Vec<Outgoing<u64>> {
+            if round > self.target_rounds {
+                return Vec::new();
+            }
+            if round == self.target_rounds {
+                let sum: u64 = inbox.iter().map(|d| d.msg).sum::<u64>() + self.value;
+                self.result = Some(sum);
+            }
+            broadcast_to_all(self.n, Some(self.id), &self.value)
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.result
+        }
+    }
+
+    fn summing_network(values: &[u64], target_rounds: usize) -> SyncNetwork<u64, u64> {
+        let n = values.len();
+        let processes: Vec<Box<dyn SyncProcess<Msg = u64, Output = u64>>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                Box::new(SummingProcess {
+                    id: ProcessId::new(i),
+                    n,
+                    value: v,
+                    target_rounds,
+                    result: None,
+                }) as Box<dyn SyncProcess<Msg = u64, Output = u64>>
+            })
+            .collect();
+        SyncNetwork::new(processes, 10)
+    }
+
+    #[test]
+    fn all_processes_receive_all_messages_each_round() {
+        let outcome = summing_network(&[1, 2, 3, 4], 2).run(&[0, 1, 2, 3]);
+        // After round 2 every process has the other three values plus its own.
+        assert_eq!(outcome.outputs, vec![Some(10), Some(10), Some(10), Some(10)]);
+        assert_eq!(outcome.rounds, 2);
+    }
+
+    #[test]
+    fn run_stops_as_soon_as_waited_processes_decide() {
+        let outcome = summing_network(&[5, 6], 1).run(&[0, 1]);
+        assert_eq!(outcome.rounds, 1);
+        // Round 1 has an empty inbox, so each output is just its own value.
+        assert_eq!(outcome.outputs, vec![Some(5), Some(6)]);
+    }
+
+    #[test]
+    fn round_cap_prevents_infinite_runs() {
+        // target_rounds beyond the cap: nobody decides, executor stops at cap.
+        let outcome = summing_network(&[1, 1, 1], 99).run(&[0, 1, 2]);
+        assert_eq!(outcome.rounds, 10);
+        assert!(outcome.outputs.iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let outcome = summing_network(&[1, 2, 3], 2).run(&[0, 1, 2]);
+        // 3 processes broadcast to 2 others for 2 rounds = 12 messages.
+        assert_eq!(outcome.stats.messages_sent, 12);
+        assert_eq!(outcome.stats.messages_delivered, 12);
+        assert_eq!(outcome.stats.steps, 2);
+    }
+
+    #[test]
+    fn outputs_of_selects_indices() {
+        let outcome = summing_network(&[1, 2, 3, 4], 2).run(&[0, 1, 2, 3]);
+        let selected = outcome.outputs_of(&[1, 3]);
+        assert_eq!(selected, vec![&10, &10]);
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_sender() {
+        struct Recorder {
+            id: ProcessId,
+            n: usize,
+            seen: Vec<usize>,
+            done: Option<Vec<usize>>,
+        }
+        impl SyncProcess for Recorder {
+            type Msg = ();
+            type Output = Vec<usize>;
+            fn round(&mut self, round: usize, inbox: &[Delivery<()>]) -> Vec<Outgoing<()>> {
+                if round == 2 {
+                    self.seen = inbox.iter().map(|d| d.from.index()).collect();
+                    self.done = Some(self.seen.clone());
+                    return Vec::new();
+                }
+                broadcast_to_all(self.n, Some(self.id), &())
+            }
+            fn output(&self) -> Option<Vec<usize>> {
+                self.done.clone()
+            }
+        }
+        let n = 4;
+        let processes: Vec<Box<dyn SyncProcess<Msg = (), Output = Vec<usize>>>> = (0..n)
+            .map(|i| {
+                Box::new(Recorder {
+                    id: ProcessId::new(i),
+                    n,
+                    seen: Vec::new(),
+                    done: None,
+                }) as Box<dyn SyncProcess<Msg = (), Output = Vec<usize>>>
+            })
+            .collect();
+        let outcome = SyncNetwork::new(processes, 5).run(&(0..n).collect::<Vec<_>>());
+        for (i, out) in outcome.outputs.iter().enumerate() {
+            let senders = out.as_ref().unwrap();
+            let expected: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            assert_eq!(senders, &expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_network_panics() {
+        let processes: Vec<Box<dyn SyncProcess<Msg = (), Output = ()>>> = Vec::new();
+        let _ = SyncNetwork::new(processes, 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Thread-backed runtime for asynchronous protocols.
+//!
+//! The event-queue simulator in [`crate::asim`] is the reference executor:
+//! deterministic, seeded, adversarially scheduled.  This module provides a
+//! second executor that runs every process on its own OS thread and carries
+//! messages over `crossbeam` channels — i.e. real concurrency, real
+//! non-determinism.  The examples use it to demonstrate that the protocol
+//! implementations do not depend on any property of the simulator, and the
+//! integration tests run both executors on identical inputs and compare
+//! verdicts.
+//!
+//! Channels are reliable and per-sender FIFO (each sender pushes into the
+//! receiver's queue in program order), matching the paper's model.
+
+use crate::asim::AsyncProcess;
+use crate::process::{ExecutionStats, Outgoing, ProcessId};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Outcome of a threaded execution.
+#[derive(Debug, Clone)]
+pub struct ThreadedOutcome<O> {
+    /// Output of each process, by index (`None` if it never decided before
+    /// the deadline).
+    pub outputs: Vec<Option<O>>,
+    /// Whether every waited-for process decided before the deadline.
+    pub completed: bool,
+    /// Aggregate statistics (`steps` counts delivered messages).
+    pub stats: ExecutionStats,
+}
+
+struct Envelope<M> {
+    from: ProcessId,
+    msg: M,
+}
+
+/// Runs the given processes on one thread each until every process listed in
+/// `wait_for` has produced an output or `deadline` elapses.
+///
+/// # Panics
+///
+/// Panics if `processes` is empty or any index in `wait_for` is out of range.
+pub fn run_threaded<M, O>(
+    processes: Vec<Box<dyn AsyncProcess<Msg = M, Output = O> + Send>>,
+    wait_for: &[usize],
+    deadline: Duration,
+) -> ThreadedOutcome<O>
+where
+    M: Clone + Send + 'static,
+    O: Clone + Send + 'static,
+{
+    let n = processes.len();
+    assert!(n > 0, "need at least one process");
+    assert!(
+        wait_for.iter().all(|&i| i < n),
+        "wait_for indices must be valid process indices"
+    );
+
+    let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let outputs: Arc<Mutex<Vec<Option<O>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let stop = Arc::new(AtomicBool::new(false));
+    let delivered = Arc::new(AtomicUsize::new(0));
+    let sent = Arc::new(AtomicUsize::new(0));
+
+    let mut handles = Vec::with_capacity(n);
+    for (index, mut process) in processes.into_iter().enumerate() {
+        let my_rx = receivers[index].clone();
+        let all_tx = senders.clone();
+        let outputs = Arc::clone(&outputs);
+        let stop = Arc::clone(&stop);
+        let delivered = Arc::clone(&delivered);
+        let sent = Arc::clone(&sent);
+        let handle = thread::spawn(move || {
+            let me = ProcessId::new(index);
+            let dispatch = |outgoing: Vec<Outgoing<M>>| {
+                for Outgoing { to, msg } in outgoing {
+                    if to.index() < all_tx.len() {
+                        sent.fetch_add(1, Ordering::Relaxed);
+                        // A send only fails if the receiver hung up, which
+                        // happens at shutdown; losing the message then is fine.
+                        let _ = all_tx[to.index()].send(Envelope { from: me, msg });
+                    }
+                }
+            };
+            dispatch(process.on_start());
+            if let Some(out) = process.output() {
+                outputs.lock()[index] = Some(out);
+            }
+            while !stop.load(Ordering::Relaxed) {
+                match my_rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok(envelope) => {
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                        let outgoing = process.on_message(envelope.from, envelope.msg);
+                        dispatch(outgoing);
+                        if let Some(out) = process.output() {
+                            outputs.lock()[index] = Some(out);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        handles.push(handle);
+    }
+
+    // Supervise: wait until the waited-for processes have all decided or the
+    // deadline passes.
+    let start = Instant::now();
+    let completed = loop {
+        {
+            let outs = outputs.lock();
+            if wait_for.iter().all(|&i| outs[i].is_some()) {
+                break true;
+            }
+        }
+        if start.elapsed() >= deadline {
+            break false;
+        }
+        thread::sleep(Duration::from_millis(2));
+    };
+
+    stop.store(true, Ordering::Relaxed);
+    drop(senders);
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    let outputs = Arc::try_unwrap(outputs)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    let delivered_count = delivered.load(Ordering::Relaxed);
+    ThreadedOutcome {
+        outputs,
+        completed,
+        stats: ExecutionStats {
+            messages_delivered: delivered_count,
+            messages_sent: sent.load(Ordering::Relaxed),
+            steps: delivered_count,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::broadcast_to_all;
+
+    /// Same toy protocol as in the simulator tests: broadcast one value, sum
+    /// the first n-1 received values.
+    struct Summer {
+        id: ProcessId,
+        n: usize,
+        value: u64,
+        received: Vec<u64>,
+        result: Option<u64>,
+    }
+
+    impl AsyncProcess for Summer {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self) -> Vec<Outgoing<u64>> {
+            broadcast_to_all(self.n, Some(self.id), &self.value)
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u64) -> Vec<Outgoing<u64>> {
+            if self.result.is_none() {
+                self.received.push(msg);
+                if self.received.len() == self.n - 1 {
+                    self.result = Some(self.received.iter().sum::<u64>() + self.value);
+                }
+            }
+            Vec::new()
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.result
+        }
+    }
+
+    fn summers(values: &[u64]) -> Vec<Box<dyn AsyncProcess<Msg = u64, Output = u64> + Send>> {
+        let n = values.len();
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                Box::new(Summer {
+                    id: ProcessId::new(i),
+                    n,
+                    value: v,
+                    received: Vec::new(),
+                    result: None,
+                }) as Box<dyn AsyncProcess<Msg = u64, Output = u64> + Send>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threads_exchange_messages_and_decide() {
+        let outcome = run_threaded(summers(&[1, 2, 3, 4]), &[0, 1, 2, 3], Duration::from_secs(5));
+        assert!(outcome.completed);
+        assert_eq!(outcome.outputs, vec![Some(10), Some(10), Some(10), Some(10)]);
+        assert!(outcome.stats.messages_delivered >= 12);
+    }
+
+    #[test]
+    fn deadline_is_respected_when_processes_cannot_decide() {
+        // Two processes each expecting 2 messages but only one peer exists:
+        // they can never decide.
+        struct Stuck;
+        impl AsyncProcess for Stuck {
+            type Msg = u64;
+            type Output = u64;
+            fn on_start(&mut self) -> Vec<Outgoing<u64>> {
+                Vec::new()
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: u64) -> Vec<Outgoing<u64>> {
+                Vec::new()
+            }
+            fn output(&self) -> Option<u64> {
+                None
+            }
+        }
+        let procs: Vec<Box<dyn AsyncProcess<Msg = u64, Output = u64> + Send>> =
+            vec![Box::new(Stuck), Box::new(Stuck)];
+        let outcome = run_threaded(procs, &[0, 1], Duration::from_millis(100));
+        assert!(!outcome.completed);
+        assert_eq!(outcome.outputs, vec![None, None]);
+    }
+
+    #[test]
+    fn waiting_for_subset_only() {
+        let outcome = run_threaded(summers(&[5, 6, 7]), &[1], Duration::from_secs(5));
+        assert!(outcome.completed);
+        assert_eq!(outcome.outputs[1], Some(18));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_process_set_panics() {
+        let procs: Vec<Box<dyn AsyncProcess<Msg = u64, Output = u64> + Send>> = Vec::new();
+        let _ = run_threaded(procs, &[], Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,100 @@
+//! A guided walkthrough of the paper's two impossibility constructions.
+//!
+//! The sufficiency sides of Theorems 1 and 4 are demonstrated by the other
+//! examples (the algorithms simply work at the bounds).  This example walks
+//! through the *necessity* sides interactively: it builds the adversarial
+//! input configurations used in the proofs and shows, numerically, why no
+//! algorithm — ours or anyone else's — can succeed with fewer processes.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example impossibility_walkthrough
+//! ```
+
+use bvc::core::{theorem1_evidence, theorem1_inputs, theorem4_evidence, theorem4_inputs, Setting};
+use bvc::geometry::{leave_one_out_intersection, ConvexHull, PointMultiset};
+
+fn main() {
+    println!("====================================================================");
+    println!(" Theorem 1: why n = d+1 processes cannot solve Exact BVC (f = 1)");
+    println!("====================================================================\n");
+    let d = 3;
+    let inputs = theorem1_inputs(d);
+    println!("d = {d}; the adversarial input configuration (n = d+1 = {} processes):", d + 1);
+    for (i, p) in inputs.iter().enumerate() {
+        println!("  x{} = {p}", i + 1);
+    }
+    println!();
+    println!("With f = 1, no process knows which single process might be faulty, so a valid");
+    println!("decision must lie in the convex hull of EVERY subset of n-1 = {d} inputs.");
+    println!("Checking each leave-one-out hull and their intersection:");
+    for drop in 0..inputs.len() {
+        let keep: Vec<usize> = (0..inputs.len()).filter(|&k| k != drop).collect();
+        let hull = ConvexHull::new(inputs.select(&keep));
+        // For the basis construction, dropping x_i (i <= d) forces coordinate
+        // i to zero in the remaining hull.
+        println!(
+            "  drop x{}: hull of {} points, contains the origin? {}",
+            drop + 1,
+            keep.len(),
+            hull.contains(&bvc::geometry::Point::origin(d))
+        );
+    }
+    match leave_one_out_intersection(&inputs) {
+        None => println!("\n=> the intersection of all leave-one-out hulls is EMPTY."),
+        Some(p) => println!("\n=> unexpected common point {p} (this should not happen)"),
+    }
+    let evidence = theorem1_evidence(d);
+    println!(
+        "   theorem1_evidence(d = {d}): intersection_empty = {}",
+        evidence.intersection_empty
+    );
+    println!(
+        "   Exact BVC therefore needs n >= (d+1)f + 1 = {} processes (Theorem 1); our runner\n   enforces exactly that bound: minimum n = {}.",
+        d + 2,
+        Setting::ExactSync.min_processes(d, 1)
+    );
+
+    println!();
+    println!("====================================================================");
+    println!(" Theorem 4: why n = d+2 processes cannot solve approximate BVC");
+    println!("====================================================================\n");
+    let d = 2;
+    let eps = 0.05;
+    let inputs = theorem4_inputs(d, eps);
+    println!("d = {d}, epsilon = {eps}; inputs (n = d+2 = {} processes):", d + 2);
+    for (i, p) in inputs.iter().enumerate() {
+        println!("  x{} = {p}", i + 1);
+    }
+    println!();
+    println!("Process p{} never takes a step.  Each p_i (i <= d+1) must therefore decide", d + 2);
+    println!("without hearing from it, and without trusting any single other process — which");
+    println!("pins its decision inside the intersection of the hulls X_i^j of equation (6).");
+    let evidence = theorem4_evidence(d, eps);
+    for (i, forced) in evidence.forced_to_own_input.iter().enumerate() {
+        println!(
+            "  p{}: admissible region collapses to its own input x{}? {}",
+            i + 1,
+            i + 1,
+            forced
+        );
+    }
+    println!(
+        "\n=> forced decisions are {:.3} apart in the worst coordinate, but epsilon-agreement\n   allows only {eps}; violation = {}.",
+        evidence.max_pairwise_distance,
+        evidence.violates_epsilon_agreement()
+    );
+    println!(
+        "   Approximate BVC therefore needs n >= (d+2)f + 1 = {} processes (Theorem 4); the\n   runner's enforced minimum is {}.",
+        (d + 2) + 1,
+        Setting::ApproxAsync.min_processes(d, 1)
+    );
+
+    // Sanity: the hull of the honest inputs of the Theorem 4 construction is
+    // genuinely d-dimensional (the basis points are affinely independent), so
+    // the collapse is not an artefact of a degenerate input set.
+    let hull = ConvexHull::new(PointMultiset::new(inputs.points()[..=d].to_vec()));
+    assert!(hull.contains(&bvc::geometry::Point::uniform(d, eps)));
+    println!("\nBoth constructions verified numerically — the bounds are tight on both sides.");
+}

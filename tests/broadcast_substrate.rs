@@ -1,0 +1,155 @@
+//! Integration tests: the Byzantine-broadcast substrate keeps its two
+//! defining properties when driven through the synchronous network executor
+//! with protocol-aware Byzantine processes (not just the hand-rolled loops of
+//! the unit tests), and the payload-agnostic adversary wrappers compose with
+//! it.
+
+use bvc::adversary::{CrashAfterSync, DuplicateSync, SilenceTowardsSync};
+use bvc::broadcast::{BroadcastInstance, BroadcastMessage};
+use bvc::geometry::Point;
+use bvc::net::{broadcast_to_all, Delivery, Outgoing, ProcessId, SyncNetwork, SyncProcess};
+
+/// A process participating in a single Byzantine-broadcast instance with a
+/// designated source, over the synchronous executor.
+struct BroadcastParticipant {
+    me: usize,
+    n: usize,
+    instance: BroadcastInstance<Point>,
+}
+
+impl BroadcastParticipant {
+    fn new(n: usize, f: usize, me: usize, source: usize, input: Option<Point>) -> Self {
+        let mut instance = BroadcastInstance::new(n, f, me, source, Point::new(vec![0.0]));
+        if let Some(value) = input {
+            instance.set_input(value);
+        }
+        Self { me, n, instance }
+    }
+}
+
+impl SyncProcess for BroadcastParticipant {
+    type Msg = BroadcastMessage<Point>;
+    type Output = Point;
+
+    fn round(
+        &mut self,
+        round: usize,
+        inbox: &[Delivery<BroadcastMessage<Point>>],
+    ) -> Vec<Outgoing<BroadcastMessage<Point>>> {
+        if round >= 2 {
+            for delivery in inbox {
+                self.instance.receive(round - 1, delivery.from.index(), &delivery.msg);
+            }
+            self.instance.end_round(round - 1);
+        }
+        if round <= self.instance.rounds() {
+            if let Some(msg) = self.instance.message_for_round(round) {
+                return broadcast_to_all(self.n, Some(ProcessId::new(self.me)), &msg);
+            }
+        }
+        Vec::new()
+    }
+
+    fn output(&self) -> Option<Point> {
+        self.instance.decision().cloned()
+    }
+}
+
+fn run_instance(
+    n: usize,
+    f: usize,
+    source: usize,
+    value: Point,
+    wrap: impl Fn(usize, BroadcastParticipant) -> Box<dyn SyncProcess<Msg = BroadcastMessage<Point>, Output = Point>>,
+) -> Vec<Option<Point>> {
+    let processes: Vec<Box<dyn SyncProcess<Msg = BroadcastMessage<Point>, Output = Point>>> = (0..n)
+        .map(|me| {
+            let input = if me == source { Some(value.clone()) } else { None };
+            wrap(me, BroadcastParticipant::new(n, f, me, source, input))
+        })
+        .collect();
+    let wait: Vec<usize> = (0..n).collect();
+    let outcome = SyncNetwork::new(processes, f + 4).run(&wait);
+    outcome.outputs
+}
+
+#[test]
+fn honest_source_value_adopted_over_the_executor() {
+    let value = Point::new(vec![0.25]);
+    let outputs = run_instance(4, 1, 0, value.clone(), |_, p| Box::new(p));
+    for out in outputs {
+        assert!(out.expect("decided").approx_eq(&value, 1e-12));
+    }
+}
+
+#[test]
+fn crashing_relay_does_not_break_agreement() {
+    // Process 2 crashes after round 1 (it relays nothing in the EIG rounds).
+    let value = Point::new(vec![0.75]);
+    let outputs = run_instance(4, 1, 0, value.clone(), |me, p| {
+        if me == 2 {
+            Box::new(CrashAfterSync::new(p, 1))
+        } else {
+            Box::new(p)
+        }
+    });
+    // The three live processes decide the source's value.
+    for (i, out) in outputs.iter().enumerate() {
+        if i == 2 {
+            continue;
+        }
+        assert!(out.as_ref().expect("decided").approx_eq(&value, 1e-12));
+    }
+}
+
+#[test]
+fn selective_silence_towards_one_victim_does_not_break_agreement() {
+    // Process 3 drops all its messages to process 1; with an honest source the
+    // decision must still be the source's value everywhere.
+    let value = Point::new(vec![0.5, 0.5]);
+    let outputs = run_instance(4, 1, 0, value.clone(), |me, p| {
+        if me == 3 {
+            Box::new(SilenceTowardsSync::new(p, vec![ProcessId::new(1)]))
+        } else {
+            Box::new(p)
+        }
+    });
+    for out in outputs.iter().take(3) {
+        assert!(out.as_ref().expect("decided").approx_eq(&value, 1e-12));
+    }
+}
+
+#[test]
+fn duplicated_messages_are_harmless() {
+    // Process 1 sends everything twice; first-write-wins in the EIG tree must
+    // keep the outcome unchanged.
+    let value = Point::new(vec![0.1, 0.9]);
+    let outputs = run_instance(4, 1, 0, value.clone(), |me, p| {
+        if me == 1 {
+            Box::new(DuplicateSync::new(p))
+        } else {
+            Box::new(p)
+        }
+    });
+    for out in outputs {
+        assert!(out.expect("decided").approx_eq(&value, 1e-12));
+    }
+}
+
+#[test]
+fn seven_processes_two_crashing_relays() {
+    let value = Point::new(vec![0.3, 0.3, 0.4]);
+    let outputs = run_instance(7, 2, 1, value.clone(), |me, p| {
+        if me == 5 || me == 6 {
+            Box::new(CrashAfterSync::new(p, 2))
+        } else {
+            Box::new(p)
+        }
+    });
+    for (i, out) in outputs.iter().enumerate() {
+        if i == 5 || i == 6 {
+            continue;
+        }
+        assert!(out.as_ref().expect("decided").approx_eq(&value, 1e-12));
+    }
+}
