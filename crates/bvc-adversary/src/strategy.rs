@@ -186,7 +186,7 @@ impl PointForge {
             }
             ByzantineStrategy::AntiConvergence => {
                 // Opposite corners of the box by receiver parity.
-                if to % 2 == 0 {
+                if to.is_multiple_of(2) {
                     Point::uniform(self.dim, self.lo)
                 } else {
                     Point::uniform(self.dim, self.hi)

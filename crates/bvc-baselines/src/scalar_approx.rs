@@ -155,7 +155,12 @@ pub fn run_iterative_scalar(
     let outcome = SyncNetwork::new(processes, rounds + 2).run(&honest);
     honest
         .iter()
-        .map(|&i| outcome.outputs[i].as_ref().expect("honest decision").coord(0))
+        .map(|&i| {
+            outcome.outputs[i]
+                .as_ref()
+                .expect("honest decision")
+                .coord(0)
+        })
         .collect()
 }
 

@@ -154,9 +154,7 @@ mod tests {
         let s = probability_example();
         let decision = per_dimension_decision(&s, 1, ScalarPick::Lower);
         assert!(decision.approx_eq(&Point::new(vec![1.0 / 6.0; 3]), 1e-9));
-        let honest_hull = ConvexHull::new(PointMultiset::new(
-            s.points()[..3].to_vec(),
-        ));
+        let honest_hull = ConvexHull::new(PointMultiset::new(s.points()[..3].to_vec()));
         assert!(
             !honest_hull.contains(&decision),
             "the baseline decision must violate vector validity"

@@ -35,9 +35,8 @@ fn bench_update_rules(c: &mut Criterion) {
             },
         );
         // Witness sets: n sets of size quorum (the Appendix F shape).
-        let witness_sets: Vec<Vec<Point>> = (0..n)
-            .map(|k| entries(quorum, d, 100 + k as u64))
-            .collect();
+        let witness_sets: Vec<Vec<Point>> =
+            (0..n).map(|k| entries(quorum, d, 100 + k as u64)).collect();
         group.bench_with_input(
             BenchmarkId::new("witness_optimised", format!("n{n}_f{f}_d{d}")),
             &witness_sets,

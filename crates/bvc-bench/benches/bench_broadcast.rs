@@ -9,8 +9,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 /// Drives one fault-free EIG broadcast among `n` processes with `f` tolerated
 /// faults to completion and returns the common decision.
 fn run_eig_broadcast(n: usize, f: usize, value: i64) -> i64 {
-    let mut instances: Vec<BroadcastInstance<i64>> =
-        (0..n).map(|me| BroadcastInstance::new(n, f, me, 0, 0)).collect();
+    let mut instances: Vec<BroadcastInstance<i64>> = (0..n)
+        .map(|me| BroadcastInstance::new(n, f, me, 0, 0))
+        .collect();
     instances[0].set_input(value);
     let rounds = f + 2;
     for round in 1..=rounds {
@@ -18,13 +19,13 @@ fn run_eig_broadcast(n: usize, f: usize, value: i64) -> i64 {
             .iter_mut()
             .map(|inst| inst.message_for_round(round))
             .collect();
-        for to in 0..n {
-            for from in 0..n {
+        for (to, inst) in instances.iter_mut().enumerate() {
+            for (from, out) in outgoing.iter().enumerate() {
                 if from == to {
                     continue;
                 }
-                if let Some(msg) = &outgoing[from] {
-                    instances[to].receive(round, from, msg);
+                if let Some(msg) = out {
+                    inst.receive(round, from, msg);
                 }
             }
         }
@@ -38,8 +39,9 @@ fn run_eig_broadcast(n: usize, f: usize, value: i64) -> i64 {
 /// Drives one fault-free reliable-broadcast slot among `n` processes to
 /// delivery everywhere.
 fn run_reliable_broadcast(n: usize, f: usize, value: i32) -> usize {
-    let mut instances: Vec<ReliableBroadcastInstance<i32>> =
-        (0..n).map(|_| ReliableBroadcastInstance::new(n, f)).collect();
+    let mut instances: Vec<ReliableBroadcastInstance<i32>> = (0..n)
+        .map(|_| ReliableBroadcastInstance::new(n, f))
+        .collect();
     let mut queue: Vec<(usize, usize, RbMessage<i32>)> = Vec::new();
     let step = instances[0].start_as_sender(0, value);
     for m in step.broadcast {
@@ -67,12 +69,16 @@ fn bench_eig(c: &mut Criterion) {
     let mut group = c.benchmark_group("eig_broadcast");
     group.sample_size(20);
     for &(n, f) in &[(4usize, 1usize), (7, 1), (7, 2), (10, 2)] {
-        group.bench_with_input(BenchmarkId::new("run", format!("n{n}_f{f}")), &(n, f), |b, &(n, f)| {
-            b.iter(|| {
-                let decision = run_eig_broadcast(n, f, 42);
-                assert_eq!(decision, 42);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("run", format!("n{n}_f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let decision = run_eig_broadcast(n, f, 42);
+                    assert_eq!(decision, 42);
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -81,12 +87,16 @@ fn bench_reliable(c: &mut Criterion) {
     let mut group = c.benchmark_group("reliable_broadcast");
     group.sample_size(20);
     for &(n, f) in &[(4usize, 1usize), (7, 2), (10, 3)] {
-        group.bench_with_input(BenchmarkId::new("run", format!("n{n}_f{f}")), &(n, f), |b, &(n, f)| {
-            b.iter(|| {
-                let delivered = run_reliable_broadcast(n, f, 7);
-                assert_eq!(delivered, n);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("run", format!("n{n}_f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let delivered = run_reliable_broadcast(n, f, 7);
+                    assert_eq!(delivered, n);
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -16,30 +16,22 @@ fn bench_gamma_point(c: &mut Criterion) {
     // f = 1 sweep over n and d.
     for &(n, d) in &[(4usize, 1usize), (5, 2), (6, 3), (8, 2)] {
         let s = multiset(n, d, 7);
-        group.bench_with_input(
-            BenchmarkId::new("f1", format!("n{n}_d{d}")),
-            &s,
-            |b, s| {
-                b.iter(|| {
-                    let p = gamma_point(s, 1);
-                    assert!(p.is_some());
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("f1", format!("n{n}_d{d}")), &s, |b, s| {
+            b.iter(|| {
+                let p = gamma_point(s, 1);
+                assert!(p.is_some());
+            })
+        });
     }
     // f = 2: the C(n, n−2) growth the paper warns about.
     for &(n, d) in &[(7usize, 2usize), (8, 2)] {
         let s = multiset(n, d, 9);
-        group.bench_with_input(
-            BenchmarkId::new("f2", format!("n{n}_d{d}")),
-            &s,
-            |b, s| {
-                b.iter(|| {
-                    let p = gamma_point(s, 2);
-                    assert!(p.is_some());
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("f2", format!("n{n}_d{d}")), &s, |b, s| {
+            b.iter(|| {
+                let p = gamma_point(s, 2);
+                assert!(p.is_some());
+            })
+        });
     }
     group.finish();
 }

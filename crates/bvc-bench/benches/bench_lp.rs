@@ -30,12 +30,16 @@ fn bench_simplex(c: &mut Criterion) {
     group.sample_size(30);
     for &(k, d) in &[(5usize, 2usize), (10, 3), (20, 4), (40, 6)] {
         let lp = membership_lp(k, d, 42);
-        group.bench_with_input(BenchmarkId::new("solve", format!("k{k}_d{d}")), &lp, |b, lp| {
-            b.iter(|| {
-                let solution = lp.solve();
-                assert!(solution.is_optimal());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("k{k}_d{d}")),
+            &lp,
+            |b, lp| {
+                b.iter(|| {
+                    let solution = lp.solve();
+                    assert!(solution.is_optimal());
+                })
+            },
+        );
     }
     group.finish();
 }

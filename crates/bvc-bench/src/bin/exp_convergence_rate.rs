@@ -138,8 +138,7 @@ fn main() {
     let histories: Vec<&[bvc_geometry::Point]> = honest.iter().map(|p| p.history()).collect();
     let measured: Vec<f64> = (0..rounds.min(histories[0].len()))
         .map(|t| {
-            PointMultiset::new(histories.iter().map(|h| h[t].clone()).collect())
-                .coordinate_range()
+            PointMultiset::new(histories.iter().map(|h| h[t].clone()).collect()).coordinate_range()
         })
         .collect();
     let rho0 = measured[0];

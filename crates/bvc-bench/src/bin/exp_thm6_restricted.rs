@@ -31,7 +31,10 @@ fn main() {
     ]);
     let eps = 0.1;
     for &(d, f) in &[(1usize, 1usize), (2, 1)] {
-        for strategy in [ByzantineStrategy::FixedOutlier, ByzantineStrategy::AntiConvergence] {
+        for strategy in [
+            ByzantineStrategy::FixedOutlier,
+            ByzantineStrategy::AntiConvergence,
+        ] {
             // Synchronous restricted.
             let n = Setting::RestrictedSync.min_processes(d, f);
             let run = RestrictedRun::sync_builder(n, f, d)

@@ -97,7 +97,11 @@ pub fn honest_workload(seed: u64, count: usize, d: usize) -> Vec<Point> {
 
 /// Formats a boolean as a check mark / cross for tables.
 pub fn mark(ok: bool) -> String {
-    if ok { "yes".to_string() } else { "NO".to_string() }
+    if ok {
+        "yes".to_string()
+    } else {
+        "NO".to_string()
+    }
 }
 
 /// Formats a float with the given precision.

@@ -90,7 +90,10 @@ impl<V: Clone + PartialEq> BroadcastInstance<V> {
     ///
     /// Panics if `round` is 0 or exceeds [`Self::rounds`].
     pub fn message_for_round(&mut self, round: usize) -> Option<BroadcastMessage<V>> {
-        assert!(round >= 1 && round <= self.rounds(), "round {round} out of range");
+        assert!(
+            round >= 1 && round <= self.rounds(),
+            "round {round} out of range"
+        );
         if round == 1 {
             if self.me == self.source {
                 let value = self.input.clone().unwrap_or_else(|| self.default.clone());
@@ -182,18 +185,18 @@ mod tests {
                 .iter_mut()
                 .map(|inst| inst.message_for_round(round))
                 .collect();
-            for to in 0..n {
-                for from in 0..n {
+            for (to, inst) in instances.iter_mut().enumerate() {
+                for (from, out) in outgoing.iter().enumerate() {
                     if from == to {
                         continue;
                     }
                     let msg = if byzantine.contains(&from) {
                         forge(round, from, to)
                     } else {
-                        outgoing[from].clone()
+                        out.clone()
                     };
                     if let Some(m) = msg {
-                        instances[to].receive(round, from, &m);
+                        inst.receive(round, from, &m);
                     }
                 }
             }

@@ -46,7 +46,7 @@ impl<V: Clone + PartialEq> EigTree<V> {
     /// Panics unless `n ≥ 3f + 1`, `f ≥ 1` and `me < n`.
     pub fn new(n: usize, f: usize, me: usize, default: V) -> Self {
         assert!(f >= 1, "EIG needs f >= 1 (use direct exchange for f = 0)");
-        assert!(n >= 3 * f + 1, "EIG requires n >= 3f + 1 (n = {n}, f = {f})");
+        assert!(n > 3 * f, "EIG requires n >= 3f + 1 (n = {n}, f = {f})");
         assert!(me < n, "process index {me} out of range");
         Self {
             n,
@@ -79,7 +79,10 @@ impl<V: Clone + PartialEq> EigTree<V> {
     /// Missing values are relayed as the default, which keeps the relay
     /// schedule deterministic even if earlier senders were silent.
     pub fn messages_for_round(&self, round: usize) -> Vec<(Label, V)> {
-        assert!(round >= 1 && round <= self.rounds(), "round {round} out of range");
+        assert!(
+            round >= 1 && round <= self.rounds(),
+            "round {round} out of range"
+        );
         self.labels_at_level(round - 1)
             .into_iter()
             .filter(|label| !label.contains(&self.me))
@@ -115,7 +118,10 @@ impl<V: Clone + PartialEq> EigTree<V> {
     /// Malformed pairs are ignored, which is how a Byzantine sender's garbage
     /// is neutralised.
     pub fn receive(&mut self, round: usize, from: usize, pairs: &[(Label, V)]) {
-        assert!(round >= 1 && round <= self.rounds(), "round {round} out of range");
+        assert!(
+            round >= 1 && round <= self.rounds(),
+            "round {round} out of range"
+        );
         for (label, value) in pairs {
             if label.len() != round - 1 {
                 continue;
@@ -139,7 +145,10 @@ impl<V: Clone + PartialEq> EigTree<V> {
     /// value.  Call at the end of round `round` so silent senders are treated
     /// as having sent the default, as the classical protocol prescribes.
     pub fn fill_defaults(&mut self, round: usize) {
-        assert!(round >= 1 && round <= self.rounds(), "round {round} out of range");
+        assert!(
+            round >= 1 && round <= self.rounds(),
+            "round {round} out of range"
+        );
         for label in self.labels_at_level(round) {
             self.values
                 .entry(label)
@@ -248,17 +257,17 @@ mod tests {
                 tree.apply_own_relays(round);
             }
             // Deliver.
-            for to in 0..n {
-                for from in 0..n {
+            for (to, tree) in trees.iter_mut().enumerate() {
+                for (from, out) in outgoing.iter().enumerate() {
                     if from == to {
                         continue;
                     }
                     let pairs = if byzantine.contains(&from) {
                         garbage(round, from, to)
                     } else {
-                        outgoing[from].clone()
+                        out.clone()
                     };
-                    trees[to].receive(round, from, &pairs);
+                    tree.receive(round, from, &pairs);
                 }
             }
             for tree in trees.iter_mut() {

@@ -76,7 +76,7 @@ impl<V: Clone + PartialEq> ReliableBroadcastInstance<V> {
     pub fn new(n: usize, f: usize) -> Self {
         assert!(f >= 1, "reliable broadcast instance expects f >= 1");
         assert!(
-            n >= 3 * f + 1,
+            n > 3 * f,
             "reliable broadcast requires n >= 3f + 1 (n = {n}, f = {f})"
         );
         Self {
@@ -124,11 +124,7 @@ impl<V: Clone + PartialEq> ReliableBroadcastInstance<V> {
             RbMessage::Echo(value) => {
                 if !self.echoes.iter().any(|(p, _)| *p == from) {
                     self.echoes.push((from, value.clone()));
-                    let matching = self
-                        .echoes
-                        .iter()
-                        .filter(|(_, v)| v == value)
-                        .count();
+                    let matching = self.echoes.iter().filter(|(_, v)| v == value).count();
                     // Quorum of n − f matching echoes triggers Ready.
                     if matching >= self.n - self.f && !self.sent_ready {
                         self.send_ready(me, value.clone(), &mut step);
@@ -138,23 +134,15 @@ impl<V: Clone + PartialEq> ReliableBroadcastInstance<V> {
             RbMessage::Ready(value) => {
                 if !self.readies.iter().any(|(p, _)| *p == from) {
                     self.readies.push((from, value.clone()));
-                    let matching = self
-                        .readies
-                        .iter()
-                        .filter(|(_, v)| v == value)
-                        .count();
+                    let matching = self.readies.iter().filter(|(_, v)| v == value).count();
                     // Amplification: f + 1 Readys for a value we have not
                     // endorsed yet ⇒ send our own Ready.
-                    if matching >= self.f + 1 && !self.sent_ready {
+                    if matching > self.f && !self.sent_ready {
                         self.send_ready(me, value.clone(), &mut step);
                     }
                     // Delivery: 2f + 1 matching Readys.
-                    let matching = self
-                        .readies
-                        .iter()
-                        .filter(|(_, v)| v == value)
-                        .count();
-                    if matching >= 2 * self.f + 1 && self.delivered.is_none() {
+                    let matching = self.readies.iter().filter(|(_, v)| v == value).count();
+                    if matching > 2 * self.f && self.delivered.is_none() {
                         self.delivered = Some(value.clone());
                         step.delivered = Some(value.clone());
                     }
@@ -198,8 +186,9 @@ mod tests {
         inits: &dyn Fn(usize) -> Option<i32>,
         byzantine: &[usize],
     ) -> Vec<Option<i32>> {
-        let mut instances: Vec<ReliableBroadcastInstance<i32>> =
-            (0..n).map(|_| ReliableBroadcastInstance::new(n, f)).collect();
+        let mut instances: Vec<ReliableBroadcastInstance<i32>> = (0..n)
+            .map(|_| ReliableBroadcastInstance::new(n, f))
+            .collect();
         let mut queue: VecDeque<(usize, usize, RbMessage<i32>)> = VecDeque::new();
 
         // Sender injects its Inits (a Byzantine sender may equivocate).
@@ -278,7 +267,7 @@ mod tests {
     fn totality_holds_when_sender_equivocates_but_one_value_wins() {
         // Sender sends the same value to enough processes that a delivery
         // happens; then all honest processes must deliver it.
-        let delivered = run_slot(4, 1, 3, &|to| Some(if to == 0 { 8 } else { 8 }), &[3]);
+        let delivered = run_slot(4, 1, 3, &|_to| Some(8), &[3]);
         let honest: Vec<Option<i32>> = delivered[..3].to_vec();
         assert!(honest.iter().all(|d| *d == Some(8)));
     }
@@ -300,7 +289,9 @@ mod tests {
         assert!(step.broadcast.is_empty(), "quorum must not be reached yet");
         let step = inst.handle(0, 3, &RbMessage::Echo(7));
         assert!(
-            step.broadcast.iter().any(|m| matches!(m, RbMessage::Ready(7))),
+            step.broadcast
+                .iter()
+                .any(|m| matches!(m, RbMessage::Ready(7))),
             "third distinct echo reaches the quorum"
         );
     }
@@ -312,7 +303,10 @@ mod tests {
         // we never saw an Init or enough Echos.
         let _ = inst.handle(0, 1, &RbMessage::Ready(3));
         let step = inst.handle(0, 2, &RbMessage::Ready(3));
-        assert!(step.broadcast.iter().any(|m| matches!(m, RbMessage::Ready(3))));
+        assert!(step
+            .broadcast
+            .iter()
+            .any(|m| matches!(m, RbMessage::Ready(3))));
         // With our own Ready that is 3 = 2f + 1 matching Readys: delivered.
         assert_eq!(inst.delivered(), Some(&3));
     }

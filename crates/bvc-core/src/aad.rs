@@ -118,16 +118,11 @@ impl AadExchange {
     /// # Panics
     ///
     /// Panics unless `n ≥ 3f + 1`, `f ≥ 1` and `me < n`.
-    pub fn start(
-        n: usize,
-        f: usize,
-        me: usize,
-        round: usize,
-        value: Point,
-    ) -> (Self, Vec<AadMsg>) {
+    pub fn start(n: usize, f: usize, me: usize, round: usize, value: Point) -> (Self, Vec<AadMsg>) {
         assert!(me < n, "process index {me} out of range");
-        let rb: Vec<ReliableBroadcastInstance<Point>> =
-            (0..n).map(|_| ReliableBroadcastInstance::new(n, f)).collect();
+        let rb: Vec<ReliableBroadcastInstance<Point>> = (0..n)
+            .map(|_| ReliableBroadcastInstance::new(n, f))
+            .collect();
         let mut exchange = Self {
             n,
             f,
@@ -301,8 +296,8 @@ mod tests {
     fn run_exchange(n: usize, f: usize, byz: &[usize], values: &[f64]) -> Vec<AadExchange> {
         let mut exchanges = Vec::new();
         let mut queue: VecDeque<(usize, usize, AadMsg)> = VecDeque::new();
-        for me in 0..n {
-            let (exchange, msgs) = AadExchange::start(n, f, me, 1, Point::new(vec![values[me]]));
+        for (me, &value) in values.iter().enumerate() {
+            let (exchange, msgs) = AadExchange::start(n, f, me, 1, Point::new(vec![value]));
             if !byz.contains(&me) {
                 for msg in msgs {
                     for to in 0..n {
@@ -334,7 +329,9 @@ mod tests {
     fn all_honest_processes_complete_without_faults() {
         let exchanges = run_exchange(4, 1, &[], &[1.0, 2.0, 3.0, 4.0]);
         for (i, e) in exchanges.iter().enumerate() {
-            let done = e.completed().unwrap_or_else(|| panic!("process {i} incomplete"));
+            let done = e
+                .completed()
+                .unwrap_or_else(|| panic!("process {i} incomplete"));
             assert!(done.entries.len() >= 3);
             assert!(!done.witness_sets.is_empty());
         }
@@ -343,9 +340,9 @@ mod tests {
     #[test]
     fn completes_despite_a_silent_byzantine_process() {
         let exchanges = run_exchange(4, 1, &[3], &[1.0, 2.0, 3.0, 99.0]);
-        for i in 0..3 {
+        for (i, exchange) in exchanges.iter().take(3).enumerate() {
             assert!(
-                exchanges[i].completed().is_some(),
+                exchange.completed().is_some(),
                 "honest process {i} must complete without the silent process"
             );
         }
@@ -367,8 +364,8 @@ mod tests {
     fn property_3_honest_values_are_reported_faithfully() {
         let values = [1.0, 2.0, 3.0, 4.0];
         let exchanges = run_exchange(4, 1, &[3], &values);
-        for i in 0..3 {
-            let done = exchanges[i].completed().unwrap();
+        for exchange in exchanges.iter().take(3) {
+            let done = exchange.completed().unwrap();
             for (origin, value) in &done.entries {
                 if *origin < 3 {
                     assert!(
@@ -408,8 +405,8 @@ mod tests {
     #[test]
     fn witness_sets_have_exactly_quorum_entries() {
         let exchanges = run_exchange(7, 2, &[5, 6], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
-        for i in 0..5 {
-            let done = exchanges[i].completed().unwrap();
+        for exchange in exchanges.iter().take(5) {
+            let done = exchange.completed().unwrap();
             assert!(done.witness_sets.len() <= 7);
             for set in &done.witness_sets {
                 assert_eq!(set.len(), 5);
@@ -460,7 +457,11 @@ mod tests {
             inner: RbMessage::Echo(Point::new(vec![1.0])),
         };
         rb.forge_points(&p);
-        if let AadMsg::Rb { inner: RbMessage::Echo(v), .. } = &rb {
+        if let AadMsg::Rb {
+            inner: RbMessage::Echo(v),
+            ..
+        } = &rb
+        {
             assert_eq!(v.coord(0), 7.0);
         } else {
             panic!("message shape changed");

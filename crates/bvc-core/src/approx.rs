@@ -168,8 +168,7 @@ impl ApproxBvcProcess {
             let quorum = self.config.n - self.config.f;
             let zi = match self.rule {
                 UpdateRule::FullSubsets => {
-                    let entries: Vec<Point> =
-                        done.entries.iter().map(|(_, v)| v.clone()).collect();
+                    let entries: Vec<Point> = done.entries.iter().map(|(_, v)| v.clone()).collect();
                     build_zi_full(&entries, quorum, self.config.f)
                 }
                 UpdateRule::WitnessOptimized => {
@@ -214,7 +213,10 @@ impl AsyncProcess for ApproxBvcProcess {
         } else if round > self.current_round && round <= self.max_rounds {
             // A faster process is already in a later round: buffer until we
             // get there.
-            self.future.entry(round).or_default().push((from.index(), msg));
+            self.future
+                .entry(round)
+                .or_default()
+                .push((from.index(), msg));
         }
         responses.extend(self.advance_if_complete());
         self.fan_out(responses)
@@ -257,12 +259,9 @@ impl ByzantineApproxProcess {
         let mut forged = Vec::with_capacity(outgoing.len());
         for mut out in outgoing {
             let round = out.msg.round();
-            match self.forge.forge(round, out.to.index()) {
-                Some(point) => {
-                    out.msg.forge_points(&point);
-                    forged.push(out);
-                }
-                None => {}
+            if let Some(point) = self.forge.forge(round, out.to.index()) {
+                out.msg.forge_points(&point);
+                forged.push(out);
             }
         }
         forged
@@ -297,6 +296,7 @@ mod tests {
 
     /// Runs the asynchronous algorithm with the last `f` processes Byzantine.
     /// Returns the honest decisions and the honest inputs.
+    #[allow(clippy::too_many_arguments)]
     fn run_approx(
         n: usize,
         f: usize,
@@ -497,10 +497,7 @@ mod tests {
         // beyond the initial honest range (validity of intermediate states).
         let n = 4;
         let f = 1;
-        let config = BvcConfig::new(n, f, 1)
-            .unwrap()
-            .with_epsilon(0.05)
-            .unwrap();
+        let config = BvcConfig::new(n, f, 1).unwrap().with_epsilon(0.05).unwrap();
         let inputs = [0.0, 0.5, 1.0];
         let mut processes: Vec<Box<dyn AsyncProcess<Msg = AadMsg, Output = ApproxOutput>>> =
             Vec::new();
@@ -521,17 +518,14 @@ mod tests {
             UpdateRule::WitnessOptimized,
             forge,
         )));
-        let outcome = AsyncNetwork::new(processes, DeliveryPolicy::RandomFair, 31, 2_000_000)
-            .run(&[0, 1, 2]);
+        let outcome =
+            AsyncNetwork::new(processes, DeliveryPolicy::RandomFair, 31, 2_000_000).run(&[0, 1, 2]);
         assert!(outcome.completed);
         let outputs: Vec<ApproxOutput> = (0..3)
             .map(|i| outcome.outputs[i].clone().unwrap())
             .collect();
         let decisions: Vec<f64> = outputs.iter().map(|o| o.decision.coord(0)).collect();
-        let spread = decisions
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max)
+        let spread = decisions.iter().cloned().fold(f64::MIN, f64::max)
             - decisions.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread <= 0.05, "final spread {spread} exceeds ε");
         // All decisions stay within the honest input range [0, 1].
@@ -551,10 +545,7 @@ mod tests {
 
     #[test]
     fn round_budget_matches_convergence_module() {
-        let config = BvcConfig::new(4, 1, 1)
-            .unwrap()
-            .with_epsilon(0.1)
-            .unwrap();
+        let config = BvcConfig::new(4, 1, 1).unwrap().with_epsilon(0.1).unwrap();
         let full = ApproxBvcProcess::round_budget(&config, UpdateRule::FullSubsets);
         let optimized = ApproxBvcProcess::round_budget(&config, UpdateRule::WitnessOptimized);
         // For n = 4, f = 1 both γ's equal 1/16, so the budgets coincide.

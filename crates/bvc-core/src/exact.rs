@@ -247,7 +247,11 @@ mod tests {
         let cfg = config(n, f, d);
         let mut processes: Vec<Box<dyn SyncProcess<Msg = ExactMsg, Output = Point>>> = Vec::new();
         for (i, input) in honest_inputs.iter().enumerate() {
-            processes.push(Box::new(ExactBvcProcess::new(cfg.clone(), i, input.clone())));
+            processes.push(Box::new(ExactBvcProcess::new(
+                cfg.clone(),
+                i,
+                input.clone(),
+            )));
         }
         for b in 0..f {
             let me = n - f + b;
@@ -267,11 +271,15 @@ mod tests {
             )));
         }
         let honest_indices: Vec<usize> = (0..n - f).collect();
-        let outcome = SyncNetwork::new(processes, ExactBvcProcess::total_rounds(&cfg))
-            .run(&honest_indices);
+        let outcome =
+            SyncNetwork::new(processes, ExactBvcProcess::total_rounds(&cfg)).run(&honest_indices);
         let decisions: Vec<Point> = honest_indices
             .iter()
-            .map(|&i| outcome.outputs[i].clone().expect("honest process must decide"))
+            .map(|&i| {
+                outcome.outputs[i]
+                    .clone()
+                    .expect("honest process must decide")
+            })
             .collect();
         (decisions, honest_inputs)
     }
@@ -359,13 +367,15 @@ mod tests {
             Point::new(vec![1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0]),
             Point::new(vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]),
         ];
-        let (decisions, honest) =
-            run_exact(5, 1, 3, inputs, ByzantineStrategy::AntiConvergence, 5);
+        let (decisions, honest) = run_exact(5, 1, 3, inputs, ByzantineStrategy::AntiConvergence, 5);
         assert_agreement(&decisions);
         assert_validity(&decisions, &honest);
         let d = &decisions[0];
         let sum: f64 = d.coords().iter().sum();
-        assert!((sum - 1.0).abs() < 1e-5, "decision must remain a probability vector");
+        assert!(
+            (sum - 1.0).abs() < 1e-5,
+            "decision must remain a probability vector"
+        );
         assert!(d.coords().iter().all(|&c| c >= -1e-6));
     }
 
@@ -409,7 +419,7 @@ mod tests {
         };
         msg.forge_points(&Point::new(vec![9.0, 9.0]));
         if let BroadcastMessage::Relay(pairs) = &msg.payload {
-            assert!(pairs.iter().all(|(_, v)| v.coords() == &[9.0, 9.0]));
+            assert!(pairs.iter().all(|(_, v)| v.coords() == [9.0, 9.0]));
         } else {
             panic!("payload kind changed");
         }

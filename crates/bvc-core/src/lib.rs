@@ -58,6 +58,7 @@ pub mod witness;
 pub use aad::{AadExchange, AadMsg, CompletedExchange};
 pub use approx::{ApproxBvcProcess, ApproxOutput, ByzantineApproxProcess, UpdateRule};
 pub use bvc_adversary::{ByzantineStrategy, PointForge};
+pub use bvc_net::{FaultError, FaultEvent, FaultKind, FaultPlan, LinkSelector};
 pub use config::{BvcConfig, BvcError, Setting};
 pub use convergence::{gamma, gamma_witness_optimized, guaranteed_range, round_threshold};
 pub use exact::{ByzantineExactProcess, ExactBvcProcess, ExactMsg};

@@ -262,11 +262,7 @@ impl RestrictedAsyncProcess {
             }
             let round = self.current_round;
             let quorum_others = self.config.n - self.config.f - 1;
-            let have = self
-                .received
-                .get(&round)
-                .map(|m| m.len())
-                .unwrap_or(0);
+            let have = self.received.get(&round).map(|m| m.len()).unwrap_or(0);
             if have < quorum_others {
                 return out;
             }
@@ -437,11 +433,15 @@ mod tests {
             let me = n - f + b;
             let mut forge = PointForge::new(strategy, d, 0.0, 1.0, seed + b as u64);
             forge.set_honest_value(Point::uniform(d, 0.5));
-            processes.push(Box::new(ByzantineRestrictedSync::new(cfg.clone(), me, forge)));
+            processes.push(Box::new(ByzantineRestrictedSync::new(
+                cfg.clone(),
+                me,
+                forge,
+            )));
         }
         let honest: Vec<usize> = (0..n - f).collect();
-        let outcome = SyncNetwork::new(processes, RestrictedSyncProcess::total_rounds(&cfg) + 2)
-            .run(&honest);
+        let outcome =
+            SyncNetwork::new(processes, RestrictedSyncProcess::total_rounds(&cfg) + 2).run(&honest);
         let decisions = honest
             .iter()
             .map(|&i| outcome.outputs[i].clone().expect("honest decision"))
@@ -471,7 +471,11 @@ mod tests {
             let me = n - f + b;
             let mut forge = PointForge::new(strategy, d, 0.0, 1.0, seed + b as u64);
             forge.set_honest_value(Point::uniform(d, 0.5));
-            processes.push(Box::new(ByzantineRestrictedAsync::new(cfg.clone(), me, forge)));
+            processes.push(Box::new(ByzantineRestrictedAsync::new(
+                cfg.clone(),
+                me,
+                forge,
+            )));
         }
         let honest: Vec<usize> = (0..n - f).collect();
         let outcome =
@@ -507,8 +511,7 @@ mod tests {
             Point::new(vec![0.0, 1.0]),
             Point::new(vec![0.8, 0.8]),
         ];
-        let (decisions, honest) =
-            run_sync(5, 1, 2, 0.1, inputs, ByzantineStrategy::Equivocate, 7);
+        let (decisions, honest) = run_sync(5, 1, 2, 0.1, inputs, ByzantineStrategy::Equivocate, 7);
         assert_eps_agreement(&decisions, 0.1);
         assert_validity(&decisions, &honest);
     }
@@ -535,15 +538,8 @@ mod tests {
             Point::new(vec![0.9]),
             Point::new(vec![1.0]),
         ];
-        let (decisions, honest) = run_async(
-            6,
-            1,
-            1,
-            0.1,
-            inputs,
-            ByzantineStrategy::AntiConvergence,
-            11,
-        );
+        let (decisions, honest) =
+            run_async(6, 1, 1, 0.1, inputs, ByzantineStrategy::AntiConvergence, 11);
         assert_eps_agreement(&decisions, 0.1);
         assert_validity(&decisions, &honest);
     }

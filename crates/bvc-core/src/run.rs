@@ -27,7 +27,7 @@ use crate::restricted::{
 use bvc_adversary::{ByzantineStrategy, PointForge};
 use bvc_geometry::{ConvexHull, Point, PointMultiset};
 use bvc_net::{
-    AsyncNetwork, AsyncProcess, DeliveryPolicy, ExecutionStats, SyncNetwork, SyncProcess,
+    AsyncNetwork, AsyncProcess, DeliveryPolicy, ExecutionStats, FaultPlan, SyncNetwork, SyncProcess,
 };
 
 /// How an execution scored against the paper's correctness conditions.
@@ -50,7 +50,12 @@ impl Verdict {
         self.agreement && self.validity && self.termination
     }
 
-    fn score(decisions: &[Point], honest_inputs: &[Point], terminated: bool, tolerance: f64) -> Self {
+    fn score(
+        decisions: &[Point],
+        honest_inputs: &[Point],
+        terminated: bool,
+        tolerance: f64,
+    ) -> Self {
         if decisions.is_empty() || !terminated {
             return Self {
                 agreement: false,
@@ -133,6 +138,7 @@ pub struct ExactBvcRunBuilder {
     adversary: ByzantineStrategy,
     seed: u64,
     value_bounds: (f64, f64),
+    faults: FaultPlan,
 }
 
 impl ExactBvcRunBuilder {
@@ -160,6 +166,14 @@ impl ExactBvcRunBuilder {
         self
     }
 
+    /// Injected network faults (windows measured in rounds); note that drop,
+    /// latency and partition faults step outside the paper's reliable
+    /// synchronous model, so the verdict may legitimately fail.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
@@ -174,7 +188,11 @@ impl ExactBvcRunBuilder {
 
         let mut processes: Vec<Box<dyn SyncProcess<Msg = ExactMsg, Output = Point>>> = Vec::new();
         for (i, input) in self.honest_inputs.iter().enumerate() {
-            processes.push(Box::new(ExactBvcProcess::new(config.clone(), i, input.clone())));
+            processes.push(Box::new(ExactBvcProcess::new(
+                config.clone(),
+                i,
+                input.clone(),
+            )));
         }
         for b in 0..config.f {
             let me = config.honest_count() + b;
@@ -188,6 +206,7 @@ impl ExactBvcRunBuilder {
         }
         let honest: Vec<usize> = (0..config.honest_count()).collect();
         let outcome = SyncNetwork::new(processes, ExactBvcProcess::total_rounds(&config))
+            .with_faults(self.faults, self.seed)
             .run(&honest);
         let decisions: Vec<Point> = honest
             .iter()
@@ -229,6 +248,7 @@ impl ExactBvcRun {
             adversary: ByzantineStrategy::Equivocate,
             seed: 0,
             value_bounds: (0.0, 1.0),
+            faults: FaultPlan::new(),
         }
     }
 
@@ -276,6 +296,7 @@ pub struct ApproxBvcRunBuilder {
     rule: UpdateRule,
     policy: DeliveryPolicy,
     max_steps: usize,
+    faults: FaultPlan,
 }
 
 impl ApproxBvcRunBuilder {
@@ -329,6 +350,14 @@ impl ApproxBvcRunBuilder {
         self
     }
 
+    /// Injected network faults (windows measured in scheduler ticks); every
+    /// fault expires, so the asynchronous fairness contract still holds after
+    /// the plan's quiescence horizon.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
@@ -342,8 +371,9 @@ impl ApproxBvcRunBuilder {
         config.require(Setting::ApproxAsync)?;
         validate_inputs(&config, &self.honest_inputs)?;
 
-        let mut processes: Vec<Box<dyn AsyncProcess<Msg = crate::aad::AadMsg, Output = ApproxOutput>>> =
-            Vec::new();
+        let mut processes: Vec<
+            Box<dyn AsyncProcess<Msg = crate::aad::AadMsg, Output = ApproxOutput>>,
+        > = Vec::new();
         for (i, input) in self.honest_inputs.iter().enumerate() {
             processes.push(Box::new(ApproxBvcProcess::new(
                 config.clone(),
@@ -364,8 +394,9 @@ impl ApproxBvcRunBuilder {
             )));
         }
         let honest: Vec<usize> = (0..config.honest_count()).collect();
-        let outcome =
-            AsyncNetwork::new(processes, self.policy, self.seed, self.max_steps).run(&honest);
+        let outcome = AsyncNetwork::new(processes, self.policy, self.seed, self.max_steps)
+            .with_faults(self.faults)
+            .run(&honest);
         let outputs: Vec<ApproxOutput> = honest
             .iter()
             .filter_map(|&i| outcome.outputs[i].clone())
@@ -412,6 +443,7 @@ impl ApproxBvcRun {
             rule: UpdateRule::WitnessOptimized,
             policy: DeliveryPolicy::RandomFair,
             max_steps: 5_000_000,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -465,11 +497,8 @@ impl ApproxBvcRun {
             .unwrap_or(0);
         (0..rounds)
             .map(|t| {
-                let states: Vec<Point> = self
-                    .outputs
-                    .iter()
-                    .map(|o| o.history[t].clone())
-                    .collect();
+                let states: Vec<Point> =
+                    self.outputs.iter().map(|o| o.history[t].clone()).collect();
                 PointMultiset::new(states).coordinate_range()
             })
             .collect()
@@ -491,6 +520,7 @@ pub struct RestrictedSyncRunBuilder {
     seed: u64,
     epsilon: f64,
     value_bounds: (f64, f64),
+    faults: FaultPlan,
 }
 
 impl RestrictedSyncRunBuilder {
@@ -524,6 +554,12 @@ impl RestrictedSyncRunBuilder {
         self
     }
 
+    /// Injected network faults (windows measured in rounds).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
@@ -547,14 +583,16 @@ impl RestrictedSyncRunBuilder {
         for b in 0..config.f {
             let me = config.honest_count() + b;
             let forge = make_forge(self.adversary, &config, self.seed, b);
-            processes.push(Box::new(ByzantineRestrictedSync::new(config.clone(), me, forge)));
+            processes.push(Box::new(ByzantineRestrictedSync::new(
+                config.clone(),
+                me,
+                forge,
+            )));
         }
         let honest: Vec<usize> = (0..config.honest_count()).collect();
-        let outcome = SyncNetwork::new(
-            processes,
-            RestrictedSyncProcess::total_rounds(&config) + 1,
-        )
-        .run(&honest);
+        let outcome = SyncNetwork::new(processes, RestrictedSyncProcess::total_rounds(&config) + 1)
+            .with_faults(self.faults, self.seed)
+            .run(&honest);
         let decisions: Vec<Point> = honest
             .iter()
             .filter_map(|&i| outcome.outputs[i].clone())
@@ -583,6 +621,7 @@ pub struct RestrictedAsyncRunBuilder {
     value_bounds: (f64, f64),
     policy: DeliveryPolicy,
     max_steps: usize,
+    faults: FaultPlan,
 }
 
 impl RestrictedAsyncRunBuilder {
@@ -628,6 +667,12 @@ impl RestrictedAsyncRunBuilder {
         self
     }
 
+    /// Injected network faults (windows measured in scheduler ticks).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
@@ -651,11 +696,16 @@ impl RestrictedAsyncRunBuilder {
         for b in 0..config.f {
             let me = config.honest_count() + b;
             let forge = make_forge(self.adversary, &config, self.seed, b);
-            processes.push(Box::new(ByzantineRestrictedAsync::new(config.clone(), me, forge)));
+            processes.push(Box::new(ByzantineRestrictedAsync::new(
+                config.clone(),
+                me,
+                forge,
+            )));
         }
         let honest: Vec<usize> = (0..config.honest_count()).collect();
-        let outcome =
-            AsyncNetwork::new(processes, self.policy, self.seed, self.max_steps).run(&honest);
+        let outcome = AsyncNetwork::new(processes, self.policy, self.seed, self.max_steps)
+            .with_faults(self.faults)
+            .run(&honest);
         let decisions: Vec<Point> = honest
             .iter()
             .filter_map(|&i| outcome.outputs[i].clone())
@@ -692,6 +742,7 @@ impl RestrictedRun {
             seed: 0,
             epsilon: 0.01,
             value_bounds: (0.0, 1.0),
+            faults: FaultPlan::new(),
         }
     }
 
@@ -708,6 +759,7 @@ impl RestrictedRun {
             value_bounds: (0.0, 1.0),
             policy: DeliveryPolicy::RandomFair,
             max_steps: 5_000_000,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -770,7 +822,10 @@ mod tests {
             ])
             .run()
             .unwrap_err();
-        assert!(matches!(err, BvcError::InsufficientProcesses { required: 5, .. }));
+        assert!(matches!(
+            err,
+            BvcError::InsufficientProcesses { required: 5, .. }
+        ));
     }
 
     #[test]
@@ -814,7 +869,10 @@ mod tests {
             .honest_inputs(square_inputs()[..3].to_vec())
             .run()
             .unwrap_err();
-        assert!(matches!(err, BvcError::InsufficientProcesses { required: 5, .. }));
+        assert!(matches!(
+            err,
+            BvcError::InsufficientProcesses { required: 5, .. }
+        ));
     }
 
     #[test]
@@ -860,7 +918,10 @@ mod tests {
             ])
             .run()
             .unwrap_err();
-        assert!(matches!(err, BvcError::InsufficientProcesses { required: 6, .. }));
+        assert!(matches!(
+            err,
+            BvcError::InsufficientProcesses { required: 6, .. }
+        ));
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub fn build_zi_witness(witness_sets: &[Vec<Point>], f: usize) -> Vec<Point> {
 ///
 /// Panics if `zi` is empty.
 pub fn average_state(zi: &[Point]) -> Point {
-    assert!(!zi.is_empty(), "Z_i must be non-empty to compute the new state");
+    assert!(
+        !zi.is_empty(),
+        "Z_i must be non-empty to compute the new state"
+    );
     Point::centroid(zi)
 }
 
@@ -125,7 +128,10 @@ mod tests {
         // outlier.
         let entries = pts(&[0.9, 1.0, 1.1, 1000.0]);
         for z in build_zi_full(&entries, 3, 1) {
-            assert!(z.coord(0) <= 1.1 + 1e-6, "Γ point dragged by the outlier: {z}");
+            assert!(
+                z.coord(0) <= 1.1 + 1e-6,
+                "Γ point dragged by the outlier: {z}"
+            );
         }
     }
 

@@ -49,7 +49,11 @@ impl SafeArea {
             .into_iter()
             .map(ConvexHull::new)
             .collect();
-        Self { source: y, f, hulls }
+        Self {
+            source: y,
+            f,
+            hulls,
+        }
     }
 
     /// The source multiset `Y`.
@@ -92,7 +96,7 @@ impl SafeArea {
 
     /// Lemma 1 precondition: `|Y| ≥ (d+1)f + 1` guarantees `Γ(Y) ≠ ∅`.
     pub fn lemma1_applies(&self) -> bool {
-        self.source.len() >= (self.source.dim() + 1) * self.f + 1
+        self.source.len() > (self.source.dim() + 1) * self.f
     }
 }
 
@@ -149,7 +153,10 @@ pub fn common_point_of_subsets(y: &PointMultiset, subsets: &[Vec<usize>]) -> Opt
 /// returns a point of the intersection, or `None` when it is empty.
 pub fn leave_one_out_intersection(y: &PointMultiset) -> Option<Point> {
     let n = y.len();
-    assert!(n >= 2, "leave-one-out intersection needs at least two points");
+    assert!(
+        n >= 2,
+        "leave-one-out intersection needs at least two points"
+    );
     let all: Vec<usize> = (0..n).collect();
     let subsets: Vec<Vec<usize>> = (0..n)
         .map(|drop| all.iter().copied().filter(|&i| i != drop).collect())
@@ -174,7 +181,10 @@ pub fn lp_size(n: usize, f: usize, d: usize) -> (u128, u128) {
 /// Enumerates the index sets of all `(|y|−f)`-subsets of `y`, in the canonical
 /// (lexicographic) order used by [`SafeArea`].
 pub fn gamma_subset_indices(len: usize, f: usize) -> Vec<Vec<usize>> {
-    assert!(f < len, "fault bound must be smaller than the multiset size");
+    assert!(
+        f < len,
+        "fault bound must be smaller than the multiset size"
+    );
     combinations(len, len - f)
 }
 
@@ -263,7 +273,13 @@ mod tests {
 
     #[test]
     fn gamma_point_is_deterministic() {
-        let y = pts(&[&[0.0, 0.0], &[4.0, 0.0], &[0.0, 4.0], &[4.0, 4.0], &[2.0, 2.0]]);
+        let y = pts(&[
+            &[0.0, 0.0],
+            &[4.0, 0.0],
+            &[0.0, 4.0],
+            &[4.0, 4.0],
+            &[2.0, 2.0],
+        ]);
         let p1 = gamma_point(&y, 1).unwrap();
         let p2 = gamma_point(&y, 1).unwrap();
         assert!(p1.approx_eq(&p2, 1e-12));
@@ -271,7 +287,13 @@ mod tests {
 
     #[test]
     fn gamma_point_lies_in_hull_of_every_subset() {
-        let y = pts(&[&[0.0, 0.0], &[4.0, 0.0], &[0.0, 4.0], &[4.0, 4.0], &[2.0, 2.0]]);
+        let y = pts(&[
+            &[0.0, 0.0],
+            &[4.0, 0.0],
+            &[0.0, 4.0],
+            &[4.0, 4.0],
+            &[2.0, 2.0],
+        ]);
         let area = SafeArea::new(y, 1);
         let p = area.find_point().unwrap();
         for hull in area.hulls() {

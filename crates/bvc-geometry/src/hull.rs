@@ -81,7 +81,8 @@ impl ConvexHull {
         }
         let weights: Vec<f64> = solution.values.iter().map(|&w| w.max(0.0)).collect();
         // Double-check the witness numerically before handing it out.
-        let reconstructed = Point::convex_combination(self.generators.points(), &normalise(&weights));
+        let reconstructed =
+            Point::convex_combination(self.generators.points(), &normalise(&weights));
         if reconstructed.approx_eq(point, HULL_TOLERANCE) {
             Some(normalise(&weights))
         } else {

@@ -127,7 +127,10 @@ impl PointMultiset {
             seen.iter().all(|&s| s),
             "partition must cover every index of the multiset"
         );
-        index_partition.iter().map(|part| self.select(part)).collect()
+        index_partition
+            .iter()
+            .map(|part| self.select(part))
+            .collect()
     }
 
     /// Per-coordinate minimum over the members: the vector `(µ_1, …, µ_d)`.

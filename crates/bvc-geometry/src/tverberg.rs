@@ -134,7 +134,15 @@ mod tests {
         let partition = find_radon_partition(&y).expect("Radon");
         assert_eq!(partition.num_parts(), 2);
         let p = common_point_of_partition(&y, &partition.parts).unwrap();
-        assert!(p.approx_eq(&partition.point, 1e-6) || true); // both are valid common points
+        // `p` and `partition.point` need not coincide, but each must be a
+        // common point: inside the hull of every part.
+        for part in &partition.parts {
+            let hull = ConvexHull::new(PointMultiset::new(
+                part.iter().map(|&i| y.points()[i].clone()).collect(),
+            ));
+            assert!(hull.contains(&p));
+            assert!(hull.contains(&partition.point));
+        }
     }
 
     #[test]

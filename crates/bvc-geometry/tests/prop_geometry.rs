@@ -9,7 +9,10 @@ use bvc_geometry::{
 use proptest::prelude::*;
 
 fn points(len: usize, d: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec(prop::collection::vec(-5.0f64..5.0, d).prop_map(Point::new), len)
+    prop::collection::vec(
+        prop::collection::vec(-5.0f64..5.0, d).prop_map(Point::new),
+        len,
+    )
 }
 
 proptest! {

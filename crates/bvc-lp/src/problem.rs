@@ -63,7 +63,10 @@ impl LinearProgram {
     ///
     /// Panics if `num_variables == 0`.
     pub fn new(num_variables: usize, objective: Objective) -> Self {
-        assert!(num_variables > 0, "a linear program needs at least one variable");
+        assert!(
+            num_variables > 0,
+            "a linear program needs at least one variable"
+        );
         Self {
             num_variables,
             objective,
@@ -113,7 +116,10 @@ impl LinearProgram {
     ///
     /// Panics if `var` is out of range.
     pub fn set_objective_coefficient(&mut self, var: usize, coefficient: f64) -> &mut Self {
-        assert!(var < self.num_variables, "variable index {var} out of range");
+        assert!(
+            var < self.num_variables,
+            "variable index {var} out of range"
+        );
         self.objective_coefficients[var] = coefficient;
         self
     }
@@ -125,7 +131,10 @@ impl LinearProgram {
     ///
     /// Panics if `var` is out of range.
     pub fn mark_free(&mut self, var: usize) -> &mut Self {
-        assert!(var < self.num_variables, "variable index {var} out of range");
+        assert!(
+            var < self.num_variables,
+            "variable index {var} out of range"
+        );
         self.free[var] = true;
         self
     }

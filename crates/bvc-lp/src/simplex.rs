@@ -227,9 +227,7 @@ pub(crate) fn solve_two_phase(lp: &LinearProgram) -> Solution {
         for row in 0..m {
             let basic = tableau.basic_column(row);
             if artificial_cols.contains(&basic) {
-                if let Some(col) =
-                    (0..n_structural).find(|&c| tableau.get(row, c).abs() > 1e-7)
-                {
+                if let Some(col) = (0..n_structural).find(|&c| tableau.get(row, c).abs() > 1e-7) {
                     tableau.pivot(row, col);
                 }
             }
@@ -259,13 +257,12 @@ pub(crate) fn solve_two_phase(lp: &LinearProgram) -> Solution {
 
     // Recover original variable values.
     let mut values = vec![0.0; lp.num_variables()];
-    for var in 0..lp.num_variables() {
+    for (var, value) in values.iter_mut().enumerate() {
         let pos = tableau.variable_value(sf.positive_column[var]);
-        let neg = sf
-            .negative_column[var]
+        let neg = sf.negative_column[var]
             .map(|c| tableau.variable_value(c))
             .unwrap_or(0.0);
-        values[var] = pos - neg;
+        *value = pos - neg;
     }
     let raw_objective = tableau.objective_value();
     let objective_value = match lp.objective() {

@@ -195,9 +195,8 @@ impl Tableau {
         let max_iterations = 50 * (self.rows + self.cols).max(16) * (self.rows + self.cols).max(16);
         for _ in 0..max_iterations {
             // Bland's rule: first eligible column with negative reduced cost.
-            let entering = (0..self.cols).find(|&col| {
-                eligible[col] && self.objective_coefficient(col) < -EPSILON
-            });
+            let entering = (0..self.cols)
+                .find(|&col| eligible[col] && self.objective_coefficient(col) < -EPSILON);
             let entering = match entering {
                 Some(col) => col,
                 None => return PivotOutcome::Optimal,
@@ -231,7 +230,7 @@ impl Tableau {
                 let mut best: Option<(usize, f64)> = None;
                 for row in 0..self.rows {
                     let a = self.get(row, entering);
-                    if a > EPSILON && best.map_or(true, |(_, b)| a > b) {
+                    if a > EPSILON && best.is_none_or(|(_, b)| a > b) {
                         best = Some((row, a));
                     }
                 }
@@ -298,7 +297,7 @@ mod tests {
         t.set_basic(0, 0);
         // Price out the basis: column 0 is basic with cost -1.
         t.price_out_basis();
-        let outcome = t.run_simplex(&vec![true; 2]);
+        let outcome = t.run_simplex(&[true; 2]);
         assert_eq!(outcome, PivotOutcome::Unbounded);
     }
 

@@ -11,6 +11,7 @@
 //! always produces exactly the same execution — which is what makes the
 //! asynchronous experiments and property tests reproducible.
 
+use crate::faults::FaultPlan;
 use crate::process::{ExecutionStats, Outgoing, ProcessId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,6 +86,7 @@ pub struct AsyncNetwork<M, O> {
     policy: DeliveryPolicy,
     seed: u64,
     max_steps: usize,
+    faults: FaultPlan,
 }
 
 impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
@@ -107,7 +109,17 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
             policy,
             seed,
             max_steps,
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// Layers an injected-fault schedule over the delivery policy; fault
+    /// windows are measured in scheduler ticks.  Drop decisions draw from a
+    /// dedicated RNG stream derived from the executor seed, so adding a
+    /// fault-free plan leaves the execution byte-identical.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Number of processes.
@@ -122,26 +134,46 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
 
     /// Runs the execution until every process listed in `wait_for` has
     /// produced an output, all channels are empty, or the step cap is hit.
+    ///
+    /// With an injected [`FaultPlan`], scheduler *ticks* advance even on
+    /// stalls where every pending message is blocked by an active fault;
+    /// `stats.steps` still counts deliveries only.  The tick budget is
+    /// `max_steps` plus the plan's quiescence horizon, so a finite fault
+    /// schedule can never turn the step cap into permanent starvation.
     pub fn run(mut self, wait_for: &[usize]) -> AsyncOutcome<O> {
         let n = self.processes.len();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut stats = ExecutionStats::default();
-        // channels[from][to] is a FIFO queue of in-flight messages.
-        let mut channels: Vec<Vec<VecDeque<M>>> = vec![(0..n).map(|_| VecDeque::new()).collect(); n];
+        // Dedicated stream for drop decisions, so a plan without drop faults
+        // leaves the scheduling stream untouched.
+        let mut fault_rng = StdRng::seed_from_u64(self.seed ^ 0xFA01_7FA0_17FA_017F);
+        let mut stats = ExecutionStats::for_processes(n);
+        // channels[from][to] is a FIFO queue of (due_tick, message).
+        let mut channels: Vec<Vec<VecDeque<(usize, M)>>> =
+            vec![(0..n).map(|_| VecDeque::new()).collect(); n];
         let mut round_robin_cursor = 0usize;
+        let mut now = 0usize;
+        let tick_cap = self.max_steps.saturating_add(self.faults.quiescent_at());
 
         // Start every process and enqueue its initial messages.
         for index in 0..n {
             let outgoing = self.processes[index].on_start();
-            stats.messages_sent += outgoing.len();
-            enqueue(&mut channels, index, outgoing, n);
+            enqueue(
+                &mut channels,
+                &mut stats,
+                &mut fault_rng,
+                &self.faults,
+                now,
+                index,
+                outgoing,
+                n,
+            );
         }
 
         let decided = |processes: &[Box<dyn AsyncProcess<Msg = M, Output = O>>]| {
             wait_for.iter().all(|&i| processes[i].output().is_some())
         };
 
-        while stats.steps < self.max_steps {
+        while stats.steps < self.max_steps && now < tick_cap {
             if decided(&self.processes) {
                 return AsyncOutcome {
                     outputs: self.processes.iter().map(|p| p.output()).collect(),
@@ -149,22 +181,44 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
                     stats,
                 };
             }
-            let nonempty: Vec<(usize, usize)> = (0..n)
+            // A channel is eligible when its FIFO head has come due and no
+            // active partition blocks the link; a blocked head blocks the
+            // whole channel, preserving per-link FIFO order.
+            let eligible: Vec<(usize, usize)> = (0..n)
                 .flat_map(|from| (0..n).map(move |to| (from, to)))
-                .filter(|&(from, to)| !channels[from][to].is_empty())
+                .filter(|&(from, to)| {
+                    channels[from][to]
+                        .front()
+                        .is_some_and(|&(due, _)| due <= now && !self.faults.blocked(now, from, to))
+                })
                 .collect();
-            if nonempty.is_empty() {
+            if eligible.is_empty() {
+                let any_pending = channels.iter().flatten().any(|queue| !queue.is_empty());
+                if any_pending {
+                    // Everything in flight is fault-blocked: let time pass.
+                    now += 1;
+                    continue;
+                }
                 break;
             }
-            let (from, to) = self.pick_channel(&nonempty, &mut rng, &mut round_robin_cursor);
-            let msg = channels[from][to]
+            let (from, to) = self.pick_channel(&eligible, &mut rng, &mut round_robin_cursor);
+            let (_, msg) = channels[from][to]
                 .pop_front()
-                .expect("channel selected among non-empty channels");
-            stats.messages_delivered += 1;
+                .expect("channel selected among eligible channels");
+            stats.record_delivered(to);
             stats.steps += 1;
+            now += 1;
             let outgoing = self.processes[to].on_message(ProcessId::new(from), msg);
-            stats.messages_sent += outgoing.len();
-            enqueue(&mut channels, to, outgoing, n);
+            enqueue(
+                &mut channels,
+                &mut stats,
+                &mut fault_rng,
+                &self.faults,
+                now,
+                to,
+                outgoing,
+                n,
+            );
         }
 
         let completed = decided(&self.processes);
@@ -194,7 +248,11 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
                     .copied()
                     .filter(|&(from, _)| !slow.iter().any(|p| p.index() == from))
                     .collect();
-                let pool = if preferred.is_empty() { nonempty } else { &preferred };
+                let pool = if preferred.is_empty() {
+                    nonempty
+                } else {
+                    &preferred
+                };
                 pool[rng.gen_range(0..pool.len())]
             }
             DeliveryPolicy::DelayTo(slow) => {
@@ -203,23 +261,44 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
                     .copied()
                     .filter(|&(_, to)| !slow.iter().any(|p| p.index() == to))
                     .collect();
-                let pool = if preferred.is_empty() { nonempty } else { &preferred };
+                let pool = if preferred.is_empty() {
+                    nonempty
+                } else {
+                    &preferred
+                };
                 pool[rng.gen_range(0..pool.len())]
             }
         }
     }
 }
 
+/// Applies the fault plan to `outgoing` at tick `now`: drop faults destroy
+/// messages (attributed to the sender), latency faults stamp a later due
+/// tick.  Aggregate `messages_sent` counts every message the process emitted,
+/// dropped or not, so fault-free statistics match the unfaulted executor.
+#[allow(clippy::too_many_arguments)]
 fn enqueue<M>(
-    channels: &mut [Vec<VecDeque<M>>],
+    channels: &mut [Vec<VecDeque<(usize, M)>>],
+    stats: &mut ExecutionStats,
+    fault_rng: &mut StdRng,
+    faults: &FaultPlan,
+    now: usize,
     from: usize,
     outgoing: Vec<Outgoing<M>>,
     n: usize,
 ) {
+    stats.record_sent(from, outgoing.len());
     for Outgoing { to, msg } in outgoing {
-        if to.index() < n {
-            channels[from][to.index()].push_back(msg);
+        if to.index() >= n {
+            continue;
         }
+        let drop_probability = faults.drop_probability(now, from, to.index());
+        if drop_probability > 0.0 && fault_rng.gen_bool(drop_probability) {
+            stats.record_dropped(from);
+            continue;
+        }
+        let due = now.saturating_add(faults.extra_latency(now, from, to.index()));
+        channels[from][to.index()].push_back((due, msg));
     }
 }
 
@@ -284,7 +363,10 @@ mod tests {
         let all: Vec<usize> = (0..4).collect();
         let outcome = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 7).run(&all);
         assert!(outcome.completed);
-        assert_eq!(outcome.outputs, vec![Some(10), Some(10), Some(10), Some(10)]);
+        assert_eq!(
+            outcome.outputs,
+            vec![Some(10), Some(10), Some(10), Some(10)]
+        );
     }
 
     #[test]
@@ -348,7 +430,11 @@ mod tests {
             }
         }
         let processes: Vec<Box<dyn AsyncProcess<Msg = (), Output = ()>>> = (0..2)
-            .map(|i| Box::new(PingPong { id: ProcessId::new(i) }) as Box<dyn AsyncProcess<Msg = (), Output = ()>>)
+            .map(|i| {
+                Box::new(PingPong {
+                    id: ProcessId::new(i),
+                }) as Box<dyn AsyncProcess<Msg = (), Output = ()>>
+            })
             .collect();
         let outcome = AsyncNetwork::new(processes, DeliveryPolicy::RoundRobin, 0, 50).run(&[0, 1]);
         assert!(!outcome.completed);
@@ -417,8 +503,139 @@ mod tests {
                 done: None,
             }),
         ];
-        let outcome =
-            AsyncNetwork::new(processes, DeliveryPolicy::RandomFair, 123, 1000).run(&[1]);
+        let outcome = AsyncNetwork::new(processes, DeliveryPolicy::RandomFair, 123, 1000).run(&[1]);
         assert_eq!(outcome.outputs[1], Some(vec![1, 2, 3]));
+    }
+
+    // ------------------------------------------------------------------
+    // Injected network faults
+    // ------------------------------------------------------------------
+
+    use crate::faults::{FaultEvent, FaultKind, FaultPlan, LinkSelector};
+
+    #[test]
+    fn empty_fault_plan_leaves_executions_byte_identical() {
+        let all: Vec<usize> = (0..4).collect();
+        let plain = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 42).run(&all);
+        let faulted = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 42)
+            .with_faults(FaultPlan::new())
+            .run(&all);
+        assert_eq!(plain.outputs, faulted.outputs);
+        assert_eq!(plain.stats, faulted.stats);
+    }
+
+    /// Fairness regression: a partition with a finite window never
+    /// permanently starves a channel — messages queued while the partition is
+    /// up are delivered after the heal and every process still decides.
+    #[test]
+    fn finite_partition_heals_and_never_starves_a_channel() {
+        let all: Vec<usize> = (0..4).collect();
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent {
+                kind: FaultKind::Partition {
+                    groups: vec![vec![ProcessId::new(0)]],
+                },
+                start: 0,
+                duration: 300,
+            })
+            .unwrap();
+        let outcome = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 7)
+            .with_faults(plan)
+            .run(&all);
+        assert!(outcome.completed, "partition must heal, not starve");
+        assert_eq!(
+            outcome.outputs,
+            vec![Some(10), Some(10), Some(10), Some(10)]
+        );
+        assert_eq!(
+            outcome.stats.messages_dropped, 0,
+            "partitions delay, never destroy"
+        );
+    }
+
+    /// Fairness regression: a finite-window drop fault destroys only messages
+    /// sent inside the window; the channel itself is never starved afterwards.
+    #[test]
+    fn finite_drop_window_loses_messages_but_not_the_channel() {
+        let all: Vec<usize> = (0..4).collect();
+        // Destroy everything process 0 sends at tick 0 (its start broadcast).
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent {
+                kind: FaultKind::Drop {
+                    rate: 1.0,
+                    links: LinkSelector::From(vec![ProcessId::new(0)]),
+                },
+                start: 0,
+                duration: 1,
+            })
+            .unwrap();
+        let outcome = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 7)
+            .with_faults(plan)
+            .run(&all);
+        // Process 0 still hears the other three and decides; the others are
+        // missing its value forever — drops genuinely break reliability.
+        assert_eq!(outcome.outputs[0], Some(10));
+        assert!(outcome.outputs[1..].iter().all(|o| o.is_none()));
+        assert!(!outcome.completed);
+        assert_eq!(outcome.stats.messages_dropped, 3);
+        assert_eq!(outcome.stats.per_process[0].dropped, 3);
+        assert_eq!(outcome.stats.per_process[0].sent, 3);
+    }
+
+    #[test]
+    fn latency_fault_delays_delivery_but_everyone_decides() {
+        let all: Vec<usize> = (0..3).collect();
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent {
+                kind: FaultKind::Latency {
+                    extra: 100,
+                    links: LinkSelector::All,
+                },
+                start: 0,
+                duration: 1,
+            })
+            .unwrap();
+        let outcome = summer_network(&[1, 2, 3], DeliveryPolicy::RandomFair, 5)
+            .with_faults(plan)
+            .run(&all);
+        assert!(outcome.completed);
+        assert_eq!(outcome.outputs, vec![Some(6), Some(6), Some(6)]);
+        // Deliveries are unchanged; only time passed while stalled.
+        assert_eq!(outcome.stats.messages_delivered, 6);
+    }
+
+    #[test]
+    fn faulted_executions_are_reproducible_for_equal_seeds() {
+        let all: Vec<usize> = (0..4).collect();
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent {
+                kind: FaultKind::Drop {
+                    rate: 0.5,
+                    links: LinkSelector::All,
+                },
+                start: 0,
+                duration: 2,
+            })
+            .unwrap();
+        let a = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 11)
+            .with_faults(plan.clone())
+            .run(&all);
+        let b = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 11)
+            .with_faults(plan)
+            .run(&all);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn per_process_counters_track_the_toy_protocol() {
+        let all: Vec<usize> = (0..3).collect();
+        let outcome = summer_network(&[1, 2, 3], DeliveryPolicy::RoundRobin, 0).run(&all);
+        assert!(outcome.completed);
+        for counters in &outcome.stats.per_process {
+            assert_eq!(counters.sent, 2);
+            assert_eq!(counters.delivered, 2);
+            assert_eq!(counters.dropped, 0);
+        }
     }
 }

@@ -9,8 +9,12 @@
 //! * [`AsyncNetwork`] — a deterministic, seeded, adversarially scheduled
 //!   event simulator (Section 3's model); the [`DeliveryPolicy`] controls the
 //!   scheduling adversary.
-//! * [`run_threaded`] — a thread-per-process runtime over `crossbeam`
+//! * [`run_threaded`] — a thread-per-process runtime over `std::sync::mpsc`
 //!   channels, used by the examples and the cross-executor integration tests.
+//!
+//! Scenario-style adversarial *network* conditions — message drops, per-link
+//! latency, scripted partitions — can be layered over either simulated
+//! executor with a [`FaultPlan`] (see [`faults`]).
 //!
 //! Protocols are written once against the [`SyncProcess`] / [`AsyncProcess`]
 //! traits and can run on any of the executors that match their timing model.
@@ -46,11 +50,15 @@
 #![warn(missing_docs)]
 
 pub mod asim;
+pub mod faults;
 pub mod process;
 pub mod sync;
 pub mod threaded;
 
 pub use asim::{AsyncNetwork, AsyncOutcome, AsyncProcess, DeliveryPolicy};
-pub use process::{broadcast_to_all, Delivery, ExecutionStats, Outgoing, ProcessId};
+pub use faults::{FaultError, FaultEvent, FaultKind, FaultPlan, LinkSelector};
+pub use process::{
+    broadcast_to_all, Delivery, ExecutionStats, Outgoing, ProcessCounters, ProcessId,
+};
 pub use sync::{SyncNetwork, SyncOutcome, SyncProcess};
 pub use threaded::{run_threaded, ThreadedOutcome};

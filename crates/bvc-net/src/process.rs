@@ -75,12 +75,31 @@ impl<M> Delivery<M> {
 
 /// Builds one copy of `msg` addressed to every process in `0..n` except
 /// (optionally) the sender itself.
-pub fn broadcast_to_all<M: Clone>(n: usize, exclude: Option<ProcessId>, msg: &M) -> Vec<Outgoing<M>> {
+pub fn broadcast_to_all<M: Clone>(
+    n: usize,
+    exclude: Option<ProcessId>,
+    msg: &M,
+) -> Vec<Outgoing<M>> {
     ProcessId::all(n)
         .into_iter()
         .filter(|&p| Some(p) != exclude)
         .map(|p| Outgoing::new(p, msg.clone()))
         .collect()
+}
+
+/// Message counters attributed to one process.
+///
+/// `sent` counts messages the process handed to the executor, `delivered`
+/// counts messages delivered *to* it, and `dropped` counts messages it sent
+/// that an injected drop fault destroyed (see `bvc_net::faults`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessCounters {
+    /// Messages this process sent.
+    pub sent: usize,
+    /// Messages delivered to this process.
+    pub delivered: usize,
+    /// Messages this process sent that a drop fault destroyed.
+    pub dropped: usize,
 }
 
 /// Execution statistics common to the synchronous and asynchronous executors.
@@ -91,9 +110,48 @@ pub struct ExecutionStats {
     /// Total number of messages sent (may exceed deliveries if the execution
     /// was cut off).
     pub messages_sent: usize,
+    /// Total number of messages destroyed by injected drop faults.
+    pub messages_dropped: usize,
     /// Number of synchronous rounds executed, or of scheduler steps for the
     /// asynchronous executor.
     pub steps: usize,
+    /// Per-process counters, indexed by process id.  Empty when the executor
+    /// does not attribute messages (e.g. the threaded runtime).
+    pub per_process: Vec<ProcessCounters>,
+}
+
+impl ExecutionStats {
+    /// Zeroed statistics tracking `n` processes.
+    pub fn for_processes(n: usize) -> Self {
+        Self {
+            per_process: vec![ProcessCounters::default(); n],
+            ..Self::default()
+        }
+    }
+
+    /// Records `count` messages sent by process `from`.
+    pub fn record_sent(&mut self, from: usize, count: usize) {
+        self.messages_sent += count;
+        if let Some(counters) = self.per_process.get_mut(from) {
+            counters.sent += count;
+        }
+    }
+
+    /// Records one message delivered to process `to`.
+    pub fn record_delivered(&mut self, to: usize) {
+        self.messages_delivered += 1;
+        if let Some(counters) = self.per_process.get_mut(to) {
+            counters.delivered += 1;
+        }
+    }
+
+    /// Records one message from process `from` destroyed by a drop fault.
+    pub fn record_dropped(&mut self, from: usize) {
+        self.messages_dropped += 1;
+        if let Some(counters) = self.per_process.get_mut(from) {
+            counters.dropped += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +170,10 @@ mod tests {
     #[test]
     fn all_ids_enumerates_in_order() {
         let ids = ProcessId::all(3);
-        assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+        assert_eq!(
+            ids,
+            vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]
+        );
     }
 
     #[test]
@@ -142,6 +203,37 @@ mod tests {
         let s = ExecutionStats::default();
         assert_eq!(s.messages_delivered, 0);
         assert_eq!(s.messages_sent, 0);
+        assert_eq!(s.messages_dropped, 0);
         assert_eq!(s.steps, 0);
+        assert!(s.per_process.is_empty());
+    }
+
+    #[test]
+    fn stats_attribute_messages_per_process() {
+        let mut s = ExecutionStats::for_processes(3);
+        s.record_sent(0, 4);
+        s.record_sent(2, 1);
+        s.record_delivered(1);
+        s.record_delivered(1);
+        s.record_dropped(0);
+        assert_eq!(s.messages_sent, 5);
+        assert_eq!(s.messages_delivered, 2);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.per_process[0].sent, 4);
+        assert_eq!(s.per_process[0].dropped, 1);
+        assert_eq!(s.per_process[1].delivered, 2);
+        assert_eq!(s.per_process[2].sent, 1);
+    }
+
+    #[test]
+    fn out_of_range_attribution_is_ignored_but_counted_in_aggregate() {
+        let mut s = ExecutionStats::for_processes(1);
+        s.record_sent(5, 2);
+        s.record_delivered(5);
+        s.record_dropped(5);
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.per_process[0], ProcessCounters::default());
     }
 }

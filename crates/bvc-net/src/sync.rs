@@ -13,7 +13,11 @@
 //! receivers (equivocation) or none at all (silence/crash); the adversary
 //! crate provides reusable wrappers.
 
+use crate::faults::FaultPlan;
 use crate::process::{Delivery, ExecutionStats, Outgoing, ProcessId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 
 /// A deterministic state machine driven by the synchronous executor.
 ///
@@ -61,6 +65,8 @@ impl<O> SyncOutcome<O> {
 pub struct SyncNetwork<M, O> {
     processes: Vec<Box<dyn SyncProcess<Msg = M, Output = O>>>,
     max_rounds: usize,
+    faults: FaultPlan,
+    fault_seed: u64,
 }
 
 impl<M: Clone, O: Clone> SyncNetwork<M, O> {
@@ -79,7 +85,24 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
         Self {
             processes,
             max_rounds,
+            faults: FaultPlan::new(),
+            fault_seed: 0,
         }
+    }
+
+    /// Layers an injected-fault schedule over the lock-step rounds; fault
+    /// windows are measured in (1-based) round numbers and `seed` drives the
+    /// drop decisions.
+    ///
+    /// Note that delay and partition faults deliberately break the
+    /// synchronous model's "delivered before the next round" promise: a
+    /// delayed message arrives in a later round, where a round-structured
+    /// protocol may ignore or misinterpret it.  That is the point — the
+    /// verdict records how the algorithm behaves outside its proven model.
+    pub fn with_faults(mut self, faults: FaultPlan, seed: u64) -> Self {
+        self.faults = faults;
+        self.fault_seed = seed;
+        self
     }
 
     /// Number of processes.
@@ -97,7 +120,13 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
     /// of non-faulty process indices (Byzantine processes need not terminate).
     pub fn run(mut self, wait_for: &[usize]) -> SyncOutcome<O> {
         let n = self.processes.len();
-        let mut stats = ExecutionStats::default();
+        let mut stats = ExecutionStats::for_processes(n);
+        let mut fault_rng = StdRng::seed_from_u64(self.fault_seed ^ 0xFA01_7FA0_17FA_017F);
+        // pending[from][to] is a FIFO queue of (due_round, message); without
+        // faults a message sent in round r is due in round r + 1, reproducing
+        // the plain lock-step executor exactly.
+        let mut pending: Vec<Vec<VecDeque<(usize, M)>>> =
+            vec![(0..n).map(|_| VecDeque::new()).collect(); n];
         // inboxes[i] = messages delivered to process i at the start of the
         // upcoming round.
         let mut inboxes: Vec<Vec<Delivery<M>>> = vec![Vec::new(); n];
@@ -105,21 +134,48 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
 
         for round in 1..=self.max_rounds {
             rounds_executed = round;
-            let mut next_inboxes: Vec<Vec<Delivery<M>>> = vec![Vec::new(); n];
             for (index, process) in self.processes.iter_mut().enumerate() {
                 let outgoing = process.round(round, &inboxes[index]);
-                stats.messages_sent += outgoing.len();
+                stats.record_sent(index, outgoing.len());
                 for Outgoing { to, msg } in outgoing {
-                    if to.index() < n {
-                        next_inboxes[to.index()].push(Delivery::new(ProcessId::new(index), msg));
-                        stats.messages_delivered += 1;
+                    if to.index() >= n {
+                        continue;
                     }
+                    let drop_probability = self.faults.drop_probability(round, index, to.index());
+                    if drop_probability > 0.0 && fault_rng.gen_bool(drop_probability) {
+                        stats.record_dropped(index);
+                        continue;
+                    }
+                    let due = (round + 1).saturating_add(self.faults.extra_latency(
+                        round,
+                        index,
+                        to.index(),
+                    ));
+                    pending[index][to.index()].push_back((due, msg));
                 }
             }
-            // Deterministic delivery order: sort by sender id (stable sort
-            // preserves per-sender FIFO order).
-            for inbox in next_inboxes.iter_mut() {
-                inbox.sort_by_key(|d| d.from.index());
+            // Deliver everything due by the next round on links no partition
+            // blocks then.  Iterating senders in id order gives the documented
+            // sorted-by-sender inbox; popping in queue order preserves
+            // per-sender FIFO, and a not-yet-due head blocks the rest of its
+            // channel so FIFO survives latency faults too.
+            let next_round = round + 1;
+            let mut next_inboxes: Vec<Vec<Delivery<M>>> = vec![Vec::new(); n];
+            #[allow(clippy::needless_range_loop)]
+            for from in 0..n {
+                for to in 0..n {
+                    if self.faults.blocked(next_round, from, to) {
+                        continue;
+                    }
+                    while pending[from][to]
+                        .front()
+                        .is_some_and(|&(due, _)| due <= next_round)
+                    {
+                        let (_, msg) = pending[from][to].pop_front().expect("head checked above");
+                        next_inboxes[to].push(Delivery::new(ProcessId::new(from), msg));
+                        stats.record_delivered(to);
+                    }
+                }
             }
             inboxes = next_inboxes;
 
@@ -199,7 +255,10 @@ mod tests {
     fn all_processes_receive_all_messages_each_round() {
         let outcome = summing_network(&[1, 2, 3, 4], 2).run(&[0, 1, 2, 3]);
         // After round 2 every process has the other three values plus its own.
-        assert_eq!(outcome.outputs, vec![Some(10), Some(10), Some(10), Some(10)]);
+        assert_eq!(
+            outcome.outputs,
+            vec![Some(10), Some(10), Some(10), Some(10)]
+        );
         assert_eq!(outcome.rounds, 2);
     }
 
@@ -282,5 +341,171 @@ mod tests {
     fn empty_network_panics() {
         let processes: Vec<Box<dyn SyncProcess<Msg = (), Output = ()>>> = Vec::new();
         let _ = SyncNetwork::new(processes, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Injected network faults
+    // ------------------------------------------------------------------
+
+    use crate::faults::{FaultEvent, FaultKind, FaultPlan, LinkSelector};
+
+    #[test]
+    fn empty_fault_plan_is_identical_to_the_plain_executor() {
+        let all: Vec<usize> = (0..4).collect();
+        let plain = summing_network(&[1, 2, 3, 4], 2).run(&all);
+        let faulted = summing_network(&[1, 2, 3, 4], 2)
+            .with_faults(FaultPlan::new(), 99)
+            .run(&all);
+        assert_eq!(plain.outputs, faulted.outputs);
+        assert_eq!(plain.stats, faulted.stats);
+    }
+
+    #[test]
+    fn round_scoped_drop_fault_loses_messages_and_attributes_them() {
+        // Drop everything process 0 sends during round 1 only.
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent {
+                kind: FaultKind::Drop {
+                    rate: 1.0,
+                    links: LinkSelector::From(vec![ProcessId::new(0)]),
+                },
+                start: 1,
+                duration: 1,
+            })
+            .unwrap();
+        let all: Vec<usize> = (0..3).collect();
+        let outcome = summing_network(&[10, 1, 2], 2)
+            .with_faults(plan, 7)
+            .run(&all);
+        // Round 2 inboxes of processes 1 and 2 are missing process 0's value.
+        assert_eq!(outcome.outputs, vec![Some(13), Some(3), Some(3)]);
+        assert_eq!(outcome.stats.messages_dropped, 2);
+        assert_eq!(outcome.stats.per_process[0].dropped, 2);
+    }
+
+    #[test]
+    fn latency_fault_moves_messages_to_a_later_round() {
+        // Delay round-1 messages by one extra round: round-2 inboxes are
+        // empty, the delayed values surface in round 3.
+        struct LastInboxSum {
+            id: ProcessId,
+            n: usize,
+            value: u64,
+            sums: Vec<u64>,
+        }
+        impl SyncProcess for LastInboxSum {
+            type Msg = u64;
+            type Output = Vec<u64>;
+            fn round(&mut self, round: usize, inbox: &[Delivery<u64>]) -> Vec<Outgoing<u64>> {
+                self.sums.push(inbox.iter().map(|d| d.msg).sum());
+                if round == 1 {
+                    broadcast_to_all(self.n, Some(self.id), &self.value)
+                } else {
+                    Vec::new()
+                }
+            }
+            fn output(&self) -> Option<Vec<u64>> {
+                if self.sums.len() >= 3 {
+                    Some(self.sums.clone())
+                } else {
+                    None
+                }
+            }
+        }
+        let n = 3;
+        let processes: Vec<Box<dyn SyncProcess<Msg = u64, Output = Vec<u64>>>> = (0..n)
+            .map(|i| {
+                Box::new(LastInboxSum {
+                    id: ProcessId::new(i),
+                    n,
+                    value: (i + 1) as u64,
+                    sums: Vec::new(),
+                }) as Box<dyn SyncProcess<Msg = u64, Output = Vec<u64>>>
+            })
+            .collect();
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent {
+                kind: FaultKind::Latency {
+                    extra: 1,
+                    links: LinkSelector::All,
+                },
+                start: 1,
+                duration: 1,
+            })
+            .unwrap();
+        let outcome = SyncNetwork::new(processes, 5)
+            .with_faults(plan, 0)
+            .run(&(0..n).collect::<Vec<_>>());
+        // sums[0] = round 1 (nothing yet), sums[1] = round 2 (delayed away),
+        // sums[2] = round 3 (the delayed broadcasts arrive).
+        let expected_last: Vec<u64> = vec![5, 4, 3];
+        for (i, out) in outcome.outputs.iter().enumerate() {
+            let sums = out.as_ref().expect("everyone reaches round 3");
+            assert_eq!(sums[0], 0);
+            assert_eq!(sums[1], 0);
+            assert_eq!(sums[2], expected_last[i]);
+        }
+    }
+
+    #[test]
+    fn partition_defers_cross_group_messages_until_the_heal() {
+        // Partition {0} from the rest during rounds 1..=2; its round-1
+        // broadcast reaches the others in round 4 (first unblocked round is
+        // 3, delivered into round-3 end-of-round inboxes... i.e. seen by the
+        // processes at the start of round 4 at the latest).
+        struct FirstSeen {
+            id: ProcessId,
+            n: usize,
+            seen_zero_in: Option<usize>,
+            done: Option<usize>,
+        }
+        impl SyncProcess for FirstSeen {
+            type Msg = u64;
+            type Output = usize;
+            fn round(&mut self, round: usize, inbox: &[Delivery<u64>]) -> Vec<Outgoing<u64>> {
+                if self.seen_zero_in.is_none() && inbox.iter().any(|d| d.from == ProcessId::new(0))
+                {
+                    self.seen_zero_in = Some(round);
+                    self.done = Some(round);
+                }
+                if round == 1 {
+                    broadcast_to_all(self.n, Some(self.id), &(self.id.index() as u64))
+                } else {
+                    Vec::new()
+                }
+            }
+            fn output(&self) -> Option<usize> {
+                self.done
+            }
+        }
+        let n = 3;
+        let processes: Vec<Box<dyn SyncProcess<Msg = u64, Output = usize>>> = (0..n)
+            .map(|i| {
+                Box::new(FirstSeen {
+                    id: ProcessId::new(i),
+                    n,
+                    seen_zero_in: None,
+                    done: None,
+                }) as Box<dyn SyncProcess<Msg = u64, Output = usize>>
+            })
+            .collect();
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent {
+                kind: FaultKind::Partition {
+                    groups: vec![vec![ProcessId::new(0)]],
+                },
+                start: 1,
+                duration: 2,
+            })
+            .unwrap();
+        let outcome = SyncNetwork::new(processes, 10)
+            .with_faults(plan, 0)
+            .run(&[1, 2]);
+        // The partition blocks delivery into rounds 1 and 2; round 3 is the
+        // first unblocked delivery round, so processes 1 and 2 first see
+        // process 0's broadcast in round 3 — delayed, not lost.
+        assert_eq!(outcome.outputs[1], Some(3));
+        assert_eq!(outcome.outputs[2], Some(3));
+        assert_eq!(outcome.stats.messages_dropped, 0);
     }
 }

@@ -3,7 +3,7 @@
 //! The event-queue simulator in [`crate::asim`] is the reference executor:
 //! deterministic, seeded, adversarially scheduled.  This module provides a
 //! second executor that runs every process on its own OS thread and carries
-//! messages over `crossbeam` channels — i.e. real concurrency, real
+//! messages over `std::sync::mpsc` channels — i.e. real concurrency, real
 //! non-determinism.  The examples use it to demonstrate that the protocol
 //! implementations do not depend on any property of the simulator, and the
 //! integration tests run both executors on identical inputs and compare
@@ -14,10 +14,9 @@
 
 use crate::asim::AsyncProcess;
 use crate::process::{ExecutionStats, Outgoing, ProcessId};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -63,7 +62,7 @@ where
     let mut senders: Vec<Sender<Envelope<M>>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -74,8 +73,7 @@ where
     let sent = Arc::new(AtomicUsize::new(0));
 
     let mut handles = Vec::with_capacity(n);
-    for (index, mut process) in processes.into_iter().enumerate() {
-        let my_rx = receivers[index].clone();
+    for ((index, mut process), my_rx) in processes.into_iter().enumerate().zip(receivers) {
         let all_tx = senders.clone();
         let outputs = Arc::clone(&outputs);
         let stop = Arc::clone(&stop);
@@ -95,7 +93,7 @@ where
             };
             dispatch(process.on_start());
             if let Some(out) = process.output() {
-                outputs.lock()[index] = Some(out);
+                outputs.lock().expect("outputs lock poisoned")[index] = Some(out);
             }
             while !stop.load(Ordering::Relaxed) {
                 match my_rx.recv_timeout(Duration::from_millis(5)) {
@@ -104,7 +102,7 @@ where
                         let outgoing = process.on_message(envelope.from, envelope.msg);
                         dispatch(outgoing);
                         if let Some(out) = process.output() {
-                            outputs.lock()[index] = Some(out);
+                            outputs.lock().expect("outputs lock poisoned")[index] = Some(out);
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => continue,
@@ -120,7 +118,7 @@ where
     let start = Instant::now();
     let completed = loop {
         {
-            let outs = outputs.lock();
+            let outs = outputs.lock().expect("outputs lock poisoned");
             if wait_for.iter().all(|&i| outs[i].is_some()) {
                 break true;
             }
@@ -137,9 +135,10 @@ where
         let _ = handle.join();
     }
 
-    let outputs = Arc::try_unwrap(outputs)
-        .map(|m| m.into_inner())
-        .unwrap_or_else(|arc| arc.lock().clone());
+    let outputs = match Arc::try_unwrap(outputs) {
+        Ok(mutex) => mutex.into_inner().expect("outputs lock poisoned"),
+        Err(arc) => arc.lock().expect("outputs lock poisoned").clone(),
+    };
     let delivered_count = delivered.load(Ordering::Relaxed);
     ThreadedOutcome {
         outputs,
@@ -148,6 +147,7 @@ where
             messages_delivered: delivered_count,
             messages_sent: sent.load(Ordering::Relaxed),
             steps: delivered_count,
+            ..ExecutionStats::default()
         },
     }
 }
@@ -209,9 +209,16 @@ mod tests {
 
     #[test]
     fn threads_exchange_messages_and_decide() {
-        let outcome = run_threaded(summers(&[1, 2, 3, 4]), &[0, 1, 2, 3], Duration::from_secs(5));
+        let outcome = run_threaded(
+            summers(&[1, 2, 3, 4]),
+            &[0, 1, 2, 3],
+            Duration::from_secs(5),
+        );
         assert!(outcome.completed);
-        assert_eq!(outcome.outputs, vec![Some(10), Some(10), Some(10), Some(10)]);
+        assert_eq!(
+            outcome.outputs,
+            vec![Some(10), Some(10), Some(10), Some(10)]
+        );
         assert!(outcome.stats.messages_delivered >= 12);
     }
 

@@ -1,0 +1,134 @@
+//! `campaign-run` — expand every scenario in a directory into its campaign
+//! matrix and run the whole lot across worker threads.
+//!
+//! ```text
+//! cargo run -p bvc-scenario --bin campaign-run -- \
+//!     --dir scenarios [--jobs 8] [--out verdicts.jsonl]
+//! ```
+//!
+//! stdout carries exactly one JSON line per instance, in deterministic
+//! instance order (scenario files sorted by name, then the scenario's own
+//! sweep order) regardless of thread interleaving; the human-readable
+//! summary goes to stderr.  Exit code 0 means every instance ran and every
+//! verdict held; 1 means some verdict was violated or some instance was
+//! rejected; 2 means the campaign could not be loaded.
+
+use bvc_scenario::{expand_all, run_campaign, CampaignSummary, ScenarioSpec};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: campaign-run --dir <scenario-dir> [--jobs <n>] [--out <file>]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<PathBuf> = None;
+    let mut jobs = 0usize;
+    let mut out_path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse() {
+                    Ok(n) => jobs = n,
+                    Err(_) => {
+                        eprintln!("campaign-run: invalid --jobs `{value}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--out" => out_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("campaign-run: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(dir) = dir else { usage() };
+
+    // Load scenario files in sorted order for a stable instance matrix.
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| path.extension().is_some_and(|ext| ext == "toml"))
+            .collect(),
+        Err(e) => {
+            eprintln!("campaign-run: cannot read `{}`: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("campaign-run: no .toml scenarios in `{}`", dir.display());
+        return ExitCode::from(2);
+    }
+
+    let mut specs = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("campaign-run: cannot read `{}`: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match ScenarioSpec::from_toml(&text) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => {
+                eprintln!("campaign-run: `{}`: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let instances = expand_all(&specs);
+    eprintln!(
+        "campaign-run: {} scenario file(s) → {} instance(s)",
+        specs.len(),
+        instances.len()
+    );
+    let results = run_campaign(&instances, jobs);
+
+    let mut lines = String::new();
+    for (instance, result) in instances.iter().zip(&results) {
+        match result {
+            Ok(outcome) => {
+                lines.push_str(&outcome.to_json());
+                lines.push('\n');
+            }
+            Err(e) => {
+                eprintln!(
+                    "campaign-run: `{}` seed {} rejected: {e}",
+                    instance.spec.name, instance.seed
+                );
+            }
+        }
+    }
+    print!("{lines}");
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &lines) {
+            eprintln!("campaign-run: cannot write `{}`: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let summary = CampaignSummary::tally(&results);
+    eprintln!(
+        "campaign-run: {} passed, {} violated, {} rejected ({} total)",
+        summary.passed,
+        summary.violated,
+        summary.rejected,
+        summary.total()
+    );
+    let _ = std::io::stderr().flush();
+    if summary.violated == 0 && summary.rejected == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,231 @@
+//! Campaign mode: expand scenario files into an instance matrix and run it
+//! across OS threads.
+//!
+//! A campaign is the cartesian product `seeds × strategies × policies` per
+//! scenario (each axis defaulting to the scenario's single base value), run
+//! by a fixed-size `std::thread` worker pool that pulls instances off an
+//! atomic cursor.  Results are collected **by instance index**, so the output
+//! order — and therefore the emitted JSON — is independent of thread
+//! interleaving: campaigns are as deterministic as single runs.
+
+use crate::runner::{run_scenario, ScenarioError, ScenarioOutcome};
+use crate::schema::ScenarioSpec;
+use bvc_adversary::ByzantineStrategy;
+use bvc_net::DeliveryPolicy;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// One expanded cell of the campaign matrix.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Index of the originating scenario in the campaign input order.
+    pub scenario_index: usize,
+    /// The scenario this instance came from.
+    pub spec: ScenarioSpec,
+    /// Executor seed.
+    pub seed: u64,
+    /// Byzantine strategy.
+    pub strategy: ByzantineStrategy,
+    /// Delivery policy.
+    pub policy: DeliveryPolicy,
+}
+
+/// Expands one scenario into its instance matrix (a scenario without a
+/// `[campaign]` section expands to exactly one instance).
+///
+/// Synchronous protocols ignore the delivery policy, so their `policies`
+/// axis is collapsed to one value — sweeping it would only produce
+/// byte-identical duplicate instances.
+pub fn expand(scenario_index: usize, spec: &ScenarioSpec) -> Vec<Instance> {
+    let (seeds, strategies, policies) = match &spec.campaign {
+        None => (Vec::new(), Vec::new(), Vec::new()),
+        Some(c) => (c.seeds.clone(), c.strategies.clone(), c.policies.clone()),
+    };
+    let seeds = if seeds.is_empty() {
+        vec![spec.seed]
+    } else {
+        seeds
+    };
+    let strategies = if strategies.is_empty() {
+        vec![spec.strategy]
+    } else {
+        strategies
+    };
+    let policies = if policies.is_empty() || !spec.protocol.is_async() {
+        vec![spec.policy.clone()]
+    } else {
+        policies
+    };
+    let mut instances = Vec::with_capacity(seeds.len() * strategies.len() * policies.len());
+    for &seed in &seeds {
+        for &strategy in &strategies {
+            for policy in &policies {
+                instances.push(Instance {
+                    scenario_index,
+                    spec: spec.clone(),
+                    seed,
+                    strategy,
+                    policy: policy.clone(),
+                });
+            }
+        }
+    }
+    instances
+}
+
+/// Expands a whole campaign (scenarios in input order).
+pub fn expand_all(specs: &[ScenarioSpec]) -> Vec<Instance> {
+    specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, spec)| expand(i, spec))
+        .collect()
+}
+
+/// Outcome of one instance: the verdict, or why it could not run.
+pub type InstanceResult = Result<ScenarioOutcome, ScenarioError>;
+
+/// Runs every instance on a pool of `jobs` worker threads and returns the
+/// results in instance order, independent of scheduling.
+///
+/// `jobs == 0` selects the available parallelism (or 1 if unknown).
+pub fn run_campaign(instances: &[Instance], jobs: usize) -> Vec<InstanceResult> {
+    let jobs = if jobs == 0 {
+        thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    let jobs = jobs.min(instances.len()).max(1);
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<InstanceResult>>> =
+        Mutex::new((0..instances.len()).map(|_| None).collect());
+
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(instance) = instances.get(index) else {
+                    break;
+                };
+                let result = run_scenario(
+                    &instance.spec,
+                    instance.seed,
+                    instance.strategy,
+                    instance.policy.clone(),
+                );
+                results.lock().expect("results lock poisoned")[index] = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("results lock poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every instance index was processed"))
+        .collect()
+}
+
+/// Aggregate counts over a finished campaign, for the human-readable summary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Instances that ran and whose verdict held all three conditions.
+    pub passed: usize,
+    /// Instances that ran but violated agreement, validity or termination.
+    pub violated: usize,
+    /// Instances that could not run (bound/parameter rejections).
+    pub rejected: usize,
+}
+
+impl CampaignSummary {
+    /// Tallies a result list.
+    pub fn tally(results: &[InstanceResult]) -> Self {
+        let mut summary = Self::default();
+        for result in results {
+            match result {
+                Ok(outcome) if outcome.verdict.all_hold() => summary.passed += 1,
+                Ok(_) => summary.violated += 1,
+                Err(_) => summary.rejected += 1,
+            }
+        }
+        summary
+    }
+
+    /// Total number of instances.
+    pub fn total(&self) -> usize {
+        self.passed + self.violated + self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_spec() -> ScenarioSpec {
+        ScenarioSpec::from_toml(
+            "[scenario]\nname = \"sweep\"\nprotocol = \"approx\"\nn = 5\nf = 1\nd = 2\n\
+             epsilon = 0.1\nmax_steps = 500000\n\
+             [campaign]\nseed_range = [0, 2]\nstrategies = [\"equivocate\", \"silent\"]\n\
+             policies = [\"random-fair\", \"round-robin\"]\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expansion_is_the_cartesian_product_in_stable_order() {
+        let spec = sweep_spec();
+        let instances = expand(0, &spec);
+        assert_eq!(instances.len(), 3 * 2 * 2);
+        assert_eq!(instances[0].seed, 0);
+        assert_eq!(instances.last().unwrap().seed, 2);
+        // Policies vary fastest, then strategies, then seeds.
+        assert_eq!(instances[0].policy, DeliveryPolicy::RandomFair);
+        assert_eq!(instances[1].policy, DeliveryPolicy::RoundRobin);
+        assert_eq!(instances[0].strategy, instances[1].strategy);
+        assert_ne!(instances[0].strategy, instances[2].strategy);
+    }
+
+    #[test]
+    fn sync_protocols_do_not_sweep_the_policy_axis() {
+        // Delivery policies are meaningless for lock-step protocols; sweeping
+        // them would duplicate every instance byte-for-byte.
+        let spec = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"s\"\nprotocol = \"restricted-sync\"\nn = 5\nf = 1\nd = 2\n\
+             [campaign]\nseeds = [0, 1]\npolicies = [\"random-fair\", \"round-robin\"]\n",
+        )
+        .unwrap();
+        assert_eq!(expand(0, &spec).len(), 2);
+    }
+
+    #[test]
+    fn scenarios_without_campaign_expand_to_one_instance() {
+        let spec = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"single\"\nprotocol = \"exact\"\nn = 5\nf = 1\nd = 2\nseed = 9\n",
+        )
+        .unwrap();
+        let instances = expand(3, &spec);
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0].seed, 9);
+        assert_eq!(instances[0].scenario_index, 3);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_campaign() {
+        let spec = sweep_spec();
+        let instances = expand(0, &spec);
+        let serial = run_campaign(&instances, 1);
+        let parallel = run_campaign(&instances, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.to_json(), b.to_json());
+        }
+        let summary = CampaignSummary::tally(&parallel);
+        assert_eq!(summary.total(), instances.len());
+        assert_eq!(summary.rejected, 0);
+    }
+}

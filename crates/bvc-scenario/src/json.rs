@@ -1,0 +1,212 @@
+//! A tiny deterministic JSON writer.
+//!
+//! Verdicts must be **byte-identical** for identical scenario + seed (the
+//! determinism property tests pin this), so the writer keeps insertion order,
+//! formats floats with Rust's shortest-round-trip `Display`, and maps
+//! non-finite floats to `null` (JSON has no `Infinity`).
+
+use std::fmt::Write as _;
+
+/// A JSON value being assembled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (64-bit seeds exceed `i64`).
+    UInt(u64),
+    /// A float (`null` when not finite).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object preserving insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a field to an object (panics if `self` is not an object —
+    /// builder misuse, not input-dependent).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("Json::field called on a non-object"),
+        }
+        self
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let mut s = String::new();
+                    let _ = write!(s, "{x}");
+                    // Keep round floats visibly floats ("1" → "1.0").
+                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    Json::Str(key.clone()).write(out);
+                    out.push_str(": ");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Serialises compactly on a single line (`to_string()` comes with it);
+/// identical values always produce identical bytes.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Self {
+        Json::Int(i)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Self {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Self {
+        Json::UInt(i)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Self {
+        Json::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let json = Json::object()
+            .field("b", 1usize)
+            .field("a", "x")
+            .field("c", true);
+        assert_eq!(json.to_string(), r#"{"b": 1, "a": "x", "c": true}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_infinities_are_null() {
+        assert_eq!(Json::Float(0.05).to_string(), "0.05");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(1.0).to_string(), "1.0");
+        assert_eq!(Json::Float(-2.0).to_string(), "-2.0");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::Str("a\"b\\c\n".into()).to_string(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn u64_seeds_above_i64_max_survive() {
+        assert_eq!(
+            Json::from(u64::MAX).to_string(),
+            u64::MAX.to_string(),
+            "seeds must round-trip so recorded verdicts stay replayable"
+        );
+    }
+
+    #[test]
+    fn arrays_nest() {
+        let json = Json::Array(vec![Json::Int(1), Json::Array(vec![Json::Null])]);
+        assert_eq!(json.to_string(), "[1, [null]]");
+    }
+}

@@ -1,0 +1,468 @@
+//! Deterministic execution of one scenario instance.
+//!
+//! [`run_scenario`] materialises the honest inputs from the scenario's
+//! generator, hands everything to the matching `bvc-core` run builder (the
+//! protocol logic lives there — the scenario engine never re-implements it),
+//! and packages the outcome as a [`ScenarioOutcome`] whose JSON form is
+//! byte-identical for identical `(scenario, seed, strategy, policy)`.
+
+use crate::json::Json;
+use crate::schema::{policy_name, InputSpec, Protocol, ScenarioSpec};
+use bvc_adversary::ByzantineStrategy;
+use bvc_core::{ApproxBvcRun, BvcError, ExactBvcRun, RestrictedRun, Verdict};
+use bvc_geometry::{Point, WorkloadGenerator};
+use bvc_net::{DeliveryPolicy, ExecutionStats, FaultPlan};
+use std::fmt;
+
+/// Salt separating input-generation randomness from executor randomness.
+const INPUT_SEED_SALT: u64 = 0x1094_2A7C_5EED_5EED;
+
+/// Why a scenario instance could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The generator cannot produce the required inputs.
+    BadInputs(String),
+    /// The run builder rejected the configuration (resilience bound,
+    /// parameter validation).
+    Rejected(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::BadInputs(msg) => write!(f, "cannot generate inputs: {msg}"),
+            ScenarioError::Rejected(msg) => write!(f, "configuration rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<BvcError> for ScenarioError {
+    fn from(e: BvcError) -> Self {
+        ScenarioError::Rejected(e.to_string())
+    }
+}
+
+/// The outcome of one scenario instance, ready for JSON serialisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// `(n, f, d)` of the run.
+    pub shape: (usize, usize, usize),
+    /// ε the verdict was judged against (`None` for exact consensus).
+    pub epsilon: Option<f64>,
+    /// The executor seed used.
+    pub seed: u64,
+    /// Stable name of the Byzantine strategy.
+    pub strategy: String,
+    /// Stable name of the delivery policy (async protocols; `"sync"` for
+    /// lock-step rounds).
+    pub policy: String,
+    /// Names of the injected fault kinds, in schedule order.
+    pub faults: Vec<&'static str>,
+    /// The scored verdict.
+    pub verdict: Verdict,
+    /// Rounds (sync) or delivery steps (async) executed.
+    pub rounds: usize,
+    /// Message statistics, including per-process attribution.
+    pub stats: ExecutionStats,
+}
+
+impl ScenarioOutcome {
+    /// Serialises the outcome as a single deterministic JSON line.
+    pub fn to_json(&self) -> String {
+        let per_process: Vec<Json> = self
+            .stats
+            .per_process
+            .iter()
+            .map(|c| {
+                Json::object()
+                    .field("sent", c.sent)
+                    .field("delivered", c.delivered)
+                    .field("dropped", c.dropped)
+            })
+            .collect();
+        let epsilon = match self.epsilon {
+            Some(e) => Json::Float(e),
+            None => Json::Null,
+        };
+        let distance = if self.verdict.max_pairwise_distance.is_finite() {
+            Json::Float(self.verdict.max_pairwise_distance)
+        } else {
+            Json::Null
+        };
+        Json::object()
+            .field("scenario", self.scenario.as_str())
+            .field("protocol", self.protocol.name())
+            .field("n", self.shape.0)
+            .field("f", self.shape.1)
+            .field("d", self.shape.2)
+            .field("epsilon", epsilon)
+            .field("seed", self.seed)
+            .field("strategy", self.strategy.as_str())
+            .field("policy", self.policy.as_str())
+            .field(
+                "faults",
+                Json::Array(self.faults.iter().map(|&k| Json::from(k)).collect()),
+            )
+            .field(
+                "verdict",
+                Json::object()
+                    .field("agreement", self.verdict.agreement)
+                    .field("validity", self.verdict.validity)
+                    .field("termination", self.verdict.termination)
+                    .field("max_pairwise_distance", distance),
+            )
+            .field("rounds", self.rounds)
+            .field(
+                "messages",
+                Json::object()
+                    .field("sent", self.stats.messages_sent)
+                    .field("delivered", self.stats.messages_delivered)
+                    .field("dropped", self.stats.messages_dropped),
+            )
+            .field("per_process", Json::Array(per_process))
+            .to_string()
+    }
+}
+
+/// Generates the `n − f` honest inputs a scenario declares.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::BadInputs`] when the generator cannot satisfy the
+/// scenario shape (wrong explicit count, zero dimension, bad bounds).
+pub fn generate_inputs(spec: &ScenarioSpec, seed: u64) -> Result<Vec<Point>, ScenarioError> {
+    let count = spec
+        .n
+        .checked_sub(spec.f)
+        .filter(|&c| c > 0)
+        .ok_or_else(|| ScenarioError::BadInputs("need n > f".into()))?;
+    if spec.d == 0 {
+        return Err(ScenarioError::BadInputs("d must be positive".into()));
+    }
+    let (lo, hi) = spec.value_bounds;
+    if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(ScenarioError::BadInputs(format!(
+            "value_bounds must be finite with lower < upper, got [{lo}, {hi}]"
+        )));
+    }
+    let mut generator = WorkloadGenerator::new(seed ^ INPUT_SEED_SALT);
+    let points = match &spec.inputs {
+        InputSpec::Grid => grid_points(count, spec.d, lo, hi),
+        InputSpec::Simplex => generator
+            .probability_vectors(count, spec.d)
+            .points()
+            .to_vec(),
+        InputSpec::RandomBall { center, radius } => {
+            let centre = Point::new(center.clone());
+            generator
+                .clustered(count, &centre, *radius)
+                .points()
+                .to_vec()
+        }
+        InputSpec::Corners => corner_points(count, spec.d, lo, hi),
+        InputSpec::Explicit { points } => {
+            if points.len() != count {
+                return Err(ScenarioError::BadInputs(format!(
+                    "explicit inputs list {} points, need n − f = {count}",
+                    points.len()
+                )));
+            }
+            points.iter().cloned().map(Point::new).collect()
+        }
+    };
+    Ok(points)
+}
+
+/// Synchronous executors evaluate fault windows at 1-based round numbers, so
+/// a window starting at time 0 would silently lose its first unit (no round 0
+/// exists).  The schema defines `start = 0` as "from the beginning"; shift
+/// such windows to round 1 so they cover the declared number of rounds.
+fn sync_rounds_plan(plan: &FaultPlan) -> FaultPlan {
+    let mut adjusted = FaultPlan::new();
+    for event in plan.events() {
+        let mut event = event.clone();
+        if event.start == 0 {
+            event.start = 1;
+        }
+        adjusted
+            .push(event)
+            .expect("shifting a validated window keeps it valid");
+    }
+    adjusted
+}
+
+/// Row-major lattice over `[lo, hi]^d`, truncated to `count` points.
+fn grid_points(count: usize, d: usize, lo: f64, hi: f64) -> Vec<Point> {
+    // Smallest per-axis resolution whose lattice covers `count` points.
+    let mut k = 1usize;
+    while k.pow(d as u32) < count {
+        k += 1;
+    }
+    let coordinate = |i: usize| {
+        if k == 1 {
+            0.5 * (lo + hi)
+        } else {
+            lo + (hi - lo) * i as f64 / (k - 1) as f64
+        }
+    };
+    (0..count)
+        .map(|mut index| {
+            let coords = (0..d)
+                .map(|_| {
+                    let i = index % k;
+                    index /= k;
+                    coordinate(i)
+                })
+                .collect();
+            Point::new(coords)
+        })
+        .collect()
+}
+
+/// Cycles through the `2^d` corners of `[lo, hi]^d` (maximum-spread inputs).
+fn corner_points(count: usize, d: usize, lo: f64, hi: f64) -> Vec<Point> {
+    let corners = 1usize << d.min(62);
+    (0..count)
+        .map(|j| {
+            let mask = j % corners;
+            Point::new(
+                (0..d)
+                    .map(|l| if (mask >> l) & 1 == 1 { hi } else { lo })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Runs one instance of a scenario: the spec with `seed`, `strategy` and
+/// `policy` overriding the corresponding base values.
+///
+/// # Errors
+///
+/// Propagates input-generation failures and run-builder rejections; a run
+/// whose verdict fails is **not** an error — failed verdicts are data.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    seed: u64,
+    strategy: ByzantineStrategy,
+    policy: DeliveryPolicy,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    let inputs = generate_inputs(spec, seed)?;
+    let fault_names: Vec<&'static str> =
+        spec.faults.events().iter().map(|e| e.kind.name()).collect();
+    let policy_label = if spec.protocol.is_async() {
+        policy_name(&policy)
+    } else {
+        "sync".to_string()
+    };
+    let base = |verdict: Verdict, rounds: usize, stats: ExecutionStats, epsilon: Option<f64>| {
+        ScenarioOutcome {
+            scenario: spec.name.clone(),
+            protocol: spec.protocol,
+            shape: (spec.n, spec.f, spec.d),
+            epsilon,
+            seed,
+            strategy: strategy_label(strategy),
+            policy: policy_label.clone(),
+            faults: fault_names.clone(),
+            verdict,
+            rounds,
+            stats,
+        }
+    };
+
+    let outcome = match spec.protocol {
+        Protocol::Exact => {
+            let run = ExactBvcRun::builder(spec.n, spec.f, spec.d)
+                .honest_inputs(inputs)
+                .adversary(strategy)
+                .seed(seed)
+                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
+                .faults(sync_rounds_plan(&spec.faults))
+                .run()?;
+            base(
+                run.verdict().clone(),
+                run.rounds(),
+                run.stats().clone(),
+                None,
+            )
+        }
+        Protocol::Approx => {
+            let run = ApproxBvcRun::builder(spec.n, spec.f, spec.d)
+                .honest_inputs(inputs)
+                .adversary(strategy)
+                .seed(seed)
+                .epsilon(spec.epsilon)
+                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
+                .delivery_policy(policy)
+                .max_steps(spec.max_steps)
+                .faults(spec.faults.clone())
+                .run()?;
+            let steps = run.stats().steps;
+            base(
+                run.verdict().clone(),
+                steps,
+                run.stats().clone(),
+                Some(spec.epsilon),
+            )
+        }
+        Protocol::RestrictedSync => {
+            let run = RestrictedRun::sync_builder(spec.n, spec.f, spec.d)
+                .honest_inputs(inputs)
+                .adversary(strategy)
+                .seed(seed)
+                .epsilon(spec.epsilon)
+                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
+                .faults(sync_rounds_plan(&spec.faults))
+                .run()?;
+            base(
+                run.verdict().clone(),
+                run.rounds(),
+                run.stats().clone(),
+                Some(spec.epsilon),
+            )
+        }
+        Protocol::RestrictedAsync => {
+            let run = RestrictedRun::async_builder(spec.n, spec.f, spec.d)
+                .honest_inputs(inputs)
+                .adversary(strategy)
+                .seed(seed)
+                .epsilon(spec.epsilon)
+                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
+                .delivery_policy(policy)
+                .max_steps(spec.max_steps)
+                .faults(spec.faults.clone())
+                .run()?;
+            base(
+                run.verdict().clone(),
+                run.rounds(),
+                run.stats().clone(),
+                Some(spec.epsilon),
+            )
+        }
+    };
+    Ok(outcome)
+}
+
+/// Stable label for a strategy, including the crash round (`crash:K`).
+pub fn strategy_label(strategy: ByzantineStrategy) -> String {
+    match strategy {
+        ByzantineStrategy::Crash(k) => format!("crash:{k}"),
+        other => other.name().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(protocol: &str) -> ScenarioSpec {
+        let (n, f, d) = match protocol {
+            "exact" => (5, 1, 2),
+            "approx" => (5, 1, 2),
+            "restricted-sync" => (5, 1, 2),
+            "restricted-async" => (6, 1, 1),
+            _ => unreachable!(),
+        };
+        ScenarioSpec::from_toml(&format!(
+            "[scenario]\nname = \"t\"\nprotocol = \"{protocol}\"\nn = {n}\nf = {f}\nd = {d}\n\
+             epsilon = 0.1\nmax_steps = 500000\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_inputs_cover_the_box_deterministically() {
+        let s = spec("exact");
+        let a = generate_inputs(&s, 1).unwrap();
+        let b = generate_inputs(&s, 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        for p in &a {
+            assert!(p.coords().iter().all(|&c| (0.0..=1.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn corner_inputs_hit_extremes() {
+        let mut s = spec("exact");
+        s.inputs = InputSpec::Corners;
+        let points = generate_inputs(&s, 0).unwrap();
+        assert_eq!(points[0].coords(), &[0.0, 0.0]);
+        assert_eq!(points[1].coords(), &[1.0, 0.0]);
+        assert_eq!(points[2].coords(), &[0.0, 1.0]);
+        assert_eq!(points[3].coords(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn all_four_protocols_run_and_serialize() {
+        for protocol in ["exact", "approx", "restricted-sync", "restricted-async"] {
+            let s = spec(protocol);
+            let outcome = run_scenario(&s, 3, s.strategy, s.policy.clone())
+                .unwrap_or_else(|e| panic!("{protocol}: {e}"));
+            assert!(
+                outcome.verdict.all_hold(),
+                "{protocol} verdict: {:?}",
+                outcome.verdict
+            );
+            let json = outcome.to_json();
+            assert!(json.contains(&format!("\"protocol\": \"{protocol}\"")));
+            assert!(json.contains("\"per_process\""));
+        }
+    }
+
+    #[test]
+    fn json_is_byte_identical_for_equal_runs() {
+        let s = spec("approx");
+        let a = run_scenario(&s, 42, s.strategy, s.policy.clone()).unwrap();
+        let b = run_scenario(&s, 42, s.strategy, s.policy.clone()).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn explicit_inputs_must_count_n_minus_f() {
+        let mut s = spec("exact");
+        s.inputs = InputSpec::Explicit {
+            points: vec![vec![0.0, 0.0]],
+        };
+        assert!(matches!(
+            generate_inputs(&s, 0),
+            Err(ScenarioError::BadInputs(_))
+        ));
+    }
+
+    #[test]
+    fn sync_fault_windows_starting_at_zero_cover_round_one() {
+        // Rounds are 1-based, so a raw start = 0 window of duration 1 would
+        // never fire; the runner shifts it to round 1 and the drop fault must
+        // actually destroy round-1 messages.
+        let spec = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"t\"\nprotocol = \"exact\"\nn = 5\nf = 1\nd = 2\n\
+             [[faults]]\nkind = \"drop\"\nrate = 1.0\nfrom = [0]\nstart = 0\nduration = 1\n",
+        )
+        .unwrap();
+        let outcome = run_scenario(&spec, 1, spec.strategy, spec.policy.clone()).unwrap();
+        assert!(
+            outcome.stats.messages_dropped > 0,
+            "a start = 0 window must cover round 1, not vanish"
+        );
+        assert_eq!(
+            outcome.stats.per_process[0].dropped,
+            outcome.stats.messages_dropped
+        );
+    }
+
+    #[test]
+    fn bound_violations_surface_as_rejections() {
+        let mut s = spec("approx");
+        s.n = 4; // (d+2)f+1 = 5 > 4
+        let err = run_scenario(&s, 0, s.strategy, s.policy.clone()).unwrap_err();
+        assert!(matches!(err, ScenarioError::Rejected(_)));
+    }
+}

@@ -1,0 +1,695 @@
+//! The declarative scenario schema and its TOML binding.
+//!
+//! A scenario file names a protocol, its parameters, an honest-input
+//! generator, a Byzantine strategy, a delivery schedule and an optional list
+//! of injected network faults; an optional `[campaign]` section turns one
+//! file into a seed × strategy × policy sweep.  See the crate-level docs for
+//! the full reference and a worked example.
+
+use crate::toml::{parse, TomlValue};
+use bvc_adversary::ByzantineStrategy;
+use bvc_net::{DeliveryPolicy, FaultEvent, FaultKind, FaultPlan, LinkSelector, ProcessId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which of the paper's four algorithms a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Exact BVC, synchronous (Theorems 1/3).
+    Exact,
+    /// Approximate BVC, asynchronous (Theorems 4/5).
+    Approx,
+    /// Restricted-round approximate BVC, synchronous (Theorem 6).
+    RestrictedSync,
+    /// Restricted-round approximate BVC, asynchronous (Theorem 6).
+    RestrictedAsync,
+}
+
+impl Protocol {
+    /// The stable schema name (`exact`, `approx`, `restricted-sync`,
+    /// `restricted-async`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Exact => "exact",
+            Protocol::Approx => "approx",
+            Protocol::RestrictedSync => "restricted-sync",
+            Protocol::RestrictedAsync => "restricted-async",
+        }
+    }
+
+    /// Whether the protocol runs on the asynchronous executor.
+    pub fn is_async(self) -> bool {
+        matches!(self, Protocol::Approx | Protocol::RestrictedAsync)
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "exact" => Some(Protocol::Exact),
+            "approx" => Some(Protocol::Approx),
+            "restricted-sync" => Some(Protocol::RestrictedSync),
+            "restricted-async" => Some(Protocol::RestrictedAsync),
+            _ => None,
+        }
+    }
+}
+
+/// How the `n − f` honest inputs are generated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputSpec {
+    /// The first `n − f` points of an axis-aligned lattice over the value
+    /// box, in row-major order (deterministic, seed-independent).
+    Grid,
+    /// Probability vectors (points of the standard simplex), drawn from the
+    /// scenario seed — the paper's distributed-optimisation workload.
+    Simplex,
+    /// Points within `radius` (L∞) of `center`, drawn from the scenario seed.
+    RandomBall {
+        /// Centre of the ball (dimension must equal `d`).
+        center: Vec<f64>,
+        /// L∞ radius.
+        radius: f64,
+    },
+    /// Opposite corners of the value box, cycling through the `2^d` corners —
+    /// the adversarial maximum-spread workload.
+    Corners,
+    /// Explicitly listed points.
+    Explicit {
+        /// The points (each of dimension `d`; exactly `n − f` of them).
+        points: Vec<Vec<f64>>,
+    },
+}
+
+impl InputSpec {
+    /// The stable schema name of the generator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InputSpec::Grid => "grid",
+            InputSpec::Simplex => "simplex",
+            InputSpec::RandomBall { .. } => "random-ball",
+            InputSpec::Corners => "corners",
+            InputSpec::Explicit { .. } => "explicit",
+        }
+    }
+}
+
+/// A campaign sweep: the cartesian product of the listed axes, each
+/// defaulting to the scenario's single base value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignSpec {
+    /// Seeds to sweep (empty ⇒ just the scenario seed).
+    pub seeds: Vec<u64>,
+    /// Byzantine strategies to sweep (empty ⇒ the scenario strategy).
+    pub strategies: Vec<ByzantineStrategy>,
+    /// Delivery policies to sweep (empty ⇒ the scenario policy).
+    pub policies: Vec<DeliveryPolicy>,
+}
+
+/// A fully parsed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (reported in the JSON verdict).
+    pub name: String,
+    /// The algorithm under test.
+    pub protocol: Protocol,
+    /// Total number of processes.
+    pub n: usize,
+    /// Number of Byzantine processes.
+    pub f: usize,
+    /// Input/decision dimension.
+    pub d: usize,
+    /// ε of ε-agreement (ignored by `exact`).
+    pub epsilon: f64,
+    /// Base seed (the CLI can override it per run).
+    pub seed: u64,
+    /// Step cap for the asynchronous executor.
+    pub max_steps: usize,
+    /// A-priori value bounds `[ν, U]`.
+    pub value_bounds: (f64, f64),
+    /// Honest-input generator.
+    pub inputs: InputSpec,
+    /// Byzantine strategy of the `f` faulty processes.
+    pub strategy: ByzantineStrategy,
+    /// Delivery schedule (asynchronous protocols only).
+    pub policy: DeliveryPolicy,
+    /// Injected network faults.
+    pub faults: FaultPlan,
+    /// Optional sweep axes.
+    pub campaign: Option<CampaignSpec>,
+}
+
+/// A schema-level error: the file parsed as TOML but is not a valid scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaError(pub String);
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario schema error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn bad<T>(message: impl Into<String>) -> Result<T, SchemaError> {
+    Err(SchemaError(message.into()))
+}
+
+type Table = BTreeMap<String, TomlValue>;
+
+fn get_usize(table: &Table, key: &str) -> Result<Option<usize>, SchemaError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(value) => match value.as_integer() {
+            Some(i) if i >= 0 => Ok(Some(i as usize)),
+            _ => bad(format!("`{key}` must be a non-negative integer")),
+        },
+    }
+}
+
+fn get_u64(table: &Table, key: &str) -> Result<Option<u64>, SchemaError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(value) => match value.as_integer() {
+            Some(i) if i >= 0 => Ok(Some(i as u64)),
+            _ => bad(format!("`{key}` must be a non-negative integer")),
+        },
+    }
+}
+
+fn get_f64(table: &Table, key: &str) -> Result<Option<f64>, SchemaError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(value) => match value.as_float() {
+            Some(x) => Ok(Some(x)),
+            None => bad(format!("`{key}` must be a number")),
+        },
+    }
+}
+
+fn get_str<'a>(table: &'a Table, key: &str) -> Result<Option<&'a str>, SchemaError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(value) => match value.as_str() {
+            Some(s) => Ok(Some(s)),
+            None => bad(format!("`{key}` must be a string")),
+        },
+    }
+}
+
+fn require<T>(value: Option<T>, key: &str, section: &str) -> Result<T, SchemaError> {
+    value.ok_or_else(|| SchemaError(format!("missing `{key}` in [{section}]")))
+}
+
+fn float_list(value: &TomlValue, key: &str) -> Result<Vec<f64>, SchemaError> {
+    let Some(items) = value.as_array() else {
+        return bad(format!("`{key}` must be an array of numbers"));
+    };
+    items
+        .iter()
+        .map(|v| {
+            v.as_float()
+                .ok_or_else(|| SchemaError(format!("`{key}` must contain only numbers")))
+        })
+        .collect()
+}
+
+fn process_list(value: &TomlValue, key: &str) -> Result<Vec<ProcessId>, SchemaError> {
+    let Some(items) = value.as_array() else {
+        return bad(format!("`{key}` must be an array of process indices"));
+    };
+    items
+        .iter()
+        .map(|v| match v.as_integer() {
+            Some(i) if i >= 0 => Ok(ProcessId::new(i as usize)),
+            _ => bad(format!("`{key}` must contain non-negative process indices")),
+        })
+        .collect()
+}
+
+/// Parses a Byzantine strategy name: `silent`, `fixed-outlier`,
+/// `random-noise`, `equivocate`, `anti-convergence`, `benign` or `crash:K`
+/// (crash after round `K`).
+pub fn parse_strategy(name: &str) -> Result<ByzantineStrategy, SchemaError> {
+    if let Some(round) = name.strip_prefix("crash:") {
+        return match round.parse::<usize>() {
+            Ok(k) => Ok(ByzantineStrategy::Crash(k)),
+            Err(_) => bad(format!("invalid crash round in `{name}`")),
+        };
+    }
+    match name {
+        "crash" => Ok(ByzantineStrategy::Crash(1)),
+        "silent" => Ok(ByzantineStrategy::Silent),
+        "fixed-outlier" => Ok(ByzantineStrategy::FixedOutlier),
+        "random-noise" => Ok(ByzantineStrategy::RandomNoise),
+        "equivocate" => Ok(ByzantineStrategy::Equivocate),
+        "anti-convergence" => Ok(ByzantineStrategy::AntiConvergence),
+        "benign" => Ok(ByzantineStrategy::Benign),
+        _ => bad(format!(
+            "unknown strategy `{name}` (expected crash[:K], silent, fixed-outlier, \
+             random-noise, equivocate, anti-convergence or benign)"
+        )),
+    }
+}
+
+/// A stable display name for a delivery policy.
+pub fn policy_name(policy: &DeliveryPolicy) -> String {
+    match policy {
+        DeliveryPolicy::RandomFair => "random-fair".into(),
+        DeliveryPolicy::RoundRobin => "round-robin".into(),
+        DeliveryPolicy::DelayFrom(ids) => format!(
+            "delay-from:{}",
+            ids.iter()
+                .map(|p| p.index().to_string())
+                .collect::<Vec<_>>()
+                .join("+")
+        ),
+        DeliveryPolicy::DelayTo(ids) => format!(
+            "delay-to:{}",
+            ids.iter()
+                .map(|p| p.index().to_string())
+                .collect::<Vec<_>>()
+                .join("+")
+        ),
+    }
+}
+
+fn parse_policy(table: &Table) -> Result<DeliveryPolicy, SchemaError> {
+    let name = require(get_str(table, "policy")?, "policy", "delivery")?;
+    parse_policy_name(name, table.get("processes"))
+}
+
+fn parse_policy_name(
+    name: &str,
+    processes: Option<&TomlValue>,
+) -> Result<DeliveryPolicy, SchemaError> {
+    let listed = |value: Option<&TomlValue>| -> Result<Vec<ProcessId>, SchemaError> {
+        match value {
+            Some(v) => process_list(v, "processes"),
+            None => bad(format!("policy `{name}` needs a `processes` array")),
+        }
+    };
+    match name {
+        "random-fair" => Ok(DeliveryPolicy::RandomFair),
+        "round-robin" => Ok(DeliveryPolicy::RoundRobin),
+        "delay-from" => Ok(DeliveryPolicy::DelayFrom(listed(processes)?)),
+        "delay-to" => Ok(DeliveryPolicy::DelayTo(listed(processes)?)),
+        _ => bad(format!(
+            "unknown delivery policy `{name}` (expected random-fair, round-robin, \
+             delay-from or delay-to)"
+        )),
+    }
+}
+
+fn parse_link_selector(table: &Table) -> Result<LinkSelector, SchemaError> {
+    let from = table.get("from");
+    let to = table.get("to");
+    match (from, to) {
+        (None, None) => Ok(LinkSelector::All),
+        (Some(f), None) => Ok(LinkSelector::From(process_list(f, "from")?)),
+        (None, Some(t)) => Ok(LinkSelector::To(process_list(t, "to")?)),
+        // `from` + `to` together select only the directed links from × to —
+        // replies travel the reverse links and stay unaffected.
+        (Some(f), Some(t)) => Ok(LinkSelector::Directed(
+            process_list(f, "from")?,
+            process_list(t, "to")?,
+        )),
+    }
+}
+
+fn parse_fault(table: &Table) -> Result<FaultEvent, SchemaError> {
+    let kind_name = require(get_str(table, "kind")?, "kind", "faults")?;
+    let kind = match kind_name {
+        "drop" => {
+            let rate = require(get_f64(table, "rate")?, "rate", "faults")?;
+            FaultKind::Drop {
+                rate,
+                links: parse_link_selector(table)?,
+            }
+        }
+        "latency" => {
+            let extra = require(get_usize(table, "extra")?, "extra", "faults")?;
+            FaultKind::Latency {
+                extra,
+                links: parse_link_selector(table)?,
+            }
+        }
+        "partition" => {
+            let Some(groups_value) = table.get("groups") else {
+                return bad("partition fault needs a `groups` array of process-index arrays");
+            };
+            let Some(items) = groups_value.as_array() else {
+                return bad("`groups` must be an array of process-index arrays");
+            };
+            let groups = items
+                .iter()
+                .map(|g| process_list(g, "groups"))
+                .collect::<Result<Vec<_>, _>>()?;
+            FaultKind::Partition { groups }
+        }
+        other => {
+            return bad(format!(
+                "unknown fault kind `{other}` (expected drop, latency or partition)"
+            ))
+        }
+    };
+    let start = get_usize(table, "start")?.unwrap_or(0);
+    let duration = require(get_usize(table, "duration")?, "duration", "faults")?;
+    Ok(FaultEvent {
+        kind,
+        start,
+        duration,
+    })
+}
+
+fn parse_inputs(table: Option<&Table>, d: usize) -> Result<InputSpec, SchemaError> {
+    let Some(table) = table else {
+        return Ok(InputSpec::Grid);
+    };
+    let generator = get_str(table, "generator")?.unwrap_or("grid");
+    match generator {
+        "grid" => Ok(InputSpec::Grid),
+        "simplex" => Ok(InputSpec::Simplex),
+        "corners" => Ok(InputSpec::Corners),
+        "random-ball" => {
+            let center = match table.get("center") {
+                Some(value) => float_list(value, "center")?,
+                None => vec![0.5; d],
+            };
+            if center.len() != d {
+                return bad(format!(
+                    "`center` has dimension {}, expected {d}",
+                    center.len()
+                ));
+            }
+            let radius = get_f64(table, "radius")?.unwrap_or(0.1);
+            if !(radius >= 0.0 && radius.is_finite()) {
+                return bad("`radius` must be a non-negative finite number");
+            }
+            Ok(InputSpec::RandomBall { center, radius })
+        }
+        "explicit" => {
+            let Some(points_value) = table.get("points") else {
+                return bad("explicit inputs need a `points` array of coordinate arrays");
+            };
+            let Some(items) = points_value.as_array() else {
+                return bad("`points` must be an array of coordinate arrays");
+            };
+            let points = items
+                .iter()
+                .map(|p| float_list(p, "points"))
+                .collect::<Result<Vec<_>, _>>()?;
+            if let Some(wrong) = points.iter().find(|p| p.len() != d) {
+                return bad(format!(
+                    "explicit point {wrong:?} has dimension {}, expected {d}",
+                    wrong.len()
+                ));
+            }
+            Ok(InputSpec::Explicit { points })
+        }
+        other => bad(format!(
+            "unknown input generator `{other}` (expected grid, simplex, random-ball, \
+             corners or explicit)"
+        )),
+    }
+}
+
+fn parse_campaign(table: &Table) -> Result<CampaignSpec, SchemaError> {
+    let mut campaign = CampaignSpec::default();
+    if let Some(value) = table.get("seeds") {
+        let Some(items) = value.as_array() else {
+            return bad("`seeds` must be an array of integers");
+        };
+        for item in items {
+            match item.as_integer() {
+                Some(i) if i >= 0 => campaign.seeds.push(i as u64),
+                _ => return bad("`seeds` must contain non-negative integers"),
+            }
+        }
+    }
+    if let Some(range) = table.get("seed_range") {
+        let items = range
+            .as_array()
+            .ok_or_else(|| SchemaError("`seed_range` must be [first, last]".into()))?;
+        let bounds: Vec<i64> = items
+            .iter()
+            .map(|v| {
+                v.as_integer()
+                    .ok_or_else(|| SchemaError("`seed_range` bounds must be integers".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        if bounds.len() != 2 || bounds[0] < 0 || bounds[1] < bounds[0] {
+            return bad("`seed_range` must be [first, last] with 0 <= first <= last");
+        }
+        let (first, last) = (bounds[0] as u64, bounds[1] as u64);
+        campaign.seeds.extend(first..=last);
+    }
+    if let Some(value) = table.get("strategies") {
+        let Some(items) = value.as_array() else {
+            return bad("`strategies` must be an array of strategy names");
+        };
+        for item in items {
+            let Some(name) = item.as_str() else {
+                return bad("`strategies` must contain strategy names");
+            };
+            campaign.strategies.push(parse_strategy(name)?);
+        }
+    }
+    if let Some(value) = table.get("policies") {
+        let Some(items) = value.as_array() else {
+            return bad("`policies` must be an array of policy names");
+        };
+        for item in items {
+            let Some(name) = item.as_str() else {
+                return bad("`policies` must contain policy names");
+            };
+            campaign.policies.push(parse_policy_name(name, None)?);
+        }
+    }
+    Ok(campaign)
+}
+
+impl ScenarioSpec {
+    /// Parses a scenario from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first TOML or schema violation.
+    pub fn from_toml(text: &str) -> Result<Self, SchemaError> {
+        let root = parse(text).map_err(|e| SchemaError(e.to_string()))?;
+        let scenario = root
+            .get("scenario")
+            .and_then(|v| v.as_table())
+            .ok_or_else(|| SchemaError("missing [scenario] section".into()))?;
+
+        let name = require(get_str(scenario, "name")?, "name", "scenario")?.to_string();
+        let protocol_name = require(get_str(scenario, "protocol")?, "protocol", "scenario")?;
+        let protocol = Protocol::from_name(protocol_name).ok_or_else(|| {
+            SchemaError(format!(
+                "unknown protocol `{protocol_name}` (expected exact, approx, \
+                 restricted-sync or restricted-async)"
+            ))
+        })?;
+        let n = require(get_usize(scenario, "n")?, "n", "scenario")?;
+        let f = require(get_usize(scenario, "f")?, "f", "scenario")?;
+        let d = require(get_usize(scenario, "d")?, "d", "scenario")?;
+        let epsilon = get_f64(scenario, "epsilon")?.unwrap_or(0.01);
+        let seed = get_u64(scenario, "seed")?.unwrap_or(0);
+        let max_steps = get_usize(scenario, "max_steps")?.unwrap_or(5_000_000);
+        let value_bounds = match scenario.get("value_bounds") {
+            None => (0.0, 1.0),
+            Some(value) => {
+                let bounds = float_list(value, "value_bounds")?;
+                if bounds.len() != 2 {
+                    return bad("`value_bounds` must be [lower, upper]");
+                }
+                (bounds[0], bounds[1])
+            }
+        };
+
+        let inputs = parse_inputs(root.get("inputs").and_then(|v| v.as_table()), d)?;
+
+        let strategy = match root.get("adversary").and_then(|v| v.as_table()) {
+            Some(adversary) => parse_strategy(require(
+                get_str(adversary, "strategy")?,
+                "strategy",
+                "adversary",
+            )?)?,
+            None => ByzantineStrategy::Equivocate,
+        };
+
+        let policy = match root.get("delivery").and_then(|v| v.as_table()) {
+            Some(delivery) => parse_policy(delivery)?,
+            None => DeliveryPolicy::RandomFair,
+        };
+
+        let mut faults = FaultPlan::new();
+        if let Some(entries) = root.get("faults") {
+            let Some(items) = entries.as_array() else {
+                return bad("`faults` must be written as [[faults]] tables");
+            };
+            for item in items {
+                let Some(table) = item.as_table() else {
+                    return bad("`faults` must be written as [[faults]] tables");
+                };
+                let event = parse_fault(table)?;
+                faults.push(event).map_err(|e| SchemaError(e.to_string()))?;
+            }
+        }
+
+        let campaign = match root.get("campaign").and_then(|v| v.as_table()) {
+            Some(table) => Some(parse_campaign(table)?),
+            None => None,
+        };
+
+        Ok(Self {
+            name,
+            protocol,
+            n,
+            f,
+            d,
+            epsilon,
+            seed,
+            max_steps,
+            value_bounds,
+            inputs,
+            strategy,
+            policy,
+            faults,
+            campaign,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+[scenario]
+name = "example"
+protocol = "approx"
+n = 5
+f = 1
+d = 2
+epsilon = 0.05
+seed = 7
+max_steps = 100000
+value_bounds = [0.0, 1.0]
+
+[inputs]
+generator = "random-ball"
+center = [0.5, 0.5]
+radius = 0.25
+
+[adversary]
+strategy = "anti-convergence"
+
+[delivery]
+policy = "delay-from"
+processes = [4]
+
+[[faults]]
+kind = "partition"
+groups = [[0, 1]]
+start = 0
+duration = 200
+
+[[faults]]
+kind = "drop"
+rate = 0.25
+from = [4]
+start = 0
+duration = 100
+
+[campaign]
+seed_range = [0, 4]
+strategies = ["equivocate", "silent"]
+"#;
+
+    #[test]
+    fn full_example_parses() {
+        let spec = ScenarioSpec::from_toml(EXAMPLE).unwrap();
+        assert_eq!(spec.name, "example");
+        assert_eq!(spec.protocol, Protocol::Approx);
+        assert_eq!((spec.n, spec.f, spec.d), (5, 1, 2));
+        assert_eq!(spec.epsilon, 0.05);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.max_steps, 100_000);
+        assert!(
+            matches!(spec.inputs, InputSpec::RandomBall { ref center, radius }
+            if center == &vec![0.5, 0.5] && radius == 0.25)
+        );
+        assert_eq!(spec.strategy, ByzantineStrategy::AntiConvergence);
+        assert_eq!(
+            spec.policy,
+            DeliveryPolicy::DelayFrom(vec![ProcessId::new(4)])
+        );
+        assert_eq!(spec.faults.events().len(), 2);
+        let campaign = spec.campaign.unwrap();
+        assert_eq!(campaign.seeds, vec![0, 1, 2, 3, 4]);
+        assert_eq!(campaign.strategies.len(), 2);
+    }
+
+    #[test]
+    fn minimal_scenario_gets_defaults() {
+        let spec = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"tiny\"\nprotocol = \"exact\"\nn = 5\nf = 1\nd = 2\n",
+        )
+        .unwrap();
+        assert_eq!(spec.inputs, InputSpec::Grid);
+        assert_eq!(spec.strategy, ByzantineStrategy::Equivocate);
+        assert_eq!(spec.policy, DeliveryPolicy::RandomFair);
+        assert!(spec.faults.is_empty());
+        assert!(spec.campaign.is_none());
+        assert_eq!(spec.value_bounds, (0.0, 1.0));
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        assert_eq!(
+            parse_strategy("crash:3").unwrap(),
+            ByzantineStrategy::Crash(3)
+        );
+        assert_eq!(parse_strategy("silent").unwrap(), ByzantineStrategy::Silent);
+        assert!(parse_strategy("nope").is_err());
+        assert!(parse_strategy("crash:x").is_err());
+    }
+
+    #[test]
+    fn from_plus_to_selects_directed_links_only() {
+        let text = "[scenario]\nname = \"a\"\nprotocol = \"approx\"\nn = 5\nf = 1\nd = 1\n\
+            [[faults]]\nkind = \"drop\"\nrate = 1.0\nfrom = [0]\nto = [1]\n\
+            start = 0\nduration = 10\n";
+        let spec = ScenarioSpec::from_toml(text).unwrap();
+        // The fault covers 0 → 1 but must leave the reply link 1 → 0 alone.
+        assert_eq!(spec.faults.drop_probability(0, 0, 1), 1.0);
+        assert_eq!(spec.faults.drop_probability(0, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn seed_range_rejects_non_integers() {
+        let text = "[scenario]\nname = \"a\"\nprotocol = \"approx\"\nn = 5\nf = 1\nd = 1\n\
+            [campaign]\nseed_range = [0, 24.9]\n";
+        assert!(ScenarioSpec::from_toml(text).is_err());
+    }
+
+    #[test]
+    fn schema_violations_are_reported() {
+        assert!(ScenarioSpec::from_toml("x = 1").is_err());
+        let missing_n = "[scenario]\nname = \"a\"\nprotocol = \"exact\"\nf = 1\nd = 2\n";
+        assert!(ScenarioSpec::from_toml(missing_n).is_err());
+        let bad_protocol =
+            "[scenario]\nname = \"a\"\nprotocol = \"quantum\"\nn = 4\nf = 1\nd = 2\n";
+        assert!(ScenarioSpec::from_toml(bad_protocol).is_err());
+        let never_expires =
+            "[scenario]\nname = \"a\"\nprotocol = \"approx\"\nn = 4\nf = 1\nd = 1\n\
+            [[faults]]\nkind = \"partition\"\ngroups = [[0]]\nstart = 0\nduration = 0\n";
+        assert!(ScenarioSpec::from_toml(never_expires).is_err());
+    }
+
+    #[test]
+    fn explicit_inputs_must_match_dimension() {
+        let text = "[scenario]\nname = \"a\"\nprotocol = \"exact\"\nn = 5\nf = 1\nd = 2\n\
+            [inputs]\ngenerator = \"explicit\"\npoints = [[0.0, 0.0], [1.0]]\n";
+        assert!(ScenarioSpec::from_toml(text).is_err());
+    }
+}

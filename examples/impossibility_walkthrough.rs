@@ -21,7 +21,10 @@ fn main() {
     println!("====================================================================\n");
     let d = 3;
     let inputs = theorem1_inputs(d);
-    println!("d = {d}; the adversarial input configuration (n = d+1 = {} processes):", d + 1);
+    println!(
+        "d = {d}; the adversarial input configuration (n = d+1 = {} processes):",
+        d + 1
+    );
     for (i, p) in inputs.iter().enumerate() {
         println!("  x{} = {p}", i + 1);
     }
@@ -63,12 +66,18 @@ fn main() {
     let d = 2;
     let eps = 0.05;
     let inputs = theorem4_inputs(d, eps);
-    println!("d = {d}, epsilon = {eps}; inputs (n = d+2 = {} processes):", d + 2);
+    println!(
+        "d = {d}, epsilon = {eps}; inputs (n = d+2 = {} processes):",
+        d + 2
+    );
     for (i, p) in inputs.iter().enumerate() {
         println!("  x{} = {p}", i + 1);
     }
     println!();
-    println!("Process p{} never takes a step.  Each p_i (i <= d+1) must therefore decide", d + 2);
+    println!(
+        "Process p{} never takes a step.  Each p_i (i <= d+1) must therefore decide",
+        d + 2
+    );
     println!("without hearing from it, and without trusting any single other process — which");
     println!("pins its decision inside the intersection of the hulls X_i^j of equation (6).");
     let evidence = theorem4_evidence(d, eps);

@@ -102,5 +102,7 @@ fn main() {
     println!("  scalar per-dimension baseline: {scalar_violations}");
     println!("  exact BVC:                     {bvc_violations}");
     assert_eq!(bvc_violations, 0, "BVC must never violate validity");
-    println!("\nExact BVC keeps the aggregate inside the honest hull; the scalar baseline does not.");
+    println!(
+        "\nExact BVC keeps the aggregate inside the honest hull; the scalar baseline does not."
+    );
 }

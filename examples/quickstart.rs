@@ -53,6 +53,9 @@ fn main() {
         run.stats().messages_delivered
     );
 
-    assert!(verdict.all_hold(), "the algorithm must satisfy all conditions");
+    assert!(
+        verdict.all_hold(),
+        "the algorithm must satisfy all conditions"
+    );
     println!("\nAll three correctness conditions hold, as Theorem 3 promises.");
 }

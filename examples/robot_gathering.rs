@@ -53,7 +53,10 @@ fn main() {
         println!("  robot {} -> {decision}", i + 1);
     }
     let verdict = run.verdict();
-    println!("\nepsilon-agreement: {} (max spread {:.4} m)", verdict.agreement, verdict.max_pairwise_distance);
+    println!(
+        "\nepsilon-agreement: {} (max spread {:.4} m)",
+        verdict.agreement, verdict.max_pairwise_distance
+    );
     println!("validity (inside the honest hull): {}", verdict.validity);
     println!(
         "round budget: {} rounds, messages delivered: {}",
@@ -66,5 +69,7 @@ fn main() {
     }
 
     assert!(verdict.all_hold());
-    println!("\nThe fleet gathers within epsilon despite the Byzantine robot, as Theorem 5 promises.");
+    println!(
+        "\nThe fleet gathers within epsilon despite the Byzantine robot, as Theorem 5 promises."
+    );
 }

@@ -61,10 +61,19 @@ fn main() {
     )));
 
     let outcome = run_threaded(processes, &[0, 1, 2, 3, 4], Duration::from_secs(60));
-    assert!(outcome.completed, "honest processes must decide within the deadline");
+    assert!(
+        outcome.completed,
+        "honest processes must decide within the deadline"
+    );
 
     let decisions: Vec<Point> = (0..5)
-        .map(|i| outcome.outputs[i].as_ref().expect("decided").decision.clone())
+        .map(|i| {
+            outcome.outputs[i]
+                .as_ref()
+                .expect("decided")
+                .decision
+                .clone()
+        })
         .collect();
     println!("\ndecisions:");
     for (i, d) in decisions.iter().enumerate() {
@@ -79,7 +88,10 @@ fn main() {
     }
     let hull = ConvexHull::new(PointMultiset::new(honest_inputs));
     let valid = decisions.iter().all(|d| hull.contains(d));
-    println!("\nmax pairwise spread: {max_spread:.5} (epsilon = {})", config.epsilon);
+    println!(
+        "\nmax pairwise spread: {max_spread:.5} (epsilon = {})",
+        config.epsilon
+    );
     println!("validity: {valid}");
     println!("messages delivered: {}", outcome.stats.messages_delivered);
     assert!(max_spread <= config.epsilon && valid);

@@ -20,6 +20,9 @@
 //!   impossibility constructions and the convergence bounds.
 //! * [`baselines`] — per-dimension scalar consensus and iterative scalar
 //!   approximate agreement, used as baselines in the experiments.
+//! * [`scenario`] — the declarative scenario engine: TOML-described runs with
+//!   fault injection (drops, latency, partitions) and a parallel campaign
+//!   runner emitting JSON verdicts.
 //!
 //! # Quickstart
 //!
@@ -57,3 +60,4 @@ pub use bvc_core as core;
 pub use bvc_geometry as geometry;
 pub use bvc_lp as lp;
 pub use bvc_net as net;
+pub use bvc_scenario as scenario;

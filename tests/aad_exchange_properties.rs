@@ -41,8 +41,7 @@ impl AsyncProcess for OneRound {
     type Output = CompletedExchange;
 
     fn on_start(&mut self) -> Vec<Outgoing<AadMsg>> {
-        let (exchange, msgs) =
-            AadExchange::start(self.n, self.f, self.me, 1, self.value.clone());
+        let (exchange, msgs) = AadExchange::start(self.n, self.f, self.me, 1, self.value.clone());
         self.exchange = Some(exchange);
         self.fan_out(msgs)
     }
@@ -128,7 +127,10 @@ fn run_one_round(
     }
     let honest: Vec<usize> = (0..honest_count).collect();
     let outcome = AsyncNetwork::new(processes, policy, seed, 500_000).run(&honest);
-    assert!(outcome.completed, "every honest process must finish the exchange");
+    assert!(
+        outcome.completed,
+        "every honest process must finish the exchange"
+    );
     honest
         .iter()
         .map(|&i| outcome.outputs[i].clone().expect("completed exchange"))
@@ -144,7 +146,11 @@ fn check_properties(results: &[CompletedExchange], n: usize, f: usize, honest_co
         let mut origins: Vec<usize> = done.entries.iter().map(|(p, _)| *p).collect();
         origins.sort_unstable();
         origins.dedup();
-        assert_eq!(origins.len(), done.entries.len(), "process {i}: duplicate origins");
+        assert_eq!(
+            origins.len(),
+            done.entries.len(),
+            "process {i}: duplicate origins"
+        );
         // Property 3: honest tuples carry true values.
         for (origin, value) in &done.entries {
             if *origin < honest_count {
@@ -180,7 +186,13 @@ fn check_properties(results: &[CompletedExchange], n: usize, f: usize, honest_co
 #[test]
 fn properties_hold_under_random_scheduling_and_equivocation() {
     let (n, f) = (4, 1);
-    let results = run_one_round(n, f, ByzantineStrategy::Equivocate, DeliveryPolicy::RandomFair, 3);
+    let results = run_one_round(
+        n,
+        f,
+        ByzantineStrategy::Equivocate,
+        DeliveryPolicy::RandomFair,
+        3,
+    );
     check_properties(&results, n, f, n - f);
 }
 
@@ -200,7 +212,13 @@ fn properties_hold_with_two_byzantine_processes() {
 #[test]
 fn properties_hold_when_byzantine_processes_stay_silent() {
     let (n, f) = (4, 1);
-    let results = run_one_round(n, f, ByzantineStrategy::Silent, DeliveryPolicy::RoundRobin, 5);
+    let results = run_one_round(
+        n,
+        f,
+        ByzantineStrategy::Silent,
+        DeliveryPolicy::RoundRobin,
+        5,
+    );
     check_properties(&results, n, f, n - f);
 }
 
@@ -220,7 +238,13 @@ fn properties_hold_under_delayed_scheduling() {
 #[test]
 fn witness_sets_are_quorum_sized_and_verified() {
     let (n, f) = (5, 1);
-    let results = run_one_round(n, f, ByzantineStrategy::Equivocate, DeliveryPolicy::RandomFair, 23);
+    let results = run_one_round(
+        n,
+        f,
+        ByzantineStrategy::Equivocate,
+        DeliveryPolicy::RandomFair,
+        23,
+    );
     for done in &results {
         assert!(!done.witness_sets.is_empty());
         for set in &done.witness_sets {

@@ -38,7 +38,8 @@ impl SyncProcess for BroadcastParticipant {
     ) -> Vec<Outgoing<BroadcastMessage<Point>>> {
         if round >= 2 {
             for delivery in inbox {
-                self.instance.receive(round - 1, delivery.from.index(), &delivery.msg);
+                self.instance
+                    .receive(round - 1, delivery.from.index(), &delivery.msg);
             }
             self.instance.end_round(round - 1);
         }
@@ -60,11 +61,19 @@ fn run_instance(
     f: usize,
     source: usize,
     value: Point,
-    wrap: impl Fn(usize, BroadcastParticipant) -> Box<dyn SyncProcess<Msg = BroadcastMessage<Point>, Output = Point>>,
+    wrap: impl Fn(
+        usize,
+        BroadcastParticipant,
+    ) -> Box<dyn SyncProcess<Msg = BroadcastMessage<Point>, Output = Point>>,
 ) -> Vec<Option<Point>> {
-    let processes: Vec<Box<dyn SyncProcess<Msg = BroadcastMessage<Point>, Output = Point>>> = (0..n)
+    let processes: Vec<Box<dyn SyncProcess<Msg = BroadcastMessage<Point>, Output = Point>>> = (0
+        ..n)
         .map(|me| {
-            let input = if me == source { Some(value.clone()) } else { None };
+            let input = if me == source {
+                Some(value.clone())
+            } else {
+                None
+            };
             wrap(me, BroadcastParticipant::new(n, f, me, source, input))
         })
         .collect();

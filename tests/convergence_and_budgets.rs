@@ -46,7 +46,10 @@ fn witness_gamma_never_needs_more_rounds_than_full_gamma() {
         assert!(g_wit >= g_full - 1e-15);
         let t_full = round_threshold(g_full, 0.0, 1.0, 0.01);
         let t_wit = round_threshold(g_wit, 0.0, 1.0, 0.01);
-        assert!(t_wit <= t_full, "n={n} f={f}: witness budget {t_wit} > full {t_full}");
+        assert!(
+            t_wit <= t_full,
+            "n={n} f={f}: witness budget {t_wit} > full {t_full}"
+        );
     }
 }
 
@@ -71,7 +74,12 @@ fn executions_respect_their_static_budget_and_epsilon() {
         let config = BvcConfig::new(n, f, d).unwrap().with_epsilon(eps).unwrap();
         assert_eq!(
             budget,
-            round_threshold(gamma_witness_optimized(n), config.lower_bound, config.upper_bound, eps)
+            round_threshold(
+                gamma_witness_optimized(n),
+                config.lower_bound,
+                config.upper_bound,
+                eps
+            )
         );
         for output in run.outputs() {
             assert_eq!(
@@ -100,7 +108,10 @@ fn budgets_grow_logarithmically_in_one_over_epsilon() {
     // Each factor-of-ten tightening adds roughly the same number of rounds.
     let d1 = t2 as isize - t1 as isize;
     let d2 = t3 as isize - t2 as isize;
-    assert!((d1 - d2).abs() <= 1, "increments {d1} vs {d2} should match within 1");
+    assert!(
+        (d1 - d2).abs() <= 1,
+        "increments {d1} vs {d2} should match within 1"
+    );
 }
 
 #[test]
@@ -110,5 +121,8 @@ fn budgets_scale_with_the_value_range() {
     let wide = round_threshold(g, -100.0, 100.0, 0.01);
     assert!(wide > narrow);
     let same = round_threshold(g, 5.0, 6.0, 0.01);
-    assert_eq!(same, narrow, "only the range U − ν matters, not its location");
+    assert_eq!(
+        same, narrow,
+        "only the range U − ν matters, not its location"
+    );
 }

@@ -42,7 +42,9 @@ fn exact_bvc_refuses_to_run_below_the_bound() {
         .run()
         .unwrap_err();
     match err {
-        BvcError::InsufficientProcesses { required, actual, .. } => {
+        BvcError::InsufficientProcesses {
+            required, actual, ..
+        } => {
             assert_eq!(required, 5);
             assert_eq!(actual, 4);
         }
@@ -83,7 +85,11 @@ fn approximate_bvc_refuses_to_run_below_the_bound() {
         .unwrap_err();
     assert!(matches!(
         err,
-        BvcError::InsufficientProcesses { required: 5, actual: 4, .. }
+        BvcError::InsufficientProcesses {
+            required: 5,
+            actual: 4,
+            ..
+        }
     ));
 }
 
@@ -101,7 +107,11 @@ fn approximate_bvc_full_rule_matches_witness_rule_guarantees() {
             .seed(5)
             .run()
             .expect("bound satisfied");
-        assert!(run.verdict().all_hold(), "rule {rule:?}: {:?}", run.verdict());
+        assert!(
+            run.verdict().all_hold(),
+            "rule {rule:?}: {:?}",
+            run.verdict()
+        );
     }
 }
 
@@ -123,7 +133,10 @@ fn restricted_sync_at_its_bound_and_rejected_below() {
         .honest_inputs(honest_inputs(56, 3, 2))
         .run()
         .unwrap_err();
-    assert!(matches!(err, BvcError::InsufficientProcesses { required: 5, .. }));
+    assert!(matches!(
+        err,
+        BvcError::InsufficientProcesses { required: 5, .. }
+    ));
 }
 
 #[test]
@@ -145,7 +158,10 @@ fn restricted_async_at_its_bound_and_rejected_below() {
         .honest_inputs(honest_inputs(78, 4, 1))
         .run()
         .unwrap_err();
-    assert!(matches!(err, BvcError::InsufficientProcesses { required: 6, .. }));
+    assert!(matches!(
+        err,
+        BvcError::InsufficientProcesses { required: 6, .. }
+    ));
 }
 
 #[test]
@@ -157,7 +173,10 @@ fn crash_and_silent_adversaries_never_block_termination() {
             .seed(9)
             .run()
             .expect("bound satisfied");
-        assert!(run.verdict().termination, "{strategy:?} blocked termination");
+        assert!(
+            run.verdict().termination,
+            "{strategy:?} blocked termination"
+        );
         assert!(run.verdict().all_hold());
 
         let run = ApproxBvcRun::builder(5, 1, 2)
@@ -167,7 +186,10 @@ fn crash_and_silent_adversaries_never_block_termination() {
             .seed(9)
             .run()
             .expect("bound satisfied");
-        assert!(run.verdict().termination, "{strategy:?} blocked async termination");
+        assert!(
+            run.verdict().termination,
+            "{strategy:?} blocked async termination"
+        );
         assert!(run.verdict().all_hold());
     }
 }

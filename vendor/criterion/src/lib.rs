@@ -1,0 +1,164 @@
+//! Workspace-local stand-in for the slice of the Criterion API the benches in
+//! `bvc-bench` use (`criterion_group!`/`criterion_main!`, benchmark groups
+//! with `bench_with_input`, `BenchmarkId`, `Bencher::iter`).
+//!
+//! The build environment has no crates.io access, so instead of statistical
+//! sampling this harness runs a fixed warm-up plus a time-boxed measurement
+//! loop and prints mean wall-clock time per iteration.  That is enough to
+//! compare orders of magnitude between revisions; it makes no claim to
+//! Criterion's rigour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter description.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// The timing driver handed to the measurement closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it for a warm-up and then a time-boxed
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(120);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, label: &str) {
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        println!(
+            "bench {label:<48} {:>12.1} ns/iter ({} iters)",
+            per_iter, self.iters
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness is time-boxed, not
+    /// sample-counted, so the value is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.name));
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.report(&name.to_string());
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
