@@ -1,0 +1,98 @@
+//! Criterion bench: the Γ-engine fast paths against the naive all-LPs
+//! formulation — the d = 1 closed form, the lazy active-set point search,
+//! the shared-cache hit path, and streamed membership, each next to the
+//! monolithic joint LP they replace.
+
+use bvc_geometry::{
+    gamma_contains, gamma_point, ConvexHull, GammaCache, PointMultiset, SafeArea, WorkloadGenerator,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn multiset(n: usize, d: usize, seed: u64) -> PointMultiset {
+    WorkloadGenerator::new(seed).box_points(n, d, 0.0, 1.0)
+}
+
+/// The naive reference: materialise every `(|Y|−f)`-subset hull and solve
+/// the monolithic joint LP of Section 2.2.
+fn naive_gamma_point(y: &PointMultiset, f: usize) -> Option<bvc_geometry::Point> {
+    ConvexHull::common_point(&SafeArea::new(y.clone(), f).hulls())
+}
+
+fn bench_find_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma_engine/find_point");
+    group.sample_size(20);
+    for &(n, f, d) in &[(5usize, 1usize, 2usize), (7, 2, 2), (9, 2, 2), (10, 2, 3)] {
+        let y = multiset(n, d, 7);
+        group.bench_with_input(
+            BenchmarkId::new("lazy", format!("n{n}_f{f}_d{d}")),
+            &y,
+            |b, y| b.iter(|| gamma_point(y, f).expect("Lemma 1 shape")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("n{n}_f{f}_d{d}")),
+            &y,
+            |b, y| b.iter(|| naive_gamma_point(y, f).expect("Lemma 1 shape")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_d1_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma_engine/d1_closed_form");
+    group.sample_size(50);
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (13, 4)] {
+        let y = multiset(n, 1, 11);
+        group.bench_with_input(
+            BenchmarkId::new("closed", format!("n{n}_f{f}")),
+            &y,
+            |b, y| b.iter(|| gamma_point(y, f).expect("interval is non-empty")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("n{n}_f{f}")),
+            &y,
+            |b, y| b.iter(|| naive_gamma_point(y, f).expect("interval is non-empty")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma_engine/cache");
+    group.sample_size(50);
+    let y = multiset(9, 2, 13);
+    let cache = GammaCache::new();
+    let _ = cache.find_point(&y, 2); // warm
+    group.bench_with_input(BenchmarkId::new("hit", "n9_f2_d2"), &y, |b, y| {
+        b.iter(|| cache.find_point(y, 2).expect("Lemma 1 shape"))
+    });
+    group.bench_with_input(BenchmarkId::new("uncached", "n9_f2_d2"), &y, |b, y| {
+        b.iter(|| gamma_point(y, 2).expect("Lemma 1 shape"))
+    });
+    group.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma_engine/contains");
+    group.sample_size(50);
+    let y = multiset(9, 2, 17);
+    let inside = gamma_point(&y, 2).expect("Lemma 1 shape");
+    let outside = bvc_geometry::Point::new(vec![9.0, 9.0]);
+    group.bench_with_input(BenchmarkId::new("inside", "n9_f2_d2"), &y, |b, y| {
+        b.iter(|| assert!(gamma_contains(y, 2, &inside)))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("trimmed_box_reject", "n9_f2_d2"),
+        &y,
+        |b, y| b.iter(|| assert!(!gamma_contains(y, 2, &outside))),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_find_point,
+    bench_d1_closed_form,
+    bench_cache,
+    bench_membership
+);
+criterion_main!(benches);

@@ -21,9 +21,9 @@
 use crate::aad::{AadExchange, AadMsg};
 use crate::config::BvcConfig;
 use crate::convergence::{gamma, gamma_witness_optimized, round_threshold};
-use crate::witness::{average_state, build_zi_full, build_zi_witness};
+use crate::witness::{average_state, build_zi_full_cached, build_zi_witness_cached};
 use bvc_adversary::PointForge;
-use bvc_geometry::Point;
+use bvc_geometry::{Point, SharedGammaCache};
 use bvc_net::{broadcast_to_all, AsyncProcess, Outgoing, ProcessId};
 use std::collections::BTreeMap;
 
@@ -65,6 +65,7 @@ pub struct ApproxBvcProcess {
     /// `|Z_i|` per completed round.
     zi_sizes: Vec<usize>,
     decision: Option<Point>,
+    gamma_cache: Option<SharedGammaCache>,
 }
 
 impl ApproxBvcProcess {
@@ -92,7 +93,17 @@ impl ApproxBvcProcess {
             future: BTreeMap::new(),
             zi_sizes: Vec::new(),
             decision: None,
+            gamma_cache: None,
         }
+    }
+
+    /// Shares a [`GammaCache`](bvc_geometry::GammaCache) with the Step-2
+    /// subset evaluations of this process (both update rules); overlapping
+    /// `B_i[t]` sets across processes make the sharing substantial even
+    /// under asynchrony.  Cached and uncached runs produce identical states.
+    pub fn with_gamma_cache(mut self, cache: SharedGammaCache) -> Self {
+        self.gamma_cache = Some(cache);
+        self
     }
 
     /// The number of asynchronous rounds the termination rule of Step 3
@@ -169,7 +180,12 @@ impl ApproxBvcProcess {
             let zi = match self.rule {
                 UpdateRule::FullSubsets => {
                     let entries: Vec<Point> = done.entries.iter().map(|(_, v)| v.clone()).collect();
-                    build_zi_full(&entries, quorum, self.config.f)
+                    build_zi_full_cached(
+                        &entries,
+                        quorum,
+                        self.config.f,
+                        self.gamma_cache.as_deref(),
+                    )
                 }
                 UpdateRule::WitnessOptimized => {
                     let sets: Vec<Vec<Point>> = done
@@ -177,7 +193,7 @@ impl ApproxBvcProcess {
                         .iter()
                         .map(|set| set.iter().map(|(_, v)| v.clone()).collect())
                         .collect();
-                    build_zi_witness(&sets, self.config.f)
+                    build_zi_witness_cached(&sets, self.config.f, self.gamma_cache.as_deref())
                 }
             };
             self.zi_sizes.push(zi.len());

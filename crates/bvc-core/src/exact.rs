@@ -19,7 +19,7 @@
 use crate::config::BvcConfig;
 use bvc_adversary::PointForge;
 use bvc_broadcast::{BroadcastInstance, BroadcastMessage};
-use bvc_geometry::{Point, PointMultiset, SafeArea};
+use bvc_geometry::{gamma_point, Point, PointMultiset, SharedGammaCache};
 use bvc_net::{broadcast_to_all, Delivery, Outgoing, ProcessId, SyncProcess};
 
 /// Message exchanged by the Exact BVC protocol: a Byzantine-broadcast message
@@ -54,6 +54,7 @@ pub struct ExactBvcProcess {
     instances: Vec<BroadcastInstance<Point>>,
     agreed_multiset: Option<PointMultiset>,
     decision: Option<Point>,
+    gamma_cache: Option<SharedGammaCache>,
 }
 
 impl ExactBvcProcess {
@@ -79,7 +80,19 @@ impl ExactBvcProcess {
             instances,
             agreed_multiset: None,
             decision: None,
+            gamma_cache: None,
         }
+    }
+
+    /// Shares a [`GammaCache`](bvc_geometry::GammaCache) with this process:
+    /// since Step 1 leaves every non-faulty process with the *identical*
+    /// multiset `S`, a shared cache computes the Step-2 decision point once
+    /// per system instead of once per process.  Cached and uncached decisions
+    /// are identical (the Γ point is a deterministic function of the
+    /// multiset), so partially cached deployments stay safe.
+    pub fn with_gamma_cache(mut self, cache: SharedGammaCache) -> Self {
+        self.gamma_cache = Some(cache);
+        self
     }
 
     /// Number of synchronous rounds until the decision is available:
@@ -135,8 +148,10 @@ impl ExactBvcProcess {
             })
             .collect();
         let multiset = PointMultiset::new(points);
-        let safe = SafeArea::new(multiset.clone(), self.config.f);
-        self.decision = safe.find_point();
+        self.decision = match &self.gamma_cache {
+            Some(cache) => cache.find_point(&multiset, self.config.f),
+            None => gamma_point(&multiset, self.config.f),
+        };
         self.agreed_multiset = Some(multiset);
     }
 
@@ -191,6 +206,13 @@ impl ByzantineExactProcess {
             inner: ExactBvcProcess::new(config, me, nominal_input),
             forge,
         }
+    }
+
+    /// Shares a Γ cache with the inner honest skeleton (its Step-2 work is
+    /// pure overhead for an adversary, so sharing makes it nearly free).
+    pub fn with_gamma_cache(mut self, cache: SharedGammaCache) -> Self {
+        self.inner = self.inner.with_gamma_cache(cache);
+        self
     }
 }
 

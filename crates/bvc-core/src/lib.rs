@@ -74,4 +74,6 @@ pub use run::{
     ApproxBvcRun, ApproxBvcRunBuilder, ExactBvcRun, ExactBvcRunBuilder, RestrictedAsyncRunBuilder,
     RestrictedRun, RestrictedSyncRunBuilder, Verdict,
 };
-pub use witness::{average_state, build_zi_full, build_zi_witness};
+pub use witness::{
+    average_state, build_zi_full, build_zi_full_cached, build_zi_witness, build_zi_witness_cached,
+};

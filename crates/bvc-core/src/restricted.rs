@@ -21,9 +21,9 @@
 
 use crate::config::BvcConfig;
 use crate::convergence::{gamma, round_threshold};
-use crate::witness::{average_state, build_zi_full};
+use crate::witness::{average_state, build_zi_full_cached};
 use bvc_adversary::PointForge;
-use bvc_geometry::Point;
+use bvc_geometry::{Point, SharedGammaCache};
 use bvc_net::{broadcast_to_all, AsyncProcess, Delivery, Outgoing, ProcessId, SyncProcess};
 use std::collections::BTreeMap;
 
@@ -61,6 +61,7 @@ pub struct RestrictedSyncProcess {
     max_rounds: usize,
     history: Vec<Point>,
     decision: Option<Point>,
+    gamma_cache: Option<SharedGammaCache>,
 }
 
 impl RestrictedSyncProcess {
@@ -82,7 +83,18 @@ impl RestrictedSyncProcess {
             state: input,
             max_rounds,
             decision: None,
+            gamma_cache: None,
         }
+    }
+
+    /// Shares a [`GammaCache`](bvc_geometry::GammaCache) with this process's
+    /// round loop.  In a synchronous round all honest processes receive the
+    /// same broadcast states, so the `C(n, n−f)` safe-area evaluations of
+    /// Step 2 are computed once per round system-wide instead of once per
+    /// process.  Cached and uncached runs produce identical states.
+    pub fn with_gamma_cache(mut self, cache: SharedGammaCache) -> Self {
+        self.gamma_cache = Some(cache);
+        self
     }
 
     /// Total number of executor rounds needed: `max_rounds` exchange rounds
@@ -111,7 +123,8 @@ impl RestrictedSyncProcess {
         let entries: Vec<Point> = per_sender.into_values().collect();
         let quorum = self.config.n - self.config.f;
         if entries.len() >= quorum {
-            let zi = build_zi_full(&entries, quorum, self.config.f);
+            let zi =
+                build_zi_full_cached(&entries, quorum, self.config.f, self.gamma_cache.as_deref());
             if !zi.is_empty() {
                 self.state = average_state(&zi);
             }
@@ -212,6 +225,7 @@ pub struct RestrictedAsyncProcess {
     received: BTreeMap<usize, BTreeMap<usize, Point>>,
     history: Vec<Point>,
     decision: Option<Point>,
+    gamma_cache: Option<SharedGammaCache>,
 }
 
 impl RestrictedAsyncProcess {
@@ -235,7 +249,16 @@ impl RestrictedAsyncProcess {
             max_rounds,
             received: BTreeMap::new(),
             decision: None,
+            gamma_cache: None,
         }
+    }
+
+    /// Shares a [`GammaCache`](bvc_geometry::GammaCache) with this process's
+    /// round loop; asynchronous processes see overlapping (not identical)
+    /// `B_i[t]` sets, so the sharing is partial but still substantial.
+    pub fn with_gamma_cache(mut self, cache: SharedGammaCache) -> Self {
+        self.gamma_cache = Some(cache);
+        self
     }
 
     /// Per-round states (`history()[t]` is `v_i[t]`, index 0 the input).
@@ -276,7 +299,8 @@ impl RestrictedAsyncProcess {
                     .take(quorum_others),
             );
             let quorum = self.config.n - self.config.f;
-            let zi = build_zi_full(&entries, quorum, self.config.f);
+            let zi =
+                build_zi_full_cached(&entries, quorum, self.config.f, self.gamma_cache.as_deref());
             if !zi.is_empty() {
                 self.state = average_state(&zi);
             }

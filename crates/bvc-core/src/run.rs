@@ -25,7 +25,7 @@ use crate::restricted::{
     RestrictedSyncProcess, StateMsg,
 };
 use bvc_adversary::{ByzantineStrategy, PointForge};
-use bvc_geometry::{ConvexHull, Point, PointMultiset};
+use bvc_geometry::{ConvexHull, GammaCache, Point, PointMultiset};
 use bvc_net::{
     AsyncNetwork, AsyncProcess, DeliveryPolicy, ExecutionStats, FaultPlan, SyncNetwork, SyncProcess,
 };
@@ -186,23 +186,28 @@ impl ExactBvcRunBuilder {
         config.require(Setting::ExactSync)?;
         validate_inputs(&config, &self.honest_inputs)?;
 
+        // One Γ cache per run: Step 1 gives all honest processes the same
+        // multiset, so the Step-2 decision LP runs once system-wide.
+        let gamma_cache = GammaCache::shared();
         let mut processes: Vec<Box<dyn SyncProcess<Msg = ExactMsg, Output = Point>>> = Vec::new();
         for (i, input) in self.honest_inputs.iter().enumerate() {
-            processes.push(Box::new(ExactBvcProcess::new(
-                config.clone(),
-                i,
-                input.clone(),
-            )));
+            processes.push(Box::new(
+                ExactBvcProcess::new(config.clone(), i, input.clone())
+                    .with_gamma_cache(gamma_cache.clone()),
+            ));
         }
         for b in 0..config.f {
             let me = config.honest_count() + b;
             let forge = make_forge(self.adversary, &config, self.seed, b);
-            processes.push(Box::new(ByzantineExactProcess::new(
-                config.clone(),
-                me,
-                Point::uniform(config.d, config.lower_bound),
-                forge,
-            )));
+            processes.push(Box::new(
+                ByzantineExactProcess::new(
+                    config.clone(),
+                    me,
+                    Point::uniform(config.d, config.lower_bound),
+                    forge,
+                )
+                .with_gamma_cache(gamma_cache.clone()),
+            ));
         }
         let honest: Vec<usize> = (0..config.honest_count()).collect();
         let outcome = SyncNetwork::new(processes, ExactBvcProcess::total_rounds(&config))
@@ -371,16 +376,17 @@ impl ApproxBvcRunBuilder {
         config.require(Setting::ApproxAsync)?;
         validate_inputs(&config, &self.honest_inputs)?;
 
+        // One Γ cache per run: overlapping B_i[t] sets across processes share
+        // their Step-2 subset evaluations.
+        let gamma_cache = GammaCache::shared();
         let mut processes: Vec<
             Box<dyn AsyncProcess<Msg = crate::aad::AadMsg, Output = ApproxOutput>>,
         > = Vec::new();
         for (i, input) in self.honest_inputs.iter().enumerate() {
-            processes.push(Box::new(ApproxBvcProcess::new(
-                config.clone(),
-                i,
-                input.clone(),
-                self.rule,
-            )));
+            processes.push(Box::new(
+                ApproxBvcProcess::new(config.clone(), i, input.clone(), self.rule)
+                    .with_gamma_cache(gamma_cache.clone()),
+            ));
         }
         for b in 0..config.f {
             let me = config.honest_count() + b;
@@ -572,13 +578,16 @@ impl RestrictedSyncRunBuilder {
         config.require(Setting::RestrictedSync)?;
         validate_inputs(&config, &self.honest_inputs)?;
 
+        // One Γ cache per run: in a synchronous round every honest process
+        // sees the same states, so each round's C(n, n−f) safe-area solves
+        // happen once system-wide instead of once per process.
+        let gamma_cache = GammaCache::shared();
         let mut processes: Vec<Box<dyn SyncProcess<Msg = StateMsg, Output = Point>>> = Vec::new();
         for (i, input) in self.honest_inputs.iter().enumerate() {
-            processes.push(Box::new(RestrictedSyncProcess::new(
-                config.clone(),
-                i,
-                input.clone(),
-            )));
+            processes.push(Box::new(
+                RestrictedSyncProcess::new(config.clone(), i, input.clone())
+                    .with_gamma_cache(gamma_cache.clone()),
+            ));
         }
         for b in 0..config.f {
             let me = config.honest_count() + b;
@@ -685,13 +694,15 @@ impl RestrictedAsyncRunBuilder {
         config.require(Setting::RestrictedAsync)?;
         validate_inputs(&config, &self.honest_inputs)?;
 
+        // One Γ cache per run (partial sharing: asynchronous B_i[t] sets
+        // overlap without being identical).
+        let gamma_cache = GammaCache::shared();
         let mut processes: Vec<Box<dyn AsyncProcess<Msg = StateMsg, Output = Point>>> = Vec::new();
         for (i, input) in self.honest_inputs.iter().enumerate() {
-            processes.push(Box::new(RestrictedAsyncProcess::new(
-                config.clone(),
-                i,
-                input.clone(),
-            )));
+            processes.push(Box::new(
+                RestrictedAsyncProcess::new(config.clone(), i, input.clone())
+                    .with_gamma_cache(gamma_cache.clone()),
+            ));
         }
         for b in 0..config.f {
             let me = config.honest_count() + b;

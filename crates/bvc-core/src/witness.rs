@@ -17,8 +17,20 @@
 //! ([`crate::approx`]) and the restricted-round algorithms
 //! ([`crate::restricted`]).
 
-use bvc_geometry::combinatorics::combinations;
-use bvc_geometry::{Point, PointMultiset, SafeArea};
+use bvc_geometry::combinatorics::Combinations;
+use bvc_geometry::{gamma_point, GammaCache, Point, PointMultiset};
+
+/// One deterministically chosen point of `Γ(y)`, looked up in `cache` when
+/// one is supplied and computed directly otherwise.  The cached and uncached
+/// paths return identical points (the Γ engine is a deterministic,
+/// order-invariant function of the multiset), so mixing them in one system
+/// is safe.
+fn gamma_point_via(cache: Option<&GammaCache>, y: &PointMultiset, f: usize) -> Option<Point> {
+    match cache {
+        Some(cache) => cache.find_point(y, f),
+        None => gamma_point(y, f),
+    }
+}
 
 /// Builds `Z_i` with the full rule: one `Γ` point per `(n−f)`-subset of
 /// `entries`.
@@ -32,6 +44,23 @@ use bvc_geometry::{Point, PointMultiset, SafeArea};
 ///
 /// Panics if `entries.len() < quorum` or `quorum == 0`.
 pub fn build_zi_full(entries: &[Point], quorum: usize, f: usize) -> Vec<Point> {
+    build_zi_full_cached(entries, quorum, f, None)
+}
+
+/// [`build_zi_full`] with the `Γ` evaluations shared through a
+/// [`GammaCache`]: in a synchronous round every honest process builds `Z_i`
+/// from the same broadcast states, so the cache collapses the per-process
+/// recomputation to a single evaluation per distinct subset.
+///
+/// # Panics
+///
+/// Panics if `entries.len() < quorum` or `quorum == 0`.
+pub fn build_zi_full_cached(
+    entries: &[Point],
+    quorum: usize,
+    f: usize,
+    cache: Option<&GammaCache>,
+) -> Vec<Point> {
     assert!(quorum > 0, "quorum must be positive");
     assert!(
         entries.len() >= quorum,
@@ -39,10 +68,11 @@ pub fn build_zi_full(entries: &[Point], quorum: usize, f: usize) -> Vec<Point> {
         entries.len()
     );
     let mut zi = Vec::new();
-    for subset in combinations(entries.len(), quorum) {
+    let mut subsets = Combinations::new(entries.len(), quorum);
+    while let Some(subset) = subsets.next_ref() {
         let points: Vec<Point> = subset.iter().map(|&i| entries[i].clone()).collect();
-        let safe = SafeArea::new(PointMultiset::new(points), f);
-        if let Some(point) = safe.find_point() {
+        let y = PointMultiset::new(points);
+        if let Some(point) = gamma_point_via(cache, &y, f) {
             zi.push(point);
         }
     }
@@ -55,13 +85,23 @@ pub fn build_zi_full(entries: &[Point], quorum: usize, f: usize) -> Vec<Point> {
 /// Subsets whose `Γ` is empty are skipped (they cannot arise for parameters
 /// meeting the paper's bounds).
 pub fn build_zi_witness(witness_sets: &[Vec<Point>], f: usize) -> Vec<Point> {
+    build_zi_witness_cached(witness_sets, f, None)
+}
+
+/// [`build_zi_witness`] with the `Γ` evaluations shared through a
+/// [`GammaCache`].
+pub fn build_zi_witness_cached(
+    witness_sets: &[Vec<Point>],
+    f: usize,
+    cache: Option<&GammaCache>,
+) -> Vec<Point> {
     let mut zi = Vec::new();
     for set in witness_sets {
         if set.is_empty() {
             continue;
         }
-        let safe = SafeArea::new(PointMultiset::new(set.clone()), f);
-        if let Some(point) = safe.find_point() {
+        let y = PointMultiset::new(set.clone());
+        if let Some(point) = gamma_point_via(cache, &y, f) {
             zi.push(point);
         }
     }
@@ -151,6 +191,30 @@ mod tests {
     #[should_panic(expected = "need at least")]
     fn full_rule_with_too_few_entries_panics() {
         let _ = build_zi_full(&pts(&[0.0]), 2, 1);
+    }
+
+    #[test]
+    fn cached_zi_matches_uncached_zi() {
+        let cache = GammaCache::new();
+        let entries = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+            Point::new(vec![1.0, 1.0]),
+            Point::new(vec![5.0, 5.0]),
+        ];
+        let plain = build_zi_full(&entries, 4, 1);
+        let cached = build_zi_full_cached(&entries, 4, 1, Some(&cache));
+        assert_eq!(plain.len(), cached.len());
+        for (a, b) in plain.iter().zip(&cached) {
+            assert!(a.approx_eq(b, 1e-15), "{a} vs {b}");
+        }
+        // A second pass is served from the cache and still identical.
+        let again = build_zi_full_cached(&entries, 4, 1, Some(&cache));
+        assert!(cache.hits() > 0);
+        for (a, b) in cached.iter().zip(&again) {
+            assert!(a.approx_eq(b, 1e-15));
+        }
     }
 
     #[test]

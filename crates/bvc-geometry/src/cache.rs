@@ -1,0 +1,295 @@
+//! Process-shareable memoisation of Γ queries.
+//!
+//! In a synchronous round every honest process receives the same broadcast
+//! state vectors, so all of them evaluate `Γ` of *identical* multisets —
+//! today's protocols would recompute the same intersection `n − f` times per
+//! round.  [`GammaCache`] memoises [`find_point`](GammaCache::find_point) and
+//! [`contains`](GammaCache::contains) results keyed by a **canonical multiset
+//! key**: the members are sorted lexicographically (under `f64::total_cmp`)
+//! and their coordinate bit patterns concatenated, so two multisets that
+//! differ only in member order share one entry.  Because every Γ query is a
+//! deterministic, order-invariant function of the multiset (see
+//! [`crate::gamma`]), serving a result from the cache is observationally
+//! identical to recomputing it — which is what makes the cache safe to share
+//! across processes, rounds, and threads (`Arc<GammaCache>` =
+//! [`SharedGammaCache`]).
+//!
+//! Memory is bounded: when a map reaches the configured capacity it is
+//! wholesale-cleared (deterministically; eviction can never change results,
+//! only cost).
+
+use crate::gamma::{contains_impl, find_point_presorted};
+use crate::multiset::PointMultiset;
+use crate::point::Point;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// A Γ-results cache shared between the processes of a run.
+pub type SharedGammaCache = Arc<GammaCache>;
+
+/// Canonical identity of a `(Y, f)` query: the fault bound, the dimension,
+/// and the bit patterns of the canonically ordered members.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MultisetKey {
+    f: usize,
+    dim: usize,
+    bits: Vec<u64>,
+}
+
+/// Key from a multiset already in canonical order (callers that need the
+/// canonical multiset anyway — the miss path hands it to the engine —
+/// canonicalise once and reuse it here).
+fn key_of_canonical(canon: &PointMultiset, f: usize) -> MultisetKey {
+    let bits = canon
+        .iter()
+        .flat_map(|p| p.coords().iter().map(|c| c.to_bits()))
+        .collect();
+    MultisetKey {
+        f,
+        dim: canon.dim(),
+        bits,
+    }
+}
+
+fn multiset_key(y: &PointMultiset, f: usize) -> MultisetKey {
+    key_of_canonical(&crate::gamma::canonical_order(y), f)
+}
+
+fn point_bits(p: &Point) -> Vec<u64> {
+    p.coords().iter().map(|c| c.to_bits()).collect()
+}
+
+/// Memoises safe-area queries across processes and rounds.
+#[derive(Debug)]
+pub struct GammaCache {
+    points: Mutex<HashMap<MultisetKey, Option<Point>>>,
+    membership: Mutex<HashMap<(MultisetKey, Vec<u64>), bool>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for GammaCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // The cached values are plain data; a panic elsewhere cannot leave them
+    // half-written, so poisoning is ignorable.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl GammaCache {
+    /// Default capacity: enough for the longest restricted-round executions
+    /// the scenario engine drives (tens of thousands of distinct multisets)
+    /// while staying far below typical memory budgets.
+    const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a cache holding at most `capacity` entries per query kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            points: Mutex::new(HashMap::new()),
+            membership: Mutex::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache ready for sharing across processes.
+    pub fn shared() -> SharedGammaCache {
+        Arc::new(Self::new())
+    }
+
+    /// Memoised [`gamma_point`](crate::gamma_point): the deterministically
+    /// chosen point of `Γ(y)`, or `None` when the safe area is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= y.len()`.
+    pub fn find_point(&self, y: &PointMultiset, f: usize) -> Option<Point> {
+        assert!(
+            f < y.len(),
+            "fault bound f = {f} must be smaller than |Y| = {}",
+            y.len()
+        );
+        // Canonicalise once: the key and the (miss-path) engine both need
+        // the canonical order.
+        let canon = crate::gamma::canonical_order(y);
+        let key = key_of_canonical(&canon, f);
+        if let Some(cached) = lock(&self.points).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = find_point_presorted(canon, f);
+        let mut map = lock(&self.points);
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        map.insert(key, value.clone());
+        value
+    }
+
+    /// Memoised [`gamma_contains`](crate::gamma_contains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= y.len()` or the dimensions disagree.
+    pub fn contains(&self, y: &PointMultiset, f: usize, point: &Point) -> bool {
+        let key = (multiset_key(y, f), point_bits(point));
+        if let Some(&cached) = lock(&self.membership).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = contains_impl(y, f, point);
+        let mut map = lock(&self.membership);
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        map.insert(key, value);
+        value
+    }
+
+    /// Memoised [`gamma_is_empty`](crate::gamma_is_empty) (piggybacks on the
+    /// `find_point` entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= y.len()`.
+    pub fn is_empty_region(&self, y: &PointMultiset, f: usize) -> bool {
+        self.find_point(y, f).is_none()
+    }
+
+    /// Queries answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that had to be computed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently stored across both query kinds.
+    pub fn len(&self) -> usize {
+        lock(&self.points).len() + lock(&self.membership).len()
+    }
+
+    /// `true` when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma_point;
+
+    fn square_plus_centre() -> PointMultiset {
+        PointMultiset::new(vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![4.0, 0.0]),
+            Point::new(vec![0.0, 4.0]),
+            Point::new(vec![4.0, 4.0]),
+            Point::new(vec![2.0, 2.0]),
+        ])
+    }
+
+    #[test]
+    fn cached_find_point_matches_uncached() {
+        let cache = GammaCache::new();
+        let y = square_plus_centre();
+        let direct = gamma_point(&y, 1).unwrap();
+        let cached = cache.find_point(&y, 1).unwrap();
+        assert!(direct.approx_eq(&cached, 1e-15));
+        assert_eq!(cache.misses(), 1);
+        let again = cache.find_point(&y, 1).unwrap();
+        assert!(direct.approx_eq(&again, 1e-15));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn reordered_multisets_share_an_entry() {
+        let cache = GammaCache::new();
+        let y = square_plus_centre();
+        let mut reordered = y.points().to_vec();
+        reordered.reverse();
+        let reordered = PointMultiset::new(reordered);
+        let a = cache.find_point(&y, 1).unwrap();
+        let b = cache.find_point(&reordered, 1).unwrap();
+        assert!(a.approx_eq(&b, 1e-15));
+        assert_eq!(cache.misses(), 1, "canonical keying shares the entry");
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn membership_queries_are_cached_per_point() {
+        let cache = GammaCache::new();
+        let y = square_plus_centre();
+        let inside = Point::new(vec![2.0, 2.0]);
+        let outside = Point::new(vec![9.0, 9.0]);
+        assert!(cache.contains(&y, 1, &inside));
+        assert!(!cache.contains(&y, 1, &outside));
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.contains(&y, 1, &inside));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_eviction_keeps_answers_correct() {
+        let cache = GammaCache::with_capacity(2);
+        for i in 0..5u8 {
+            let y = PointMultiset::new(vec![
+                Point::new(vec![0.0]),
+                Point::new(vec![f64::from(i)]),
+                Point::new(vec![2.0]),
+            ]);
+            let cached = cache.find_point(&y, 1);
+            let direct = gamma_point(&y, 1);
+            assert_eq!(cached.is_some(), direct.is_some());
+            if let (Some(c), Some(d)) = (cached, direct) {
+                assert!(c.approx_eq(&d, 1e-15));
+            }
+        }
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn empty_regions_are_cached_too() {
+        let cache = GammaCache::new();
+        let y = PointMultiset::new(vec![
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+            Point::new(vec![0.0, 0.0]),
+        ]);
+        assert!(cache.is_empty_region(&y, 1));
+        assert!(cache.is_empty_region(&y, 1));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than")]
+    fn oversized_fault_bound_panics() {
+        let cache = GammaCache::new();
+        let y = PointMultiset::new(vec![Point::new(vec![0.0])]);
+        let _ = cache.find_point(&y, 1);
+    }
+}

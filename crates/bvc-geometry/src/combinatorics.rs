@@ -8,36 +8,90 @@
 /// All `k`-element subsets of `{0, 1, …, n-1}` in lexicographic order.
 ///
 /// Returns an empty list when `k > n`; returns the single empty subset when
-/// `k == 0`.
+/// `k == 0`.  Callers that do not need every subset at once should prefer the
+/// streaming [`Combinations`] iterator, which yields the same sequence
+/// without materialising it.
 pub fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
-    if k > n {
-        return Vec::new();
-    }
     if k == 0 {
         return vec![Vec::new()];
     }
     let mut result = Vec::with_capacity(binomial(n, k).min(1 << 20) as usize);
-    let mut current: Vec<usize> = (0..k).collect();
-    loop {
-        result.push(current.clone());
+    let mut iter = Combinations::new(n, k);
+    while let Some(current) = iter.next_ref() {
+        result.push(current.to_vec());
+    }
+    result
+}
+
+/// A streaming enumerator of the `k`-element subsets of `{0, …, n-1}` in
+/// lexicographic order — the subset stream behind the lazy safe-area
+/// operator, which must *not* materialise all `C(n, k)` index lists (or their
+/// hulls) up front.
+///
+/// Yields nothing when `k > n` or `k == 0` (the materialising
+/// [`combinations`] keeps its historical "single empty subset" behaviour for
+/// `k == 0`).
+#[derive(Debug, Clone)]
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    current: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl Combinations {
+    /// Creates the enumerator of `k`-subsets of `{0, …, n-1}`.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self {
+            n,
+            k,
+            current: (0..k).collect(),
+            started: false,
+            done: k > n || k == 0,
+        }
+    }
+
+    /// Advances to the next combination and returns it as a borrowed slice
+    /// (allocation-free; the slice is invalidated by the next call).
+    pub fn next_ref(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.current);
+        }
         // Advance to the next combination in lexicographic order.
+        let (n, k) = (self.n, self.k);
         let mut i = k;
         loop {
             if i == 0 {
-                return result;
+                self.done = true;
+                return None;
             }
             i -= 1;
-            if current[i] != i + n - k {
+            if self.current[i] != i + n - k {
                 break;
             }
             if i == 0 {
-                return result;
+                self.done = true;
+                return None;
             }
         }
-        current[i] += 1;
+        self.current[i] += 1;
         for j in i + 1..k {
-            current[j] = current[j - 1] + 1;
+            self.current[j] = self.current[j - 1] + 1;
         }
+        Some(&self.current)
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        self.next_ref().map(|s| s.to_vec())
     }
 }
 
@@ -164,6 +218,32 @@ mod tests {
         assert_eq!(binomial(3, 5), 0);
         assert_eq!(binomial(20, 10), 184_756);
         assert_eq!(binomial(30, 15), 155_117_520);
+    }
+
+    #[test]
+    fn streaming_combinations_match_materialised() {
+        for n in 0..=8 {
+            for k in 1..=n {
+                let streamed: Vec<Vec<usize>> = Combinations::new(n, k).collect();
+                assert_eq!(streamed, combinations(n, k), "n={n}, k={k}");
+            }
+        }
+        assert_eq!(Combinations::new(3, 5).count(), 0);
+        assert_eq!(Combinations::new(4, 0).count(), 0);
+    }
+
+    #[test]
+    fn next_ref_streams_without_allocating_new_lists() {
+        let mut iter = Combinations::new(4, 2);
+        let mut seen = Vec::new();
+        while let Some(s) = iter.next_ref() {
+            seen.push(s.to_vec());
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen.first().unwrap(), &vec![0, 1]);
+        assert_eq!(seen.last().unwrap(), &vec![2, 3]);
+        // Exhausted iterators stay exhausted.
+        assert!(iter.next_ref().is_none());
     }
 
     #[test]

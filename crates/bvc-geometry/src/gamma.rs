@@ -13,26 +13,59 @@
 //! `Γ` of suitable multisets.
 //!
 //! This module provides membership tests, emptiness checks, and the
-//! deterministic point-selection rule shared by all non-faulty processes.  It
-//! also exposes [`lp_size`], the size of the single "joint" linear program of
-//! Section 2.2, which experiment E7 compares against the paper's formula.
+//! deterministic point-selection rule shared by all non-faulty processes.
+//! The queries are *lazy*: subset index combinations are streamed (via
+//! [`Combinations`]) instead of materialising every `ConvexHull` up front,
+//! membership short-circuits on the first refuting hull, and the
+//! point-selection rule grows an active set of binding hulls instead of
+//! solving the monolithic `C(|Y|, |Y|−f)`-block joint LP of Section 2.2.
+//! Two exact closed forms bypass the solver entirely:
+//!
+//! * `d = 1`: `Γ(Y)` is the interval `[y_(f+1), y_(|Y|−f)]` of the sorted
+//!   multiset (drop the `f` smallest / largest members);
+//! * any `d`: a query point equal to at least `f + 1` members of `Y` lies in
+//!   every `(|Y|−f)`-subset hull, and a query point outside the
+//!   per-coordinate trimmed range `[y^l_(f+1), y^l_(|Y|−f)]` lies outside
+//!   some subset hull.
+//!
+//! All point-valued queries canonicalise the multiset order first, so the
+//! chosen point is a function of the *multiset* (not of the arrival order of
+//! its members) — the determinism the Exact BVC algorithm's Step 2 requires,
+//! and what makes results shareable through
+//! [`GammaCache`](crate::cache::GammaCache).
+//!
+//! The module also exposes [`lp_size`], the size of the single "joint" linear
+//! program of Section 2.2, which experiment E7 compares against the paper's
+//! formula.
 
-use crate::combinatorics::{binomial, combinations};
-use crate::hull::ConvexHull;
+use crate::combinatorics::{binomial, combinations, Combinations};
+use crate::hull::{ConvexHull, HULL_TOLERANCE};
 use crate::multiset::PointMultiset;
 use crate::point::Point;
+use std::cmp::Ordering;
+
+/// Tolerance of the `d = 1` closed-form interval test, aligned with the LP
+/// phase-1 feasibility threshold so the closed form and the solver agree
+/// outside a vanishing boundary band.
+const D1_TOLERANCE: f64 = 1e-7;
+
+/// Tolerance under which a query point counts as *equal to* a member of `Y`
+/// for the multiplicity accept (far below the LP tolerance, so the accept
+/// can never contradict the solver).
+const MEMBER_EQ_TOLERANCE: f64 = 1e-12;
 
 /// The safe area `Γ(Y)` for a multiset `Y` and fault bound `f`, represented
-/// implicitly by its defining hulls.
+/// implicitly by its source multiset.  Defining hulls are streamed on demand
+/// by the queries rather than stored.
 #[derive(Debug, Clone)]
 pub struct SafeArea {
     source: PointMultiset,
     f: usize,
-    hulls: Vec<ConvexHull>,
 }
 
 impl SafeArea {
-    /// Builds `Γ(Y)` for the multiset `y` tolerating `f` removals.
+    /// Builds `Γ(Y)` for the multiset `y` tolerating `f` removals.  This is
+    /// cheap: no hull is materialised until a query needs it.
     ///
     /// # Panics
     ///
@@ -43,17 +76,7 @@ impl SafeArea {
             "fault bound f = {f} must be smaller than |Y| = {}",
             y.len()
         );
-        let subset_size = y.len() - f;
-        let hulls = y
-            .subsets_of_size(subset_size)
-            .into_iter()
-            .map(ConvexHull::new)
-            .collect();
-        Self {
-            source: y,
-            f,
-            hulls,
-        }
+        Self { source: y, f }
     }
 
     /// The source multiset `Y`.
@@ -66,32 +89,38 @@ impl SafeArea {
         self.f
     }
 
-    /// The defining hulls `H(T)`, one per `(|Y|−f)`-subset `T`.
-    pub fn hulls(&self) -> &[ConvexHull] {
-        &self.hulls
+    /// Materialises the defining hulls `H(T)`, one per `(|Y|−f)`-subset `T`,
+    /// in canonical (lexicographic) subset order.  The queries below do not
+    /// need this; it exists for diagnostics and for spelling out the naive
+    /// all-hulls formulation in tests.
+    pub fn hulls(&self) -> Vec<ConvexHull> {
+        let subset_size = self.source.len() - self.f;
+        self.source
+            .subsets_of_size(subset_size)
+            .into_iter()
+            .map(ConvexHull::new)
+            .collect()
     }
 
     /// Returns `true` if `point` lies in `Γ(Y)`, i.e. in every defining hull.
     pub fn contains(&self, point: &Point) -> bool {
-        self.hulls.iter().all(|h| h.contains(point))
+        contains_impl(&self.source, self.f, point)
     }
 
     /// Returns a deterministically chosen point of `Γ(Y)`, or `None` when the
     /// safe area is empty.
     ///
-    /// The point is produced by the joint linear program of Section 2.2
-    /// (variables `z ∈ R^d` plus convex-combination coefficients per subset),
-    /// solved by the deterministic simplex pivoting rule, so every caller that
-    /// supplies the same multiset obtains the same point — which is exactly
-    /// the "deterministic function" the Exact BVC algorithm requires in
-    /// Step 2.
+    /// The point is a deterministic function of the multiset (members are
+    /// canonically reordered first), so every caller that supplies the same
+    /// multiset obtains the same point — which is exactly the "deterministic
+    /// function" the Exact BVC algorithm requires in Step 2.
     pub fn find_point(&self) -> Option<Point> {
-        ConvexHull::common_point(&self.hulls)
+        find_point_impl(&self.source, self.f)
     }
 
     /// Returns `true` if `Γ(Y)` is empty.
     pub fn is_empty_region(&self) -> bool {
-        self.find_point().is_none()
+        is_empty_impl(&self.source, self.f)
     }
 
     /// Lemma 1 precondition: `|Y| ≥ (d+1)f + 1` guarantees `Γ(Y) ≠ ∅`.
@@ -107,7 +136,7 @@ impl SafeArea {
 ///
 /// Panics if `f >= y.len()`.
 pub fn gamma_point(y: &PointMultiset, f: usize) -> Option<Point> {
-    SafeArea::new(y.clone(), f).find_point()
+    find_point_impl(y, f)
 }
 
 /// Returns `true` if `point ∈ Γ(y)` with fault bound `f`.
@@ -116,7 +145,7 @@ pub fn gamma_point(y: &PointMultiset, f: usize) -> Option<Point> {
 ///
 /// Panics if `f >= y.len()`.
 pub fn gamma_contains(y: &PointMultiset, f: usize, point: &Point) -> bool {
-    SafeArea::new(y.clone(), f).contains(point)
+    contains_impl(y, f, point)
 }
 
 /// Returns `true` if `Γ(y)` is empty for fault bound `f`.
@@ -125,8 +154,210 @@ pub fn gamma_contains(y: &PointMultiset, f: usize, point: &Point) -> bool {
 ///
 /// Panics if `f >= y.len()`.
 pub fn gamma_is_empty(y: &PointMultiset, f: usize) -> bool {
-    SafeArea::new(y.clone(), f).is_empty_region()
+    is_empty_impl(y, f)
 }
+
+// ---------------------------------------------------------------------------
+// The Γ engine
+// ---------------------------------------------------------------------------
+
+/// Lexicographic member order under `f64::total_cmp`, the canonical order
+/// all point-valued Γ queries normalise to.
+fn lexicographic(a: &Point, b: &Point) -> Ordering {
+    a.coords()
+        .iter()
+        .zip(b.coords())
+        .map(|(x, y)| x.total_cmp(y))
+        .find(|o| o.is_ne())
+        .unwrap_or(Ordering::Equal)
+}
+
+/// The multiset with its members in canonical order.
+pub(crate) fn canonical_order(y: &PointMultiset) -> PointMultiset {
+    let mut pts = y.points().to_vec();
+    pts.sort_by(lexicographic);
+    PointMultiset::new(pts)
+}
+
+/// The closed-form `d = 1` safe area: `[y_(f+1), y_(|Y|−f)]` of the sorted
+/// values.  Empty exactly when the lower end exceeds the upper end
+/// (`|Y| < 2f + 1`, or ties notwithstanding).
+fn d1_interval(y: &PointMultiset, f: usize) -> (f64, f64) {
+    let mut vals: Vec<f64> = y.iter().map(|p| p.coord(0)).collect();
+    vals.sort_by(f64::total_cmp);
+    (vals[f], vals[vals.len() - 1 - f])
+}
+
+/// Per-coordinate trimmed range `[y^l_(f+1), y^l_(|Y|−f)]`.  `Γ(Y)` is
+/// contained in this box: projecting onto coordinate `l`, the subset that
+/// drops the `f` largest (resp. smallest) members in that coordinate bounds
+/// every safe point from above (resp. below).
+fn trimmed_bounds(y: &PointMultiset, f: usize) -> (Vec<f64>, Vec<f64>) {
+    let m = y.len();
+    let d = y.dim();
+    let mut lo = Vec::with_capacity(d);
+    let mut hi = Vec::with_capacity(d);
+    let mut column: Vec<f64> = Vec::with_capacity(m);
+    for l in 0..d {
+        column.clear();
+        column.extend(y.iter().map(|p| p.coord(l)));
+        column.sort_by(f64::total_cmp);
+        lo.push(column[f]);
+        hi.push(column[m - 1 - f]);
+    }
+    (lo, hi)
+}
+
+pub(crate) fn find_point_impl(y: &PointMultiset, f: usize) -> Option<Point> {
+    assert!(
+        f < y.len(),
+        "fault bound f = {f} must be smaller than |Y| = {}",
+        y.len()
+    );
+    if y.dim() == 1 {
+        return d1_find_point(y, f);
+    }
+    find_point_presorted(canonical_order(y), f)
+}
+
+/// Closed-form `d = 1` point selection: the midpoint of the trimmed
+/// interval (deterministic and order-invariant by construction).  The
+/// interval counts as non-empty up to [`D1_TOLERANCE`], matching both the
+/// closed-form membership band and the joint LP's feasibility threshold
+/// (two intervals separated by a gap `g` give a phase-1 optimum of `g`);
+/// an inverted-within-tolerance interval yields its midpoint, which lies
+/// within the tolerance band of both ends.
+fn d1_find_point(y: &PointMultiset, f: usize) -> Option<Point> {
+    let (lo, hi) = d1_interval(y, f);
+    (lo <= hi + D1_TOLERANCE).then(|| Point::new(vec![0.5 * (lo + hi)]))
+}
+
+/// [`find_point_impl`] for a multiset already in canonical order (`d ≥ 2`):
+/// lets callers that computed the canonical order for other purposes (the
+/// cache builds its key from it) avoid sorting twice.
+pub(crate) fn find_point_presorted(canon: PointMultiset, f: usize) -> Option<Point> {
+    if canon.dim() == 1 {
+        return d1_find_point(&canon, f);
+    }
+    if f == 0 {
+        return ConvexHull::common_point(&[ConvexHull::new(canon)]);
+    }
+    // Cheap deterministic probe before any joint LP: the centre of the
+    // trimmed bounding box.  When the honest states have converged into a
+    // tight cluster (the steady state of every iterative protocol here) the
+    // trimmed centre sits inside the cluster and passes the membership
+    // stream for a few microseconds, where the joint LP over near-duplicate
+    // generators is at its numerically worst.  The probe is order-invariant,
+    // so determinism is unaffected.
+    let (lo, hi) = trimmed_bounds(&canon, f);
+    let centre = Point::new(lo.iter().zip(&hi).map(|(l, h)| 0.5 * (l + h)).collect());
+    if contains_impl(&canon, f, &centre) {
+        return Some(centre);
+    }
+    find_point_active(&canon, f)
+}
+
+/// Active-set search for a point of `Γ(Y)`: the shared working-set loop
+/// ([`ConvexHull::active_set_common_point`]) over the `(|Y|−f)`-subset
+/// hulls, materialised on demand from the streamed combination enumerator
+/// (the shared loop requests each ordinal at most once, and only in
+/// non-decreasing order, so one forward pass over the stream suffices).
+fn find_point_active(y: &PointMultiset, f: usize) -> Option<Point> {
+    let m = y.len();
+    let k = m - f;
+    let count = usize::try_from(binomial(m, k)).unwrap_or(usize::MAX);
+    let mut stream = Combinations::new(m, k);
+    let mut index_lists: Vec<Vec<usize>> = Vec::new();
+    let hull_at = move |ordinal: usize| {
+        while index_lists.len() <= ordinal {
+            let idx = stream
+                .next_ref()
+                .expect("ordinal is below the combination count");
+            index_lists.push(idx.to_vec());
+        }
+        ConvexHull::new(y.select(&index_lists[ordinal]))
+    };
+    ConvexHull::active_set_common_point(count, hull_at, || naive_find_point(y, f))
+}
+
+/// The naive all-LPs formulation (every hull materialised, one monolithic
+/// joint LP): the semantic reference the lazy engine falls back to on
+/// numerical disagreement.
+fn naive_find_point(y: &PointMultiset, f: usize) -> Option<Point> {
+    let hulls: Vec<ConvexHull> = y
+        .subsets_of_size(y.len() - f)
+        .into_iter()
+        .map(ConvexHull::new)
+        .collect();
+    ConvexHull::common_point(&hulls)
+}
+
+pub(crate) fn contains_impl(y: &PointMultiset, f: usize, point: &Point) -> bool {
+    assert!(
+        f < y.len(),
+        "fault bound f = {f} must be smaller than |Y| = {}",
+        y.len()
+    );
+    assert_eq!(
+        point.dim(),
+        y.dim(),
+        "query point dimension must match the multiset dimension"
+    );
+    if y.dim() == 1 {
+        let (lo, hi) = d1_interval(y, f);
+        let c = point.coord(0);
+        return c >= lo - D1_TOLERANCE && c <= hi + D1_TOLERANCE;
+    }
+    if f == 0 {
+        return ConvexHull::new(y.clone()).contains(point);
+    }
+    // Multiplicity accept: a point equal to more than `f` members survives
+    // every removal of `f` members.
+    let copies = y
+        .iter()
+        .filter(|g| g.approx_eq(point, MEMBER_EQ_TOLERANCE))
+        .count();
+    if copies > f {
+        return true;
+    }
+    // Trimmed bounding-box reject: Γ(Y) lies inside the per-coordinate
+    // trimmed range.
+    let (lo, hi) = trimmed_bounds(y, f);
+    if point
+        .coords()
+        .iter()
+        .zip(lo.iter().zip(&hi))
+        .any(|(&c, (&l, &h))| c < l - HULL_TOLERANCE || c > h + HULL_TOLERANCE)
+    {
+        return false;
+    }
+    // Stream the subsets and short-circuit on the first refuting hull.
+    let m = y.len();
+    let mut stream = Combinations::new(m, m - f);
+    while let Some(idx) = stream.next_ref() {
+        if !ConvexHull::new(y.select(idx)).contains(point) {
+            return false;
+        }
+    }
+    true
+}
+
+pub(crate) fn is_empty_impl(y: &PointMultiset, f: usize) -> bool {
+    assert!(
+        f < y.len(),
+        "fault bound f = {f} must be smaller than |Y| = {}",
+        y.len()
+    );
+    if y.dim() == 1 {
+        let (lo, hi) = d1_interval(y, f);
+        return lo > hi + D1_TOLERANCE;
+    }
+    find_point_impl(y, f).is_none()
+}
+
+// ---------------------------------------------------------------------------
+// Subset-level helpers
+// ---------------------------------------------------------------------------
 
 /// A deterministically chosen common point of the hulls of the *given*
 /// sub-multisets of `y` (identified by index lists), or `None` if they do not
@@ -145,7 +376,7 @@ pub fn common_point_of_subsets(y: &PointMultiset, subsets: &[Vec<usize>]) -> Opt
         .iter()
         .map(|idx| ConvexHull::new(y.select(idx)))
         .collect();
-    ConvexHull::common_point(&hulls)
+    ConvexHull::common_point_lazy(&hulls)
 }
 
 /// The intersection `∩_i H(Y − {i})` of the *leave-one-out* hulls of `y`
@@ -222,6 +453,13 @@ mod tests {
     }
 
     #[test]
+    fn scalar_closed_form_picks_the_interval_midpoint() {
+        let y = pts(&[&[0.0], &[1.0], &[2.0], &[3.0], &[10.0]]);
+        let p = gamma_point(&y, 1).unwrap();
+        assert!((p.coord(0) - 2.0).abs() < 1e-12, "midpoint of [1, 3]");
+    }
+
+    #[test]
     fn lemma1_guarantees_nonempty_gamma_in_2d() {
         // d = 2, f = 1, need |Y| ≥ 4. Use 4 generic points.
         let y = pts(&[&[0.0, 0.0], &[4.0, 0.0], &[0.0, 4.0], &[4.0, 4.0]]);
@@ -283,6 +521,30 @@ mod tests {
         let p1 = gamma_point(&y, 1).unwrap();
         let p2 = gamma_point(&y, 1).unwrap();
         assert!(p1.approx_eq(&p2, 1e-12));
+    }
+
+    #[test]
+    fn gamma_point_is_invariant_under_member_reordering() {
+        let a = pts(&[
+            &[0.0, 0.0],
+            &[4.0, 0.0],
+            &[0.0, 4.0],
+            &[4.0, 4.0],
+            &[2.0, 2.0],
+        ]);
+        let b = pts(&[
+            &[4.0, 4.0],
+            &[0.0, 4.0],
+            &[2.0, 2.0],
+            &[0.0, 0.0],
+            &[4.0, 0.0],
+        ]);
+        let pa = gamma_point(&a, 1).unwrap();
+        let pb = gamma_point(&b, 1).unwrap();
+        assert!(
+            pa.approx_eq(&pb, 1e-12),
+            "the chosen point must be a function of the multiset: {pa} vs {pb}"
+        );
     }
 
     #[test]
@@ -349,5 +611,49 @@ mod tests {
         assert!(!area.contains(&Point::new(vec![1.0])));
         let p = area.find_point().unwrap();
         assert!(p.coord(0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiplicity_accept_in_two_dimensions() {
+        // The point (1, 1) appears twice with f = 1: it survives any single
+        // removal, so it is in Γ regardless of the other members.
+        let y = pts(&[&[1.0, 1.0], &[1.0, 1.0], &[9.0, 0.0], &[0.0, 9.0]]);
+        assert!(gamma_contains(&y, 1, &Point::new(vec![1.0, 1.0])));
+    }
+
+    #[test]
+    fn trimmed_box_reject_in_two_dimensions() {
+        // Γ of 5 box corners + centre with f = 1 lies within the trimmed
+        // coordinate ranges; a point beyond them is rejected without LPs.
+        let y = pts(&[
+            &[0.0, 0.0],
+            &[4.0, 0.0],
+            &[0.0, 4.0],
+            &[4.0, 4.0],
+            &[2.0, 2.0],
+        ]);
+        assert!(!gamma_contains(&y, 1, &Point::new(vec![4.0, 4.0])));
+        assert!(!gamma_contains(&y, 1, &Point::new(vec![-1.0, 2.0])));
+    }
+
+    #[test]
+    fn empty_gamma_detected_in_scalar_case_without_lps() {
+        // |Y| = 2, f = 1: dropping either member leaves disjoint singletons.
+        let y = pts(&[&[0.0], &[1.0]]);
+        assert!(gamma_is_empty(&y, 1));
+        assert!(gamma_point(&y, 1).is_none());
+    }
+
+    #[test]
+    fn scalar_interval_inverted_within_tolerance_is_not_empty() {
+        // The trimmed interval is [5e-8, 0.0] — inverted by less than the
+        // closed form's tolerance, and the joint LP (phase-1 optimum = gap)
+        // would also call the intersection feasible.  Emptiness, point
+        // selection and membership must agree with each other.
+        let y = pts(&[&[0.0], &[5e-8]]);
+        assert!(!gamma_is_empty(&y, 1));
+        let p = gamma_point(&y, 1).expect("within-tolerance interval");
+        assert!(gamma_contains(&y, 1, &p));
+        assert!(gamma_contains(&y, 1, &Point::new(vec![2.5e-8])));
     }
 }

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod combinatorics;
 pub mod gamma;
 pub mod hull;
@@ -44,6 +45,7 @@ pub mod point;
 pub mod tverberg;
 pub mod workload;
 
+pub use cache::{GammaCache, SharedGammaCache};
 pub use gamma::{
     common_point_of_subsets, gamma_contains, gamma_is_empty, gamma_point, gamma_subset_indices,
     leave_one_out_intersection, lp_size, SafeArea,

@@ -39,9 +39,11 @@
 mod problem;
 mod simplex;
 mod tableau;
+mod workspace;
 
 pub use problem::{Constraint, LinearProgram, Objective, Relation};
 pub use simplex::{Solution, SolveStatus};
+pub use workspace::SimplexWorkspace;
 
 /// Numerical tolerance used throughout the solver for feasibility and
 /// optimality tests.

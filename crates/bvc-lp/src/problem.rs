@@ -7,7 +7,8 @@
 //! with [`LinearProgram::mark_free`], in which case the solver internally
 //! splits them into a difference of two non-negative variables.
 
-use crate::simplex::{solve_two_phase, Solution};
+use crate::simplex::{solve_two_phase, Solution, SolveMode, SolveStatus};
+use crate::workspace::{with_thread_workspace, SimplexWorkspace};
 
 /// Direction of optimisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,14 +171,35 @@ impl LinearProgram {
         self
     }
 
-    /// Solves the linear program with the two-phase simplex method.
+    /// Solves the linear program with the two-phase simplex method, using the
+    /// calling thread's shared [`SimplexWorkspace`] for tableau buffers.
     ///
     /// The returned [`Solution`] carries a [`SolveStatus`](crate::SolveStatus)
     /// of `Optimal`, `Infeasible` or `Unbounded`; when optimal, `values` holds
     /// one optimal assignment of the decision variables (in their original
     /// indexing, with free variables already recombined).
     pub fn solve(&self) -> Solution {
-        solve_two_phase(self)
+        with_thread_workspace(|ws| solve_two_phase(self, ws, SolveMode::Full))
+    }
+
+    /// Like [`LinearProgram::solve`], but leasing tableau buffers from an
+    /// explicitly supplied workspace (useful for benchmarks and long-lived
+    /// engines that want to control buffer reuse).
+    pub fn solve_with(&self, workspace: &mut SimplexWorkspace) -> Solution {
+        solve_two_phase(self, workspace, SolveMode::Full)
+    }
+
+    /// Decides feasibility only: runs phase 1 of the two-phase method and
+    /// stops, skipping the user objective and witness extraction.  Returns
+    /// [`SolveStatus::Optimal`] when a feasible point exists and
+    /// [`SolveStatus::Infeasible`] otherwise.
+    pub fn solve_feasibility(&self) -> SolveStatus {
+        with_thread_workspace(|ws| solve_two_phase(self, ws, SolveMode::FeasibilityOnly).status)
+    }
+
+    /// Like [`LinearProgram::solve_feasibility`], with an explicit workspace.
+    pub fn solve_feasibility_with(&self, workspace: &mut SimplexWorkspace) -> SolveStatus {
+        solve_two_phase(self, workspace, SolveMode::FeasibilityOnly).status
     }
 }
 

@@ -1,9 +1,16 @@
 //! Two-phase simplex driver: converts a [`LinearProgram`] to standard form,
 //! finds an initial basic feasible solution with artificial variables
 //! (phase 1), and then optimises the user objective (phase 2).
+//!
+//! The driver assembles the tableau directly from the problem description
+//! (no intermediate row vectors) into buffers leased from a
+//! [`SimplexWorkspace`], and supports a feasibility-only mode that stops
+//! after phase 1 without recovering variable values — the mode the geometry
+//! layer's membership tests run in.
 
 use crate::problem::{LinearProgram, Objective, Relation};
 use crate::tableau::{PivotOutcome, Tableau};
+use crate::workspace::SimplexWorkspace;
 use crate::EPSILON;
 
 /// Outcome classification of a solve.
@@ -15,6 +22,21 @@ pub enum SolveStatus {
     Infeasible,
     /// The feasible region is unbounded in the optimisation direction.
     Unbounded,
+    /// The solver hit its iteration cap before resolving the program
+    /// (numerical stalling on degenerate input): neither feasibility nor
+    /// infeasibility is certified.  Callers that rely on `Infeasible` as a
+    /// proof of emptiness must treat this outcome separately.
+    Stalled,
+}
+
+/// How much of the two-phase method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SolveMode {
+    /// Phase 1 + phase 2 + witness extraction.
+    Full,
+    /// Phase 1 only: decide feasibility, skip the user objective and the
+    /// recovery of variable values.
+    FeasibilityOnly,
 }
 
 /// Result of solving a [`LinearProgram`].
@@ -53,9 +75,10 @@ impl Solution {
     }
 }
 
-/// Internal description of how original variables map onto standard-form
-/// columns.
-struct StandardForm {
+/// Standard-form layout: how original variables and constraint rows map onto
+/// tableau columns.  Computed in one counting pass; the tableau is then
+/// filled directly from the [`LinearProgram`].
+struct Layout {
     /// For each original variable, the column of its non-negative part.
     positive_column: Vec<usize>,
     /// For each original variable, the column of its negative part (only for
@@ -63,16 +86,23 @@ struct StandardForm {
     negative_column: Vec<Option<usize>>,
     /// Total number of structural columns before artificials.
     num_structural: usize,
-    /// Objective coefficients over structural columns (minimisation form).
-    objective: Vec<f64>,
-    /// Constraint rows over structural columns with non-negative RHS.
-    rows: Vec<(Vec<f64>, f64)>,
-    /// For each row, the column of a slack that can serve as the initial
-    /// basis (only rows originating from `≤` with non-negative RHS have one).
-    slack_basis: Vec<Option<usize>>,
+    /// Per row: `true` when the row is negated so its RHS becomes
+    /// non-negative.
+    row_flip: Vec<bool>,
+    /// Per row: slack/surplus column and its sign (+1 slack, −1 surplus).
+    row_slack: Vec<Option<(usize, f64)>>,
+    /// Per row: the slack column usable as the initial basis (only `≤` rows
+    /// after flipping).
+    row_basis_slack: Vec<Option<usize>>,
+    /// Per row: artificial column, for rows with no natural slack basis.
+    row_artificial: Vec<Option<usize>>,
+    /// Total columns including artificials.
+    total_cols: usize,
+    /// All artificial columns (contiguous at the end).
+    artificial_start: usize,
 }
 
-fn to_standard_form(lp: &LinearProgram) -> StandardForm {
+fn layout(lp: &LinearProgram) -> Layout {
     let n = lp.num_variables();
     let mut positive_column = Vec::with_capacity(n);
     let mut negative_column = Vec::with_capacity(n);
@@ -88,178 +118,228 @@ fn to_standard_form(lp: &LinearProgram) -> StandardForm {
         }
     }
 
-    // Count slack/surplus columns.
-    let mut slack_count = 0usize;
+    let m = lp.num_constraints();
+    let mut row_flip = Vec::with_capacity(m);
+    let mut relations = Vec::with_capacity(m);
     for c in lp.constraints() {
-        if c.relation != Relation::Equal {
-            slack_count += 1;
-        }
-    }
-    let num_structural = next_col + slack_count;
-
-    // Objective in minimisation form over structural columns.
-    let sign = match lp.objective() {
-        Objective::Minimize => 1.0,
-        Objective::Maximize => -1.0,
-    };
-    let mut objective = vec![0.0; num_structural];
-    for var in 0..n {
-        let c = sign * lp.objective_coefficients()[var];
-        objective[positive_column[var]] += c;
-        if let Some(neg) = negative_column[var] {
-            objective[neg] -= c;
-        }
-    }
-
-    // Build rows, flipping signs so every RHS is non-negative, and adding
-    // slack (+1 for ≤) or surplus (−1 for ≥) columns.
-    let mut rows = Vec::with_capacity(lp.num_constraints());
-    let mut slack_basis = Vec::with_capacity(lp.num_constraints());
-    let mut slack_col = next_col;
-    for constraint in lp.constraints() {
-        let mut coeffs = vec![0.0; num_structural];
-        for var in 0..n {
-            let a = constraint.coefficients[var];
-            coeffs[positive_column[var]] += a;
-            if let Some(neg) = negative_column[var] {
-                coeffs[neg] -= a;
-            }
-        }
-        let mut rhs = constraint.rhs;
-        // Effective relation after a potential sign flip.
-        let mut relation = constraint.relation;
-        if rhs < 0.0 {
-            for c in coeffs.iter_mut() {
-                *c = -*c;
-            }
-            rhs = -rhs;
-            relation = match relation {
+        let flip = c.rhs < 0.0;
+        let relation = if flip {
+            match c.relation {
                 Relation::LessEq => Relation::GreaterEq,
                 Relation::GreaterEq => Relation::LessEq,
                 Relation::Equal => Relation::Equal,
-            };
-        }
-        let basis = match relation {
-            Relation::LessEq => {
-                coeffs[slack_col] = 1.0;
-                let b = Some(slack_col);
-                slack_col += 1;
-                b
             }
-            Relation::GreaterEq => {
-                coeffs[slack_col] = -1.0;
-                slack_col += 1;
-                None
-            }
-            Relation::Equal => None,
+        } else {
+            c.relation
         };
-        rows.push((coeffs, rhs));
-        slack_basis.push(basis);
+        row_flip.push(flip);
+        relations.push(relation);
     }
 
-    StandardForm {
+    let mut row_slack = Vec::with_capacity(m);
+    let mut row_basis_slack = Vec::with_capacity(m);
+    let mut slack_col = next_col;
+    for relation in &relations {
+        match relation {
+            Relation::LessEq => {
+                row_slack.push(Some((slack_col, 1.0)));
+                row_basis_slack.push(Some(slack_col));
+                slack_col += 1;
+            }
+            Relation::GreaterEq => {
+                row_slack.push(Some((slack_col, -1.0)));
+                row_basis_slack.push(None);
+                slack_col += 1;
+            }
+            Relation::Equal => {
+                row_slack.push(None);
+                row_basis_slack.push(None);
+            }
+        }
+    }
+    let num_structural = slack_col;
+
+    let mut row_artificial = Vec::with_capacity(m);
+    let mut art_col = num_structural;
+    for basis in &row_basis_slack {
+        if basis.is_none() {
+            row_artificial.push(Some(art_col));
+            art_col += 1;
+        } else {
+            row_artificial.push(None);
+        }
+    }
+
+    Layout {
         positive_column,
         negative_column,
         num_structural,
-        objective,
-        rows,
-        slack_basis,
+        row_flip,
+        row_slack,
+        row_basis_slack,
+        row_artificial,
+        total_cols: art_col,
+        artificial_start: num_structural,
     }
 }
 
-/// Solves `lp` with the two-phase simplex method.
-pub(crate) fn solve_two_phase(lp: &LinearProgram) -> Solution {
-    let sf = to_standard_form(lp);
-    let m = sf.rows.len();
-    let n_structural = sf.num_structural;
-
-    // Phase 1: add an artificial variable for every row that has no natural
-    // slack basis, and minimise the sum of artificials.
-    let mut artificial_cols = Vec::new();
-    let mut total_cols = n_structural;
-    for basis in &sf.slack_basis {
-        if basis.is_none() {
-            artificial_cols.push(total_cols);
-            total_cols += 1;
-        }
-    }
-
-    let mut tableau = Tableau::zeros(m, total_cols);
-    {
-        let mut artificial_iter = artificial_cols.iter();
-        for (row, (coeffs, rhs)) in sf.rows.iter().enumerate() {
-            for (col, &a) in coeffs.iter().enumerate() {
-                if a != 0.0 {
-                    tableau.set(row, col, a);
-                }
+/// Fills the zeroed tableau from the problem and layout, and sets the
+/// initial basis (slacks where available, artificials elsewhere).
+fn fill_tableau(lp: &LinearProgram, lay: &Layout, tableau: &mut Tableau) {
+    for (row, constraint) in lp.constraints().iter().enumerate() {
+        let sign = if lay.row_flip[row] { -1.0 } else { 1.0 };
+        let target = tableau.row_mut(row);
+        for (var, &a) in constraint.coefficients.iter().enumerate() {
+            if a == 0.0 {
+                continue;
             }
-            tableau.set_rhs(row, *rhs);
-            match sf.slack_basis[row] {
-                Some(slack) => tableau.set_basic(row, slack),
-                None => {
-                    let art = *artificial_iter
-                        .next()
-                        .expect("artificial column allocated for every basisless row");
-                    tableau.set(row, art, 1.0);
-                    tableau.set_basic(row, art);
-                }
+            let v = sign * a;
+            target[lay.positive_column[var]] += v;
+            if let Some(neg) = lay.negative_column[var] {
+                target[neg] -= v;
             }
         }
+        if let Some((col, slack_sign)) = lay.row_slack[row] {
+            target[col] = slack_sign;
+        }
+        if let Some(art) = lay.row_artificial[row] {
+            target[art] = 1.0;
+        }
+        tableau.set_rhs(row, sign * constraint.rhs);
+        match lay.row_basis_slack[row] {
+            Some(slack) => tableau.set_basic(row, slack),
+            None => tableau.set_basic(
+                row,
+                lay.row_artificial[row].expect("rows without a slack basis carry an artificial"),
+            ),
+        }
     }
+}
 
-    if !artificial_cols.is_empty() {
+/// Solves `lp` with the two-phase simplex method, leasing all buffers from
+/// `workspace`.  In [`SolveMode::FeasibilityOnly`] the returned solution's
+/// `values` are all-zero placeholders and only `status` is meaningful.
+pub(crate) fn solve_two_phase(
+    lp: &LinearProgram,
+    workspace: &mut SimplexWorkspace,
+    mode: SolveMode,
+) -> Solution {
+    let lay = layout(lp);
+    let m = lp.num_constraints();
+    let mut tableau = Tableau::from_workspace(m, lay.total_cols, workspace);
+    fill_tableau(lp, &lay, &mut tableau);
+    let solution = run_phases(lp, &lay, &mut tableau, workspace, mode);
+    tableau.recycle(workspace);
+    solution
+}
+
+fn run_phases(
+    lp: &LinearProgram,
+    lay: &Layout,
+    tableau: &mut Tableau,
+    workspace: &mut SimplexWorkspace,
+    mode: SolveMode,
+) -> Solution {
+    let m = lp.num_constraints();
+    let n_structural = lay.num_structural;
+    let total_cols = lay.total_cols;
+    let has_artificials = total_cols > lay.artificial_start;
+
+    if has_artificials {
         // Phase-1 objective: minimise the sum of artificial variables.
-        for &col in &artificial_cols {
+        for col in lay.artificial_start..total_cols {
             tableau.set_objective_coefficient(col, 1.0);
         }
         tableau.price_out_basis();
-        let eligible = vec![true; total_cols];
+        let eligible = workspace.take_bool(total_cols, true);
         // The phase-1 objective is bounded below by zero, so an "unbounded"
-        // outcome can only be numerical noise; either way the decision is made
-        // on the attained objective value.
-        let _ = tableau.run_simplex(&eligible);
+        // outcome can only be numerical noise; the decision is made on the
+        // attained objective value.
+        let outcome = tableau.run_simplex(&eligible);
+        workspace.put_bool(eligible);
         if tableau.objective_value() > 1e-7 {
+            // A completed phase 1 that could not zero the artificials is a
+            // genuine infeasibility certificate; a *stalled* phase 1 proves
+            // nothing and must not masquerade as one (downstream the Γ
+            // engine reads `Infeasible` as an emptiness proof).
+            if outcome == PivotOutcome::Stalled {
+                return Solution {
+                    status: SolveStatus::Stalled,
+                    values: vec![0.0; lp.num_variables()],
+                    objective_value: f64::NAN,
+                };
+            }
             return Solution::infeasible(lp.num_variables());
+        }
+        if mode == SolveMode::FeasibilityOnly {
+            return Solution {
+                status: SolveStatus::Optimal,
+                values: vec![0.0; lp.num_variables()],
+                objective_value: 0.0,
+            };
         }
         // Drive any artificial variable that is still basic (at value zero)
         // out of the basis if a structural pivot exists; otherwise the row is
         // redundant and the artificial stays basic at zero harmlessly.
         for row in 0..m {
             let basic = tableau.basic_column(row);
-            if artificial_cols.contains(&basic) {
+            if basic >= lay.artificial_start {
                 if let Some(col) = (0..n_structural).find(|&c| tableau.get(row, c).abs() > 1e-7) {
                     tableau.pivot(row, col);
                 }
             }
         }
         // Clear the phase-1 objective row.
-        for col in 0..total_cols {
-            tableau.set_objective_coefficient(col, 0.0);
-        }
         let cols = tableau.cols();
-        tableau.set(m, cols, 0.0);
+        for col in 0..=cols {
+            tableau.set(m, col, 0.0);
+        }
+    } else if mode == SolveMode::FeasibilityOnly {
+        // Every row has a natural slack basis: the all-zero structural point
+        // is feasible by construction.
+        return Solution {
+            status: SolveStatus::Optimal,
+            values: vec![0.0; lp.num_variables()],
+            objective_value: 0.0,
+        };
     }
 
     // Phase 2: load the user objective and optimise, keeping artificial
     // columns out of the basis.
-    for (col, &c) in sf.objective.iter().enumerate() {
-        tableau.set_objective_coefficient(col, c);
+    let sign = match lp.objective() {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+    for var in 0..lp.num_variables() {
+        let c = sign * lp.objective_coefficients()[var];
+        if c == 0.0 {
+            continue;
+        }
+        let pos = lay.positive_column[var];
+        tableau.set_objective_coefficient(pos, tableau.objective_coefficient(pos) + c);
+        if let Some(neg) = lay.negative_column[var] {
+            tableau.set_objective_coefficient(neg, tableau.objective_coefficient(neg) - c);
+        }
     }
     tableau.price_out_basis();
-    let mut eligible = vec![false; total_cols];
+    let mut eligible = workspace.take_bool(total_cols, false);
     for e in eligible.iter_mut().take(n_structural) {
         *e = true;
     }
     let outcome = tableau.run_simplex(&eligible);
+    workspace.put_bool(eligible);
     if outcome == PivotOutcome::Unbounded {
         return Solution::unbounded(lp.num_variables());
     }
+    // A phase-2 stall still has a feasible basic solution (phase 1
+    // succeeded), which is all the feasibility-style programs served here
+    // need; report it as the solution rather than failing the solve.
 
     // Recover original variable values.
     let mut values = vec![0.0; lp.num_variables()];
     for (var, value) in values.iter_mut().enumerate() {
-        let pos = tableau.variable_value(sf.positive_column[var]);
-        let neg = sf.negative_column[var]
+        let pos = tableau.variable_value(lay.positive_column[var]);
+        let neg = lay.negative_column[var]
             .map(|c| tableau.variable_value(c))
             .unwrap_or(0.0);
         *value = pos - neg;
@@ -459,5 +539,44 @@ mod tests {
         lp.set_objective_coefficient(0, 1.0);
         let s = lp.solve();
         assert!(s.is_optimal());
+    }
+
+    #[test]
+    fn feasibility_mode_agrees_with_full_solve() {
+        // Feasible equality system.
+        let mut lp = LinearProgram::new(3, Objective::Minimize);
+        lp.add_constraint(vec![1.0, 1.0, 1.0], Relation::Equal, 1.0);
+        lp.add_constraint(vec![0.0, 1.0, 2.0], Relation::Equal, 0.5);
+        assert_eq!(lp.solve_feasibility(), SolveStatus::Optimal);
+        // Infeasible variant.
+        let mut bad = LinearProgram::new(3, Objective::Minimize);
+        bad.add_constraint(vec![1.0, 1.0, 1.0], Relation::Equal, 1.0);
+        bad.add_constraint(vec![0.0, 1.0, 2.0], Relation::Equal, 5.0);
+        assert_eq!(bad.solve_feasibility(), SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn feasibility_mode_without_artificials_is_instant() {
+        // Pure ≤ system with non-negative RHS: trivially feasible at x = 0.
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.add_constraint(vec![1.0, 1.0], Relation::LessEq, 4.0);
+        assert_eq!(lp.solve_feasibility(), SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn explicit_workspace_solves_match_thread_local_solves() {
+        let mut ws = SimplexWorkspace::new();
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective_coefficient(0, 3.0);
+        lp.set_objective_coefficient(1, 5.0);
+        lp.add_constraint(vec![1.0, 0.0], Relation::LessEq, 4.0);
+        lp.add_constraint(vec![0.0, 2.0], Relation::LessEq, 12.0);
+        lp.add_constraint(vec![3.0, 2.0], Relation::LessEq, 18.0);
+        let a = lp.solve();
+        let b = lp.solve_with(&mut ws);
+        let c = lp.solve_with(&mut ws);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert!(ws.reuses() > 0);
     }
 }

@@ -4,7 +4,13 @@
 //! an associated basic variable whose column is a unit vector, and the last
 //! column holds the (non-negative) right-hand side.  One extra row at the
 //! bottom holds the reduced costs of the objective currently being minimised.
+//!
+//! The data lives in one contiguous row-major buffer (borrowed from a
+//! [`SimplexWorkspace`] when driven by the two-phase solver), and the pivot
+//! elimination walks whole row slices instead of per-element `get`/`set`
+//! calls, which is what lets the compiler vectorise the inner loop.
 
+use crate::workspace::SimplexWorkspace;
 use crate::EPSILON;
 
 /// Result of running the simplex iterations on a tableau.
@@ -14,6 +20,9 @@ pub(crate) enum PivotOutcome {
     Optimal,
     /// The objective is unbounded below on the feasible region.
     Unbounded,
+    /// The iteration cap was reached before optimality: the current basic
+    /// solution is feasible but nothing about the optimum is certified.
+    Stalled,
 }
 
 /// A dense simplex tableau: `rows` constraint rows plus one objective row.
@@ -34,6 +43,7 @@ impl Tableau {
     /// Creates a tableau of `rows` constraint rows and `cols` structural
     /// columns, all zeros, with an (invalid) all-zero basis that the caller
     /// must fill in.
+    #[cfg(test)]
     pub(crate) fn zeros(rows: usize, cols: usize) -> Self {
         Self {
             rows,
@@ -41,6 +51,27 @@ impl Tableau {
             data: vec![0.0; (rows + 1) * (cols + 1)],
             basis: vec![0; rows],
         }
+    }
+
+    /// Like [`Tableau::zeros`] but with buffers leased from `workspace`;
+    /// return them with [`Tableau::recycle`] when the solve is done.
+    pub(crate) fn from_workspace(
+        rows: usize,
+        cols: usize,
+        workspace: &mut SimplexWorkspace,
+    ) -> Self {
+        Self {
+            rows,
+            cols,
+            data: workspace.take_f64((rows + 1) * (cols + 1)),
+            basis: workspace.take_usize(rows),
+        }
+    }
+
+    /// Hands the tableau's buffers back to `workspace` for reuse.
+    pub(crate) fn recycle(self, workspace: &mut SimplexWorkspace) {
+        workspace.put_f64(self.data);
+        workspace.put_usize(self.basis);
     }
 
     #[allow(dead_code)]
@@ -52,19 +83,35 @@ impl Tableau {
         self.cols
     }
 
+    /// Row stride: structural columns plus the RHS column.
     #[inline]
-    fn index(&self, row: usize, col: usize) -> usize {
-        row * (self.cols + 1) + col
+    fn stride(&self) -> usize {
+        self.cols + 1
+    }
+
+    /// Constraint row `row` (including its RHS entry) as a slice.
+    #[cfg(test)]
+    #[inline]
+    pub(crate) fn row(&self, row: usize) -> &[f64] {
+        let stride = self.stride();
+        &self.data[row * stride..(row + 1) * stride]
+    }
+
+    /// Constraint row `row` (including its RHS entry) as a mutable slice.
+    #[inline]
+    pub(crate) fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        let stride = self.stride();
+        &mut self.data[row * stride..(row + 1) * stride]
     }
 
     #[inline]
     pub(crate) fn get(&self, row: usize, col: usize) -> f64 {
-        self.data[self.index(row, col)]
+        self.data[row * self.stride() + col]
     }
 
     #[inline]
     pub(crate) fn set(&mut self, row: usize, col: usize, value: f64) {
-        let i = self.index(row, col);
+        let i = row * self.stride() + col;
         self.data[i] = value;
     }
 
@@ -128,56 +175,63 @@ impl Tableau {
     /// objective row expresses reduced costs with respect to the current
     /// basis.  Used once after loading a new objective into the bottom row.
     pub(crate) fn price_out_basis(&mut self) {
+        let stride = self.stride();
         for row in 0..self.rows {
             let col = self.basis[row];
             let coeff = self.objective_coefficient(col);
             if coeff.abs() > EPSILON {
-                self.add_scaled_row_to_objective(row, -coeff);
-            }
-        }
-    }
-
-    fn add_scaled_row_to_objective(&mut self, row: usize, scale: f64) {
-        for col in 0..=self.cols {
-            let v = self.get(row, col);
-            if v != 0.0 {
-                let obj = self.get(self.rows, col);
-                let r = self.rows;
-                self.set(r, col, obj + scale * v);
+                let (constraint_rows, objective_row) = self.data.split_at_mut(self.rows * stride);
+                let source = &constraint_rows[row * stride..(row + 1) * stride];
+                for (obj, &v) in objective_row.iter_mut().zip(source) {
+                    if v != 0.0 {
+                        *obj -= coeff * v;
+                    }
+                }
             }
         }
     }
 
     /// Performs a single pivot on `(pivot_row, pivot_col)`: scales the pivot
     /// row so the pivot element becomes `1` and eliminates the pivot column
-    /// from every other row (including the objective row).
+    /// from every other row (including the objective row), walking contiguous
+    /// row slices.
     pub(crate) fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let stride = self.stride();
         let pivot_element = self.get(pivot_row, pivot_col);
         debug_assert!(
             pivot_element.abs() > EPSILON,
             "pivot element must be non-zero"
         );
-        // Scale the pivot row.
-        for col in 0..=self.cols {
-            let v = self.get(pivot_row, col) / pivot_element;
-            self.set(pivot_row, col, v);
-        }
-        // Eliminate the pivot column from all other rows.
-        for row in 0..=self.rows {
-            if row == pivot_row {
-                continue;
+        // Scale the pivot row in place.
+        {
+            let prow = self.row_mut(pivot_row);
+            if pivot_element != 1.0 {
+                let inv = 1.0 / pivot_element;
+                for v in prow.iter_mut() {
+                    *v *= inv;
+                }
             }
-            let factor = self.get(row, pivot_col);
+            prow[pivot_col] = 1.0;
+        }
+        // Eliminate the pivot column from every other row (objective row
+        // included) with slice arithmetic: split the buffer around the pivot
+        // row so its slice can be borrowed alongside the targets.
+        let (before, rest) = self.data.split_at_mut(pivot_row * stride);
+        let (prow, after) = rest.split_at_mut(stride);
+        for target in before
+            .chunks_exact_mut(stride)
+            .chain(after.chunks_exact_mut(stride))
+        {
+            let factor = target[pivot_col];
             if factor.abs() <= EPSILON {
                 // Clamp tiny residuals to exactly zero for numerical hygiene.
-                self.set(row, pivot_col, 0.0);
+                target[pivot_col] = 0.0;
                 continue;
             }
-            for col in 0..=self.cols {
-                let v = self.get(row, col) - factor * self.get(pivot_row, col);
-                self.set(row, col, v);
+            for (t, &p) in target.iter_mut().zip(prow.iter()) {
+                *t -= factor * p;
             }
-            self.set(row, pivot_col, 0.0);
+            target[pivot_col] = 0.0;
         }
         self.basis[pivot_row] = pivot_col;
     }
@@ -190,13 +244,22 @@ impl Tableau {
     /// (used by phase 2 to keep artificial columns out).
     pub(crate) fn run_simplex(&mut self, eligible: &[bool]) -> PivotOutcome {
         debug_assert_eq!(eligible.len(), self.cols);
+        let stride = self.stride();
         // An upper bound on iterations that is generous enough never to
-        // trigger for correct inputs but protects against numerical cycling.
-        let max_iterations = 50 * (self.rows + self.cols).max(16) * (self.rows + self.cols).max(16);
+        // trigger for well-conditioned inputs but protects against numerical
+        // cycling.  Simplex visits O(rows) bases on the programs this crate
+        // serves; a linear cap keeps the degenerate worst case (tolerance-
+        // based Bland tie-breaking can stall on near-duplicate generators)
+        // bounded in tens of milliseconds instead of seconds, while leaving
+        // two orders of magnitude of headroom over the typical pivot count.
+        let max_iterations = 1000 + 50 * (self.rows + self.cols);
         for _ in 0..max_iterations {
             // Bland's rule: first eligible column with negative reduced cost.
-            let entering = (0..self.cols)
-                .find(|&col| eligible[col] && self.objective_coefficient(col) < -EPSILON);
+            let objective_row = &self.data[self.rows * stride..self.rows * stride + self.cols];
+            let entering = objective_row
+                .iter()
+                .zip(eligible)
+                .position(|(&cost, &ok)| ok && cost < -EPSILON);
             let entering = match entering {
                 Some(col) => col,
                 None => return PivotOutcome::Optimal,
@@ -209,9 +272,9 @@ impl Tableau {
             const PIVOT_TOLERANCE: f64 = 1e-7;
             let mut leaving: Option<(usize, f64)> = None;
             for row in 0..self.rows {
-                let a = self.get(row, entering);
+                let a = self.data[row * stride + entering];
                 if a > PIVOT_TOLERANCE {
-                    let ratio = self.rhs(row) / a;
+                    let ratio = self.data[row * stride + self.cols] / a;
                     match leaving {
                         None => leaving = Some((row, ratio)),
                         Some((best_row, best_ratio)) => {
@@ -229,7 +292,7 @@ impl Tableau {
                 // Fallback: the largest positive-but-tiny pivot entry.
                 let mut best: Option<(usize, f64)> = None;
                 for row in 0..self.rows {
-                    let a = self.get(row, entering);
+                    let a = self.data[row * stride + entering];
                     if a > EPSILON && best.is_none_or(|(_, b)| a > b) {
                         best = Some((row, a));
                     }
@@ -241,10 +304,13 @@ impl Tableau {
                 None => return PivotOutcome::Unbounded,
             }
         }
-        // Reaching the iteration cap indicates numerical trouble; the current
-        // point is feasible, so reporting it as optimal is the conservative
-        // choice for the feasibility-style LPs this crate serves.
-        PivotOutcome::Optimal
+        // Reaching the iteration cap indicates numerical trouble (tolerance-
+        // based Bland tie-breaking can stall on near-duplicate generators).
+        // The current point is feasible but the objective value proves
+        // nothing, so the caller must not read optimality — in particular a
+        // stalled phase 1 must not be misread as an infeasibility
+        // certificate.
+        PivotOutcome::Stalled
     }
 }
 
@@ -325,5 +391,27 @@ mod tests {
         t.set_objective_coefficient(2, 5.0);
         t.price_out_basis();
         assert!(t.objective_coefficient(2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_tableau_round_trips_buffers() {
+        let mut ws = SimplexWorkspace::new();
+        let t = Tableau::from_workspace(3, 5, &mut ws);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 5);
+        assert!(t.row(0).iter().all(|&v| v == 0.0));
+        t.recycle(&mut ws);
+        let t2 = Tableau::from_workspace(3, 5, &mut ws);
+        assert!(t2.row(2).iter().all(|&v| v == 0.0));
+        assert!(ws.reuses() >= 2);
+    }
+
+    #[test]
+    fn row_slices_cover_rhs_column() {
+        let mut t = Tableau::zeros(2, 3);
+        t.set_rhs(1, 7.0);
+        assert_eq!(t.row(1)[3], 7.0);
+        t.row_mut(0)[2] = 4.0;
+        assert_eq!(t.get(0, 2), 4.0);
     }
 }
