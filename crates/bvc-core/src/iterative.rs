@@ -1,0 +1,319 @@
+//! Iterative BVC over an incomplete communication graph.
+//!
+//! *Iterative Byzantine Vector Consensus in Incomplete Graphs* (Vaidya 2013,
+//! arXiv:1307.2483) studies the simplest protocol shape on a *declared*
+//! directed topology: each process keeps a single state vector, sends it to
+//! its out-neighbors every round, and updates it to a convex combination of
+//! its own state and the values received from its in-neighbors.  The
+//! Byzantine defence is entirely local — each round the process forms the
+//! multiset `Y_i[t]` of its in-neighborhood values plus its own state and
+//! picks the deterministic safe-area point `z_i[t] ∈ Γ(Y_i[t])` (removing
+//! `f` values), then moves halfway:
+//!
+//! ```text
+//! v_i[t] = ( v_i[t−1] + z_i[t] ) / 2,      z_i[t] ∈ Γ(Y_i[t], f)
+//! ```
+//!
+//! `z_i[t]` lies in the hull of every `(|Y_i|−f)`-sub-multiset, hence in the
+//! hull of the honest values among `Y_i[t]` whenever at most `f` in-neighbors
+//! are Byzantine — so validity is preserved inductively on **any** topology.
+//! Convergence (ε-agreement) additionally needs the graph to satisfy the
+//! sufficiency condition checked by
+//! [`Topology::iterative_sufficiency`](bvc_topology::Topology); on graphs
+//! that violate it the protocol still runs and still preserves validity, but
+//! the honest states may never contract — which is exactly what the scenario
+//! engine records.
+//!
+//! When `Γ(Y_i[t])` is empty (possible below the Lemma-1 threshold, e.g. on
+//! very sparse neighborhoods) or fewer than `f + 1` values are available,
+//! the process keeps its state for the round — a safe no-op.
+//!
+//! The safe-area evaluations reuse the shared Γ engine: the `d = 1` closed
+//! form, the trimmed-box probe and the [`GammaCache`](bvc_geometry::GammaCache)
+//! all apply unchanged to the per-neighborhood multisets.
+
+use crate::config::BvcConfig;
+use crate::convergence::{gamma_iterative, round_threshold};
+use crate::restricted::StateMsg;
+use crate::witness::average_state;
+use bvc_adversary::PointForge;
+use bvc_geometry::{gamma_point, Point, PointMultiset, SharedGammaCache};
+use bvc_net::{Delivery, Outgoing, ProcessId, SyncProcess};
+use bvc_topology::Topology;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The round budget of the iterative protocol: the Section-3.2 termination
+/// rule evaluated at the conservative incomplete-graph contraction parameter
+/// [`gamma_iterative`].
+pub fn iterative_round_budget(config: &BvcConfig) -> usize {
+    round_threshold(
+        gamma_iterative(config.n.max(2)),
+        config.lower_bound,
+        config.upper_bound,
+        config.epsilon,
+    )
+}
+
+/// Honest process of the iterative incomplete-graph protocol.
+pub struct IterativeBvcProcess {
+    config: BvcConfig,
+    me: usize,
+    topology: Arc<Topology>,
+    state: Point,
+    max_rounds: usize,
+    history: Vec<Point>,
+    decision: Option<Point>,
+    gamma_cache: Option<SharedGammaCache>,
+}
+
+impl IterativeBvcProcess {
+    /// Creates the honest process with index `me` and input `input` on the
+    /// given topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= config.n`, `input.dim() != config.d`, or the topology
+    /// size differs from `config.n`.
+    pub fn new(config: BvcConfig, me: usize, input: Point, topology: Arc<Topology>) -> Self {
+        assert!(me < config.n, "process index {me} out of range");
+        assert_eq!(input.dim(), config.d, "input dimension must equal config.d");
+        assert_eq!(
+            topology.len(),
+            config.n,
+            "topology size must match config.n"
+        );
+        let max_rounds = iterative_round_budget(&config);
+        Self {
+            history: vec![input.clone()],
+            config,
+            me,
+            topology,
+            state: input,
+            max_rounds,
+            decision: None,
+            gamma_cache: None,
+        }
+    }
+
+    /// Shares a Γ cache with this process's round loop.  Neighborhood
+    /// multisets overlap across processes and repeat across rounds as the
+    /// states converge, so the cache collapses recomputation; cached and
+    /// uncached runs produce identical states.
+    pub fn with_gamma_cache(mut self, cache: SharedGammaCache) -> Self {
+        self.gamma_cache = Some(cache);
+        self
+    }
+
+    /// Total number of executor rounds needed: the round budget of exchanges
+    /// plus one closing round in which the last inbox is processed.
+    pub fn total_rounds(config: &BvcConfig) -> usize {
+        iterative_round_budget(config) + 1
+    }
+
+    /// Per-round states (`history()[t]` is `v_i[t]`, index 0 the input).
+    pub fn history(&self) -> &[Point] {
+        &self.history
+    }
+
+    fn apply_update(&mut self, received: &[Delivery<StateMsg>], round: usize) {
+        // Y_i[t]: one value per in-neighbor that reported a state for this
+        // round (first wins), plus this process's own state.
+        let mut per_sender: BTreeMap<usize, Point> = BTreeMap::new();
+        for delivery in received {
+            if delivery.msg.round == round && delivery.msg.state.dim() == self.config.d {
+                per_sender
+                    .entry(delivery.from.index())
+                    .or_insert_with(|| delivery.msg.state.clone());
+            }
+        }
+        per_sender.insert(self.me, self.state.clone());
+        let values: Vec<Point> = per_sender.into_values().collect();
+        if values.len() > self.config.f {
+            let y = PointMultiset::new(values);
+            let z = match &self.gamma_cache {
+                Some(cache) => cache.find_point(&y, self.config.f),
+                None => gamma_point(&y, self.config.f),
+            };
+            if let Some(z) = z {
+                self.state = average_state(&[self.state.clone(), z]);
+            }
+        }
+        self.history.push(self.state.clone());
+    }
+}
+
+impl SyncProcess for IterativeBvcProcess {
+    type Msg = StateMsg;
+    type Output = Point;
+
+    fn round(&mut self, round: usize, inbox: &[Delivery<StateMsg>]) -> Vec<Outgoing<StateMsg>> {
+        // The inbox holds the states the in-neighbors sent in round `round − 1`.
+        if round >= 2 && round <= self.max_rounds + 1 {
+            self.apply_update(inbox, round - 1);
+            if round == self.max_rounds + 1 {
+                self.decision = Some(self.state.clone());
+            }
+        }
+        if round <= self.max_rounds {
+            let msg = StateMsg {
+                round,
+                state: self.state.clone(),
+            };
+            self.topology
+                .out_neighbors(self.me)
+                .iter()
+                .map(|&to| Outgoing::new(ProcessId::new(to), msg.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn output(&self) -> Option<Point> {
+        self.decision.clone()
+    }
+}
+
+/// Byzantine participant of the iterative protocol: forges the state it
+/// reports, per out-neighbor.
+pub struct ByzantineIterativeProcess {
+    me: usize,
+    topology: Arc<Topology>,
+    forge: PointForge,
+}
+
+impl ByzantineIterativeProcess {
+    /// Creates the Byzantine process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for the topology.
+    pub fn new(me: usize, topology: Arc<Topology>, forge: PointForge) -> Self {
+        assert!(me < topology.len(), "process index {me} out of range");
+        Self {
+            me,
+            topology,
+            forge,
+        }
+    }
+}
+
+impl SyncProcess for ByzantineIterativeProcess {
+    type Msg = StateMsg;
+    type Output = Point;
+
+    fn round(&mut self, round: usize, _inbox: &[Delivery<StateMsg>]) -> Vec<Outgoing<StateMsg>> {
+        let mut out = Vec::new();
+        for &to in self.topology.out_neighbors(self.me) {
+            if let Some(point) = self.forge.forge(round, to) {
+                out.push(Outgoing::new(
+                    ProcessId::new(to),
+                    StateMsg {
+                        round,
+                        state: point,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    fn output(&self) -> Option<Point> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvc_net::SyncNetwork;
+
+    fn run_honest(
+        topology: Topology,
+        f: usize,
+        inputs: Vec<Point>,
+        epsilon: f64,
+    ) -> Vec<Option<Point>> {
+        let n = topology.len();
+        let config = BvcConfig::new(n, f, inputs[0].dim())
+            .unwrap()
+            .with_epsilon(epsilon)
+            .unwrap();
+        let topology = Arc::new(topology);
+        let processes: Vec<Box<dyn SyncProcess<Msg = StateMsg, Output = Point>>> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, input)| {
+                Box::new(IterativeBvcProcess::new(
+                    config.clone(),
+                    i,
+                    input,
+                    Arc::clone(&topology),
+                )) as Box<dyn SyncProcess<Msg = StateMsg, Output = Point>>
+            })
+            .collect();
+        let wait: Vec<usize> = (0..n).collect();
+        SyncNetwork::new(processes, IterativeBvcProcess::total_rounds(&config))
+            .with_topology(topology.as_ref().clone())
+            .run(&wait)
+            .outputs
+    }
+
+    #[test]
+    fn fault_free_ring_reaches_epsilon_agreement() {
+        let inputs: Vec<Point> = (0..6).map(|i| Point::new(vec![i as f64 / 5.0])).collect();
+        let outputs = run_honest(Topology::ring(6), 0, inputs, 0.05);
+        let decisions: Vec<&Point> = outputs.iter().map(|o| o.as_ref().unwrap()).collect();
+        for a in &decisions {
+            for b in &decisions {
+                assert!(
+                    a.linf_distance(b) <= 0.05,
+                    "ring states must contract: {a} vs {b}"
+                );
+            }
+            assert!(
+                (0.0..=1.0).contains(&a.coord(0)),
+                "validity: decisions stay in the input hull"
+            );
+        }
+    }
+
+    #[test]
+    fn states_stay_inside_the_running_hull_in_2d() {
+        let inputs = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+            Point::new(vec![1.0, 1.0]),
+            Point::new(vec![0.5, 0.5]),
+        ];
+        let outputs = run_honest(Topology::complete(5), 0, inputs, 0.1);
+        for o in outputs {
+            let p = o.expect("everyone decides at the budget");
+            assert!(p.coords().iter().all(|&c| (0.0..=1.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn empty_neighborhood_keeps_the_state() {
+        // Two isolated nodes: no exchange ever happens, so each decision is
+        // its own input (validity holds trivially; agreement cannot).
+        let t = Topology::from_edges(2, &[], false).unwrap();
+        let inputs = vec![Point::new(vec![0.0]), Point::new(vec![1.0])];
+        let outputs = run_honest(t, 0, inputs, 0.1);
+        assert_eq!(outputs[0].as_ref().unwrap().coord(0), 0.0);
+        assert_eq!(outputs[1].as_ref().unwrap().coord(0), 1.0);
+    }
+
+    #[test]
+    fn round_budget_is_positive_and_grows_with_precision() {
+        let coarse = BvcConfig::new(8, 1, 1).unwrap().with_epsilon(0.1).unwrap();
+        let fine = BvcConfig::new(8, 1, 1)
+            .unwrap()
+            .with_epsilon(0.001)
+            .unwrap();
+        assert!(iterative_round_budget(&coarse) >= 1);
+        assert!(iterative_round_budget(&fine) > iterative_round_budget(&coarse));
+    }
+}

@@ -50,6 +50,7 @@ pub mod approx;
 pub mod config;
 pub mod convergence;
 pub mod exact;
+pub mod iterative;
 pub mod lower_bounds;
 pub mod restricted;
 pub mod run;
@@ -59,9 +60,13 @@ pub use aad::{AadExchange, AadMsg, CompletedExchange};
 pub use approx::{ApproxBvcProcess, ApproxOutput, ByzantineApproxProcess, UpdateRule};
 pub use bvc_adversary::{ByzantineStrategy, PointForge};
 pub use bvc_net::{FaultError, FaultEvent, FaultKind, FaultPlan, LinkSelector};
+pub use bvc_topology::{Sufficiency, Topology};
 pub use config::{BvcConfig, BvcError, Setting};
-pub use convergence::{gamma, gamma_witness_optimized, guaranteed_range, round_threshold};
+pub use convergence::{
+    gamma, gamma_iterative, gamma_witness_optimized, guaranteed_range, round_threshold,
+};
 pub use exact::{ByzantineExactProcess, ExactBvcProcess, ExactMsg};
+pub use iterative::{iterative_round_budget, ByzantineIterativeProcess, IterativeBvcProcess};
 pub use lower_bounds::{
     theorem1_control_inputs, theorem1_evidence, theorem1_inputs, theorem4_evidence,
     theorem4_inputs, Theorem1Evidence, Theorem4Evidence,
@@ -71,8 +76,9 @@ pub use restricted::{
     RestrictedAsyncProcess, RestrictedSyncProcess, StateMsg,
 };
 pub use run::{
-    ApproxBvcRun, ApproxBvcRunBuilder, ExactBvcRun, ExactBvcRunBuilder, RestrictedAsyncRunBuilder,
-    RestrictedRun, RestrictedSyncRunBuilder, Verdict,
+    ApproxBvcRun, ApproxBvcRunBuilder, ExactBvcRun, ExactBvcRunBuilder, IterativeBvcRun,
+    IterativeBvcRunBuilder, RestrictedAsyncRunBuilder, RestrictedRun, RestrictedSyncRunBuilder,
+    Verdict,
 };
 pub use witness::{
     average_state, build_zi_full, build_zi_full_cached, build_zi_witness, build_zi_witness_cached,

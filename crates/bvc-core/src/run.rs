@@ -20,6 +20,7 @@
 use crate::approx::{ApproxBvcProcess, ApproxOutput, ByzantineApproxProcess, UpdateRule};
 use crate::config::{BvcConfig, BvcError, Setting};
 use crate::exact::{ByzantineExactProcess, ExactBvcProcess, ExactMsg};
+use crate::iterative::{ByzantineIterativeProcess, IterativeBvcProcess};
 use crate::restricted::{
     ByzantineRestrictedAsync, ByzantineRestrictedSync, RestrictedAsyncProcess,
     RestrictedSyncProcess, StateMsg,
@@ -29,6 +30,8 @@ use bvc_geometry::{ConvexHull, GammaCache, Point, PointMultiset};
 use bvc_net::{
     AsyncNetwork, AsyncProcess, DeliveryPolicy, ExecutionStats, FaultPlan, SyncNetwork, SyncProcess,
 };
+use bvc_topology::{Sufficiency, Topology};
+use std::sync::Arc;
 
 /// How an execution scored against the paper's correctness conditions.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +90,12 @@ fn validate_inputs(config: &BvcConfig, honest_inputs: &[Point]) -> Result<(), Bv
             "the runners model at least one Byzantine process; use f >= 1".into(),
         ));
     }
+    validate_input_shape(config, honest_inputs)
+}
+
+/// Input-shape validation shared with the iterative runner (which, unlike the
+/// paper's four algorithms, also supports the fault-free `f = 0` baseline).
+fn validate_input_shape(config: &BvcConfig, honest_inputs: &[Point]) -> Result<(), BvcError> {
     if honest_inputs.len() != config.honest_count() {
         return Err(BvcError::InvalidParameter(format!(
             "expected {} honest inputs (n − f), got {}",
@@ -102,6 +111,19 @@ fn validate_inputs(config: &BvcConfig, honest_inputs: &[Point]) -> Result<(), Bv
         )));
     }
     Ok(())
+}
+
+/// Resolves a builder's optional topology against the run's process count
+/// (defaulting to the paper's complete graph).
+fn resolve_topology(topology: Option<Topology>, n: usize) -> Result<Topology, BvcError> {
+    match topology {
+        None => Ok(Topology::complete(n)),
+        Some(t) if t.len() == n => Ok(t),
+        Some(t) => Err(BvcError::InvalidParameter(format!(
+            "topology covers {} processes, run has n = {n}",
+            t.len()
+        ))),
+    }
 }
 
 fn make_forge(
@@ -139,6 +161,7 @@ pub struct ExactBvcRunBuilder {
     seed: u64,
     value_bounds: (f64, f64),
     faults: FaultPlan,
+    topology: Option<Topology>,
 }
 
 impl ExactBvcRunBuilder {
@@ -171,6 +194,14 @@ impl ExactBvcRunBuilder {
     /// synchronous model, so the verdict may legitimately fail.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Restricts delivery to a declared topology (the complete graph is the
+    /// default).  The paper's algorithm assumes the complete graph, so on an
+    /// incomplete topology a failed verdict is expected data, not a bug.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -209,8 +240,10 @@ impl ExactBvcRunBuilder {
                 .with_gamma_cache(gamma_cache.clone()),
             ));
         }
+        let topology = resolve_topology(self.topology, config.n)?;
         let honest: Vec<usize> = (0..config.honest_count()).collect();
         let outcome = SyncNetwork::new(processes, ExactBvcProcess::total_rounds(&config))
+            .with_topology(topology)
             .with_faults(self.faults, self.seed)
             .run(&honest);
         let decisions: Vec<Point> = honest
@@ -254,6 +287,7 @@ impl ExactBvcRun {
             seed: 0,
             value_bounds: (0.0, 1.0),
             faults: FaultPlan::new(),
+            topology: None,
         }
     }
 
@@ -302,6 +336,7 @@ pub struct ApproxBvcRunBuilder {
     policy: DeliveryPolicy,
     max_steps: usize,
     faults: FaultPlan,
+    topology: Option<Topology>,
 }
 
 impl ApproxBvcRunBuilder {
@@ -363,6 +398,14 @@ impl ApproxBvcRunBuilder {
         self
     }
 
+    /// Restricts delivery to a declared topology (the complete graph is the
+    /// default); on an incomplete topology the AAD exchange may starve, which
+    /// the verdict records.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
@@ -399,8 +442,10 @@ impl ApproxBvcRunBuilder {
                 forge,
             )));
         }
+        let topology = resolve_topology(self.topology, config.n)?;
         let honest: Vec<usize> = (0..config.honest_count()).collect();
         let outcome = AsyncNetwork::new(processes, self.policy, self.seed, self.max_steps)
+            .with_topology(topology)
             .with_faults(self.faults)
             .run(&honest);
         let outputs: Vec<ApproxOutput> = honest
@@ -450,6 +495,7 @@ impl ApproxBvcRun {
             policy: DeliveryPolicy::RandomFair,
             max_steps: 5_000_000,
             faults: FaultPlan::new(),
+            topology: None,
         }
     }
 
@@ -527,6 +573,7 @@ pub struct RestrictedSyncRunBuilder {
     epsilon: f64,
     value_bounds: (f64, f64),
     faults: FaultPlan,
+    topology: Option<Topology>,
 }
 
 impl RestrictedSyncRunBuilder {
@@ -566,6 +613,13 @@ impl RestrictedSyncRunBuilder {
         self
     }
 
+    /// Restricts delivery to a declared topology (the complete graph is the
+    /// default).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
@@ -598,8 +652,10 @@ impl RestrictedSyncRunBuilder {
                 forge,
             )));
         }
+        let topology = resolve_topology(self.topology, config.n)?;
         let honest: Vec<usize> = (0..config.honest_count()).collect();
         let outcome = SyncNetwork::new(processes, RestrictedSyncProcess::total_rounds(&config) + 1)
+            .with_topology(topology)
             .with_faults(self.faults, self.seed)
             .run(&honest);
         let decisions: Vec<Point> = honest
@@ -631,6 +687,7 @@ pub struct RestrictedAsyncRunBuilder {
     policy: DeliveryPolicy,
     max_steps: usize,
     faults: FaultPlan,
+    topology: Option<Topology>,
 }
 
 impl RestrictedAsyncRunBuilder {
@@ -682,6 +739,13 @@ impl RestrictedAsyncRunBuilder {
         self
     }
 
+    /// Restricts delivery to a declared topology (the complete graph is the
+    /// default).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
@@ -713,8 +777,10 @@ impl RestrictedAsyncRunBuilder {
                 forge,
             )));
         }
+        let topology = resolve_topology(self.topology, config.n)?;
         let honest: Vec<usize> = (0..config.honest_count()).collect();
         let outcome = AsyncNetwork::new(processes, self.policy, self.seed, self.max_steps)
+            .with_topology(topology)
             .with_faults(self.faults)
             .run(&honest);
         let decisions: Vec<Point> = honest
@@ -754,6 +820,7 @@ impl RestrictedRun {
             epsilon: 0.01,
             value_bounds: (0.0, 1.0),
             faults: FaultPlan::new(),
+            topology: None,
         }
     }
 
@@ -771,6 +838,7 @@ impl RestrictedRun {
             policy: DeliveryPolicy::RandomFair,
             max_steps: 5_000_000,
             faults: FaultPlan::new(),
+            topology: None,
         }
     }
 
@@ -785,6 +853,208 @@ impl RestrictedRun {
     }
 
     /// Rounds (synchronous) or scheduler steps (asynchronous) executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Message statistics of the execution.
+    pub fn stats(&self) -> &ExecutionStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Iterative BVC on an incomplete graph (Vaidya 2013)
+// ---------------------------------------------------------------------------
+
+/// Builder for an iterative incomplete-graph BVC execution
+/// (see [`crate::iterative`]).
+///
+/// Unlike the paper's four complete-graph algorithms this runner accepts
+/// `f = 0` (the fault-free baseline of the convergence analysis) and imposes
+/// no closed-form resilience bound: solvability is governed by the
+/// topology's [`iterative_sufficiency`](Topology::iterative_sufficiency)
+/// check, whose result the run records.
+#[derive(Debug, Clone)]
+pub struct IterativeBvcRunBuilder {
+    n: usize,
+    f: usize,
+    d: usize,
+    honest_inputs: Vec<Point>,
+    adversary: ByzantineStrategy,
+    seed: u64,
+    epsilon: f64,
+    value_bounds: (f64, f64),
+    faults: FaultPlan,
+    topology: Option<Topology>,
+}
+
+impl IterativeBvcRunBuilder {
+    /// Honest inputs, one per non-faulty process (`n − f` of them).
+    pub fn honest_inputs(mut self, inputs: Vec<Point>) -> Self {
+        self.honest_inputs = inputs;
+        self
+    }
+
+    /// The Byzantine strategy of the last `f` processes (ignored for `f = 0`).
+    pub fn adversary(mut self, strategy: ByzantineStrategy) -> Self {
+        self.adversary = strategy;
+        self
+    }
+
+    /// Seed of all randomness in the execution.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The ε of ε-agreement (defaults to `0.01`).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// A-priori bounds on the input coordinates (defaults to `[0, 1]`).
+    pub fn value_bounds(mut self, lower: f64, upper: f64) -> Self {
+        self.value_bounds = (lower, upper);
+        self
+    }
+
+    /// Injected network faults (windows measured in rounds).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The communication topology (defaults to the complete graph).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Runs the execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are structurally invalid or the
+    /// topology size differs from `n`.  A topology that *violates* the
+    /// sufficiency condition is not an error: the run executes and the
+    /// recorded [`Sufficiency`] tells the caller the verdict was
+    /// expected-unsolvable.
+    pub fn run(self) -> Result<IterativeBvcRun, BvcError> {
+        let config = BvcConfig::new(self.n, self.f, self.d)?
+            .with_epsilon(self.epsilon)?
+            .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
+        validate_input_shape(&config, &self.honest_inputs)?;
+        let topology = Arc::new(resolve_topology(self.topology, config.n)?);
+        let sufficiency = topology.iterative_sufficiency(config.f, config.d);
+
+        // One Γ cache per run: neighborhood multisets overlap across
+        // processes and recur across rounds once the states cluster.
+        let gamma_cache = GammaCache::shared();
+        let mut processes: Vec<Box<dyn SyncProcess<Msg = StateMsg, Output = Point>>> = Vec::new();
+        for (i, input) in self.honest_inputs.iter().enumerate() {
+            processes.push(Box::new(
+                IterativeBvcProcess::new(config.clone(), i, input.clone(), Arc::clone(&topology))
+                    .with_gamma_cache(gamma_cache.clone()),
+            ));
+        }
+        for b in 0..config.f {
+            let me = config.honest_count() + b;
+            let forge = make_forge(self.adversary, &config, self.seed, b);
+            processes.push(Box::new(ByzantineIterativeProcess::new(
+                me,
+                Arc::clone(&topology),
+                forge,
+            )));
+        }
+        let honest: Vec<usize> = (0..config.honest_count()).collect();
+        let outcome = SyncNetwork::new(processes, IterativeBvcProcess::total_rounds(&config))
+            .with_topology(topology.as_ref().clone())
+            .with_faults(self.faults, self.seed)
+            .run(&honest);
+        let decisions: Vec<Point> = honest
+            .iter()
+            .filter_map(|&i| outcome.outputs[i].clone())
+            .collect();
+        let terminated = decisions.len() == honest.len();
+        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, config.epsilon);
+        Ok(IterativeBvcRun {
+            decisions,
+            honest_inputs: self.honest_inputs,
+            verdict,
+            rounds: outcome.rounds,
+            stats: outcome.stats,
+            sufficiency,
+            round_budget: crate::iterative::iterative_round_budget(&config),
+            topology: topology.as_ref().clone(),
+        })
+    }
+}
+
+/// A completed iterative incomplete-graph execution.
+#[derive(Debug, Clone)]
+pub struct IterativeBvcRun {
+    decisions: Vec<Point>,
+    honest_inputs: Vec<Point>,
+    verdict: Verdict,
+    rounds: usize,
+    stats: ExecutionStats,
+    sufficiency: Sufficiency,
+    round_budget: usize,
+    topology: Topology,
+}
+
+impl IterativeBvcRun {
+    /// Starts building an execution with `n` processes, `f` Byzantine, inputs
+    /// of dimension `d`.
+    pub fn builder(n: usize, f: usize, d: usize) -> IterativeBvcRunBuilder {
+        IterativeBvcRunBuilder {
+            n,
+            f,
+            d,
+            honest_inputs: Vec::new(),
+            adversary: ByzantineStrategy::Equivocate,
+            seed: 0,
+            epsilon: 0.01,
+            value_bounds: (0.0, 1.0),
+            faults: FaultPlan::new(),
+            topology: None,
+        }
+    }
+
+    /// The honest processes' decisions.
+    pub fn decisions(&self) -> &[Point] {
+        &self.decisions
+    }
+
+    /// The honest inputs the run was configured with.
+    pub fn honest_inputs(&self) -> &[Point] {
+        &self.honest_inputs
+    }
+
+    /// The verdict against ε-Agreement / Validity / Termination.
+    pub fn verdict(&self) -> &Verdict {
+        &self.verdict
+    }
+
+    /// The up-front graph-condition check: whether convergence was expected
+    /// on this topology at all.
+    pub fn sufficiency(&self) -> &Sufficiency {
+        &self.sufficiency
+    }
+
+    /// The static round budget of the execution.
+    pub fn round_budget(&self) -> usize {
+        self.round_budget
+    }
+
+    /// The topology the run executed on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of synchronous rounds executed.
     pub fn rounds(&self) -> usize {
         self.rounds
     }
@@ -933,6 +1203,65 @@ mod tests {
             err,
             BvcError::InsufficientProcesses { required: 6, .. }
         ));
+    }
+
+    #[test]
+    fn iterative_run_on_sufficient_complete_graph_converges() {
+        // d = 1, f = 1: the sufficiency condition on K_n needs n ≥ 6.
+        let inputs: Vec<Point> = (0..5).map(|i| Point::new(vec![i as f64 / 4.0])).collect();
+        let run = IterativeBvcRun::builder(6, 1, 1)
+            .honest_inputs(inputs)
+            .adversary(ByzantineStrategy::AntiConvergence)
+            .epsilon(0.05)
+            .seed(3)
+            .run()
+            .expect("structurally valid");
+        assert!(run.sufficiency().is_satisfied());
+        assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+        assert!(run.topology().is_complete());
+        assert_eq!(run.rounds(), run.round_budget() + 1);
+    }
+
+    #[test]
+    fn iterative_run_flags_insufficient_topologies_up_front() {
+        let inputs: Vec<Point> = (0..5).map(|i| Point::new(vec![i as f64 / 4.0])).collect();
+        let run = IterativeBvcRun::builder(6, 1, 1)
+            .honest_inputs(inputs)
+            .adversary(ByzantineStrategy::FixedOutlier)
+            .epsilon(0.05)
+            .topology(Topology::ring(6))
+            .run()
+            .expect("a violated condition is data, not an error");
+        assert!(
+            matches!(run.sufficiency(), Sufficiency::Violated(_)),
+            "the ring cannot satisfy the condition with f = 1"
+        );
+        // Validity survives on any topology: the Γ-trimmed update never
+        // leaves the hull of honest values.
+        assert!(run.verdict().validity, "verdict: {:?}", run.verdict());
+    }
+
+    #[test]
+    fn iterative_run_accepts_the_fault_free_baseline() {
+        let inputs: Vec<Point> = (0..6).map(|i| Point::new(vec![i as f64 / 5.0])).collect();
+        let run = IterativeBvcRun::builder(6, 0, 1)
+            .honest_inputs(inputs)
+            .epsilon(0.05)
+            .topology(Topology::ring(6))
+            .run()
+            .expect("f = 0 is allowed for the iterative runner");
+        assert!(run.sufficiency().is_satisfied());
+        assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+    }
+
+    #[test]
+    fn iterative_run_rejects_topology_size_mismatch() {
+        let err = IterativeBvcRun::builder(6, 1, 1)
+            .honest_inputs((0..5).map(|i| Point::new(vec![i as f64 / 4.0])).collect())
+            .topology(Topology::ring(5))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, BvcError::InvalidParameter(_)));
     }
 
     #[test]

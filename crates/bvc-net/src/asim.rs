@@ -13,6 +13,7 @@
 
 use crate::faults::FaultPlan;
 use crate::process::{ExecutionStats, Outgoing, ProcessId};
+use bvc_topology::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -80,13 +81,14 @@ impl<O> AsyncOutcome<O> {
     }
 }
 
-/// The asynchronous executor over a complete graph of processes.
+/// The asynchronous executor (complete graph by default).
 pub struct AsyncNetwork<M, O> {
     processes: Vec<Box<dyn AsyncProcess<Msg = M, Output = O>>>,
     policy: DeliveryPolicy,
     seed: u64,
     max_steps: usize,
     faults: FaultPlan,
+    topology: Topology,
 }
 
 impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
@@ -104,13 +106,34 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
     ) -> Self {
         assert!(!processes.is_empty(), "need at least one process");
         assert!(max_steps > 0, "max_steps must be positive");
+        let topology = Topology::complete(processes.len());
         Self {
             processes,
             policy,
             seed,
             max_steps,
             faults: FaultPlan::new(),
+            topology,
         }
+    }
+
+    /// Restricts delivery to the links of `topology` (the complete graph is
+    /// the default).  Messages addressed across a missing link vanish
+    /// silently — they still count as sent but are neither delivered nor
+    /// attributed as dropped, and they consume no scheduling or fault
+    /// randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology.len()` differs from the number of processes.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.len(),
+            self.processes.len(),
+            "topology size must match the process count"
+        );
+        self.topology = topology;
+        self
     }
 
     /// Layers an injected-fault schedule over the delivery policy; fault
@@ -162,6 +185,7 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
                 &mut stats,
                 &mut fault_rng,
                 &self.faults,
+                &self.topology,
                 now,
                 index,
                 outgoing,
@@ -214,6 +238,7 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
                 &mut stats,
                 &mut fault_rng,
                 &self.faults,
+                &self.topology,
                 now,
                 to,
                 outgoing,
@@ -272,16 +297,18 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
     }
 }
 
-/// Applies the fault plan to `outgoing` at tick `now`: drop faults destroy
-/// messages (attributed to the sender), latency faults stamp a later due
-/// tick.  Aggregate `messages_sent` counts every message the process emitted,
-/// dropped or not, so fault-free statistics match the unfaulted executor.
+/// Applies the topology and fault plan to `outgoing` at tick `now`: messages
+/// across missing links vanish, drop faults destroy messages (attributed to
+/// the sender), latency faults stamp a later due tick.  Aggregate
+/// `messages_sent` counts every message the process emitted, dropped or not,
+/// so fault-free statistics match the unfaulted executor.
 #[allow(clippy::too_many_arguments)]
 fn enqueue<M>(
     channels: &mut [Vec<VecDeque<(usize, M)>>],
     stats: &mut ExecutionStats,
     fault_rng: &mut StdRng,
     faults: &FaultPlan,
+    topology: &Topology,
     now: usize,
     from: usize,
     outgoing: Vec<Outgoing<M>>,
@@ -289,7 +316,7 @@ fn enqueue<M>(
 ) {
     stats.record_sent(from, outgoing.len());
     for Outgoing { to, msg } in outgoing {
-        if to.index() >= n {
+        if to.index() >= n || !topology.has_edge(from, to.index()) {
             continue;
         }
         let drop_probability = faults.drop_probability(now, from, to.index());
@@ -505,6 +532,38 @@ mod tests {
         ];
         let outcome = AsyncNetwork::new(processes, DeliveryPolicy::RandomFair, 123, 1000).run(&[1]);
         assert_eq!(outcome.outputs[1], Some(vec![1, 2, 3]));
+    }
+
+    // ------------------------------------------------------------------
+    // Declared topologies
+    // ------------------------------------------------------------------
+
+    use bvc_topology::Topology;
+
+    #[test]
+    fn complete_topology_leaves_executions_byte_identical() {
+        let all: Vec<usize> = (0..4).collect();
+        let plain = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 42).run(&all);
+        let explicit = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 42)
+            .with_topology(Topology::complete(4))
+            .run(&all);
+        assert_eq!(plain.outputs, explicit.outputs);
+        assert_eq!(plain.stats, explicit.stats);
+    }
+
+    #[test]
+    fn missing_links_starve_receivers_without_drop_attribution() {
+        // Summer processes need n − 1 = 3 messages; on a ring each receives
+        // only 2, so nobody decides — and nothing is recorded as dropped.
+        let all: Vec<usize> = (0..4).collect();
+        let outcome = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 7)
+            .with_topology(Topology::ring(4))
+            .run(&all);
+        assert!(!outcome.completed);
+        assert!(outcome.outputs.iter().all(|o| o.is_none()));
+        assert_eq!(outcome.stats.messages_sent, 12);
+        assert_eq!(outcome.stats.messages_delivered, 8);
+        assert_eq!(outcome.stats.messages_dropped, 0);
     }
 
     // ------------------------------------------------------------------

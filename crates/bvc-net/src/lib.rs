@@ -12,6 +12,14 @@
 //! * [`run_threaded`] — a thread-per-process runtime over `std::sync::mpsc`
 //!   channels, used by the examples and the cross-executor integration tests.
 //!
+//! Every executor is adjacency-aware: the complete graph is the default, and
+//! a declared [`Topology`] (from `bvc-topology`) restricts delivery to the
+//! declared links — see [`SyncNetwork::with_topology`],
+//! [`AsyncNetwork::with_topology`] and [`run_threaded_on`].  Messages
+//! addressed across a missing link vanish silently (the channel does not
+//! exist), which makes the fault layer's scripted `Partition` the degenerate
+//! time-windowed case of a static incomplete topology.
+//!
 //! Scenario-style adversarial *network* conditions — message drops, per-link
 //! latency, scripted partitions — can be layered over either simulated
 //! executor with a [`FaultPlan`] (see [`faults`]).
@@ -56,9 +64,10 @@ pub mod sync;
 pub mod threaded;
 
 pub use asim::{AsyncNetwork, AsyncOutcome, AsyncProcess, DeliveryPolicy};
+pub use bvc_topology::Topology;
 pub use faults::{FaultError, FaultEvent, FaultKind, FaultPlan, LinkSelector};
 pub use process::{
     broadcast_to_all, Delivery, ExecutionStats, Outgoing, ProcessCounters, ProcessId,
 };
 pub use sync::{SyncNetwork, SyncOutcome, SyncProcess};
-pub use threaded::{run_threaded, ThreadedOutcome};
+pub use threaded::{run_threaded, run_threaded_on, ThreadedOutcome};

@@ -5,8 +5,15 @@
 //! begins, and message delays are bounded by the round structure.  The
 //! [`SyncNetwork`] executor reproduces this: it calls every process once per
 //! round with the messages sent to it in the previous round, collects the
-//! messages it wants to send, and delivers them (per-sender FIFO, complete
-//! graph) at the start of the next round.
+//! messages it wants to send, and delivers them (per-sender FIFO) at the
+//! start of the next round.
+//!
+//! Delivery is adjacency-aware: by default the substrate is the paper's
+//! complete graph, but [`SyncNetwork::with_topology`] restricts it to a
+//! declared [`Topology`] — a message addressed across a non-existent link
+//! silently vanishes (the channel does not exist; this is not a fault and is
+//! not counted as a drop).  A scripted `Partition` fault is then simply a
+//! time-windowed mask layered over the static topology.
 //!
 //! Byzantine processes are ordinary [`SyncProcess`] implementations — they may
 //! return arbitrary messages, including different messages to different
@@ -15,6 +22,7 @@
 
 use crate::faults::FaultPlan;
 use crate::process::{Delivery, ExecutionStats, Outgoing, ProcessId};
+use bvc_topology::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -61,12 +69,13 @@ impl<O> SyncOutcome<O> {
     }
 }
 
-/// The synchronous executor over a complete graph of `n` processes.
+/// The synchronous executor over `n` processes (complete graph by default).
 pub struct SyncNetwork<M, O> {
     processes: Vec<Box<dyn SyncProcess<Msg = M, Output = O>>>,
     max_rounds: usize,
     faults: FaultPlan,
     fault_seed: u64,
+    topology: Topology,
 }
 
 impl<M: Clone, O: Clone> SyncNetwork<M, O> {
@@ -82,12 +91,32 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
     ) -> Self {
         assert!(!processes.is_empty(), "need at least one process");
         assert!(max_rounds > 0, "max_rounds must be positive");
+        let topology = Topology::complete(processes.len());
         Self {
             processes,
             max_rounds,
             faults: FaultPlan::new(),
             fault_seed: 0,
+            topology,
         }
+    }
+
+    /// Restricts delivery to the links of `topology` (the complete graph is
+    /// the default).  Messages addressed across a missing link vanish
+    /// silently — they still count as sent (the process handed them to the
+    /// executor) but are neither delivered nor attributed as dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology.len()` differs from the number of processes.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.len(),
+            self.processes.len(),
+            "topology size must match the process count"
+        );
+        self.topology = topology;
+        self
     }
 
     /// Layers an injected-fault schedule over the lock-step rounds; fault
@@ -138,7 +167,7 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
                 let outgoing = process.round(round, &inboxes[index]);
                 stats.record_sent(index, outgoing.len());
                 for Outgoing { to, msg } in outgoing {
-                    if to.index() >= n {
+                    if to.index() >= n || !self.topology.has_edge(index, to.index()) {
                         continue;
                     }
                     let drop_probability = self.faults.drop_probability(round, index, to.index());
@@ -341,6 +370,55 @@ mod tests {
     fn empty_network_panics() {
         let processes: Vec<Box<dyn SyncProcess<Msg = (), Output = ()>>> = Vec::new();
         let _ = SyncNetwork::new(processes, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Declared topologies
+    // ------------------------------------------------------------------
+
+    use bvc_topology::Topology;
+
+    #[test]
+    fn complete_topology_is_identical_to_the_default() {
+        let all: Vec<usize> = (0..4).collect();
+        let plain = summing_network(&[1, 2, 3, 4], 2).run(&all);
+        let explicit = summing_network(&[1, 2, 3, 4], 2)
+            .with_topology(Topology::complete(4))
+            .run(&all);
+        assert_eq!(plain.outputs, explicit.outputs);
+        assert_eq!(plain.stats, explicit.stats);
+    }
+
+    #[test]
+    fn ring_topology_delivers_only_to_neighbors() {
+        // Every process broadcasts to all; on the ring only i ± 1 receive, so
+        // each round-2 sum is own value plus the two ring neighbors'.
+        let all: Vec<usize> = (0..4).collect();
+        let outcome = summing_network(&[1, 2, 4, 8], 2)
+            .with_topology(Topology::ring(4))
+            .run(&all);
+        assert_eq!(
+            outcome.outputs,
+            vec![
+                Some(1 + 2 + 8),
+                Some(2 + 1 + 4),
+                Some(4 + 2 + 8),
+                Some(8 + 4 + 1)
+            ]
+        );
+        // Sent counts the handed-over broadcasts; only on-link ones deliver.
+        assert_eq!(outcome.stats.messages_sent, 24);
+        assert_eq!(outcome.stats.messages_delivered, 16);
+        assert_eq!(
+            outcome.stats.messages_dropped, 0,
+            "missing links are not drops"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "topology size must match")]
+    fn topology_size_mismatch_panics() {
+        let _ = summing_network(&[1, 2, 3], 1).with_topology(Topology::ring(4));
     }
 
     // ------------------------------------------------------------------

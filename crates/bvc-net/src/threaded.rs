@@ -14,6 +14,7 @@
 
 use crate::asim::AsyncProcess;
 use crate::process::{ExecutionStats, Outgoing, ProcessId};
+use bvc_topology::Topology;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -52,8 +53,35 @@ where
     M: Clone + Send + 'static,
     O: Clone + Send + 'static,
 {
+    let topology = Topology::complete(processes.len().max(1));
+    run_threaded_on(processes, topology, wait_for, deadline)
+}
+
+/// [`run_threaded`] restricted to the links of `topology`: a message
+/// addressed across a missing link is discarded instead of sent (it still
+/// counts in `messages_sent`, matching the simulated executors).
+///
+/// # Panics
+///
+/// Panics if `processes` is empty, any index in `wait_for` is out of range,
+/// or `topology.len()` differs from the process count.
+pub fn run_threaded_on<M, O>(
+    processes: Vec<Box<dyn AsyncProcess<Msg = M, Output = O> + Send>>,
+    topology: Topology,
+    wait_for: &[usize],
+    deadline: Duration,
+) -> ThreadedOutcome<O>
+where
+    M: Clone + Send + 'static,
+    O: Clone + Send + 'static,
+{
     let n = processes.len();
     assert!(n > 0, "need at least one process");
+    assert_eq!(
+        topology.len(),
+        n,
+        "topology size must match the process count"
+    );
     assert!(
         wait_for.iter().all(|&i| i < n),
         "wait_for indices must be valid process indices"
@@ -72,6 +100,7 @@ where
     let delivered = Arc::new(AtomicUsize::new(0));
     let sent = Arc::new(AtomicUsize::new(0));
 
+    let topology = Arc::new(topology);
     let mut handles = Vec::with_capacity(n);
     for ((index, mut process), my_rx) in processes.into_iter().enumerate().zip(receivers) {
         let all_tx = senders.clone();
@@ -79,12 +108,16 @@ where
         let stop = Arc::clone(&stop);
         let delivered = Arc::clone(&delivered);
         let sent = Arc::clone(&sent);
+        let topology = Arc::clone(&topology);
         let handle = thread::spawn(move || {
             let me = ProcessId::new(index);
             let dispatch = |outgoing: Vec<Outgoing<M>>| {
                 for Outgoing { to, msg } in outgoing {
                     if to.index() < all_tx.len() {
                         sent.fetch_add(1, Ordering::Relaxed);
+                        if !topology.has_edge(index, to.index()) {
+                            continue;
+                        }
                         // A send only fails if the receiver hung up, which
                         // happens at shutdown; losing the message then is fine.
                         let _ = all_tx[to.index()].send(Envelope { from: me, msg });
@@ -259,5 +292,19 @@ mod tests {
     fn empty_process_set_panics() {
         let procs: Vec<Box<dyn AsyncProcess<Msg = u64, Output = u64> + Send>> = Vec::new();
         let _ = run_threaded(procs, &[], Duration::from_millis(10));
+    }
+
+    #[test]
+    fn topology_restricts_real_channels_too() {
+        // On a 4-ring every Summer receives only its two neighbors' values —
+        // one short of the n − 1 it waits for — so the deadline expires.
+        let outcome = run_threaded_on(
+            summers(&[1, 2, 3, 4]),
+            Topology::ring(4),
+            &[0, 1, 2, 3],
+            Duration::from_millis(150),
+        );
+        assert!(!outcome.completed);
+        assert!(outcome.outputs.iter().all(|o| o.is_none()));
     }
 }

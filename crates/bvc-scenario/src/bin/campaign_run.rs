@@ -1,10 +1,13 @@
-//! `campaign-run` — expand every scenario in a directory into its campaign
-//! matrix and run the whole lot across worker threads.
+//! `campaign-run` — expand scenarios into their campaign matrices and run
+//! the whole lot across worker threads.
 //!
 //! ```text
 //! cargo run -p bvc-scenario --bin campaign-run -- \
-//!     --dir scenarios [--jobs 8] [--out verdicts.jsonl]
+//!     [--dir scenarios] [file.toml ...] [--jobs 8] [--out verdicts.jsonl]
 //! ```
+//!
+//! Scenario files can be named directly (positional `.toml` paths), pulled
+//! from a directory with `--dir`, or both.
 //!
 //! stdout carries exactly one JSON line per instance, in deterministic
 //! instance order (scenario files sorted by name, then the scenario's own
@@ -19,13 +22,17 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: campaign-run --dir <scenario-dir> [--jobs <n>] [--out <file>]");
+    eprintln!(
+        "usage: campaign-run [--dir <scenario-dir>] [<scenario.toml> ...] \
+         [--jobs <n>] [--out <file>]"
+    );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut dir: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
     let mut jobs = 0usize;
     let mut out_path: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
@@ -43,28 +50,44 @@ fn main() -> ExitCode {
             }
             "--out" => out_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
+            other if other.ends_with(".toml") => files.push(PathBuf::from(other)),
             other => {
                 eprintln!("campaign-run: unknown argument `{other}`");
                 usage();
             }
         }
     }
-    let Some(dir) = dir else { usage() };
+    if dir.is_none() && files.is_empty() {
+        usage()
+    }
 
-    // Load scenario files in sorted order for a stable instance matrix.
-    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
-        Ok(entries) => entries
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|path| path.extension().is_some_and(|ext| ext == "toml"))
-            .collect(),
-        Err(e) => {
-            eprintln!("campaign-run: cannot read `{}`: {e}", dir.display());
-            return ExitCode::from(2);
-        }
-    };
+    // Load scenario files in sorted order for a stable instance matrix;
+    // positional files come first, then the directory contents.  A file
+    // reachable both ways (named positionally *and* living in --dir) is run
+    // once: duplicates are filtered by canonical path.
+    let mut paths: Vec<PathBuf> = files;
     paths.sort();
+    if let Some(dir) = &dir {
+        let mut from_dir: Vec<PathBuf> = match std::fs::read_dir(dir) {
+            Ok(entries) => entries
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|path| path.extension().is_some_and(|ext| ext == "toml"))
+                .collect(),
+            Err(e) => {
+                eprintln!("campaign-run: cannot read `{}`: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        };
+        from_dir.sort();
+        paths.extend(from_dir);
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    paths.retain(|path| {
+        let key = std::fs::canonicalize(path).unwrap_or_else(|_| path.clone());
+        seen.insert(key)
+    });
     if paths.is_empty() {
-        eprintln!("campaign-run: no .toml scenarios in `{}`", dir.display());
+        eprintln!("campaign-run: no .toml scenarios to run");
         return ExitCode::from(2);
     }
 
@@ -119,9 +142,10 @@ fn main() -> ExitCode {
 
     let summary = CampaignSummary::tally(&results);
     eprintln!(
-        "campaign-run: {} passed, {} violated, {} rejected ({} total)",
+        "campaign-run: {} passed, {} violated, {} expected-unsolvable, {} rejected ({} total)",
         summary.passed,
         summary.violated,
+        summary.expected_unsolvable,
         summary.rejected,
         summary.total()
     );

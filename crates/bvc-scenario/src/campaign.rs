@@ -8,10 +8,11 @@
 //! order — and therefore the emitted JSON — is independent of thread
 //! interleaving: campaigns are as deterministic as single runs.
 
-use crate::runner::{run_scenario, ScenarioError, ScenarioOutcome};
+use crate::runner::{run_scenario_with_topology, ScenarioError, ScenarioOutcome};
 use crate::schema::ScenarioSpec;
 use bvc_adversary::ByzantineStrategy;
 use bvc_net::DeliveryPolicy;
+use bvc_topology::TopologySpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -29,6 +30,9 @@ pub struct Instance {
     pub strategy: ByzantineStrategy,
     /// Delivery policy.
     pub policy: DeliveryPolicy,
+    /// Topology of this instance (`None` ⇒ the plain complete graph with no
+    /// topology metadata in the verdict).
+    pub topology: Option<TopologySpec>,
 }
 
 /// Expands one scenario into its instance matrix (a scenario without a
@@ -38,9 +42,14 @@ pub struct Instance {
 /// axis is collapsed to one value — sweeping it would only produce
 /// byte-identical duplicate instances.
 pub fn expand(scenario_index: usize, spec: &ScenarioSpec) -> Vec<Instance> {
-    let (seeds, strategies, policies) = match &spec.campaign {
-        None => (Vec::new(), Vec::new(), Vec::new()),
-        Some(c) => (c.seeds.clone(), c.strategies.clone(), c.policies.clone()),
+    let (seeds, strategies, policies, topologies) = match &spec.campaign {
+        None => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+        Some(c) => (
+            c.seeds.clone(),
+            c.strategies.clone(),
+            c.policies.clone(),
+            c.topologies.clone(),
+        ),
     };
     let seeds = if seeds.is_empty() {
         vec![spec.seed]
@@ -57,17 +66,26 @@ pub fn expand(scenario_index: usize, spec: &ScenarioSpec) -> Vec<Instance> {
     } else {
         policies
     };
-    let mut instances = Vec::with_capacity(seeds.len() * strategies.len() * policies.len());
+    let topologies: Vec<Option<TopologySpec>> = if topologies.is_empty() {
+        vec![spec.topology.clone()]
+    } else {
+        topologies.into_iter().map(Some).collect()
+    };
+    let capacity = seeds.len() * strategies.len() * policies.len() * topologies.len();
+    let mut instances = Vec::with_capacity(capacity);
     for &seed in &seeds {
         for &strategy in &strategies {
             for policy in &policies {
-                instances.push(Instance {
-                    scenario_index,
-                    spec: spec.clone(),
-                    seed,
-                    strategy,
-                    policy: policy.clone(),
-                });
+                for topology in &topologies {
+                    instances.push(Instance {
+                        scenario_index,
+                        spec: spec.clone(),
+                        seed,
+                        strategy,
+                        policy: policy.clone(),
+                        topology: topology.clone(),
+                    });
+                }
             }
         }
     }
@@ -111,11 +129,12 @@ pub fn run_campaign(instances: &[Instance], jobs: usize) -> Vec<InstanceResult> 
                 let Some(instance) = instances.get(index) else {
                     break;
                 };
-                let result = run_scenario(
+                let result = run_scenario_with_topology(
                     &instance.spec,
                     instance.seed,
                     instance.strategy,
                     instance.policy.clone(),
+                    instance.topology.as_ref(),
                 );
                 results.lock().expect("results lock poisoned")[index] = Some(result);
             });
@@ -135,8 +154,13 @@ pub fn run_campaign(instances: &[Instance], jobs: usize) -> Vec<InstanceResult> 
 pub struct CampaignSummary {
     /// Instances that ran and whose verdict held all three conditions.
     pub passed: usize,
-    /// Instances that ran but violated agreement, validity or termination.
+    /// Instances that ran but violated agreement, validity or termination on
+    /// a substrate the checker declared solvable.
     pub violated: usize,
+    /// Instances whose verdict failed on a topology the up-front graph
+    /// condition flagged as *expected-unsolvable* — data the campaign set out
+    /// to collect, not a regression.
+    pub expected_unsolvable: usize,
     /// Instances that could not run (bound/parameter rejections).
     pub rejected: usize,
 }
@@ -148,6 +172,14 @@ impl CampaignSummary {
         for result in results {
             match result {
                 Ok(outcome) if outcome.verdict.all_hold() => summary.passed += 1,
+                Ok(outcome)
+                    if outcome
+                        .topology
+                        .as_ref()
+                        .is_some_and(|t| !t.expected_solvable) =>
+                {
+                    summary.expected_unsolvable += 1
+                }
                 Ok(_) => summary.violated += 1,
                 Err(_) => summary.rejected += 1,
             }
@@ -157,7 +189,7 @@ impl CampaignSummary {
 
     /// Total number of instances.
     pub fn total(&self) -> usize {
-        self.passed + self.violated + self.rejected
+        self.passed + self.violated + self.expected_unsolvable + self.rejected
     }
 }
 
@@ -199,6 +231,55 @@ mod tests {
         )
         .unwrap();
         assert_eq!(expand(0, &spec).len(), 2);
+    }
+
+    #[test]
+    fn topology_axis_multiplies_instances_and_defaults_to_none() {
+        let spec = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"topo\"\nprotocol = \"iterative\"\nn = 8\nf = 1\nd = 1\n\
+             [campaign]\nseeds = [0, 1]\ntopologies = [\"complete\", \"ring\", \"torus:2x4\"]\n",
+        )
+        .unwrap();
+        let instances = expand(0, &spec);
+        assert_eq!(instances.len(), 2 * 3);
+        assert_eq!(instances[0].topology, Some(TopologySpec::Complete));
+        assert_eq!(instances[1].topology, Some(TopologySpec::Ring));
+        assert_eq!(
+            instances[2].topology,
+            Some(TopologySpec::Torus { rows: 2, cols: 4 })
+        );
+        // Without a topologies axis, instances inherit the scenario topology
+        // (None here: plain complete graph, no metadata).
+        let plain = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"p\"\nprotocol = \"exact\"\nn = 5\nf = 1\nd = 2\n",
+        )
+        .unwrap();
+        assert_eq!(expand(0, &plain)[0].topology, None);
+    }
+
+    #[test]
+    fn expected_unsolvable_verdicts_do_not_count_as_violations() {
+        let spec = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"ring-flagged\"\nprotocol = \"iterative\"\nn = 6\nf = 1\n\
+             d = 1\nepsilon = 0.05\n[topology]\nkind = \"ring\"\n",
+        )
+        .unwrap();
+        let instances = expand(0, &spec);
+        let results = run_campaign(&instances, 1);
+        let outcome = results[0].as_ref().unwrap();
+        let meta = outcome.topology.as_ref().expect("topology metadata");
+        assert_eq!(meta.sufficiency, "violated");
+        assert!(!meta.expected_solvable);
+        let summary = CampaignSummary::tally(&results);
+        assert_eq!(
+            summary.violated, 0,
+            "flagged topologies are not regressions"
+        );
+        assert_eq!(
+            summary.passed + summary.expected_unsolvable,
+            1,
+            "the single instance lands in passed or expected-unsolvable"
+        );
     }
 
     #[test]

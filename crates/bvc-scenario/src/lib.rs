@@ -32,7 +32,8 @@
 //! ```toml
 //! [scenario]
 //! name = "partition-heal"
-//! protocol = "approx"          # exact | approx | restricted-sync | restricted-async
+//! protocol = "approx"          # exact | approx | restricted-sync |
+//!                              # restricted-async | iterative
 //! n = 5                        # processes
 //! f = 1                        # Byzantine processes (the last f ids)
 //! d = 2                        # input dimension
@@ -65,11 +66,26 @@
 //! # `to = [..]` (receivers), or both — `from` + `to` together cover only
 //! # the *directed* links from × to, never the replies.
 //!
+//! [topology]                     # optional: declared adjacency (default:
+//! kind = "ring"                  # the complete graph).  complete | ring |
+//!                                # torus (+ rows/cols) | random-regular
+//!                                # (+ degree) | explicit (+ edges, undirected).
+//!                                # The random-regular wiring is drawn
+//!                                # deterministically from the instance seed.
+//!
 //! [campaign]                     # optional: turn the file into a sweep
 //! seed_range = [0, 24]           # inclusive integers; or `seeds = [..]`
 //! strategies = ["equivocate", "anti-convergence"]
 //! policies = ["random-fair", "round-robin"]  # ignored by sync protocols
+//! topologies = ["complete", "ring", "torus:2x4", "random-regular:6"]
 //! ```
+//!
+//! The `iterative` protocol is the incomplete-graph algorithm of Vaidya 2013:
+//! it runs on whatever `[topology]` declares (complete by default), accepts
+//! `f = 0`, and its verdict carries topology metadata including the
+//! **iterative sufficiency check** — scenarios on graphs that fail the check
+//! are flagged `expected_solvable = false` up front, and campaign summaries
+//! count their violations separately (expected data, not regressions).
 //!
 //! Fault semantics, and the fairness caveat (every fault window must be
 //! finite so the asynchronous executor's eventual-delivery contract still
@@ -114,12 +130,18 @@
 
 pub mod campaign;
 pub mod json;
+pub mod report;
 pub mod runner;
 pub mod schema;
 pub mod toml;
 
+pub use bvc_topology::TopologySpec;
 pub use campaign::{expand, expand_all, run_campaign, CampaignSummary, Instance, InstanceResult};
-pub use runner::{generate_inputs, run_scenario, strategy_label, ScenarioError, ScenarioOutcome};
+pub use report::{CellStats, ViolationTable};
+pub use runner::{
+    generate_inputs, run_scenario, run_scenario_with_topology, strategy_label, ScenarioError,
+    ScenarioOutcome, TopologyMeta,
+};
 pub use schema::{
     parse_strategy, policy_name, CampaignSpec, InputSpec, Protocol, ScenarioSpec, SchemaError,
 };

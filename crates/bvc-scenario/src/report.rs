@@ -1,0 +1,255 @@
+//! Verdict analytics: aggregate campaign JSONL into violation-rate tables.
+//!
+//! `campaign-run --out verdicts.jsonl` leaves one JSON verdict per instance;
+//! this module rolls those lines up into a violation-rate table keyed by
+//! **strategy × fault kinds × topology** — the three adversarial axes the
+//! scenario engine sweeps — and renders it as the Markdown that
+//! `campaign-report` writes into `EXPERIMENTS.md`.
+//!
+//! Rates are reported separately for instances the up-front graph condition
+//! declared solvable and for *expected-unsolvable* ones (incomplete
+//! topologies that fail the iterative sufficiency check): a violation in the
+//! former column is a finding, in the latter it is the anticipated outcome.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated counts for one `(strategy, faults, topology)` cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Verdicts observed on expected-solvable substrates.
+    pub runs: usize,
+    /// Of [`runs`](Self::runs), how many violated a condition.
+    pub violations: usize,
+    /// Verdicts observed on expected-unsolvable substrates.
+    pub unsolvable_runs: usize,
+    /// Of [`unsolvable_runs`](Self::unsolvable_runs), how many violated.
+    pub unsolvable_violations: usize,
+}
+
+/// The full violation-rate table, keyed `(strategy, faults, topology)` in
+/// sorted order (deterministic rendering).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViolationTable {
+    cells: BTreeMap<(String, String, String), CellStats>,
+    /// Lines that could not be parsed as verdicts (counted, not fatal).
+    pub skipped: usize,
+}
+
+impl ViolationTable {
+    /// Builds the table from campaign JSONL (one verdict object per line;
+    /// blank lines ignored, malformed lines counted in `skipped`).
+    pub fn from_jsonl(text: &str) -> Self {
+        let mut table = Self::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match Json::parse(line) {
+                Ok(json) => table.add(&json),
+                Err(_) => table.skipped += 1,
+            }
+        }
+        table
+    }
+
+    /// Folds one verdict object into the table.
+    pub fn add(&mut self, verdict: &Json) {
+        let Some(strategy) = verdict.get("strategy").and_then(Json::as_str) else {
+            self.skipped += 1;
+            return;
+        };
+        let faults = match verdict.get("faults").and_then(Json::as_array) {
+            Some(kinds) if !kinds.is_empty() => kinds
+                .iter()
+                .filter_map(Json::as_str)
+                .collect::<Vec<_>>()
+                .join("+"),
+            _ => "none".to_string(),
+        };
+        let (topology, expected_solvable) = match verdict.get("topology") {
+            Some(meta) => (
+                meta.get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                meta.get("expected_solvable")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(true),
+            ),
+            None => ("complete".to_string(), true),
+        };
+        let holds = |key: &str| {
+            verdict
+                .get("verdict")
+                .and_then(|v| v.get(key))
+                .and_then(Json::as_bool)
+                .unwrap_or(false)
+        };
+        let violated = !(holds("agreement") && holds("validity") && holds("termination"));
+        let cell = self
+            .cells
+            .entry((strategy.to_string(), faults, topology))
+            .or_default();
+        if expected_solvable {
+            cell.runs += 1;
+            cell.violations += usize::from(violated);
+        } else {
+            cell.unsolvable_runs += 1;
+            cell.unsolvable_violations += usize::from(violated);
+        }
+    }
+
+    /// The aggregated cells in key order.
+    pub fn cells(&self) -> impl Iterator<Item = (&(String, String, String), &CellStats)> {
+        self.cells.iter()
+    }
+
+    /// Total number of verdicts folded in.
+    pub fn total_runs(&self) -> usize {
+        self.cells
+            .values()
+            .map(|c| c.runs + c.unsolvable_runs)
+            .sum()
+    }
+
+    /// Renders the Markdown section `campaign-report` writes to
+    /// `EXPERIMENTS.md`.
+    pub fn to_markdown(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {title}");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} verdicts aggregated per strategy × fault kinds × topology.  \
+             `violation rate` counts failed verdicts on substrates the graph \
+             condition declared solvable; `expected-unsolvable` runs (topologies \
+             failing the iterative sufficiency check) are tallied separately — \
+             violations there are the anticipated outcome, not findings.",
+            self.total_runs()
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "| strategy | faults | topology | runs | violations | violation rate | expected-unsolvable (violated/runs) |"
+        );
+        let _ = writeln!(
+            out,
+            "|----------|--------|----------|-----:|-----------:|---------------:|------------------------------------:|"
+        );
+        for ((strategy, faults, topology), cell) in &self.cells {
+            let rate = if cell.runs == 0 {
+                "—".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * cell.violations as f64 / cell.runs as f64)
+            };
+            let unsolvable = if cell.unsolvable_runs == 0 {
+                "—".to_string()
+            } else {
+                format!("{}/{}", cell.unsolvable_violations, cell.unsolvable_runs)
+            };
+            let _ = writeln!(
+                out,
+                "| {strategy} | {faults} | {topology} | {} | {} | {rate} | {unsolvable} |",
+                cell.runs, cell.violations
+            );
+        }
+        if self.skipped > 0 {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "({} malformed line(s) skipped.)", self.skipped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict_line(
+        strategy: &str,
+        fault: Option<&str>,
+        topology: Option<(&str, bool)>,
+        ok: bool,
+    ) -> String {
+        let faults = match fault {
+            Some(f) => format!("[\"{f}\"]"),
+            None => "[]".into(),
+        };
+        let topo = match topology {
+            Some((kind, solvable)) => format!(
+                ", \"topology\": {{\"kind\": \"{kind}\", \"expected_solvable\": {solvable}}}"
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{\"strategy\": \"{strategy}\", \"faults\": {faults}{topo}, \
+             \"verdict\": {{\"agreement\": {ok}, \"validity\": true, \"termination\": {ok}}}}}"
+        )
+    }
+
+    #[test]
+    fn aggregation_buckets_by_all_three_axes() {
+        let lines = [
+            verdict_line("equivocate", Some("drop"), None, true),
+            verdict_line("equivocate", Some("drop"), None, false),
+            verdict_line("equivocate", None, Some(("ring", false)), false),
+            verdict_line("silent", Some("drop"), None, true),
+            "not json".to_string(),
+        ]
+        .join("\n");
+        let table = ViolationTable::from_jsonl(&lines);
+        assert_eq!(table.skipped, 1);
+        assert_eq!(table.total_runs(), 4);
+        let cells: Vec<_> = table.cells().collect();
+        assert_eq!(cells.len(), 3);
+        // BTreeMap order: (equivocate, drop, complete), (equivocate, none, ring),
+        // (silent, drop, complete).
+        assert_eq!(
+            cells[0].0,
+            &(
+                "equivocate".to_string(),
+                "drop".to_string(),
+                "complete".to_string()
+            )
+        );
+        assert_eq!(cells[0].1.runs, 2);
+        assert_eq!(cells[0].1.violations, 1);
+        assert_eq!(cells[1].1.unsolvable_runs, 1);
+        assert_eq!(cells[1].1.unsolvable_violations, 1);
+        assert_eq!(
+            cells[1].1.runs, 0,
+            "flagged runs stay out of the rate column"
+        );
+    }
+
+    #[test]
+    fn markdown_renders_rates_and_dashes() {
+        let lines = [
+            verdict_line("equivocate", Some("latency"), None, true),
+            verdict_line("equivocate", Some("latency"), None, false),
+        ]
+        .join("\n");
+        let md = ViolationTable::from_jsonl(&lines).to_markdown("Smoke");
+        assert!(md.contains("## Smoke"));
+        assert!(md.contains("| equivocate | latency | complete | 2 | 1 | 50.0% | — |"));
+    }
+
+    #[test]
+    fn markdown_is_deterministic() {
+        let lines = [
+            verdict_line("silent", None, None, true),
+            verdict_line("benign", None, None, true),
+        ]
+        .join("\n");
+        let a = ViolationTable::from_jsonl(&lines).to_markdown("T");
+        let b = ViolationTable::from_jsonl(&lines).to_markdown("T");
+        assert_eq!(a, b);
+        // benign sorts before silent regardless of input order.
+        let benign = a.find("| benign |").unwrap();
+        let silent = a.find("| silent |").unwrap();
+        assert!(benign < silent);
+    }
+}

@@ -9,13 +9,18 @@
 use crate::json::Json;
 use crate::schema::{policy_name, InputSpec, Protocol, ScenarioSpec};
 use bvc_adversary::ByzantineStrategy;
-use bvc_core::{ApproxBvcRun, BvcError, ExactBvcRun, RestrictedRun, Verdict};
+use bvc_core::{ApproxBvcRun, BvcError, ExactBvcRun, IterativeBvcRun, RestrictedRun, Verdict};
 use bvc_geometry::{Point, WorkloadGenerator};
 use bvc_net::{DeliveryPolicy, ExecutionStats, FaultPlan};
+use bvc_topology::{Topology, TopologySpec};
 use std::fmt;
 
 /// Salt separating input-generation randomness from executor randomness.
 const INPUT_SEED_SALT: u64 = 0x1094_2A7C_5EED_5EED;
+
+/// Salt separating topology-generation randomness from everything else (only
+/// the random-regular family actually consumes it).
+const TOPOLOGY_SEED_SALT: u64 = 0x70B0_70B0_70B0_70B0;
 
 /// Why a scenario instance could not run.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +49,63 @@ impl From<BvcError> for ScenarioError {
     }
 }
 
+/// Topology metadata recorded in a verdict when the scenario declared (or
+/// swept) a topology.  Absent for plain complete-graph scenarios, whose JSON
+/// stays byte-identical to the pre-topology schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyMeta {
+    /// The topology family label (`complete`, `ring`, `torus:RxC`, …).
+    pub kind: String,
+    /// Number of directed inter-process links.
+    pub edges: usize,
+    /// Smallest in-degree.
+    pub min_in_degree: usize,
+    /// Smallest out-degree.
+    pub min_out_degree: usize,
+    /// Whether the graph is strongly connected.
+    pub strongly_connected: bool,
+    /// Label of the iterative-BVC sufficiency check (`satisfied`,
+    /// `violated`, `unknown`).
+    pub sufficiency: &'static str,
+    /// Whether the protocol is expected to hold its verdict on this topology
+    /// (`iterative`: the sufficiency check passed or was too large to decide;
+    /// the complete-graph protocols: the topology is actually complete).  A
+    /// violated verdict with `expected_solvable = false` is data, not a
+    /// regression.
+    pub expected_solvable: bool,
+}
+
+impl TopologyMeta {
+    fn from_topology(topology: &Topology, protocol: Protocol, f: usize, d: usize) -> Self {
+        Self::with_sufficiency(topology, protocol, &topology.iterative_sufficiency(f, d))
+    }
+
+    /// Builds the metadata from an already-computed sufficiency verdict (the
+    /// iterative run builder computes one anyway; reusing it avoids running
+    /// the exponential partition enumeration twice per instance).
+    fn with_sufficiency(
+        topology: &Topology,
+        protocol: Protocol,
+        sufficiency: &bvc_topology::Sufficiency,
+    ) -> Self {
+        let expected_solvable = match protocol {
+            // Unknown is treated as expected, so surprises surface loudly
+            // instead of being excused by an unchecked condition.
+            Protocol::Iterative => !matches!(sufficiency, bvc_topology::Sufficiency::Violated(_)),
+            _ => topology.is_complete(),
+        };
+        Self {
+            kind: topology.label().to_string(),
+            edges: topology.edge_count(),
+            min_in_degree: topology.min_in_degree(),
+            min_out_degree: topology.min_out_degree(),
+            strongly_connected: topology.is_strongly_connected(),
+            sufficiency: sufficiency.label(),
+            expected_solvable,
+        }
+    }
+}
+
 /// The outcome of one scenario instance, ready for JSON serialisation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
@@ -64,6 +126,8 @@ pub struct ScenarioOutcome {
     pub policy: String,
     /// Names of the injected fault kinds, in schedule order.
     pub faults: Vec<&'static str>,
+    /// Topology metadata (`None` for plain complete-graph scenarios).
+    pub topology: Option<TopologyMeta>,
     /// The scored verdict.
     pub verdict: Verdict,
     /// Rounds (sync) or delivery steps (async) executed.
@@ -95,7 +159,7 @@ impl ScenarioOutcome {
         } else {
             Json::Null
         };
-        Json::object()
+        let mut json = Json::object()
             .field("scenario", self.scenario.as_str())
             .field("protocol", self.protocol.name())
             .field("n", self.shape.0)
@@ -108,25 +172,38 @@ impl ScenarioOutcome {
             .field(
                 "faults",
                 Json::Array(self.faults.iter().map(|&k| Json::from(k)).collect()),
-            )
-            .field(
-                "verdict",
+            );
+        if let Some(meta) = &self.topology {
+            json = json.field(
+                "topology",
                 Json::object()
-                    .field("agreement", self.verdict.agreement)
-                    .field("validity", self.verdict.validity)
-                    .field("termination", self.verdict.termination)
-                    .field("max_pairwise_distance", distance),
-            )
-            .field("rounds", self.rounds)
-            .field(
-                "messages",
-                Json::object()
-                    .field("sent", self.stats.messages_sent)
-                    .field("delivered", self.stats.messages_delivered)
-                    .field("dropped", self.stats.messages_dropped),
-            )
-            .field("per_process", Json::Array(per_process))
-            .to_string()
+                    .field("kind", meta.kind.as_str())
+                    .field("edges", meta.edges)
+                    .field("min_in_degree", meta.min_in_degree)
+                    .field("min_out_degree", meta.min_out_degree)
+                    .field("strongly_connected", meta.strongly_connected)
+                    .field("sufficiency", meta.sufficiency)
+                    .field("expected_solvable", meta.expected_solvable),
+            );
+        }
+        json.field(
+            "verdict",
+            Json::object()
+                .field("agreement", self.verdict.agreement)
+                .field("validity", self.verdict.validity)
+                .field("termination", self.verdict.termination)
+                .field("max_pairwise_distance", distance),
+        )
+        .field("rounds", self.rounds)
+        .field(
+            "messages",
+            Json::object()
+                .field("sent", self.stats.messages_sent)
+                .field("delivered", self.stats.messages_delivered)
+                .field("dropped", self.stats.messages_dropped),
+        )
+        .field("per_process", Json::Array(per_process))
+        .to_string()
     }
 }
 
@@ -241,7 +318,8 @@ fn corner_points(count: usize, d: usize, lo: f64, hi: f64) -> Vec<Point> {
 }
 
 /// Runs one instance of a scenario: the spec with `seed`, `strategy` and
-/// `policy` overriding the corresponding base values.
+/// `policy` overriding the corresponding base values and the scenario's own
+/// `[topology]` section (if any) selecting the substrate.
 ///
 /// # Errors
 ///
@@ -253,7 +331,52 @@ pub fn run_scenario(
     strategy: ByzantineStrategy,
     policy: DeliveryPolicy,
 ) -> Result<ScenarioOutcome, ScenarioError> {
+    run_scenario_with_topology(spec, seed, strategy, policy, spec.topology.as_ref())
+}
+
+/// [`run_scenario`] with the topology axis made explicit, so campaign sweeps
+/// can override the scenario's base topology per instance.
+///
+/// The topology is materialised deterministically from the instance seed
+/// (only the random-regular family consumes it).  `None` means the plain
+/// complete graph *and* suppresses the `topology` verdict field, keeping
+/// pre-topology scenarios byte-identical.
+///
+/// # Errors
+///
+/// Same as [`run_scenario`]; an unbuildable topology (size mismatch,
+/// infeasible degree) is a rejection.
+pub fn run_scenario_with_topology(
+    spec: &ScenarioSpec,
+    seed: u64,
+    strategy: ByzantineStrategy,
+    policy: DeliveryPolicy,
+    topology_spec: Option<&TopologySpec>,
+) -> Result<ScenarioOutcome, ScenarioError> {
     let inputs = generate_inputs(spec, seed)?;
+    // The iterative protocol always reports its substrate, defaulting to the
+    // complete graph; the four complete-graph protocols only when declared.
+    let default_complete = TopologySpec::Complete;
+    let topology_spec = match (topology_spec, spec.protocol) {
+        (None, Protocol::Iterative) => Some(&default_complete),
+        (declared, _) => declared,
+    };
+    let topology = match topology_spec {
+        None => None,
+        Some(t) => Some(
+            t.build(spec.n, seed ^ TOPOLOGY_SEED_SALT)
+                .map_err(|e| ScenarioError::Rejected(e.to_string()))?,
+        ),
+    };
+    // The iterative arm fills its metadata from the run itself (the builder
+    // computes the sufficiency verdict anyway; recomputing the exponential
+    // partition enumeration here would double the cost per instance).
+    let topology_meta = match spec.protocol {
+        Protocol::Iterative => None,
+        _ => topology
+            .as_ref()
+            .map(|t| TopologyMeta::from_topology(t, spec.protocol, spec.f, spec.d)),
+    };
     let fault_names: Vec<&'static str> =
         spec.faults.events().iter().map(|e| e.kind.name()).collect();
     let policy_label = if spec.protocol.is_async() {
@@ -271,21 +394,24 @@ pub fn run_scenario(
             strategy: strategy_label(strategy),
             policy: policy_label.clone(),
             faults: fault_names.clone(),
+            topology: topology_meta.clone(),
             verdict,
             rounds,
             stats,
         }
     };
-
     let outcome = match spec.protocol {
         Protocol::Exact => {
-            let run = ExactBvcRun::builder(spec.n, spec.f, spec.d)
+            let mut builder = ExactBvcRun::builder(spec.n, spec.f, spec.d)
                 .honest_inputs(inputs)
                 .adversary(strategy)
                 .seed(seed)
                 .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
-                .faults(sync_rounds_plan(&spec.faults))
-                .run()?;
+                .faults(sync_rounds_plan(&spec.faults));
+            if let Some(t) = &topology {
+                builder = builder.topology(t.clone());
+            }
+            let run = builder.run()?;
             base(
                 run.verdict().clone(),
                 run.rounds(),
@@ -294,7 +420,7 @@ pub fn run_scenario(
             )
         }
         Protocol::Approx => {
-            let run = ApproxBvcRun::builder(spec.n, spec.f, spec.d)
+            let mut builder = ApproxBvcRun::builder(spec.n, spec.f, spec.d)
                 .honest_inputs(inputs)
                 .adversary(strategy)
                 .seed(seed)
@@ -302,8 +428,11 @@ pub fn run_scenario(
                 .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
                 .delivery_policy(policy)
                 .max_steps(spec.max_steps)
-                .faults(spec.faults.clone())
-                .run()?;
+                .faults(spec.faults.clone());
+            if let Some(t) = &topology {
+                builder = builder.topology(t.clone());
+            }
+            let run = builder.run()?;
             let steps = run.stats().steps;
             base(
                 run.verdict().clone(),
@@ -313,14 +442,17 @@ pub fn run_scenario(
             )
         }
         Protocol::RestrictedSync => {
-            let run = RestrictedRun::sync_builder(spec.n, spec.f, spec.d)
+            let mut builder = RestrictedRun::sync_builder(spec.n, spec.f, spec.d)
                 .honest_inputs(inputs)
                 .adversary(strategy)
                 .seed(seed)
                 .epsilon(spec.epsilon)
                 .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
-                .faults(sync_rounds_plan(&spec.faults))
-                .run()?;
+                .faults(sync_rounds_plan(&spec.faults));
+            if let Some(t) = &topology {
+                builder = builder.topology(t.clone());
+            }
+            let run = builder.run()?;
             base(
                 run.verdict().clone(),
                 run.rounds(),
@@ -329,7 +461,7 @@ pub fn run_scenario(
             )
         }
         Protocol::RestrictedAsync => {
-            let run = RestrictedRun::async_builder(spec.n, spec.f, spec.d)
+            let mut builder = RestrictedRun::async_builder(spec.n, spec.f, spec.d)
                 .honest_inputs(inputs)
                 .adversary(strategy)
                 .seed(seed)
@@ -337,14 +469,42 @@ pub fn run_scenario(
                 .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
                 .delivery_policy(policy)
                 .max_steps(spec.max_steps)
-                .faults(spec.faults.clone())
-                .run()?;
+                .faults(spec.faults.clone());
+            if let Some(t) = &topology {
+                builder = builder.topology(t.clone());
+            }
+            let run = builder.run()?;
             base(
                 run.verdict().clone(),
                 run.rounds(),
                 run.stats().clone(),
                 Some(spec.epsilon),
             )
+        }
+        Protocol::Iterative => {
+            let mut builder = IterativeBvcRun::builder(spec.n, spec.f, spec.d)
+                .honest_inputs(inputs)
+                .adversary(strategy)
+                .seed(seed)
+                .epsilon(spec.epsilon)
+                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
+                .faults(sync_rounds_plan(&spec.faults));
+            if let Some(t) = &topology {
+                builder = builder.topology(t.clone());
+            }
+            let run = builder.run()?;
+            let mut outcome = base(
+                run.verdict().clone(),
+                run.rounds(),
+                run.stats().clone(),
+                Some(spec.epsilon),
+            );
+            outcome.topology = Some(TopologyMeta::with_sufficiency(
+                run.topology(),
+                spec.protocol,
+                run.sufficiency(),
+            ));
+            outcome
         }
     };
     Ok(outcome)

@@ -9,10 +9,12 @@
 use crate::toml::{parse, TomlValue};
 use bvc_adversary::ByzantineStrategy;
 use bvc_net::{DeliveryPolicy, FaultEvent, FaultKind, FaultPlan, LinkSelector, ProcessId};
+use bvc_topology::TopologySpec;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Which of the paper's four algorithms a scenario exercises.
+/// Which algorithm a scenario exercises: the source paper's four, or the
+/// iterative incomplete-graph protocol (Vaidya 2013).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Exact BVC, synchronous (Theorems 1/3).
@@ -23,17 +25,20 @@ pub enum Protocol {
     RestrictedSync,
     /// Restricted-round approximate BVC, asynchronous (Theorem 6).
     RestrictedAsync,
+    /// Iterative BVC over a declared topology (incomplete graphs, synchronous).
+    Iterative,
 }
 
 impl Protocol {
     /// The stable schema name (`exact`, `approx`, `restricted-sync`,
-    /// `restricted-async`).
+    /// `restricted-async`, `iterative`).
     pub fn name(self) -> &'static str {
         match self {
             Protocol::Exact => "exact",
             Protocol::Approx => "approx",
             Protocol::RestrictedSync => "restricted-sync",
             Protocol::RestrictedAsync => "restricted-async",
+            Protocol::Iterative => "iterative",
         }
     }
 
@@ -48,6 +53,7 @@ impl Protocol {
             "approx" => Some(Protocol::Approx),
             "restricted-sync" => Some(Protocol::RestrictedSync),
             "restricted-async" => Some(Protocol::RestrictedAsync),
+            "iterative" => Some(Protocol::Iterative),
             _ => None,
         }
     }
@@ -102,6 +108,9 @@ pub struct CampaignSpec {
     pub strategies: Vec<ByzantineStrategy>,
     /// Delivery policies to sweep (empty ⇒ the scenario policy).
     pub policies: Vec<DeliveryPolicy>,
+    /// Topologies to sweep (empty ⇒ the scenario topology), in the compact
+    /// string form of [`TopologySpec::parse`].
+    pub topologies: Vec<TopologySpec>,
 }
 
 /// A fully parsed scenario.
@@ -133,6 +142,9 @@ pub struct ScenarioSpec {
     pub policy: DeliveryPolicy,
     /// Injected network faults.
     pub faults: FaultPlan,
+    /// Declared communication topology (`None` ⇒ the paper's complete graph;
+    /// verdicts then stay byte-identical to the pre-topology schema).
+    pub topology: Option<TopologySpec>,
     /// Optional sweep axes.
     pub campaign: Option<CampaignSpec>,
 }
@@ -412,6 +424,50 @@ fn parse_inputs(table: Option<&Table>, d: usize) -> Result<InputSpec, SchemaErro
     }
 }
 
+/// Parses a `[topology]` section.  `kind` accepts both the long form with
+/// parameter keys (`kind = "torus"` with `rows`/`cols`, `kind =
+/// "random-regular"` with `degree`, `kind = "explicit"` with
+/// `edges`/`undirected`) and the compact string form of campaign axes
+/// (`"torus:2x4"`, `"random-regular:4"`).
+fn parse_topology(table: &Table) -> Result<TopologySpec, SchemaError> {
+    let kind = require(get_str(table, "kind")?, "kind", "topology")?;
+    match kind {
+        "torus" => {
+            let rows = require(get_usize(table, "rows")?, "rows", "topology")?;
+            let cols = require(get_usize(table, "cols")?, "cols", "topology")?;
+            Ok(TopologySpec::Torus { rows, cols })
+        }
+        "random-regular" => {
+            let degree = require(get_usize(table, "degree")?, "degree", "topology")?;
+            Ok(TopologySpec::RandomRegular { degree })
+        }
+        "explicit" => {
+            let Some(edges_value) = table.get("edges") else {
+                return bad("explicit topology needs an `edges` array of [from, to] pairs");
+            };
+            let Some(items) = edges_value.as_array() else {
+                return bad("`edges` must be an array of [from, to] pairs");
+            };
+            let mut edges = Vec::with_capacity(items.len());
+            for item in items {
+                let pair = process_list(item, "edges")?;
+                if pair.len() != 2 {
+                    return bad("each `edges` entry must be a [from, to] pair");
+                }
+                edges.push((pair[0].index(), pair[1].index()));
+            }
+            let undirected = match table.get("undirected") {
+                None => false,
+                Some(value) => value
+                    .as_bool()
+                    .ok_or_else(|| SchemaError("`undirected` must be a boolean".into()))?,
+            };
+            Ok(TopologySpec::Explicit { edges, undirected })
+        }
+        other => TopologySpec::parse(other).map_err(SchemaError),
+    }
+}
+
 fn parse_campaign(table: &Table) -> Result<CampaignSpec, SchemaError> {
     let mut campaign = CampaignSpec::default();
     if let Some(value) = table.get("seeds") {
@@ -462,6 +518,19 @@ fn parse_campaign(table: &Table) -> Result<CampaignSpec, SchemaError> {
                 return bad("`policies` must contain policy names");
             };
             campaign.policies.push(parse_policy_name(name, None)?);
+        }
+    }
+    if let Some(value) = table.get("topologies") {
+        let Some(items) = value.as_array() else {
+            return bad("`topologies` must be an array of topology names");
+        };
+        for item in items {
+            let Some(name) = item.as_str() else {
+                return bad("`topologies` must contain topology names");
+            };
+            campaign
+                .topologies
+                .push(TopologySpec::parse(name).map_err(SchemaError)?);
         }
     }
     Ok(campaign)
@@ -535,6 +604,11 @@ impl ScenarioSpec {
             }
         }
 
+        let topology = match root.get("topology").and_then(|v| v.as_table()) {
+            Some(table) => Some(parse_topology(table)?),
+            None => None,
+        };
+
         let campaign = match root.get("campaign").and_then(|v| v.as_table()) {
             Some(table) => Some(parse_campaign(table)?),
             None => None,
@@ -554,6 +628,7 @@ impl ScenarioSpec {
             strategy,
             policy,
             faults,
+            topology,
             campaign,
         })
     }
@@ -640,7 +715,69 @@ strategies = ["equivocate", "silent"]
         assert_eq!(spec.policy, DeliveryPolicy::RandomFair);
         assert!(spec.faults.is_empty());
         assert!(spec.campaign.is_none());
+        assert!(spec.topology.is_none(), "no [topology] ⇒ complete graph");
         assert_eq!(spec.value_bounds, (0.0, 1.0));
+    }
+
+    #[test]
+    fn topology_sections_parse_in_long_and_compact_form() {
+        let torus = "[scenario]\nname = \"t\"\nprotocol = \"iterative\"\nn = 8\nf = 1\nd = 1\n\
+            [topology]\nkind = \"torus\"\nrows = 2\ncols = 4\n";
+        let spec = ScenarioSpec::from_toml(torus).unwrap();
+        assert_eq!(spec.protocol, Protocol::Iterative);
+        assert!(!spec.protocol.is_async());
+        assert_eq!(
+            spec.topology,
+            Some(TopologySpec::Torus { rows: 2, cols: 4 })
+        );
+
+        let compact = "[scenario]\nname = \"t\"\nprotocol = \"iterative\"\nn = 8\nf = 1\nd = 1\n\
+            [topology]\nkind = \"random-regular:4\"\n";
+        let spec = ScenarioSpec::from_toml(compact).unwrap();
+        assert_eq!(
+            spec.topology,
+            Some(TopologySpec::RandomRegular { degree: 4 })
+        );
+
+        let explicit = "[scenario]\nname = \"t\"\nprotocol = \"iterative\"\nn = 3\nf = 0\nd = 1\n\
+            [topology]\nkind = \"explicit\"\nedges = [[0, 1], [1, 2]]\nundirected = true\n";
+        let spec = ScenarioSpec::from_toml(explicit).unwrap();
+        assert_eq!(
+            spec.topology,
+            Some(TopologySpec::Explicit {
+                edges: vec![(0, 1), (1, 2)],
+                undirected: true,
+            })
+        );
+    }
+
+    #[test]
+    fn bad_topology_sections_are_rejected() {
+        let unknown = "[scenario]\nname = \"t\"\nprotocol = \"iterative\"\nn = 8\nf = 1\nd = 1\n\
+            [topology]\nkind = \"moebius\"\n";
+        assert!(ScenarioSpec::from_toml(unknown).is_err());
+        let bad_edges = "[scenario]\nname = \"t\"\nprotocol = \"iterative\"\nn = 3\nf = 0\nd = 1\n\
+            [topology]\nkind = \"explicit\"\nedges = [[0, 1, 2]]\n";
+        assert!(ScenarioSpec::from_toml(bad_edges).is_err());
+    }
+
+    #[test]
+    fn campaign_topology_axis_parses() {
+        let text = "[scenario]\nname = \"t\"\nprotocol = \"iterative\"\nn = 8\nf = 1\nd = 1\n\
+            [campaign]\ntopologies = [\"complete\", \"ring\", \"torus:2x4\"]\n";
+        let spec = ScenarioSpec::from_toml(text).unwrap();
+        let campaign = spec.campaign.unwrap();
+        assert_eq!(
+            campaign.topologies,
+            vec![
+                TopologySpec::Complete,
+                TopologySpec::Ring,
+                TopologySpec::Torus { rows: 2, cols: 4 },
+            ]
+        );
+        let bad = "[scenario]\nname = \"t\"\nprotocol = \"iterative\"\nn = 8\nf = 1\nd = 1\n\
+            [campaign]\ntopologies = [\"klein-bottle\"]\n";
+        assert!(ScenarioSpec::from_toml(bad).is_err());
     }
 
     #[test]

@@ -64,7 +64,7 @@ fn seeds_are_threaded_through_to_the_execution() {
     assert_ne!(a.to_json(), b.to_json());
 }
 
-/// The catalogue covers all four protocols and all three fault kinds.
+/// The catalogue covers all five protocols and all three fault kinds.
 #[test]
 fn catalogue_covers_protocols_and_fault_kinds() {
     let specs = catalogue();
@@ -72,7 +72,13 @@ fn catalogue_covers_protocols_and_fault_kinds() {
         specs.iter().map(|(_, s)| s.protocol.name()).collect();
     assert_eq!(
         protocols.into_iter().collect::<Vec<_>>(),
-        vec!["approx", "exact", "restricted-async", "restricted-sync"]
+        vec![
+            "approx",
+            "exact",
+            "iterative",
+            "restricted-async",
+            "restricted-sync"
+        ]
     );
     let fault_kinds: std::collections::BTreeSet<&'static str> = specs
         .iter()

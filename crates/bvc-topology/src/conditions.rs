@@ -1,0 +1,360 @@
+//! Graph-condition checkers for iterative BVC in incomplete graphs.
+//!
+//! *Iterative Byzantine Vector Consensus in Incomplete Graphs* (Vaidya 2013)
+//! characterises solvability through 4-partition conditions in the style of
+//! the directed-graph conditions of Tseng & Vaidya: split the processes into
+//! `F` (potentially faulty, `|F| ≤ f`), and three non-faulty groups `L`, `C`,
+//! `R` with `L` and `R` non-empty.  The sufficiency condition checked here
+//! requires, **for every such partition**, that information can cross the
+//! `L | R` divide strongly enough to survive trimming `f` values:
+//!
+//! > some node of `L` has at least `(d+1)f + 1` in-neighbors in `R ∪ C`, or
+//! > some node of `R` has at least `(d+1)f + 1` in-neighbors in `L ∪ C`.
+//!
+//! The threshold `(d+1)f + 1` is exactly the Lemma-1 bound under which the
+//! safe area `Γ` of the values received *across the divide* is guaranteed
+//! non-empty after removing `f` of them — the step the convergence argument
+//! of the iterative update needs.  With `d = 1` and threshold `f + 1` this is
+//! the scalar condition of Vaidya–Liang–Tseng; the vector form is strictly
+//! stronger (on the complete graph it amounts to `n ≥ (2d+3)f + 1`).  For
+//! `f = 0` the threshold degenerates to 1 and the condition reduces to "every
+//! `L | R` split is crossed by some edge", which every strongly connected
+//! graph satisfies.
+//!
+//! The check enumerates all partitions exactly (choose `F`, then a ternary
+//! assignment of the rest), so it is exponential in `n`; beyond a work budget
+//! it reports [`Sufficiency::Unknown`] instead of guessing.
+
+use crate::graph::Topology;
+
+/// A partition `(F, L, C, R)` for which the sufficiency condition fails —
+/// concrete evidence that the graph is *not* known to support iterative BVC
+/// with the given `(f, d)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWitness {
+    /// The faulty set `F` (`|F| ≤ f`).
+    pub faulty: Vec<usize>,
+    /// The left group `L` (non-empty).
+    pub left: Vec<usize>,
+    /// The center group `C` (possibly empty).
+    pub center: Vec<usize>,
+    /// The right group `R` (non-empty).
+    pub right: Vec<usize>,
+}
+
+/// Outcome of the iterative-BVC sufficiency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sufficiency {
+    /// Every 4-partition satisfies the crossing condition: the iterative
+    /// algorithm is expected to converge.
+    Satisfied,
+    /// Some partition violates the condition; the witness names it.  A
+    /// scenario on this topology is *expected-unsolvable* — a failed verdict
+    /// is data, not a regression.
+    Violated(PartitionWitness),
+    /// The graph is too large for exact enumeration within the work budget.
+    Unknown,
+}
+
+impl Sufficiency {
+    /// Stable label for reports (`satisfied`, `violated`, `unknown`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Sufficiency::Satisfied => "satisfied",
+            Sufficiency::Violated(_) => "violated",
+            Sufficiency::Unknown => "unknown",
+        }
+    }
+
+    /// `true` only for [`Sufficiency::Satisfied`].
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, Sufficiency::Satisfied)
+    }
+}
+
+/// Group of a node in the ternary assignment of `V ∖ F`.
+const LEFT: u8 = 0;
+const CENTER: u8 = 1;
+const RIGHT: u8 = 2;
+/// Marker for members of `F` in the assignment array.
+const FAULTY: u8 = 3;
+
+/// Work budget for the exact enumeration: partitions × per-partition cost is
+/// kept far below a second even in debug builds.
+const ENUMERATION_BUDGET: u128 = 3_000_000;
+
+impl Topology {
+    /// Whether every process can reach every other along directed links.
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.len();
+        if n <= 1 {
+            return true;
+        }
+        let reaches_all = |neighbors: &dyn Fn(usize) -> Vec<usize>| {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(v) = stack.pop() {
+                for w in neighbors(v) {
+                    if !seen[w] {
+                        seen[w] = true;
+                        count += 1;
+                        stack.push(w);
+                    }
+                }
+            }
+            count == n
+        };
+        reaches_all(&|v| self.out_neighbors(v).to_vec())
+            && reaches_all(&|v| self.in_neighbors(v).to_vec())
+    }
+
+    /// Checks the iterative-BVC sufficiency condition for fault bound `f` and
+    /// dimension `d` by exact enumeration of all `(F, L, C, R)` partitions
+    /// (see the module docs for the condition and its provenance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= n` or `d == 0`.
+    pub fn iterative_sufficiency(&self, f: usize, d: usize) -> Sufficiency {
+        let n = self.len();
+        assert!(f < n, "fault bound f = {f} must be smaller than n = {n}");
+        assert!(d > 0, "dimension must be positive");
+        if n == 1 {
+            return Sufficiency::Satisfied;
+        }
+        if enumeration_work(n, f) > ENUMERATION_BUDGET {
+            return Sufficiency::Unknown;
+        }
+        let threshold = (d + 1) * f + 1;
+        let mut assignment = vec![LEFT; n];
+        let mut faulty: Vec<usize> = Vec::with_capacity(f);
+        if let Some(witness) =
+            self.search_faulty_sets(&mut faulty, 0, f, threshold, &mut assignment)
+        {
+            Sufficiency::Violated(witness)
+        } else {
+            Sufficiency::Satisfied
+        }
+    }
+
+    /// Enumerates faulty sets `F` of size `0..=f` (members chosen in
+    /// increasing order starting at `from`), then the ternary assignments of
+    /// the remainder.  Returns the first violating partition found.
+    fn search_faulty_sets(
+        &self,
+        faulty: &mut Vec<usize>,
+        from: usize,
+        f: usize,
+        threshold: usize,
+        assignment: &mut [u8],
+    ) -> Option<PartitionWitness> {
+        if let Some(witness) = self.search_assignments(faulty, threshold, assignment) {
+            return Some(witness);
+        }
+        if faulty.len() == f {
+            return None;
+        }
+        for next in from..self.len() {
+            faulty.push(next);
+            let witness = self.search_faulty_sets(faulty, next + 1, f, threshold, assignment);
+            faulty.pop();
+            if witness.is_some() {
+                return witness;
+            }
+        }
+        None
+    }
+
+    /// For a fixed `F`, walks every `L/C/R` assignment of the other nodes and
+    /// returns the first one that violates the crossing condition.
+    fn search_assignments(
+        &self,
+        faulty: &[usize],
+        threshold: usize,
+        assignment: &mut [u8],
+    ) -> Option<PartitionWitness> {
+        let n = self.len();
+        let rest: Vec<usize> = (0..n).filter(|i| !faulty.contains(i)).collect();
+        for (i, slot) in assignment.iter_mut().enumerate().take(n) {
+            *slot = if faulty.contains(&i) { FAULTY } else { LEFT };
+        }
+        let combos = 3usize.pow(rest.len() as u32);
+        for combo in 0..combos {
+            let mut code = combo;
+            let mut left_count = 0usize;
+            let mut right_count = 0usize;
+            for &node in &rest {
+                let group = (code % 3) as u8;
+                code /= 3;
+                assignment[node] = group;
+                match group {
+                    LEFT => left_count += 1,
+                    RIGHT => right_count += 1,
+                    _ => {}
+                }
+            }
+            if left_count == 0 || right_count == 0 {
+                continue;
+            }
+            if !self.partition_condition_holds(assignment, threshold) {
+                let collect = |group: u8| -> Vec<usize> {
+                    (0..n).filter(|&i| assignment[i] == group).collect()
+                };
+                return Some(PartitionWitness {
+                    faulty: faulty.to_vec(),
+                    left: collect(LEFT),
+                    center: collect(CENTER),
+                    right: collect(RIGHT),
+                });
+            }
+        }
+        None
+    }
+
+    /// The crossing condition for one partition: a node of `L` with
+    /// `threshold` in-neighbors in `R ∪ C`, or a node of `R` with `threshold`
+    /// in-neighbors in `L ∪ C`.
+    fn partition_condition_holds(&self, assignment: &[u8], threshold: usize) -> bool {
+        for (node, &group) in assignment.iter().enumerate() {
+            let across = match group {
+                LEFT => RIGHT,
+                RIGHT => LEFT,
+                _ => continue,
+            };
+            let crossing = self
+                .in_neighbors(node)
+                .iter()
+                .filter(|&&p| assignment[p] == across || assignment[p] == CENTER)
+                .count();
+            if crossing >= threshold {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Upper bound on the enumeration work: `Σ_{k ≤ f} C(n, k) · 3^(n−k)`,
+/// saturating.
+fn enumeration_work(n: usize, f: usize) -> u128 {
+    let mut total: u128 = 0;
+    for k in 0..=f.min(n) {
+        let choose = binomial_u128(n, k);
+        let per = 3u128.checked_pow((n - k) as u32).unwrap_or(u128::MAX);
+        total = total.saturating_add(choose.saturating_mul(per));
+    }
+    total
+}
+
+fn binomial_u128(n: usize, k: usize) -> u128 {
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_connectivity_basic_cases() {
+        assert!(Topology::complete(4).is_strongly_connected());
+        assert!(Topology::ring(7).is_strongly_connected());
+        // A directed cycle is strongly connected; a directed path is not.
+        let cycle = Topology::from_edges(3, &[(0, 1), (1, 2), (2, 0)], false).unwrap();
+        assert!(cycle.is_strongly_connected());
+        let path = Topology::from_edges(3, &[(0, 1), (1, 2)], false).unwrap();
+        assert!(!path.is_strongly_connected());
+    }
+
+    #[test]
+    fn complete_graph_threshold_matches_the_closed_form() {
+        // On K_n the condition amounts to n ≥ (2d+3)f + 1.
+        for (n, f, d, expected) in [
+            (5usize, 1usize, 1usize, false),
+            (6, 1, 1, true),
+            (7, 2, 1, false),
+            (11, 2, 1, true),
+            (7, 1, 2, false),
+            (8, 1, 2, true),
+        ] {
+            let verdict = Topology::complete(n).iterative_sufficiency(f, d);
+            assert_eq!(
+                verdict.is_satisfied(),
+                expected,
+                "K_{n} with f = {f}, d = {d}: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_is_violated_with_any_fault() {
+        let verdict = Topology::ring(8).iterative_sufficiency(1, 1);
+        let Sufficiency::Violated(witness) = verdict else {
+            panic!("a ring cannot satisfy the condition with f = 1: {verdict:?}");
+        };
+        // The witness must be a genuine partition: F ≤ f, L and R non-empty,
+        // groups disjoint and jointly exhaustive.
+        assert!(witness.faulty.len() <= 1);
+        assert!(!witness.left.is_empty() && !witness.right.is_empty());
+        let mut all: Vec<usize> = witness
+            .faulty
+            .iter()
+            .chain(&witness.left)
+            .chain(&witness.center)
+            .chain(&witness.right)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn f_zero_reduces_to_crossing_edges() {
+        // Strongly connected ⇒ satisfied at f = 0 (threshold 1).
+        assert!(Topology::ring(6).iterative_sufficiency(0, 3).is_satisfied());
+        // a → b alone is fine (b adopts a), but two isolated nodes are not.
+        let one_way = Topology::from_edges(2, &[(0, 1)], false).unwrap();
+        assert!(one_way.iterative_sufficiency(0, 1).is_satisfied());
+        let isolated = Topology::from_edges(2, &[], false).unwrap();
+        assert!(!isolated.iterative_sufficiency(0, 1).is_satisfied());
+    }
+
+    #[test]
+    fn any_six_regular_graph_on_eight_nodes_is_satisfied() {
+        // In-degree n − 2 leaves at most one missing in-neighbor per node, so
+        // no partition can starve both sides (see the README derivation).
+        for seed in 0..5 {
+            let t = Topology::random_regular(8, 6, seed).unwrap();
+            assert!(t.iterative_sufficiency(1, 1).is_satisfied(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_torus_is_violated_at_f_one() {
+        let t = Topology::torus(2, 4).unwrap();
+        assert!(matches!(
+            t.iterative_sufficiency(1, 1),
+            Sufficiency::Violated(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_graphs_report_unknown() {
+        let t = Topology::ring(40);
+        assert_eq!(t.iterative_sufficiency(2, 2), Sufficiency::Unknown);
+        assert_eq!(Sufficiency::Unknown.label(), "unknown");
+    }
+
+    #[test]
+    fn singleton_graph_is_trivially_satisfied() {
+        assert!(Topology::complete(1)
+            .iterative_sufficiency(0, 2)
+            .is_satisfied());
+    }
+}

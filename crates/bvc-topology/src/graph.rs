@@ -1,0 +1,424 @@
+//! The [`Topology`] type: a directed adjacency relation over `n` processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Why a topology could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// A structural parameter is invalid (zero nodes, bad torus dimensions,
+    /// infeasible regular degree, out-of-range edge endpoint, …).
+    Invalid(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Invalid(msg) => write!(f, "invalid topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+fn invalid<T>(message: impl Into<String>) -> Result<T, TopologyError> {
+    Err(TopologyError::Invalid(message.into()))
+}
+
+/// A directed communication graph over processes `0..n`.
+///
+/// The adjacency relation covers the *inter-process* links only; the loopback
+/// link `i → i` is implicit and always present ([`has_edge`](Self::has_edge)
+/// returns `true` for it), so protocols that deliver to themselves work on
+/// every topology.  Neighbor lists never include the process itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    n: usize,
+    label: String,
+    /// Row-major `from * n + to` adjacency (loopback entries stay `false`).
+    adjacency: Vec<bool>,
+    /// Sorted out-neighbor lists, one per process.
+    out: Vec<Vec<usize>>,
+    /// Sorted in-neighbor lists, one per process.
+    incoming: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    fn from_adjacency(n: usize, label: String, adjacency: Vec<bool>) -> Self {
+        debug_assert_eq!(adjacency.len(), n * n);
+        let mut out = vec![Vec::new(); n];
+        let mut incoming = vec![Vec::new(); n];
+        for from in 0..n {
+            for to in 0..n {
+                if from != to && adjacency[from * n + to] {
+                    out[from].push(to);
+                    incoming[to].push(from);
+                }
+            }
+        }
+        Self {
+            n,
+            label,
+            adjacency,
+            out,
+            incoming,
+        }
+    }
+
+    fn build<F: FnMut(usize, usize) -> bool>(n: usize, label: String, mut edge: F) -> Self {
+        let mut adjacency = vec![false; n * n];
+        for from in 0..n {
+            for to in 0..n {
+                if from != to && edge(from, to) {
+                    adjacency[from * n + to] = true;
+                }
+            }
+        }
+        Self::from_adjacency(n, label, adjacency)
+    }
+
+    /// The complete graph on `n` processes — the source paper's setting and
+    /// the default substrate of every executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn complete(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        Self::build(n, "complete".into(), |_, _| true)
+    }
+
+    /// The bidirectional ring: process `i` is linked with `i ± 1 (mod n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        Self::build(n, "ring".into(), |from, to| {
+            (from + 1) % n == to || (to + 1) % n == from
+        })
+    }
+
+    /// The `rows × cols` torus: a grid with wraparound in both dimensions and
+    /// bidirectional 4-neighborhoods (process `r * cols + c` sits at `(r, c)`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `rows == 0`, `cols == 0`.
+    pub fn torus(rows: usize, cols: usize) -> Result<Self, TopologyError> {
+        if rows == 0 || cols == 0 {
+            return invalid("torus dimensions must be positive");
+        }
+        let n = rows * cols;
+        let coords = |i: usize| (i / cols, i % cols);
+        Ok(Self::build(
+            n,
+            format!("torus:{rows}x{cols}"),
+            |from, to| {
+                let (r1, c1) = coords(from);
+                let (r2, c2) = coords(to);
+                let row_adjacent = c1 == c2 && ((r1 + 1) % rows == r2 || (r2 + 1) % rows == r1);
+                let col_adjacent = r1 == r2 && ((c1 + 1) % cols == c2 || (c2 + 1) % cols == c1);
+                row_adjacent || col_adjacent
+            },
+        ))
+    }
+
+    /// A seeded random `degree`-regular undirected graph (every process has
+    /// exactly `degree` in- and out-neighbors, all links bidirectional).
+    ///
+    /// The construction is fully deterministic in `(n, degree, seed)`: it
+    /// starts from the circulant graph with offsets `1..=degree/2` (plus the
+    /// antipodal offset `n/2` when `degree` is odd) and then applies seeded
+    /// degree-preserving double-edge swaps, so the same scenario seed always
+    /// yields the same graph on every platform.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `degree == 0`, `degree >= n`, and odd `degree` with odd `n`
+    /// (no such regular graph exists).
+    pub fn random_regular(n: usize, degree: usize, seed: u64) -> Result<Self, TopologyError> {
+        if n == 0 {
+            return invalid("need at least one process");
+        }
+        if degree == 0 || degree >= n {
+            return invalid(format!(
+                "regular degree must satisfy 1 <= degree < n, got degree = {degree}, n = {n}"
+            ));
+        }
+        if degree % 2 == 1 && n % 2 == 1 {
+            return invalid(format!(
+                "no {degree}-regular graph on {n} nodes exists (odd degree needs even n)"
+            ));
+        }
+        // Circulant seed graph.
+        let mut adjacency = vec![false; n * n];
+        let mut link = |a: usize, b: usize, present: bool| {
+            adjacency[a * n + b] = present;
+            adjacency[b * n + a] = present;
+        };
+        for i in 0..n {
+            for offset in 1..=(degree / 2) {
+                link(i, (i + offset) % n, true);
+            }
+            if degree % 2 == 1 {
+                link(i, (i + n / 2) % n, true);
+            }
+        }
+        // Undirected edge list (a < b) for the swap phase.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if adjacency[a * n + b] {
+                    edges.push((a, b));
+                }
+            }
+        }
+        // Seeded double-edge swaps: (a,b),(c,d) → (a,d),(c,b) whenever the
+        // four endpoints are distinct and the replacement links are absent.
+        // Each swap preserves every degree exactly.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7090_1090_7090_1090);
+        let attempts = 10 * edges.len().max(1);
+        for _ in 0..attempts {
+            if edges.len() < 2 {
+                break;
+            }
+            let i = rng.gen_range(0..edges.len());
+            let j = rng.gen_range(0..edges.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = edges[i];
+            let (c, d) = edges[j];
+            if a == c || a == d || b == c || b == d {
+                continue;
+            }
+            if adjacency[a * n + d] || adjacency[c * n + b] {
+                continue;
+            }
+            let mut link = |x: usize, y: usize, present: bool| {
+                adjacency[x * n + y] = present;
+                adjacency[y * n + x] = present;
+            };
+            link(a, b, false);
+            link(c, d, false);
+            link(a, d, true);
+            link(c, b, true);
+            edges[i] = (a.min(d), a.max(d));
+            edges[j] = (c.min(b), c.max(b));
+        }
+        Ok(Self::from_adjacency(
+            n,
+            format!("random-regular:{degree}"),
+            adjacency,
+        ))
+    }
+
+    /// A topology from an explicit edge list.  Each `(from, to)` pair adds the
+    /// directed link `from → to`; with `undirected = true` the reverse link is
+    /// added as well.  Self-loops are ignored (loopback is implicit).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n == 0` and endpoints `>= n`.
+    pub fn from_edges(
+        n: usize,
+        edges: &[(usize, usize)],
+        undirected: bool,
+    ) -> Result<Self, TopologyError> {
+        if n == 0 {
+            return invalid("need at least one process");
+        }
+        let mut adjacency = vec![false; n * n];
+        for &(from, to) in edges {
+            if from >= n || to >= n {
+                return invalid(format!(
+                    "edge ({from}, {to}) out of range for n = {n} processes"
+                ));
+            }
+            if from == to {
+                continue;
+            }
+            adjacency[from * n + to] = true;
+            if undirected {
+                adjacency[to * n + from] = true;
+            }
+        }
+        Ok(Self::from_adjacency(n, "explicit".into(), adjacency))
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`; every constructor rejects `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// A stable display label of the topology family
+    /// (`complete`, `ring`, `torus:RxC`, `random-regular:K`, `explicit`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Whether the directed link `from → to` exists.  The loopback
+    /// `from == to` always does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        assert!(from < self.n && to < self.n, "endpoint out of range");
+        from == to || self.adjacency[from * self.n + to]
+    }
+
+    /// The processes `to` with a link `i → to`, sorted, excluding `i`.
+    pub fn out_neighbors(&self, i: usize) -> &[usize] {
+        &self.out[i]
+    }
+
+    /// The processes `from` with a link `from → i`, sorted, excluding `i`.
+    pub fn in_neighbors(&self, i: usize) -> &[usize] {
+        &self.incoming[i]
+    }
+
+    /// Out-degree of process `i` (loopback not counted).
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.out[i].len()
+    }
+
+    /// In-degree of process `i` (loopback not counted).
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.incoming[i].len()
+    }
+
+    /// Smallest in-degree over all processes.
+    pub fn min_in_degree(&self) -> usize {
+        (0..self.n).map(|i| self.in_degree(i)).min().unwrap_or(0)
+    }
+
+    /// Smallest out-degree over all processes.
+    pub fn min_out_degree(&self) -> usize {
+        (0..self.n).map(|i| self.out_degree(i)).min().unwrap_or(0)
+    }
+
+    /// Number of directed inter-process links.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Whether every inter-process link exists (the paper's setting).
+    pub fn is_complete(&self) -> bool {
+        self.edge_count() == self.n * self.n.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_has_all_links() {
+        let t = Topology::complete(5);
+        assert!(t.is_complete());
+        assert_eq!(t.edge_count(), 20);
+        assert_eq!(t.out_neighbors(2), &[0, 1, 3, 4]);
+        assert_eq!(t.in_neighbors(2), &[0, 1, 3, 4]);
+        assert_eq!(t.min_in_degree(), 4);
+        assert_eq!(t.label(), "complete");
+    }
+
+    #[test]
+    fn loopback_always_exists() {
+        let t = Topology::ring(4);
+        for i in 0..4 {
+            assert!(t.has_edge(i, i));
+            assert!(!t.out_neighbors(i).contains(&i));
+        }
+    }
+
+    #[test]
+    fn ring_links_are_bidirectional_neighbors() {
+        let t = Topology::ring(5);
+        assert!(!t.is_complete());
+        assert_eq!(t.out_neighbors(0), &[1, 4]);
+        assert_eq!(t.in_neighbors(3), &[2, 4]);
+        assert!(t.has_edge(4, 0) && t.has_edge(0, 4));
+        assert!(!t.has_edge(0, 2));
+        assert_eq!(t.edge_count(), 10);
+    }
+
+    #[test]
+    fn ring_of_two_collapses_to_one_mutual_link() {
+        let t = Topology::ring(2);
+        assert_eq!(t.out_neighbors(0), &[1]);
+        assert_eq!(t.edge_count(), 2);
+    }
+
+    #[test]
+    fn torus_has_wraparound_four_neighborhoods() {
+        let t = Topology::torus(3, 3).unwrap();
+        assert_eq!(t.len(), 9);
+        // Node 0 = (0,0): row wrap → 3 and 6, col wrap → 1 and 2.
+        assert_eq!(t.out_neighbors(0), &[1, 2, 3, 6]);
+        assert_eq!(t.in_degree(4), 4);
+        assert_eq!(t.label(), "torus:3x3");
+        assert!(Topology::torus(0, 3).is_err());
+    }
+
+    #[test]
+    fn two_row_torus_dedupes_coincident_links() {
+        // With 2 rows the up and down neighbors coincide; degree is 3.
+        let t = Topology::torus(2, 4).unwrap();
+        assert_eq!(t.min_in_degree(), 3);
+        assert_eq!(t.min_out_degree(), 3);
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_deterministic() {
+        let a = Topology::random_regular(10, 4, 7).unwrap();
+        let b = Topology::random_regular(10, 4, 7).unwrap();
+        assert_eq!(a, b, "same (n, degree, seed) must yield the same graph");
+        for i in 0..10 {
+            assert_eq!(a.in_degree(i), 4);
+            assert_eq!(a.out_degree(i), 4);
+        }
+        // Links are undirected.
+        for from in 0..10 {
+            for &to in a.out_neighbors(from) {
+                assert!(a.has_edge(to, from));
+            }
+        }
+        let c = Topology::random_regular(10, 4, 8).unwrap();
+        assert_ne!(a, c, "different seeds should (here) yield different graphs");
+    }
+
+    #[test]
+    fn random_regular_rejects_infeasible_parameters() {
+        assert!(Topology::random_regular(5, 0, 0).is_err());
+        assert!(Topology::random_regular(5, 5, 0).is_err());
+        assert!(Topology::random_regular(5, 3, 0).is_err(), "odd·odd");
+        assert!(Topology::random_regular(6, 3, 0).is_ok());
+    }
+
+    #[test]
+    fn explicit_edges_directed_and_undirected() {
+        let directed = Topology::from_edges(3, &[(0, 1), (1, 2), (2, 0)], false).unwrap();
+        assert!(directed.has_edge(0, 1) && !directed.has_edge(1, 0));
+        assert_eq!(directed.edge_count(), 3);
+        let undirected = Topology::from_edges(3, &[(0, 1)], true).unwrap();
+        assert!(undirected.has_edge(1, 0));
+        assert!(Topology::from_edges(3, &[(0, 3)], false).is_err());
+    }
+
+    #[test]
+    fn self_loops_in_edge_lists_are_ignored() {
+        let t = Topology::from_edges(2, &[(0, 0), (0, 1)], false).unwrap();
+        assert_eq!(t.edge_count(), 1);
+        assert!(t.has_edge(0, 0), "loopback is implicit regardless");
+    }
+}

@@ -1,0 +1,47 @@
+//! Directed communication topologies for Byzantine vector consensus.
+//!
+//! The source paper assumes a **complete** communication graph; the follow-up
+//! *Iterative Byzantine Vector Consensus in Incomplete Graphs* (Vaidya 2013,
+//! arXiv:1307.2483) asks when consensus survives on a graph with *declared*
+//! adjacency, building on the partition conditions of *Byzantine Consensus in
+//! Directed Graphs* (Tseng & Vaidya, arXiv:1208.5075).  This crate owns that
+//! substrate:
+//!
+//! * [`Topology`] — a directed adjacency relation over `n` processes, with
+//!   complete / ring / torus / random-regular / explicit constructors and
+//!   in-/out-neighbor iteration.  The loopback link `i → i` always exists, so
+//!   a process can deliver to itself on any topology.
+//! * [`conditions`] — graph-condition checkers: strong connectivity, degree
+//!   minima, and the iterative-BVC sufficiency condition (a 4-partition
+//!   condition checked by exact enumeration for small graphs), so a scenario
+//!   can be rejected or flagged as *expected-unsolvable* up front.
+//! * [`TopologySpec`] — a declarative description of a topology family,
+//!   materialised deterministically from the scenario seed (the
+//!   random-regular family is a seeded construction; everything else is
+//!   seed-independent).
+//!
+//! # Example
+//!
+//! ```
+//! use bvc_topology::{Sufficiency, Topology};
+//!
+//! let ring = Topology::ring(6);
+//! assert_eq!(ring.out_neighbors(0), &[1, 5]);
+//! assert!(ring.is_strongly_connected());
+//! // A ring cannot tolerate even one Byzantine process iteratively…
+//! assert!(matches!(ring.iterative_sufficiency(1, 1), Sufficiency::Violated(_)));
+//! // …but the complete graph on 6 nodes can (d = 1).
+//! let complete = Topology::complete(6);
+//! assert!(matches!(complete.iterative_sufficiency(1, 1), Sufficiency::Satisfied));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conditions;
+pub mod graph;
+pub mod spec;
+
+pub use conditions::{PartitionWitness, Sufficiency};
+pub use graph::{Topology, TopologyError};
+pub use spec::TopologySpec;

@@ -1,0 +1,163 @@
+//! Declarative topology descriptions, materialised from the scenario seed.
+//!
+//! A [`TopologySpec`] names a topology *family*; [`TopologySpec::build`]
+//! instantiates it for a concrete process count and seed.  Every family is a
+//! deterministic function of `(n, seed)` — the random-regular family draws
+//! its wiring from the seed, the others ignore it — so scenario verdicts
+//! remain byte-identical for identical inputs.
+
+use crate::graph::{Topology, TopologyError};
+
+/// A topology family, as declared by a scenario file or a campaign axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The complete graph (the paper's setting; the executor default).
+    Complete,
+    /// The bidirectional ring.
+    Ring,
+    /// The `rows × cols` torus (requires `rows * cols == n`).
+    Torus {
+        /// Number of grid rows.
+        rows: usize,
+        /// Number of grid columns.
+        cols: usize,
+    },
+    /// A seeded random `degree`-regular undirected graph.
+    RandomRegular {
+        /// The uniform in- and out-degree.
+        degree: usize,
+    },
+    /// An explicit edge list.
+    Explicit {
+        /// The `(from, to)` pairs.
+        edges: Vec<(usize, usize)>,
+        /// Whether each pair also adds the reverse link.
+        undirected: bool,
+    },
+}
+
+impl TopologySpec {
+    /// The stable display name of the family, matching
+    /// [`Topology::label`] (`complete`, `ring`, `torus:RxC`,
+    /// `random-regular:K`, `explicit`).
+    pub fn name(&self) -> String {
+        match self {
+            TopologySpec::Complete => "complete".into(),
+            TopologySpec::Ring => "ring".into(),
+            TopologySpec::Torus { rows, cols } => format!("torus:{rows}x{cols}"),
+            TopologySpec::RandomRegular { degree } => format!("random-regular:{degree}"),
+            TopologySpec::Explicit { .. } => "explicit".into(),
+        }
+    }
+
+    /// Parses the compact string form used by campaign axes: `complete`,
+    /// `ring`, `torus:RxC`, `random-regular:K`.  (Explicit edge lists are
+    /// only expressible in a `[topology]` section, not as a sweep value.)
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        if let Some(dims) = name.strip_prefix("torus:") {
+            let Some((rows, cols)) = dims.split_once('x') else {
+                return Err(format!("torus spec `{name}` must be torus:RxC"));
+            };
+            let parse = |s: &str| {
+                s.parse::<usize>()
+                    .map_err(|_| format!("torus spec `{name}` has a non-integer dimension"))
+            };
+            return Ok(TopologySpec::Torus {
+                rows: parse(rows)?,
+                cols: parse(cols)?,
+            });
+        }
+        if let Some(degree) = name.strip_prefix("random-regular:") {
+            let degree = degree
+                .parse::<usize>()
+                .map_err(|_| format!("random-regular spec `{name}` has a non-integer degree"))?;
+            return Ok(TopologySpec::RandomRegular { degree });
+        }
+        match name {
+            "complete" => Ok(TopologySpec::Complete),
+            "ring" => Ok(TopologySpec::Ring),
+            _ => Err(format!(
+                "unknown topology `{name}` (expected complete, ring, torus:RxC or \
+                 random-regular:K)"
+            )),
+        }
+    }
+
+    /// Materialises the family for `n` processes; `seed` drives the
+    /// random-regular construction and is ignored by the seed-independent
+    /// families.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor rejections and a torus whose `rows * cols`
+    /// does not equal `n`.
+    pub fn build(&self, n: usize, seed: u64) -> Result<Topology, TopologyError> {
+        if n == 0 {
+            return Err(TopologyError::Invalid("need at least one process".into()));
+        }
+        match self {
+            TopologySpec::Complete => Ok(Topology::complete(n)),
+            TopologySpec::Ring => Ok(Topology::ring(n)),
+            TopologySpec::Torus { rows, cols } => {
+                if rows * cols != n {
+                    return Err(TopologyError::Invalid(format!(
+                        "torus {rows}x{cols} covers {} processes, scenario has n = {n}",
+                        rows * cols
+                    )));
+                }
+                Topology::torus(*rows, *cols)
+            }
+            TopologySpec::RandomRegular { degree } => Topology::random_regular(n, *degree, seed),
+            TopologySpec::Explicit { edges, undirected } => {
+                Topology::from_edges(n, edges, *undirected)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for name in ["complete", "ring", "torus:2x4", "random-regular:3"] {
+            let spec = TopologySpec::parse(name).unwrap();
+            assert_eq!(spec.name(), name);
+        }
+        assert!(TopologySpec::parse("moebius").is_err());
+        assert!(TopologySpec::parse("torus:2by4").is_err());
+        assert!(TopologySpec::parse("random-regular:x").is_err());
+    }
+
+    #[test]
+    fn build_is_deterministic_in_n_and_seed() {
+        let spec = TopologySpec::RandomRegular { degree: 4 };
+        let a = spec.build(9, 3).unwrap();
+        let b = spec.build(9, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.label(), "random-regular:4");
+    }
+
+    #[test]
+    fn torus_dimensions_must_cover_n() {
+        let spec = TopologySpec::Torus { rows: 2, cols: 4 };
+        assert!(spec.build(8, 0).is_ok());
+        assert!(spec.build(9, 0).is_err());
+    }
+
+    #[test]
+    fn explicit_spec_builds_directed_graphs() {
+        let spec = TopologySpec::Explicit {
+            edges: vec![(0, 1), (1, 2), (2, 0)],
+            undirected: false,
+        };
+        let t = spec.build(3, 0).unwrap();
+        assert!(t.has_edge(0, 1) && !t.has_edge(1, 0));
+        assert_eq!(spec.name(), "explicit");
+    }
+}

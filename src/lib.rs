@@ -21,8 +21,11 @@
 //! * [`baselines`] — per-dimension scalar consensus and iterative scalar
 //!   approximate agreement, used as baselines in the experiments.
 //! * [`scenario`] — the declarative scenario engine: TOML-described runs with
-//!   fault injection (drops, latency, partitions) and a parallel campaign
-//!   runner emitting JSON verdicts.
+//!   fault injection (drops, latency, partitions), topology sweeps and a
+//!   parallel campaign runner emitting JSON verdicts.
+//! * [`topology`] — directed communication topologies (complete / ring /
+//!   torus / random-regular / explicit) with the graph conditions of
+//!   iterative BVC in incomplete graphs.
 //!
 //! # Quickstart
 //!
@@ -61,3 +64,4 @@ pub use bvc_geometry as geometry;
 pub use bvc_lp as lp;
 pub use bvc_net as net;
 pub use bvc_scenario as scenario;
+pub use bvc_topology as topology;

@@ -1,0 +1,143 @@
+//! Property tests for the topology substrate and the iterative protocol:
+//!
+//! * on the **complete** topology with `f = 0`, the iterative protocol
+//!   reaches ε-agreement on a point inside the convex hull of the inputs for
+//!   random inputs and seeds;
+//! * existing exact / restricted / approx scenario runs on the default
+//!   complete topology produce verdicts **byte-identical** to the
+//!   pre-topology engine (pinned against literal JSON captured before the
+//!   topology substrate landed);
+//! * iterative verdicts themselves are byte-identical for identical
+//!   `(scenario, seed, topology)`.
+
+use bvc::core::IterativeBvcRun;
+use bvc::geometry::{ConvexHull, Point, PointMultiset};
+use bvc::scenario::{run_scenario, ScenarioSpec};
+use bvc::topology::Topology;
+use proptest::prelude::*;
+
+fn point_strategy(d: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(0.0f64..1.0, d).prop_map(Point::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fault-free iterative consensus on the complete graph: every decision
+    /// lies in the convex hull of the inputs and all decisions are within ε.
+    #[test]
+    fn iterative_f0_complete_converges_into_the_input_hull(
+        inputs in prop::collection::vec(point_strategy(2), 5),
+        seed in 0u64..1000,
+    ) {
+        let run = IterativeBvcRun::builder(5, 0, 2)
+            .honest_inputs(inputs.clone())
+            .epsilon(0.1)
+            .seed(seed)
+            .topology(Topology::complete(5))
+            .run()
+            .expect("f = 0 on the complete graph is structurally valid");
+        prop_assert!(run.sufficiency().is_satisfied());
+        prop_assert!(run.verdict().termination);
+        prop_assert!(
+            run.verdict().agreement,
+            "max pairwise distance {} exceeds eps",
+            run.verdict().max_pairwise_distance
+        );
+        let hull = ConvexHull::new(PointMultiset::new(inputs));
+        for decision in run.decisions() {
+            prop_assert!(hull.contains(decision), "decision {decision} left the hull");
+        }
+    }
+
+    /// The scalar case additionally pins the hull check to a closed form:
+    /// decisions stay inside [min, max] of the inputs.
+    #[test]
+    fn iterative_f0_scalar_decisions_stay_in_range(
+        coords in prop::collection::vec(0.0f64..1.0, 6),
+        seed in 0u64..1000,
+    ) {
+        let lo = coords.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let inputs: Vec<Point> = coords.iter().map(|&c| Point::new(vec![c])).collect();
+        let run = IterativeBvcRun::builder(6, 0, 1)
+            .honest_inputs(inputs)
+            .epsilon(0.05)
+            .seed(seed)
+            .run()
+            .expect("valid");
+        prop_assert!(run.verdict().all_hold());
+        for decision in run.decisions() {
+            let c = decision.coord(0);
+            prop_assert!(c >= lo - 1e-9 && c <= hi + 1e-9, "{c} outside [{lo}, {hi}]");
+        }
+    }
+}
+
+/// Runs a scenario file from `scenarios/` at a fixed seed and returns its
+/// JSON verdict.
+fn verdict_of(file: &str, seed: u64) -> String {
+    let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let spec = ScenarioSpec::from_toml(&text).expect("scenario parses");
+    run_scenario(&spec, seed, spec.strategy, spec.policy.clone())
+        .expect("scenario runs")
+        .to_json()
+}
+
+/// Verdicts captured at seed 11 *before* the topology substrate landed; the
+/// default complete-graph path must keep producing these exact bytes.
+#[test]
+fn pre_topology_verdicts_are_byte_identical_on_the_default_substrate() {
+    let pinned = [
+        (
+            "happy_path.toml",
+            r#"{"scenario": "happy-path", "protocol": "exact", "n": 6, "f": 1, "d": 2, "epsilon": null, "seed": 11, "strategy": "benign", "policy": "sync", "faults": [], "verdict": {"agreement": true, "validity": true, "termination": true, "max_pairwise_distance": 0.0}, "rounds": 4, "messages": {"sent": 390, "delivered": 390, "dropped": 0}, "per_process": [{"sent": 65, "delivered": 65, "dropped": 0}, {"sent": 65, "delivered": 65, "dropped": 0}, {"sent": 65, "delivered": 65, "dropped": 0}, {"sent": 65, "delivered": 65, "dropped": 0}, {"sent": 65, "delivered": 65, "dropped": 0}, {"sent": 65, "delivered": 65, "dropped": 0}]}"#,
+        ),
+        (
+            "lossy_links.toml",
+            r#"{"scenario": "lossy-links", "protocol": "restricted-async", "n": 6, "f": 1, "d": 1, "epsilon": 0.1, "seed": 11, "strategy": "random-noise", "policy": "random-fair", "faults": ["drop", "latency"], "verdict": {"agreement": true, "validity": true, "termination": true, "max_pairwise_distance": 0.0}, "rounds": 2430, "messages": {"sent": 2490, "delivered": 2430, "dropped": 55}, "per_process": [{"sent": 415, "delivered": 402, "dropped": 0}, {"sent": 415, "delivered": 401, "dropped": 0}, {"sent": 415, "delivered": 402, "dropped": 0}, {"sent": 415, "delivered": 406, "dropped": 0}, {"sent": 415, "delivered": 405, "dropped": 0}, {"sent": 415, "delivered": 414, "dropped": 55}]}"#,
+        ),
+        (
+            "latency_spike.toml",
+            r#"{"scenario": "latency-spike", "protocol": "restricted-sync", "n": 5, "f": 1, "d": 2, "epsilon": 0.1, "seed": 11, "strategy": "equivocate", "policy": "sync", "faults": ["latency"], "verdict": {"agreement": true, "validity": true, "termination": true, "max_pairwise_distance": 0.0}, "rounds": 59, "messages": {"sent": 1164, "delivered": 1164, "dropped": 0}, "per_process": [{"sent": 232, "delivered": 233, "dropped": 0}, {"sent": 232, "delivered": 233, "dropped": 0}, {"sent": 232, "delivered": 233, "dropped": 0}, {"sent": 232, "delivered": 233, "dropped": 0}, {"sent": 236, "delivered": 232, "dropped": 0}]}"#,
+        ),
+        (
+            "thm4_delay_schedule.toml",
+            r#"{"scenario": "thm4-delay-schedule", "protocol": "approx", "n": 4, "f": 1, "d": 1, "epsilon": 0.1, "seed": 11, "strategy": "anti-convergence", "policy": "delay-from:2", "faults": [], "verdict": {"agreement": true, "validity": true, "termination": true, "max_pairwise_distance": 0.0}, "rounds": 4433, "messages": {"sent": 4440, "delivered": 4433, "dropped": 0}, "per_process": [{"sent": 1110, "delivered": 1110, "dropped": 0}, {"sent": 1110, "delivered": 1110, "dropped": 0}, {"sent": 1110, "delivered": 1110, "dropped": 0}, {"sent": 1110, "delivered": 1103, "dropped": 0}]}"#,
+        ),
+    ];
+    for (file, expected) in pinned {
+        assert_eq!(
+            verdict_of(file, 11),
+            expected,
+            "{file}: complete-graph verdicts must stay byte-identical to the \
+             pre-topology engine"
+        );
+    }
+}
+
+/// Topology verdicts are as deterministic as everything else: identical
+/// `(scenario, seed)` yields identical bytes, including the generated
+/// random-regular wiring.
+#[test]
+fn iterative_topology_verdicts_are_byte_identical_across_runs() {
+    let text = r#"
+[scenario]
+name = "det"
+protocol = "iterative"
+n = 8
+f = 1
+d = 1
+epsilon = 0.05
+
+[topology]
+kind = "random-regular:6"
+"#;
+    let spec = ScenarioSpec::from_toml(text).unwrap();
+    let a = run_scenario(&spec, 7, spec.strategy, spec.policy.clone()).unwrap();
+    let b = run_scenario(&spec, 7, spec.strategy, spec.policy.clone()).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    assert!(a.to_json().contains("\"kind\": \"random-regular:6\""));
+    assert!(a.to_json().contains("\"sufficiency\": \"satisfied\""));
+}
