@@ -1,0 +1,241 @@
+//! `perf-compare` — the Γ-engine perf-regression gate.
+//!
+//! Compares a freshly generated `perf-snapshot` document against the
+//! committed baseline (`BENCH_gamma.json`), workload by workload, and fails
+//! loudly when any sufficiently-large workload slowed down past the
+//! tolerance:
+//!
+//! ```text
+//! cargo run --release -p bvc-bench --bin perf-compare -- \
+//!     --baseline BENCH_gamma.json --fresh BENCH_gamma.fresh.json \
+//!     [--tolerance 2.0] [--min-mean-us 500]
+//! ```
+//!
+//! A per-workload delta table goes to stdout either way.  Workloads whose
+//! fresh mean is below `--min-mean-us` are reported but never gate: at the
+//! sub-millisecond scale the matrix's micro rows measure scheduler noise as much
+//! as the engine, and cross-machine variance would make a ratio gate flaky.
+//! A slow regression *into* the measurable range still gates, because the
+//! ratio is checked whenever the fresh mean clears the floor.
+//!
+//! Exit codes: 0 — no regression; 1 — at least one workload regressed past
+//! the tolerance; 2 — a document could not be read or parsed.
+
+use bvc_scenario::json::Json;
+use std::process::ExitCode;
+
+/// One parsed workload row of a `bvc-perf-snapshot/v1` document.
+#[derive(Debug, Clone)]
+struct Workload {
+    kind: String,
+    n: u64,
+    f: u64,
+    d: u64,
+    detail: String,
+    mean_us: f64,
+}
+
+impl Workload {
+    /// Pairing identity: shape plus the stable prefix of `detail` (the
+    /// `", rounds=…"` suffix of macro rows is a measured outcome, not part
+    /// of the workload's identity — keying on it would orphan both rows of
+    /// a pair whenever a code change shifts the round count).
+    fn key(&self) -> (String, u64, u64, u64, String) {
+        let detail_key = self
+            .detail
+            .split(", rounds=")
+            .next()
+            .unwrap_or("")
+            .to_string();
+        (self.kind.clone(), self.n, self.f, self.d, detail_key)
+    }
+
+    fn label(&self) -> String {
+        let mut label = format!("{} n={} f={} d={}", self.kind, self.n, self.f, self.d);
+        if !self.detail.is_empty() {
+            label.push_str(&format!(" [{}]", self.detail));
+        }
+        label
+    }
+}
+
+fn parse_snapshot(path: &str) -> Result<Vec<Workload>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("`{path}`: {e}"))?;
+    let Some(workloads) = json.get("workloads").and_then(Json::as_array) else {
+        return Err(format!("`{path}`: missing `workloads` array"));
+    };
+    let as_u64 =
+        |entry: &Json, key: &str| -> u64 { entry.get(key).and_then(Json::as_u64).unwrap_or(0) };
+    let as_f64 =
+        |entry: &Json, key: &str| -> f64 { entry.get(key).and_then(Json::as_f64).unwrap_or(0.0) };
+    let mut rows = Vec::with_capacity(workloads.len());
+    for entry in workloads {
+        let Some(kind) = entry.get("kind").and_then(Json::as_str) else {
+            return Err(format!("`{path}`: workload without a `kind`"));
+        };
+        rows.push(Workload {
+            kind: kind.to_string(),
+            n: as_u64(entry, "n"),
+            f: as_u64(entry, "f"),
+            d: as_u64(entry, "d"),
+            detail: entry
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            mean_us: as_f64(entry, "mean_us"),
+        });
+    }
+    Ok(rows)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf-compare --baseline <committed.json> --fresh <new.json> \
+         [--tolerance <ratio>] [--min-mean-us <us>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path: Option<String> = None;
+    let mut fresh_path: Option<String> = None;
+    let mut tolerance = 2.0f64;
+    let mut min_mean_us = 500.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--fresh" => fresh_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--tolerance" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse::<f64>() {
+                    Ok(t) if t > 1.0 && t.is_finite() => tolerance = t,
+                    _ => {
+                        eprintln!("perf-compare: --tolerance must be a finite ratio > 1");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--min-mean-us" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse::<f64>() {
+                    Ok(m) if m >= 0.0 && m.is_finite() => min_mean_us = m,
+                    _ => {
+                        eprintln!("perf-compare: --min-mean-us must be a finite number >= 0");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("perf-compare: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let (Some(baseline_path), Some(fresh_path)) = (baseline_path, fresh_path) else {
+        usage()
+    };
+
+    let baseline = match parse_snapshot(&baseline_path) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("perf-compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = match parse_snapshot(&fresh_path) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("perf-compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Pair fresh rows with baseline rows by (kind, n, f, d), first unmatched
+    // occurrence first — the matrix is a fixed ordered list, and repeated
+    // shapes (the two ε variants of the restricted-sync macro) pair in order.
+    let mut used = vec![false; baseline.len()];
+    let mut regressions = 0usize;
+    println!(
+        "{:<58} {:>12} {:>12} {:>8}  status",
+        "workload", "base µs", "fresh µs", "ratio"
+    );
+    for row in &fresh {
+        let matched = baseline
+            .iter()
+            .enumerate()
+            .find(|(i, b)| !used[*i] && b.key() == row.key());
+        let Some((index, base)) = matched else {
+            println!(
+                "{:<58} {:>12} {:>12.1} {:>8}  new (no baseline)",
+                row.label(),
+                "—",
+                row.mean_us,
+                "—"
+            );
+            continue;
+        };
+        used[index] = true;
+        let ratio = if base.mean_us > 0.0 {
+            row.mean_us / base.mean_us
+        } else if row.mean_us > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        let gated = row.mean_us >= min_mean_us;
+        let slow = gated && ratio > tolerance;
+        let status = if slow {
+            regressions += 1;
+            format!("SLOW (> {tolerance:.1}x)")
+        } else if !gated {
+            format!("ok (below {min_mean_us:.0} µs floor)")
+        } else {
+            "ok".to_string()
+        };
+        println!(
+            "{:<58} {:>12.1} {:>12.1} {:>7.2}x  {status}",
+            row.label(),
+            base.mean_us,
+            row.mean_us,
+            ratio
+        );
+    }
+    // A gated-magnitude workload that vanished from the matrix fails the
+    // gate: deleting the slow row must not be a way to pass it.  (Sub-floor
+    // rows may come and go freely.)
+    let mut removed_gated = 0usize;
+    for (i, base) in baseline.iter().enumerate() {
+        if !used[i] {
+            let gated = base.mean_us >= min_mean_us;
+            removed_gated += usize::from(gated);
+            let status = if gated {
+                "REMOVED (gated workload missing)"
+            } else {
+                "removed from matrix"
+            };
+            println!(
+                "{:<58} {:>12.1} {:>12} {:>8}  {status}",
+                base.label(),
+                base.mean_us,
+                "—",
+                "—"
+            );
+        }
+    }
+
+    if regressions > 0 || removed_gated > 0 {
+        eprintln!(
+            "perf-compare: {regressions} workload(s) regressed past the \
+             {tolerance:.1}x tolerance and {removed_gated} gated workload(s) \
+             missing from the fresh matrix (floor {min_mean_us:.0} µs)"
+        );
+        ExitCode::from(1)
+    } else {
+        eprintln!("perf-compare: no regression past {tolerance:.1}x");
+        ExitCode::SUCCESS
+    }
+}

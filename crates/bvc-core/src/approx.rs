@@ -307,7 +307,6 @@ impl AsyncProcess for ByzantineApproxProcess {
 mod tests {
     use super::*;
     use bvc_adversary::ByzantineStrategy;
-    use bvc_geometry::{ConvexHull, PointMultiset};
     use bvc_net::{AsyncNetwork, DeliveryPolicy};
 
     /// Runs the asynchronous algorithm with the last `f` processes Byzantine.
@@ -379,15 +378,7 @@ mod tests {
         }
     }
 
-    fn assert_validity(decisions: &[Point], honest_inputs: &[Point]) {
-        let hull = ConvexHull::new(PointMultiset::new(honest_inputs.to_vec()));
-        for decision in decisions {
-            assert!(
-                hull.contains(decision),
-                "validity violated: {decision} outside the honest hull"
-            );
-        }
-    }
+    use crate::validity::assert_strict_validity as assert_validity;
 
     #[test]
     fn scalar_case_with_outlier_attack() {

@@ -19,7 +19,8 @@
 use crate::config::BvcConfig;
 use bvc_adversary::PointForge;
 use bvc_broadcast::{BroadcastInstance, BroadcastMessage};
-use bvc_geometry::{gamma_point, Point, PointMultiset, SharedGammaCache};
+use bvc_geometry::relaxed::decision_point;
+use bvc_geometry::{Point, PointMultiset, SharedGammaCache, ValidityPredicate};
 use bvc_net::{broadcast_to_all, Delivery, Outgoing, ProcessId, SyncProcess};
 
 /// Message exchanged by the Exact BVC protocol: a Byzantine-broadcast message
@@ -55,6 +56,7 @@ pub struct ExactBvcProcess {
     agreed_multiset: Option<PointMultiset>,
     decision: Option<Point>,
     gamma_cache: Option<SharedGammaCache>,
+    validity: ValidityPredicate,
 }
 
 impl ExactBvcProcess {
@@ -81,7 +83,23 @@ impl ExactBvcProcess {
             agreed_multiset: None,
             decision: None,
             gamma_cache: None,
+            validity: ValidityPredicate::Strict,
         }
+    }
+
+    /// Selects the validity regime of the Step-2 decision rule.  `Strict`
+    /// (the default) picks a point of `Γ(S)`.  Relaxed modes widen the rule
+    /// exactly as the relaxed problem permits: `AlphaScaled(α)` picks a
+    /// point of the `(1+α)`-dilated safe area (byte-identical to strict at
+    /// `α = 0`), and `KRelaxed(k)` falls back to the per-coordinate
+    /// trimmed-centre rule, verified against every `k`-dimensional
+    /// projection, when `Γ(S)` itself is empty.  All honest processes hold
+    /// the identical multiset `S` after Step 1, so every relaxed rule is
+    /// still the "same deterministic function at every process" that exact
+    /// agreement requires.
+    pub fn with_validity_mode(mut self, mode: ValidityPredicate) -> Self {
+        self.validity = mode;
+        self
     }
 
     /// Shares a [`GammaCache`](bvc_geometry::GammaCache) with this process:
@@ -148,11 +166,19 @@ impl ExactBvcProcess {
             })
             .collect();
         let multiset = PointMultiset::new(points);
-        self.decision = match &self.gamma_cache {
-            Some(cache) => cache.find_point(&multiset, self.config.f),
-            None => gamma_point(&multiset, self.config.f),
-        };
+        self.decision = self.decide(&multiset);
         self.agreed_multiset = Some(multiset);
+    }
+
+    /// The Step-2 decision rule under the configured validity regime
+    /// ([`decision_point`]): all honest processes hold the identical
+    /// multiset, so the shared cache computes the (possibly relaxed)
+    /// safe-area value once system-wide.
+    fn decide(&self, multiset: &PointMultiset) -> Option<Point> {
+        match &self.gamma_cache {
+            Some(cache) => cache.decision_point(multiset, self.config.f, &self.validity),
+            None => decision_point(multiset, self.config.f, &self.validity),
+        }
     }
 
     fn outgoing_for_round(&mut self, round: usize) -> Vec<Outgoing<ExactMsg>> {
@@ -247,7 +273,6 @@ impl SyncProcess for ByzantineExactProcess {
 mod tests {
     use super::*;
     use bvc_adversary::ByzantineStrategy;
-    use bvc_geometry::ConvexHull;
     use bvc_net::SyncNetwork;
 
     fn config(n: usize, f: usize, d: usize) -> BvcConfig {
@@ -317,15 +342,7 @@ mod tests {
         }
     }
 
-    fn assert_validity(decisions: &[Point], honest_inputs: &[Point]) {
-        let hull = ConvexHull::new(PointMultiset::new(honest_inputs.to_vec()));
-        for decision in decisions {
-            assert!(
-                hull.contains(decision),
-                "validity violated: {decision} outside the honest hull"
-            );
-        }
-    }
+    use crate::validity::assert_strict_validity as assert_validity;
 
     #[test]
     fn fault_free_skeleton_agrees_on_input_multiset() {

@@ -54,6 +54,7 @@ pub mod iterative;
 pub mod lower_bounds;
 pub mod restricted;
 pub mod run;
+pub mod validity;
 pub mod witness;
 
 pub use aad::{AadExchange, AadMsg, CompletedExchange};
@@ -79,6 +80,9 @@ pub use run::{
     ApproxBvcRun, ApproxBvcRunBuilder, ExactBvcRun, ExactBvcRunBuilder, IterativeBvcRun,
     IterativeBvcRunBuilder, RestrictedAsyncRunBuilder, RestrictedRun, RestrictedSyncRunBuilder,
     Verdict,
+};
+pub use validity::{
+    relaxed_min_processes, require_with_mode, validity_check, ValidityCheck, ValidityMode,
 };
 pub use witness::{
     average_state, build_zi_full, build_zi_full_cached, build_zi_witness, build_zi_witness_cached,

@@ -405,7 +405,6 @@ impl AsyncProcess for ByzantineRestrictedAsync {
 mod tests {
     use super::*;
     use bvc_adversary::ByzantineStrategy;
-    use bvc_geometry::{ConvexHull, PointMultiset};
     use bvc_net::{AsyncNetwork, DeliveryPolicy, SyncNetwork};
 
     fn config(n: usize, f: usize, d: usize, eps: f64) -> BvcConfig {
@@ -428,12 +427,7 @@ mod tests {
         }
     }
 
-    fn assert_validity(decisions: &[Point], honest_inputs: &[Point]) {
-        let hull = ConvexHull::new(PointMultiset::new(honest_inputs.to_vec()));
-        for d in decisions {
-            assert!(hull.contains(d), "validity violated: {d}");
-        }
-    }
+    use crate::validity::assert_strict_validity as assert_validity;
 
     fn run_sync(
         n: usize,

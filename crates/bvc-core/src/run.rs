@@ -25,8 +25,9 @@ use crate::restricted::{
     ByzantineRestrictedAsync, ByzantineRestrictedSync, RestrictedAsyncProcess,
     RestrictedSyncProcess, StateMsg,
 };
+use crate::validity::{require_with_mode, validity_check, ValidityCheck, ValidityMode};
 use bvc_adversary::{ByzantineStrategy, PointForge};
-use bvc_geometry::{ConvexHull, GammaCache, Point, PointMultiset};
+use bvc_geometry::{GammaCache, Point, PointMultiset};
 use bvc_net::{
     AsyncNetwork, AsyncProcess, DeliveryPolicy, ExecutionStats, FaultPlan, SyncNetwork, SyncProcess,
 };
@@ -39,7 +40,9 @@ pub struct Verdict {
     /// Exact algorithms: all honest decisions identical.  Approximate
     /// algorithms: all honest decisions within ε per coordinate.
     pub agreement: bool,
-    /// Every honest decision lies in the convex hull of the honest inputs.
+    /// Every honest decision satisfies the run's validity condition with
+    /// respect to the honest inputs (strict hull membership by default; the
+    /// relaxed conditions of arXiv:1601.08067 when the run declares them).
     pub validity: bool,
     /// Every honest process decided before the executor's budget ran out.
     pub termination: bool,
@@ -58,6 +61,7 @@ impl Verdict {
         honest_inputs: &[Point],
         terminated: bool,
         tolerance: f64,
+        mode: &ValidityMode,
     ) -> Self {
         if decisions.is_empty() || !terminated {
             return Self {
@@ -73,8 +77,8 @@ impl Verdict {
                 max_distance = max_distance.max(decisions[i].linf_distance(&decisions[j]));
             }
         }
-        let hull = ConvexHull::new(PointMultiset::new(honest_inputs.to_vec()));
-        let validity = decisions.iter().all(|d| hull.contains(d));
+        let honest = PointMultiset::new(honest_inputs.to_vec());
+        let validity = decisions.iter().all(|d| mode.contains(&honest, d));
         Self {
             agreement: max_distance <= tolerance,
             validity,
@@ -162,6 +166,7 @@ pub struct ExactBvcRunBuilder {
     value_bounds: (f64, f64),
     faults: FaultPlan,
     topology: Option<Topology>,
+    validity: ValidityMode,
 }
 
 impl ExactBvcRunBuilder {
@@ -205,16 +210,33 @@ impl ExactBvcRunBuilder {
         self
     }
 
+    /// The validity condition the run is scored against (strict hull
+    /// membership by default).  A relaxed mode also relaxes the Step-2
+    /// decision rule — the process picks a point of the *relaxed* safe area
+    /// when the strict one is empty — and lowers the admission bound to the
+    /// relaxed requirement of arXiv:1601.08067.
+    pub fn validity_mode(mut self, mode: ValidityMode) -> Self {
+        self.validity = mode;
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
     ///
     /// Returns an error if the parameters are invalid or `n` is below the
-    /// Theorem 1 bound `max(3f+1, (d+1)f+1)`.
+    /// Theorem 1 bound `max(3f+1, (d+1)f+1)` (lowered accordingly for
+    /// relaxed validity modes).
     pub fn run(self) -> Result<ExactBvcRun, BvcError> {
         let config = BvcConfig::new(self.n, self.f, self.d)?
             .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
-        config.require(Setting::ExactSync)?;
+        require_with_mode(
+            Setting::ExactSync,
+            &self.validity,
+            config.n,
+            config.d,
+            config.f,
+        )?;
         validate_inputs(&config, &self.honest_inputs)?;
 
         // One Γ cache per run: Step 1 gives all honest processes the same
@@ -224,6 +246,7 @@ impl ExactBvcRunBuilder {
         for (i, input) in self.honest_inputs.iter().enumerate() {
             processes.push(Box::new(
                 ExactBvcProcess::new(config.clone(), i, input.clone())
+                    .with_validity_mode(self.validity)
                     .with_gamma_cache(gamma_cache.clone()),
             ));
         }
@@ -253,11 +276,25 @@ impl ExactBvcRunBuilder {
         let terminated = decisions.len() == honest.len();
         // Exact consensus: agreement means identical decisions (up to LP
         // round-off).
-        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, 1e-6);
+        let verdict = Verdict::score(
+            &decisions,
+            &self.honest_inputs,
+            terminated,
+            1e-6,
+            &self.validity,
+        );
+        let validity = validity_check(
+            Setting::ExactSync,
+            self.validity,
+            config.n,
+            config.d,
+            config.f,
+        );
         Ok(ExactBvcRun {
             decisions,
             honest_inputs: self.honest_inputs,
             verdict,
+            validity,
             rounds: outcome.rounds,
             stats: outcome.stats,
         })
@@ -270,6 +307,7 @@ pub struct ExactBvcRun {
     decisions: Vec<Point>,
     honest_inputs: Vec<Point>,
     verdict: Verdict,
+    validity: ValidityCheck,
     rounds: usize,
     stats: ExecutionStats,
 }
@@ -288,6 +326,7 @@ impl ExactBvcRun {
             value_bounds: (0.0, 1.0),
             faults: FaultPlan::new(),
             topology: None,
+            validity: ValidityMode::Strict,
         }
     }
 
@@ -304,6 +343,12 @@ impl ExactBvcRun {
     /// The verdict against Agreement / Validity / Termination.
     pub fn verdict(&self) -> &Verdict {
         &self.verdict
+    }
+
+    /// The validity mode the verdict was scored against, with its (possibly
+    /// lowered) resource requirement.
+    pub fn validity(&self) -> &ValidityCheck {
+        &self.validity
     }
 
     /// Number of synchronous rounds executed.
@@ -337,6 +382,7 @@ pub struct ApproxBvcRunBuilder {
     max_steps: usize,
     faults: FaultPlan,
     topology: Option<Topology>,
+    validity: ValidityMode,
 }
 
 impl ApproxBvcRunBuilder {
@@ -406,17 +452,34 @@ impl ApproxBvcRunBuilder {
         self
     }
 
+    /// The validity condition the run is scored against (strict by default).
+    /// Relaxed modes lower the admission bound to the relaxed requirement;
+    /// the Step-2 update rule itself is unchanged (a relaxed update rule for
+    /// the iterative algorithms is a recorded ROADMAP follow-up), so below
+    /// the strict threshold the verdict records whatever actually happens.
+    pub fn validity_mode(mut self, mode: ValidityMode) -> Self {
+        self.validity = mode;
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
     ///
     /// Returns an error if the parameters are invalid or `n` is below the
-    /// Theorem 4 bound `(d+2)f + 1`.
+    /// Theorem 4 bound `(d+2)f + 1` (lowered accordingly for relaxed
+    /// validity modes).
     pub fn run(self) -> Result<ApproxBvcRun, BvcError> {
         let config = BvcConfig::new(self.n, self.f, self.d)?
             .with_epsilon(self.epsilon)?
             .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
-        config.require(Setting::ApproxAsync)?;
+        require_with_mode(
+            Setting::ApproxAsync,
+            &self.validity,
+            config.n,
+            config.d,
+            config.f,
+        )?;
         validate_inputs(&config, &self.honest_inputs)?;
 
         // One Γ cache per run: overlapping B_i[t] sets across processes share
@@ -454,12 +517,26 @@ impl ApproxBvcRunBuilder {
             .collect();
         let terminated = outputs.len() == honest.len() && outcome.completed;
         let decisions: Vec<Point> = outputs.iter().map(|o| o.decision.clone()).collect();
-        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, config.epsilon);
+        let verdict = Verdict::score(
+            &decisions,
+            &self.honest_inputs,
+            terminated,
+            config.epsilon,
+            &self.validity,
+        );
+        let validity = validity_check(
+            Setting::ApproxAsync,
+            self.validity,
+            config.n,
+            config.d,
+            config.f,
+        );
         let round_budget = ApproxBvcProcess::round_budget(&config, self.rule);
         Ok(ApproxBvcRun {
             outputs,
             honest_inputs: self.honest_inputs,
             verdict,
+            validity,
             round_budget,
             epsilon: config.epsilon,
             stats: outcome.stats,
@@ -473,6 +550,7 @@ pub struct ApproxBvcRun {
     outputs: Vec<ApproxOutput>,
     honest_inputs: Vec<Point>,
     verdict: Verdict,
+    validity: ValidityCheck,
     round_budget: usize,
     epsilon: f64,
     stats: ExecutionStats,
@@ -496,6 +574,7 @@ impl ApproxBvcRun {
             max_steps: 5_000_000,
             faults: FaultPlan::new(),
             topology: None,
+            validity: ValidityMode::Strict,
         }
     }
 
@@ -517,6 +596,12 @@ impl ApproxBvcRun {
     /// The verdict against ε-Agreement / Validity / Termination.
     pub fn verdict(&self) -> &Verdict {
         &self.verdict
+    }
+
+    /// The validity mode the verdict was scored against, with its (possibly
+    /// lowered) resource requirement.
+    pub fn validity(&self) -> &ValidityCheck {
+        &self.validity
     }
 
     /// The static round budget of Step 3 for this configuration.
@@ -574,6 +659,7 @@ pub struct RestrictedSyncRunBuilder {
     value_bounds: (f64, f64),
     faults: FaultPlan,
     topology: Option<Topology>,
+    validity: ValidityMode,
 }
 
 impl RestrictedSyncRunBuilder {
@@ -620,16 +706,31 @@ impl RestrictedSyncRunBuilder {
         self
     }
 
+    /// The validity condition the run is scored against (strict by default).
+    /// Relaxed modes lower the admission bound; the update rule itself is
+    /// unchanged.
+    pub fn validity_mode(mut self, mode: ValidityMode) -> Self {
+        self.validity = mode;
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
     ///
-    /// Returns an error if the parameters are invalid or `n < (d+2)f + 1`.
+    /// Returns an error if the parameters are invalid or `n < (d+2)f + 1`
+    /// (lowered accordingly for relaxed validity modes).
     pub fn run(self) -> Result<RestrictedRun, BvcError> {
         let config = BvcConfig::new(self.n, self.f, self.d)?
             .with_epsilon(self.epsilon)?
             .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
-        config.require(Setting::RestrictedSync)?;
+        require_with_mode(
+            Setting::RestrictedSync,
+            &self.validity,
+            config.n,
+            config.d,
+            config.f,
+        )?;
         validate_inputs(&config, &self.honest_inputs)?;
 
         // One Γ cache per run: in a synchronous round every honest process
@@ -663,10 +764,24 @@ impl RestrictedSyncRunBuilder {
             .filter_map(|&i| outcome.outputs[i].clone())
             .collect();
         let terminated = decisions.len() == honest.len();
-        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, config.epsilon);
+        let verdict = Verdict::score(
+            &decisions,
+            &self.honest_inputs,
+            terminated,
+            config.epsilon,
+            &self.validity,
+        );
+        let validity = validity_check(
+            Setting::RestrictedSync,
+            self.validity,
+            config.n,
+            config.d,
+            config.f,
+        );
         Ok(RestrictedRun {
             decisions,
             verdict,
+            validity,
             rounds: outcome.rounds,
             stats: outcome.stats,
         })
@@ -688,6 +803,7 @@ pub struct RestrictedAsyncRunBuilder {
     max_steps: usize,
     faults: FaultPlan,
     topology: Option<Topology>,
+    validity: ValidityMode,
 }
 
 impl RestrictedAsyncRunBuilder {
@@ -746,16 +862,31 @@ impl RestrictedAsyncRunBuilder {
         self
     }
 
+    /// The validity condition the run is scored against (strict by default).
+    /// Relaxed modes lower the admission bound; the update rule itself is
+    /// unchanged.
+    pub fn validity_mode(mut self, mode: ValidityMode) -> Self {
+        self.validity = mode;
+        self
+    }
+
     /// Runs the execution.
     ///
     /// # Errors
     ///
-    /// Returns an error if the parameters are invalid or `n < (d+4)f + 1`.
+    /// Returns an error if the parameters are invalid or `n < (d+4)f + 1`
+    /// (lowered accordingly for relaxed validity modes).
     pub fn run(self) -> Result<RestrictedRun, BvcError> {
         let config = BvcConfig::new(self.n, self.f, self.d)?
             .with_epsilon(self.epsilon)?
             .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
-        config.require(Setting::RestrictedAsync)?;
+        require_with_mode(
+            Setting::RestrictedAsync,
+            &self.validity,
+            config.n,
+            config.d,
+            config.f,
+        )?;
         validate_inputs(&config, &self.honest_inputs)?;
 
         // One Γ cache per run (partial sharing: asynchronous B_i[t] sets
@@ -788,10 +919,24 @@ impl RestrictedAsyncRunBuilder {
             .filter_map(|&i| outcome.outputs[i].clone())
             .collect();
         let terminated = decisions.len() == honest.len() && outcome.completed;
-        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, config.epsilon);
+        let verdict = Verdict::score(
+            &decisions,
+            &self.honest_inputs,
+            terminated,
+            config.epsilon,
+            &self.validity,
+        );
+        let validity = validity_check(
+            Setting::RestrictedAsync,
+            self.validity,
+            config.n,
+            config.d,
+            config.f,
+        );
         Ok(RestrictedRun {
             decisions,
             verdict,
+            validity,
             rounds: outcome.stats.steps,
             stats: outcome.stats,
         })
@@ -803,6 +948,7 @@ impl RestrictedAsyncRunBuilder {
 pub struct RestrictedRun {
     decisions: Vec<Point>,
     verdict: Verdict,
+    validity: ValidityCheck,
     rounds: usize,
     stats: ExecutionStats,
 }
@@ -821,6 +967,7 @@ impl RestrictedRun {
             value_bounds: (0.0, 1.0),
             faults: FaultPlan::new(),
             topology: None,
+            validity: ValidityMode::Strict,
         }
     }
 
@@ -839,6 +986,7 @@ impl RestrictedRun {
             max_steps: 5_000_000,
             faults: FaultPlan::new(),
             topology: None,
+            validity: ValidityMode::Strict,
         }
     }
 
@@ -850,6 +998,12 @@ impl RestrictedRun {
     /// The verdict against ε-Agreement / Validity / Termination.
     pub fn verdict(&self) -> &Verdict {
         &self.verdict
+    }
+
+    /// The validity mode the verdict was scored against, with its (possibly
+    /// lowered) resource requirement.
+    pub fn validity(&self) -> &ValidityCheck {
+        &self.validity
     }
 
     /// Rounds (synchronous) or scheduler steps (asynchronous) executed.
@@ -887,6 +1041,7 @@ pub struct IterativeBvcRunBuilder {
     value_bounds: (f64, f64),
     faults: FaultPlan,
     topology: Option<Topology>,
+    validity: ValidityMode,
 }
 
 impl IterativeBvcRunBuilder {
@@ -929,6 +1084,18 @@ impl IterativeBvcRunBuilder {
     /// The communication topology (defaults to the complete graph).
     pub fn topology(mut self, topology: Topology) -> Self {
         self.topology = Some(topology);
+        self
+    }
+
+    /// The validity condition the run is scored against (strict by default).
+    /// The iterative update rule has no relaxed variant (a recorded ROADMAP
+    /// follow-up), so the mode affects scoring only: the topology
+    /// sufficiency condition keeps its strict dimension — a sparser graph
+    /// does not become expected-solvable just because the verdict is scored
+    /// leniently, and anticipated convergence failures stay flagged up
+    /// front.
+    pub fn validity_mode(mut self, mode: ValidityMode) -> Self {
+        self.validity = mode;
         self
     }
 
@@ -978,11 +1145,18 @@ impl IterativeBvcRunBuilder {
             .filter_map(|&i| outcome.outputs[i].clone())
             .collect();
         let terminated = decisions.len() == honest.len();
-        let verdict = Verdict::score(&decisions, &self.honest_inputs, terminated, config.epsilon);
+        let verdict = Verdict::score(
+            &decisions,
+            &self.honest_inputs,
+            terminated,
+            config.epsilon,
+            &self.validity,
+        );
         Ok(IterativeBvcRun {
             decisions,
             honest_inputs: self.honest_inputs,
             verdict,
+            validity: self.validity,
             rounds: outcome.rounds,
             stats: outcome.stats,
             sufficiency,
@@ -998,6 +1172,7 @@ pub struct IterativeBvcRun {
     decisions: Vec<Point>,
     honest_inputs: Vec<Point>,
     verdict: Verdict,
+    validity: ValidityMode,
     rounds: usize,
     stats: ExecutionStats,
     sufficiency: Sufficiency,
@@ -1020,6 +1195,7 @@ impl IterativeBvcRun {
             value_bounds: (0.0, 1.0),
             faults: FaultPlan::new(),
             topology: None,
+            validity: ValidityMode::Strict,
         }
     }
 
@@ -1036,6 +1212,13 @@ impl IterativeBvcRun {
     /// The verdict against ε-Agreement / Validity / Termination.
     pub fn verdict(&self) -> &Verdict {
         &self.verdict
+    }
+
+    /// The validity mode the verdict was scored against (the iterative
+    /// protocol's resource signal is [`sufficiency`](Self::sufficiency),
+    /// evaluated at the mode's effective dimension).
+    pub fn validity_mode(&self) -> &ValidityMode {
+        &self.validity
     }
 
     /// The up-front graph-condition check: whether convergence was expected
@@ -1262,6 +1445,81 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, BvcError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn exact_strict_rejects_below_threshold_but_relaxed_admits() {
+        // n = 8 < max(3f+1, (d+1)f+1) = 9 at f = 2, d = 3.
+        let inputs: Vec<Point> = (0..6)
+            .map(|i| {
+                Point::new(vec![
+                    i as f64 / 5.0,
+                    (5 - i) as f64 / 5.0,
+                    0.3 + 0.1 * i as f64,
+                ])
+            })
+            .collect();
+        let err = ExactBvcRun::builder(8, 2, 3)
+            .honest_inputs(inputs.clone())
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BvcError::InsufficientProcesses { required: 9, .. }
+        ));
+        // k = 1 relaxation admits at 3f+1 = 7 and the decoupled trimmed
+        // -centre rule always terminates there.
+        let run = ExactBvcRun::builder(8, 2, 3)
+            .honest_inputs(inputs)
+            .adversary(ByzantineStrategy::FixedOutlier)
+            .seed(1)
+            .validity_mode(ValidityMode::KRelaxed(1))
+            .run()
+            .expect("relaxed admission");
+        assert_eq!(run.validity().required_n, 7);
+        assert!(run.validity().satisfied);
+        assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+    }
+
+    #[test]
+    fn alpha_zero_mode_scores_like_strict_above_threshold() {
+        let strict = ExactBvcRun::builder(5, 1, 2)
+            .honest_inputs(square_inputs())
+            .seed(7)
+            .run()
+            .unwrap();
+        let zero = ExactBvcRun::builder(5, 1, 2)
+            .honest_inputs(square_inputs())
+            .seed(7)
+            .validity_mode(ValidityMode::AlphaScaled(0.0))
+            .run()
+            .unwrap();
+        assert_eq!(strict.verdict(), zero.verdict());
+        for (a, b) in strict.decisions().iter().zip(zero.decisions()) {
+            assert_eq!(a.coords(), b.coords(), "α = 0 decisions are bit-equal");
+        }
+        assert_eq!(zero.validity().required_n, 4, "strict bound at α = 0");
+    }
+
+    #[test]
+    fn iterative_relaxed_mode_scores_only_and_keeps_strict_sufficiency() {
+        // d = 2, f = 1 on K_6: the strict sufficiency condition on K_n is
+        // n ≥ (2d+3)f+1 = 8, so the check is violated.  A relaxed validity
+        // mode must NOT loosen it — the iterative update rule itself is
+        // unchanged, so convergence is no more likely under lenient scoring
+        // and the run must stay flagged expected-unsolvable.
+        let inputs: Vec<Point> = (0..5)
+            .map(|i| Point::new(vec![i as f64 / 4.0, (4 - i) as f64 / 4.0]))
+            .collect();
+        let relaxed = IterativeBvcRun::builder(6, 1, 2)
+            .honest_inputs(inputs)
+            .epsilon(0.2)
+            .seed(2)
+            .validity_mode(ValidityMode::KRelaxed(1))
+            .run()
+            .unwrap();
+        assert!(matches!(relaxed.sufficiency(), Sufficiency::Violated(_)));
+        assert_eq!(relaxed.validity_mode(), &ValidityMode::KRelaxed(1));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::gamma::{contains_impl, find_point_presorted};
 use crate::multiset::PointMultiset;
 use crate::point::Point;
+use crate::relaxed::{k_relaxed_point, relaxed_gamma_point, ValidityPredicate};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -28,19 +29,43 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 /// A Γ-results cache shared between the processes of a run.
 pub type SharedGammaCache = Arc<GammaCache>;
 
-/// Canonical identity of a `(Y, f)` query: the fault bound, the dimension,
-/// and the bit patterns of the canonically ordered members.
+/// The validity regime of a cached point query.  Modes that are
+/// semantically strict (`AlphaScaled(0)`, `KRelaxed(k ≥ d)`) normalise to
+/// [`ModeKey::Strict`] so they share the strict entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ModeKey {
+    Strict,
+    Alpha(u64),
+    K(usize),
+}
+
+impl ModeKey {
+    fn normalise(mode: &ValidityPredicate, dim: usize) -> Self {
+        match mode {
+            ValidityPredicate::Strict => ModeKey::Strict,
+            ValidityPredicate::AlphaScaled(alpha) if *alpha == 0.0 => ModeKey::Strict,
+            ValidityPredicate::AlphaScaled(alpha) => ModeKey::Alpha(alpha.to_bits()),
+            ValidityPredicate::KRelaxed(k) if *k >= dim => ModeKey::Strict,
+            ValidityPredicate::KRelaxed(k) => ModeKey::K(*k),
+        }
+    }
+}
+
+/// Canonical identity of a `(Y, f, mode)` query: the fault bound, the
+/// dimension, the validity regime, and the bit patterns of the canonically
+/// ordered members.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct MultisetKey {
     f: usize,
     dim: usize,
+    mode: ModeKey,
     bits: Vec<u64>,
 }
 
 /// Key from a multiset already in canonical order (callers that need the
 /// canonical multiset anyway — the miss path hands it to the engine —
 /// canonicalise once and reuse it here).
-fn key_of_canonical(canon: &PointMultiset, f: usize) -> MultisetKey {
+fn key_of_canonical(canon: &PointMultiset, f: usize, mode: ModeKey) -> MultisetKey {
     let bits = canon
         .iter()
         .flat_map(|p| p.coords().iter().map(|c| c.to_bits()))
@@ -48,12 +73,13 @@ fn key_of_canonical(canon: &PointMultiset, f: usize) -> MultisetKey {
     MultisetKey {
         f,
         dim: canon.dim(),
+        mode,
         bits,
     }
 }
 
 fn multiset_key(y: &PointMultiset, f: usize) -> MultisetKey {
-    key_of_canonical(&crate::gamma::canonical_order(y), f)
+    key_of_canonical(&crate::gamma::canonical_order(y), f, ModeKey::Strict)
 }
 
 fn point_bits(p: &Point) -> Vec<u64> {
@@ -129,13 +155,65 @@ impl GammaCache {
         // Canonicalise once: the key and the (miss-path) engine both need
         // the canonical order.
         let canon = crate::gamma::canonical_order(y);
-        let key = key_of_canonical(&canon, f);
+        let key = key_of_canonical(&canon, f, ModeKey::Strict);
         if let Some(cached) = lock(&self.points).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = find_point_presorted(canon, f);
+        let mut map = lock(&self.points);
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        map.insert(key, value.clone());
+        value
+    }
+
+    /// Memoised [`decision_point`](crate::relaxed::decision_point): the
+    /// deterministic Step-2 decision value for `(y, f)` under the given
+    /// validity mode.  Modes that are semantically strict (`Strict`,
+    /// `AlphaScaled(0)`, `KRelaxed(k ≥ d)`) share the strict
+    /// [`find_point`](Self::find_point) entries; genuinely relaxed modes get
+    /// their own — which is what lets the `n − f` honest processes of an
+    /// exact run below the strict threshold compute the relaxed safe-area
+    /// intersection once system-wide instead of once each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= y.len()` or the mode's parameter is invalid.
+    pub fn decision_point(
+        &self,
+        y: &PointMultiset,
+        f: usize,
+        mode: &ValidityPredicate,
+    ) -> Option<Point> {
+        let mode_key = ModeKey::normalise(mode, y.dim());
+        if mode_key == ModeKey::Strict {
+            return self.find_point(y, f);
+        }
+        assert!(
+            f < y.len(),
+            "fault bound f = {f} must be smaller than |Y| = {}",
+            y.len()
+        );
+        let canon = crate::gamma::canonical_order(y);
+        let key = key_of_canonical(&canon, f, mode_key.clone());
+        if let Some(cached) = lock(&self.points).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = match &mode_key {
+            ModeKey::Strict => unreachable!("strict-normalised modes return above"),
+            ModeKey::Alpha(bits) => relaxed_gamma_point(&canon, f, f64::from_bits(*bits)),
+            // The k-relaxed rule prefers the strict Γ point; route that leg
+            // through the cache so it shares the ModeKey::Strict entry
+            // instead of re-solving the strict LP on every relaxed miss.
+            ModeKey::K(k) => self
+                .find_point(&canon, f)
+                .or_else(|| k_relaxed_point(&canon, f, *k)),
+        };
         let mut map = lock(&self.points);
         if map.len() >= self.capacity {
             map.clear();
@@ -283,6 +361,35 @@ mod tests {
         assert!(cache.is_empty_region(&y, 1));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn relaxed_decision_points_are_cached_per_mode() {
+        let cache = GammaCache::new();
+        let y = square_plus_centre();
+        // Strict-normalised modes share the strict entry.
+        let strict = cache.find_point(&y, 1).unwrap();
+        let zero = cache
+            .decision_point(&y, 1, &ValidityPredicate::AlphaScaled(0.0))
+            .unwrap();
+        assert_eq!(strict.coords(), zero.coords());
+        assert_eq!(cache.misses(), 1, "α = 0 shares the strict entry");
+        assert_eq!(cache.hits(), 1);
+        // A genuinely relaxed mode gets its own entry, then hits it.
+        let first = cache.decision_point(&y, 2, &ValidityPredicate::AlphaScaled(2.0));
+        let again = cache.decision_point(&y, 2, &ValidityPredicate::AlphaScaled(2.0));
+        assert_eq!(
+            first.as_ref().map(|p| p.coords()),
+            again.as_ref().map(|p| p.coords())
+        );
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
+        // The cached relaxed value equals the uncached decision rule.
+        let direct = crate::relaxed::decision_point(&y, 2, &ValidityPredicate::AlphaScaled(2.0));
+        assert_eq!(
+            first.map(|p| p.coords().to_vec()),
+            direct.map(|p| p.coords().to_vec())
+        );
     }
 
     #[test]

@@ -192,7 +192,7 @@ fn d1_interval(y: &PointMultiset, f: usize) -> (f64, f64) {
 /// contained in this box: projecting onto coordinate `l`, the subset that
 /// drops the `f` largest (resp. smallest) members in that coordinate bounds
 /// every safe point from above (resp. below).
-fn trimmed_bounds(y: &PointMultiset, f: usize) -> (Vec<f64>, Vec<f64>) {
+pub(crate) fn trimmed_bounds(y: &PointMultiset, f: usize) -> (Vec<f64>, Vec<f64>) {
     let m = y.len();
     let d = y.dim();
     let mut lo = Vec::with_capacity(d);

@@ -11,6 +11,10 @@
 //! * [`SafeArea`] and the `gamma_*` helpers — the operator
 //!   `Γ(Y) = ∩_{T ⊆ Y, |T| = |Y| − f} H(T)` of equation (1), the heart of both
 //!   the exact and approximate algorithms.
+//! * [`ValidityPredicate`] and the `relaxed_*` helpers — the relaxed
+//!   validity conditions of Xiang & Vaidya (arXiv:1601.08067): membership in
+//!   the `(1+α)`-dilated honest hull, or of every `k`-coordinate projection
+//!   in the projected hull, plus the matching relaxed safe-area queries.
 //! * [`tverberg`] — Tverberg partitions and points (Theorem 2, Figure 1).
 //! * [`WorkloadGenerator`] — reproducible random input workloads
 //!   (probability vectors, robot positions, box-bounded inputs).
@@ -42,6 +46,7 @@ pub mod gamma;
 pub mod hull;
 pub mod multiset;
 pub mod point;
+pub mod relaxed;
 pub mod tverberg;
 pub mod workload;
 
@@ -53,6 +58,10 @@ pub use gamma::{
 pub use hull::ConvexHull;
 pub use multiset::PointMultiset;
 pub use point::{Point, DEFAULT_TOLERANCE};
+pub use relaxed::{
+    decision_point, dilate_about_centroid, k_relaxed_point, relaxed_gamma_contains,
+    relaxed_gamma_point, ValidityPredicate,
+};
 pub use tverberg::{
     common_point_of_partition, find_radon_partition, find_tverberg_partition, tverberg_threshold,
     TverbergPartition,

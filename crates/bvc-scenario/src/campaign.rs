@@ -8,9 +8,10 @@
 //! order — and therefore the emitted JSON — is independent of thread
 //! interleaving: campaigns are as deterministic as single runs.
 
-use crate::runner::{run_scenario_with_topology, ScenarioError, ScenarioOutcome};
+use crate::runner::{run_scenario_instance, ScenarioError, ScenarioOutcome};
 use crate::schema::ScenarioSpec;
 use bvc_adversary::ByzantineStrategy;
+use bvc_core::ValidityMode;
 use bvc_net::DeliveryPolicy;
 use bvc_topology::TopologySpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,6 +34,9 @@ pub struct Instance {
     /// Topology of this instance (`None` ⇒ the plain complete graph with no
     /// topology metadata in the verdict).
     pub topology: Option<TopologySpec>,
+    /// Validity mode of this instance (`None` ⇒ strict scoring with no
+    /// validity metadata in the verdict).
+    pub validity: Option<ValidityMode>,
 }
 
 /// Expands one scenario into its instance matrix (a scenario without a
@@ -42,13 +46,14 @@ pub struct Instance {
 /// axis is collapsed to one value — sweeping it would only produce
 /// byte-identical duplicate instances.
 pub fn expand(scenario_index: usize, spec: &ScenarioSpec) -> Vec<Instance> {
-    let (seeds, strategies, policies, topologies) = match &spec.campaign {
-        None => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+    let (seeds, strategies, policies, topologies, validity_axis) = match &spec.campaign {
+        None => (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()),
         Some(c) => (
             c.seeds.clone(),
             c.strategies.clone(),
             c.policies.clone(),
             c.topologies.clone(),
+            c.validity_axis(),
         ),
     };
     let seeds = if seeds.is_empty() {
@@ -71,20 +76,29 @@ pub fn expand(scenario_index: usize, spec: &ScenarioSpec) -> Vec<Instance> {
     } else {
         topologies.into_iter().map(Some).collect()
     };
-    let capacity = seeds.len() * strategies.len() * policies.len() * topologies.len();
+    let validities: Vec<Option<ValidityMode>> = if validity_axis.is_empty() {
+        vec![spec.validity]
+    } else {
+        validity_axis.into_iter().map(Some).collect()
+    };
+    let capacity =
+        seeds.len() * strategies.len() * policies.len() * topologies.len() * validities.len();
     let mut instances = Vec::with_capacity(capacity);
     for &seed in &seeds {
         for &strategy in &strategies {
             for policy in &policies {
                 for topology in &topologies {
-                    instances.push(Instance {
-                        scenario_index,
-                        spec: spec.clone(),
-                        seed,
-                        strategy,
-                        policy: policy.clone(),
-                        topology: topology.clone(),
-                    });
+                    for validity in &validities {
+                        instances.push(Instance {
+                            scenario_index,
+                            spec: spec.clone(),
+                            seed,
+                            strategy,
+                            policy: policy.clone(),
+                            topology: topology.clone(),
+                            validity: *validity,
+                        });
+                    }
                 }
             }
         }
@@ -129,12 +143,13 @@ pub fn run_campaign(instances: &[Instance], jobs: usize) -> Vec<InstanceResult> 
                 let Some(instance) = instances.get(index) else {
                     break;
                 };
-                let result = run_scenario_with_topology(
+                let result = run_scenario_instance(
                     &instance.spec,
                     instance.seed,
                     instance.strategy,
                     instance.policy.clone(),
                     instance.topology.as_ref(),
+                    instance.validity.as_ref(),
                 );
                 results.lock().expect("results lock poisoned")[index] = Some(result);
             });
@@ -157,9 +172,11 @@ pub struct CampaignSummary {
     /// Instances that ran but violated agreement, validity or termination on
     /// a substrate the checker declared solvable.
     pub violated: usize,
-    /// Instances whose verdict failed on a topology the up-front graph
-    /// condition flagged as *expected-unsolvable* — data the campaign set out
-    /// to collect, not a regression.
+    /// Instances whose verdict failed on a substrate flagged up front as
+    /// expected-unsolvable — a topology failing the iterative sufficiency
+    /// check, or a validity mode whose (possibly lowered) resource bound the
+    /// run is below — data the campaign set out to collect, not a
+    /// regression.
     pub expected_unsolvable: usize,
     /// Instances that could not run (bound/parameter rejections).
     pub rejected: usize,
@@ -176,7 +193,8 @@ impl CampaignSummary {
                     if outcome
                         .topology
                         .as_ref()
-                        .is_some_and(|t| !t.expected_solvable) =>
+                        .is_some_and(|t| !t.expected_solvable)
+                        || outcome.validity.as_ref().is_some_and(|v| !v.satisfied) =>
                 {
                     summary.expected_unsolvable += 1
                 }

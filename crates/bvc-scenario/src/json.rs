@@ -157,6 +157,25 @@ impl Json {
         }
     }
 
+    /// The numeric payload as `f64` (integers widen), if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            Json::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
     /// The items, if this is an array.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {

@@ -41,6 +41,9 @@
 //! seed = 1                     # base seed; `--seed` overrides per run
 //! max_steps = 500000           # async delivery-step cap
 //! value_bounds = [0.0, 1.0]    # the paper's a-priori bounds [ν, U]
+//! validity = "strict"          # optional: strict | "(1+α)-relaxed" (+ alpha)
+//! # alpha = 0.5                # | k-relaxed (+ k) — the relaxed validity
+//! # k = 1                      # conditions of Xiang & Vaidya 1601.08067
 //!
 //! [inputs]
 //! generator = "random-ball"    # grid | simplex | random-ball | corners | explicit
@@ -78,6 +81,8 @@
 //! strategies = ["equivocate", "anti-convergence"]
 //! policies = ["random-fair", "round-robin"]  # ignored by sync protocols
 //! topologies = ["complete", "ring", "torus:2x4", "random-regular:6"]
+//! alphas = [0.0, 1.0, 3.0]       # validity axis: (1+α)-relaxed values …
+//! ks = [1]                       # … then k-relaxed values
 //! ```
 //!
 //! The `iterative` protocol is the incomplete-graph algorithm of Vaidya 2013:
@@ -86,6 +91,18 @@
 //! **iterative sufficiency check** — scenarios on graphs that fail the check
 //! are flagged `expected_solvable = false` up front, and campaign summaries
 //! count their violations separately (expected data, not regressions).
+//!
+//! A declared (or swept) `validity` mode selects the relaxed conditions of
+//! *Relaxed Byzantine Vector Consensus* (Xiang & Vaidya, arXiv:1601.08067):
+//! verdicts are scored against the `(1+α)`-dilated honest hull or the
+//! `k`-coordinate projections, the run is admitted at the **lowered**
+//! resource bound (e.g. Exact BVC at `3f + 1` instead of
+//! `max(3f+1, (d+1)f+1)`), and the exact protocol's Step-2 rule decides in
+//! the relaxed safe area.  The verdict carries a `validity` object with the
+//! mode, the (lowered) `required_n` and whether `n` meets it — runs below
+//! their bound are tallied as *expected-unsolvable*, exactly like
+//! insufficient topologies.  `scenarios/alpha_sweep.toml` sweeps α below
+//! the strict threshold to show the violation rate collapsing to zero.
 //!
 //! Fault semantics, and the fairness caveat (every fault window must be
 //! finite so the asynchronous executor's eventual-delivery contract still
@@ -135,12 +152,13 @@ pub mod runner;
 pub mod schema;
 pub mod toml;
 
+pub use bvc_core::ValidityMode;
 pub use bvc_topology::TopologySpec;
 pub use campaign::{expand, expand_all, run_campaign, CampaignSummary, Instance, InstanceResult};
-pub use report::{CellStats, ViolationTable};
+pub use report::{CellKey, CellStats, ViolationTable};
 pub use runner::{
-    generate_inputs, run_scenario, run_scenario_with_topology, strategy_label, ScenarioError,
-    ScenarioOutcome, TopologyMeta,
+    generate_inputs, run_scenario, run_scenario_instance, run_scenario_with_topology,
+    strategy_label, ScenarioError, ScenarioOutcome, TopologyMeta, ValidityMeta,
 };
 pub use schema::{
     parse_strategy, policy_name, CampaignSpec, InputSpec, Protocol, ScenarioSpec, SchemaError,

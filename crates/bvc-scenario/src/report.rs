@@ -2,20 +2,22 @@
 //!
 //! `campaign-run --out verdicts.jsonl` leaves one JSON verdict per instance;
 //! this module rolls those lines up into a violation-rate table keyed by
-//! **strategy × fault kinds × topology** — the three adversarial axes the
-//! scenario engine sweeps — and renders it as the Markdown that
+//! **strategy × fault kinds × topology × validity mode** — the adversarial
+//! axes the scenario engine sweeps — and renders it as the Markdown that
 //! `campaign-report` writes into `EXPERIMENTS.md`.
 //!
-//! Rates are reported separately for instances the up-front graph condition
-//! declared solvable and for *expected-unsolvable* ones (incomplete
-//! topologies that fail the iterative sufficiency check): a violation in the
-//! former column is a finding, in the latter it is the anticipated outcome.
+//! Rates are reported separately for instances the up-front checks declared
+//! solvable and for *expected-unsolvable* ones — incomplete topologies that
+//! fail the iterative sufficiency check, or runs below the (possibly
+//! relaxed) resource bound of their declared validity mode: a violation in
+//! the former column is a finding, in the latter it is the anticipated
+//! outcome.
 
 use crate::json::Json;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Aggregated counts for one `(strategy, faults, topology)` cell.
+/// Aggregated counts for one `(strategy, faults, topology, validity)` cell.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CellStats {
     /// Verdicts observed on expected-solvable substrates.
@@ -28,11 +30,14 @@ pub struct CellStats {
     pub unsolvable_violations: usize,
 }
 
-/// The full violation-rate table, keyed `(strategy, faults, topology)` in
-/// sorted order (deterministic rendering).
+/// The key of one aggregation cell: `(strategy, faults, topology, validity)`.
+pub type CellKey = (String, String, String, String);
+
+/// The full violation-rate table, keyed `(strategy, faults, topology,
+/// validity)` in sorted order (deterministic rendering).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ViolationTable {
-    cells: BTreeMap<(String, String, String), CellStats>,
+    cells: BTreeMap<CellKey, CellStats>,
     /// Lines that could not be parsed as verdicts (counted, not fatal).
     pub skipped: usize,
 }
@@ -69,7 +74,7 @@ impl ViolationTable {
                 .join("+"),
             _ => "none".to_string(),
         };
-        let (topology, expected_solvable) = match verdict.get("topology") {
+        let (topology, topology_solvable) = match verdict.get("topology") {
             Some(meta) => (
                 meta.get("kind")
                     .and_then(Json::as_str)
@@ -81,6 +86,19 @@ impl ViolationTable {
             ),
             None => ("complete".to_string(), true),
         };
+        let (validity, validity_satisfied) = match verdict.get("validity") {
+            Some(meta) => (
+                meta.get("mode")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                meta.get("satisfied")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(true),
+            ),
+            None => ("strict".to_string(), true),
+        };
+        let expected_solvable = topology_solvable && validity_satisfied;
         let holds = |key: &str| {
             verdict
                 .get("verdict")
@@ -91,7 +109,7 @@ impl ViolationTable {
         let violated = !(holds("agreement") && holds("validity") && holds("termination"));
         let cell = self
             .cells
-            .entry((strategy.to_string(), faults, topology))
+            .entry((strategy.to_string(), faults, topology, validity))
             .or_default();
         if expected_solvable {
             cell.runs += 1;
@@ -103,7 +121,7 @@ impl ViolationTable {
     }
 
     /// The aggregated cells in key order.
-    pub fn cells(&self) -> impl Iterator<Item = (&(String, String, String), &CellStats)> {
+    pub fn cells(&self) -> impl Iterator<Item = (&CellKey, &CellStats)> {
         self.cells.iter()
     }
 
@@ -123,23 +141,24 @@ impl ViolationTable {
         let _ = writeln!(out);
         let _ = writeln!(
             out,
-            "{} verdicts aggregated per strategy × fault kinds × topology.  \
-             `violation rate` counts failed verdicts on substrates the graph \
-             condition declared solvable; `expected-unsolvable` runs (topologies \
-             failing the iterative sufficiency check) are tallied separately — \
+            "{} verdicts aggregated per strategy × fault kinds × topology × \
+             validity mode.  `violation rate` counts failed verdicts on substrates \
+             the up-front checks declared solvable; `expected-unsolvable` runs \
+             (topologies failing the iterative sufficiency check, or runs below \
+             their validity mode's resource bound) are tallied separately — \
              violations there are the anticipated outcome, not findings.",
             self.total_runs()
         );
         let _ = writeln!(out);
         let _ = writeln!(
             out,
-            "| strategy | faults | topology | runs | violations | violation rate | expected-unsolvable (violated/runs) |"
+            "| strategy | faults | topology | validity | runs | violations | violation rate | expected-unsolvable (violated/runs) |"
         );
         let _ = writeln!(
             out,
-            "|----------|--------|----------|-----:|-----------:|---------------:|------------------------------------:|"
+            "|----------|--------|----------|----------|-----:|-----------:|---------------:|------------------------------------:|"
         );
-        for ((strategy, faults, topology), cell) in &self.cells {
+        for ((strategy, faults, topology, validity), cell) in &self.cells {
             let rate = if cell.runs == 0 {
                 "—".to_string()
             } else {
@@ -152,7 +171,7 @@ impl ViolationTable {
             };
             let _ = writeln!(
                 out,
-                "| {strategy} | {faults} | {topology} | {} | {} | {rate} | {unsolvable} |",
+                "| {strategy} | {faults} | {topology} | {validity} | {} | {} | {rate} | {unsolvable} |",
                 cell.runs, cell.violations
             );
         }
@@ -174,6 +193,16 @@ mod tests {
         topology: Option<(&str, bool)>,
         ok: bool,
     ) -> String {
+        verdict_line_with_validity(strategy, fault, topology, None, ok)
+    }
+
+    fn verdict_line_with_validity(
+        strategy: &str,
+        fault: Option<&str>,
+        topology: Option<(&str, bool)>,
+        validity: Option<(&str, bool)>,
+        ok: bool,
+    ) -> String {
         let faults = match fault {
             Some(f) => format!("[\"{f}\"]"),
             None => "[]".into(),
@@ -184,14 +213,20 @@ mod tests {
             ),
             None => String::new(),
         };
+        let val = match validity {
+            Some((mode, satisfied)) => {
+                format!(", \"validity\": {{\"mode\": \"{mode}\", \"satisfied\": {satisfied}}}")
+            }
+            None => String::new(),
+        };
         format!(
-            "{{\"strategy\": \"{strategy}\", \"faults\": {faults}{topo}, \
+            "{{\"strategy\": \"{strategy}\", \"faults\": {faults}{topo}{val}, \
              \"verdict\": {{\"agreement\": {ok}, \"validity\": true, \"termination\": {ok}}}}}"
         )
     }
 
     #[test]
-    fn aggregation_buckets_by_all_three_axes() {
+    fn aggregation_buckets_by_all_four_axes() {
         let lines = [
             verdict_line("equivocate", Some("drop"), None, true),
             verdict_line("equivocate", Some("drop"), None, false),
@@ -205,14 +240,15 @@ mod tests {
         assert_eq!(table.total_runs(), 4);
         let cells: Vec<_> = table.cells().collect();
         assert_eq!(cells.len(), 3);
-        // BTreeMap order: (equivocate, drop, complete), (equivocate, none, ring),
-        // (silent, drop, complete).
+        // BTreeMap order: (equivocate, drop, complete, strict),
+        // (equivocate, none, ring, strict), (silent, drop, complete, strict).
         assert_eq!(
             cells[0].0,
             &(
                 "equivocate".to_string(),
                 "drop".to_string(),
-                "complete".to_string()
+                "complete".to_string(),
+                "strict".to_string()
             )
         );
         assert_eq!(cells[0].1.runs, 2);
@@ -226,6 +262,39 @@ mod tests {
     }
 
     #[test]
+    fn validity_modes_split_cells_and_unsatisfied_runs_are_expected() {
+        let lines = [
+            verdict_line_with_validity(
+                "equivocate",
+                None,
+                None,
+                Some(("(1+0)-relaxed", false)),
+                false,
+            ),
+            verdict_line_with_validity(
+                "equivocate",
+                None,
+                None,
+                Some(("(1+0.5)-relaxed", true)),
+                true,
+            ),
+        ]
+        .join("\n");
+        let table = ViolationTable::from_jsonl(&lines);
+        let cells: Vec<_> = table.cells().collect();
+        assert_eq!(cells.len(), 2, "each α gets its own row");
+        let zero = &cells[0];
+        assert_eq!(zero.0 .3, "(1+0)-relaxed");
+        assert_eq!(zero.1.runs, 0, "below-bound runs are expected data");
+        assert_eq!(zero.1.unsolvable_runs, 1);
+        assert_eq!(zero.1.unsolvable_violations, 1);
+        let half = &cells[1];
+        assert_eq!(half.0 .3, "(1+0.5)-relaxed");
+        assert_eq!(half.1.runs, 1);
+        assert_eq!(half.1.violations, 0);
+    }
+
+    #[test]
     fn markdown_renders_rates_and_dashes() {
         let lines = [
             verdict_line("equivocate", Some("latency"), None, true),
@@ -234,7 +303,7 @@ mod tests {
         .join("\n");
         let md = ViolationTable::from_jsonl(&lines).to_markdown("Smoke");
         assert!(md.contains("## Smoke"));
-        assert!(md.contains("| equivocate | latency | complete | 2 | 1 | 50.0% | — |"));
+        assert!(md.contains("| equivocate | latency | complete | strict | 2 | 1 | 50.0% | — |"));
     }
 
     #[test]

@@ -9,7 +9,10 @@
 use crate::json::Json;
 use crate::schema::{policy_name, InputSpec, Protocol, ScenarioSpec};
 use bvc_adversary::ByzantineStrategy;
-use bvc_core::{ApproxBvcRun, BvcError, ExactBvcRun, IterativeBvcRun, RestrictedRun, Verdict};
+use bvc_core::{
+    ApproxBvcRun, BvcError, ExactBvcRun, IterativeBvcRun, RestrictedRun, ValidityCheck,
+    ValidityMode, Verdict,
+};
 use bvc_geometry::{Point, WorkloadGenerator};
 use bvc_net::{DeliveryPolicy, ExecutionStats, FaultPlan};
 use bvc_topology::{Topology, TopologySpec};
@@ -106,6 +109,62 @@ impl TopologyMeta {
     }
 }
 
+/// Validity metadata recorded in a verdict when the scenario declared (or
+/// swept) a validity mode.  Absent for plain strict scenarios, whose JSON
+/// stays byte-identical to the pre-validity schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidityMeta {
+    /// Stable mode label (`strict`, `(1+0.5)-relaxed`, `2-relaxed`).
+    pub mode: String,
+    /// The α of `(1+α)`-relaxed modes.
+    pub alpha: Option<f64>,
+    /// The k of `k`-relaxed modes.
+    pub k: Option<usize>,
+    /// The (possibly lowered) minimum `n` for the protocol under this mode
+    /// (`None` for the iterative protocol, whose resource signal is the
+    /// topology sufficiency check).
+    pub required_n: Option<usize>,
+    /// Whether the run meets its resource requirement.  A violated verdict
+    /// with `satisfied = false` is expected data (mirrors
+    /// [`TopologyMeta::expected_solvable`]).
+    pub satisfied: bool,
+}
+
+impl ValidityMeta {
+    fn params(mode: &ValidityMode) -> (Option<f64>, Option<usize>) {
+        match mode {
+            ValidityMode::Strict => (None, None),
+            ValidityMode::AlphaScaled(a) => (Some(*a), None),
+            ValidityMode::KRelaxed(k) => (None, Some(*k)),
+        }
+    }
+
+    fn from_check(check: &ValidityCheck) -> Self {
+        let (alpha, k) = Self::params(&check.mode);
+        Self {
+            mode: check.mode.label(),
+            alpha,
+            k,
+            required_n: Some(check.required_n),
+            satisfied: check.satisfied,
+        }
+    }
+
+    /// For the iterative protocol, which has no closed-form `n` bound: the
+    /// expected-solvable signal lives in the topology metadata (sufficiency
+    /// evaluated at the mode's effective dimension).
+    fn from_mode(mode: &ValidityMode) -> Self {
+        let (alpha, k) = Self::params(mode);
+        Self {
+            mode: mode.label(),
+            alpha,
+            k,
+            required_n: None,
+            satisfied: true,
+        }
+    }
+}
+
 /// The outcome of one scenario instance, ready for JSON serialisation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
@@ -128,6 +187,8 @@ pub struct ScenarioOutcome {
     pub faults: Vec<&'static str>,
     /// Topology metadata (`None` for plain complete-graph scenarios).
     pub topology: Option<TopologyMeta>,
+    /// Validity metadata (`None` for plain strict scenarios).
+    pub validity: Option<ValidityMeta>,
     /// The scored verdict.
     pub verdict: Verdict,
     /// Rounds (sync) or delivery steps (async) executed.
@@ -185,6 +246,19 @@ impl ScenarioOutcome {
                     .field("sufficiency", meta.sufficiency)
                     .field("expected_solvable", meta.expected_solvable),
             );
+        }
+        if let Some(meta) = &self.validity {
+            let mut obj = Json::object().field("mode", meta.mode.as_str());
+            if let Some(alpha) = meta.alpha {
+                obj = obj.field("alpha", Json::Float(alpha));
+            }
+            if let Some(k) = meta.k {
+                obj = obj.field("k", k);
+            }
+            if let Some(required_n) = meta.required_n {
+                obj = obj.field("required_n", required_n);
+            }
+            json = json.field("validity", obj.field("satisfied", meta.satisfied));
         }
         json.field(
             "verdict",
@@ -331,16 +405,19 @@ pub fn run_scenario(
     strategy: ByzantineStrategy,
     policy: DeliveryPolicy,
 ) -> Result<ScenarioOutcome, ScenarioError> {
-    run_scenario_with_topology(spec, seed, strategy, policy, spec.topology.as_ref())
+    run_scenario_instance(
+        spec,
+        seed,
+        strategy,
+        policy,
+        spec.topology.as_ref(),
+        spec.validity.as_ref(),
+    )
 }
 
-/// [`run_scenario`] with the topology axis made explicit, so campaign sweeps
-/// can override the scenario's base topology per instance.
-///
-/// The topology is materialised deterministically from the instance seed
-/// (only the random-regular family consumes it).  `None` means the plain
-/// complete graph *and* suppresses the `topology` verdict field, keeping
-/// pre-topology scenarios byte-identical.
+/// [`run_scenario`] with the topology axis made explicit, so callers can
+/// override the scenario's base topology per instance (the validity mode
+/// stays the scenario's own).
 ///
 /// # Errors
 ///
@@ -353,7 +430,42 @@ pub fn run_scenario_with_topology(
     policy: DeliveryPolicy,
     topology_spec: Option<&TopologySpec>,
 ) -> Result<ScenarioOutcome, ScenarioError> {
+    run_scenario_instance(
+        spec,
+        seed,
+        strategy,
+        policy,
+        topology_spec,
+        spec.validity.as_ref(),
+    )
+}
+
+/// [`run_scenario`] with every campaign axis made explicit: topology *and*
+/// validity mode, so sweeps can override both per instance.
+///
+/// The topology is materialised deterministically from the instance seed
+/// (only the random-regular family consumes it).  `None` means the plain
+/// complete graph *and* suppresses the `topology` verdict field, keeping
+/// pre-topology scenarios byte-identical; likewise a `None` validity means
+/// strict scoring with no `validity` verdict field.  A declared (or swept)
+/// mode is threaded into the run builder: it selects the scoring predicate,
+/// lowers the admission bound to the relaxed requirement, and — for the
+/// exact protocol — relaxes the Step-2 decision rule itself.
+///
+/// # Errors
+///
+/// Same as [`run_scenario`]; an unbuildable topology (size mismatch,
+/// infeasible degree) is a rejection.
+pub fn run_scenario_instance(
+    spec: &ScenarioSpec,
+    seed: u64,
+    strategy: ByzantineStrategy,
+    policy: DeliveryPolicy,
+    topology_spec: Option<&TopologySpec>,
+    validity: Option<&ValidityMode>,
+) -> Result<ScenarioOutcome, ScenarioError> {
     let inputs = generate_inputs(spec, seed)?;
+    let mode = validity.copied().unwrap_or(ValidityMode::Strict);
     // The iterative protocol always reports its substrate, defaulting to the
     // complete graph; the four complete-graph protocols only when declared.
     let default_complete = TopologySpec::Complete;
@@ -395,6 +507,7 @@ pub fn run_scenario_with_topology(
             policy: policy_label.clone(),
             faults: fault_names.clone(),
             topology: topology_meta.clone(),
+            validity: None,
             verdict,
             rounds,
             stats,
@@ -407,17 +520,20 @@ pub fn run_scenario_with_topology(
                 .adversary(strategy)
                 .seed(seed)
                 .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
+                .validity_mode(mode)
                 .faults(sync_rounds_plan(&spec.faults));
             if let Some(t) = &topology {
                 builder = builder.topology(t.clone());
             }
             let run = builder.run()?;
-            base(
+            let mut outcome = base(
                 run.verdict().clone(),
                 run.rounds(),
                 run.stats().clone(),
                 None,
-            )
+            );
+            outcome.validity = validity.map(|_| ValidityMeta::from_check(run.validity()));
+            outcome
         }
         Protocol::Approx => {
             let mut builder = ApproxBvcRun::builder(spec.n, spec.f, spec.d)
@@ -428,18 +544,21 @@ pub fn run_scenario_with_topology(
                 .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
                 .delivery_policy(policy)
                 .max_steps(spec.max_steps)
+                .validity_mode(mode)
                 .faults(spec.faults.clone());
             if let Some(t) = &topology {
                 builder = builder.topology(t.clone());
             }
             let run = builder.run()?;
             let steps = run.stats().steps;
-            base(
+            let mut outcome = base(
                 run.verdict().clone(),
                 steps,
                 run.stats().clone(),
                 Some(spec.epsilon),
-            )
+            );
+            outcome.validity = validity.map(|_| ValidityMeta::from_check(run.validity()));
+            outcome
         }
         Protocol::RestrictedSync => {
             let mut builder = RestrictedRun::sync_builder(spec.n, spec.f, spec.d)
@@ -448,17 +567,20 @@ pub fn run_scenario_with_topology(
                 .seed(seed)
                 .epsilon(spec.epsilon)
                 .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
+                .validity_mode(mode)
                 .faults(sync_rounds_plan(&spec.faults));
             if let Some(t) = &topology {
                 builder = builder.topology(t.clone());
             }
             let run = builder.run()?;
-            base(
+            let mut outcome = base(
                 run.verdict().clone(),
                 run.rounds(),
                 run.stats().clone(),
                 Some(spec.epsilon),
-            )
+            );
+            outcome.validity = validity.map(|_| ValidityMeta::from_check(run.validity()));
+            outcome
         }
         Protocol::RestrictedAsync => {
             let mut builder = RestrictedRun::async_builder(spec.n, spec.f, spec.d)
@@ -469,17 +591,20 @@ pub fn run_scenario_with_topology(
                 .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
                 .delivery_policy(policy)
                 .max_steps(spec.max_steps)
+                .validity_mode(mode)
                 .faults(spec.faults.clone());
             if let Some(t) = &topology {
                 builder = builder.topology(t.clone());
             }
             let run = builder.run()?;
-            base(
+            let mut outcome = base(
                 run.verdict().clone(),
                 run.rounds(),
                 run.stats().clone(),
                 Some(spec.epsilon),
-            )
+            );
+            outcome.validity = validity.map(|_| ValidityMeta::from_check(run.validity()));
+            outcome
         }
         Protocol::Iterative => {
             let mut builder = IterativeBvcRun::builder(spec.n, spec.f, spec.d)
@@ -488,6 +613,7 @@ pub fn run_scenario_with_topology(
                 .seed(seed)
                 .epsilon(spec.epsilon)
                 .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
+                .validity_mode(mode)
                 .faults(sync_rounds_plan(&spec.faults));
             if let Some(t) = &topology {
                 builder = builder.topology(t.clone());
@@ -504,6 +630,7 @@ pub fn run_scenario_with_topology(
                 spec.protocol,
                 run.sufficiency(),
             ));
+            outcome.validity = validity.map(|_| ValidityMeta::from_mode(run.validity_mode()));
             outcome
         }
     };

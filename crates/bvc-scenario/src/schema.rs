@@ -8,6 +8,7 @@
 
 use crate::toml::{parse, TomlValue};
 use bvc_adversary::ByzantineStrategy;
+use bvc_core::ValidityMode;
 use bvc_net::{DeliveryPolicy, FaultEvent, FaultKind, FaultPlan, LinkSelector, ProcessId};
 use bvc_topology::TopologySpec;
 use std::collections::BTreeMap;
@@ -111,6 +112,27 @@ pub struct CampaignSpec {
     /// Topologies to sweep (empty ⇒ the scenario topology), in the compact
     /// string form of [`TopologySpec::parse`].
     pub topologies: Vec<TopologySpec>,
+    /// `(1+α)`-relaxed validity values to sweep (`alphas = [..]`).
+    pub alphas: Vec<f64>,
+    /// `k`-relaxed validity values to sweep (`ks = [..]`).  `alphas` and
+    /// `ks` together form one validity axis (alphas first, then ks); when
+    /// both are empty the scenario's base `validity` is used.
+    pub ks: Vec<usize>,
+}
+
+impl CampaignSpec {
+    /// The validity axis of the sweep: the declared `alphas` (as
+    /// [`ValidityMode::AlphaScaled`]) followed by the declared `ks` (as
+    /// [`ValidityMode::KRelaxed`]), or empty when neither was given.
+    pub fn validity_axis(&self) -> Vec<ValidityMode> {
+        let mut axis: Vec<ValidityMode> = self
+            .alphas
+            .iter()
+            .map(|&a| ValidityMode::AlphaScaled(a))
+            .collect();
+        axis.extend(self.ks.iter().map(|&k| ValidityMode::KRelaxed(k)));
+        axis
+    }
 }
 
 /// A fully parsed scenario.
@@ -145,6 +167,9 @@ pub struct ScenarioSpec {
     /// Declared communication topology (`None` ⇒ the paper's complete graph;
     /// verdicts then stay byte-identical to the pre-topology schema).
     pub topology: Option<TopologySpec>,
+    /// Declared validity condition (`None` ⇒ strict scoring with no validity
+    /// metadata in the verdict, byte-identical to the pre-validity schema).
+    pub validity: Option<ValidityMode>,
     /// Optional sweep axes.
     pub campaign: Option<CampaignSpec>,
 }
@@ -468,6 +493,37 @@ fn parse_topology(table: &Table) -> Result<TopologySpec, SchemaError> {
     }
 }
 
+/// Parses the `[scenario]` table's validity declaration: `validity =
+/// "strict" | "(1+α)-relaxed" | "k-relaxed"` (ASCII alias `alpha-relaxed`
+/// accepted), with companion keys `alpha` (default `0.0`) and `k` (default
+/// `1`).
+fn parse_validity(table: &Table) -> Result<Option<ValidityMode>, SchemaError> {
+    let Some(name) = get_str(table, "validity")? else {
+        return Ok(None);
+    };
+    match name {
+        "strict" => Ok(Some(ValidityMode::Strict)),
+        "(1+α)-relaxed" | "(1+a)-relaxed" | "alpha-relaxed" => {
+            let alpha = get_f64(table, "alpha")?.unwrap_or(0.0);
+            if !(alpha.is_finite() && alpha >= 0.0) {
+                return bad(format!("`alpha` must be finite and >= 0, got {alpha}"));
+            }
+            Ok(Some(ValidityMode::AlphaScaled(alpha)))
+        }
+        "k-relaxed" => {
+            let k = get_usize(table, "k")?.unwrap_or(1);
+            if k == 0 {
+                return bad("`k` must be at least 1");
+            }
+            Ok(Some(ValidityMode::KRelaxed(k)))
+        }
+        other => bad(format!(
+            "unknown validity `{other}` (expected strict, (1+α)-relaxed / \
+             alpha-relaxed, or k-relaxed)"
+        )),
+    }
+}
+
 fn parse_campaign(table: &Table) -> Result<CampaignSpec, SchemaError> {
     let mut campaign = CampaignSpec::default();
     if let Some(value) = table.get("seeds") {
@@ -531,6 +587,28 @@ fn parse_campaign(table: &Table) -> Result<CampaignSpec, SchemaError> {
             campaign
                 .topologies
                 .push(TopologySpec::parse(name).map_err(SchemaError)?);
+        }
+    }
+    if let Some(value) = table.get("alphas") {
+        let Some(items) = value.as_array() else {
+            return bad("`alphas` must be an array of numbers");
+        };
+        for item in items {
+            match item.as_float() {
+                Some(a) if a.is_finite() && a >= 0.0 => campaign.alphas.push(a),
+                _ => return bad("`alphas` must contain finite numbers >= 0"),
+            }
+        }
+    }
+    if let Some(value) = table.get("ks") {
+        let Some(items) = value.as_array() else {
+            return bad("`ks` must be an array of positive integers");
+        };
+        for item in items {
+            match item.as_integer() {
+                Some(k) if k >= 1 => campaign.ks.push(k as usize),
+                _ => return bad("`ks` must contain positive integers"),
+            }
         }
     }
     Ok(campaign)
@@ -609,6 +687,8 @@ impl ScenarioSpec {
             None => None,
         };
 
+        let validity = parse_validity(scenario)?;
+
         let campaign = match root.get("campaign").and_then(|v| v.as_table()) {
             Some(table) => Some(parse_campaign(table)?),
             None => None,
@@ -629,6 +709,7 @@ impl ScenarioSpec {
             policy,
             faults,
             topology,
+            validity,
             campaign,
         })
     }
@@ -716,7 +797,70 @@ strategies = ["equivocate", "silent"]
         assert!(spec.faults.is_empty());
         assert!(spec.campaign.is_none());
         assert!(spec.topology.is_none(), "no [topology] ⇒ complete graph");
+        assert!(
+            spec.validity.is_none(),
+            "no `validity` ⇒ strict, no metadata"
+        );
         assert_eq!(spec.value_bounds, (0.0, 1.0));
+    }
+
+    #[test]
+    fn validity_declarations_parse() {
+        let base = "[scenario]\nname = \"v\"\nprotocol = \"exact\"\nn = 8\nf = 2\nd = 3\n";
+        let strict = format!("{base}validity = \"strict\"\n");
+        assert_eq!(
+            ScenarioSpec::from_toml(&strict).unwrap().validity,
+            Some(ValidityMode::Strict)
+        );
+        let alpha = format!("{base}validity = \"(1+α)-relaxed\"\nalpha = 0.5\n");
+        assert_eq!(
+            ScenarioSpec::from_toml(&alpha).unwrap().validity,
+            Some(ValidityMode::AlphaScaled(0.5))
+        );
+        let ascii = format!("{base}validity = \"alpha-relaxed\"\n");
+        assert_eq!(
+            ScenarioSpec::from_toml(&ascii).unwrap().validity,
+            Some(ValidityMode::AlphaScaled(0.0)),
+            "alpha defaults to 0"
+        );
+        let k = format!("{base}validity = \"k-relaxed\"\nk = 2\n");
+        assert_eq!(
+            ScenarioSpec::from_toml(&k).unwrap().validity,
+            Some(ValidityMode::KRelaxed(2))
+        );
+        let bad_name = format!("{base}validity = \"loose\"\n");
+        assert!(ScenarioSpec::from_toml(&bad_name).is_err());
+        let bad_alpha = format!("{base}validity = \"alpha-relaxed\"\nalpha = -1.0\n");
+        assert!(ScenarioSpec::from_toml(&bad_alpha).is_err());
+        let bad_k = format!("{base}validity = \"k-relaxed\"\nk = 0\n");
+        assert!(ScenarioSpec::from_toml(&bad_k).is_err());
+    }
+
+    #[test]
+    fn campaign_validity_axes_parse() {
+        let text = "[scenario]\nname = \"v\"\nprotocol = \"exact\"\nn = 8\nf = 2\nd = 3\n\
+            validity = \"(1+α)-relaxed\"\n\
+            [campaign]\nalphas = [0.0, 0.5, 1.0]\nks = [1, 2]\n";
+        let spec = ScenarioSpec::from_toml(text).unwrap();
+        let campaign = spec.campaign.unwrap();
+        assert_eq!(campaign.alphas, vec![0.0, 0.5, 1.0]);
+        assert_eq!(campaign.ks, vec![1, 2]);
+        assert_eq!(
+            campaign.validity_axis(),
+            vec![
+                ValidityMode::AlphaScaled(0.0),
+                ValidityMode::AlphaScaled(0.5),
+                ValidityMode::AlphaScaled(1.0),
+                ValidityMode::KRelaxed(1),
+                ValidityMode::KRelaxed(2),
+            ]
+        );
+        let bad = "[scenario]\nname = \"v\"\nprotocol = \"exact\"\nn = 8\nf = 2\nd = 3\n\
+            [campaign]\nalphas = [-0.5]\n";
+        assert!(ScenarioSpec::from_toml(bad).is_err());
+        let bad_k = "[scenario]\nname = \"v\"\nprotocol = \"exact\"\nn = 8\nf = 2\nd = 3\n\
+            [campaign]\nks = [0]\n";
+        assert!(ScenarioSpec::from_toml(bad_k).is_err());
     }
 
     #[test]
