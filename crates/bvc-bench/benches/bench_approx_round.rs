@@ -4,7 +4,7 @@
 
 use bvc_adversary::ByzantineStrategy;
 use bvc_bench::honest_workload;
-use bvc_core::{build_zi_full, build_zi_witness, ApproxBvcRun, UpdateRule};
+use bvc_core::{build_zi_full, build_zi_witness, BvcSession, ProtocolKind, RunConfig, UpdateRule};
 use bvc_geometry::{Point, WorkloadGenerator};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -62,14 +62,17 @@ fn bench_approx_end_to_end(c: &mut Criterion) {
             &inputs,
             |b, inputs| {
                 b.iter(|| {
-                    let run = ApproxBvcRun::builder(n, f, d)
-                        .honest_inputs(inputs.clone())
-                        .adversary(ByzantineStrategy::Equivocate)
-                        .epsilon(0.1)
-                        .update_rule(rule)
-                        .seed(3)
-                        .run()
-                        .expect("bound satisfied");
+                    let run = BvcSession::new(
+                        ProtocolKind::Approx,
+                        RunConfig::new(n, f, d)
+                            .honest_inputs(inputs.clone())
+                            .adversary(ByzantineStrategy::Equivocate)
+                            .epsilon(0.1)
+                            .update_rule(rule)
+                            .seed(3),
+                    )
+                    .expect("bound satisfied")
+                    .run();
                     assert!(run.verdict().all_hold());
                 })
             },

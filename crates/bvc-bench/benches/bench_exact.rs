@@ -3,7 +3,7 @@
 
 use bvc_adversary::ByzantineStrategy;
 use bvc_bench::honest_workload;
-use bvc_core::ExactBvcRun;
+use bvc_core::{BvcSession, ProtocolKind, RunConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_exact_end_to_end(c: &mut Criterion) {
@@ -16,12 +16,15 @@ fn bench_exact_end_to_end(c: &mut Criterion) {
             &inputs,
             |b, inputs| {
                 b.iter(|| {
-                    let run = ExactBvcRun::builder(n, f, d)
-                        .honest_inputs(inputs.clone())
-                        .adversary(ByzantineStrategy::Equivocate)
-                        .seed(1)
-                        .run()
-                        .expect("bound satisfied");
+                    let run = BvcSession::new(
+                        ProtocolKind::Exact,
+                        RunConfig::new(n, f, d)
+                            .honest_inputs(inputs.clone())
+                            .adversary(ByzantineStrategy::Equivocate)
+                            .seed(1),
+                    )
+                    .expect("bound satisfied")
+                    .run();
                     assert!(run.verdict().all_hold());
                 })
             },
@@ -41,12 +44,15 @@ fn bench_exact_adversaries(c: &mut Criterion) {
             &inputs,
             |b, inputs| {
                 b.iter(|| {
-                    let run = ExactBvcRun::builder(n, f, d)
-                        .honest_inputs(inputs.clone())
-                        .adversary(strategy)
-                        .seed(2)
-                        .run()
-                        .expect("bound satisfied");
+                    let run = BvcSession::new(
+                        ProtocolKind::Exact,
+                        RunConfig::new(n, f, d)
+                            .honest_inputs(inputs.clone())
+                            .adversary(strategy)
+                            .seed(2),
+                    )
+                    .expect("bound satisfied")
+                    .run();
                     assert!(run.verdict().all_hold());
                 })
             },

@@ -3,7 +3,7 @@
 
 use bvc_adversary::ByzantineStrategy;
 use bvc_bench::honest_workload;
-use bvc_core::{RestrictedRun, Setting};
+use bvc_core::{BvcSession, ProtocolKind, RunConfig, Setting};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_restricted_sync(c: &mut Criterion) {
@@ -17,13 +17,16 @@ fn bench_restricted_sync(c: &mut Criterion) {
             &inputs,
             |b, inputs| {
                 b.iter(|| {
-                    let run = RestrictedRun::sync_builder(n, f, d)
-                        .honest_inputs(inputs.clone())
-                        .adversary(ByzantineStrategy::FixedOutlier)
-                        .epsilon(0.1)
-                        .seed(4)
-                        .run()
-                        .expect("bound satisfied");
+                    let run = BvcSession::new(
+                        ProtocolKind::RestrictedSync,
+                        RunConfig::new(n, f, d)
+                            .honest_inputs(inputs.clone())
+                            .adversary(ByzantineStrategy::FixedOutlier)
+                            .epsilon(0.1)
+                            .seed(4),
+                    )
+                    .expect("bound satisfied")
+                    .run();
                     assert!(run.verdict().all_hold());
                 })
             },
@@ -43,13 +46,16 @@ fn bench_restricted_async(c: &mut Criterion) {
         &inputs,
         |b, inputs| {
             b.iter(|| {
-                let run = RestrictedRun::async_builder(n, f, d)
-                    .honest_inputs(inputs.clone())
-                    .adversary(ByzantineStrategy::AntiConvergence)
-                    .epsilon(0.1)
-                    .seed(4)
-                    .run()
-                    .expect("bound satisfied");
+                let run = BvcSession::new(
+                    ProtocolKind::RestrictedAsync,
+                    RunConfig::new(n, f, d)
+                        .honest_inputs(inputs.clone())
+                        .adversary(ByzantineStrategy::AntiConvergence)
+                        .epsilon(0.1)
+                        .seed(4),
+                )
+                .expect("bound satisfied")
+                .run();
                 assert!(run.verdict().all_hold());
             })
         },

@@ -10,8 +10,8 @@
 use bvc_adversary::{ByzantineStrategy, PointForge};
 use bvc_bench::{experiment_header, fmt, honest_workload, Table};
 use bvc_core::{
-    gamma, gamma_witness_optimized, ApproxBvcRun, BvcConfig, ByzantineRestrictedSync,
-    RestrictedSyncProcess, UpdateRule,
+    gamma, gamma_witness_optimized, BvcConfig, BvcSession, ByzantineRestrictedSync, ProtocolKind,
+    RestrictedSyncProcess, RunConfig, UpdateRule,
 };
 use bvc_geometry::PointMultiset;
 use bvc_net::{Delivery, ProcessId, SyncProcess};
@@ -30,17 +30,20 @@ fn main() {
     // remaining processes complete rounds with differing B sets — otherwise
     // the reliable-broadcast consistency makes every honest process see the
     // same tuples and the spread collapses to zero after a single round.
-    let run = ApproxBvcRun::builder(n, f, d)
-        .honest_inputs(inputs)
-        .adversary(ByzantineStrategy::AntiConvergence)
-        .epsilon(eps)
-        .update_rule(UpdateRule::WitnessOptimized)
-        .delivery_policy(bvc_net::DeliveryPolicy::DelayFrom(vec![
-            bvc_net::ProcessId::new(0),
-        ]))
-        .seed(99)
-        .run()
-        .expect("parameters satisfy the bound");
+    let run = BvcSession::new(
+        ProtocolKind::Approx,
+        RunConfig::new(n, f, d)
+            .honest_inputs(inputs)
+            .adversary(ByzantineStrategy::AntiConvergence)
+            .epsilon(eps)
+            .update_rule(UpdateRule::WitnessOptimized)
+            .delivery_policy(bvc_net::DeliveryPolicy::DelayFrom(vec![
+                bvc_net::ProcessId::new(0),
+            ]))
+            .seed(99),
+    )
+    .expect("parameters satisfy the bound")
+    .run();
 
     let ranges = run.range_history();
     let rho0 = ranges[0];
@@ -51,7 +54,10 @@ fn main() {
         "n = {n}, f = {f}, d = {d}, ε = {eps}; γ_full = {:.6}, γ_witness = {:.6}, ρ[0] = {:.4}",
         g_full, g_wit, rho0
     );
-    println!("round budget (Step 3): {} rounds\n", run.round_budget());
+    println!(
+        "round budget (Step 3): {} rounds\n",
+        run.round_budget().expect("approx budget")
+    );
 
     let mut table = Table::new(&[
         "round t",

@@ -10,7 +10,7 @@
 use bvc_adversary::ByzantineStrategy;
 use bvc_baselines::{per_dimension_decision, ScalarPick};
 use bvc_bench::{experiment_header, fmt, mark, Table};
-use bvc_core::ExactBvcRun;
+use bvc_core::{BvcSession, ProtocolKind, RunConfig};
 use bvc_geometry::{ConvexHull, Point, PointMultiset, WorkloadGenerator};
 
 fn main() {
@@ -37,17 +37,20 @@ fn main() {
         fmt(scalar.coords().iter().sum::<f64>(), 3),
         mark(hull.contains(&scalar)),
     ]);
-    let run = ExactBvcRun::builder(5, 1, 3)
-        .honest_inputs(vec![
-            honest[0].clone(),
-            honest[1].clone(),
-            honest[2].clone(),
-            Point::new(vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]),
-        ])
-        .adversary(ByzantineStrategy::FixedOutlier)
-        .seed(1)
-        .run()
-        .expect("bound satisfied");
+    let run = BvcSession::new(
+        ProtocolKind::Exact,
+        RunConfig::new(5, 1, 3)
+            .honest_inputs(vec![
+                honest[0].clone(),
+                honest[1].clone(),
+                honest[2].clone(),
+                Point::new(vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]),
+            ])
+            .adversary(ByzantineStrategy::FixedOutlier)
+            .seed(1),
+    )
+    .expect("bound satisfied")
+    .run();
     let bvc = run.decisions()[0].clone();
     table.row(&[
         "Exact BVC (Γ point)".into(),
@@ -77,12 +80,15 @@ fn main() {
                 scalar_violations[k] += 1;
             }
         }
-        let run = ExactBvcRun::builder(5, 1, 3)
-            .honest_inputs(honest)
-            .adversary(ByzantineStrategy::FixedOutlier)
-            .seed(trial as u64)
-            .run()
-            .expect("bound satisfied");
+        let run = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 3)
+                .honest_inputs(honest)
+                .adversary(ByzantineStrategy::FixedOutlier)
+                .seed(trial as u64),
+        )
+        .expect("bound satisfied")
+        .run();
         if !run.verdict().validity {
             bvc_violations += 1;
         }

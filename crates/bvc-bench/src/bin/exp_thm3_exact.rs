@@ -7,7 +7,7 @@
 
 use bvc_adversary::ByzantineStrategy;
 use bvc_bench::{experiment_header, fmt, honest_workload, mark, Table};
-use bvc_core::{ExactBvcRun, Setting};
+use bvc_core::{BvcSession, ProtocolKind, RunConfig, Setting};
 
 fn main() {
     experiment_header(
@@ -33,12 +33,15 @@ fn main() {
         let n = Setting::ExactSync.min_processes(d, f);
         for (s, strategy) in ByzantineStrategy::active_attacks().into_iter().enumerate() {
             let inputs = honest_workload(40 + s as u64 + (d * 7 + f) as u64, n - f, d);
-            let run = ExactBvcRun::builder(n, f, d)
-                .honest_inputs(inputs)
-                .adversary(strategy)
-                .seed(7 + s as u64)
-                .run()
-                .expect("parameters satisfy the bound");
+            let run = BvcSession::new(
+                ProtocolKind::Exact,
+                RunConfig::new(n, f, d)
+                    .honest_inputs(inputs)
+                    .adversary(strategy)
+                    .seed(7 + s as u64),
+            )
+            .expect("parameters satisfy the bound")
+            .run();
             let verdict = run.verdict();
             table.row(&[
                 d.to_string(),

@@ -8,7 +8,7 @@
 
 use bvc_adversary::ByzantineStrategy;
 use bvc_bench::{experiment_header, fmt, honest_workload, mark, Table};
-use bvc_core::{ApproxBvcRun, Setting, UpdateRule};
+use bvc_core::{BvcSession, ProtocolKind, RunConfig, Setting, UpdateRule};
 
 fn main() {
     experiment_header(
@@ -41,14 +41,17 @@ fn main() {
         for &eps in &[0.1, 0.02] {
             for (s, strategy) in adversaries.iter().enumerate() {
                 let inputs = honest_workload(300 + (d * 13 + s) as u64, n - f, d);
-                let run = ApproxBvcRun::builder(n, f, d)
-                    .honest_inputs(inputs)
-                    .adversary(*strategy)
-                    .epsilon(eps)
-                    .update_rule(UpdateRule::WitnessOptimized)
-                    .seed(11 + s as u64)
-                    .run()
-                    .expect("parameters satisfy the bound");
+                let run = BvcSession::new(
+                    ProtocolKind::Approx,
+                    RunConfig::new(n, f, d)
+                        .honest_inputs(inputs)
+                        .adversary(*strategy)
+                        .epsilon(eps)
+                        .update_rule(UpdateRule::WitnessOptimized)
+                        .seed(11 + s as u64),
+                )
+                .expect("parameters satisfy the bound")
+                .run();
                 let verdict = run.verdict();
                 table.row(&[
                     d.to_string(),
@@ -59,7 +62,7 @@ fn main() {
                     mark(verdict.agreement),
                     mark(verdict.validity),
                     mark(verdict.termination),
-                    run.round_budget().to_string(),
+                    run.round_budget().expect("approx budget").to_string(),
                     fmt(verdict.max_pairwise_distance, 6),
                     run.stats().messages_delivered.to_string(),
                 ]);

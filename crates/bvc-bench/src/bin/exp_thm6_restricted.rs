@@ -8,7 +8,7 @@
 
 use bvc_adversary::ByzantineStrategy;
 use bvc_bench::{experiment_header, fmt, honest_workload, mark, Table};
-use bvc_core::{BvcError, RestrictedRun, Setting};
+use bvc_core::{BvcError, BvcSession, ProtocolKind, RunConfig, Setting};
 
 fn main() {
     experiment_header(
@@ -37,13 +37,16 @@ fn main() {
         ] {
             // Synchronous restricted.
             let n = Setting::RestrictedSync.min_processes(d, f);
-            let run = RestrictedRun::sync_builder(n, f, d)
-                .honest_inputs(honest_workload(600 + d as u64, n - f, d))
-                .adversary(strategy)
-                .epsilon(eps)
-                .seed(5)
-                .run()
-                .expect("bound satisfied");
+            let run = BvcSession::new(
+                ProtocolKind::RestrictedSync,
+                RunConfig::new(n, f, d)
+                    .honest_inputs(honest_workload(600 + d as u64, n - f, d))
+                    .adversary(strategy)
+                    .epsilon(eps)
+                    .seed(5),
+            )
+            .expect("bound satisfied")
+            .run();
             let v = run.verdict();
             table.row(&[
                 "sync".into(),
@@ -58,13 +61,16 @@ fn main() {
             ]);
             // Asynchronous restricted.
             let n = Setting::RestrictedAsync.min_processes(d, f);
-            let run = RestrictedRun::async_builder(n, f, d)
-                .honest_inputs(honest_workload(700 + d as u64, n - f, d))
-                .adversary(strategy)
-                .epsilon(eps)
-                .seed(5)
-                .run()
-                .expect("bound satisfied");
+            let run = BvcSession::new(
+                ProtocolKind::RestrictedAsync,
+                RunConfig::new(n, f, d)
+                    .honest_inputs(honest_workload(700 + d as u64, n - f, d))
+                    .adversary(strategy)
+                    .epsilon(eps)
+                    .seed(5),
+            )
+            .expect("bound satisfied")
+            .run();
             let v = run.verdict();
             table.row(&[
                 "async".into(),
@@ -81,13 +87,14 @@ fn main() {
     }
     table.print();
 
-    println!("\n### the bounds are enforced (builder rejects n below the bound)\n");
+    println!("\n### the bounds are enforced (the session rejects n below the bound)\n");
     let mut table = Table::new(&["setting", "d", "f", "n requested", "required", "rejected"]);
     for &(d, f) in &[(1usize, 1usize), (2, 1)] {
         let n_sync = Setting::RestrictedSync.min_processes(d, f);
-        let err = RestrictedRun::sync_builder(n_sync - 1, f, d)
-            .honest_inputs(honest_workload(3, n_sync - 1 - f, d))
-            .run();
+        let err = BvcSession::new(
+            ProtocolKind::RestrictedSync,
+            RunConfig::new(n_sync - 1, f, d).honest_inputs(honest_workload(3, n_sync - 1 - f, d)),
+        );
         table.row(&[
             "sync".into(),
             d.to_string(),
@@ -97,9 +104,10 @@ fn main() {
             mark(matches!(err, Err(BvcError::InsufficientProcesses { .. }))),
         ]);
         let n_async = Setting::RestrictedAsync.min_processes(d, f);
-        let err = RestrictedRun::async_builder(n_async - 1, f, d)
-            .honest_inputs(honest_workload(4, n_async - 1 - f, d))
-            .run();
+        let err = BvcSession::new(
+            ProtocolKind::RestrictedAsync,
+            RunConfig::new(n_async - 1, f, d).honest_inputs(honest_workload(4, n_async - 1 - f, d)),
+        );
         table.row(&[
             "async".into(),
             d.to_string(),

@@ -10,7 +10,7 @@
 
 use bvc_adversary::ByzantineStrategy;
 use bvc_bench::{experiment_header, fmt, honest_workload, mark, Table};
-use bvc_core::{ApproxBvcRun, Setting, UpdateRule};
+use bvc_core::{BvcSession, ProtocolKind, RunConfig, Setting, UpdateRule};
 use bvc_geometry::combinatorics::binomial;
 use std::time::Instant;
 
@@ -39,14 +39,17 @@ fn main() {
         for rule in [UpdateRule::FullSubsets, UpdateRule::WitnessOptimized] {
             let inputs = honest_workload(900 + d as u64, n - f, d);
             let start = Instant::now();
-            let run = ApproxBvcRun::builder(n, f, d)
-                .honest_inputs(inputs)
-                .adversary(ByzantineStrategy::Equivocate)
-                .epsilon(eps)
-                .update_rule(rule)
-                .seed(17)
-                .run()
-                .expect("bound satisfied");
+            let run = BvcSession::new(
+                ProtocolKind::Approx,
+                RunConfig::new(n, f, d)
+                    .honest_inputs(inputs)
+                    .adversary(ByzantineStrategy::Equivocate)
+                    .epsilon(eps)
+                    .update_rule(rule)
+                    .seed(17),
+            )
+            .expect("bound satisfied")
+            .run();
             let elapsed = start.elapsed().as_secs_f64();
             let max_zi = run
                 .outputs()
@@ -69,7 +72,7 @@ fn main() {
                 rule_name.to_string(),
                 max_zi.to_string(),
                 bound,
-                run.round_budget().to_string(),
+                run.round_budget().expect("approx budget").to_string(),
                 mark(run.verdict().agreement),
                 mark(run.verdict().validity),
                 fmt(elapsed, 2),

@@ -36,17 +36,20 @@ struct Workload {
 }
 
 impl Workload {
-    /// Pairing identity: shape plus the stable prefix of `detail` (the
-    /// `", rounds=…"` suffix of macro rows is a measured outcome, not part
-    /// of the workload's identity — keying on it would orphan both rows of
-    /// a pair whenever a code change shifts the round count).
+    /// Pairing identity: shape plus the stable prefix of `detail`.  The
+    /// `", rounds=…"` suffix of macro rows and the `"found=N/M"` detail of
+    /// `gamma_point` rows are measured outcomes, not part of the workload's
+    /// identity — keying on either would orphan both rows of a pair (one
+    /// "new", one "removed-gated" ⇒ spurious gate failure) whenever a
+    /// numerically benign change shifts the round count or flips a
+    /// borderline Lemma-1 sliver.
     fn key(&self) -> (String, u64, u64, u64, String) {
-        let detail_key = self
-            .detail
-            .split(", rounds=")
-            .next()
-            .unwrap_or("")
-            .to_string();
+        let stable = self.detail.split(", rounds=").next().unwrap_or("");
+        let detail_key = if stable.starts_with("found=") {
+            String::new()
+        } else {
+            stable.to_string()
+        };
         (self.kind.clone(), self.n, self.f, self.d, detail_key)
     }
 

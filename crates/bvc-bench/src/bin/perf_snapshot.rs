@@ -17,7 +17,7 @@
 //! 1 means some verdict was violated (timings are reported either way).
 
 use bvc_core::witness::build_zi_full;
-use bvc_core::{ByzantineStrategy, ExactBvcRun, RestrictedRun};
+use bvc_core::{BvcSession, ByzantineStrategy, ProtocolKind, RunConfig};
 use bvc_geometry::{
     gamma_contains, gamma_point, GammaCache, Point, PointMultiset, WorkloadGenerator,
 };
@@ -158,13 +158,16 @@ fn run_restricted_sync(n: usize, f: usize, d: usize, epsilon: f64, seed: u64) ->
         .box_points(n - f, d, 0.0, 1.0)
         .into_points();
     let start = Instant::now();
-    let run = RestrictedRun::sync_builder(n, f, d)
-        .honest_inputs(inputs)
-        .adversary(ByzantineStrategy::Equivocate)
-        .epsilon(epsilon)
-        .seed(seed)
-        .run()
-        .expect("workload matrix shapes satisfy the resilience bounds");
+    let run = BvcSession::new(
+        ProtocolKind::RestrictedSync,
+        RunConfig::new(n, f, d)
+            .honest_inputs(inputs)
+            .adversary(ByzantineStrategy::Equivocate)
+            .epsilon(epsilon)
+            .seed(seed),
+    )
+    .expect("workload matrix shapes satisfy the resilience bounds")
+    .run();
     Row {
         kind: "restricted_sync_run",
         n,
@@ -186,12 +189,15 @@ fn run_exact(n: usize, f: usize, d: usize, seed: u64) -> Row {
         .box_points(n - f, d, 0.0, 1.0)
         .into_points();
     let start = Instant::now();
-    let run = ExactBvcRun::builder(n, f, d)
-        .honest_inputs(inputs)
-        .adversary(ByzantineStrategy::Equivocate)
-        .seed(seed)
-        .run()
-        .expect("workload matrix shapes satisfy the resilience bounds");
+    let run = BvcSession::new(
+        ProtocolKind::Exact,
+        RunConfig::new(n, f, d)
+            .honest_inputs(inputs)
+            .adversary(ByzantineStrategy::Equivocate)
+            .seed(seed),
+    )
+    .expect("workload matrix shapes satisfy the resilience bounds")
+    .run();
     Row {
         kind: "exact_run",
         n,

@@ -17,17 +17,19 @@
 //! The necessity halves of the bounds are materialised as executable
 //! constructions in [`lower_bounds`]; the convergence formulas (the
 //! contraction factor `γ` and the round budget) live in [`convergence`]; the
-//! high-level runners that wire protocols, network executors and adversaries
-//! together and score the outcome are in [`run`].
+//! session API that wires protocols, network executors and adversaries
+//! together and scores the outcome is in [`run`]: one [`RunConfig`], one
+//! [`BvcSession`] dispatching to a pluggable [`ProtocolDriver`], one
+//! [`RunReport`].
 //!
 //! # Example
 //!
 //! ```
-//! use bvc_core::{ByzantineStrategy, ExactBvcRun};
+//! use bvc_core::{BvcSession, ByzantineStrategy, ProtocolKind, RunConfig};
 //! use bvc_geometry::Point;
 //!
 //! // d = 2, f = 1 ⇒ n ≥ max(3f+1, (d+1)f+1) = 4; use n = 5.
-//! let run = ExactBvcRun::builder(5, 1, 2)
+//! let config = RunConfig::new(5, 1, 2)
 //!     .honest_inputs(vec![
 //!         Point::new(vec![0.0, 0.0]),
 //!         Point::new(vec![1.0, 0.0]),
@@ -35,11 +37,12 @@
 //!         Point::new(vec![1.0, 1.0]),
 //!     ])
 //!     .adversary(ByzantineStrategy::Equivocate)
-//!     .seed(42)
-//!     .run()
-//!     .expect("parameters satisfy the resilience bound");
-//! assert!(run.verdict().agreement);
-//! assert!(run.verdict().validity);
+//!     .seed(42);
+//! let report = BvcSession::new(ProtocolKind::Exact, config)
+//!     .expect("parameters satisfy the resilience bound")
+//!     .run();
+//! assert!(report.verdict().agreement);
+//! assert!(report.verdict().validity);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -76,10 +79,13 @@ pub use restricted::{
     restricted_round_budget, ByzantineRestrictedAsync, ByzantineRestrictedSync,
     RestrictedAsyncProcess, RestrictedSyncProcess, StateMsg,
 };
-pub use run::{
+#[allow(deprecated)]
+pub use run::compat::{
     ApproxBvcRun, ApproxBvcRunBuilder, ExactBvcRun, ExactBvcRunBuilder, IterativeBvcRun,
     IterativeBvcRunBuilder, RestrictedAsyncRunBuilder, RestrictedRun, RestrictedSyncRunBuilder,
-    Verdict,
+};
+pub use run::{
+    BvcSession, DriverOutcome, ProtocolDriver, ProtocolKind, RunConfig, RunReport, Verdict,
 };
 pub use validity::{
     relaxed_min_processes, require_with_mode, validity_check, ValidityCheck, ValidityMode,

@@ -1,0 +1,650 @@
+//! Deprecated per-protocol builder shims over the session API.
+//!
+//! These are the five hand-copied builders the [`BvcSession`] redesign
+//! replaced, kept for **one release** so pre-session callers (and the
+//! pre-change verdict-JSON pins) keep compiling.  Every shim is a thin
+//! wrapper: the builder accumulates a [`RunConfig`] and `run()` delegates to
+//! `BvcSession::new(kind, config)?.run()`, so the shims cannot drift from
+//! the session behaviour.  New code must use [`BvcSession`] directly; the
+//! workspace builds with `-D warnings`, so any new caller of a shim fails CI
+//! unless it explicitly `allow(deprecated)`s itself — which only this module
+//! and the shim-equivalence tests may do.
+#![allow(deprecated)]
+
+use super::config::{ProtocolKind, RunConfig};
+use super::report::{RunReport, Verdict};
+use super::BvcSession;
+use crate::approx::{ApproxOutput, UpdateRule};
+use crate::config::BvcError;
+use crate::validity::{ValidityCheck, ValidityMode};
+use bvc_adversary::ByzantineStrategy;
+use bvc_geometry::Point;
+use bvc_net::{DeliveryPolicy, ExecutionStats, FaultPlan};
+use bvc_topology::{Sufficiency, Topology};
+
+macro_rules! forward_setters {
+    () => {
+        /// Honest inputs, one per non-faulty process (`n − f` of them).
+        pub fn honest_inputs(mut self, inputs: Vec<Point>) -> Self {
+            self.config = self.config.honest_inputs(inputs);
+            self
+        }
+
+        /// The Byzantine strategy of the last `f` processes.
+        pub fn adversary(mut self, strategy: ByzantineStrategy) -> Self {
+            self.config = self.config.adversary(strategy);
+            self
+        }
+
+        /// Seed of all randomness in the execution.
+        pub fn seed(mut self, seed: u64) -> Self {
+            self.config = self.config.seed(seed);
+            self
+        }
+
+        /// A-priori bounds on the input coordinates (defaults to `[0, 1]`).
+        pub fn value_bounds(mut self, lower: f64, upper: f64) -> Self {
+            self.config = self.config.value_bounds(lower, upper);
+            self
+        }
+
+        /// Injected network faults.
+        pub fn faults(mut self, faults: FaultPlan) -> Self {
+            self.config = self.config.faults(faults);
+            self
+        }
+
+        /// Restricts delivery to a declared topology (the complete graph is
+        /// the default).
+        pub fn topology(mut self, topology: Topology) -> Self {
+            self.config = self.config.topology(topology);
+            self
+        }
+
+        /// The validity condition the run is scored against (strict by
+        /// default).
+        pub fn validity_mode(mut self, mode: ValidityMode) -> Self {
+            self.config = self.config.validity_mode(mode);
+            self
+        }
+    };
+}
+
+macro_rules! forward_epsilon_setter {
+    () => {
+        /// The ε of ε-agreement (defaults to `0.01`).
+        pub fn epsilon(mut self, epsilon: f64) -> Self {
+            self.config = self.config.epsilon(epsilon);
+            self
+        }
+    };
+}
+
+macro_rules! forward_async_setters {
+    () => {
+        /// The asynchronous scheduling adversary (defaults to
+        /// [`DeliveryPolicy::RandomFair`]).
+        pub fn delivery_policy(mut self, policy: DeliveryPolicy) -> Self {
+            self.config = self.config.delivery_policy(policy);
+            self
+        }
+
+        /// Cap on scheduler delivery steps (defaults to 5,000,000).
+        pub fn max_steps(mut self, max_steps: usize) -> Self {
+            self.config = self.config.max_steps(max_steps);
+            self
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Exact BVC
+// ---------------------------------------------------------------------------
+
+/// Builder shim for an Exact BVC execution.
+#[deprecated(
+    since = "0.2.0",
+    note = "the per-protocol builders are replaced by the session API: \
+                  BvcSession::new(ProtocolKind::…, RunConfig::new(n, f, d)…) — see \
+                  crates/bvc-core/README.md §Session API for the migration table"
+)]
+#[derive(Debug, Clone)]
+pub struct ExactBvcRunBuilder {
+    config: RunConfig,
+}
+
+impl ExactBvcRunBuilder {
+    forward_setters!();
+
+    /// Runs the execution through [`BvcSession`].
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`RunConfig::validate`].
+    pub fn run(self) -> Result<ExactBvcRun, BvcError> {
+        Ok(ExactBvcRun {
+            report: BvcSession::new(ProtocolKind::Exact, self.config)?.run(),
+        })
+    }
+}
+
+/// A completed Exact BVC execution (shim over [`RunReport`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "the per-protocol builders are replaced by the session API: \
+                  BvcSession::new(ProtocolKind::…, RunConfig::new(n, f, d)…) — see \
+                  crates/bvc-core/README.md §Session API for the migration table"
+)]
+#[derive(Debug, Clone)]
+pub struct ExactBvcRun {
+    report: RunReport,
+}
+
+impl ExactBvcRun {
+    /// Starts building an execution with `n` processes, `f` Byzantine,
+    /// inputs of dimension `d`.
+    pub fn builder(n: usize, f: usize, d: usize) -> ExactBvcRunBuilder {
+        ExactBvcRunBuilder {
+            config: RunConfig::new(n, f, d),
+        }
+    }
+
+    /// The unified report behind this shim.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// The honest processes' decisions (index = honest process index).
+    pub fn decisions(&self) -> &[Point] {
+        self.report.decisions()
+    }
+
+    /// The honest inputs the run was configured with.
+    pub fn honest_inputs(&self) -> &[Point] {
+        self.report.honest_inputs()
+    }
+
+    /// The verdict against Agreement / Validity / Termination.
+    pub fn verdict(&self) -> &Verdict {
+        self.report.verdict()
+    }
+
+    /// The validity mode the verdict was scored against, with its (possibly
+    /// lowered) resource requirement.
+    pub fn validity(&self) -> &ValidityCheck {
+        self.report
+            .validity()
+            .expect("the exact protocol records a resource check")
+    }
+
+    /// Number of synchronous rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.report.rounds()
+    }
+
+    /// Message statistics of the execution.
+    pub fn stats(&self) -> &ExecutionStats {
+        self.report.stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Approximate BVC
+// ---------------------------------------------------------------------------
+
+/// Builder shim for an Approximate BVC execution.
+#[deprecated(
+    since = "0.2.0",
+    note = "the per-protocol builders are replaced by the session API: \
+                  BvcSession::new(ProtocolKind::…, RunConfig::new(n, f, d)…) — see \
+                  crates/bvc-core/README.md §Session API for the migration table"
+)]
+#[derive(Debug, Clone)]
+pub struct ApproxBvcRunBuilder {
+    config: RunConfig,
+}
+
+impl ApproxBvcRunBuilder {
+    forward_setters!();
+    forward_epsilon_setter!();
+    forward_async_setters!();
+
+    /// Which Step-2 subset rule to use (defaults to the Appendix F witness
+    /// optimisation).
+    pub fn update_rule(mut self, rule: UpdateRule) -> Self {
+        self.config = self.config.update_rule(rule);
+        self
+    }
+
+    /// Runs the execution through [`BvcSession`].
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`RunConfig::validate`].
+    pub fn run(self) -> Result<ApproxBvcRun, BvcError> {
+        Ok(ApproxBvcRun {
+            report: BvcSession::new(ProtocolKind::Approx, self.config)?.run(),
+        })
+    }
+}
+
+/// A completed Approximate BVC execution (shim over [`RunReport`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "the per-protocol builders are replaced by the session API: \
+                  BvcSession::new(ProtocolKind::…, RunConfig::new(n, f, d)…) — see \
+                  crates/bvc-core/README.md §Session API for the migration table"
+)]
+#[derive(Debug, Clone)]
+pub struct ApproxBvcRun {
+    report: RunReport,
+}
+
+impl ApproxBvcRun {
+    /// Starts building an execution with `n` processes, `f` Byzantine,
+    /// inputs of dimension `d`.
+    pub fn builder(n: usize, f: usize, d: usize) -> ApproxBvcRunBuilder {
+        ApproxBvcRunBuilder {
+            config: RunConfig::new(n, f, d),
+        }
+    }
+
+    /// The unified report behind this shim.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// The honest processes' decisions.
+    pub fn decisions(&self) -> Vec<Point> {
+        self.report.decisions().to_vec()
+    }
+
+    /// Full per-process outputs (decision, state history, `|Z_i|` sizes).
+    pub fn outputs(&self) -> &[ApproxOutput] {
+        self.report.outputs()
+    }
+
+    /// The honest inputs the run was configured with.
+    pub fn honest_inputs(&self) -> &[Point] {
+        self.report.honest_inputs()
+    }
+
+    /// The verdict against ε-Agreement / Validity / Termination.
+    pub fn verdict(&self) -> &Verdict {
+        self.report.verdict()
+    }
+
+    /// The validity mode the verdict was scored against, with its (possibly
+    /// lowered) resource requirement.
+    pub fn validity(&self) -> &ValidityCheck {
+        self.report
+            .validity()
+            .expect("the approximate protocol records a resource check")
+    }
+
+    /// The static round budget of Step 3 for this configuration.
+    pub fn round_budget(&self) -> usize {
+        self.report
+            .round_budget()
+            .expect("the approximate protocol has a static budget")
+    }
+
+    /// The ε the run was judged against.
+    pub fn epsilon(&self) -> f64 {
+        self.report
+            .epsilon()
+            .expect("the approximate protocol is judged against ε")
+    }
+
+    /// Message statistics of the execution.
+    pub fn stats(&self) -> &ExecutionStats {
+        self.report.stats()
+    }
+
+    /// The per-round range across the honest processes (see
+    /// [`RunReport::range_history`]).
+    pub fn range_history(&self) -> Vec<f64> {
+        self.report.range_history()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Restricted-round algorithms
+// ---------------------------------------------------------------------------
+
+/// Builder shim for the restricted-round synchronous algorithm.
+#[deprecated(
+    since = "0.2.0",
+    note = "the per-protocol builders are replaced by the session API: \
+                  BvcSession::new(ProtocolKind::…, RunConfig::new(n, f, d)…) — see \
+                  crates/bvc-core/README.md §Session API for the migration table"
+)]
+#[derive(Debug, Clone)]
+pub struct RestrictedSyncRunBuilder {
+    config: RunConfig,
+}
+
+impl RestrictedSyncRunBuilder {
+    forward_setters!();
+    forward_epsilon_setter!();
+
+    /// Runs the execution through [`BvcSession`].
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`RunConfig::validate`].
+    pub fn run(self) -> Result<RestrictedRun, BvcError> {
+        Ok(RestrictedRun {
+            report: BvcSession::new(ProtocolKind::RestrictedSync, self.config)?.run(),
+        })
+    }
+}
+
+/// Builder shim for the restricted-round asynchronous algorithm.
+#[deprecated(
+    since = "0.2.0",
+    note = "the per-protocol builders are replaced by the session API: \
+                  BvcSession::new(ProtocolKind::…, RunConfig::new(n, f, d)…) — see \
+                  crates/bvc-core/README.md §Session API for the migration table"
+)]
+#[derive(Debug, Clone)]
+pub struct RestrictedAsyncRunBuilder {
+    config: RunConfig,
+}
+
+impl RestrictedAsyncRunBuilder {
+    forward_setters!();
+    forward_epsilon_setter!();
+    forward_async_setters!();
+
+    /// Runs the execution through [`BvcSession`].
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`RunConfig::validate`].
+    pub fn run(self) -> Result<RestrictedRun, BvcError> {
+        Ok(RestrictedRun {
+            report: BvcSession::new(ProtocolKind::RestrictedAsync, self.config)?.run(),
+        })
+    }
+}
+
+/// A completed restricted-round execution (shim over [`RunReport`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "the per-protocol builders are replaced by the session API: \
+                  BvcSession::new(ProtocolKind::…, RunConfig::new(n, f, d)…) — see \
+                  crates/bvc-core/README.md §Session API for the migration table"
+)]
+#[derive(Debug, Clone)]
+pub struct RestrictedRun {
+    report: RunReport,
+}
+
+impl RestrictedRun {
+    /// Starts building a synchronous restricted-round execution.
+    pub fn sync_builder(n: usize, f: usize, d: usize) -> RestrictedSyncRunBuilder {
+        RestrictedSyncRunBuilder {
+            config: RunConfig::new(n, f, d),
+        }
+    }
+
+    /// Starts building an asynchronous restricted-round execution.
+    pub fn async_builder(n: usize, f: usize, d: usize) -> RestrictedAsyncRunBuilder {
+        RestrictedAsyncRunBuilder {
+            config: RunConfig::new(n, f, d),
+        }
+    }
+
+    /// The unified report behind this shim.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// The honest processes' decisions.
+    pub fn decisions(&self) -> &[Point] {
+        self.report.decisions()
+    }
+
+    /// The verdict against ε-Agreement / Validity / Termination.
+    pub fn verdict(&self) -> &Verdict {
+        self.report.verdict()
+    }
+
+    /// The validity mode the verdict was scored against, with its (possibly
+    /// lowered) resource requirement.
+    pub fn validity(&self) -> &ValidityCheck {
+        self.report
+            .validity()
+            .expect("the restricted protocols record a resource check")
+    }
+
+    /// Rounds (synchronous) or scheduler steps (asynchronous) executed.
+    pub fn rounds(&self) -> usize {
+        self.report.rounds()
+    }
+
+    /// Message statistics of the execution.
+    pub fn stats(&self) -> &ExecutionStats {
+        self.report.stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Iterative BVC
+// ---------------------------------------------------------------------------
+
+/// Builder shim for an iterative incomplete-graph BVC execution.
+#[deprecated(
+    since = "0.2.0",
+    note = "the per-protocol builders are replaced by the session API: \
+                  BvcSession::new(ProtocolKind::…, RunConfig::new(n, f, d)…) — see \
+                  crates/bvc-core/README.md §Session API for the migration table"
+)]
+#[derive(Debug, Clone)]
+pub struct IterativeBvcRunBuilder {
+    config: RunConfig,
+}
+
+impl IterativeBvcRunBuilder {
+    forward_setters!();
+    forward_epsilon_setter!();
+
+    /// Runs the execution through [`BvcSession`].
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`RunConfig::validate`] (a topology that
+    /// violates the sufficiency condition is data, not an error).
+    pub fn run(self) -> Result<IterativeBvcRun, BvcError> {
+        Ok(IterativeBvcRun {
+            report: BvcSession::new(ProtocolKind::Iterative, self.config)?.run(),
+        })
+    }
+}
+
+/// A completed iterative incomplete-graph execution (shim over
+/// [`RunReport`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "the per-protocol builders are replaced by the session API: \
+                  BvcSession::new(ProtocolKind::…, RunConfig::new(n, f, d)…) — see \
+                  crates/bvc-core/README.md §Session API for the migration table"
+)]
+#[derive(Debug, Clone)]
+pub struct IterativeBvcRun {
+    report: RunReport,
+}
+
+impl IterativeBvcRun {
+    /// Starts building an execution with `n` processes, `f` Byzantine,
+    /// inputs of dimension `d`.
+    pub fn builder(n: usize, f: usize, d: usize) -> IterativeBvcRunBuilder {
+        IterativeBvcRunBuilder {
+            config: RunConfig::new(n, f, d),
+        }
+    }
+
+    /// The unified report behind this shim.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// The honest processes' decisions.
+    pub fn decisions(&self) -> &[Point] {
+        self.report.decisions()
+    }
+
+    /// The honest inputs the run was configured with.
+    pub fn honest_inputs(&self) -> &[Point] {
+        self.report.honest_inputs()
+    }
+
+    /// The verdict against ε-Agreement / Validity / Termination.
+    pub fn verdict(&self) -> &Verdict {
+        self.report.verdict()
+    }
+
+    /// The validity mode the verdict was scored against.
+    pub fn validity_mode(&self) -> &ValidityMode {
+        self.report.validity_mode()
+    }
+
+    /// The up-front graph-condition check: whether convergence was expected
+    /// on this topology at all.
+    pub fn sufficiency(&self) -> &Sufficiency {
+        self.report
+            .sufficiency()
+            .expect("the iterative protocol records its sufficiency verdict")
+    }
+
+    /// The static round budget of the execution.
+    pub fn round_budget(&self) -> usize {
+        self.report
+            .round_budget()
+            .expect("the iterative protocol has a static budget")
+    }
+
+    /// The topology the run executed on.
+    pub fn topology(&self) -> &Topology {
+        self.report.topology()
+    }
+
+    /// Number of synchronous rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.report.rounds()
+    }
+
+    /// Message statistics of the execution.
+    pub fn stats(&self) -> &ExecutionStats {
+        self.report.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Shim-equivalence: the deprecated builders must produce exactly what a
+    //! hand-built session produces — they are the same code path, and these
+    //! tests keep it that way until the shims are removed.
+
+    use super::*;
+
+    fn square_inputs() -> Vec<Point> {
+        vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+            Point::new(vec![1.0, 1.0]),
+        ]
+    }
+
+    #[test]
+    fn exact_shim_matches_the_session() {
+        let shim = ExactBvcRun::builder(5, 1, 2)
+            .honest_inputs(square_inputs())
+            .adversary(ByzantineStrategy::FixedOutlier)
+            .seed(7)
+            .run()
+            .expect("bound satisfied");
+        let report = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .adversary(ByzantineStrategy::FixedOutlier)
+                .seed(7),
+        )
+        .expect("bound satisfied")
+        .run();
+        assert_eq!(shim.decisions(), report.decisions());
+        assert_eq!(shim.verdict(), report.verdict());
+        assert_eq!(shim.rounds(), report.rounds());
+        assert_eq!(shim.stats(), report.stats());
+    }
+
+    #[test]
+    fn approx_shim_matches_the_session() {
+        let shim = ApproxBvcRun::builder(5, 1, 2)
+            .honest_inputs(square_inputs())
+            .adversary(ByzantineStrategy::AntiConvergence)
+            .epsilon(0.1)
+            .seed(3)
+            .run()
+            .expect("bound satisfied");
+        let report = BvcSession::new(
+            ProtocolKind::Approx,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .adversary(ByzantineStrategy::AntiConvergence)
+                .epsilon(0.1)
+                .seed(3),
+        )
+        .expect("bound satisfied")
+        .run();
+        assert_eq!(shim.decisions(), report.decisions());
+        assert_eq!(shim.verdict(), report.verdict());
+        assert_eq!(shim.round_budget(), report.round_budget().unwrap());
+        assert_eq!(shim.epsilon(), report.epsilon().unwrap());
+        assert_eq!(shim.range_history(), report.range_history());
+    }
+
+    #[test]
+    fn restricted_and_iterative_shims_match_the_session() {
+        let shim = RestrictedRun::sync_builder(5, 1, 2)
+            .honest_inputs(square_inputs())
+            .epsilon(0.1)
+            .seed(5)
+            .run()
+            .expect("bound satisfied");
+        let report = BvcSession::new(
+            ProtocolKind::RestrictedSync,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .epsilon(0.1)
+                .seed(5),
+        )
+        .expect("bound satisfied")
+        .run();
+        assert_eq!(shim.decisions(), report.decisions());
+        assert_eq!(shim.verdict(), report.verdict());
+
+        let inputs: Vec<Point> = (0..5).map(|i| Point::new(vec![i as f64 / 4.0])).collect();
+        let shim = IterativeBvcRun::builder(6, 1, 1)
+            .honest_inputs(inputs.clone())
+            .epsilon(0.05)
+            .seed(3)
+            .run()
+            .expect("structurally valid");
+        let report = BvcSession::new(
+            ProtocolKind::Iterative,
+            RunConfig::new(6, 1, 1)
+                .honest_inputs(inputs)
+                .epsilon(0.05)
+                .seed(3),
+        )
+        .expect("structurally valid")
+        .run();
+        assert_eq!(shim.decisions(), report.decisions());
+        assert_eq!(shim.sufficiency(), report.sufficiency().unwrap());
+        assert_eq!(shim.round_budget(), report.round_budget().unwrap());
+    }
+}

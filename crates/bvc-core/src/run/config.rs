@@ -1,0 +1,488 @@
+//! The protocol-independent run configuration and its single validation
+//! point.
+//!
+//! [`RunConfig`] carries every knob a BVC execution can take — shape
+//! (`n`/`f`/`d`), honest inputs, adversary, seed, ε, value bounds, the
+//! asynchronous scheduling knobs, injected faults, topology, validity mode
+//! and an optional shared Γ cache.  It is deliberately **protocol-agnostic**:
+//! the same config can be dispatched to any [`ProtocolKind`] through
+//! [`BvcSession`](super::BvcSession), and everything protocol-specific
+//! (admission bounds, which knobs the driver actually reads) is decided at
+//! validation time, in exactly one place: [`RunConfig::validate`].
+
+use crate::approx::UpdateRule;
+use crate::config::{BvcConfig, BvcError, Setting};
+use crate::validity::{require_with_mode, ValidityMode};
+use bvc_adversary::ByzantineStrategy;
+use bvc_geometry::{Point, SharedGammaCache};
+use bvc_net::{DeliveryPolicy, FaultPlan};
+use bvc_topology::Topology;
+
+/// The five protocols a [`BvcSession`](super::BvcSession) can dispatch to:
+/// the source paper's four complete-graph algorithms plus the iterative
+/// incomplete-graph protocol (Vaidya 2013).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Exact BVC, synchronous (Theorems 1/3).
+    Exact,
+    /// Approximate BVC, asynchronous with the AAD exchange (Theorems 4/5).
+    Approx,
+    /// Restricted-round approximate BVC, synchronous (Theorem 6).
+    RestrictedSync,
+    /// Restricted-round approximate BVC, asynchronous (Theorem 6).
+    RestrictedAsync,
+    /// Iterative BVC over a declared topology (incomplete graphs,
+    /// synchronous; solvability governed by the topology sufficiency check
+    /// instead of a closed-form bound).
+    Iterative,
+}
+
+impl ProtocolKind {
+    /// All five protocols, in declaration order (handy for table-driven
+    /// tests and sweeps).
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::Exact,
+        ProtocolKind::Approx,
+        ProtocolKind::RestrictedSync,
+        ProtocolKind::RestrictedAsync,
+        ProtocolKind::Iterative,
+    ];
+
+    /// The stable name (`exact`, `approx`, `restricted-sync`,
+    /// `restricted-async`, `iterative`), matching the scenario schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Exact => "exact",
+            ProtocolKind::Approx => "approx",
+            ProtocolKind::RestrictedSync => "restricted-sync",
+            ProtocolKind::RestrictedAsync => "restricted-async",
+            ProtocolKind::Iterative => "iterative",
+        }
+    }
+
+    /// Whether the protocol runs on the asynchronous executor (and therefore
+    /// reads the delivery policy, the step cap, and tick-based fault
+    /// windows).
+    pub fn is_async(self) -> bool {
+        matches!(self, ProtocolKind::Approx | ProtocolKind::RestrictedAsync)
+    }
+
+    /// Whether the protocol is judged against ε-agreement (every protocol
+    /// except exact consensus, whose agreement is equality up to LP
+    /// round-off).
+    pub fn uses_epsilon(self) -> bool {
+        !matches!(self, ProtocolKind::Exact)
+    }
+
+    /// The paper setting whose resilience bound admits this protocol —
+    /// `None` for the iterative protocol, which has no closed-form bound
+    /// (its resource signal is the topology sufficiency check, recorded in
+    /// the report).
+    pub fn setting(self) -> Option<Setting> {
+        match self {
+            ProtocolKind::Exact => Some(Setting::ExactSync),
+            ProtocolKind::Approx => Some(Setting::ApproxAsync),
+            ProtocolKind::RestrictedSync => Some(Setting::RestrictedSync),
+            ProtocolKind::RestrictedAsync => Some(Setting::RestrictedAsync),
+            ProtocolKind::Iterative => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One declarative description of a BVC execution, shared by all five
+/// protocol drivers.
+///
+/// Build it with [`RunConfig::new`] and the chainable setters (the method
+/// names match the fields, and both match the setters of the pre-session
+/// per-protocol builders, so migration is mechanical), then hand it to
+/// [`BvcSession::new`](super::BvcSession::new), which validates it **once**
+/// — structure, admission bound, input shape, topology size — and runs it.
+/// Fields are public: the config is plain data, and nothing trusts it until
+/// it has passed [`validate`](Self::validate).
+///
+/// Knobs a protocol does not read are ignored by its driver (e.g. the
+/// delivery policy for the synchronous protocols), exactly as the scenario
+/// schema always treated them.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Total number of processes `n`.
+    pub n: usize,
+    /// Number of Byzantine processes `f` (the last `f` indices).  The four
+    /// complete-graph protocols require `f ≥ 1`; the iterative protocol also
+    /// accepts the fault-free `f = 0` baseline.
+    pub f: usize,
+    /// Dimension `d` of input and decision vectors.
+    pub d: usize,
+    /// Honest inputs, one per non-faulty process (`n − f` of them).
+    pub honest_inputs: Vec<Point>,
+    /// The Byzantine strategy of the `f` faulty processes.
+    pub adversary: ByzantineStrategy,
+    /// Seed of all randomness in the execution (adversary and scheduler).
+    pub seed: u64,
+    /// The ε of ε-agreement (ignored by exact consensus).
+    pub epsilon: f64,
+    /// A-priori bounds on the input coordinates (Section 3.2).
+    pub value_bounds: (f64, f64),
+    /// Which Step-2 subset rule the approximate protocol uses.
+    pub update_rule: UpdateRule,
+    /// The asynchronous scheduling adversary (asynchronous protocols only).
+    pub delivery_policy: DeliveryPolicy,
+    /// Cap on scheduler delivery steps (asynchronous protocols only).
+    pub max_steps: usize,
+    /// Injected network faults (windows in rounds for synchronous
+    /// protocols, scheduler ticks for asynchronous ones).
+    pub faults: FaultPlan,
+    /// Restricts delivery to a declared topology; `None` means the paper's
+    /// complete graph.
+    pub topology: Option<Topology>,
+    /// The validity condition the run is scored against, which also selects
+    /// the (possibly lowered) admission bound and — for the exact protocol —
+    /// relaxes the Step-2 decision rule itself.
+    pub validity: ValidityMode,
+    /// A Γ cache to share across runs; `None` gives every run a fresh one
+    /// (the pre-session behaviour: one cache per run, shared by all of the
+    /// run's processes).
+    pub gamma_cache: Option<SharedGammaCache>,
+}
+
+impl RunConfig {
+    /// A configuration with `n` processes, `f` Byzantine, inputs of
+    /// dimension `d`, and the historical defaults everywhere else
+    /// (equivocating adversary, seed 0, ε = 0.01, value bounds `[0, 1]`,
+    /// witness-optimized update rule, random-fair delivery, 5,000,000 step
+    /// cap, no faults, complete graph, strict validity, per-run Γ cache).
+    pub fn new(n: usize, f: usize, d: usize) -> Self {
+        Self {
+            n,
+            f,
+            d,
+            honest_inputs: Vec::new(),
+            adversary: ByzantineStrategy::Equivocate,
+            seed: 0,
+            epsilon: 0.01,
+            value_bounds: (0.0, 1.0),
+            update_rule: UpdateRule::WitnessOptimized,
+            delivery_policy: DeliveryPolicy::RandomFair,
+            max_steps: 5_000_000,
+            faults: FaultPlan::new(),
+            topology: None,
+            validity: ValidityMode::Strict,
+            gamma_cache: None,
+        }
+    }
+
+    /// Honest inputs, one per non-faulty process (`n − f` of them).
+    pub fn honest_inputs(mut self, inputs: Vec<Point>) -> Self {
+        self.honest_inputs = inputs;
+        self
+    }
+
+    /// The Byzantine strategy of the last `f` processes.
+    pub fn adversary(mut self, strategy: ByzantineStrategy) -> Self {
+        self.adversary = strategy;
+        self
+    }
+
+    /// Seed of all randomness in the execution.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The ε of ε-agreement (defaults to `0.01`; ignored by exact
+    /// consensus).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// A-priori bounds on the input coordinates (defaults to `[0, 1]`).
+    pub fn value_bounds(mut self, lower: f64, upper: f64) -> Self {
+        self.value_bounds = (lower, upper);
+        self
+    }
+
+    /// Which Step-2 subset rule the approximate protocol uses (defaults to
+    /// the Appendix F witness optimisation).
+    pub fn update_rule(mut self, rule: UpdateRule) -> Self {
+        self.update_rule = rule;
+        self
+    }
+
+    /// The asynchronous scheduling adversary (defaults to
+    /// [`DeliveryPolicy::RandomFair`]).
+    pub fn delivery_policy(mut self, policy: DeliveryPolicy) -> Self {
+        self.delivery_policy = policy;
+        self
+    }
+
+    /// Cap on scheduler delivery steps (defaults to 5,000,000).
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Injected network faults; windows are measured in rounds for the
+    /// synchronous protocols and scheduler ticks for the asynchronous ones.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Restricts delivery to a declared topology (the complete graph is the
+    /// default).  The complete-graph protocols treat a failed verdict on an
+    /// incomplete topology as expected data, not a bug.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The validity condition the run is scored against (strict hull
+    /// membership by default).  A relaxed mode lowers the admission bound to
+    /// the relaxed requirement of arXiv:1601.08067 and — for the exact
+    /// protocol — relaxes the Step-2 decision rule itself.
+    pub fn validity_mode(mut self, mode: ValidityMode) -> Self {
+        self.validity = mode;
+        self
+    }
+
+    /// Shares a Γ cache across runs (defaults to one fresh cache per run).
+    pub fn gamma_cache(mut self, cache: SharedGammaCache) -> Self {
+        self.gamma_cache = Some(cache);
+        self
+    }
+
+    /// The single admission/validation point every protocol goes through —
+    /// there is deliberately no other place that checks a resource bound.
+    ///
+    /// In order: structural validation (`n`, `d`, `f < n`, value bounds,
+    /// and ε for the protocols judged against it — exact consensus ignores
+    /// the knob), the mode-aware resilience bound for the protocol's
+    /// [`Setting`] (the iterative protocol has none — its solvability signal
+    /// is the recorded topology sufficiency check), the `f ≥ 1` requirement
+    /// of the four complete-graph protocols, the input shape, and the
+    /// topology size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BvcError::InsufficientProcesses`] when `n` is below the
+    /// protocol's (possibly mode-lowered) bound, and
+    /// [`BvcError::InvalidParameter`] for every structural violation.
+    pub fn validate(&self, protocol: ProtocolKind) -> Result<(), BvcError> {
+        self.prepare(protocol).map(|_| ())
+    }
+
+    /// [`validate`](Self::validate), returning the validated [`BvcConfig`]
+    /// and the resolved topology for the session to run on.
+    pub(crate) fn prepare(
+        &self,
+        protocol: ProtocolKind,
+    ) -> Result<(BvcConfig, Topology), BvcError> {
+        let mut core = BvcConfig::new(self.n, self.f, self.d)?
+            .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
+        // ε is only validated for protocols judged against it — exact
+        // consensus ignores the knob entirely (the field docs promise so),
+        // matching the pre-session builder, which had no ε setter.
+        if protocol.uses_epsilon() {
+            core = core.with_epsilon(self.epsilon)?;
+        }
+        if let Some(setting) = protocol.setting() {
+            require_with_mode(setting, &self.validity, core.n, core.d, core.f)?;
+            if core.f == 0 {
+                return Err(BvcError::InvalidParameter(
+                    "the runners model at least one Byzantine process; use f >= 1".into(),
+                ));
+            }
+        }
+        if self.honest_inputs.len() != core.honest_count() {
+            return Err(BvcError::InvalidParameter(format!(
+                "expected {} honest inputs (n − f), got {}",
+                core.honest_count(),
+                self.honest_inputs.len()
+            )));
+        }
+        if let Some(bad) = self.honest_inputs.iter().find(|p| p.dim() != core.d) {
+            return Err(BvcError::InvalidParameter(format!(
+                "input {bad} has dimension {}, expected {}",
+                bad.dim(),
+                core.d
+            )));
+        }
+        let topology = match &self.topology {
+            None => Topology::complete(core.n),
+            Some(t) if t.len() == core.n => t.clone(),
+            Some(t) => {
+                return Err(BvcError::InvalidParameter(format!(
+                    "topology covers {} processes, run has n = {}",
+                    t.len(),
+                    core.n
+                )))
+            }
+        };
+        Ok((core, topology))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::relaxed_min_processes;
+
+    fn inputs(count: usize, d: usize) -> Vec<Point> {
+        (0..count)
+            .map(|i| Point::uniform(d, i as f64 / count.max(2) as f64))
+            .collect()
+    }
+
+    /// The centralised admission check, table-driven over all five protocols
+    /// × three validity modes: one `validate` call per cell, each held to
+    /// the family bound of `require_with_mode` — the per-builder drift this
+    /// table replaces is structurally impossible now, and the table is the
+    /// regression net proving it.
+    #[test]
+    fn admission_table_over_protocols_and_validity_modes() {
+        let modes = [
+            ValidityMode::Strict,
+            ValidityMode::AlphaScaled(0.5),
+            ValidityMode::KRelaxed(1),
+        ];
+        let (d, f) = (3usize, 2usize);
+        for protocol in ProtocolKind::ALL {
+            for mode in modes {
+                // The family bound the mode admits at: the strict bound
+                // evaluated at the relaxation family's effective dimension
+                // (1 for both relaxed families here).
+                let required = match protocol.setting() {
+                    Some(setting) => match mode {
+                        ValidityMode::Strict => setting.min_processes(d, f),
+                        _ => setting.min_processes(1, f),
+                    },
+                    None => 1, // iterative: no closed-form bound
+                };
+                // One below the bound is rejected with the exact requirement…
+                if required > f + 1 {
+                    let below = RunConfig::new(required - 1, f, d)
+                        .honest_inputs(inputs(required - 1 - f, d))
+                        .validity_mode(mode);
+                    match below.validate(protocol) {
+                        Err(BvcError::InsufficientProcesses {
+                            required: r,
+                            actual,
+                            ..
+                        }) => {
+                            assert_eq!(r, required, "{protocol} / {mode:?}");
+                            assert_eq!(actual, required - 1, "{protocol} / {mode:?}");
+                        }
+                        other => panic!("{protocol} / {mode:?}: expected rejection, got {other:?}"),
+                    }
+                }
+                // …and the bound itself is admitted.
+                let at = RunConfig::new(required.max(f + 2), f, d)
+                    .honest_inputs(inputs(required.max(f + 2) - f, d))
+                    .validity_mode(mode);
+                at.validate(protocol)
+                    .unwrap_or_else(|e| panic!("{protocol} / {mode:?}: {e}"));
+            }
+        }
+    }
+
+    /// The admission bound agrees with `relaxed_min_processes`' *family*
+    /// variant for every cell — `validate` is the only gate, and it is the
+    /// same gate for every protocol.
+    #[test]
+    fn admission_never_exceeds_the_recorded_requirement_for_complete_rules() {
+        // For modes whose decision rule actually relaxes (exact at k = 1 /
+        // α > 0), the recorded requirement equals the admission bound.
+        let mode = ValidityMode::KRelaxed(1);
+        let required = relaxed_min_processes(Setting::ExactSync, &mode, 3, 2);
+        assert_eq!(required, 7);
+        assert!(RunConfig::new(7, 2, 3)
+            .honest_inputs(inputs(5, 3))
+            .validity_mode(mode)
+            .validate(ProtocolKind::Exact)
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_faults_rejected_except_for_iterative() {
+        for protocol in ProtocolKind::ALL {
+            let config = RunConfig::new(6, 0, 2).honest_inputs(inputs(6, 2));
+            let result = config.validate(protocol);
+            if protocol == ProtocolKind::Iterative {
+                result.unwrap_or_else(|e| panic!("iterative accepts f = 0: {e}"));
+            } else {
+                assert!(
+                    matches!(result, Err(BvcError::InvalidParameter(_))),
+                    "{protocol} must reject f = 0"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_shape_and_topology_size_are_validated_once() {
+        let err = RunConfig::new(5, 1, 2)
+            .honest_inputs(inputs(2, 2))
+            .validate(ProtocolKind::Exact)
+            .unwrap_err();
+        assert!(matches!(err, BvcError::InvalidParameter(_)));
+        let err = RunConfig::new(5, 1, 2)
+            .honest_inputs(inputs(4, 3))
+            .validate(ProtocolKind::Exact)
+            .unwrap_err();
+        assert!(matches!(err, BvcError::InvalidParameter(_)));
+        let err = RunConfig::new(6, 1, 1)
+            .honest_inputs(inputs(5, 1))
+            .topology(Topology::ring(5))
+            .validate(ProtocolKind::Iterative)
+            .unwrap_err();
+        assert!(matches!(err, BvcError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn exact_ignores_the_epsilon_knob_like_its_old_builder() {
+        // The old ExactBvcRun builder had no ε setter; a garbage ε must not
+        // make an exact session unconstructible…
+        let config = RunConfig::new(5, 1, 2)
+            .honest_inputs(inputs(4, 2))
+            .epsilon(0.0);
+        config
+            .validate(ProtocolKind::Exact)
+            .expect("ε is ignored by exact consensus");
+        // …while every ε-judged protocol still rejects it.
+        for protocol in [
+            ProtocolKind::Approx,
+            ProtocolKind::RestrictedSync,
+            ProtocolKind::RestrictedAsync,
+            ProtocolKind::Iterative,
+        ] {
+            let config = RunConfig::new(13, 1, 2)
+                .honest_inputs(inputs(12, 2))
+                .epsilon(0.0);
+            assert!(
+                matches!(
+                    config.validate(protocol),
+                    Err(BvcError::InvalidParameter(_))
+                ),
+                "{protocol} is judged against ε and must validate it"
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_kind_surface() {
+        assert_eq!(ProtocolKind::ALL.len(), 5);
+        assert!(ProtocolKind::Approx.is_async());
+        assert!(!ProtocolKind::RestrictedSync.is_async());
+        assert!(!ProtocolKind::Exact.uses_epsilon());
+        assert!(ProtocolKind::Iterative.uses_epsilon());
+        assert_eq!(ProtocolKind::RestrictedAsync.name(), "restricted-async");
+        assert_eq!(ProtocolKind::Iterative.setting(), None);
+    }
+}

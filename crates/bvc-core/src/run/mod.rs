@@ -1,0 +1,638 @@
+//! The session API: configure once, dispatch to any protocol, get one
+//! report.
+//!
+//! A [`BvcSession`] wires a protocol-agnostic [`RunConfig`] to one of the
+//! five [`ProtocolKind`]s — Exact BVC (synchronous), Approximate BVC
+//! (asynchronous), the two Section-4 restricted-round variants, and the
+//! iterative incomplete-graph protocol — validates the configuration **once**
+//! ([`RunConfig::validate`] is the only admission point in the workspace),
+//! executes the matching [`ProtocolDriver`], and scores the outcome into a
+//! unified [`RunReport`].
+//!
+//! ```
+//! use bvc_core::{BvcSession, ByzantineStrategy, ProtocolKind, RunConfig};
+//! use bvc_geometry::Point;
+//!
+//! // d = 2, f = 1 ⇒ n ≥ max(3f+1, (d+1)f+1) = 4; use n = 5.
+//! let config = RunConfig::new(5, 1, 2)
+//!     .honest_inputs(vec![
+//!         Point::new(vec![0.0, 0.0]),
+//!         Point::new(vec![1.0, 0.0]),
+//!         Point::new(vec![0.0, 1.0]),
+//!         Point::new(vec![1.0, 1.0]),
+//!     ])
+//!     .adversary(ByzantineStrategy::Equivocate)
+//!     .seed(42);
+//! let report = BvcSession::new(ProtocolKind::Exact, config)
+//!     .expect("parameters satisfy the resilience bound")
+//!     .run();
+//! assert!(report.verdict().all_hold());
+//! ```
+//!
+//! The pre-session per-protocol builders (`ExactBvcRun::builder` and
+//! friends) survive one release as deprecated shims in [`compat`]; they
+//! delegate to the session and will be removed.
+
+pub mod compat;
+pub mod config;
+pub mod report;
+
+mod approx;
+mod exact;
+mod iterative;
+mod restricted_async;
+mod restricted_sync;
+
+pub use config::{ProtocolKind, RunConfig};
+pub use report::{RunReport, Verdict};
+
+use crate::approx::ApproxOutput;
+use crate::config::{BvcConfig, BvcError};
+use crate::validity::validity_check;
+use bvc_adversary::{ByzantineStrategy, PointForge};
+use bvc_geometry::{GammaCache, Point, SharedGammaCache};
+use bvc_net::ExecutionStats;
+use bvc_topology::{Sufficiency, Topology};
+use std::sync::Arc;
+
+/// What a [`ProtocolDriver`] hands back to the session: the raw execution
+/// outcome, before verdict scoring and report assembly (which are uniform
+/// across protocols and live in the session).
+#[derive(Debug, Clone)]
+pub struct DriverOutcome {
+    /// The honest processes' decisions, in honest-index order (processes
+    /// that never decided are absent).
+    pub decisions: Vec<Point>,
+    /// Whether every honest process decided within the executor's budget.
+    pub terminated: bool,
+    /// The agreement tolerance the verdict is judged at (ε, or the LP
+    /// round-off allowance for exact consensus).
+    pub tolerance: f64,
+    /// Rounds (synchronous) or scheduler delivery steps (asynchronous)
+    /// executed.
+    pub rounds: usize,
+    /// Message statistics of the execution.
+    pub stats: ExecutionStats,
+    /// The protocol's static round budget, if it has one.
+    pub round_budget: Option<usize>,
+    /// Full per-process outputs, for protocols that record them (the
+    /// approximate protocol's decision + state history + `|Z_i|` sizes).
+    pub outputs: Vec<ApproxOutput>,
+    /// The iterative protocol's topology sufficiency verdict.
+    pub sufficiency: Option<Sufficiency>,
+}
+
+/// One protocol's execution strategy: consume a validated session, run the
+/// protocol over the shared net/Γ machinery, and return the raw outcome.
+///
+/// The five built-in drivers (one per [`ProtocolKind`]) are selected by
+/// [`BvcSession::run`]; [`BvcSession::run_with`] accepts any implementation,
+/// so experimental protocols can ride the same config/report plumbing
+/// without touching it.
+pub trait ProtocolDriver {
+    /// Executes the protocol.  The session is fully validated: the inputs
+    /// have the right shape, the resilience bound holds, and
+    /// [`BvcSession::topology`] is resolved (complete graph by default).
+    /// The report's protocol and admission metadata come from the
+    /// [`ProtocolKind`] the session was bound to, not from the driver.
+    fn execute(&self, session: &BvcSession) -> DriverOutcome;
+}
+
+/// The built-in driver for a protocol kind.
+fn driver_for(kind: ProtocolKind) -> &'static dyn ProtocolDriver {
+    match kind {
+        ProtocolKind::Exact => &exact::ExactDriver,
+        ProtocolKind::Approx => &approx::ApproxDriver,
+        ProtocolKind::RestrictedSync => &restricted_sync::RestrictedSyncDriver,
+        ProtocolKind::RestrictedAsync => &restricted_async::RestrictedAsyncDriver,
+        ProtocolKind::Iterative => &iterative::IterativeDriver,
+    }
+}
+
+/// A validated, ready-to-run BVC execution: one [`RunConfig`] bound to one
+/// [`ProtocolKind`].
+///
+/// Construction is the validation point; [`run`](Self::run) cannot fail.
+#[derive(Debug, Clone)]
+pub struct BvcSession {
+    protocol: ProtocolKind,
+    config: RunConfig,
+    core: BvcConfig,
+    topology: Arc<Topology>,
+    gamma_cache: SharedGammaCache,
+}
+
+impl BvcSession {
+    /// Binds `config` to `protocol`, validating it once (structure,
+    /// mode-aware admission bound, input shape, topology size).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`RunConfig::validate`].
+    pub fn new(protocol: ProtocolKind, config: RunConfig) -> Result<Self, BvcError> {
+        let (core, topology) = config.prepare(protocol)?;
+        // One Γ cache per run unless the config shares one: every process
+        // of the run reuses the same safe-area evaluations (identical
+        // multisets recur across processes and rounds), and the cache is
+        // mode-keyed, so sharing across validity modes is sound.
+        let gamma_cache = config
+            .gamma_cache
+            .clone()
+            .unwrap_or_else(GammaCache::shared);
+        Ok(Self {
+            protocol,
+            config,
+            core,
+            topology: Arc::new(topology),
+            gamma_cache,
+        })
+    }
+
+    /// The protocol this session dispatches to.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// The configuration the session was built from.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// The validated core parameters (`n`/`f`/`d`, ε, value bounds).
+    pub fn params(&self) -> &BvcConfig {
+        &self.core
+    }
+
+    /// The resolved communication topology (complete graph unless the
+    /// config declared otherwise).
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The Γ cache shared by every process of this run.
+    pub fn gamma_cache(&self) -> &SharedGammaCache {
+        &self.gamma_cache
+    }
+
+    /// Runs the execution with the protocol's built-in driver.
+    pub fn run(self) -> RunReport {
+        let driver = driver_for(self.protocol);
+        self.run_with(driver)
+    }
+
+    /// Runs the execution with a custom [`ProtocolDriver`] (the pluggable
+    /// entry point; `run()` is `run_with(<built-in driver>)`).
+    pub fn run_with(self, driver: &dyn ProtocolDriver) -> RunReport {
+        let outcome = driver.execute(&self);
+        self.into_report(outcome)
+    }
+
+    /// Scores the verdict and assembles the unified report — the one place
+    /// outcomes become results, shared by all five protocols.
+    fn into_report(self, outcome: DriverOutcome) -> RunReport {
+        let verdict = Verdict::score(
+            &outcome.decisions,
+            &self.config.honest_inputs,
+            outcome.terminated,
+            outcome.tolerance,
+            &self.config.validity,
+        );
+        let validity = self.protocol.setting().map(|setting| {
+            validity_check(
+                setting,
+                self.config.validity,
+                self.core.n,
+                self.core.d,
+                self.core.f,
+            )
+        });
+        let epsilon = self.protocol.uses_epsilon().then_some(self.core.epsilon);
+        RunReport {
+            protocol: self.protocol,
+            decisions: outcome.decisions,
+            verdict,
+            validity,
+            rounds: outcome.rounds,
+            round_budget: outcome.round_budget,
+            epsilon,
+            stats: outcome.stats,
+            topology: Arc::try_unwrap(self.topology).unwrap_or_else(|arc| arc.as_ref().clone()),
+            sufficiency: outcome.sufficiency,
+            outputs: outcome.outputs,
+            config: self.config,
+        }
+    }
+
+    /// Extracts the decided outputs of the honest processes from an
+    /// executor's output slots, in honest-index order.
+    pub(crate) fn honest_decisions<T: Clone>(&self, outputs: &[Option<T>]) -> Vec<T> {
+        (0..self.core.honest_count())
+            .filter_map(|i| outputs[i].clone())
+            .collect()
+    }
+
+    /// The honest process indices (`0..n−f`), the executor's "must decide"
+    /// set.
+    pub(crate) fn honest_indices(&self) -> Vec<usize> {
+        (0..self.core.honest_count()).collect()
+    }
+}
+
+/// The seeded point forge of Byzantine process `index` (deterministic per
+/// `(seed, index)`, shared by all drivers).
+pub(crate) fn make_forge(
+    strategy: ByzantineStrategy,
+    config: &BvcConfig,
+    seed: u64,
+    index: usize,
+) -> PointForge {
+    let mut forge = PointForge::new(
+        strategy,
+        config.d,
+        config.lower_bound,
+        config.upper_bound,
+        seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)),
+    );
+    forge.set_honest_value(Point::uniform(
+        config.d,
+        0.5 * (config.lower_bound + config.upper_bound),
+    ));
+    forge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::ValidityMode;
+    use bvc_topology::Topology;
+
+    fn square_inputs() -> Vec<Point> {
+        vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 1.0]),
+            Point::new(vec![1.0, 1.0]),
+        ]
+    }
+
+    fn session(protocol: ProtocolKind, config: RunConfig) -> RunReport {
+        BvcSession::new(protocol, config)
+            .expect("parameters satisfy the bound")
+            .run()
+    }
+
+    #[test]
+    fn exact_session_happy_path() {
+        let report = session(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .adversary(ByzantineStrategy::FixedOutlier)
+                .seed(7),
+        );
+        assert!(
+            report.verdict().all_hold(),
+            "verdict: {:?}",
+            report.verdict()
+        );
+        assert_eq!(report.decisions().len(), 4);
+        assert!(report.rounds() <= 4);
+        assert!(report.stats().messages_delivered > 0);
+        assert_eq!(report.epsilon(), None, "exact consensus has no ε");
+        assert!(report.sufficiency().is_none());
+        assert!(
+            report
+                .validity()
+                .expect("resource check recorded")
+                .satisfied
+        );
+        assert!(report.topology().is_complete());
+    }
+
+    #[test]
+    fn session_rejects_insufficient_processes() {
+        // d = 3, f = 1 requires n ≥ 5.
+        let err = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(4, 1, 3).honest_inputs(vec![
+                Point::new(vec![0.0, 0.0, 0.0]),
+                Point::new(vec![1.0, 0.0, 0.0]),
+                Point::new(vec![0.0, 1.0, 0.0]),
+            ]),
+        )
+        .expect_err("below the bound");
+        assert!(matches!(
+            err,
+            BvcError::InsufficientProcesses { required: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn session_rejects_wrong_input_count_and_zero_faults() {
+        let err = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 2).honest_inputs(vec![Point::new(vec![0.0, 0.0])]),
+        )
+        .expect_err("wrong input count");
+        assert!(matches!(err, BvcError::InvalidParameter(_)));
+        let err = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(3, 0, 2).honest_inputs(square_inputs()[..3].to_vec()),
+        )
+        .expect_err("f = 0");
+        assert!(matches!(err, BvcError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn approx_session_happy_path() {
+        let report = session(
+            ProtocolKind::Approx,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .adversary(ByzantineStrategy::AntiConvergence)
+                .epsilon(0.1)
+                .seed(3),
+        );
+        assert!(
+            report.verdict().all_hold(),
+            "verdict: {:?}",
+            report.verdict()
+        );
+        assert!(report.verdict().max_pairwise_distance <= 0.1);
+        assert!(report.round_budget().expect("approx has a budget") >= 2);
+        let ranges = report.range_history();
+        assert!(!ranges.is_empty());
+        assert!(ranges.last().unwrap() <= &0.1);
+        assert_eq!(report.epsilon(), Some(0.1));
+        assert_eq!(report.outputs().len(), 4);
+    }
+
+    #[test]
+    fn restricted_sessions_happy_path() {
+        let report = session(
+            ProtocolKind::RestrictedSync,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .adversary(ByzantineStrategy::Equivocate)
+                .epsilon(0.1)
+                .seed(5),
+        );
+        assert!(
+            report.verdict().all_hold(),
+            "verdict: {:?}",
+            report.verdict()
+        );
+
+        // d = 1, f = 1 requires n ≥ 6 for the restricted asynchronous variant.
+        let inputs = vec![
+            Point::new(vec![0.0]),
+            Point::new(vec![0.25]),
+            Point::new(vec![0.5]),
+            Point::new(vec![0.75]),
+            Point::new(vec![1.0]),
+        ];
+        let report = session(
+            ProtocolKind::RestrictedAsync,
+            RunConfig::new(6, 1, 1)
+                .honest_inputs(inputs)
+                .adversary(ByzantineStrategy::AntiConvergence)
+                .epsilon(0.1)
+                .seed(9),
+        );
+        assert!(
+            report.verdict().all_hold(),
+            "verdict: {:?}",
+            report.verdict()
+        );
+        let err = BvcSession::new(
+            ProtocolKind::RestrictedAsync,
+            RunConfig::new(5, 1, 1).honest_inputs(vec![
+                Point::new(vec![0.0]),
+                Point::new(vec![0.5]),
+                Point::new(vec![0.75]),
+                Point::new(vec![1.0]),
+            ]),
+        )
+        .expect_err("below the bound");
+        assert!(matches!(
+            err,
+            BvcError::InsufficientProcesses { required: 6, .. }
+        ));
+    }
+
+    #[test]
+    fn iterative_session_records_sufficiency_and_topology() {
+        // d = 1, f = 1: the sufficiency condition on K_n needs n ≥ 6.
+        let inputs: Vec<Point> = (0..5).map(|i| Point::new(vec![i as f64 / 4.0])).collect();
+        let report = session(
+            ProtocolKind::Iterative,
+            RunConfig::new(6, 1, 1)
+                .honest_inputs(inputs.clone())
+                .adversary(ByzantineStrategy::AntiConvergence)
+                .epsilon(0.05)
+                .seed(3),
+        );
+        assert!(report.sufficiency().expect("recorded").is_satisfied());
+        assert!(
+            report.verdict().all_hold(),
+            "verdict: {:?}",
+            report.verdict()
+        );
+        assert!(report.topology().is_complete());
+        assert_eq!(
+            report.rounds(),
+            report.round_budget().expect("iterative budget") + 1
+        );
+        assert!(report.validity().is_none(), "no closed-form bound");
+
+        // A violated condition is data, not an error.
+        let report = session(
+            ProtocolKind::Iterative,
+            RunConfig::new(6, 1, 1)
+                .honest_inputs(inputs)
+                .adversary(ByzantineStrategy::FixedOutlier)
+                .epsilon(0.05)
+                .topology(Topology::ring(6)),
+        );
+        assert!(matches!(
+            report.sufficiency(),
+            Some(Sufficiency::Violated(_))
+        ));
+        // Validity survives on any topology: the Γ-trimmed update never
+        // leaves the hull of honest values.
+        assert!(report.verdict().validity, "verdict: {:?}", report.verdict());
+    }
+
+    #[test]
+    fn iterative_session_accepts_the_fault_free_baseline() {
+        let inputs: Vec<Point> = (0..6).map(|i| Point::new(vec![i as f64 / 5.0])).collect();
+        let report = session(
+            ProtocolKind::Iterative,
+            RunConfig::new(6, 0, 1)
+                .honest_inputs(inputs)
+                .epsilon(0.05)
+                .topology(Topology::ring(6)),
+        );
+        assert!(report.sufficiency().expect("recorded").is_satisfied());
+        assert!(
+            report.verdict().all_hold(),
+            "verdict: {:?}",
+            report.verdict()
+        );
+    }
+
+    #[test]
+    fn exact_strict_rejects_below_threshold_but_relaxed_admits() {
+        // n = 8 < max(3f+1, (d+1)f+1) = 9 at f = 2, d = 3.
+        let inputs: Vec<Point> = (0..6)
+            .map(|i| {
+                Point::new(vec![
+                    i as f64 / 5.0,
+                    (5 - i) as f64 / 5.0,
+                    0.3 + 0.1 * i as f64,
+                ])
+            })
+            .collect();
+        let err = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(8, 2, 3).honest_inputs(inputs.clone()),
+        )
+        .expect_err("strict bound");
+        assert!(matches!(
+            err,
+            BvcError::InsufficientProcesses { required: 9, .. }
+        ));
+        // k = 1 relaxation admits at 3f+1 = 7 and the decoupled trimmed
+        // -centre rule always terminates there.
+        let report = session(
+            ProtocolKind::Exact,
+            RunConfig::new(8, 2, 3)
+                .honest_inputs(inputs)
+                .adversary(ByzantineStrategy::FixedOutlier)
+                .seed(1)
+                .validity_mode(ValidityMode::KRelaxed(1)),
+        );
+        let check = report.validity().expect("resource check recorded");
+        assert_eq!(check.required_n, 7);
+        assert!(check.satisfied);
+        assert!(
+            report.verdict().all_hold(),
+            "verdict: {:?}",
+            report.verdict()
+        );
+    }
+
+    #[test]
+    fn alpha_zero_mode_scores_like_strict_above_threshold() {
+        let strict = session(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .seed(7),
+        );
+        let zero = session(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .seed(7)
+                .validity_mode(ValidityMode::AlphaScaled(0.0)),
+        );
+        assert_eq!(strict.verdict(), zero.verdict());
+        for (a, b) in strict.decisions().iter().zip(zero.decisions()) {
+            assert_eq!(a.coords(), b.coords(), "α = 0 decisions are bit-equal");
+        }
+        assert_eq!(
+            zero.validity().expect("recorded").required_n,
+            4,
+            "strict bound at α = 0"
+        );
+    }
+
+    #[test]
+    fn iterative_relaxed_mode_scores_only_and_keeps_strict_sufficiency() {
+        // d = 2, f = 1 on K_6: the strict sufficiency condition on K_n is
+        // n ≥ (2d+3)f+1 = 8, so the check is violated.  A relaxed validity
+        // mode must NOT loosen it — the iterative update rule itself is
+        // unchanged, so convergence is no more likely under lenient scoring
+        // and the run must stay flagged expected-unsolvable.
+        let inputs: Vec<Point> = (0..5)
+            .map(|i| Point::new(vec![i as f64 / 4.0, (4 - i) as f64 / 4.0]))
+            .collect();
+        let report = session(
+            ProtocolKind::Iterative,
+            RunConfig::new(6, 1, 2)
+                .honest_inputs(inputs)
+                .epsilon(0.2)
+                .seed(2)
+                .validity_mode(ValidityMode::KRelaxed(1)),
+        );
+        assert!(matches!(
+            report.sufficiency(),
+            Some(Sufficiency::Violated(_))
+        ));
+        assert_eq!(report.validity_mode(), &ValidityMode::KRelaxed(1));
+    }
+
+    #[test]
+    fn shared_gamma_cache_is_reused_across_sessions() {
+        let cache = GammaCache::shared();
+        let first = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .seed(7)
+                .gamma_cache(cache.clone()),
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(first.gamma_cache(), &cache));
+        let report = first.run();
+        assert!(report.verdict().all_hold());
+        // The same decision problem resolves from the cache on a second run.
+        let warm = cache.hits();
+        let second = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .seed(7)
+                .gamma_cache(cache.clone()),
+        )
+        .unwrap()
+        .run();
+        assert_eq!(report.decisions(), second.decisions());
+        assert!(
+            cache.hits() > warm,
+            "second session must hit the shared cache"
+        );
+    }
+
+    #[test]
+    fn run_with_accepts_a_custom_driver() {
+        /// A driver that decides the first honest input everywhere without
+        /// exchanging a single message — trivially valid, trivially agreed.
+        struct Dictator;
+        impl ProtocolDriver for Dictator {
+            fn execute(&self, session: &BvcSession) -> DriverOutcome {
+                let decision = session.config().honest_inputs[0].clone();
+                let honest = session.params().honest_count();
+                DriverOutcome {
+                    decisions: vec![decision; honest],
+                    terminated: true,
+                    tolerance: 1e-6,
+                    rounds: 0,
+                    stats: ExecutionStats::default(),
+                    round_budget: None,
+                    outputs: Vec::new(),
+                    sufficiency: None,
+                }
+            }
+        }
+        let report = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 2).honest_inputs(square_inputs()),
+        )
+        .unwrap()
+        .run_with(&Dictator);
+        assert!(report.verdict().all_hold());
+        assert_eq!(report.rounds(), 0);
+    }
+}

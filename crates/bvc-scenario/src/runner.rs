@@ -1,17 +1,19 @@
 //! Deterministic execution of one scenario instance.
 //!
 //! [`run_scenario`] materialises the honest inputs from the scenario's
-//! generator, hands everything to the matching `bvc-core` run builder (the
-//! protocol logic lives there — the scenario engine never re-implements it),
-//! and packages the outcome as a [`ScenarioOutcome`] whose JSON form is
-//! byte-identical for identical `(scenario, seed, strategy, policy)`.
+//! generator, builds **one** protocol-agnostic [`RunConfig`]
+//! ([`run_config_from_spec`]) and dispatches it through [`BvcSession`] (the
+//! protocol logic lives in `bvc-core` — the scenario engine never
+//! re-implements it, and [`protocol_kind`] is the runner's single protocol
+//! dispatch point), then packages the unified report as a
+//! [`ScenarioOutcome`] whose JSON form is byte-identical for identical
+//! `(scenario, seed, strategy, policy)`.
 
 use crate::json::Json;
 use crate::schema::{policy_name, InputSpec, Protocol, ScenarioSpec};
 use bvc_adversary::ByzantineStrategy;
 use bvc_core::{
-    ApproxBvcRun, BvcError, ExactBvcRun, IterativeBvcRun, RestrictedRun, ValidityCheck,
-    ValidityMode, Verdict,
+    BvcError, BvcSession, ProtocolKind, RunConfig, ValidityCheck, ValidityMode, Verdict,
 };
 use bvc_geometry::{Point, WorkloadGenerator};
 use bvc_net::{DeliveryPolicy, ExecutionStats, FaultPlan};
@@ -464,15 +466,7 @@ pub fn run_scenario_instance(
     topology_spec: Option<&TopologySpec>,
     validity: Option<&ValidityMode>,
 ) -> Result<ScenarioOutcome, ScenarioError> {
-    let inputs = generate_inputs(spec, seed)?;
-    let mode = validity.copied().unwrap_or(ValidityMode::Strict);
-    // The iterative protocol always reports its substrate, defaulting to the
-    // complete graph; the four complete-graph protocols only when declared.
-    let default_complete = TopologySpec::Complete;
-    let topology_spec = match (topology_spec, spec.protocol) {
-        (None, Protocol::Iterative) => Some(&default_complete),
-        (declared, _) => declared,
-    };
+    let kind = protocol_kind(spec.protocol);
     let topology = match topology_spec {
         None => None,
         Some(t) => Some(
@@ -480,161 +474,116 @@ pub fn run_scenario_instance(
                 .map_err(|e| ScenarioError::Rejected(e.to_string()))?,
         ),
     };
-    // The iterative arm fills its metadata from the run itself (the builder
-    // computes the sufficiency verdict anyway; recomputing the exponential
-    // partition enumeration here would double the cost per instance).
-    let topology_meta = match spec.protocol {
-        Protocol::Iterative => None,
-        _ => topology
+    let config = run_config_from_spec(
+        spec,
+        seed,
+        strategy,
+        policy.clone(),
+        topology.as_ref(),
+        validity,
+    )?;
+    let report = BvcSession::new(kind, config)?.run();
+
+    // Topology metadata: the iterative protocol always reports its substrate
+    // (the session resolves the complete graph by default, and its driver
+    // already computed the sufficiency verdict — recomputing the exponential
+    // partition enumeration here would double the cost per instance); the
+    // complete-graph protocols report it only when the scenario declared or
+    // swept one.
+    let topology_meta = match report.sufficiency() {
+        Some(sufficiency) => Some(TopologyMeta::with_sufficiency(
+            report.topology(),
+            spec.protocol,
+            sufficiency,
+        )),
+        None => topology
             .as_ref()
             .map(|t| TopologyMeta::from_topology(t, spec.protocol, spec.f, spec.d)),
     };
-    let fault_names: Vec<&'static str> =
-        spec.faults.events().iter().map(|e| e.kind.name()).collect();
+    // Validity metadata only when the scenario declared (or swept) a mode;
+    // the iterative protocol has no closed-form resource check, so its
+    // metadata carries the mode alone.
+    let validity_meta = validity.map(|_| match report.validity() {
+        Some(check) => ValidityMeta::from_check(check),
+        None => ValidityMeta::from_mode(report.validity_mode()),
+    });
     let policy_label = if spec.protocol.is_async() {
         policy_name(&policy)
     } else {
         "sync".to_string()
     };
-    let base = |verdict: Verdict, rounds: usize, stats: ExecutionStats, epsilon: Option<f64>| {
-        ScenarioOutcome {
-            scenario: spec.name.clone(),
-            protocol: spec.protocol,
-            shape: (spec.n, spec.f, spec.d),
-            epsilon,
-            seed,
-            strategy: strategy_label(strategy),
-            policy: policy_label.clone(),
-            faults: fault_names.clone(),
-            topology: topology_meta.clone(),
-            validity: None,
-            verdict,
-            rounds,
-            stats,
-        }
+    Ok(ScenarioOutcome {
+        scenario: spec.name.clone(),
+        protocol: spec.protocol,
+        shape: (spec.n, spec.f, spec.d),
+        epsilon: report.epsilon(),
+        seed,
+        strategy: strategy_label(strategy),
+        policy: policy_label,
+        faults: spec.faults.events().iter().map(|e| e.kind.name()).collect(),
+        topology: topology_meta,
+        validity: validity_meta,
+        verdict: report.verdict().clone(),
+        rounds: report.rounds(),
+        stats: report.stats().clone(),
+    })
+}
+
+/// The runner's **single protocol dispatch point**: the scenario schema's
+/// [`Protocol`] mapped onto the session API's [`ProtocolKind`].  Everything
+/// else in this module is protocol-independent — adding a protocol to the
+/// matrix means one schema name, one arm here, and a driver in `bvc-core`.
+pub fn protocol_kind(protocol: Protocol) -> ProtocolKind {
+    match protocol {
+        Protocol::Exact => ProtocolKind::Exact,
+        Protocol::Approx => ProtocolKind::Approx,
+        Protocol::RestrictedSync => ProtocolKind::RestrictedSync,
+        Protocol::RestrictedAsync => ProtocolKind::RestrictedAsync,
+        Protocol::Iterative => ProtocolKind::Iterative,
+    }
+}
+
+/// Builds the session [`RunConfig`] for one scenario instance: honest inputs
+/// from the scenario's generator, the instance's seed / strategy / policy,
+/// the scenario's ε, value bounds, step cap and fault plan (fault windows
+/// shifted to 1-based rounds for the synchronous protocols), plus the two
+/// campaign axes made explicit — the already-materialised topology override
+/// and the instance's validity mode (`None` means strict scoring, mirroring
+/// the suppressed `validity` verdict field; pass `spec.validity.as_ref()`
+/// to apply a scenario's own declared mode).
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::BadInputs`] when the input generator cannot
+/// satisfy the scenario shape.
+pub fn run_config_from_spec(
+    spec: &ScenarioSpec,
+    seed: u64,
+    strategy: ByzantineStrategy,
+    policy: DeliveryPolicy,
+    topology: Option<&Topology>,
+    validity: Option<&ValidityMode>,
+) -> Result<RunConfig, ScenarioError> {
+    let kind = protocol_kind(spec.protocol);
+    let faults = if kind.is_async() {
+        spec.faults.clone()
+    } else {
+        sync_rounds_plan(&spec.faults)
     };
-    let outcome = match spec.protocol {
-        Protocol::Exact => {
-            let mut builder = ExactBvcRun::builder(spec.n, spec.f, spec.d)
-                .honest_inputs(inputs)
-                .adversary(strategy)
-                .seed(seed)
-                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
-                .validity_mode(mode)
-                .faults(sync_rounds_plan(&spec.faults));
-            if let Some(t) = &topology {
-                builder = builder.topology(t.clone());
-            }
-            let run = builder.run()?;
-            let mut outcome = base(
-                run.verdict().clone(),
-                run.rounds(),
-                run.stats().clone(),
-                None,
-            );
-            outcome.validity = validity.map(|_| ValidityMeta::from_check(run.validity()));
-            outcome
-        }
-        Protocol::Approx => {
-            let mut builder = ApproxBvcRun::builder(spec.n, spec.f, spec.d)
-                .honest_inputs(inputs)
-                .adversary(strategy)
-                .seed(seed)
-                .epsilon(spec.epsilon)
-                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
-                .delivery_policy(policy)
-                .max_steps(spec.max_steps)
-                .validity_mode(mode)
-                .faults(spec.faults.clone());
-            if let Some(t) = &topology {
-                builder = builder.topology(t.clone());
-            }
-            let run = builder.run()?;
-            let steps = run.stats().steps;
-            let mut outcome = base(
-                run.verdict().clone(),
-                steps,
-                run.stats().clone(),
-                Some(spec.epsilon),
-            );
-            outcome.validity = validity.map(|_| ValidityMeta::from_check(run.validity()));
-            outcome
-        }
-        Protocol::RestrictedSync => {
-            let mut builder = RestrictedRun::sync_builder(spec.n, spec.f, spec.d)
-                .honest_inputs(inputs)
-                .adversary(strategy)
-                .seed(seed)
-                .epsilon(spec.epsilon)
-                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
-                .validity_mode(mode)
-                .faults(sync_rounds_plan(&spec.faults));
-            if let Some(t) = &topology {
-                builder = builder.topology(t.clone());
-            }
-            let run = builder.run()?;
-            let mut outcome = base(
-                run.verdict().clone(),
-                run.rounds(),
-                run.stats().clone(),
-                Some(spec.epsilon),
-            );
-            outcome.validity = validity.map(|_| ValidityMeta::from_check(run.validity()));
-            outcome
-        }
-        Protocol::RestrictedAsync => {
-            let mut builder = RestrictedRun::async_builder(spec.n, spec.f, spec.d)
-                .honest_inputs(inputs)
-                .adversary(strategy)
-                .seed(seed)
-                .epsilon(spec.epsilon)
-                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
-                .delivery_policy(policy)
-                .max_steps(spec.max_steps)
-                .validity_mode(mode)
-                .faults(spec.faults.clone());
-            if let Some(t) = &topology {
-                builder = builder.topology(t.clone());
-            }
-            let run = builder.run()?;
-            let mut outcome = base(
-                run.verdict().clone(),
-                run.rounds(),
-                run.stats().clone(),
-                Some(spec.epsilon),
-            );
-            outcome.validity = validity.map(|_| ValidityMeta::from_check(run.validity()));
-            outcome
-        }
-        Protocol::Iterative => {
-            let mut builder = IterativeBvcRun::builder(spec.n, spec.f, spec.d)
-                .honest_inputs(inputs)
-                .adversary(strategy)
-                .seed(seed)
-                .epsilon(spec.epsilon)
-                .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
-                .validity_mode(mode)
-                .faults(sync_rounds_plan(&spec.faults));
-            if let Some(t) = &topology {
-                builder = builder.topology(t.clone());
-            }
-            let run = builder.run()?;
-            let mut outcome = base(
-                run.verdict().clone(),
-                run.rounds(),
-                run.stats().clone(),
-                Some(spec.epsilon),
-            );
-            outcome.topology = Some(TopologyMeta::with_sufficiency(
-                run.topology(),
-                spec.protocol,
-                run.sufficiency(),
-            ));
-            outcome.validity = validity.map(|_| ValidityMeta::from_mode(run.validity_mode()));
-            outcome
-        }
-    };
-    Ok(outcome)
+    let mut config = RunConfig::new(spec.n, spec.f, spec.d)
+        .honest_inputs(generate_inputs(spec, seed)?)
+        .adversary(strategy)
+        .seed(seed)
+        .epsilon(spec.epsilon)
+        .value_bounds(spec.value_bounds.0, spec.value_bounds.1)
+        .delivery_policy(policy)
+        .max_steps(spec.max_steps)
+        .validity_mode(validity.copied().unwrap_or(ValidityMode::Strict))
+        .faults(faults);
+    if let Some(t) = topology {
+        config = config.topology(t.clone());
+    }
+    Ok(config)
 }
 
 /// Stable label for a strategy, including the crash round (`crash:K`).

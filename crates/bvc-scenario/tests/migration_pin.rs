@@ -1,0 +1,116 @@
+//! Byte-identical migration pin for the `BvcSession` redesign.
+//!
+//! Before the five per-protocol run builders were unified behind the session
+//! API, the entire `scenarios/` catalogue was executed and its verdict JSON
+//! committed under `tests/corpus/`:
+//!
+//! * `catalogue_single.jsonl` — one line per scenario file at its base
+//!   `(seed, strategy, policy)`, in sorted-filename order (what this test
+//!   replays: a debug run of every line stays cheap);
+//! * `campaign_verdicts.jsonl` — the full 178-instance campaign expansion
+//!   (seeds × strategies × policies × topologies × validity axes), which CI
+//!   regenerates in release mode and byte-diffs against the commit.
+//!
+//! Any behavioural drift in the session layer — config assembly, dispatch,
+//! verdict scoring, metadata emission — shows up here as a byte diff, the
+//! same pin pattern that protected the topology (PR 3) and relaxed-validity
+//! (PR 4) migrations.
+
+use bvc_scenario::{expand, run_scenario, run_scenario_instance, ScenarioSpec};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The catalogue in sorted-filename order (the corpus line order).
+fn catalogue() -> Vec<(String, ScenarioSpec)> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(workspace_root().join("scenarios"))
+        .expect("scenarios/ directory exists at the workspace root")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("scenario file readable");
+            let spec = ScenarioSpec::from_toml(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, spec)
+        })
+        .collect()
+}
+
+fn corpus_lines(file: &str) -> Vec<String> {
+    let path = workspace_root()
+        .join("crates/bvc-scenario/tests/corpus")
+        .join(file);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Every catalogue scenario, run through the session dispatch at its base
+/// instance, reproduces the pre-migration verdict byte for byte.
+#[test]
+fn catalogue_verdicts_match_the_pre_session_corpus() {
+    let corpus = corpus_lines("catalogue_single.jsonl");
+    let catalogue = catalogue();
+    assert_eq!(
+        corpus.len(),
+        catalogue.len(),
+        "one corpus line per catalogue scenario — regenerate the corpus when \
+         adding a scenario (see the module docs)"
+    );
+    for ((name, spec), expected) in catalogue.into_iter().zip(corpus) {
+        let fresh = run_scenario(&spec, spec.seed, spec.strategy, spec.policy.clone())
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .to_json();
+        assert_eq!(
+            fresh, expected,
+            "{name}: the session dispatch must reproduce the pre-migration \
+             verdict byte-for-byte"
+        );
+    }
+}
+
+/// The campaign corpus (what CI byte-diffs in full, in release mode) is
+/// spot-checked here across the swept axes: the first and last expanded
+/// instance of every scenario — which exercises topology and validity
+/// overrides through `run_scenario_instance` — matches its corpus line.
+#[test]
+fn campaign_axis_cells_match_the_pre_session_corpus() {
+    let corpus = corpus_lines("campaign_verdicts.jsonl");
+    let mut offset = 0usize;
+    for (scenario_index, (name, spec)) in catalogue().into_iter().enumerate() {
+        let instances = expand(scenario_index, &spec);
+        // Heavy cells (the f = 2 sweep) stay in the release-mode CI diff;
+        // in-test we replay the cheap boundary cells of every scenario.
+        for index in [0, instances.len() - 1] {
+            let instance = &instances[index];
+            if spec.n >= 9 {
+                continue;
+            }
+            let fresh = run_scenario_instance(
+                &instance.spec,
+                instance.seed,
+                instance.strategy,
+                instance.policy.clone(),
+                instance.topology.as_ref(),
+                instance.validity.as_ref(),
+            )
+            .unwrap_or_else(|e| panic!("{name}[{index}]: {e}"))
+            .to_json();
+            assert_eq!(
+                fresh,
+                corpus[offset + index],
+                "{name}[{index}]: campaign cell must match the pre-migration corpus"
+            );
+        }
+        offset += instances.len();
+    }
+    assert_eq!(offset, corpus.len(), "corpus covers the whole expansion");
+}

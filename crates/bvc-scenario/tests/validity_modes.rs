@@ -132,17 +132,20 @@ fn below_threshold_alpha_zero_matches_strict_behaviour_and_collapses_with_alpha(
 fn decisions_valid_at_alpha_stay_valid_at_larger_alpha() {
     // Monotonicity at the run level: a decision that satisfies (1+α)-relaxed
     // validity satisfies it at every α′ > α — the dilated hull only grows.
-    use bvc_core::{ByzantineStrategy, ExactBvcRun};
+    use bvc_core::{BvcSession, ByzantineStrategy, ProtocolKind, RunConfig};
     use bvc_geometry::PointMultiset;
     let spec = below_threshold_spec();
     let inputs = bvc_scenario::generate_inputs(&spec, 1).expect("inputs");
-    let run = ExactBvcRun::builder(8, 2, 3)
-        .honest_inputs(inputs.clone())
-        .adversary(ByzantineStrategy::Equivocate)
-        .seed(1)
-        .validity_mode(ValidityMode::AlphaScaled(1.0))
-        .run()
-        .expect("admitted below the strict bound");
+    let run = BvcSession::new(
+        ProtocolKind::Exact,
+        RunConfig::new(8, 2, 3)
+            .honest_inputs(inputs.clone())
+            .adversary(ByzantineStrategy::Equivocate)
+            .seed(1)
+            .validity_mode(ValidityMode::AlphaScaled(1.0)),
+    )
+    .expect("admitted below the strict bound")
+    .run();
     assert!(run.verdict().all_hold(), "{:?}", run.verdict());
     let honest = PointMultiset::new(inputs);
     for decision in run.decisions() {

@@ -21,7 +21,7 @@
 
 use bvc::adversary::ByzantineStrategy;
 use bvc::baselines::{per_dimension_decision, ScalarPick};
-use bvc::core::ExactBvcRun;
+use bvc::core::{BvcSession, ProtocolKind, RunConfig};
 use bvc::geometry::{ConvexHull, Point, PointMultiset, WorkloadGenerator};
 
 fn main() {
@@ -57,12 +57,15 @@ fn main() {
         honest[2].clone(),
         Point::new(vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]),
     ];
-    let run = ExactBvcRun::builder(5, 1, 3)
-        .honest_inputs(honest_five.clone())
-        .adversary(ByzantineStrategy::FixedOutlier)
-        .seed(1)
-        .run()
-        .expect("bound satisfied");
+    let run = BvcSession::new(
+        ProtocolKind::Exact,
+        RunConfig::new(5, 1, 3)
+            .honest_inputs(honest_five.clone())
+            .adversary(ByzantineStrategy::FixedOutlier)
+            .seed(1),
+    )
+    .expect("bound satisfied")
+    .run();
     let bvc_decision = &run.decisions()[0];
     println!("exact BVC decision:            {bvc_decision}");
     println!(
@@ -88,12 +91,15 @@ fn main() {
             scalar_violations += 1;
         }
         // Exact BVC on the same honest inputs with an outlier adversary.
-        let run = ExactBvcRun::builder(5, 1, 3)
-            .honest_inputs(honest)
-            .adversary(ByzantineStrategy::FixedOutlier)
-            .seed(trial as u64)
-            .run()
-            .expect("bound satisfied");
+        let run = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 3)
+                .honest_inputs(honest)
+                .adversary(ByzantineStrategy::FixedOutlier)
+                .seed(trial as u64),
+        )
+        .expect("bound satisfied")
+        .run();
         if !run.verdict().validity {
             bvc_violations += 1;
         }

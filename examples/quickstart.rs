@@ -1,10 +1,16 @@
-//! Quickstart: exact Byzantine vector consensus under an equivocation attack.
+//! Quickstart: exact Byzantine vector consensus under an equivocation attack,
+//! through the `BvcSession` API.
 //!
 //! Seven processes hold 3-dimensional inputs (probability vectors — the
 //! paper's motivating workload); one of them is Byzantine and tells every
 //! peer a different story.  The Exact BVC algorithm (Section 2.2 of
 //! Vaidya & Garg, PODC 2013) still makes all honest processes agree on a
 //! single vector inside the convex hull of the honest inputs.
+//!
+//! The session API is the canonical entry point: build one [`RunConfig`],
+//! bind it to a [`ProtocolKind`], and read the unified [`RunReport`] — the
+//! same three steps drive all five protocols (swap `ProtocolKind::Exact`
+//! for `Approx`, `RestrictedSync`, `RestrictedAsync` or `Iterative`).
 //!
 //! Run with:
 //!
@@ -13,7 +19,7 @@
 //! ```
 
 use bvc::adversary::ByzantineStrategy;
-use bvc::core::ExactBvcRun;
+use bvc::core::{BvcSession, ProtocolKind, RunConfig};
 use bvc::geometry::Point;
 
 fn main() {
@@ -35,22 +41,27 @@ fn main() {
     }
     println!("p7 is Byzantine and equivocates (different vector to every peer)\n");
 
-    let run = ExactBvcRun::builder(7, 1, 3)
+    // One protocol-agnostic config; the protocol is picked at dispatch.
+    let config = RunConfig::new(7, 1, 3)
         .honest_inputs(honest_inputs)
         .adversary(ByzantineStrategy::Equivocate)
-        .seed(2013)
-        .run()
-        .expect("parameters satisfy the resilience bound");
+        .seed(2013);
+    let report = BvcSession::new(ProtocolKind::Exact, config)
+        .expect("parameters satisfy the resilience bound")
+        .run();
 
-    println!("decision of every honest process: {}", run.decisions()[0]);
-    let verdict = run.verdict();
+    println!(
+        "decision of every honest process: {}",
+        report.decisions()[0]
+    );
+    let verdict = report.verdict();
     println!("agreement:   {}", verdict.agreement);
     println!("validity:    {}", verdict.validity);
     println!("termination: {}", verdict.termination);
     println!(
         "rounds: {}   messages delivered: {}",
-        run.rounds(),
-        run.stats().messages_delivered
+        report.rounds(),
+        report.stats().messages_delivered
     );
 
     assert!(

@@ -17,7 +17,7 @@
 //! ```
 
 use bvc::adversary::ByzantineStrategy;
-use bvc::core::{ApproxBvcRun, UpdateRule};
+use bvc::core::{BvcSession, ProtocolKind, RunConfig, UpdateRule};
 use bvc::geometry::{Point, WorkloadGenerator};
 use bvc::net::DeliveryPolicy;
 
@@ -37,16 +37,19 @@ fn main() {
     }
     println!("robot 6 is Byzantine and pushes opposite corners of the region to different peers\n");
 
-    let run = ApproxBvcRun::builder(6, 1, 3)
-        .honest_inputs(honest_positions.clone())
-        .adversary(ByzantineStrategy::AntiConvergence)
-        .epsilon(epsilon)
-        .value_bounds(0.0, side)
-        .update_rule(UpdateRule::WitnessOptimized)
-        .delivery_policy(DeliveryPolicy::RandomFair)
-        .seed(42)
-        .run()
-        .expect("parameters satisfy the (d+2)f+1 bound");
+    let run = BvcSession::new(
+        ProtocolKind::Approx,
+        RunConfig::new(6, 1, 3)
+            .honest_inputs(honest_positions.clone())
+            .adversary(ByzantineStrategy::AntiConvergence)
+            .epsilon(epsilon)
+            .value_bounds(0.0, side)
+            .update_rule(UpdateRule::WitnessOptimized)
+            .delivery_policy(DeliveryPolicy::RandomFair)
+            .seed(42),
+    )
+    .expect("parameters satisfy the (d+2)f+1 bound")
+    .run();
 
     println!("rendezvous points decided by the honest robots:");
     for (i, decision) in run.decisions().iter().enumerate() {
@@ -60,7 +63,7 @@ fn main() {
     println!("validity (inside the honest hull): {}", verdict.validity);
     println!(
         "round budget: {} rounds, messages delivered: {}",
-        run.round_budget(),
+        run.round_budget().expect("approx has a static budget"),
         run.stats().messages_delivered
     );
     println!("\nper-round spread of the honest fleet (first 10 rounds):");

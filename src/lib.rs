@@ -30,7 +30,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use bvc::core::{ByzantineStrategy, ExactBvcRun};
+//! use bvc::core::{BvcSession, ByzantineStrategy, ProtocolKind, RunConfig};
 //! use bvc::geometry::Point;
 //!
 //! // 7 processes, 1 Byzantine fault, 3-dimensional inputs:
@@ -43,14 +43,15 @@
 //!     Point::new(vec![0.5, 0.25, 0.25]),
 //!     Point::new(vec![0.2, 0.2, 0.6]),
 //! ];
-//! let run = ExactBvcRun::builder(7, 1, 3)
+//! let config = RunConfig::new(7, 1, 3)
 //!     .honest_inputs(inputs)
 //!     .adversary(ByzantineStrategy::FixedOutlier)
-//!     .seed(42)
-//!     .run()
-//!     .expect("parameters satisfy the resilience bound");
-//! assert!(run.verdict().agreement);
-//! assert!(run.verdict().validity);
+//!     .seed(42);
+//! let report = BvcSession::new(ProtocolKind::Exact, config)
+//!     .expect("parameters satisfy the resilience bound")
+//!     .run();
+//! assert!(report.verdict().agreement);
+//! assert!(report.verdict().validity);
 //! ```
 
 #![forbid(unsafe_code)]

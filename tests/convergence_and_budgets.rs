@@ -5,8 +5,8 @@
 
 use bvc::adversary::ByzantineStrategy;
 use bvc::core::{
-    gamma, gamma_witness_optimized, guaranteed_range, round_threshold, ApproxBvcRun, BvcConfig,
-    Setting, UpdateRule,
+    gamma, gamma_witness_optimized, guaranteed_range, round_threshold, BvcConfig, BvcSession,
+    ProtocolKind, RunConfig, Setting, UpdateRule,
 };
 use bvc::geometry::{Point, WorkloadGenerator};
 
@@ -62,15 +62,18 @@ fn executions_respect_their_static_budget_and_epsilon() {
         let f = 1;
         let n = Setting::ApproxAsync.min_processes(d, f);
         let inputs: Vec<Point> = workload.box_points(n - f, d, 0.0, 1.0).into_points();
-        let run = ApproxBvcRun::builder(n, f, d)
-            .honest_inputs(inputs)
-            .adversary(ByzantineStrategy::AntiConvergence)
-            .epsilon(eps)
-            .update_rule(UpdateRule::WitnessOptimized)
-            .seed(77)
-            .run()
-            .expect("bound satisfied");
-        let budget = run.round_budget();
+        let run = BvcSession::new(
+            ProtocolKind::Approx,
+            RunConfig::new(n, f, d)
+                .honest_inputs(inputs)
+                .adversary(ByzantineStrategy::AntiConvergence)
+                .epsilon(eps)
+                .update_rule(UpdateRule::WitnessOptimized)
+                .seed(77),
+        )
+        .expect("bound satisfied")
+        .run();
+        let budget = run.round_budget().expect("approx has a static budget");
         let config = BvcConfig::new(n, f, d).unwrap().with_epsilon(eps).unwrap();
         assert_eq!(
             budget,

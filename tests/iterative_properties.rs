@@ -10,7 +10,7 @@
 //! * iterative verdicts themselves are byte-identical for identical
 //!   `(scenario, seed, topology)`.
 
-use bvc::core::IterativeBvcRun;
+use bvc::core::{BvcSession, ProtocolKind, RunConfig};
 use bvc::geometry::{ConvexHull, Point, PointMultiset};
 use bvc::scenario::{run_scenario, ScenarioSpec};
 use bvc::topology::Topology;
@@ -30,14 +30,17 @@ proptest! {
         inputs in prop::collection::vec(point_strategy(2), 5),
         seed in 0u64..1000,
     ) {
-        let run = IterativeBvcRun::builder(5, 0, 2)
-            .honest_inputs(inputs.clone())
-            .epsilon(0.1)
-            .seed(seed)
-            .topology(Topology::complete(5))
-            .run()
-            .expect("f = 0 on the complete graph is structurally valid");
-        prop_assert!(run.sufficiency().is_satisfied());
+        let run = BvcSession::new(
+            ProtocolKind::Iterative,
+            RunConfig::new(5, 0, 2)
+                .honest_inputs(inputs.clone())
+                .epsilon(0.1)
+                .seed(seed)
+                .topology(Topology::complete(5)),
+        )
+        .expect("f = 0 on the complete graph is structurally valid")
+        .run();
+        prop_assert!(run.sufficiency().expect("recorded").is_satisfied());
         prop_assert!(run.verdict().termination);
         prop_assert!(
             run.verdict().agreement,
@@ -60,12 +63,15 @@ proptest! {
         let lo = coords.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let inputs: Vec<Point> = coords.iter().map(|&c| Point::new(vec![c])).collect();
-        let run = IterativeBvcRun::builder(6, 0, 1)
-            .honest_inputs(inputs)
-            .epsilon(0.05)
-            .seed(seed)
-            .run()
-            .expect("valid");
+        let run = BvcSession::new(
+            ProtocolKind::Iterative,
+            RunConfig::new(6, 0, 1)
+                .honest_inputs(inputs)
+                .epsilon(0.05)
+                .seed(seed),
+        )
+        .expect("valid")
+        .run();
         prop_assert!(run.verdict().all_hold());
         for decision in run.decisions() {
             let c = decision.coord(0);

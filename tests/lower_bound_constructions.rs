@@ -71,33 +71,39 @@ fn sufficiency_and_necessity_meet_with_no_gap() {
     // n = (d+1)f + 1 and (d+2)f + 1 — the experiments in EXPERIMENTS.md make
     // the sufficiency side concrete; here we spot-check d = 2.
     use bvc::adversary::ByzantineStrategy;
-    use bvc::core::{ApproxBvcRun, ExactBvcRun};
+    use bvc::core::{BvcSession, ProtocolKind, RunConfig};
     let d = 2;
     // Exact at n = (d+1)·1 + 1 = 4.
-    let run = ExactBvcRun::builder(4, 1, d)
-        .honest_inputs(vec![
-            Point::new(vec![1.0, 0.0]),
-            Point::new(vec![0.0, 1.0]),
-            Point::new(vec![0.0, 0.0]),
-        ])
-        .adversary(ByzantineStrategy::Equivocate)
-        .seed(2)
-        .run()
-        .expect("n = (d+1)f+1 suffices");
+    let run = BvcSession::new(
+        ProtocolKind::Exact,
+        RunConfig::new(4, 1, d)
+            .honest_inputs(vec![
+                Point::new(vec![1.0, 0.0]),
+                Point::new(vec![0.0, 1.0]),
+                Point::new(vec![0.0, 0.0]),
+            ])
+            .adversary(ByzantineStrategy::Equivocate)
+            .seed(2),
+    )
+    .expect("n = (d+1)f+1 suffices")
+    .run();
     assert!(run.verdict().all_hold());
     // Approximate at n = (d+2)·1 + 1 = 5, on the same basis-plus-origin shape
     // that defeats n = d + 2 = 4.
-    let run = ApproxBvcRun::builder(5, 1, d)
-        .honest_inputs(vec![
-            Point::new(vec![1.0, 0.0]),
-            Point::new(vec![0.0, 1.0]),
-            Point::new(vec![0.0, 0.0]),
-            Point::new(vec![0.5, 0.5]),
-        ])
-        .adversary(ByzantineStrategy::AntiConvergence)
-        .epsilon(0.1)
-        .seed(2)
-        .run()
-        .expect("n = (d+2)f+1 suffices");
+    let run = BvcSession::new(
+        ProtocolKind::Approx,
+        RunConfig::new(5, 1, d)
+            .honest_inputs(vec![
+                Point::new(vec![1.0, 0.0]),
+                Point::new(vec![0.0, 1.0]),
+                Point::new(vec![0.0, 0.0]),
+                Point::new(vec![0.5, 0.5]),
+            ])
+            .adversary(ByzantineStrategy::AntiConvergence)
+            .epsilon(0.1)
+            .seed(2),
+    )
+    .expect("n = (d+2)f+1 suffices")
+    .run();
     assert!(run.verdict().all_hold());
 }

@@ -7,7 +7,7 @@
 //!   satisfies ε-Agreement + Validity.
 
 use bvc::adversary::ByzantineStrategy;
-use bvc::core::{ApproxBvcRun, ExactBvcRun, UpdateRule};
+use bvc::core::{BvcSession, ProtocolKind, RunConfig, UpdateRule};
 use bvc::geometry::{ConvexHull, Point, PointMultiset, SafeArea};
 use proptest::prelude::*;
 
@@ -90,12 +90,15 @@ proptest! {
         strategy_index in 0usize..4,
     ) {
         let strategy = ByzantineStrategy::active_attacks()[strategy_index];
-        let run = ExactBvcRun::builder(4, 1, 2)
-            .honest_inputs(inputs)
-            .adversary(strategy)
-            .seed(seed)
-            .run()
-            .expect("parameters satisfy the bound");
+        let run = BvcSession::new(
+            ProtocolKind::Exact,
+            RunConfig::new(4, 1, 2)
+                .honest_inputs(inputs)
+                .adversary(strategy)
+                .seed(seed),
+        )
+        .expect("parameters satisfy the bound")
+        .run();
         prop_assert!(run.verdict().agreement, "agreement failed: {:?}", run.verdict());
         prop_assert!(run.verdict().validity, "validity failed: {:?}", run.verdict());
         prop_assert!(run.verdict().termination);
@@ -111,14 +114,17 @@ proptest! {
     ) {
         let strategy = ByzantineStrategy::active_attacks()[strategy_index];
         let inputs: Vec<Point> = values.iter().map(|&v| Point::new(vec![v])).collect();
-        let run = ApproxBvcRun::builder(4, 1, 1)
-            .honest_inputs(inputs)
-            .adversary(strategy)
-            .epsilon(0.1)
-            .update_rule(UpdateRule::WitnessOptimized)
-            .seed(seed)
-            .run()
-            .expect("parameters satisfy the bound");
+        let run = BvcSession::new(
+            ProtocolKind::Approx,
+            RunConfig::new(4, 1, 1)
+                .honest_inputs(inputs)
+                .adversary(strategy)
+                .epsilon(0.1)
+                .update_rule(UpdateRule::WitnessOptimized)
+                .seed(seed),
+        )
+        .expect("parameters satisfy the bound")
+        .run();
         prop_assert!(run.verdict().agreement, "ε-agreement failed: {:?}", run.verdict());
         prop_assert!(run.verdict().validity, "validity failed: {:?}", run.verdict());
     }

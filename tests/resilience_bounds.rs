@@ -1,15 +1,21 @@
 //! Integration tests: the algorithms deliver their guarantees exactly at the
 //! paper's resilience bounds, across dimensions, fault counts and adversary
-//! strategies — and the runners refuse to run below the bounds.
+//! strategies — and the session refuses to run below the bounds.
 
 use bvc::adversary::ByzantineStrategy;
-use bvc::core::{ApproxBvcRun, BvcError, ExactBvcRun, RestrictedRun, Setting, UpdateRule};
+use bvc::core::{BvcError, BvcSession, ProtocolKind, RunConfig, RunReport, Setting, UpdateRule};
 use bvc::geometry::{Point, WorkloadGenerator};
 
 fn honest_inputs(seed: u64, count: usize, d: usize) -> Vec<Point> {
     WorkloadGenerator::new(seed)
         .box_points(count, d, 0.0, 1.0)
         .into_points()
+}
+
+fn run(kind: ProtocolKind, config: RunConfig) -> RunReport {
+    BvcSession::new(kind, config)
+        .expect("parameters satisfy the bound")
+        .run()
 }
 
 #[test]
@@ -19,16 +25,17 @@ fn exact_bvc_at_the_tight_bound_for_several_dimensions() {
         let n = Setting::ExactSync.min_processes(d, f);
         for (s, strategy) in ByzantineStrategy::active_attacks().into_iter().enumerate() {
             let inputs = honest_inputs(100 + s as u64, n - f, d);
-            let run = ExactBvcRun::builder(n, f, d)
-                .honest_inputs(inputs)
-                .adversary(strategy)
-                .seed(7 + s as u64)
-                .run()
-                .unwrap_or_else(|e| panic!("d={d} f={f} {strategy:?}: {e}"));
+            let report = run(
+                ProtocolKind::Exact,
+                RunConfig::new(n, f, d)
+                    .honest_inputs(inputs)
+                    .adversary(strategy)
+                    .seed(7 + s as u64),
+            );
             assert!(
-                run.verdict().all_hold(),
+                report.verdict().all_hold(),
                 "d={d} f={f} n={n} strategy={strategy:?}: verdict {:?}",
-                run.verdict()
+                report.verdict()
             );
         }
     }
@@ -37,10 +44,11 @@ fn exact_bvc_at_the_tight_bound_for_several_dimensions() {
 #[test]
 fn exact_bvc_refuses_to_run_below_the_bound() {
     // d = 3, f = 1 needs n >= 5; n = 4 must be rejected.
-    let err = ExactBvcRun::builder(4, 1, 3)
-        .honest_inputs(honest_inputs(1, 3, 3))
-        .run()
-        .unwrap_err();
+    let err = BvcSession::new(
+        ProtocolKind::Exact,
+        RunConfig::new(4, 1, 3).honest_inputs(honest_inputs(1, 3, 3)),
+    )
+    .expect_err("below the bound");
     match err {
         BvcError::InsufficientProcesses {
             required, actual, ..
@@ -59,30 +67,32 @@ fn approximate_bvc_at_the_tight_bound() {
         let f = 1;
         let n = Setting::ApproxAsync.min_processes(d, f);
         let inputs = honest_inputs(200 + d as u64, n - f, d);
-        let run = ApproxBvcRun::builder(n, f, d)
-            .honest_inputs(inputs)
-            .adversary(ByzantineStrategy::AntiConvergence)
-            .epsilon(0.1)
-            .update_rule(UpdateRule::WitnessOptimized)
-            .seed(11)
-            .run()
-            .unwrap_or_else(|e| panic!("d={d}: {e}"));
-        assert!(
-            run.verdict().all_hold(),
-            "d={d} n={n}: verdict {:?}",
-            run.verdict()
+        let report = run(
+            ProtocolKind::Approx,
+            RunConfig::new(n, f, d)
+                .honest_inputs(inputs)
+                .adversary(ByzantineStrategy::AntiConvergence)
+                .epsilon(0.1)
+                .update_rule(UpdateRule::WitnessOptimized)
+                .seed(11),
         );
-        assert!(run.verdict().max_pairwise_distance <= 0.1);
+        assert!(
+            report.verdict().all_hold(),
+            "d={d} n={n}: verdict {:?}",
+            report.verdict()
+        );
+        assert!(report.verdict().max_pairwise_distance <= 0.1);
     }
 }
 
 #[test]
 fn approximate_bvc_refuses_to_run_below_the_bound() {
     // d = 2, f = 1 needs n >= 5.
-    let err = ApproxBvcRun::builder(4, 1, 2)
-        .honest_inputs(honest_inputs(3, 3, 2))
-        .run()
-        .unwrap_err();
+    let err = BvcSession::new(
+        ProtocolKind::Approx,
+        RunConfig::new(4, 1, 2).honest_inputs(honest_inputs(3, 3, 2)),
+    )
+    .expect_err("below the bound");
     assert!(matches!(
         err,
         BvcError::InsufficientProcesses {
@@ -99,18 +109,19 @@ fn approximate_bvc_full_rule_matches_witness_rule_guarantees() {
     let d = 1;
     let inputs = honest_inputs(42, n - 1, d);
     for rule in [UpdateRule::FullSubsets, UpdateRule::WitnessOptimized] {
-        let run = ApproxBvcRun::builder(n, 1, d)
-            .honest_inputs(inputs.clone())
-            .adversary(ByzantineStrategy::Equivocate)
-            .epsilon(0.05)
-            .update_rule(rule)
-            .seed(5)
-            .run()
-            .expect("bound satisfied");
+        let report = run(
+            ProtocolKind::Approx,
+            RunConfig::new(n, 1, d)
+                .honest_inputs(inputs.clone())
+                .adversary(ByzantineStrategy::Equivocate)
+                .epsilon(0.05)
+                .update_rule(rule)
+                .seed(5),
+        );
         assert!(
-            run.verdict().all_hold(),
+            report.verdict().all_hold(),
             "rule {rule:?}: {:?}",
-            run.verdict()
+            report.verdict()
         );
     }
 }
@@ -120,19 +131,25 @@ fn restricted_sync_at_its_bound_and_rejected_below() {
     // d = 2, f = 1: restricted synchronous needs n >= 5 (one more than exact).
     let n = Setting::RestrictedSync.min_processes(2, 1);
     assert_eq!(n, 5);
-    let run = RestrictedRun::sync_builder(n, 1, 2)
-        .honest_inputs(honest_inputs(55, n - 1, 2))
-        .adversary(ByzantineStrategy::FixedOutlier)
-        .epsilon(0.1)
-        .seed(3)
-        .run()
-        .expect("bound satisfied");
-    assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+    let report = run(
+        ProtocolKind::RestrictedSync,
+        RunConfig::new(n, 1, 2)
+            .honest_inputs(honest_inputs(55, n - 1, 2))
+            .adversary(ByzantineStrategy::FixedOutlier)
+            .epsilon(0.1)
+            .seed(3),
+    );
+    assert!(
+        report.verdict().all_hold(),
+        "verdict: {:?}",
+        report.verdict()
+    );
 
-    let err = RestrictedRun::sync_builder(4, 1, 2)
-        .honest_inputs(honest_inputs(56, 3, 2))
-        .run()
-        .unwrap_err();
+    let err = BvcSession::new(
+        ProtocolKind::RestrictedSync,
+        RunConfig::new(4, 1, 2).honest_inputs(honest_inputs(56, 3, 2)),
+    )
+    .expect_err("below the bound");
     assert!(matches!(
         err,
         BvcError::InsufficientProcesses { required: 5, .. }
@@ -145,19 +162,25 @@ fn restricted_async_at_its_bound_and_rejected_below() {
     // AAD-based algorithm).
     let n = Setting::RestrictedAsync.min_processes(1, 1);
     assert_eq!(n, 6);
-    let run = RestrictedRun::async_builder(n, 1, 1)
-        .honest_inputs(honest_inputs(77, n - 1, 1))
-        .adversary(ByzantineStrategy::AntiConvergence)
-        .epsilon(0.1)
-        .seed(21)
-        .run()
-        .expect("bound satisfied");
-    assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+    let report = run(
+        ProtocolKind::RestrictedAsync,
+        RunConfig::new(n, 1, 1)
+            .honest_inputs(honest_inputs(77, n - 1, 1))
+            .adversary(ByzantineStrategy::AntiConvergence)
+            .epsilon(0.1)
+            .seed(21),
+    );
+    assert!(
+        report.verdict().all_hold(),
+        "verdict: {:?}",
+        report.verdict()
+    );
 
-    let err = RestrictedRun::async_builder(5, 1, 1)
-        .honest_inputs(honest_inputs(78, 4, 1))
-        .run()
-        .unwrap_err();
+    let err = BvcSession::new(
+        ProtocolKind::RestrictedAsync,
+        RunConfig::new(5, 1, 1).honest_inputs(honest_inputs(78, 4, 1)),
+    )
+    .expect_err("below the bound");
     assert!(matches!(
         err,
         BvcError::InsufficientProcesses { required: 6, .. }
@@ -167,30 +190,32 @@ fn restricted_async_at_its_bound_and_rejected_below() {
 #[test]
 fn crash_and_silent_adversaries_never_block_termination() {
     for strategy in [ByzantineStrategy::Crash(1), ByzantineStrategy::Silent] {
-        let run = ExactBvcRun::builder(5, 1, 2)
-            .honest_inputs(honest_inputs(91, 4, 2))
-            .adversary(strategy)
-            .seed(9)
-            .run()
-            .expect("bound satisfied");
+        let report = run(
+            ProtocolKind::Exact,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(honest_inputs(91, 4, 2))
+                .adversary(strategy)
+                .seed(9),
+        );
         assert!(
-            run.verdict().termination,
+            report.verdict().termination,
             "{strategy:?} blocked termination"
         );
-        assert!(run.verdict().all_hold());
+        assert!(report.verdict().all_hold());
 
-        let run = ApproxBvcRun::builder(5, 1, 2)
-            .honest_inputs(honest_inputs(92, 4, 2))
-            .adversary(strategy)
-            .epsilon(0.1)
-            .seed(9)
-            .run()
-            .expect("bound satisfied");
+        let report = run(
+            ProtocolKind::Approx,
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(honest_inputs(92, 4, 2))
+                .adversary(strategy)
+                .epsilon(0.1)
+                .seed(9),
+        );
         assert!(
-            run.verdict().termination,
+            report.verdict().termination,
             "{strategy:?} blocked async termination"
         );
-        assert!(run.verdict().all_hold());
+        assert!(report.verdict().all_hold());
     }
 }
 
@@ -198,30 +223,29 @@ fn crash_and_silent_adversaries_never_block_termination() {
 fn larger_systems_with_two_faults() {
     // d = 2, f = 2: exact needs n >= 7.
     let inputs = honest_inputs(123, 5, 2);
-    let run = ExactBvcRun::builder(7, 2, 2)
-        .honest_inputs(inputs)
-        .adversary(ByzantineStrategy::Equivocate)
-        .seed(17)
-        .run()
-        .expect("bound satisfied");
-    assert!(run.verdict().all_hold(), "verdict: {:?}", run.verdict());
+    let report = run(
+        ProtocolKind::Exact,
+        RunConfig::new(7, 2, 2)
+            .honest_inputs(inputs)
+            .adversary(ByzantineStrategy::Equivocate)
+            .seed(17),
+    );
+    assert!(
+        report.verdict().all_hold(),
+        "verdict: {:?}",
+        report.verdict()
+    );
 }
 
 #[test]
 fn decision_is_deterministic_for_a_fixed_seed() {
     let inputs = honest_inputs(5, 4, 2);
-    let run1 = ExactBvcRun::builder(5, 1, 2)
-        .honest_inputs(inputs.clone())
-        .adversary(ByzantineStrategy::RandomNoise)
-        .seed(1234)
-        .run()
-        .unwrap();
-    let run2 = ExactBvcRun::builder(5, 1, 2)
+    let config = RunConfig::new(5, 1, 2)
         .honest_inputs(inputs)
         .adversary(ByzantineStrategy::RandomNoise)
-        .seed(1234)
-        .run()
-        .unwrap();
+        .seed(1234);
+    let run1 = run(ProtocolKind::Exact, config.clone());
+    let run2 = run(ProtocolKind::Exact, config);
     for (a, b) in run1.decisions().iter().zip(run2.decisions()) {
         assert!(a.approx_eq(b, 1e-12));
     }
