@@ -79,13 +79,9 @@ pub use restricted::{
     restricted_round_budget, ByzantineRestrictedAsync, ByzantineRestrictedSync,
     RestrictedAsyncProcess, RestrictedSyncProcess, StateMsg,
 };
-#[allow(deprecated)]
-pub use run::compat::{
-    ApproxBvcRun, ApproxBvcRunBuilder, ExactBvcRun, ExactBvcRunBuilder, IterativeBvcRun,
-    IterativeBvcRunBuilder, RestrictedAsyncRunBuilder, RestrictedRun, RestrictedSyncRunBuilder,
-};
 pub use run::{
-    BvcSession, DriverOutcome, ProtocolDriver, ProtocolKind, RunConfig, RunReport, Verdict,
+    BvcSession, DriverOutcome, InstanceOverrides, ProtocolDriver, ProtocolKind, RunConfig,
+    RunReport, Verdict,
 };
 pub use validity::{
     relaxed_min_processes, require_with_mode, validity_check, ValidityCheck, ValidityMode,

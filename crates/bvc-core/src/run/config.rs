@@ -258,6 +258,26 @@ impl RunConfig {
         self
     }
 
+    /// Derives the config of one instance of a multi-instance stream: this
+    /// config as the template, with the per-instance knobs replaced from
+    /// `overrides`.  Everything a service keeps fixed across the stream —
+    /// shape, topology, faults, delivery, value bounds, shared Γ cache —
+    /// is inherited untouched.
+    pub fn for_instance(&self, overrides: &InstanceOverrides) -> RunConfig {
+        let mut config = self.clone();
+        config.seed = overrides.seed;
+        if let Some(inputs) = &overrides.honest_inputs {
+            config.honest_inputs = inputs.clone();
+        }
+        if let Some(strategy) = overrides.adversary {
+            config.adversary = strategy;
+        }
+        if let Some(mode) = overrides.validity {
+            config.validity = mode;
+        }
+        config
+    }
+
     /// The single admission/validation point every protocol goes through —
     /// there is deliberately no other place that checks a resource bound.
     ///
@@ -327,6 +347,23 @@ impl RunConfig {
         };
         Ok((core, topology))
     }
+}
+
+/// The per-instance knobs of a multi-instance stream (state-machine-
+/// replication style): each consensus instance decides fresh inputs under a
+/// fresh seed — and may vary the adversary and the validity condition —
+/// while the [`RunConfig`] template fixes everything else for the whole
+/// stream.  Resolve one with [`RunConfig::for_instance`].
+#[derive(Debug, Clone, Default)]
+pub struct InstanceOverrides {
+    /// Seed of all randomness in this instance.
+    pub seed: u64,
+    /// This instance's honest inputs; `None` inherits the template's.
+    pub honest_inputs: Option<Vec<Point>>,
+    /// This instance's Byzantine strategy; `None` inherits the template's.
+    pub adversary: Option<ByzantineStrategy>,
+    /// This instance's validity condition; `None` inherits the template's.
+    pub validity: Option<ValidityMode>,
 }
 
 #[cfg(test)]
@@ -473,6 +510,34 @@ mod tests {
                 "{protocol} is judged against ε and must validate it"
             );
         }
+    }
+
+    #[test]
+    fn for_instance_overrides_only_the_per_instance_knobs() {
+        let template = RunConfig::new(5, 1, 2)
+            .honest_inputs(inputs(4, 2))
+            .adversary(ByzantineStrategy::Silent)
+            .seed(7)
+            .epsilon(0.25);
+        let inherited = template.for_instance(&InstanceOverrides {
+            seed: 99,
+            ..InstanceOverrides::default()
+        });
+        assert_eq!(inherited.seed, 99);
+        assert_eq!(inherited.adversary, ByzantineStrategy::Silent);
+        assert_eq!(inherited.honest_inputs.len(), 4);
+        assert_eq!(inherited.epsilon, 0.25);
+        let replaced = template.for_instance(&InstanceOverrides {
+            seed: 3,
+            honest_inputs: Some(inputs(4, 2)),
+            adversary: Some(ByzantineStrategy::Equivocate),
+            validity: Some(ValidityMode::KRelaxed(1)),
+        });
+        assert_eq!(replaced.adversary, ByzantineStrategy::Equivocate);
+        assert_eq!(replaced.validity, ValidityMode::KRelaxed(1));
+        replaced
+            .validate(ProtocolKind::Exact)
+            .expect("derived instance config stays valid");
     }
 
     #[test]

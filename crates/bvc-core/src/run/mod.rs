@@ -28,12 +28,7 @@
 //!     .run();
 //! assert!(report.verdict().all_hold());
 //! ```
-//!
-//! The pre-session per-protocol builders (`ExactBvcRun::builder` and
-//! friends) survive one release as deprecated shims in [`compat`]; they
-//! delegate to the session and will be removed.
 
-pub mod compat;
 pub mod config;
 pub mod report;
 
@@ -43,7 +38,7 @@ mod iterative;
 mod restricted_async;
 mod restricted_sync;
 
-pub use config::{ProtocolKind, RunConfig};
+pub use config::{InstanceOverrides, ProtocolKind, RunConfig};
 pub use report::{RunReport, Verdict};
 
 use crate::approx::ApproxOutput;

@@ -4,7 +4,15 @@
 use super::{make_forge, BvcSession, DriverOutcome, ProtocolDriver};
 use crate::restricted::{ByzantineRestrictedSync, RestrictedSyncProcess, StateMsg};
 use bvc_geometry::Point;
-use bvc_net::{SyncNetwork, SyncProcess};
+use bvc_net::{SyncNetwork, SyncProcess, SyncScratch};
+use std::cell::RefCell;
+
+thread_local! {
+    // Per-thread executor buffers: a worker thread deciding a stream of
+    // instances (the service / campaign pools) reuses the n² per-link
+    // queues across instances instead of reallocating them every run.
+    static SCRATCH: RefCell<SyncScratch<StateMsg>> = RefCell::new(SyncScratch::new());
+}
 
 pub(super) struct RestrictedSyncDriver;
 
@@ -33,10 +41,11 @@ impl ProtocolDriver for RestrictedSyncDriver {
             )));
         }
         let honest = session.honest_indices();
-        let outcome = SyncNetwork::new(processes, RestrictedSyncProcess::total_rounds(config) + 1)
+        let network = SyncNetwork::new(processes, RestrictedSyncProcess::total_rounds(config) + 1)
             .with_topology(session.topology().as_ref().clone())
-            .with_faults(rc.faults.clone(), rc.seed)
-            .run(&honest);
+            .with_faults(rc.faults.clone(), rc.seed);
+        let outcome =
+            SCRATCH.with(|scratch| network.run_with_scratch(&honest, &mut scratch.borrow_mut()));
         let decisions = session.honest_decisions(&outcome.outputs);
         let terminated = decisions.len() == honest.len();
         DriverOutcome {

@@ -87,6 +87,12 @@ fn point_bits(p: &Point) -> Vec<u64> {
 }
 
 /// Memoises safe-area queries across processes and rounds.
+///
+/// A cache may chain to a **parent** ([`Self::with_parent`]): misses are
+/// answered by the parent (which memoises them in turn) instead of the Γ
+/// engine.  A long-lived parent shared by many runs then measures exactly
+/// the *cross-run* reuse — same-run repeats are absorbed by the per-run
+/// child, so every parent hit is a query some earlier run already paid for.
 #[derive(Debug)]
 pub struct GammaCache {
     points: Mutex<HashMap<MultisetKey, Option<Point>>>,
@@ -94,6 +100,7 @@ pub struct GammaCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    parent: Option<SharedGammaCache>,
 }
 
 impl Default for GammaCache {
@@ -132,12 +139,32 @@ impl GammaCache {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            parent: None,
         }
     }
 
     /// Creates a cache ready for sharing across processes.
     pub fn shared() -> SharedGammaCache {
         Arc::new(Self::new())
+    }
+
+    /// Creates a default-capacity cache whose misses are resolved (and
+    /// memoised) by `parent` instead of the Γ engine.
+    ///
+    /// Chaining is observationally transparent — every Γ query is a pure
+    /// function of `(Y, f, mode)`, so a parent answer is identical to a
+    /// recomputation.  The parent's hit counter counts exactly the queries
+    /// that this child missed but some earlier sibling already computed.
+    pub fn with_parent(parent: SharedGammaCache) -> Self {
+        Self {
+            parent: Some(parent),
+            ..Self::new()
+        }
+    }
+
+    /// The parent cache misses are delegated to, if any.
+    pub fn parent(&self) -> Option<&SharedGammaCache> {
+        self.parent.as_ref()
     }
 
     /// Memoised [`gamma_point`](crate::gamma_point): the deterministically
@@ -161,7 +188,10 @@ impl GammaCache {
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = find_point_presorted(canon, f);
+        let value = match &self.parent {
+            Some(parent) => parent.find_point(&canon, f),
+            None => find_point_presorted(canon, f),
+        };
         let mut map = lock(&self.points);
         if map.len() >= self.capacity {
             map.clear();
@@ -204,13 +234,14 @@ impl GammaCache {
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = match &mode_key {
-            ModeKey::Strict => unreachable!("strict-normalised modes return above"),
-            ModeKey::Alpha(bits) => relaxed_gamma_point(&canon, f, f64::from_bits(*bits)),
+        let value = match (&self.parent, &mode_key) {
+            (Some(parent), _) => parent.decision_point(&canon, f, mode),
+            (None, ModeKey::Strict) => unreachable!("strict-normalised modes return above"),
+            (None, ModeKey::Alpha(bits)) => relaxed_gamma_point(&canon, f, f64::from_bits(*bits)),
             // The k-relaxed rule prefers the strict Γ point; route that leg
             // through the cache so it shares the ModeKey::Strict entry
             // instead of re-solving the strict LP on every relaxed miss.
-            ModeKey::K(k) => self
+            (None, ModeKey::K(k)) => self
                 .find_point(&canon, f)
                 .or_else(|| k_relaxed_point(&canon, f, *k)),
         };
@@ -234,7 +265,10 @@ impl GammaCache {
             return cached;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = contains_impl(y, f, point);
+        let value = match &self.parent {
+            Some(parent) => parent.contains(y, f, point),
+            None => contains_impl(y, f, point),
+        };
         let mut map = lock(&self.membership);
         if map.len() >= self.capacity {
             map.clear();
@@ -389,6 +423,54 @@ mod tests {
         assert_eq!(
             first.map(|p| p.coords().to_vec()),
             direct.map(|p| p.coords().to_vec())
+        );
+    }
+
+    #[test]
+    fn parent_chaining_answers_child_misses_and_counts_cross_run_reuse() {
+        let parent = GammaCache::shared();
+        let y = square_plus_centre();
+
+        // First "run": a fresh child misses, the parent misses, the engine
+        // answers; both layers memoise.
+        let first = GammaCache::with_parent(Arc::clone(&parent));
+        let a = first.find_point(&y, 1).unwrap();
+        assert_eq!((first.hits(), first.misses()), (0, 1));
+        assert_eq!((parent.hits(), parent.misses()), (0, 1));
+        // Same-run repeat: absorbed by the child, parent untouched.
+        let _ = first.find_point(&y, 1);
+        assert_eq!(first.hits(), 1);
+        assert_eq!(parent.hits(), 0);
+
+        // Second "run": a new child misses but the parent hits — the hit
+        // counts exactly the cross-run reuse.
+        let second = GammaCache::with_parent(Arc::clone(&parent));
+        let b = second.find_point(&y, 1).unwrap();
+        assert!(a.approx_eq(&b, 0.0), "parent answers are bit-identical");
+        assert_eq!((second.hits(), second.misses()), (0, 1));
+        assert_eq!((parent.hits(), parent.misses()), (1, 1));
+        assert!(second.parent().is_some());
+    }
+
+    #[test]
+    fn parent_chaining_is_observationally_transparent() {
+        let parent = GammaCache::shared();
+        let chained = GammaCache::with_parent(Arc::clone(&parent));
+        let cold = GammaCache::new();
+        let y = square_plus_centre();
+        for (f, alpha) in [(1usize, 0.0), (1, 2.0), (2, 2.0)] {
+            let mode = ValidityPredicate::AlphaScaled(alpha);
+            let via_parent = chained.decision_point(&y, f, &mode);
+            let direct = cold.decision_point(&y, f, &mode);
+            assert_eq!(
+                via_parent.map(|p| p.coords().to_vec()),
+                direct.map(|p| p.coords().to_vec())
+            );
+        }
+        let probe = Point::new(vec![2.0, 2.0]);
+        assert_eq!(
+            chained.contains(&y, 1, &probe),
+            cold.contains(&y, 1, &probe)
         );
     }
 

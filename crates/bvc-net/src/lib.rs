@@ -69,5 +69,5 @@ pub use faults::{FaultError, FaultEvent, FaultKind, FaultPlan, LinkSelector};
 pub use process::{
     broadcast_to_all, Delivery, ExecutionStats, Outgoing, ProcessCounters, ProcessId,
 };
-pub use sync::{SyncNetwork, SyncOutcome, SyncProcess};
+pub use sync::{SyncNetwork, SyncOutcome, SyncProcess, SyncScratch};
 pub use threaded::{run_threaded, run_threaded_on, ThreadedOutcome};

@@ -152,6 +152,26 @@ impl ExecutionStats {
             counters.dropped += 1;
         }
     }
+
+    /// Folds another execution's statistics into this one — the aggregation
+    /// primitive for multi-instance runs (one service stream = many
+    /// executions).  Totals and steps are summed; per-process counters are
+    /// summed element-wise, growing to the longer of the two vectors.
+    pub fn absorb(&mut self, other: &ExecutionStats) {
+        self.messages_delivered += other.messages_delivered;
+        self.messages_sent += other.messages_sent;
+        self.messages_dropped += other.messages_dropped;
+        self.steps += other.steps;
+        if self.per_process.len() < other.per_process.len() {
+            self.per_process
+                .resize(other.per_process.len(), ProcessCounters::default());
+        }
+        for (mine, theirs) in self.per_process.iter_mut().zip(&other.per_process) {
+            mine.sent += theirs.sent;
+            mine.delivered += theirs.delivered;
+            mine.dropped += theirs.dropped;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +243,27 @@ mod tests {
         assert_eq!(s.per_process[0].dropped, 1);
         assert_eq!(s.per_process[1].delivered, 2);
         assert_eq!(s.per_process[2].sent, 1);
+    }
+
+    #[test]
+    fn absorb_sums_totals_and_grows_per_process() {
+        let mut total = ExecutionStats::for_processes(2);
+        total.record_sent(0, 3);
+        total.steps = 5;
+        let mut other = ExecutionStats::for_processes(3);
+        other.record_sent(0, 1);
+        other.record_delivered(2);
+        other.record_dropped(1);
+        other.steps = 7;
+        total.absorb(&other);
+        assert_eq!(total.messages_sent, 4);
+        assert_eq!(total.messages_delivered, 1);
+        assert_eq!(total.messages_dropped, 1);
+        assert_eq!(total.steps, 12);
+        assert_eq!(total.per_process.len(), 3);
+        assert_eq!(total.per_process[0].sent, 4);
+        assert_eq!(total.per_process[1].dropped, 1);
+        assert_eq!(total.per_process[2].delivered, 1);
     }
 
     #[test]

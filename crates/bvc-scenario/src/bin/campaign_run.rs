@@ -12,14 +12,45 @@
 //! stdout carries exactly one JSON line per instance, in deterministic
 //! instance order (scenario files sorted by name, then the scenario's own
 //! sweep order) regardless of thread interleaving; the human-readable
-//! summary goes to stderr.  Exit code 0 means every instance ran and every
-//! verdict held; 1 means some verdict was violated or some instance was
-//! rejected; 2 means the campaign could not be loaded.
+//! summary goes to stderr.  Verdicts **stream**: each line is written as
+//! soon as it is next in instance order, so a long campaign produces output
+//! while it runs instead of buffering every result.  Exit code 0 means
+//! every instance ran and every verdict held; 1 means some verdict was
+//! violated or some instance was rejected; 2 means the campaign could not
+//! be loaded.
 
-use bvc_scenario::{expand_all, run_campaign, CampaignSummary, ScenarioSpec};
-use std::io::Write as _;
+use bvc_scenario::{expand_all, run_campaign_streaming, ScenarioSpec, VerdictSink};
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Streams each verdict line to stdout and (optionally) tees it into
+/// `--out`, flushing both at the end of the campaign.
+struct CampaignSink {
+    stdout: io::Stdout,
+    file: Option<BufWriter<File>>,
+}
+
+impl VerdictSink for CampaignSink {
+    fn emit(&mut self, line: &str) -> io::Result<()> {
+        self.stdout.write_all(line.as_bytes())?;
+        self.stdout.write_all(b"\n")?;
+        if let Some(file) = &mut self.file {
+            file.write_all(line.as_bytes())?;
+            file.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.stdout.flush()?;
+        if let Some(file) = &mut self.file {
+            file.flush()?;
+        }
+        Ok(())
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -115,32 +146,35 @@ fn main() -> ExitCode {
         specs.len(),
         instances.len()
     );
-    let results = run_campaign(&instances, jobs);
 
-    let mut lines = String::new();
-    for (instance, result) in instances.iter().zip(&results) {
-        match result {
-            Ok(outcome) => {
-                lines.push_str(&outcome.to_json());
-                lines.push('\n');
-            }
+    let file = match &out_path {
+        None => None,
+        Some(path) => match File::create(path) {
+            Ok(file) => Some(BufWriter::new(file)),
             Err(e) => {
-                eprintln!(
-                    "campaign-run: `{}` seed {} rejected: {e}",
-                    instance.spec.name, instance.seed
-                );
+                eprintln!("campaign-run: cannot write `{}`: {e}", path.display());
+                return ExitCode::from(2);
             }
-        }
-    }
-    print!("{lines}");
-    if let Some(path) = &out_path {
-        if let Err(e) = std::fs::write(path, &lines) {
-            eprintln!("campaign-run: cannot write `{}`: {e}", path.display());
+        },
+    };
+    let mut sink = CampaignSink {
+        stdout: io::stdout(),
+        file,
+    };
+    let (summary, rejections) = match run_campaign_streaming(&instances, jobs, &mut sink) {
+        Ok(done) => done,
+        Err(e) => {
+            eprintln!("campaign-run: verdict stream failed: {e}");
             return ExitCode::from(2);
         }
+    };
+    for (index, error) in &rejections {
+        let instance = &instances[*index];
+        eprintln!(
+            "campaign-run: `{}` seed {} rejected: {error}",
+            instance.spec.name, instance.seed
+        );
     }
-
-    let summary = CampaignSummary::tally(&results);
     eprintln!(
         "campaign-run: {} passed, {} violated, {} expected-unsolvable, {} rejected ({} total)",
         summary.passed,

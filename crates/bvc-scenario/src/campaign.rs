@@ -13,9 +13,11 @@ use crate::schema::ScenarioSpec;
 use bvc_adversary::ByzantineStrategy;
 use bvc_core::ValidityMode;
 use bvc_net::DeliveryPolicy;
+use bvc_service::{ReorderBuffer, VerdictSink};
 use bvc_topology::TopologySpec;
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::thread;
 
 /// One expanded cell of the campaign matrix.
@@ -118,11 +120,12 @@ pub fn expand_all(specs: &[ScenarioSpec]) -> Vec<Instance> {
 /// Outcome of one instance: the verdict, or why it could not run.
 pub type InstanceResult = Result<ScenarioOutcome, ScenarioError>;
 
-/// Runs every instance on a pool of `jobs` worker threads and returns the
-/// results in instance order, independent of scheduling.
+/// The shared worker pool behind both campaign entry points: `jobs` threads
+/// pull instances off an atomic cursor and hand each `(index, result)` to
+/// `consume` as soon as it completes (any thread, any order).
 ///
 /// `jobs == 0` selects the available parallelism (or 1 if unknown).
-pub fn run_campaign(instances: &[Instance], jobs: usize) -> Vec<InstanceResult> {
+fn run_pool(instances: &[Instance], jobs: usize, consume: &(dyn Fn(usize, InstanceResult) + Sync)) {
     let jobs = if jobs == 0 {
         thread::available_parallelism()
             .map(|p| p.get())
@@ -133,9 +136,6 @@ pub fn run_campaign(instances: &[Instance], jobs: usize) -> Vec<InstanceResult> 
     let jobs = jobs.min(instances.len()).max(1);
 
     let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<InstanceResult>>> =
-        Mutex::new((0..instances.len()).map(|_| None).collect());
-
     thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
@@ -151,17 +151,105 @@ pub fn run_campaign(instances: &[Instance], jobs: usize) -> Vec<InstanceResult> 
                     instance.topology.as_ref(),
                     instance.validity.as_ref(),
                 );
-                results.lock().expect("results lock poisoned")[index] = Some(result);
+                consume(index, result);
             });
         }
     });
+}
 
+/// Runs every instance on a pool of `jobs` worker threads and returns the
+/// results in instance order, independent of scheduling.
+///
+/// `jobs == 0` selects the available parallelism (or 1 if unknown).
+pub fn run_campaign(instances: &[Instance], jobs: usize) -> Vec<InstanceResult> {
+    let results: Mutex<Vec<Option<InstanceResult>>> =
+        Mutex::new((0..instances.len()).map(|_| None).collect());
+    run_pool(instances, jobs, &|index, result| {
+        results.lock().expect("results lock poisoned")[index] = Some(result);
+    });
     results
         .into_inner()
         .expect("results lock poisoned")
         .into_iter()
         .map(|slot| slot.expect("every instance index was processed"))
         .collect()
+}
+
+/// Everything the streaming campaign accumulates under one lock: the reorder
+/// buffer releasing verdict lines in instance order, the sink they drain
+/// into, the running summary, the rejections (reported out-of-band, since
+/// they emit no line), and the first sink error.
+struct StreamState<'a> {
+    reorder: ReorderBuffer,
+    sink: &'a mut dyn VerdictSink,
+    summary: CampaignSummary,
+    rejections: Vec<(usize, ScenarioError)>,
+    error: Option<io::Error>,
+}
+
+/// Runs every instance on a pool of `jobs` worker threads, **streaming** each
+/// verdict line into `sink` as soon as it is next in instance order — the
+/// emitted byte stream is identical to collecting every result first, but a
+/// long campaign produces output (and frees each outcome) as it goes instead
+/// of holding the whole result vector until the end.
+///
+/// Rejected instances emit no line (exactly as [`run_campaign`] callers skip
+/// them); they consume their slot in the order buffer and come back in the
+/// second return value, sorted by instance index.  `sink.finish()` is called
+/// after the last line.
+///
+/// `jobs == 0` selects the available parallelism (or 1 if unknown).
+///
+/// # Errors
+///
+/// The first sink I/O error aborts emission (remaining instances still run,
+/// their lines are dropped) and is returned.
+pub fn run_campaign_streaming(
+    instances: &[Instance],
+    jobs: usize,
+    sink: &mut dyn VerdictSink,
+) -> io::Result<(CampaignSummary, Vec<(usize, ScenarioError)>)> {
+    let state = Mutex::new(StreamState {
+        reorder: ReorderBuffer::new(),
+        sink,
+        summary: CampaignSummary::default(),
+        rejections: Vec::new(),
+        error: None,
+    });
+    run_pool(instances, jobs, &|index, result| {
+        let mut state = state.lock().unwrap_or_else(PoisonError::into_inner);
+        let StreamState {
+            reorder,
+            sink,
+            summary,
+            rejections,
+            error,
+        } = &mut *state;
+        summary.add(&result);
+        let line = match result {
+            Ok(outcome) => Some(outcome.to_json()),
+            Err(e) => {
+                rejections.push((index, e));
+                None
+            }
+        };
+        match error {
+            Some(_) => {} // sink already failed; keep tallying, stop writing
+            None => {
+                if let Err(e) = reorder.push(index as u64, line, &mut **sink) {
+                    *error = Some(e);
+                }
+            }
+        }
+    });
+    let mut state = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(error) = state.error {
+        return Err(error);
+    }
+    debug_assert!(state.reorder.is_drained(), "every index was pushed");
+    state.sink.finish()?;
+    state.rejections.sort_by_key(|&(index, _)| index);
+    Ok((state.summary, state.rejections))
 }
 
 /// Aggregate counts over a finished campaign, for the human-readable summary.
@@ -183,24 +271,29 @@ pub struct CampaignSummary {
 }
 
 impl CampaignSummary {
+    /// Tallies one result into the summary.
+    pub fn add(&mut self, result: &InstanceResult) {
+        match result {
+            Ok(outcome) if outcome.verdict.all_hold() => self.passed += 1,
+            Ok(outcome)
+                if outcome
+                    .topology
+                    .as_ref()
+                    .is_some_and(|t| !t.expected_solvable)
+                    || outcome.validity.as_ref().is_some_and(|v| !v.satisfied) =>
+            {
+                self.expected_unsolvable += 1
+            }
+            Ok(_) => self.violated += 1,
+            Err(_) => self.rejected += 1,
+        }
+    }
+
     /// Tallies a result list.
     pub fn tally(results: &[InstanceResult]) -> Self {
         let mut summary = Self::default();
         for result in results {
-            match result {
-                Ok(outcome) if outcome.verdict.all_hold() => summary.passed += 1,
-                Ok(outcome)
-                    if outcome
-                        .topology
-                        .as_ref()
-                        .is_some_and(|t| !t.expected_solvable)
-                        || outcome.validity.as_ref().is_some_and(|v| !v.satisfied) =>
-                {
-                    summary.expected_unsolvable += 1
-                }
-                Ok(_) => summary.violated += 1,
-                Err(_) => summary.rejected += 1,
-            }
+            summary.add(result);
         }
         summary
     }
@@ -310,6 +403,43 @@ mod tests {
         assert_eq!(instances.len(), 1);
         assert_eq!(instances[0].seed, 9);
         assert_eq!(instances[0].scenario_index, 3);
+    }
+
+    #[test]
+    fn streaming_campaign_emits_the_collected_byte_stream() {
+        use bvc_service::MemorySink;
+        let spec = sweep_spec();
+        let instances = expand(0, &spec);
+        let collected = run_campaign(&instances, 2);
+        let expected: Vec<String> = collected
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|o| o.to_json()))
+            .collect();
+
+        let mut sink = MemorySink::new();
+        let (summary, rejections) = run_campaign_streaming(&instances, 4, &mut sink).unwrap();
+        assert_eq!(sink.into_lines(), expected);
+        assert_eq!(summary, CampaignSummary::tally(&collected));
+        assert!(rejections.is_empty());
+    }
+
+    #[test]
+    fn streaming_campaign_reports_rejections_in_instance_order() {
+        use bvc_service::MemorySink;
+        // n = 4 violates the approx bound (d+2)f+1 = 5: every instance is
+        // rejected, none emits a line.
+        let spec = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"under\"\nprotocol = \"approx\"\nn = 4\nf = 1\nd = 2\n\
+             [campaign]\nseed_range = [0, 3]\n",
+        )
+        .unwrap();
+        let instances = expand(0, &spec);
+        let mut sink = MemorySink::new();
+        let (summary, rejections) = run_campaign_streaming(&instances, 3, &mut sink).unwrap();
+        assert!(sink.lines().is_empty());
+        assert_eq!(summary.rejected, 4);
+        let indices: Vec<usize> = rejections.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, [0, 1, 2, 3]);
     }
 
     #[test]

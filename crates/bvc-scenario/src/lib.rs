@@ -83,6 +83,15 @@
 //! topologies = ["complete", "ring", "torus:2x4", "random-regular:6"]
 //! alphas = [0.0, 1.0, 3.0]       # validity axis: (1+α)-relaxed values …
 //! ks = [1]                       # … then k-relaxed values
+//!
+//! [service]                      # optional: run the file as a multi-shot
+//! instances = 1000               # consensus stream (`service-run`, the
+//! batch = 64                     # `bvc-service` crate).  Instance i runs at
+//! workers = 0                    # seed base + (i % seed_cycle) with inputs
+//! seed_cycle = 50                # regenerated from that seed; 0 = no cycle.
+//! strategies = ["equivocate", "silent"]  # rotation (empty ⇒ base strategy)
+//! shared_cache = true            # chain per-instance Γ caches to one parent
+//! # sink = "verdicts.jsonl"      # default stdout; `--out` overrides
 //! ```
 //!
 //! The `iterative` protocol is the incomplete-graph algorithm of Vaidya 2013:
@@ -150,11 +159,16 @@ pub mod json;
 pub mod report;
 pub mod runner;
 pub mod schema;
+pub mod service;
 pub mod toml;
 
 pub use bvc_core::ValidityMode;
+pub use bvc_service::{JsonlSink, MemorySink, ServiceConfig, VerdictSink};
 pub use bvc_topology::TopologySpec;
-pub use campaign::{expand, expand_all, run_campaign, CampaignSummary, Instance, InstanceResult};
+pub use campaign::{
+    expand, expand_all, run_campaign, run_campaign_streaming, CampaignSummary, Instance,
+    InstanceResult,
+};
 pub use report::{CellKey, CellStats, ViolationTable};
 pub use runner::{
     generate_inputs, run_scenario, run_scenario_instance, run_scenario_with_topology,
@@ -162,4 +176,6 @@ pub use runner::{
 };
 pub use schema::{
     parse_strategy, policy_name, CampaignSpec, InputSpec, Protocol, ScenarioSpec, SchemaError,
+    ServiceSpec,
 };
+pub use service::service_config_from_spec;

@@ -24,8 +24,9 @@ use std::fmt;
 const INPUT_SEED_SALT: u64 = 0x1094_2A7C_5EED_5EED;
 
 /// Salt separating topology-generation randomness from everything else (only
-/// the random-regular family actually consumes it).
-const TOPOLOGY_SEED_SALT: u64 = 0x70B0_70B0_70B0_70B0;
+/// the random-regular family actually consumes it).  `pub(crate)` so the
+/// service builder materialises the *same* substrate a single run would.
+pub(crate) const TOPOLOGY_SEED_SALT: u64 = 0x70B0_70B0_70B0_70B0;
 
 /// Why a scenario instance could not run.
 #[derive(Debug, Clone, PartialEq)]

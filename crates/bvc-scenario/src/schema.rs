@@ -135,6 +135,37 @@ impl CampaignSpec {
     }
 }
 
+/// A `[service]` section: turns one scenario file into a multi-shot
+/// consensus stream for `service-run` (see `bvc-service`).
+///
+/// The scenario's `[scenario]` / `[inputs]` / `[adversary]` / `[topology]`
+/// tables describe the persistent configuration every instance shares; the
+/// `[service]` table describes the stream itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Number of consensus instances in the stream (≥ 1).
+    pub instances: usize,
+    /// Admission batch size (≥ 1; default 64).
+    pub batch: usize,
+    /// Worker threads (`0` ⇒ available parallelism; default 0).
+    pub workers: usize,
+    /// Seed cycle length: instance `i` runs at seed `base + (i % cycle)`;
+    /// `0` (the default) disables cycling (seed `base + i`).  A short cycle
+    /// repeats instance configurations, making the shared Γ-cache's
+    /// cross-instance reuse visible in the stats.
+    pub seed_cycle: u64,
+    /// Strategy rotation: instance `i` uses `strategies[i % len]` (empty ⇒
+    /// every instance uses the scenario's base strategy).
+    pub strategies: Vec<ByzantineStrategy>,
+    /// Whether instances chain their Γ caches to one service-lifetime
+    /// parent (default `true`); `false` gives every instance a cold cache.
+    pub shared_cache: bool,
+    /// Default verdict destination: `None` (also spelled `"stdout"` or
+    /// `"-"`) streams to stdout; a path streams to that JSONL file.  The
+    /// CLI's `--out` overrides it.
+    pub sink: Option<String>,
+}
+
 /// A fully parsed scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -172,6 +203,8 @@ pub struct ScenarioSpec {
     pub validity: Option<ValidityMode>,
     /// Optional sweep axes.
     pub campaign: Option<CampaignSpec>,
+    /// Optional multi-shot service stream.
+    pub service: Option<ServiceSpec>,
 }
 
 /// A schema-level error: the file parsed as TOML but is not a valid scenario.
@@ -614,6 +647,50 @@ fn parse_campaign(table: &Table) -> Result<CampaignSpec, SchemaError> {
     Ok(campaign)
 }
 
+fn parse_service(table: &Table) -> Result<ServiceSpec, SchemaError> {
+    let instances = require(get_usize(table, "instances")?, "instances", "service")?;
+    if instances == 0 {
+        return bad("`instances` must be at least 1");
+    }
+    let batch = get_usize(table, "batch")?.unwrap_or(64);
+    if batch == 0 {
+        return bad("`batch` must be at least 1");
+    }
+    let workers = get_usize(table, "workers")?.unwrap_or(0);
+    let seed_cycle = get_u64(table, "seed_cycle")?.unwrap_or(0);
+    let mut strategies = Vec::new();
+    if let Some(value) = table.get("strategies") {
+        let Some(items) = value.as_array() else {
+            return bad("`strategies` must be an array of strategy names");
+        };
+        for item in items {
+            let Some(name) = item.as_str() else {
+                return bad("`strategies` must contain strategy names");
+            };
+            strategies.push(parse_strategy(name)?);
+        }
+    }
+    let shared_cache = match table.get("shared_cache") {
+        None => true,
+        Some(value) => value
+            .as_bool()
+            .ok_or_else(|| SchemaError("`shared_cache` must be a boolean".into()))?,
+    };
+    let sink = match get_str(table, "sink")? {
+        None | Some("stdout") | Some("-") => None,
+        Some(path) => Some(path.to_string()),
+    };
+    Ok(ServiceSpec {
+        instances,
+        batch,
+        workers,
+        seed_cycle,
+        strategies,
+        shared_cache,
+        sink,
+    })
+}
+
 impl ScenarioSpec {
     /// Parses a scenario from TOML text.
     ///
@@ -694,6 +771,11 @@ impl ScenarioSpec {
             None => None,
         };
 
+        let service = match root.get("service").and_then(|v| v.as_table()) {
+            Some(table) => Some(parse_service(table)?),
+            None => None,
+        };
+
         Ok(Self {
             name,
             protocol,
@@ -711,6 +793,7 @@ impl ScenarioSpec {
             topology,
             validity,
             campaign,
+            service,
         })
     }
 }
@@ -965,6 +1048,64 @@ strategies = ["equivocate", "silent"]
             "[scenario]\nname = \"a\"\nprotocol = \"approx\"\nn = 4\nf = 1\nd = 1\n\
             [[faults]]\nkind = \"partition\"\ngroups = [[0]]\nstart = 0\nduration = 0\n";
         assert!(ScenarioSpec::from_toml(never_expires).is_err());
+    }
+
+    #[test]
+    fn service_sections_parse_with_defaults_and_rotation() {
+        let base =
+            "[scenario]\nname = \"svc\"\nprotocol = \"restricted-sync\"\nn = 5\nf = 1\nd = 2\n";
+        let minimal = format!("{base}[service]\ninstances = 10\n");
+        let spec = ScenarioSpec::from_toml(&minimal).unwrap();
+        let service = spec.service.unwrap();
+        assert_eq!(service.instances, 10);
+        assert_eq!(service.batch, 64);
+        assert_eq!(service.workers, 0);
+        assert_eq!(service.seed_cycle, 0);
+        assert!(service.strategies.is_empty());
+        assert!(service.shared_cache);
+        assert_eq!(service.sink, None, "default sink is stdout");
+
+        let full = format!(
+            "{base}[service]\ninstances = 200\nbatch = 32\nworkers = 4\nseed_cycle = 20\n\
+             strategies = [\"equivocate\", \"crash:2\"]\nshared_cache = false\n\
+             sink = \"out.jsonl\"\n"
+        );
+        let service = ScenarioSpec::from_toml(&full).unwrap().service.unwrap();
+        assert_eq!(
+            (service.instances, service.batch, service.workers),
+            (200, 32, 4)
+        );
+        assert_eq!(service.seed_cycle, 20);
+        assert_eq!(
+            service.strategies,
+            vec![ByzantineStrategy::Equivocate, ByzantineStrategy::Crash(2)]
+        );
+        assert!(!service.shared_cache);
+        assert_eq!(service.sink.as_deref(), Some("out.jsonl"));
+
+        let stdout = format!("{base}[service]\ninstances = 1\nsink = \"-\"\n");
+        assert_eq!(
+            ScenarioSpec::from_toml(&stdout)
+                .unwrap()
+                .service
+                .unwrap()
+                .sink,
+            None
+        );
+    }
+
+    #[test]
+    fn degenerate_service_sections_are_rejected() {
+        let base = "[scenario]\nname = \"svc\"\nprotocol = \"exact\"\nn = 5\nf = 1\nd = 2\n";
+        for body in [
+            "[service]\n",                           // missing instances
+            "[service]\ninstances = 0\n",            // empty stream
+            "[service]\ninstances = 5\nbatch = 0\n", // zero batch
+            "[service]\ninstances = 5\nstrategies = [\"nope\"]\n",
+        ] {
+            let text = format!("{base}{body}");
+            assert!(ScenarioSpec::from_toml(&text).is_err(), "accepted: {body}");
+        }
     }
 
     #[test]

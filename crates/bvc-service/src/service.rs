@@ -1,0 +1,437 @@
+//! The service core: batched admission into a sharded work-stealing pool,
+//! with in-order streaming emission.
+
+use crate::config::{CacheMode, ServiceConfig, ServiceError};
+use crate::sink::{ReorderBuffer, VerdictSink};
+use crate::stats::{escape_json, fmt_f64, CacheStats, LatencyStats, ServiceStats, WorkerStats};
+use bvc_adversary::ByzantineStrategy;
+use bvc_core::{BvcSession, RunReport};
+use bvc_geometry::{GammaCache, SharedGammaCache};
+use bvc_net::ExecutionStats;
+use std::collections::VecDeque;
+use std::io;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::Instant;
+
+/// A validated multi-shot consensus service.
+///
+/// Construction ([`BvcService::new`]) is the admission point: every
+/// instance of the stream is checked against the protocol's resilience
+/// bound up front, so [`run`](Self::run) executes an already-admitted
+/// stream and can only fail on sink I/O.
+#[derive(Debug, Clone)]
+pub struct BvcService {
+    config: ServiceConfig,
+}
+
+/// One admitted unit of work.
+struct Job {
+    seq: usize,
+    admitted: Instant,
+}
+
+/// Admission/completion watermarks shared by the admitter and the workers.
+#[derive(Default)]
+struct Coord {
+    admitted: usize,
+    completed: usize,
+}
+
+/// The emission side: reorder buffer + sink + first I/O error, under one
+/// lock so lines leave in admission order no matter which worker emits.
+struct EmitState<'a> {
+    reorder: ReorderBuffer,
+    sink: &'a mut dyn VerdictSink,
+    error: Option<io::Error>,
+}
+
+/// Everything one worker measures locally (merged after the pool joins).
+#[derive(Default)]
+struct WorkerTally {
+    instances: usize,
+    decided: usize,
+    violated: usize,
+    busy_ms: f64,
+    latencies_ms: Vec<f64>,
+    local_hits: u64,
+    local_misses: u64,
+    messages: ExecutionStats,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn ms(duration: std::time::Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+/// Pops the worker's own queue front, else steals from another queue's
+/// back (oldest-first locally, newest-first when stealing — the classic
+/// split that keeps stolen work coarse).
+fn take_job(shards: &[Mutex<VecDeque<Job>>], me: usize) -> Option<Job> {
+    if let Some(job) = lock(&shards[me]).pop_front() {
+        return Some(job);
+    }
+    for offset in 1..shards.len() {
+        let victim = (me + offset) % shards.len();
+        if let Some(job) = lock(&shards[victim]).pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// One instance's verdict line.  Deliberately timing-free: the line is a
+/// pure function of the instance configuration, which is what makes the
+/// stream byte-identical across worker counts and batch sizes.
+fn verdict_line(label: &str, seq: usize, report: &RunReport) -> String {
+    let config = report.config();
+    let verdict = report.verdict();
+    let strategy = match config.adversary {
+        ByzantineStrategy::Crash(k) => format!("crash:{k}"),
+        other => other.name().to_string(),
+    };
+    let epsilon = match report.epsilon() {
+        Some(e) => fmt_f64(e),
+        None => "null".to_string(),
+    };
+    let stats = report.stats();
+    format!(
+        "{{\"service\": \"{}\", \"instance\": {seq}, \"protocol\": \"{}\", \
+         \"n\": {}, \"f\": {}, \"d\": {}, \"seed\": {}, \"strategy\": \"{strategy}\", \
+         \"validity\": \"{}\", \"epsilon\": {epsilon}, \
+         \"verdict\": {{\"agreement\": {}, \"validity\": {}, \"termination\": {}, \
+         \"max_pairwise_distance\": {}}}, \"rounds\": {}, \
+         \"messages\": {{\"sent\": {}, \"delivered\": {}, \"dropped\": {}}}}}",
+        escape_json(label),
+        report.protocol().name(),
+        config.n,
+        config.f,
+        config.d,
+        config.seed,
+        report.validity_mode().label(),
+        verdict.agreement,
+        verdict.validity,
+        verdict.termination,
+        fmt_f64(verdict.max_pairwise_distance),
+        report.rounds(),
+        stats.messages_sent,
+        stats.messages_delivered,
+        stats.messages_dropped,
+    )
+}
+
+impl BvcService {
+    /// Validates the stream ([`ServiceConfig::validate`]) and builds the
+    /// service.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`ServiceConfig::validate`].
+    pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Runs the whole stream: admits instances in batches into the worker
+    /// pool, streams one verdict line per instance into `sink` in
+    /// admission order, and returns the aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] when the sink fails; the stream still drains
+    /// (already-running instances complete) but further emission stops at
+    /// the first error.
+    pub fn run(&self, sink: &mut dyn VerdictSink) -> Result<ServiceStats, ServiceError> {
+        let config = &self.config;
+        let total = config.instances.len();
+        let workers = if config.workers == 0 {
+            thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let workers = workers.min(total).max(1);
+        let batch = config.batch;
+        // Backpressure: at most two batches admitted but not yet completed,
+        // so a slow sink or a long instance bounds queue memory.
+        let high_water = batch.saturating_mul(2).max(1);
+
+        // The parent outlives every instance, so it gets a much larger
+        // capacity than the per-instance children: entries must survive a
+        // whole seed cycle to ever be reused (eviction is wholesale-clear).
+        let shared_capacity = match config.shared_capacity {
+            0 => ServiceConfig::DEFAULT_SHARED_CAPACITY,
+            capacity => capacity,
+        };
+        let shared_cache: Option<SharedGammaCache> = match config.cache_mode {
+            CacheMode::Shared => Some(Arc::new(GammaCache::with_capacity(shared_capacity))),
+            CacheMode::PerInstance => None,
+        };
+
+        let shards: Vec<Mutex<VecDeque<Job>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let coord = Mutex::new(Coord::default());
+        let cv_work = Condvar::new();
+        let cv_space = Condvar::new();
+        let emit = Mutex::new(EmitState {
+            reorder: ReorderBuffer::new(),
+            sink,
+            error: None,
+        });
+
+        let started = Instant::now();
+        let mut tallies: Vec<WorkerTally> = Vec::with_capacity(workers);
+
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for me in 0..workers {
+                let (shards, coord, cv_work, cv_space, emit, shared_cache) =
+                    (&shards, &coord, &cv_work, &cv_space, &emit, &shared_cache);
+                handles.push(scope.spawn(move || {
+                    let mut tally = WorkerTally::default();
+                    loop {
+                        let job = loop {
+                            if let Some(job) = take_job(shards, me) {
+                                break Some(job);
+                            }
+                            let guard = lock(coord);
+                            if guard.admitted >= total {
+                                drop(guard);
+                                // Every push happened before the watermark
+                                // we just read; one final scan decides.
+                                break take_job(shards, me);
+                            }
+                            drop(cv_work.wait(guard).unwrap_or_else(PoisonError::into_inner));
+                        };
+                        let Some(job) = job else { break };
+                        let seq = job.seq;
+
+                        let overrides = &config.instances[seq];
+                        let mut run_config = config.template.for_instance(overrides);
+                        // A per-instance child cache either chains to the
+                        // service-lifetime parent (cross-instance reuse,
+                        // measurable) or stands alone (the control group).
+                        let child: SharedGammaCache = match shared_cache {
+                            Some(parent) => Arc::new(GammaCache::with_parent(Arc::clone(parent))),
+                            None => GammaCache::shared(),
+                        };
+                        run_config.gamma_cache = Some(Arc::clone(&child));
+
+                        let exec_started = Instant::now();
+                        let report = BvcSession::new(config.protocol, run_config)
+                            .expect("admission validated every instance")
+                            .run();
+                        tally.busy_ms += ms(exec_started.elapsed());
+                        tally.latencies_ms.push(ms(job.admitted.elapsed()));
+                        tally.instances += 1;
+                        if report.verdict().termination {
+                            tally.decided += 1;
+                        }
+                        if !report.verdict().all_hold() {
+                            tally.violated += 1;
+                        }
+                        tally.local_hits += child.hits();
+                        tally.local_misses += child.misses();
+                        tally.messages.absorb(report.stats());
+
+                        let line = verdict_line(&config.label, seq, &report);
+                        {
+                            let mut state = lock(emit);
+                            if state.error.is_none() {
+                                let EmitState {
+                                    reorder,
+                                    sink,
+                                    error,
+                                } = &mut *state;
+                                if let Err(e) = reorder.push(seq as u64, Some(line), &mut **sink) {
+                                    *error = Some(e);
+                                }
+                            }
+                        }
+
+                        let mut guard = lock(coord);
+                        guard.completed += 1;
+                        drop(guard);
+                        cv_space.notify_all();
+                    }
+                    tally
+                }));
+            }
+
+            // Batched admission, on this thread: release `batch` jobs
+            // round-robin across the shards, then wait for completions to
+            // fall back under the high-water mark.
+            let mut next = 0usize;
+            while next < total {
+                {
+                    let mut guard = lock(&coord);
+                    while guard.admitted - guard.completed >= high_water {
+                        guard = cv_space.wait(guard).unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+                let end = (next + batch).min(total);
+                for seq in next..end {
+                    lock(&shards[seq % workers]).push_back(Job {
+                        seq,
+                        admitted: Instant::now(),
+                    });
+                }
+                lock(&coord).admitted = end;
+                cv_work.notify_all();
+                next = end;
+            }
+
+            for handle in handles {
+                tallies.push(handle.join().expect("service worker panicked"));
+            }
+        });
+
+        let wall_ms = ms(started.elapsed());
+
+        let mut state = emit.into_inner().unwrap_or_else(PoisonError::into_inner);
+        if let Some(e) = state.error.take() {
+            return Err(ServiceError::Io(e));
+        }
+        debug_assert!(state.reorder.is_drained(), "every sequence was released");
+        state.sink.finish()?;
+
+        let mut latencies = Vec::with_capacity(total);
+        let mut cache = CacheStats::default();
+        let mut messages = ExecutionStats::default();
+        let (mut decided, mut violated) = (0usize, 0usize);
+        let worker_stats = tallies
+            .iter()
+            .map(|tally| WorkerStats {
+                instances: tally.instances,
+                busy_ms: tally.busy_ms,
+                utilization: if wall_ms > 0.0 {
+                    tally.busy_ms / wall_ms
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        for mut tally in tallies {
+            latencies.append(&mut tally.latencies_ms);
+            cache.local_hits += tally.local_hits;
+            cache.local_misses += tally.local_misses;
+            messages.absorb(&tally.messages);
+            decided += tally.decided;
+            violated += tally.violated;
+        }
+        if let Some(shared) = &shared_cache {
+            cache.shared_hits = shared.hits();
+            cache.shared_misses = shared.misses();
+        }
+
+        Ok(ServiceStats {
+            label: config.label.clone(),
+            instances: total,
+            decided,
+            violated,
+            wall_ms,
+            decisions_per_sec: if wall_ms > 0.0 {
+                decided as f64 * 1e3 / wall_ms
+            } else {
+                0.0
+            },
+            latency: LatencyStats::from_samples(latencies),
+            cache,
+            workers: worker_stats,
+            messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use bvc_core::{InstanceOverrides, ProtocolKind, RunConfig};
+    use bvc_geometry::Point;
+
+    fn stream_config(instances: usize) -> ServiceConfig {
+        let template = RunConfig::new(5, 1, 2).epsilon(0.1);
+        let overrides = (0..instances as u64)
+            .map(|seed| InstanceOverrides {
+                seed,
+                honest_inputs: Some(
+                    (0..4)
+                        .map(|i| {
+                            Point::new(vec![
+                                (seed as f64 * 0.37 + i as f64 * 0.11) % 1.0,
+                                (seed as f64 * 0.53 + i as f64 * 0.19) % 1.0,
+                            ])
+                        })
+                        .collect(),
+                ),
+                ..InstanceOverrides::default()
+            })
+            .collect();
+        ServiceConfig::new(ProtocolKind::RestrictedSync, template)
+            .instances(overrides)
+            .label("unit")
+    }
+
+    #[test]
+    fn streams_one_line_per_instance_in_admission_order() {
+        let config = stream_config(12).workers(3).batch(4);
+        let mut sink = MemorySink::new();
+        let stats = BvcService::new(config).unwrap().run(&mut sink).unwrap();
+        assert_eq!(stats.instances, 12);
+        assert_eq!(stats.decided, 12);
+        assert_eq!(stats.violated, 0);
+        assert_eq!(sink.lines().len(), 12);
+        for (seq, line) in sink.lines().iter().enumerate() {
+            assert!(
+                line.starts_with(&format!("{{\"service\": \"unit\", \"instance\": {seq}, ")),
+                "line {seq} out of order: {line}"
+            );
+        }
+        assert!(stats.decisions_per_sec > 0.0);
+        assert!(stats.latency.p50_ms <= stats.latency.p99_ms);
+        assert!(stats.latency.p99_ms <= stats.latency.max_ms);
+        assert_eq!(stats.workers.iter().map(|w| w.instances).sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn shared_cache_sees_cross_instance_hits_on_repeated_seeds() {
+        // Two passes over the same five seeds: the second pass's multisets
+        // were all computed in the first, so the parent cache must hit.
+        let mut config = stream_config(5);
+        let repeat = config.instances.clone();
+        config.instances.extend(repeat);
+        let stats = BvcService::new(config)
+            .unwrap()
+            .run(&mut MemorySink::new())
+            .unwrap();
+        assert!(
+            stats.cache.shared_hits > 0,
+            "repeated instances must hit the shared parent: {:?}",
+            stats.cache
+        );
+        assert!(stats.cache.cross_instance_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn sink_errors_surface_as_service_errors() {
+        struct FailingSink;
+        impl VerdictSink for FailingSink {
+            fn emit(&mut self, _line: &str) -> io::Result<()> {
+                Err(io::Error::other("sink closed"))
+            }
+        }
+        let config = stream_config(4).workers(2);
+        let result = BvcService::new(config).unwrap().run(&mut FailingSink);
+        assert!(matches!(result, Err(ServiceError::Io(_))));
+    }
+}

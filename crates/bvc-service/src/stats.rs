@@ -1,0 +1,277 @@
+//! Aggregate service statistics and the crate's deterministic JSON rules.
+
+use bvc_net::ExecutionStats;
+use std::fmt::Write as _;
+
+/// Instance-latency percentiles, measured admission → verdict emission
+/// hand-off (wall clock on the deciding worker).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Median instance latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile instance latency, milliseconds (nearest-rank).
+    pub p99_ms: f64,
+    /// Worst instance latency, milliseconds.
+    pub max_ms: f64,
+    /// Mean instance latency, milliseconds.
+    pub mean_ms: f64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over a latency sample (milliseconds).
+    /// Returns zeros for an empty sample.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let rank = |q: f64| {
+            let position = (q * samples.len() as f64).ceil() as usize;
+            samples[position.clamp(1, samples.len()) - 1]
+        };
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        Self {
+            p50_ms: rank(0.50),
+            p99_ms: rank(0.99),
+            max_ms: *samples.last().expect("non-empty"),
+            mean_ms: mean,
+        }
+    }
+}
+
+/// Two-level Γ-cache counters: `local` is the sum over per-instance child
+/// caches, `shared` is the service-lifetime parent.  Every `shared` hit is
+/// a query some earlier instance already computed — the cross-instance
+/// reuse the service exists to measure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered by a per-instance cache.
+    pub local_hits: u64,
+    /// Queries that missed the per-instance cache.
+    pub local_misses: u64,
+    /// Local misses answered by the shared parent (cross-instance reuse).
+    pub shared_hits: u64,
+    /// Queries no instance had computed before (Γ-engine work).
+    pub shared_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of instance-level queries answered without running the Γ
+    /// engine (local or shared hit).  Zero for an empty stream.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.local_hits + self.local_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.local_hits + self.shared_hits) as f64 / total as f64
+    }
+
+    /// Fraction of parent-level queries answered by the shared cache —
+    /// the cross-instance reuse rate.  Zero without a shared cache.
+    pub fn cross_instance_hit_rate(&self) -> f64 {
+        let total = self.shared_hits + self.shared_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.shared_hits as f64 / total as f64
+    }
+}
+
+/// One worker's share of the stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Instances this worker decided.
+    pub instances: usize,
+    /// Wall-clock time spent executing instances, milliseconds.
+    pub busy_ms: f64,
+    /// `busy_ms` over the stream's wall time (0..=1, roughly).
+    pub utilization: f64,
+}
+
+/// Aggregate outcome of one service stream.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Stream label (echoed from the config).
+    pub label: String,
+    /// Instances executed.
+    pub instances: usize,
+    /// Instances whose every honest process decided in budget.
+    pub decided: usize,
+    /// Instances whose verdict violated agreement, validity or
+    /// termination.
+    pub violated: usize,
+    /// Stream wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Decided instances per wall-clock second — the service's primary
+    /// throughput metric.
+    pub decisions_per_sec: f64,
+    /// Instance-latency percentiles.
+    pub latency: LatencyStats,
+    /// Two-level Γ-cache counters.
+    pub cache: CacheStats,
+    /// Per-worker load split, by worker index.
+    pub workers: Vec<WorkerStats>,
+    /// Message totals summed over every instance execution.
+    pub messages: ExecutionStats,
+}
+
+impl ServiceStats {
+    /// Renders the stats as one deterministic-key-order JSON object
+    /// (values are measurements and vary run to run; the *shape* is
+    /// stable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"schema\": \"bvc-service-stats/v1\", \"service\": \"");
+        out.push_str(&escape_json(&self.label));
+        let _ = write!(
+            out,
+            "\", \"instances\": {}, \"decided\": {}, \"violated\": {}, \"wall_ms\": {}, \
+             \"decisions_per_sec\": {}",
+            self.instances,
+            self.decided,
+            self.violated,
+            fmt_f64(self.wall_ms),
+            fmt_f64(self.decisions_per_sec),
+        );
+        let _ = write!(
+            out,
+            ", \"latency\": {{\"p50_ms\": {}, \"p99_ms\": {}, \"max_ms\": {}, \"mean_ms\": {}}}",
+            fmt_f64(self.latency.p50_ms),
+            fmt_f64(self.latency.p99_ms),
+            fmt_f64(self.latency.max_ms),
+            fmt_f64(self.latency.mean_ms),
+        );
+        let _ = write!(
+            out,
+            ", \"cache\": {{\"local_hits\": {}, \"local_misses\": {}, \"shared_hits\": {}, \
+             \"shared_misses\": {}, \"hit_rate\": {}, \"cross_instance_hit_rate\": {}}}",
+            self.cache.local_hits,
+            self.cache.local_misses,
+            self.cache.shared_hits,
+            self.cache.shared_misses,
+            fmt_f64(self.cache.hit_rate()),
+            fmt_f64(self.cache.cross_instance_hit_rate()),
+        );
+        let _ = write!(
+            out,
+            ", \"messages\": {{\"sent\": {}, \"delivered\": {}, \"dropped\": {}}}",
+            self.messages.messages_sent,
+            self.messages.messages_delivered,
+            self.messages.messages_dropped,
+        );
+        out.push_str(", \"workers\": [");
+        for (i, worker) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"instances\": {}, \"busy_ms\": {}, \"utilization\": {}}}",
+                worker.instances,
+                fmt_f64(worker.busy_ms),
+                fmt_f64(worker.utilization),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Shortest-round-trip float formatting matching the scenario verdict
+/// rules: non-finite renders as `null`, whole numbers keep a `.0`.
+pub(crate) fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    let mut s = format!("{x}");
+    if !s.contains(['.', 'e', 'E']) {
+        s.push_str(".0");
+    }
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let latency = LatencyStats::from_samples(samples);
+        assert_eq!(latency.p50_ms, 50.0);
+        assert_eq!(latency.p99_ms, 99.0);
+        assert_eq!(latency.max_ms, 100.0);
+        assert_eq!(latency.mean_ms, 50.5);
+        assert_eq!(LatencyStats::from_samples(vec![7.5]).p99_ms, 7.5);
+        assert_eq!(
+            LatencyStats::from_samples(Vec::new()),
+            LatencyStats::default()
+        );
+    }
+
+    #[test]
+    fn cache_rates_count_engine_avoidance_and_cross_instance_reuse() {
+        let cache = CacheStats {
+            local_hits: 60,
+            local_misses: 40,
+            shared_hits: 30,
+            shared_misses: 10,
+        };
+        assert!((cache.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((cache.cross_instance_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(CacheStats::default().cross_instance_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_json_shape_is_stable() {
+        let stats = ServiceStats {
+            label: "smoke".into(),
+            instances: 2,
+            decided: 2,
+            violated: 0,
+            wall_ms: 1.5,
+            decisions_per_sec: 1333.0,
+            latency: LatencyStats::from_samples(vec![0.5, 1.0]),
+            cache: CacheStats::default(),
+            workers: vec![WorkerStats {
+                instances: 2,
+                busy_ms: 1.0,
+                utilization: 0.66,
+            }],
+            messages: ExecutionStats::default(),
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with("{\"schema\": \"bvc-service-stats/v1\", \"service\": \"smoke\""));
+        assert!(json.contains("\"decisions_per_sec\": 1333.0"));
+        assert!(json.contains("\"p99_ms\": 1.0"));
+        assert!(json.ends_with("\"utilization\": 0.66}]}"));
+    }
+
+    #[test]
+    fn float_formatting_matches_the_verdict_rules() {
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(0.05), "0.05");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`scenario`] — the declarative scenario engine: TOML-described runs with
 //!   fault injection (drops, latency, partitions), topology sweeps and a
 //!   parallel campaign runner emitting JSON verdicts.
+//! * [`service`] — the multi-shot consensus service: batched admission of
+//!   instance streams into a work-stealing pool, a shared cross-instance
+//!   Γ cache, streaming verdict sinks and decisions/sec statistics.
 //! * [`topology`] — directed communication topologies (complete / ring /
 //!   torus / random-regular / explicit) with the graph conditions of
 //!   iterative BVC in incomplete graphs.
@@ -65,4 +68,5 @@ pub use bvc_geometry as geometry;
 pub use bvc_lp as lp;
 pub use bvc_net as net;
 pub use bvc_scenario as scenario;
+pub use bvc_service as service;
 pub use bvc_topology as topology;
