@@ -46,6 +46,13 @@ pub enum ByzantineStrategy {
     /// attack against the contraction argument of Theorem 5 (it maximises the
     /// spread the adversary can induce in honest states).
     AntiConvergence,
+    /// Report opposite extreme corners of the value box according to an
+    /// arbitrary receiver partition: receivers whose index bit is set in the
+    /// mask get the `hi` corner, the rest get `lo` (indices ≥ 64 wrap).
+    /// Generalises [`AntiConvergence`](Self::AntiConvergence) (whose parity
+    /// split is mask `0xAAAA…`) into a searchable equivocation-target knob:
+    /// an optimizing adversary can mutate the mask to find the worst split.
+    SplitBrain(u64),
     /// Follow the protocol exactly (a "Byzantine" process that happens to
     /// behave; useful as a control in experiments).
     Benign,
@@ -80,6 +87,7 @@ impl ByzantineStrategy {
             ByzantineStrategy::RandomNoise => "random-noise",
             ByzantineStrategy::Equivocate => "equivocate",
             ByzantineStrategy::AntiConvergence => "anti-convergence",
+            ByzantineStrategy::SplitBrain(_) => "split-brain",
             ByzantineStrategy::Benign => "benign",
         }
     }
@@ -99,7 +107,9 @@ impl ByzantineStrategy {
     pub fn equivocates(&self) -> bool {
         matches!(
             self,
-            ByzantineStrategy::Equivocate | ByzantineStrategy::AntiConvergence
+            ByzantineStrategy::Equivocate
+                | ByzantineStrategy::AntiConvergence
+                | ByzantineStrategy::SplitBrain(_)
         )
     }
 }
@@ -192,6 +202,14 @@ impl PointForge {
                     Point::uniform(self.dim, self.hi)
                 }
             }
+            ByzantineStrategy::SplitBrain(mask) => {
+                // Opposite corners by the mask's receiver partition.
+                if (mask >> (to % 64)) & 1 == 1 {
+                    Point::uniform(self.dim, self.hi)
+                } else {
+                    Point::uniform(self.dim, self.lo)
+                }
+            }
         };
         Some(value)
     }
@@ -253,6 +271,17 @@ mod tests {
         let odd = forge.forge(1, 1).unwrap();
         assert_eq!(even.coords(), &[-1.0, -1.0]);
         assert_eq!(odd.coords(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn split_brain_partitions_receivers_by_mask() {
+        // Mask 0b0110: receivers 1 and 2 get the hi corner, 0 and 3 the lo.
+        let mut forge = PointForge::new(ByzantineStrategy::SplitBrain(0b0110), 2, 0.0, 1.0, 7);
+        assert_eq!(forge.forge(1, 0).unwrap().coords(), &[0.0, 0.0]);
+        assert_eq!(forge.forge(1, 1).unwrap().coords(), &[1.0, 1.0]);
+        assert_eq!(forge.forge(1, 2).unwrap().coords(), &[1.0, 1.0]);
+        assert_eq!(forge.forge(1, 3).unwrap().coords(), &[0.0, 0.0]);
+        assert!(ByzantineStrategy::SplitBrain(0b0110).equivocates());
     }
 
     #[test]

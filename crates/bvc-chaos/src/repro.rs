@@ -1,0 +1,211 @@
+//! Reproducer files: pin a shrunk counterexample as a standard scenario
+//! TOML plus its expected verdict line, and replay the whole directory.
+//!
+//! A reproducer is two files in `scenarios/repros/`:
+//!
+//! * `<signature>.toml` — the shrunk genome in ordinary scenario form (it
+//!   runs under `scenario-run` like any other scenario);
+//! * `<signature>.expected` — the verdict JSON line the violation produced,
+//!   byte-exact.
+//!
+//! [`replay_dir`] re-runs every committed reproducer through the same
+//! scenario runner the search used and byte-compares the verdict against
+//! the pinned line — the CI scenarios job fails on any drift.
+
+use crate::genome::ChaosGenome;
+use bvc_scenario::{run_scenario, ScenarioSpec};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The family signature of a parsed scenario spec, matching
+/// [`ChaosGenome::signature`] — computable from any committed reproducer,
+/// so fresh findings can be matched against pinned families without
+/// rerunning them.
+pub fn spec_signature(spec: &ScenarioSpec) -> String {
+    let family = match &spec.validity {
+        None => "strict".to_string(),
+        Some(mode) => {
+            use bvc_scenario::ValidityMode;
+            match mode {
+                ValidityMode::Strict => "strict".to_string(),
+                ValidityMode::AlphaScaled(_) => "alpha".to_string(),
+                ValidityMode::KRelaxed(k) => format!("k{k}"),
+            }
+        }
+    };
+    format!(
+        "{}-n{}f{}d{}-{}",
+        spec.protocol.name(),
+        spec.n,
+        spec.f,
+        spec.d,
+        family
+    )
+}
+
+/// Signatures of every committed reproducer in `dir` (empty if the
+/// directory does not exist).
+///
+/// # Errors
+///
+/// I/O failures reading the directory, or a committed file that no longer
+/// parses as a scenario.
+pub fn known_signatures(dir: &Path) -> io::Result<Vec<String>> {
+    let mut signatures = Vec::new();
+    if !dir.exists() {
+        return Ok(signatures);
+    }
+    for path in toml_files(dir)? {
+        let text = fs::read_to_string(&path)?;
+        let spec = ScenarioSpec::from_toml(&text)
+            .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+        signatures.push(spec_signature(&spec));
+    }
+    Ok(signatures)
+}
+
+/// Writes the reproducer pair for a shrunk violating genome, returning the
+/// TOML path.  `expected_line` must be the verdict JSON of the violating
+/// run (no trailing newline needed).
+///
+/// # Errors
+///
+/// Filesystem errors creating the directory or files.
+pub fn write_repro(
+    dir: &Path,
+    genome: &ChaosGenome,
+    expected_line: &str,
+    master_seed: u64,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let signature = genome.signature();
+    let toml_path = dir.join(format!("{signature}.toml"));
+    let flags_note = format!(
+        "# Found by `chaos-run --search` (master seed {master_seed}) and shrunk to this\n\
+         # minimal form; the violation is genuine (resource check satisfied, no drop\n\
+         # faults).  Replay and byte-compare against `{signature}.expected` with:\n\
+         #\n\
+         #   cargo run --release -p bvc-chaos --bin chaos-run -- --replay {}\n\n",
+        dir.display()
+    );
+    fs::write(&toml_path, format!("{flags_note}{}", genome.to_toml()))?;
+    let mut expected = expected_line.to_string();
+    expected.push('\n');
+    fs::write(dir.join(format!("{signature}.expected")), expected)?;
+    Ok(toml_path)
+}
+
+/// The outcome of replaying one committed reproducer.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// The reproducer TOML path.
+    pub path: PathBuf,
+    /// `true` when the fresh verdict byte-matched the pinned line.
+    pub matched: bool,
+    /// Human-readable detail for mismatches/errors.
+    pub detail: String,
+}
+
+/// Replays every `*.toml` under `dir` (sorted by name) and byte-compares
+/// each verdict against its `.expected` sibling.
+///
+/// # Errors
+///
+/// I/O failures walking the directory; per-file run/parse failures are
+/// reported as unmatched [`ReplayResult`]s, not errors.
+pub fn replay_dir(dir: &Path) -> io::Result<Vec<ReplayResult>> {
+    let mut results = Vec::new();
+    for path in toml_files(dir)? {
+        results.push(replay_one(&path));
+    }
+    Ok(results)
+}
+
+fn replay_one(path: &Path) -> ReplayResult {
+    let fail = |detail: String| ReplayResult {
+        path: path.to_path_buf(),
+        matched: false,
+        detail,
+    };
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return fail(format!("unreadable: {e}")),
+    };
+    let spec = match ScenarioSpec::from_toml(&text) {
+        Ok(spec) => spec,
+        Err(e) => return fail(format!("parse: {e}")),
+    };
+    let outcome = match run_scenario(&spec, spec.seed, spec.strategy, spec.policy.clone()) {
+        Ok(outcome) => outcome,
+        Err(e) => return fail(format!("run: {e}")),
+    };
+    let expected_path = path.with_extension("expected");
+    let expected = match fs::read_to_string(&expected_path) {
+        Ok(expected) => expected,
+        Err(e) => {
+            return fail(format!(
+                "missing pinned verdict {}: {e}",
+                expected_path.display()
+            ))
+        }
+    };
+    let fresh = format!("{}\n", outcome.to_json());
+    if fresh == expected {
+        ReplayResult {
+            path: path.to_path_buf(),
+            matched: true,
+            detail: "byte-identical".to_string(),
+        }
+    } else {
+        fail(format!(
+            "verdict drift:\n  pinned: {}\n  fresh:  {}",
+            expected.trim_end(),
+            fresh.trim_end()
+        ))
+    }
+}
+
+/// Sorted `*.toml` paths under `dir`.
+fn toml_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::ValidityGene;
+    use bvc_scenario::Protocol;
+
+    #[test]
+    fn spec_signature_matches_genome_signature() {
+        let genome = ChaosGenome {
+            protocol: Protocol::Exact,
+            n: 5,
+            f: 1,
+            d: 2,
+            epsilon: 0.1,
+            seed: 0,
+            points: vec![
+                vec![0.1, 0.1],
+                vec![0.5, 0.5],
+                vec![0.9, 0.9],
+                vec![0.3, 0.7],
+            ],
+            strategy: "equivocate".to_string(),
+            validity: ValidityGene::Alpha(0.5),
+            faults: Vec::new(),
+            round_robin: false,
+            max_steps: 100_000,
+        };
+        let spec = genome.to_spec().unwrap();
+        assert_eq!(spec_signature(&spec), genome.signature());
+    }
+}

@@ -1,0 +1,402 @@
+//! Hill-climbing search with restarts over the chaos genome.
+//!
+//! The loop is deliberately simple and **fully deterministic**: one
+//! `StdRng` seeded from the master seed drives restart sampling and every
+//! mutation, and each decision is appended to a textual trace — the
+//! shrinker property tests pin that the same master seed produces a
+//! byte-identical trace.  Each restart samples a fresh genome near a
+//! protocol's resource boundary, then climbs: a mutation is kept iff its
+//! score is no worse than the incumbent's, and any genuine violation ends
+//! the restart with a finding (deduplicated by family signature).
+
+use crate::genome::{ChaosGenome, FaultGene, ValidityGene};
+use crate::objective::{evaluate, strict_bound, Evaluation};
+use bvc_scenario::Protocol;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The sampling/mutation space the search explores.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Protocols to attack.
+    pub protocols: Vec<Protocol>,
+    /// Inclusive range of Byzantine counts.
+    pub f_range: (usize, usize),
+    /// Inclusive range of dimensions.
+    pub d_range: (usize, usize),
+    /// How far below/above the protocol's boundary (strict bound, or the
+    /// relaxed family bound when the sampled validity is relaxed) the
+    /// sampled `n` may sit.
+    pub n_slack: usize,
+    /// Largest α a restart or mutation may pick.
+    pub alpha_max: f64,
+    /// Async delivery-step cap for sampled genomes.
+    pub max_steps: usize,
+}
+
+impl Default for SearchSpace {
+    /// The default space is the whole complete-graph scenario surface the
+    /// repo's campaigns sweep, centred on the resource boundaries — it is
+    /// NOT seeded with any known failure: every shape/validity cell near a
+    /// bound is sampled with equal probability.
+    fn default() -> Self {
+        Self {
+            protocols: vec![Protocol::Exact, Protocol::RestrictedSync, Protocol::Approx],
+            f_range: (1, 2),
+            d_range: (1, 3),
+            n_slack: 2,
+            alpha_max: 4.0,
+            max_steps: 400_000,
+        }
+    }
+}
+
+/// One genuine violation the search found.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violating genome, exactly as evaluated.
+    pub genome: ChaosGenome,
+    /// Family signature at discovery time.
+    pub signature: String,
+    /// Verdict flags `(agreement, validity, termination)` of the violation.
+    pub flags: (bool, bool, bool),
+    /// Objective score of the violating run.
+    pub score: f64,
+    /// Restart index that produced it.
+    pub restart: usize,
+}
+
+/// The result of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Genuine violations, deduplicated by family signature, in discovery
+    /// order.
+    pub findings: Vec<Finding>,
+    /// Total genome evaluations performed.
+    pub evaluations: usize,
+    /// Best score seen across the whole run.
+    pub best_score: f64,
+    /// The deterministic decision trace: one line per restart sample and
+    /// per mutation, identical for identical master seeds.
+    pub trace: Vec<String>,
+}
+
+/// Search budget and seed.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Master seed driving all sampling and mutation.
+    pub master_seed: u64,
+    /// Independent restarts.
+    pub restarts: usize,
+    /// Mutations attempted per restart.
+    pub iters: usize,
+    /// The space to explore.
+    pub space: SearchSpace,
+}
+
+impl SearchConfig {
+    /// A config over the default space.
+    pub fn new(master_seed: u64, restarts: usize, iters: usize) -> Self {
+        Self {
+            master_seed,
+            restarts,
+            iters,
+            space: SearchSpace::default(),
+        }
+    }
+}
+
+/// Samples a restart genome near a resource boundary (also the churn
+/// engine's cell generator).
+pub(crate) fn sample(rng: &mut StdRng, space: &SearchSpace) -> ChaosGenome {
+    let protocol = space.protocols[rng.gen_range(0..space.protocols.len())];
+    let f = rng.gen_range(space.f_range.0..=space.f_range.1);
+    let d = rng.gen_range(space.d_range.0..=space.d_range.1);
+    let validity = match rng.gen_range(0..3u32) {
+        0 => ValidityGene::Strict,
+        1 => ValidityGene::Alpha(rng.gen_range(0.0..=space.alpha_max)),
+        _ => ValidityGene::K(rng.gen_range(1..=d)),
+    };
+    // Centre n on the bound that actually admits this validity family:
+    // the strict bound for strict runs, the relaxed family's lowered bound
+    // otherwise (probing the boundary is the generic heuristic — cells
+    // below their own bound are simply rejected and scored out).
+    let bound = match validity {
+        ValidityGene::Strict => strict_bound(protocol, d, f),
+        ValidityGene::Alpha(_) => strict_bound(protocol, 1, f),
+        ValidityGene::K(k) => strict_bound(protocol, k.min(d), f),
+    };
+    let lo = bound.saturating_sub(space.n_slack).max(f + 2);
+    let hi = bound + space.n_slack;
+    let n = rng.gen_range(lo..=hi);
+    let strategies = [
+        "equivocate",
+        "fixed-outlier",
+        "anti-convergence",
+        "random-noise",
+    ];
+    let strategy = match rng.gen_range(0..strategies.len() + 1) {
+        i if i < strategies.len() => strategies[i].to_string(),
+        _ => format!("split-brain:{}", rng.gen_range(1..(1u64 << n.min(16)))),
+    };
+    let mut genome = ChaosGenome {
+        protocol,
+        n,
+        f,
+        d,
+        epsilon: 0.1,
+        seed: rng.gen_range(0..1000u64),
+        points: Vec::new(),
+        strategy,
+        validity,
+        faults: Vec::new(),
+        round_robin: false,
+        max_steps: space.max_steps,
+    };
+    genome.fix_points(rng);
+    genome
+}
+
+/// Applies one named mutation, returning the mutated genome and the
+/// operator label recorded in the trace.
+fn mutate(genome: &ChaosGenome, rng: &mut StdRng, space: &SearchSpace) -> (ChaosGenome, String) {
+    let mut g = genome.clone();
+    let op = match rng.gen_range(0..12u32) {
+        0 => {
+            let p = rng.gen_range(0..g.points.len());
+            let c = rng.gen_range(0..g.d);
+            let delta = rng.gen_range(-0.25..=0.25);
+            g.points[p][c] = (g.points[p][c] + delta).clamp(0.0, 1.0);
+            format!("nudge-input:p{p}c{c}")
+        }
+        1 => {
+            g.seed = rng.gen_range(0..1000u64);
+            "reseed".to_string()
+        }
+        2 => {
+            let strategies = [
+                "equivocate",
+                "fixed-outlier",
+                "anti-convergence",
+                "random-noise",
+            ];
+            g.strategy = strategies[rng.gen_range(0..strategies.len())].to_string();
+            format!("swap-strategy:{}", g.strategy)
+        }
+        3 => {
+            let mask = rng.gen_range(1..(1u64 << g.n.min(16)));
+            g.strategy = format!("split-brain:{mask}");
+            format!("retarget-mask:{mask}")
+        }
+        4 => {
+            // The α knob: multiply an existing α (factors < 1 weaken the
+            // relaxation — the monotone direction toward an empty Γ_α), or
+            // enter the α family fresh.
+            let alpha = match g.validity {
+                ValidityGene::Alpha(a) => {
+                    let factor: f64 = [0.25, 0.5, 0.75, 1.5, 2.0][rng.gen_range(0..5usize)];
+                    (a * factor).clamp(0.01, space.alpha_max)
+                }
+                _ => rng.gen_range(0.0..=space.alpha_max),
+            };
+            g.validity = ValidityGene::Alpha(alpha);
+            "scale-alpha".to_string()
+        }
+        5 => {
+            g.validity = ValidityGene::K(rng.gen_range(1..=g.d));
+            "relax-k".to_string()
+        }
+        6 => {
+            g.validity = ValidityGene::Strict;
+            "strict-mode".to_string()
+        }
+        7 => {
+            if rng.gen_bool(0.5) && g.n > g.f + 2 {
+                g.n -= 1;
+                g.fix_points(rng);
+                "shrink-n".to_string()
+            } else {
+                g.n += 1;
+                g.fix_points(rng);
+                "grow-n".to_string()
+            }
+        }
+        8 => {
+            if rng.gen_bool(0.5) && g.f > 1 {
+                g.f -= 1;
+            } else if g.n > g.f + 3 {
+                g.f += 1;
+            }
+            g.fix_points(rng);
+            "retune-f".to_string()
+        }
+        9 => {
+            if g.faults.len() < 3 {
+                let from = rng.gen_range(0..g.n);
+                let to = (from + rng.gen_range(1..g.n)) % g.n;
+                g.faults.push(FaultGene {
+                    from,
+                    to,
+                    extra: rng.gen_range(1..=5usize),
+                    start: rng.gen_range(1..=3usize),
+                    duration: rng.gen_range(1..=6usize),
+                });
+                "fault-add".to_string()
+            } else {
+                g.faults.clear();
+                "fault-clear".to_string()
+            }
+        }
+        10 => {
+            if g.faults.is_empty() {
+                g.round_robin = !g.round_robin;
+                "delivery-flip".to_string()
+            } else {
+                let i = rng.gen_range(0..g.faults.len());
+                g.faults.remove(i);
+                format!("fault-drop:{i}")
+            }
+        }
+        _ => {
+            let lo = space.d_range.0;
+            let hi = space.d_range.1;
+            g.d = if rng.gen_bool(0.5) && g.d > lo {
+                g.d - 1
+            } else {
+                (g.d + 1).min(hi)
+            };
+            g.fix_points(rng);
+            "redim".to_string()
+        }
+    };
+    (g, op)
+}
+
+/// Score formatting for the trace: fixed precision so the trace is
+/// byte-stable and readable.
+fn fmt_score(score: f64) -> String {
+    if score == f64::NEG_INFINITY {
+        "rejected".to_string()
+    } else {
+        format!("{score:.3}")
+    }
+}
+
+/// Runs the full hill-climbing search.
+pub fn search(config: &SearchConfig) -> SearchReport {
+    let mut rng = StdRng::seed_from_u64(config.master_seed);
+    let mut report = SearchReport {
+        findings: Vec::new(),
+        evaluations: 0,
+        best_score: f64::NEG_INFINITY,
+        trace: Vec::new(),
+    };
+
+    for restart in 0..config.restarts {
+        let mut current = sample(&mut rng, &config.space);
+        let mut eval = evaluate(&current);
+        report.evaluations += 1;
+        report.trace.push(format!(
+            "r{restart} sample {} -> {}",
+            current.signature(),
+            fmt_score(eval.score)
+        ));
+        report.best_score = report.best_score.max(eval.score);
+        if record_if_violation(&mut report, &current, &eval, restart) {
+            continue;
+        }
+
+        for iter in 0..config.iters {
+            let (candidate, op) = mutate(&current, &mut rng, &config.space);
+            let cand_eval = evaluate(&candidate);
+            report.evaluations += 1;
+            let accepted = cand_eval.score >= eval.score;
+            report.trace.push(format!(
+                "r{restart}.{iter} {op} -> {} {}",
+                fmt_score(cand_eval.score),
+                if accepted { "accept" } else { "keep" }
+            ));
+            if record_if_violation(&mut report, &candidate, &cand_eval, restart) {
+                break;
+            }
+            if accepted {
+                current = candidate;
+                eval = cand_eval;
+            }
+            report.best_score = report.best_score.max(eval.score);
+        }
+    }
+    report
+}
+
+/// Records a finding (deduplicated by signature); returns whether the
+/// evaluation was a violation (ending the restart either way — staying on a
+/// violation would just rediscover the same family every iteration).
+fn record_if_violation(
+    report: &mut SearchReport,
+    genome: &ChaosGenome,
+    eval: &Evaluation,
+    restart: usize,
+) -> bool {
+    if !eval.violation {
+        return false;
+    }
+    report.best_score = report.best_score.max(eval.score);
+    let signature = genome.signature();
+    if !report.findings.iter().any(|f| f.signature == signature) {
+        report
+            .trace
+            .push(format!("r{restart} VIOLATION {signature}"));
+        report.findings.push(Finding {
+            genome: genome.clone(),
+            signature,
+            flags: eval.verdict_flags(),
+            score: eval.score,
+            restart,
+        });
+    } else {
+        report
+            .trace
+            .push(format!("r{restart} violation (known) {signature}"));
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny cheap space for debug-build tests: exact protocol, d = 1,
+    /// smallest shapes.
+    fn tiny_config(seed: u64) -> SearchConfig {
+        SearchConfig {
+            master_seed: seed,
+            restarts: 2,
+            iters: 3,
+            space: SearchSpace {
+                protocols: vec![Protocol::Exact],
+                f_range: (1, 1),
+                d_range: (1, 1),
+                n_slack: 1,
+                alpha_max: 2.0,
+                max_steps: 100_000,
+            },
+        }
+    }
+
+    #[test]
+    fn same_seed_produces_a_byte_identical_trace() {
+        let a = search(&tiny_config(42));
+        let b = search(&tiny_config(42));
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert!(a.evaluations >= 2, "both restarts evaluated");
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let a = search(&tiny_config(1));
+        let b = search(&tiny_config(2));
+        assert_ne!(a.trace, b.trace);
+    }
+}

@@ -1,0 +1,203 @@
+//! Counterexample shrinking: minimize a violating genome while preserving
+//! the violation.
+//!
+//! The shrinker is **rng-free and deterministic**: it applies a fixed
+//! sequence of reduction passes — drop fault events, halve fault windows,
+//! round input coordinates, canonicalise α / seed / strategy / delivery,
+//! shed processes — keeping a reduction only if the reduced genome still
+//! produces a *genuine* violation with the **same verdict flags** as the
+//! original.  Passes repeat to a fixpoint, which is what makes shrinking
+//! idempotent: re-shrinking a shrunk genome changes nothing (pinned by the
+//! property tests).
+
+use crate::genome::{ChaosGenome, ValidityGene};
+use crate::objective::evaluate;
+
+/// The result of shrinking one violating genome.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized genome (equal to the input when nothing reduced).
+    pub genome: ChaosGenome,
+    /// The accepted reduction steps, in application order — deterministic
+    /// for a deterministic input.
+    pub steps: Vec<String>,
+    /// Genome evaluations spent shrinking.
+    pub evaluations: usize,
+}
+
+/// Whether `genome` still exhibits the original violation: a genuine
+/// violation whose verdict flags match `flags` exactly.
+fn preserves(genome: &ChaosGenome, flags: (bool, bool, bool), evaluations: &mut usize) -> bool {
+    *evaluations += 1;
+    let eval = evaluate(genome);
+    eval.violation && eval.verdict_flags() == flags
+}
+
+/// Rounds `x` to `decimals` decimal places.
+fn round_to(x: f64, decimals: u32) -> f64 {
+    let scale = 10f64.powi(decimals as i32);
+    (x * scale).round() / scale
+}
+
+/// Shrinks `genome`, which must currently violate with verdict `flags`
+/// (from [`Evaluation::verdict_flags`](crate::objective::Evaluation::verdict_flags)).
+pub fn shrink(genome: &ChaosGenome, flags: (bool, bool, bool)) -> ShrinkResult {
+    let mut best = genome.clone();
+    let mut steps = Vec::new();
+    let mut evaluations = 0usize;
+
+    // Each pass returns true if it changed the genome; the outer loop runs
+    // the whole pass list to a fixpoint (bounded, since every accepted
+    // reduction strictly simplifies the genome).
+    for _round in 0..8 {
+        let mut changed = false;
+
+        // Pass 1: drop fault events one at a time.
+        let mut i = 0;
+        while i < best.faults.len() {
+            let mut candidate = best.clone();
+            candidate.faults.remove(i);
+            if preserves(&candidate, flags, &mut evaluations) {
+                best = candidate;
+                steps.push(format!("drop-fault:{i}"));
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 2: halve remaining fault windows and delays.
+        for i in 0..best.faults.len() {
+            let fault = best.faults[i];
+            if fault.duration > 1 || fault.extra > 1 {
+                let mut candidate = best.clone();
+                candidate.faults[i].duration = (fault.duration / 2).max(1);
+                candidate.faults[i].extra = (fault.extra / 2).max(1);
+                if preserves(&candidate, flags, &mut evaluations) {
+                    best = candidate;
+                    steps.push(format!("halve-window:{i}"));
+                    changed = true;
+                }
+            }
+        }
+
+        // Pass 3: round every input coordinate (coarse first).
+        for decimals in [1u32, 2] {
+            let rounded: Vec<Vec<f64>> = best
+                .points
+                .iter()
+                .map(|p| p.iter().map(|c| round_to(*c, decimals)).collect())
+                .collect();
+            if rounded != best.points {
+                let mut candidate = best.clone();
+                candidate.points = rounded;
+                if preserves(&candidate, flags, &mut evaluations) {
+                    best = candidate;
+                    steps.push(format!("round-inputs:{decimals}"));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+
+        // Pass 4: round α (coarse first).
+        if let ValidityGene::Alpha(alpha) = best.validity {
+            for decimals in [1u32, 2] {
+                let rounded = round_to(alpha, decimals);
+                if rounded != alpha {
+                    let mut candidate = best.clone();
+                    candidate.validity = ValidityGene::Alpha(rounded);
+                    if preserves(&candidate, flags, &mut evaluations) {
+                        best = candidate;
+                        steps.push(format!("round-alpha:{decimals}"));
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pass 5: canonical seed.
+        if best.seed != 0 {
+            let mut candidate = best.clone();
+            candidate.seed = 0;
+            if preserves(&candidate, flags, &mut evaluations) {
+                best = candidate;
+                steps.push("zero-seed".to_string());
+                changed = true;
+            }
+        }
+
+        // Pass 6: default delivery schedule.
+        if best.round_robin {
+            let mut candidate = best.clone();
+            candidate.round_robin = false;
+            if preserves(&candidate, flags, &mut evaluations) {
+                best = candidate;
+                steps.push("default-delivery".to_string());
+                changed = true;
+            }
+        }
+
+        // Pass 7: canonical strategy (equivocation is the zoo's default).
+        if best.strategy != "equivocate" {
+            let mut candidate = best.clone();
+            candidate.strategy = "equivocate".to_string();
+            if preserves(&candidate, flags, &mut evaluations) {
+                best = candidate;
+                steps.push("canonical-strategy".to_string());
+                changed = true;
+            }
+        }
+
+        // Pass 8: shed processes (dropping the last honest input point).
+        while best.n > best.f + 2 {
+            let mut candidate = best.clone();
+            candidate.n -= 1;
+            candidate.points.truncate(candidate.n - candidate.f);
+            if preserves(&candidate, flags, &mut evaluations) {
+                best = candidate;
+                steps.push("shrink-n".to_string());
+                changed = true;
+            } else {
+                break;
+            }
+        }
+
+        // Pass 9: fewer Byzantine processes (honest inputs are kept, so
+        // the freed id becomes an extra honest process only if a point
+        // exists for it — instead we shrink n in lockstep to keep shape).
+        if best.f > 1 {
+            let mut candidate = best.clone();
+            candidate.f -= 1;
+            candidate.n -= 1;
+            if preserves(&candidate, flags, &mut evaluations) {
+                best = candidate;
+                steps.push("shrink-f".to_string());
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        genome: best,
+        steps,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_helper_is_exact_on_short_decimals() {
+        assert_eq!(round_to(0.12345, 2), 0.12);
+        assert_eq!(round_to(0.15, 1), 0.2);
+        assert_eq!(round_to(0.5, 1), 0.5);
+    }
+}

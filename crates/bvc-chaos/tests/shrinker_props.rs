@@ -1,0 +1,136 @@
+//! Property tests for the search/shrink pipeline.
+//!
+//! Three properties, each checked across a spread of master seeds (plain
+//! seed loops — the properties themselves are the point, not a framework):
+//!
+//! 1. **Determinism** — the same master seed produces a byte-identical
+//!    search trace, findings and shrink step sequence;
+//! 2. **Preservation** — a shrunk reproducer still exhibits the original
+//!    violation, with the same verdict flags;
+//! 3. **Idempotence** — shrinking a shrunk genome changes nothing.
+//!
+//! The searches here run over a deliberately tiny space (exact protocol,
+//! d = 1, small n) so the whole file stays debug-mode cheap; the acid-test
+//! rediscovery of the small-α family runs in release mode via
+//! `chaos-run --search` in CI instead.
+
+use bvc_chaos::{evaluate, search, shrink, ChaosGenome, SearchConfig, ValidityGene};
+use bvc_scenario::Protocol;
+
+/// A tiny, debug-cheap search configuration.
+fn tiny_config(master_seed: u64) -> SearchConfig {
+    let mut config = SearchConfig::new(master_seed, 3, 6);
+    config.space.protocols = vec![Protocol::Exact];
+    config.space.f_range = (1, 1);
+    config.space.d_range = (1, 2);
+    config.space.n_slack = 1;
+    config.space.alpha_max = 2.0;
+    config
+}
+
+/// A hand-built violating genome in the small-α family (exact consensus
+/// admitted by the α-relaxation below the strict bound, Γ_α empty), used
+/// to exercise the shrinker even on seeds whose search finds nothing.
+fn alpha_family_genome() -> ChaosGenome {
+    ChaosGenome {
+        protocol: Protocol::Exact,
+        n: 4,
+        f: 1,
+        d: 3,
+        epsilon: 0.1,
+        seed: 7,
+        points: vec![
+            vec![0.05, 0.5, 0.95],
+            vec![0.9, 0.1, 0.4],
+            vec![0.3, 0.8, 0.2],
+        ],
+        strategy: "anti-convergence".to_string(),
+        validity: ValidityGene::Alpha(0.05),
+        faults: Vec::new(),
+        round_robin: false,
+        max_steps: 200_000,
+    }
+}
+
+#[test]
+fn the_same_master_seed_reproduces_the_search_byte_for_byte() {
+    for seed in [0u64, 1, 17, 4242] {
+        let a = search(&tiny_config(seed));
+        let b = search(&tiny_config(seed));
+        assert_eq!(a.trace, b.trace, "trace diverged for master seed {seed}");
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.findings.len(), b.findings.len());
+        for (fa, fb) in a.findings.iter().zip(&b.findings) {
+            assert_eq!(fa.signature, fb.signature);
+            assert_eq!(fa.genome, fb.genome, "finding genomes diverged");
+            // The shrink sequence is a pure function of the finding.
+            let sa = shrink(&fa.genome, fa.flags);
+            let sb = shrink(&fb.genome, fb.flags);
+            assert_eq!(sa.steps, sb.steps, "shrink steps diverged for seed {seed}");
+            assert_eq!(sa.genome, sb.genome);
+        }
+    }
+}
+
+#[test]
+fn shrunk_reproducers_still_exhibit_the_original_violation() {
+    let mut shrunk_any = false;
+    for genome in violating_genomes() {
+        let original = evaluate(&genome);
+        assert!(original.violation, "fixture must violate before shrinking");
+        let flags = original.verdict_flags();
+
+        let result = shrink(&genome, flags);
+        let replay = evaluate(&result.genome);
+        assert!(
+            replay.violation,
+            "shrinking lost the violation (steps: {:?})",
+            result.steps
+        );
+        assert_eq!(
+            replay.verdict_flags(),
+            flags,
+            "shrinking changed the verdict flags (steps: {:?})",
+            result.steps
+        );
+        shrunk_any |= !result.steps.is_empty();
+    }
+    assert!(shrunk_any, "no fixture shrank at all — the passes are dead");
+}
+
+#[test]
+fn shrinking_is_idempotent() {
+    for genome in violating_genomes() {
+        let flags = evaluate(&genome).verdict_flags();
+        let once = shrink(&genome, flags);
+        let twice = shrink(&once.genome, flags);
+        assert!(
+            twice.steps.is_empty(),
+            "re-shrinking a shrunk genome still reduced it: {:?}",
+            twice.steps
+        );
+        assert_eq!(once.genome, twice.genome);
+    }
+}
+
+/// Violating genomes to shrink: the hand-built small-α fixture (seed
+/// variants) plus anything the tiny searches find.
+fn violating_genomes() -> Vec<ChaosGenome> {
+    let mut genomes = Vec::new();
+    for seed in [7u64, 123] {
+        let mut genome = alpha_family_genome();
+        genome.seed = seed;
+        if evaluate(&genome).violation {
+            genomes.push(genome);
+        }
+    }
+    for master_seed in [0u64, 17] {
+        let report = search(&tiny_config(master_seed));
+        genomes.extend(report.findings.into_iter().map(|f| f.genome));
+    }
+    assert!(
+        !genomes.is_empty(),
+        "the hand-built small-α fixture must violate"
+    );
+    genomes
+}

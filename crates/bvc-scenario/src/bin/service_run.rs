@@ -144,14 +144,22 @@ fn main() -> ExitCode {
         stats.latency.max_ms,
     );
     eprintln!(
-        "service-run: {} decided, {} violated; Γ-cache hit rate {:.1}% \
-         (cross-instance {:.1}%, {} shared hits); {} workers",
+        "service-run: {} decided, {} violated ({} contained panic(s)); \
+         Γ-cache hit rate {:.1}% (cross-instance {:.1}%, {} shared hits); {} workers",
         stats.decided,
         stats.violated,
+        stats.panicked,
         100.0 * stats.cache.hit_rate(),
         100.0 * stats.cache.cross_instance_hit_rate(),
         stats.cache.shared_hits,
         stats.workers.len(),
+    );
+    eprintln!(
+        "service-run: backpressure queue depth max {}, mean {:.1} \
+         (over {} sample(s))",
+        stats.queue.max_depth,
+        stats.queue.mean_depth,
+        stats.queue.series.len(),
     );
     if let Some(path) = &stats_path {
         let mut json = stats.to_json();

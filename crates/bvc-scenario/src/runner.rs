@@ -587,10 +587,12 @@ pub fn run_config_from_spec(
     Ok(config)
 }
 
-/// Stable label for a strategy, including the crash round (`crash:K`).
+/// Stable label for a strategy, including the crash round (`crash:K`) and
+/// the split-brain mask (`split-brain:MASK`).
 pub fn strategy_label(strategy: ByzantineStrategy) -> String {
     match strategy {
         ByzantineStrategy::Crash(k) => format!("crash:{k}"),
+        ByzantineStrategy::SplitBrain(mask) => format!("split-brain:{mask}"),
         other => other.name().to_string(),
     }
 }

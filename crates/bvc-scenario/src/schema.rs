@@ -296,13 +296,20 @@ fn process_list(value: &TomlValue, key: &str) -> Result<Vec<ProcessId>, SchemaEr
 }
 
 /// Parses a Byzantine strategy name: `silent`, `fixed-outlier`,
-/// `random-noise`, `equivocate`, `anti-convergence`, `benign` or `crash:K`
-/// (crash after round `K`).
+/// `random-noise`, `equivocate`, `anti-convergence`, `split-brain:MASK`
+/// (receiver-partition bit mask), `benign` or `crash:K` (crash after round
+/// `K`).
 pub fn parse_strategy(name: &str) -> Result<ByzantineStrategy, SchemaError> {
     if let Some(round) = name.strip_prefix("crash:") {
         return match round.parse::<usize>() {
             Ok(k) => Ok(ByzantineStrategy::Crash(k)),
             Err(_) => bad(format!("invalid crash round in `{name}`")),
+        };
+    }
+    if let Some(mask) = name.strip_prefix("split-brain:") {
+        return match mask.parse::<u64>() {
+            Ok(m) => Ok(ByzantineStrategy::SplitBrain(m)),
+            Err(_) => bad(format!("invalid split-brain mask in `{name}`")),
         };
     }
     match name {
@@ -315,7 +322,7 @@ pub fn parse_strategy(name: &str) -> Result<ByzantineStrategy, SchemaError> {
         "benign" => Ok(ByzantineStrategy::Benign),
         _ => bad(format!(
             "unknown strategy `{name}` (expected crash[:K], silent, fixed-outlier, \
-             random-noise, equivocate, anti-convergence or benign)"
+             random-noise, equivocate, anti-convergence, split-brain:MASK or benign)"
         )),
     }
 }
@@ -1014,8 +1021,13 @@ strategies = ["equivocate", "silent"]
             ByzantineStrategy::Crash(3)
         );
         assert_eq!(parse_strategy("silent").unwrap(), ByzantineStrategy::Silent);
+        assert_eq!(
+            parse_strategy("split-brain:6").unwrap(),
+            ByzantineStrategy::SplitBrain(6),
+        );
         assert!(parse_strategy("nope").is_err());
         assert!(parse_strategy("crash:x").is_err());
+        assert!(parse_strategy("split-brain:x").is_err());
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct ServiceConfig {
     pub shared_capacity: usize,
     /// Stream label, echoed in every verdict line and in the stats.
     pub label: String,
+    /// Chaos-lab knob: deliberately panic the instance with this sequence
+    /// number inside the worker pool.  No admitted configuration panics
+    /// organically, so this is how panic containment is exercised — the
+    /// instance must surface as a contained panic verdict while the rest
+    /// of the stream drains normally.
+    pub panic_instance: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -71,6 +77,7 @@ impl ServiceConfig {
             cache_mode: CacheMode::Shared,
             shared_capacity: 0,
             label: "service".to_string(),
+            panic_instance: None,
         }
     }
 
@@ -116,6 +123,14 @@ impl ServiceConfig {
     /// Stream label.
     pub fn label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    /// Deliberately panics the instance with sequence number `seq` inside
+    /// the worker pool (chaos-lab panic injection; see
+    /// [`panic_instance`](Self::panic_instance)).
+    pub fn inject_panic(mut self, seq: usize) -> Self {
+        self.panic_instance = Some(seq);
         self
     }
 

@@ -69,4 +69,4 @@ pub mod stats;
 pub use config::{CacheMode, ServiceConfig, ServiceError};
 pub use service::BvcService;
 pub use sink::{JsonlSink, MemorySink, ReorderBuffer, VerdictSink};
-pub use stats::{CacheStats, LatencyStats, ServiceStats, WorkerStats};
+pub use stats::{CacheStats, LatencyStats, QueueStats, ServiceStats, WorkerStats};

@@ -3,13 +3,17 @@
 
 use crate::config::{CacheMode, ServiceConfig, ServiceError};
 use crate::sink::{ReorderBuffer, VerdictSink};
-use crate::stats::{escape_json, fmt_f64, CacheStats, LatencyStats, ServiceStats, WorkerStats};
+use crate::stats::{
+    escape_json, fmt_f64, CacheStats, LatencyStats, QueueStats, ServiceStats, WorkerStats,
+};
 use bvc_adversary::ByzantineStrategy;
 use bvc_core::{BvcSession, RunReport};
 use bvc_geometry::{GammaCache, SharedGammaCache};
 use bvc_net::ExecutionStats;
+use std::any::Any;
 use std::collections::VecDeque;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::Instant;
@@ -31,11 +35,19 @@ struct Job {
     admitted: Instant,
 }
 
-/// Admission/completion watermarks shared by the admitter and the workers.
+/// Admission/completion watermarks shared by the admitter and the workers,
+/// plus the queue-depth samples taken whenever either watermark moves.
 #[derive(Default)]
 struct Coord {
     admitted: usize,
     completed: usize,
+    queue_depth: Vec<usize>,
+}
+
+impl Coord {
+    fn sample_depth(&mut self) {
+        self.queue_depth.push(self.admitted - self.completed);
+    }
 }
 
 /// The emission side: reorder buffer + sink + first I/O error, under one
@@ -52,6 +64,7 @@ struct WorkerTally {
     instances: usize,
     decided: usize,
     violated: usize,
+    panicked: usize,
     busy_ms: f64,
     latencies_ms: Vec<f64>,
     local_hits: u64,
@@ -91,6 +104,7 @@ fn verdict_line(label: &str, seq: usize, report: &RunReport) -> String {
     let verdict = report.verdict();
     let strategy = match config.adversary {
         ByzantineStrategy::Crash(k) => format!("crash:{k}"),
+        ByzantineStrategy::SplitBrain(mask) => format!("split-brain:{mask}"),
         other => other.name().to_string(),
     };
     let epsilon = match report.epsilon() {
@@ -121,6 +135,28 @@ fn verdict_line(label: &str, seq: usize, report: &RunReport) -> String {
         stats.messages_delivered,
         stats.messages_dropped,
     )
+}
+
+/// The verdict line for a contained instance panic: an all-false verdict
+/// carrying the panic message.  Still timing-free and deterministic for a
+/// deterministic panic, so pinned streams stay byte-identical.
+fn panic_line(label: &str, seq: usize, message: &str) -> String {
+    format!(
+        "{{\"service\": \"{}\", \"instance\": {seq}, \"panic\": \"{}\", \
+         \"verdict\": {{\"agreement\": false, \"validity\": false, \"termination\": false, \
+         \"max_pairwise_distance\": null}}}}",
+        escape_json(label),
+        escape_json(message),
+    )
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 impl BvcService {
@@ -227,23 +263,45 @@ impl BvcService {
                         run_config.gamma_cache = Some(Arc::clone(&child));
 
                         let exec_started = Instant::now();
-                        let report = BvcSession::new(config.protocol, run_config)
-                            .expect("admission validated every instance")
-                            .run();
+                        // Contain instance panics to the instance: a panic
+                        // becomes a failed verdict line and the stream keeps
+                        // draining.  AssertUnwindSafe is sound because the
+                        // panicking closure's state (run config, child
+                        // cache) is either dropped with the payload or only
+                        // read through monotone counters afterwards.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if config.panic_instance == Some(seq) {
+                                panic!("panic injected by ServiceConfig::inject_panic({seq})");
+                            }
+                            BvcSession::new(config.protocol, run_config)
+                                .expect("admission validated every instance")
+                                .run()
+                        }));
                         tally.busy_ms += ms(exec_started.elapsed());
                         tally.latencies_ms.push(ms(job.admitted.elapsed()));
                         tally.instances += 1;
-                        if report.verdict().termination {
-                            tally.decided += 1;
-                        }
-                        if !report.verdict().all_hold() {
-                            tally.violated += 1;
-                        }
                         tally.local_hits += child.hits();
                         tally.local_misses += child.misses();
-                        tally.messages.absorb(report.stats());
 
-                        let line = verdict_line(&config.label, seq, &report);
+                        let line = match &outcome {
+                            Ok(report) => {
+                                if report.verdict().termination {
+                                    tally.decided += 1;
+                                }
+                                if !report.verdict().all_hold() {
+                                    tally.violated += 1;
+                                }
+                                tally.messages.absorb(report.stats());
+                                verdict_line(&config.label, seq, report)
+                            }
+                            Err(payload) => {
+                                // A panic is a failed verdict: it violates
+                                // termination at the very least.
+                                tally.violated += 1;
+                                tally.panicked += 1;
+                                panic_line(&config.label, seq, panic_message(payload.as_ref()))
+                            }
+                        };
                         {
                             let mut state = lock(emit);
                             if state.error.is_none() {
@@ -260,6 +318,7 @@ impl BvcService {
 
                         let mut guard = lock(coord);
                         guard.completed += 1;
+                        guard.sample_depth();
                         drop(guard);
                         cv_space.notify_all();
                     }
@@ -285,7 +344,11 @@ impl BvcService {
                         admitted: Instant::now(),
                     });
                 }
-                lock(&coord).admitted = end;
+                {
+                    let mut guard = lock(&coord);
+                    guard.admitted = end;
+                    guard.sample_depth();
+                }
                 cv_work.notify_all();
                 next = end;
             }
@@ -296,6 +359,10 @@ impl BvcService {
         });
 
         let wall_ms = ms(started.elapsed());
+        let queue_samples = coord
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue_depth;
 
         let mut state = emit.into_inner().unwrap_or_else(PoisonError::into_inner);
         if let Some(e) = state.error.take() {
@@ -307,7 +374,7 @@ impl BvcService {
         let mut latencies = Vec::with_capacity(total);
         let mut cache = CacheStats::default();
         let mut messages = ExecutionStats::default();
-        let (mut decided, mut violated) = (0usize, 0usize);
+        let (mut decided, mut violated, mut panicked) = (0usize, 0usize, 0usize);
         let worker_stats = tallies
             .iter()
             .map(|tally| WorkerStats {
@@ -327,6 +394,7 @@ impl BvcService {
             messages.absorb(&tally.messages);
             decided += tally.decided;
             violated += tally.violated;
+            panicked += tally.panicked;
         }
         if let Some(shared) = &shared_cache {
             cache.shared_hits = shared.hits();
@@ -338,6 +406,7 @@ impl BvcService {
             instances: total,
             decided,
             violated,
+            panicked,
             wall_ms,
             decisions_per_sec: if wall_ms > 0.0 {
                 decided as f64 * 1e3 / wall_ms
@@ -346,6 +415,7 @@ impl BvcService {
             },
             latency: LatencyStats::from_samples(latencies),
             cache,
+            queue: QueueStats::from_samples(&queue_samples),
             workers: worker_stats,
             messages,
         })
@@ -420,6 +490,44 @@ mod tests {
             stats.cache
         );
         assert!(stats.cache.cross_instance_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn a_panicking_instance_is_contained_and_the_stream_drains() {
+        let config = stream_config(8).workers(2).batch(4).inject_panic(3);
+        let mut sink = MemorySink::new();
+        let stats = BvcService::new(config).unwrap().run(&mut sink).unwrap();
+        assert_eq!(stats.instances, 8);
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.violated, 1);
+        assert_eq!(stats.decided, 7);
+        assert_eq!(sink.lines().len(), 8, "stream must drain past the panic");
+        let line = &sink.lines()[3];
+        assert!(
+            line.contains("\"panic\": \"panic injected by ServiceConfig::inject_panic(3)\""),
+            "panic line must carry the message: {line}"
+        );
+        assert!(line.contains("\"termination\": false"));
+        assert!(sink.lines()[4].starts_with("{\"service\": \"unit\", \"instance\": 4, "));
+    }
+
+    #[test]
+    fn queue_depth_is_sampled_and_bounded_by_backpressure() {
+        let config = stream_config(12).workers(3).batch(2);
+        let stats = BvcService::new(config)
+            .unwrap()
+            .run(&mut MemorySink::new())
+            .unwrap();
+        assert!(!stats.queue.series.is_empty());
+        assert!(stats.queue.max_depth >= 1);
+        // Admission holds while depth ≥ high_water (2 batches), then admits
+        // one more batch: depth never exceeds 3 batches − 1.
+        assert!(
+            stats.queue.max_depth <= 5,
+            "backpressure must bound the queue: {:?}",
+            stats.queue
+        );
+        assert!(stats.queue.mean_depth > 0.0);
     }
 
     #[test]

@@ -77,6 +77,45 @@ impl CacheStats {
     }
 }
 
+/// Backpressure telemetry: the admitted-but-not-completed queue depth,
+/// sampled once at every admission wave and once at every instance
+/// completion.  The series is decimated to at most
+/// [`MAX_SERIES`](Self::MAX_SERIES) bucket maxima so the JSON stays small
+/// on long streams while the peaks (the interesting part of backpressure)
+/// survive.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueueStats {
+    /// Deepest observed queue (admitted − completed).
+    pub max_depth: usize,
+    /// Mean observed queue depth.
+    pub mean_depth: f64,
+    /// Decimated depth-over-time series, in sample order; each entry is
+    /// the maximum of one contiguous bucket of raw samples.
+    pub series: Vec<usize>,
+}
+
+impl QueueStats {
+    /// Upper bound on the decimated series length.
+    pub const MAX_SERIES: usize = 32;
+
+    /// Aggregates a raw sample series (in observation order).
+    pub fn from_samples(samples: &[usize]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let bucket = samples.len().div_ceil(Self::MAX_SERIES);
+        let series = samples
+            .chunks(bucket)
+            .map(|chunk| *chunk.iter().max().expect("non-empty chunk"))
+            .collect();
+        Self {
+            max_depth: *samples.iter().max().expect("non-empty"),
+            mean_depth: samples.iter().sum::<usize>() as f64 / samples.len() as f64,
+            series,
+        }
+    }
+}
+
 /// One worker's share of the stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkerStats {
@@ -100,6 +139,9 @@ pub struct ServiceStats {
     /// Instances whose verdict violated agreement, validity or
     /// termination.
     pub violated: usize,
+    /// Instances that panicked inside the pool and were contained (each is
+    /// also counted in `violated`: a panic is a failed verdict).
+    pub panicked: usize,
     /// Stream wall time, milliseconds.
     pub wall_ms: f64,
     /// Decided instances per wall-clock second — the service's primary
@@ -109,6 +151,8 @@ pub struct ServiceStats {
     pub latency: LatencyStats,
     /// Two-level Γ-cache counters.
     pub cache: CacheStats,
+    /// Backpressure queue-depth telemetry.
+    pub queue: QueueStats,
     /// Per-worker load split, by worker index.
     pub workers: Vec<WorkerStats>,
     /// Message totals summed over every instance execution.
@@ -125,11 +169,12 @@ impl ServiceStats {
         out.push_str(&escape_json(&self.label));
         let _ = write!(
             out,
-            "\", \"instances\": {}, \"decided\": {}, \"violated\": {}, \"wall_ms\": {}, \
-             \"decisions_per_sec\": {}",
+            "\", \"instances\": {}, \"decided\": {}, \"violated\": {}, \"panicked\": {}, \
+             \"wall_ms\": {}, \"decisions_per_sec\": {}",
             self.instances,
             self.decided,
             self.violated,
+            self.panicked,
             fmt_f64(self.wall_ms),
             fmt_f64(self.decisions_per_sec),
         );
@@ -159,6 +204,19 @@ impl ServiceStats {
             self.messages.messages_delivered,
             self.messages.messages_dropped,
         );
+        let _ = write!(
+            out,
+            ", \"queue\": {{\"max_depth\": {}, \"mean_depth\": {}, \"series\": [",
+            self.queue.max_depth,
+            fmt_f64(self.queue.mean_depth),
+        );
+        for (i, depth) in self.queue.series.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{depth}");
+        }
+        out.push_str("]}");
         out.push_str(", \"workers\": [");
         for (i, worker) in self.workers.iter().enumerate() {
             if i > 0 {
@@ -249,10 +307,12 @@ mod tests {
             instances: 2,
             decided: 2,
             violated: 0,
+            panicked: 0,
             wall_ms: 1.5,
             decisions_per_sec: 1333.0,
             latency: LatencyStats::from_samples(vec![0.5, 1.0]),
             cache: CacheStats::default(),
+            queue: QueueStats::from_samples(&[1, 2, 1]),
             workers: vec![WorkerStats {
                 instances: 2,
                 busy_ms: 1.0,
@@ -263,8 +323,25 @@ mod tests {
         let json = stats.to_json();
         assert!(json.starts_with("{\"schema\": \"bvc-service-stats/v1\", \"service\": \"smoke\""));
         assert!(json.contains("\"decisions_per_sec\": 1333.0"));
+        assert!(json.contains("\"panicked\": 0"));
         assert!(json.contains("\"p99_ms\": 1.0"));
+        assert!(json.contains("\"queue\": {\"max_depth\": 2, "));
         assert!(json.ends_with("\"utilization\": 0.66}]}"));
+    }
+
+    #[test]
+    fn queue_stats_decimate_with_bucket_maxima() {
+        let raw: Vec<usize> = (0..100).map(|i| if i == 77 { 40 } else { i % 5 }).collect();
+        let queue = QueueStats::from_samples(&raw);
+        assert_eq!(queue.max_depth, 40);
+        assert!(queue.series.len() <= QueueStats::MAX_SERIES);
+        assert!(
+            queue.series.contains(&40),
+            "decimation must preserve the peak: {:?}",
+            queue.series
+        );
+        assert!(queue.mean_depth > 0.0);
+        assert_eq!(QueueStats::from_samples(&[]), QueueStats::default());
     }
 
     #[test]
