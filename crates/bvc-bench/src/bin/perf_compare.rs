@@ -33,6 +33,11 @@ struct Workload {
     d: u64,
     detail: String,
     mean_us: f64,
+    /// Fast-path hit rate in percent, for rows that publish one.  Unlike
+    /// `mean_us` this is a *logical* measurement (which engine path served
+    /// the queries), so it gates regardless of the `--min-mean-us` floor:
+    /// a path-selection regression is real even when the row is fast.
+    fast_path_pct: Option<f64>,
 }
 
 impl Workload {
@@ -88,6 +93,7 @@ fn parse_snapshot(path: &str) -> Result<Vec<Workload>, String> {
                 .unwrap_or("")
                 .to_string(),
             mean_us: as_f64(entry, "mean_us"),
+            fast_path_pct: entry.get("fast_path_pct").and_then(Json::as_f64),
         });
     }
     Ok(rows)
@@ -96,7 +102,7 @@ fn parse_snapshot(path: &str) -> Result<Vec<Workload>, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: perf-compare --baseline <committed.json> --fresh <new.json> \
-         [--tolerance <ratio>] [--min-mean-us <us>]"
+         [--tolerance <ratio>] [--min-mean-us <us>] [--max-fastpath-drop <points>]"
     );
     std::process::exit(2);
 }
@@ -106,6 +112,7 @@ fn main() -> ExitCode {
     let mut fresh_path: Option<String> = None;
     let mut tolerance = 2.0f64;
     let mut min_mean_us = 500.0f64;
+    let mut max_fastpath_drop = 10.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -127,6 +134,16 @@ fn main() -> ExitCode {
                     Ok(m) if m >= 0.0 && m.is_finite() => min_mean_us = m,
                     _ => {
                         eprintln!("perf-compare: --min-mean-us must be a finite number >= 0");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--max-fastpath-drop" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse::<f64>() {
+                    Ok(p) if p >= 0.0 && p.is_finite() => max_fastpath_drop = p,
+                    _ => {
+                        eprintln!("perf-compare: --max-fastpath-drop must be a finite number >= 0");
                         return ExitCode::from(2);
                     }
                 }
@@ -163,9 +180,15 @@ fn main() -> ExitCode {
     let mut used = vec![false; baseline.len()];
     let mut regressions = 0usize;
     println!(
-        "{:<58} {:>12} {:>12} {:>8}  status",
-        "workload", "base µs", "fresh µs", "ratio"
+        "{:<58} {:>12} {:>12} {:>8} {:>14}  status",
+        "workload", "base µs", "fresh µs", "ratio", "fast-path %"
     );
+    let fastpath_cell = |base: Option<f64>, fresh: Option<f64>| match (base, fresh) {
+        (Some(b), Some(f)) => format!("{b:.0} → {f:.0}"),
+        (None, Some(f)) => format!("— → {f:.0}"),
+        (Some(b), None) => format!("{b:.0} → —"),
+        (None, None) => "—".to_string(),
+    };
     for row in &fresh {
         let matched = baseline
             .iter()
@@ -173,11 +196,12 @@ fn main() -> ExitCode {
             .find(|(i, b)| !used[*i] && b.key() == row.key());
         let Some((index, base)) = matched else {
             println!(
-                "{:<58} {:>12} {:>12.1} {:>8}  new (no baseline)",
+                "{:<58} {:>12} {:>12.1} {:>8} {:>14}  new (no baseline)",
                 row.label(),
                 "—",
                 row.mean_us,
-                "—"
+                "—",
+                fastpath_cell(None, row.fast_path_pct)
             );
             continue;
         };
@@ -191,20 +215,32 @@ fn main() -> ExitCode {
         };
         let gated = row.mean_us >= min_mean_us;
         let slow = gated && ratio > tolerance;
+        // The fast-path gate is independent of the latency floor: losing a
+        // fast path is a logical regression even on a fast row.  A baseline
+        // without the column (pre-column snapshots) never gates.
+        let path_drop = match (base.fast_path_pct, row.fast_path_pct) {
+            (Some(b), Some(f)) => f < b - max_fastpath_drop,
+            (Some(_), None) => true,
+            _ => false,
+        };
         let status = if slow {
             regressions += 1;
             format!("SLOW (> {tolerance:.1}x)")
+        } else if path_drop {
+            regressions += 1;
+            format!("FAST-PATH DROP (> {max_fastpath_drop:.0} pts)")
         } else if !gated {
             format!("ok (below {min_mean_us:.0} µs floor)")
         } else {
             "ok".to_string()
         };
         println!(
-            "{:<58} {:>12.1} {:>12.1} {:>7.2}x  {status}",
+            "{:<58} {:>12.1} {:>12.1} {:>7.2}x {:>14}  {status}",
             row.label(),
             base.mean_us,
             row.mean_us,
-            ratio
+            ratio,
+            fastpath_cell(base.fast_path_pct, row.fast_path_pct)
         );
     }
     // A gated-magnitude workload that vanished from the matrix fails the
@@ -232,9 +268,10 @@ fn main() -> ExitCode {
 
     if regressions > 0 || removed_gated > 0 {
         eprintln!(
-            "perf-compare: {regressions} workload(s) regressed past the \
-             {tolerance:.1}x tolerance and {removed_gated} gated workload(s) \
-             missing from the fresh matrix (floor {min_mean_us:.0} µs)"
+            "perf-compare: {regressions} workload(s) regressed (past the \
+             {tolerance:.1}x latency tolerance or the {max_fastpath_drop:.0}-point \
+             fast-path drop) and {removed_gated} gated workload(s) missing \
+             from the fresh matrix (floor {min_mean_us:.0} µs)"
         );
         ExitCode::from(1)
     } else {

@@ -19,8 +19,10 @@
 use bvc_core::witness::build_zi_full;
 use bvc_core::{BvcSession, ByzantineStrategy, ProtocolKind, RunConfig};
 use bvc_geometry::{
-    gamma_contains, gamma_point, GammaCache, Point, PointMultiset, WorkloadGenerator,
+    gamma_contains, gamma_point, gamma_point_attributed, GammaCache, GammaCounters, Point,
+    PointMultiset, WorkloadGenerator,
 };
+use bvc_trace::GammaPath;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -37,6 +39,24 @@ struct Row {
     calls: usize,
     wall_ms: f64,
     ok: bool,
+    /// Share of queries answered without the slow paths (LP active-set,
+    /// naive subset enumeration, full hull-stream scans), in percent.
+    /// `None` for workloads with no Γ path attribution.
+    fast_path_pct: Option<f64>,
+}
+
+/// Share of the counted queries that stayed off the slow paths: cache hits
+/// (local or parent) and the cheap attributed paths count as fast;
+/// `active-set-lp`, `naive-fallback` and `stream-scan` are the slow tail.
+fn fast_path_pct(counters: &GammaCounters) -> Option<f64> {
+    let queries = counters.queries();
+    if queries == 0 {
+        return None;
+    }
+    let slow = counters.path_count(GammaPath::ActiveSetLp)
+        + counters.path_count(GammaPath::NaiveFallback)
+        + counters.path_count(GammaPath::StreamScan);
+    Some(100.0 * (queries - slow.min(queries)) as f64 / queries as f64)
 }
 
 impl Row {
@@ -58,9 +78,17 @@ fn micro_gamma_point(n: usize, f: usize, d: usize) -> Row {
     let sets: Vec<PointMultiset> = (0..MICRO_CASES).map(|s| multiset(n, d, 1000 + s)).collect();
     let start = Instant::now();
     let mut found = 0usize;
+    let mut slow = 0usize;
     for y in &sets {
-        if gamma_point(y, f).is_some() {
+        let (point, attribution) = gamma_point_attributed(y, f);
+        if point.is_some() {
             found += 1;
+        }
+        if matches!(
+            attribution.path,
+            GammaPath::ActiveSetLp | GammaPath::NaiveFallback | GammaPath::StreamScan
+        ) {
+            slow += 1;
         }
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -75,6 +103,7 @@ fn micro_gamma_point(n: usize, f: usize, d: usize) -> Row {
         // Lemma 1 shapes: Γ is non-empty; allow the occasional sliver that
         // every LP formulation rejects at tolerance, but no systematic miss.
         ok: found * 10 >= sets.len() * 9,
+        fast_path_pct: Some(100.0 * (sets.len() - slow) as f64 / sets.len() as f64),
     }
 }
 
@@ -103,6 +132,7 @@ fn micro_gamma_contains(n: usize, f: usize, d: usize) -> Row {
         calls: sets.len() * 2,
         wall_ms: start.elapsed().as_secs_f64() * 1000.0,
         ok,
+        fast_path_pct: None,
     }
 }
 
@@ -113,10 +143,12 @@ fn micro_cache_hit(n: usize, f: usize, d: usize) -> Row {
     for y in &sets {
         let _ = cache.find_point(y, f); // warm
     }
+    let warmed = cache.counters();
     let start = Instant::now();
     for y in &sets {
         let _ = cache.find_point(y, f);
     }
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
     Row {
         kind: "gamma_cache_hit",
         n,
@@ -124,8 +156,9 @@ fn micro_cache_hit(n: usize, f: usize, d: usize) -> Row {
         d,
         detail: String::new(),
         calls: sets.len(),
-        wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+        wall_ms,
         ok: cache.hits() >= sets.len() as u64,
+        fast_path_pct: fast_path_pct(&cache.counters().since(&warmed)),
     }
 }
 
@@ -149,6 +182,7 @@ fn micro_step2_unit(entries: usize, quorum: usize, f: usize, d: usize) -> Row {
         calls: sets.len(),
         wall_ms: start.elapsed().as_secs_f64() * 1000.0,
         ok: total > 0,
+        fast_path_pct: None,
     }
 }
 
@@ -157,6 +191,7 @@ fn run_restricted_sync(n: usize, f: usize, d: usize, epsilon: f64, seed: u64) ->
     let inputs: Vec<Point> = WorkloadGenerator::new(7)
         .box_points(n - f, d, 0.0, 1.0)
         .into_points();
+    let cache = GammaCache::shared();
     let start = Instant::now();
     let run = BvcSession::new(
         ProtocolKind::RestrictedSync,
@@ -164,7 +199,8 @@ fn run_restricted_sync(n: usize, f: usize, d: usize, epsilon: f64, seed: u64) ->
             .honest_inputs(inputs)
             .adversary(ByzantineStrategy::Equivocate)
             .epsilon(epsilon)
-            .seed(seed),
+            .seed(seed)
+            .gamma_cache(cache.clone()),
     )
     .expect("workload matrix shapes satisfy the resilience bounds")
     .run();
@@ -180,6 +216,7 @@ fn run_restricted_sync(n: usize, f: usize, d: usize, epsilon: f64, seed: u64) ->
         calls: 1,
         wall_ms: start.elapsed().as_secs_f64() * 1000.0,
         ok: run.verdict().all_hold(),
+        fast_path_pct: fast_path_pct(&cache.counters()),
     }
 }
 
@@ -188,13 +225,15 @@ fn run_exact(n: usize, f: usize, d: usize, seed: u64) -> Row {
     let inputs: Vec<Point> = WorkloadGenerator::new(11)
         .box_points(n - f, d, 0.0, 1.0)
         .into_points();
+    let cache = GammaCache::shared();
     let start = Instant::now();
     let run = BvcSession::new(
         ProtocolKind::Exact,
         RunConfig::new(n, f, d)
             .honest_inputs(inputs)
             .adversary(ByzantineStrategy::Equivocate)
-            .seed(seed),
+            .seed(seed)
+            .gamma_cache(cache.clone()),
     )
     .expect("workload matrix shapes satisfy the resilience bounds")
     .run();
@@ -207,6 +246,7 @@ fn run_exact(n: usize, f: usize, d: usize, seed: u64) -> Row {
         calls: 1,
         wall_ms: start.elapsed().as_secs_f64() * 1000.0,
         ok: run.verdict().all_hold(),
+        fast_path_pct: fast_path_pct(&cache.counters()),
     }
 }
 
@@ -229,7 +269,7 @@ fn render(rows: &[Row]) -> String {
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"kind\": \"{}\", \"n\": {}, \"f\": {}, \"d\": {}, \"detail\": \"{}\", \"calls\": {}, \"wall_ms\": {:.3}, \"mean_us\": {:.1}, \"ok\": {}}}",
+            "    {{\"kind\": \"{}\", \"n\": {}, \"f\": {}, \"d\": {}, \"detail\": \"{}\", \"calls\": {}, \"wall_ms\": {:.3}, \"mean_us\": {:.1}, \"ok\": {}",
             row.kind,
             row.n,
             row.f,
@@ -240,6 +280,10 @@ fn render(rows: &[Row]) -> String {
             row.mean_us(),
             row.ok
         );
+        if let Some(pct) = row.fast_path_pct {
+            let _ = write!(out, ", \"fast_path_pct\": {pct:.1}");
+        }
+        out.push('}');
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");

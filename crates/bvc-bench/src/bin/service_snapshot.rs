@@ -47,6 +47,10 @@ struct Row {
     calls: usize,
     wall_ms: f64,
     ok: bool,
+    /// Γ-cache hit rate of the stream (local + shared levels), in percent:
+    /// the service-level fast path.  A drop here without a protocol change
+    /// means instances stopped finding their safe-area evaluations cached.
+    fast_path_pct: f64,
 }
 
 impl Row {
@@ -143,6 +147,7 @@ fn run_stream(stream: &Stream) -> Row {
             && stats.decided == stream.instances
             && sink.lines().len() == stream.instances
             && reuse_ok,
+        fast_path_pct: 100.0 * stats.cache.hit_rate(),
     }
 }
 
@@ -165,7 +170,7 @@ fn render(rows: &[Row]) -> String {
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"kind\": \"{}\", \"n\": {}, \"f\": {}, \"d\": {}, \"detail\": \"{}\", \"calls\": {}, \"wall_ms\": {:.3}, \"mean_us\": {:.1}, \"ok\": {}}}",
+            "    {{\"kind\": \"{}\", \"n\": {}, \"f\": {}, \"d\": {}, \"detail\": \"{}\", \"calls\": {}, \"wall_ms\": {:.3}, \"mean_us\": {:.1}, \"ok\": {}, \"fast_path_pct\": {:.1}}}",
             row.kind,
             row.n,
             row.f,
@@ -174,7 +179,8 @@ fn render(rows: &[Row]) -> String {
             row.calls,
             row.wall_ms,
             row.mean_us(),
-            row.ok
+            row.ok,
+            row.fast_path_pct
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

@@ -22,6 +22,10 @@
 //!     Replays every committed reproducer in DIR and byte-compares each
 //!     verdict against its pinned .expected file.  Exits 1 on any drift.
 //! ```
+//!
+//! All modes accept `--trace PATH`: the whole session runs under a trace
+//! scope and its deterministic `bvc-trace/v1` event stream is written to
+//! PATH (verdicts and metrics stay byte-identical with and without it).
 
 use bvc_chaos::{
     churn, dashboard_header, evaluate, known_signatures, replay_dir, search, shrink, write_repro,
@@ -37,7 +41,8 @@ fn usage() -> ExitCode {
         "usage: chaos-run --search [--seed S] [--restarts R] [--iters I] [--repros DIR] [--pin]\n\
          \x20      chaos-run --churn [--seed S] [--waves W] [--per-wave P] [--jobs J] [--label L]\n\
          \x20                [--metrics PATH] [--dashboard PATH]\n\
-         \x20      chaos-run --replay DIR"
+         \x20      chaos-run --replay DIR\n\
+         \x20      (any mode) --trace PATH"
     );
     ExitCode::from(2)
 }
@@ -73,19 +78,27 @@ fn main() -> ExitCode {
     let args = Args {
         flags: std::env::args().skip(1).collect(),
     };
-    let run = if args.has("--search") {
-        run_search(&args)
-    } else if args.has("--churn") {
-        run_churn(&args)
-    } else if args.has("--replay") {
-        run_replay(&args)
-    } else {
-        return usage();
-    };
+    let trace = args.value("--trace").map(PathBuf::from);
+    let run = bvc_trace::run_traced(trace.as_deref(), || {
+        if args.has("--search") {
+            Some(run_search(&args))
+        } else if args.has("--churn") {
+            Some(run_churn(&args))
+        } else if args.has("--replay") {
+            Some(run_replay(&args))
+        } else {
+            None
+        }
+    });
     match run {
-        Ok(code) => code,
-        Err(message) => {
+        Ok(None) => usage(),
+        Ok(Some(Ok(code))) => code,
+        Ok(Some(Err(message))) => {
             eprintln!("chaos-run: {message}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("chaos-run: cannot write trace: {e}");
             ExitCode::from(2)
         }
     }

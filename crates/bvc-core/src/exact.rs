@@ -212,6 +212,12 @@ impl SyncProcess for ExactBvcProcess {
     fn output(&self) -> Option<Point> {
         self.decision.clone()
     }
+
+    // Exact consensus has no converging round state; the decision appears in
+    // the closing round, so the traced spread collapses exactly there.
+    fn trace_state(&self) -> Option<Vec<f64>> {
+        self.decision.as_ref().map(|p| p.coords().to_vec())
+    }
 }
 
 /// A Byzantine participant of the Exact BVC protocol: runs the honest message

@@ -173,6 +173,10 @@ impl SyncProcess for IterativeBvcProcess {
     fn output(&self) -> Option<Point> {
         self.decision.clone()
     }
+
+    fn trace_state(&self) -> Option<Vec<f64>> {
+        Some(self.state.coords().to_vec())
+    }
 }
 
 /// Byzantine participant of the iterative protocol: forges the state it

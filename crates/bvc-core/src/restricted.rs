@@ -162,6 +162,10 @@ impl SyncProcess for RestrictedSyncProcess {
     fn output(&self) -> Option<Point> {
         self.decision.clone()
     }
+
+    fn trace_state(&self) -> Option<Vec<f64>> {
+        Some(self.state.coords().to_vec())
+    }
 }
 
 /// Byzantine participant of the restricted synchronous algorithm: forges the

@@ -304,6 +304,18 @@ impl RunConfig {
         &self,
         protocol: ProtocolKind,
     ) -> Result<(BvcConfig, Topology), BvcError> {
+        let result = self.prepare_inner(protocol);
+        bvc_trace::emit(|| bvc_trace::TraceEvent::Admission {
+            ok: result.is_ok(),
+            detail: match &result {
+                Ok(_) => format!("{protocol} n={} f={} d={}", self.n, self.f, self.d),
+                Err(e) => e.to_string(),
+            },
+        });
+        result
+    }
+
+    fn prepare_inner(&self, protocol: ProtocolKind) -> Result<(BvcConfig, Topology), BvcError> {
         let mut core = BvcConfig::new(self.n, self.f, self.d)?
             .with_value_bounds(self.value_bounds.0, self.value_bounds.1)?;
         // ε is only validated for protocols judged against it — exact

@@ -178,7 +178,17 @@ impl BvcSession {
     /// Runs the execution with a custom [`ProtocolDriver`] (the pluggable
     /// entry point; `run()` is `run_with(<built-in driver>)`).
     pub fn run_with(self, driver: &dyn ProtocolDriver) -> RunReport {
-        let outcome = driver.execute(&self);
+        bvc_trace::emit(|| bvc_trace::TraceEvent::RunOpen {
+            protocol: self.protocol.name().to_string(),
+            n: self.core.n,
+            f: self.core.f,
+            d: self.core.d,
+        });
+        // Γ queries are attributed to the run as a cache-counter delta, so a
+        // config-shared cache still yields per-run totals.
+        let before = self.gamma_cache.counters();
+        let mut outcome = driver.execute(&self);
+        outcome.stats.gamma_queries = self.gamma_cache.counters().since(&before).queries();
         self.into_report(outcome)
     }
 
@@ -192,6 +202,13 @@ impl BvcSession {
             outcome.tolerance,
             &self.config.validity,
         );
+        bvc_trace::emit(|| bvc_trace::TraceEvent::ValidityCheck {
+            ok: verdict.all_hold(),
+            detail: format!(
+                "agreement={} validity={} termination={}",
+                verdict.agreement, verdict.validity, verdict.termination
+            ),
+        });
         let validity = self.protocol.setting().map(|setting| {
             validity_check(
                 setting,

@@ -18,16 +18,88 @@
 //! wholesale-cleared (deterministically; eviction can never change results,
 //! only cost).
 
-use crate::gamma::{contains_impl, find_point_presorted};
+use crate::gamma::{contains_impl_attr, find_point_presorted_attr, GammaAttribution};
 use crate::multiset::PointMultiset;
 use crate::point::Point;
 use crate::relaxed::{k_relaxed_point, relaxed_gamma_point, ValidityPredicate};
+use bvc_trace::{CacheLevel, GammaPath, GammaQueryKind, TraceEvent};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A Γ-results cache shared between the processes of a run.
 pub type SharedGammaCache = Arc<GammaCache>;
+
+/// A snapshot of a cache's query counters: the overall hit/miss split plus
+/// the per-path attribution of engine computations.  Two snapshots
+/// subtracted ([`since`](Self::since)) bound the queries of one run even
+/// when the cache is shared across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GammaCounters {
+    /// Queries answered from this cache's own maps.
+    pub hits: u64,
+    /// Queries this cache had to resolve elsewhere (parent chain or engine).
+    pub misses: u64,
+    /// The subset of `misses` answered by an ancestor cache.
+    pub parent_hits: u64,
+    /// Engine computations where the trimmed-box probe ran and missed.
+    pub probe_misses: u64,
+    /// Engine computations with no path attribution (relaxed-validity
+    /// decision rules, which bypass the strict engine ladder).
+    pub unattributed: u64,
+    /// Engine computations per [`GammaPath`] (indexed by
+    /// [`GammaPath::index`]).
+    pub paths: [u64; 8],
+}
+
+impl GammaCounters {
+    /// Total queries observed: hits plus misses.
+    pub fn queries(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Engine computations attributed to `path`.
+    pub fn path_count(&self, path: GammaPath) -> u64 {
+        self.paths[path.index()]
+    }
+
+    /// Counter deltas since an earlier snapshot of the same cache.
+    pub fn since(&self, earlier: &GammaCounters) -> GammaCounters {
+        let mut paths = [0u64; 8];
+        for (i, slot) in paths.iter_mut().enumerate() {
+            *slot = self.paths[i].saturating_sub(earlier.paths[i]);
+        }
+        GammaCounters {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            parent_hits: self.parent_hits.saturating_sub(earlier.parent_hits),
+            probe_misses: self.probe_misses.saturating_sub(earlier.probe_misses),
+            unattributed: self.unattributed.saturating_sub(earlier.unattributed),
+            paths,
+        }
+    }
+
+    /// Field-wise sum (for aggregating per-instance deltas).
+    pub fn absorb(&mut self, other: &GammaCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.parent_hits += other.parent_hits;
+        self.probe_misses += other.probe_misses;
+        self.unattributed += other.unattributed;
+        for (slot, add) in self.paths.iter_mut().zip(other.paths.iter()) {
+            *slot += add;
+        }
+    }
+
+    /// Every query is accounted for exactly once: local hits, parent hits,
+    /// attributed engine paths, and unattributed engine computations sum to
+    /// [`queries`](Self::queries).  (The trace stream's Γ breakdown relies
+    /// on the same partition.)
+    pub fn is_consistent(&self) -> bool {
+        let engine: u64 = self.paths.iter().sum::<u64>() + self.unattributed;
+        self.hits + self.parent_hits + engine == self.queries()
+    }
+}
 
 /// The validity regime of a cached point query.  Modes that are
 /// semantically strict (`AlphaScaled(0)`, `KRelaxed(k ≥ d)`) normalise to
@@ -86,6 +158,15 @@ fn point_bits(p: &Point) -> Vec<u64> {
     p.coords().iter().map(|c| c.to_bits()).collect()
 }
 
+/// How a parent-chain outcome looks one level down: any ancestor hit is a
+/// parent hit for the child; an engine computation stays a miss.
+fn demote(parent_level: CacheLevel) -> CacheLevel {
+    match parent_level {
+        CacheLevel::Local | CacheLevel::Parent => CacheLevel::Parent,
+        CacheLevel::Miss => CacheLevel::Miss,
+    }
+}
+
 /// Memoises safe-area queries across processes and rounds.
 ///
 /// A cache may chain to a **parent** ([`Self::with_parent`]): misses are
@@ -100,6 +181,10 @@ pub struct GammaCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    parent_hits: AtomicU64,
+    probe_misses: AtomicU64,
+    unattributed: AtomicU64,
+    paths: [AtomicU64; 8],
     parent: Option<SharedGammaCache>,
 }
 
@@ -139,6 +224,10 @@ impl GammaCache {
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            parent_hits: AtomicU64::new(0),
+            probe_misses: AtomicU64::new(0),
+            unattributed: AtomicU64::new(0),
+            paths: std::array::from_fn(|_| AtomicU64::new(0)),
             parent: None,
         }
     }
@@ -182,22 +271,56 @@ impl GammaCache {
         // Canonicalise once: the key and the (miss-path) engine both need
         // the canonical order.
         let canon = crate::gamma::canonical_order(y);
+        let (len, d) = (canon.len(), canon.dim());
+        let (value, level, attr) = self.find_point_levelled(canon, f);
+        bvc_trace::emit(|| TraceEvent::Gamma {
+            kind: GammaQueryKind::Point,
+            cache: level,
+            path: attr.as_ref().map(|a| a.path),
+            probe_missed: attr.as_ref().is_some_and(|a| a.probe_missed),
+            len,
+            f,
+            d,
+            found: value.is_some(),
+        });
+        value
+    }
+
+    /// Cache lookup + resolution without event emission: one `Gamma` trace
+    /// event must be recorded per *public* query, so parent delegation goes
+    /// through this levelled variant.  Counter bookkeeping (each cache's own
+    /// view) still happens at every level.
+    fn find_point_levelled(
+        &self,
+        canon: PointMultiset,
+        f: usize,
+    ) -> (Option<Point>, CacheLevel, Option<GammaAttribution>) {
         let key = key_of_canonical(&canon, f, ModeKey::Strict);
         if let Some(cached) = lock(&self.points).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+            self.note(CacheLevel::Local, None, false);
+            return (cached.clone(), CacheLevel::Local, None);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = match &self.parent {
-            Some(parent) => parent.find_point(&canon, f),
-            None => find_point_presorted(canon, f),
+        let (value, level, attr) = match &self.parent {
+            Some(parent) => {
+                let (value, parent_level, attr) = parent.find_point_levelled(canon, f);
+                (value, demote(parent_level), attr)
+            }
+            None => {
+                let (value, attr) = find_point_presorted_attr(canon, f);
+                (value, CacheLevel::Miss, Some(attr))
+            }
         };
+        self.note(
+            level,
+            attr.as_ref().map(|a| a.path),
+            attr.as_ref().is_some_and(|a| a.probe_missed),
+        );
         let mut map = lock(&self.points);
         if map.len() >= self.capacity {
             map.clear();
         }
         map.insert(key, value.clone());
-        value
+        (value, level, attr)
     }
 
     /// Memoised [`decision_point`](crate::relaxed::decision_point): the
@@ -228,29 +351,64 @@ impl GammaCache {
             y.len()
         );
         let canon = crate::gamma::canonical_order(y);
+        let (len, d) = (canon.len(), canon.dim());
+        let (value, level) = self.decision_levelled(canon, f, mode_key);
+        bvc_trace::emit(|| TraceEvent::Gamma {
+            kind: GammaQueryKind::Decision,
+            cache: level,
+            path: None,
+            probe_missed: false,
+            len,
+            f,
+            d,
+            found: value.is_some(),
+        });
+        value
+    }
+
+    /// Levelled (non-emitting) resolution of a genuinely relaxed decision
+    /// query.  Relaxed engines bypass the strict escalation ladder, so the
+    /// engine outcome carries no path attribution ([`GammaCounters`] counts
+    /// it under `unattributed`).  The k-relaxed strict leg goes through the
+    /// *public* [`find_point`](Self::find_point): it is a full strict query
+    /// in its own right and keeps its own counter increment and trace event.
+    fn decision_levelled(
+        &self,
+        canon: PointMultiset,
+        f: usize,
+        mode_key: ModeKey,
+    ) -> (Option<Point>, CacheLevel) {
         let key = key_of_canonical(&canon, f, mode_key.clone());
         if let Some(cached) = lock(&self.points).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+            self.note(CacheLevel::Local, None, false);
+            return (cached.clone(), CacheLevel::Local);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = match (&self.parent, &mode_key) {
-            (Some(parent), _) => parent.decision_point(&canon, f, mode),
-            (None, ModeKey::Strict) => unreachable!("strict-normalised modes return above"),
-            (None, ModeKey::Alpha(bits)) => relaxed_gamma_point(&canon, f, f64::from_bits(*bits)),
+        let (value, level) = match (&self.parent, &mode_key) {
+            (Some(parent), _) => {
+                let (value, parent_level) = parent.decision_levelled(canon, f, mode_key);
+                (value, demote(parent_level))
+            }
+            (None, ModeKey::Strict) => unreachable!("strict-normalised modes use find_point"),
+            (None, ModeKey::Alpha(bits)) => (
+                relaxed_gamma_point(&canon, f, f64::from_bits(*bits)),
+                CacheLevel::Miss,
+            ),
             // The k-relaxed rule prefers the strict Γ point; route that leg
             // through the cache so it shares the ModeKey::Strict entry
             // instead of re-solving the strict LP on every relaxed miss.
-            (None, ModeKey::K(k)) => self
-                .find_point(&canon, f)
-                .or_else(|| k_relaxed_point(&canon, f, *k)),
+            (None, ModeKey::K(k)) => (
+                self.find_point(&canon, f)
+                    .or_else(|| k_relaxed_point(&canon, f, *k)),
+                CacheLevel::Miss,
+            ),
         };
+        self.note(level, None, false);
         let mut map = lock(&self.points);
         if map.len() >= self.capacity {
             map.clear();
         }
         map.insert(key, value.clone());
-        value
+        (value, level)
     }
 
     /// Memoised [`gamma_contains`](crate::gamma_contains).
@@ -259,22 +417,50 @@ impl GammaCache {
     ///
     /// Panics if `f >= y.len()` or the dimensions disagree.
     pub fn contains(&self, y: &PointMultiset, f: usize, point: &Point) -> bool {
+        let (value, level, path) = self.contains_levelled(y, f, point);
+        bvc_trace::emit(|| TraceEvent::Gamma {
+            kind: GammaQueryKind::Membership,
+            cache: level,
+            path,
+            probe_missed: false,
+            len: y.len(),
+            f,
+            d: y.dim(),
+            found: value,
+        });
+        value
+    }
+
+    /// Levelled (non-emitting) membership resolution; see
+    /// [`find_point_levelled`](Self::find_point_levelled).
+    fn contains_levelled(
+        &self,
+        y: &PointMultiset,
+        f: usize,
+        point: &Point,
+    ) -> (bool, CacheLevel, Option<GammaPath>) {
         let key = (multiset_key(y, f), point_bits(point));
         if let Some(&cached) = lock(&self.membership).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached;
+            self.note(CacheLevel::Local, None, false);
+            return (cached, CacheLevel::Local, None);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = match &self.parent {
-            Some(parent) => parent.contains(y, f, point),
-            None => contains_impl(y, f, point),
+        let (value, level, path) = match &self.parent {
+            Some(parent) => {
+                let (value, parent_level, path) = parent.contains_levelled(y, f, point);
+                (value, demote(parent_level), path)
+            }
+            None => {
+                let (value, path) = contains_impl_attr(y, f, point);
+                (value, CacheLevel::Miss, Some(path))
+            }
         };
+        self.note(level, path, false);
         let mut map = lock(&self.membership);
         if map.len() >= self.capacity {
             map.clear();
         }
         map.insert(key, value);
-        value
+        (value, level, path)
     }
 
     /// Memoised [`gamma_is_empty`](crate::gamma_is_empty) (piggybacks on the
@@ -287,6 +473,36 @@ impl GammaCache {
         self.find_point(y, f).is_none()
     }
 
+    /// Records this cache's own view of one resolved query.  `Local` keeps
+    /// the historical `hits` semantics; both `Parent` and `Miss` count as
+    /// `misses` (the query was not answered from this cache's maps), with
+    /// the finer split carried by `parent_hits` / the path counters.
+    fn note(&self, level: CacheLevel, path: Option<GammaPath>, probe_missed: bool) {
+        match level {
+            CacheLevel::Local => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheLevel::Parent => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.parent_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheLevel::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                match path {
+                    Some(p) => {
+                        self.paths[p.index()].fetch_add(1, Ordering::Relaxed);
+                        if probe_missed {
+                            self.probe_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    None => {
+                        self.unattributed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
     /// Queries answered from the cache.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -295,6 +511,24 @@ impl GammaCache {
     /// Queries that had to be computed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every counter (hit/miss split, parent hits, and per-path
+    /// engine attribution).  Snapshots taken around a run and subtracted
+    /// with [`GammaCounters::since`] isolate that run's queries.
+    pub fn counters(&self) -> GammaCounters {
+        let mut paths = [0u64; 8];
+        for (slot, counter) in paths.iter_mut().zip(self.paths.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        GammaCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            parent_hits: self.parent_hits.load(Ordering::Relaxed),
+            probe_misses: self.probe_misses.load(Ordering::Relaxed),
+            unattributed: self.unattributed.load(Ordering::Relaxed),
+            paths,
+        }
     }
 
     /// Entries currently stored across both query kinds.
@@ -472,6 +706,55 @@ mod tests {
             chained.contains(&y, 1, &probe),
             cold.contains(&y, 1, &probe)
         );
+    }
+
+    #[test]
+    fn counters_partition_queries_by_level_and_path() {
+        let parent = GammaCache::shared();
+        let child = GammaCache::with_parent(Arc::clone(&parent));
+        let y = square_plus_centre();
+
+        // Engine computation through the chain: both caches record a miss,
+        // both attribute the engine path; neither records a parent hit.
+        let _ = child.find_point(&y, 1);
+        let c = child.counters();
+        assert_eq!((c.hits, c.misses, c.parent_hits), (0, 1, 0));
+        assert_eq!(c.paths.iter().sum::<u64>(), 1);
+        assert!(c.is_consistent());
+
+        // Local hit: only `hits` moves.
+        let _ = child.find_point(&y, 1);
+        let c = child.counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+        assert!(c.is_consistent());
+
+        // A sibling child misses locally but the parent answers: that is a
+        // parent hit, not an engine path.
+        let sibling = GammaCache::with_parent(Arc::clone(&parent));
+        let _ = sibling.find_point(&y, 1);
+        let s = sibling.counters();
+        assert_eq!((s.hits, s.misses, s.parent_hits), (0, 1, 1));
+        assert_eq!(s.paths.iter().sum::<u64>(), 0);
+        assert!(s.is_consistent());
+        assert!(parent.counters().is_consistent());
+
+        // Membership attribution lands in the path table too.
+        let probe = Point::new(vec![2.0, 2.0]);
+        let _ = child.contains(&y, 1, &probe);
+        let c2 = child.counters();
+        assert_eq!(c2.queries(), 3);
+        assert!(c2.is_consistent());
+
+        // Relaxed decisions are engine computations without a ladder path.
+        let _ = child.decision_point(&y, 2, &ValidityPredicate::AlphaScaled(2.0));
+        let c3 = child.counters();
+        assert_eq!(c3.unattributed, 1);
+        assert!(c3.is_consistent());
+
+        // Deltas between snapshots isolate a window.
+        let delta = c3.since(&c2);
+        assert_eq!(delta.queries(), 1);
+        assert_eq!(delta.unattributed, 1);
     }
 
     #[test]

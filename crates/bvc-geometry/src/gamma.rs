@@ -42,7 +42,23 @@ use crate::combinatorics::{binomial, combinations, Combinations};
 use crate::hull::{ConvexHull, HULL_TOLERANCE};
 use crate::multiset::PointMultiset;
 use crate::point::Point;
+use bvc_trace::GammaPath;
+use std::cell::Cell;
 use std::cmp::Ordering;
+
+/// Which engine path resolved a point-selection query, plus whether the
+/// trimmed-box probe was tried and missed on the way there.  This is the
+/// raw material of the Γ hot-path breakdown: the cache front end counts it,
+/// the trace stream carries it, and `perf-snapshot` publishes hit rates
+/// from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GammaAttribution {
+    /// The path that produced the answer.
+    pub path: GammaPath,
+    /// `true` when the trimmed-box centre probe ran and failed membership
+    /// before the answering path took over.
+    pub probe_missed: bool,
+}
 
 /// Tolerance of the `d = 1` closed-form interval test, aligned with the LP
 /// phase-1 feasibility threshold so the closed form and the solver agree
@@ -139,6 +155,16 @@ pub fn gamma_point(y: &PointMultiset, f: usize) -> Option<Point> {
     find_point_impl(y, f)
 }
 
+/// [`gamma_point`] with outcome attribution: which fast path served the
+/// query and whether the trimmed-box probe missed on the way.
+///
+/// # Panics
+///
+/// Panics if `f >= y.len()`.
+pub fn gamma_point_attributed(y: &PointMultiset, f: usize) -> (Option<Point>, GammaAttribution) {
+    find_point_impl_attr(y, f)
+}
+
 /// Returns `true` if `point ∈ Γ(y)` with fault bound `f`.
 ///
 /// # Panics
@@ -209,15 +235,28 @@ pub(crate) fn trimmed_bounds(y: &PointMultiset, f: usize) -> (Vec<f64>, Vec<f64>
 }
 
 pub(crate) fn find_point_impl(y: &PointMultiset, f: usize) -> Option<Point> {
+    find_point_impl_attr(y, f).0
+}
+
+pub(crate) fn find_point_impl_attr(
+    y: &PointMultiset,
+    f: usize,
+) -> (Option<Point>, GammaAttribution) {
     assert!(
         f < y.len(),
         "fault bound f = {f} must be smaller than |Y| = {}",
         y.len()
     );
     if y.dim() == 1 {
-        return d1_find_point(y, f);
+        return (
+            d1_find_point(y, f),
+            GammaAttribution {
+                path: GammaPath::D1ClosedForm,
+                probe_missed: false,
+            },
+        );
     }
-    find_point_presorted(canonical_order(y), f)
+    find_point_presorted_attr(canonical_order(y), f)
 }
 
 /// Closed-form `d = 1` point selection: the midpoint of the trimmed
@@ -232,15 +271,28 @@ fn d1_find_point(y: &PointMultiset, f: usize) -> Option<Point> {
     (lo <= hi + D1_TOLERANCE).then(|| Point::new(vec![0.5 * (lo + hi)]))
 }
 
-/// [`find_point_impl`] for a multiset already in canonical order (`d ≥ 2`):
-/// lets callers that computed the canonical order for other purposes (the
-/// cache builds its key from it) avoid sorting twice.
-pub(crate) fn find_point_presorted(canon: PointMultiset, f: usize) -> Option<Point> {
+/// [`find_point_impl_attr`] for a multiset already in canonical order
+/// (`d ≥ 2`): lets callers that computed the canonical order for other
+/// purposes (the cache builds its key from it) avoid sorting twice.
+pub(crate) fn find_point_presorted_attr(
+    canon: PointMultiset,
+    f: usize,
+) -> (Option<Point>, GammaAttribution) {
+    let attributed = |path| GammaAttribution {
+        path,
+        probe_missed: false,
+    };
     if canon.dim() == 1 {
-        return d1_find_point(&canon, f);
+        return (
+            d1_find_point(&canon, f),
+            attributed(GammaPath::D1ClosedForm),
+        );
     }
     if f == 0 {
-        return ConvexHull::common_point(&[ConvexHull::new(canon)]);
+        return (
+            ConvexHull::common_point(&[ConvexHull::new(canon)]),
+            attributed(GammaPath::HullF0),
+        );
     }
     // Cheap deterministic probe before any joint LP: the centre of the
     // trimmed bounding box.  When the honest states have converged into a
@@ -252,9 +304,20 @@ pub(crate) fn find_point_presorted(canon: PointMultiset, f: usize) -> Option<Poi
     let (lo, hi) = trimmed_bounds(&canon, f);
     let centre = Point::new(lo.iter().zip(&hi).map(|(l, h)| 0.5 * (l + h)).collect());
     if contains_impl(&canon, f, &centre) {
-        return Some(centre);
+        return (Some(centre), attributed(GammaPath::ProbeHit));
     }
-    find_point_active(&canon, f)
+    let (value, naive_used) = find_point_active(&canon, f);
+    (
+        value,
+        GammaAttribution {
+            path: if naive_used {
+                GammaPath::NaiveFallback
+            } else {
+                GammaPath::ActiveSetLp
+            },
+            probe_missed: true,
+        },
+    )
 }
 
 /// Active-set search for a point of `Γ(Y)`: the shared working-set loop
@@ -262,7 +325,8 @@ pub(crate) fn find_point_presorted(canon: PointMultiset, f: usize) -> Option<Poi
 /// hulls, materialised on demand from the streamed combination enumerator
 /// (the shared loop requests each ordinal at most once, and only in
 /// non-decreasing order, so one forward pass over the stream suffices).
-fn find_point_active(y: &PointMultiset, f: usize) -> Option<Point> {
+/// The second return flags whether the naive monolithic fallback ran.
+fn find_point_active(y: &PointMultiset, f: usize) -> (Option<Point>, bool) {
     let m = y.len();
     let k = m - f;
     let count = usize::try_from(binomial(m, k)).unwrap_or(usize::MAX);
@@ -277,7 +341,12 @@ fn find_point_active(y: &PointMultiset, f: usize) -> Option<Point> {
         }
         ConvexHull::new(y.select(&index_lists[ordinal]))
     };
-    ConvexHull::active_set_common_point(count, hull_at, || naive_find_point(y, f))
+    let naive_used = Cell::new(false);
+    let value = ConvexHull::active_set_common_point(count, hull_at, || {
+        naive_used.set(true);
+        naive_find_point(y, f)
+    });
+    (value, naive_used.get())
 }
 
 /// The naive all-LPs formulation (every hull materialised, one monolithic
@@ -293,6 +362,12 @@ fn naive_find_point(y: &PointMultiset, f: usize) -> Option<Point> {
 }
 
 pub(crate) fn contains_impl(y: &PointMultiset, f: usize, point: &Point) -> bool {
+    contains_impl_attr(y, f, point).0
+}
+
+/// [`contains_impl`] with attribution of the branch that decided
+/// membership.
+pub(crate) fn contains_impl_attr(y: &PointMultiset, f: usize, point: &Point) -> (bool, GammaPath) {
     assert!(
         f < y.len(),
         "fault bound f = {f} must be smaller than |Y| = {}",
@@ -306,10 +381,16 @@ pub(crate) fn contains_impl(y: &PointMultiset, f: usize, point: &Point) -> bool 
     if y.dim() == 1 {
         let (lo, hi) = d1_interval(y, f);
         let c = point.coord(0);
-        return c >= lo - D1_TOLERANCE && c <= hi + D1_TOLERANCE;
+        return (
+            c >= lo - D1_TOLERANCE && c <= hi + D1_TOLERANCE,
+            GammaPath::D1ClosedForm,
+        );
     }
     if f == 0 {
-        return ConvexHull::new(y.clone()).contains(point);
+        return (
+            ConvexHull::new(y.clone()).contains(point),
+            GammaPath::HullF0,
+        );
     }
     // Multiplicity accept: a point equal to more than `f` members survives
     // every removal of `f` members.
@@ -318,7 +399,7 @@ pub(crate) fn contains_impl(y: &PointMultiset, f: usize, point: &Point) -> bool 
         .filter(|g| g.approx_eq(point, MEMBER_EQ_TOLERANCE))
         .count();
     if copies > f {
-        return true;
+        return (true, GammaPath::MultiplicityAccept);
     }
     // Trimmed bounding-box reject: Γ(Y) lies inside the per-coordinate
     // trimmed range.
@@ -329,17 +410,17 @@ pub(crate) fn contains_impl(y: &PointMultiset, f: usize, point: &Point) -> bool 
         .zip(lo.iter().zip(&hi))
         .any(|(&c, (&l, &h))| c < l - HULL_TOLERANCE || c > h + HULL_TOLERANCE)
     {
-        return false;
+        return (false, GammaPath::BoxReject);
     }
     // Stream the subsets and short-circuit on the first refuting hull.
     let m = y.len();
     let mut stream = Combinations::new(m, m - f);
     while let Some(idx) = stream.next_ref() {
         if !ConvexHull::new(y.select(idx)).contains(point) {
-            return false;
+            return (false, GammaPath::StreamScan);
         }
     }
-    true
+    (true, GammaPath::StreamScan)
 }
 
 pub(crate) fn is_empty_impl(y: &PointMultiset, f: usize) -> bool {
@@ -642,6 +723,66 @@ mod tests {
         let y = pts(&[&[0.0], &[1.0]]);
         assert!(gamma_is_empty(&y, 1));
         assert!(gamma_point(&y, 1).is_none());
+    }
+
+    #[test]
+    fn attribution_reports_the_answering_path() {
+        // d = 1 resolves in closed form.
+        let scalar = pts(&[&[0.0], &[1.0], &[2.0]]);
+        let (p, attr) = gamma_point_attributed(&scalar, 1);
+        assert!(p.is_some());
+        assert_eq!(attr.path, GammaPath::D1ClosedForm);
+        assert!(!attr.probe_missed);
+
+        // f = 0 is a single full-hull LP.
+        let square = pts(&[&[0.0, 0.0], &[2.0, 0.0], &[0.0, 2.0]]);
+        let (_, attr) = gamma_point_attributed(&square, 0);
+        assert_eq!(attr.path, GammaPath::HullF0);
+
+        // Square + centre: the trimmed-box centre is a member of Γ, so the
+        // probe serves the query.
+        let clustered = pts(&[
+            &[0.0, 0.0],
+            &[4.0, 0.0],
+            &[0.0, 4.0],
+            &[4.0, 4.0],
+            &[2.0, 2.0],
+        ]);
+        let (p, attr) = gamma_point_attributed(&clustered, 1);
+        assert!(p.is_some());
+        assert_eq!(attr.path, GammaPath::ProbeHit);
+
+        // An empty Γ can never be served by the probe: the LP path reports
+        // the miss.
+        let empty = pts(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]);
+        let (p, attr) = gamma_point_attributed(&empty, 1);
+        assert!(p.is_none());
+        assert!(attr.probe_missed);
+        assert!(matches!(
+            attr.path,
+            GammaPath::ActiveSetLp | GammaPath::NaiveFallback
+        ));
+    }
+
+    #[test]
+    fn membership_attribution_names_the_deciding_branch() {
+        let y = pts(&[
+            &[0.0, 0.0],
+            &[4.0, 0.0],
+            &[0.0, 4.0],
+            &[4.0, 4.0],
+            &[2.0, 2.0],
+        ]);
+        let (ok, path) = contains_impl_attr(&y, 1, &Point::new(vec![-1.0, 2.0]));
+        assert!(!ok);
+        assert_eq!(path, GammaPath::BoxReject);
+        let (ok, path) = contains_impl_attr(&y, 1, &Point::new(vec![2.0, 2.0]));
+        assert!(ok);
+        assert_eq!(path, GammaPath::StreamScan);
+        let dup = pts(&[&[1.0, 1.0], &[1.0, 1.0], &[9.0, 0.0], &[0.0, 9.0]]);
+        let (ok, path) = contains_impl_attr(&dup, 1, &Point::new(vec![1.0, 1.0]));
+        assert!(ok);
+        assert_eq!(path, GammaPath::MultiplicityAccept);
     }
 
     #[test]

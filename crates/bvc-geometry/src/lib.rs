@@ -50,10 +50,10 @@ pub mod relaxed;
 pub mod tverberg;
 pub mod workload;
 
-pub use cache::{GammaCache, SharedGammaCache};
+pub use cache::{GammaCache, GammaCounters, SharedGammaCache};
 pub use gamma::{
-    common_point_of_subsets, gamma_contains, gamma_is_empty, gamma_point, gamma_subset_indices,
-    leave_one_out_intersection, lp_size, SafeArea,
+    common_point_of_subsets, gamma_contains, gamma_is_empty, gamma_point, gamma_point_attributed,
+    gamma_subset_indices, leave_one_out_intersection, lp_size, GammaAttribution, SafeArea,
 };
 pub use hull::ConvexHull;
 pub use multiset::PointMultiset;

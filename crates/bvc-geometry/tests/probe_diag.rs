@@ -1,0 +1,37 @@
+//! Path-attribution breakdown of the `gamma_point n=10 f=2 d=3` benchmark
+//! row — the reproduction referenced from the README's "Case study: the
+//! n = 10, f = 2, d = 3 outlier" section.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p bvc-geometry --test probe_diag -- --ignored --nocapture
+//! ```
+//!
+//! Expected shape of the output (timings vary, attribution does not):
+//! 6 of the 24 seeds hit the trimmed-box probe, 17 escalate to the
+//! active-set LP, and seed 1016 falls all the way back to the naive
+//! all-hulls joint LP and still reports `found = false` — the Lemma-1
+//! sub-tolerance sliver that dominates the row's wall clock.  Ignored by
+//! default because the naive-fallback seed alone takes over a second in
+//! debug builds.
+
+use bvc_geometry::{gamma_point_attributed, PointMultiset, WorkloadGenerator};
+
+#[test]
+#[ignore]
+fn diagnose_n10_f2_d3() {
+    for s in 0..24u64 {
+        let y: PointMultiset = WorkloadGenerator::new(1000 + s).box_points(10, 3, 0.0, 1.0);
+        let start = std::time::Instant::now();
+        let (point, attribution) = gamma_point_attributed(&y, 2);
+        let us = start.elapsed().as_micros();
+        println!(
+            "seed {:4}  found={}  path={:?}  probe_missed={}  {us:>8} us",
+            1000 + s,
+            point.is_some(),
+            attribution.path,
+            attribution.probe_missed,
+        );
+    }
+}

@@ -29,6 +29,18 @@ pub enum SolveStatus {
     Stalled,
 }
 
+impl SolveStatus {
+    /// Stable lower-case wire name used in trace streams.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::Unbounded => "unbounded",
+            SolveStatus::Stalled => "stalled",
+        }
+    }
+}
+
 /// How much of the two-phase method to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum SolveMode {
@@ -226,10 +238,26 @@ pub(crate) fn solve_two_phase(
 ) -> Solution {
     let lay = layout(lp);
     let m = lp.num_constraints();
+    // Pin the workspace to the current trace scope *before* leasing
+    // buffers: crossing scopes drops the pools, so a physical reuse is
+    // always a same-scope one and traces stay byte-identical across
+    // worker counts.
+    workspace.stamp_scope(bvc_trace::scope_token());
+    let reuses_before = workspace.reuses();
     let mut tableau = Tableau::from_workspace(m, lay.total_cols, workspace);
+    let reused = workspace.reuses() > reuses_before;
     fill_tableau(lp, &lay, &mut tableau);
     let solution = run_phases(lp, &lay, &mut tableau, workspace, mode);
+    let pivots = tableau.pivots();
     tableau.recycle(workspace);
+    bvc_trace::emit(|| bvc_trace::TraceEvent::Simplex {
+        rows: m,
+        cols: lay.total_cols,
+        pivots,
+        class: crate::workspace::class_of((m + 1) * (lay.total_cols + 1)),
+        reused,
+        status: solution.status.wire_name().to_string(),
+    });
     solution
 }
 

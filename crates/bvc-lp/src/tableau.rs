@@ -37,6 +37,8 @@ pub(crate) struct Tableau {
     data: Vec<f64>,
     /// `basis[r]` is the column index of the basic variable of row `r`.
     basis: Vec<usize>,
+    /// Pivots performed on this tableau (all phases), for solve profiling.
+    pivots: u64,
 }
 
 impl Tableau {
@@ -50,6 +52,7 @@ impl Tableau {
             cols,
             data: vec![0.0; (rows + 1) * (cols + 1)],
             basis: vec![0; rows],
+            pivots: 0,
         }
     }
 
@@ -65,7 +68,13 @@ impl Tableau {
             cols,
             data: workspace.take_f64((rows + 1) * (cols + 1)),
             basis: workspace.take_usize(rows),
+            pivots: 0,
         }
+    }
+
+    /// Pivots performed so far (all phases).
+    pub(crate) fn pivots(&self) -> u64 {
+        self.pivots
     }
 
     /// Hands the tableau's buffers back to `workspace` for reuse.
@@ -196,6 +205,7 @@ impl Tableau {
     /// from every other row (including the objective row), walking contiguous
     /// row slices.
     pub(crate) fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        self.pivots += 1;
         let stride = self.stride();
         let pivot_element = self.get(pivot_row, pivot_col);
         debug_assert!(

@@ -29,6 +29,9 @@ pub struct SimplexWorkspace {
     bool_slots: Vec<Vec<bool>>,
     reuses: u64,
     allocations: u64,
+    /// Trace-scope token of the previous solve, for the logical `reused`
+    /// flag of the traced simplex event (see [`SimplexWorkspace::stamp_scope`]).
+    trace_stamp: Option<u64>,
 }
 
 impl Default for SimplexWorkspace {
@@ -40,7 +43,7 @@ impl Default for SimplexWorkspace {
 /// The size class of a requested length: the exponent of the smallest power
 /// of two that fits `len`.
 #[inline]
-fn class_of(len: usize) -> usize {
+pub(crate) fn class_of(len: usize) -> usize {
     (len.max(1).next_power_of_two().trailing_zeros() as usize).min(NUM_CLASSES - 1)
 }
 
@@ -53,6 +56,29 @@ impl SimplexWorkspace {
             bool_slots: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
             reuses: 0,
             allocations: 0,
+            trace_stamp: None,
+        }
+    }
+
+    /// Pins the workspace to a trace scope: when `token` differs from the
+    /// previous stamp the pooled buffers are dropped, so a physical reuse
+    /// is always a *same-scope* reuse.  Without this, a thread-local
+    /// workspace warmed by another instance (or by an earlier traced run on
+    /// the same thread) would make the traced `reused` flag depend on
+    /// worker scheduling.  Untraced runs always pass `None`, so the pools
+    /// are never cleared when tracing is off.
+    pub fn stamp_scope(&mut self, token: Option<u64>) {
+        if self.trace_stamp != token {
+            self.trace_stamp = token;
+            for slot in &mut self.f64_slots {
+                *slot = Vec::new();
+            }
+            for slot in &mut self.usize_slots {
+                *slot = Vec::new();
+            }
+            for slot in &mut self.bool_slots {
+                *slot = Vec::new();
+            }
         }
     }
 

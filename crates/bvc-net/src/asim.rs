@@ -198,6 +198,15 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
         };
 
         while stats.steps < self.max_steps && now < tick_cap {
+            for event in self.faults.events() {
+                if event.start == now {
+                    bvc_trace::emit(|| bvc_trace::TraceEvent::FaultWindow {
+                        round: now,
+                        kind: event.kind.name().to_string(),
+                        detail: format!("ticks {}..{}", event.start, event.end()),
+                    });
+                }
+            }
             if decided(&self.processes) {
                 return AsyncOutcome {
                     outputs: self.processes.iter().map(|p| p.output()).collect(),
@@ -231,6 +240,11 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
                 .expect("channel selected among eligible channels");
             stats.record_delivered(to);
             stats.steps += 1;
+            bvc_trace::emit(|| bvc_trace::TraceEvent::Deliver {
+                time: now,
+                from,
+                to,
+            });
             now += 1;
             let outgoing = self.processes[to].on_message(ProcessId::new(from), msg);
             enqueue(
@@ -316,12 +330,27 @@ fn enqueue<M>(
 ) {
     stats.record_sent(from, outgoing.len());
     for Outgoing { to, msg } in outgoing {
+        bvc_trace::emit(|| bvc_trace::TraceEvent::Send {
+            time: now,
+            from,
+            to: to.index(),
+        });
         if to.index() >= n || !topology.has_edge(from, to.index()) {
+            bvc_trace::emit(|| bvc_trace::TraceEvent::Vanish {
+                time: now,
+                from,
+                to: to.index(),
+            });
             continue;
         }
         let drop_probability = faults.drop_probability(now, from, to.index());
         if drop_probability > 0.0 && fault_rng.gen_bool(drop_probability) {
             stats.record_dropped(from);
+            bvc_trace::emit(|| bvc_trace::TraceEvent::Drop {
+                time: now,
+                from,
+                to: to.index(),
+            });
             continue;
         }
         let due = now.saturating_add(faults.extra_latency(now, from, to.index()));

@@ -118,6 +118,10 @@ pub struct ExecutionStats {
     /// Per-process counters, indexed by process id.  Empty when the executor
     /// does not attribute messages (e.g. the threaded runtime).
     pub per_process: Vec<ProcessCounters>,
+    /// Γ queries issued through the run's cache front end, when the driver
+    /// measured them (cache-counter delta around the execution); `0` when
+    /// the protocol does no geometry or the driver does not track it.
+    pub gamma_queries: u64,
 }
 
 impl ExecutionStats {
@@ -162,6 +166,7 @@ impl ExecutionStats {
         self.messages_sent += other.messages_sent;
         self.messages_dropped += other.messages_dropped;
         self.steps += other.steps;
+        self.gamma_queries += other.gamma_queries;
         if self.per_process.len() < other.per_process.len() {
             self.per_process
                 .resize(other.per_process.len(), ProcessCounters::default());

@@ -44,6 +44,53 @@ pub trait SyncProcess {
 
     /// The process's decision, once reached.
     fn output(&self) -> Option<Self::Output>;
+
+    /// Optional state report for tracing: the process's current protocol
+    /// state as a coordinate vector.  Honest protocol processes override
+    /// this so the executor can record the per-round state spread in
+    /// `round_close` trace events; the default (`None`) opts out (Byzantine
+    /// wrappers, toy processes).  Never called unless tracing is active.
+    fn trace_state(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// L∞ diameter of the reported states: the largest per-coordinate spread
+/// over processes that opted into state reporting.  `None` when fewer than
+/// two processes report (or dimensions disagree).
+fn state_spread<M: Clone, O: Clone>(
+    processes: &[Box<dyn SyncProcess<Msg = M, Output = O>>],
+) -> Option<f64> {
+    let mut lo: Vec<f64> = Vec::new();
+    let mut hi: Vec<f64> = Vec::new();
+    let mut reporting = 0usize;
+    for process in processes {
+        let Some(state) = process.trace_state() else {
+            continue;
+        };
+        if reporting == 0 {
+            lo = state.clone();
+            hi = state;
+        } else {
+            if state.len() != lo.len() {
+                return None;
+            }
+            for (i, v) in state.iter().enumerate() {
+                lo[i] = lo[i].min(*v);
+                hi[i] = hi[i].max(*v);
+            }
+        }
+        reporting += 1;
+    }
+    if reporting < 2 {
+        return None;
+    }
+    lo.iter()
+        .zip(&hi)
+        .map(|(l, h)| h - l)
+        .fold(None, |acc: Option<f64>, s| {
+            Some(acc.map_or(s, |a| a.max(s)))
+        })
 }
 
 /// Outcome of running a synchronous execution to completion.
@@ -216,16 +263,41 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
 
         for round in 1..=self.max_rounds {
             rounds_executed = round;
+            bvc_trace::emit(|| bvc_trace::TraceEvent::RoundOpen { round });
+            for event in self.faults.events() {
+                if event.start == round {
+                    bvc_trace::emit(|| bvc_trace::TraceEvent::FaultWindow {
+                        round,
+                        kind: event.kind.name().to_string(),
+                        detail: format!("rounds {}..{}", event.start, event.end()),
+                    });
+                }
+            }
             for (index, process) in self.processes.iter_mut().enumerate() {
                 let outgoing = process.round(round, &inboxes[index]);
                 stats.record_sent(index, outgoing.len());
                 for Outgoing { to, msg } in outgoing {
+                    bvc_trace::emit(|| bvc_trace::TraceEvent::Send {
+                        time: round,
+                        from: index,
+                        to: to.index(),
+                    });
                     if to.index() >= n || !self.topology.has_edge(index, to.index()) {
+                        bvc_trace::emit(|| bvc_trace::TraceEvent::Vanish {
+                            time: round,
+                            from: index,
+                            to: to.index(),
+                        });
                         continue;
                     }
                     let drop_probability = self.faults.drop_probability(round, index, to.index());
                     if drop_probability > 0.0 && fault_rng.gen_bool(drop_probability) {
                         stats.record_dropped(index);
+                        bvc_trace::emit(|| bvc_trace::TraceEvent::Drop {
+                            time: round,
+                            from: index,
+                            to: to.index(),
+                        });
                         continue;
                     }
                     let due = (round + 1).saturating_add(self.faults.extra_latency(
@@ -256,10 +328,22 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
                         let (_, msg) = pending[from][to].pop_front().expect("head checked above");
                         next_inboxes[to].push(Delivery::new(ProcessId::new(from), msg));
                         stats.record_delivered(to);
+                        bvc_trace::emit(|| bvc_trace::TraceEvent::Deliver {
+                            time: next_round,
+                            from,
+                            to,
+                        });
                     }
                 }
             }
             inboxes = next_inboxes;
+
+            // The spread computation walks every process, so gate it on an
+            // installed tracer rather than relying on emit's lazy closure.
+            if bvc_trace::is_active() {
+                let spread = state_spread(&self.processes);
+                bvc_trace::emit(|| bvc_trace::TraceEvent::RoundClose { round, spread });
+            }
 
             let all_decided = wait_for
                 .iter()

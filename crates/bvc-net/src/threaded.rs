@@ -101,6 +101,12 @@ where
     let sent = Arc::new(AtomicUsize::new(0));
 
     let topology = Arc::new(topology);
+    // Hand the caller's trace scope (if any) to the worker threads: each
+    // process traces into its own slot (index + 1; slot 0 stays with the
+    // spawning thread), so a sorted trace groups events per process in a
+    // canonical order.  Event *content* still reflects real scheduling and
+    // is not byte-deterministic — see the bvc-trace determinism contract.
+    let trace_handle = bvc_trace::current_handle();
     let mut handles = Vec::with_capacity(n);
     for ((index, mut process), my_rx) in processes.into_iter().enumerate().zip(receivers) {
         let all_tx = senders.clone();
@@ -109,13 +115,28 @@ where
         let delivered = Arc::clone(&delivered);
         let sent = Arc::clone(&sent);
         let topology = Arc::clone(&topology);
+        let trace_handle = trace_handle.clone();
         let handle = thread::spawn(move || {
+            let slot = u32::try_from(index + 1).unwrap_or(u32::MAX);
+            let _trace_scope = trace_handle.map(|h| bvc_trace::install(h, slot));
             let me = ProcessId::new(index);
-            let dispatch = |outgoing: Vec<Outgoing<M>>| {
+            // Local logical clock: deliveries handled by this thread so far.
+            let mut local_step = 0usize;
+            let dispatch = |local_step: usize, outgoing: Vec<Outgoing<M>>| {
                 for Outgoing { to, msg } in outgoing {
                     if to.index() < all_tx.len() {
                         sent.fetch_add(1, Ordering::Relaxed);
+                        bvc_trace::emit(|| bvc_trace::TraceEvent::Send {
+                            time: local_step,
+                            from: index,
+                            to: to.index(),
+                        });
                         if !topology.has_edge(index, to.index()) {
+                            bvc_trace::emit(|| bvc_trace::TraceEvent::Vanish {
+                                time: local_step,
+                                from: index,
+                                to: to.index(),
+                            });
                             continue;
                         }
                         // A send only fails if the receiver hung up, which
@@ -124,7 +145,7 @@ where
                     }
                 }
             };
-            dispatch(process.on_start());
+            dispatch(local_step, process.on_start());
             if let Some(out) = process.output() {
                 outputs.lock().expect("outputs lock poisoned")[index] = Some(out);
             }
@@ -132,8 +153,14 @@ where
                 match my_rx.recv_timeout(Duration::from_millis(5)) {
                     Ok(envelope) => {
                         delivered.fetch_add(1, Ordering::Relaxed);
+                        local_step += 1;
+                        bvc_trace::emit(|| bvc_trace::TraceEvent::Deliver {
+                            time: local_step,
+                            from: envelope.from.index(),
+                            to: index,
+                        });
                         let outgoing = process.on_message(envelope.from, envelope.msg);
-                        dispatch(outgoing);
+                        dispatch(local_step, outgoing);
                         if let Some(out) = process.output() {
                             outputs.lock().expect("outputs lock poisoned")[index] = Some(out);
                         }

@@ -2,18 +2,26 @@
 //!
 //! ```text
 //! cargo run -p bvc-scenario --bin scenario-run -- \
-//!     --scenario scenarios/partition_heal.toml [--seed 42] [--strategy equivocate]
+//!     --scenario scenarios/partition_heal.toml [--seed 42] [--strategy equivocate] \
+//!     [--trace trace.jsonl]
 //! ```
 //!
 //! The verdict goes to stdout as a single JSON line; identical scenario and
-//! seed produce byte-identical output.  Exit code 0 means the instance ran
-//! (a violated verdict is data, not an error); 2 means it could not run.
+//! seed produce byte-identical output.  `--trace` additionally writes the
+//! run's deterministic `bvc-trace/v1` event stream to the given path — the
+//! verdict line is byte-identical with and without it.  Exit code 0 means
+//! the instance ran (a violated verdict is data, not an error); 2 means it
+//! could not run.
 
 use bvc_scenario::{parse_strategy, run_scenario, ScenarioSpec};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: scenario-run --scenario <file.toml> [--seed <u64>] [--strategy <name>]");
+    eprintln!(
+        "usage: scenario-run --scenario <file.toml> [--seed <u64>] [--strategy <name>] \
+         [--trace <file.jsonl>]"
+    );
     std::process::exit(2);
 }
 
@@ -22,9 +30,11 @@ fn main() -> ExitCode {
     let mut scenario_path: Option<String> = None;
     let mut seed_override: Option<u64> = None;
     let mut strategy_override: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scenario" => scenario_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
             "--seed" => {
                 let value = args.next().unwrap_or_else(|| usage());
                 match value.parse() {
@@ -71,13 +81,23 @@ fn main() -> ExitCode {
         None => spec.strategy,
     };
 
-    match run_scenario(&spec, seed, strategy, spec.policy.clone()) {
-        Ok(outcome) => {
+    let result = bvc_trace::run_traced(trace_path.as_deref().map(Path::new), || {
+        run_scenario(&spec, seed, strategy, spec.policy.clone())
+    });
+    match result {
+        Ok(Ok(outcome)) => {
             println!("{}", outcome.to_json());
             ExitCode::SUCCESS
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             eprintln!("scenario-run: `{path}`: {e}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!(
+                "scenario-run: cannot write trace `{}`: {e}",
+                trace_path.as_deref().unwrap_or("")
+            );
             ExitCode::from(2)
         }
     }

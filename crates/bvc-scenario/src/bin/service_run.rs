@@ -5,8 +5,12 @@
 //! cargo run --release -p bvc-scenario --bin service-run -- \
 //!     --scenario scenarios/service/restricted_stream.toml \
 //!     [--instances N] [--workers N] [--batch N] [--cold-cache] \
-//!     [--out verdicts.jsonl] [--stats stats.json]
+//!     [--out verdicts.jsonl] [--stats stats.json] [--trace trace.jsonl]
 //! ```
+//!
+//! `--trace` writes the stream's deterministic `bvc-trace/v1` event trace:
+//! each instance traces into its own slot (admission sequence + 1), so the
+//! sorted trace is byte-identical across `--workers` settings.
 //!
 //! Verdict lines stream to stdout (default), or to the scenario's declared
 //! `sink`, or to `--out` (highest precedence) — one JSON object per
@@ -27,7 +31,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: service-run --scenario <file.toml> [--instances <n>] [--workers <n>] \
-         [--batch <n>] [--cold-cache] [--out <file>] [--stats <file>]"
+         [--batch <n>] [--cold-cache] [--out <file>] [--stats <file>] [--trace <file>]"
     );
     std::process::exit(2);
 }
@@ -49,6 +53,7 @@ fn main() -> ExitCode {
     let mut cold_cache = false;
     let mut out_path: Option<PathBuf> = None;
     let mut stats_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scenario" => scenario = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
@@ -58,6 +63,7 @@ fn main() -> ExitCode {
             "--cold-cache" => cold_cache = true,
             "--out" => out_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--stats" => stats_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--trace" => trace_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("service-run: unknown argument `{other}`");
@@ -112,23 +118,27 @@ fn main() -> ExitCode {
 
     // --out beats the scenario's declared sink; both beat stdout.
     let file_target = out_path.or_else(|| spec.service.as_ref()?.sink.as_ref().map(PathBuf::from));
-    let stats = match file_target {
+    let stats = bvc_trace::run_traced(trace_path.as_deref(), || match file_target {
         Some(target) => {
             let file = match File::create(&target) {
                 Ok(file) => file,
                 Err(e) => {
                     eprintln!("service-run: cannot write `{}`: {e}", target.display());
-                    return ExitCode::from(2);
+                    std::process::exit(2);
                 }
             };
             run(&service, &mut JsonlSink::new(BufWriter::new(file)))
         }
         None => run(&service, &mut JsonlSink::new(BufWriter::new(io::stdout()))),
-    };
+    });
     let stats = match stats {
-        Ok(stats) => stats,
-        Err(e) => {
+        Ok(Ok(stats)) => stats,
+        Ok(Err(e)) => {
             eprintln!("service-run: {e}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("service-run: cannot write trace: {e}");
             return ExitCode::from(2);
         }
     };

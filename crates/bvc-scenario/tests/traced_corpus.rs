@@ -1,0 +1,73 @@
+//! Full-corpus trace-transparency pin: the entire 178-instance campaign
+//! expansion, executed **under an installed trace scope**, reproduces the
+//! committed verdict corpus byte for byte.
+//!
+//! The cheap per-scenario version of this property (plus a proptest over
+//! seeds) lives in `trace_pins.rs` and runs in tier-1; this test replays
+//! the whole expansion including the n = 9 f = 2 sweep cells, which cost
+//! minutes in debug builds, so it is ignored by default and meant to be
+//! run in release mode:
+//!
+//! ```text
+//! cargo test --release -p bvc-scenario --test traced_corpus -- --ignored
+//! ```
+
+use bvc_scenario::{expand, run_scenario_instance, ScenarioSpec};
+use bvc_trace::TraceHandle;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+#[ignore]
+fn traced_campaign_expansion_matches_the_committed_corpus() {
+    let corpus: Vec<String> = std::fs::read_to_string(
+        workspace_root().join("crates/bvc-scenario/tests/corpus/campaign_verdicts.jsonl"),
+    )
+    .expect("committed campaign corpus readable")
+    .lines()
+    .map(str::to_owned)
+    .collect();
+
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(workspace_root().join("scenarios"))
+        .expect("scenarios/ directory exists")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+
+    let mut offset = 0usize;
+    for (scenario_index, path) in paths.iter().enumerate() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).expect("scenario file readable");
+        let spec = ScenarioSpec::from_toml(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (index, instance) in expand(scenario_index, &spec).iter().enumerate() {
+            let handle = TraceHandle::jsonl();
+            let fresh = {
+                let _scope = bvc_trace::install(handle.clone(), 0);
+                run_scenario_instance(
+                    &instance.spec,
+                    instance.seed,
+                    instance.strategy,
+                    instance.policy.clone(),
+                    instance.topology.as_ref(),
+                    instance.validity.as_ref(),
+                )
+                .unwrap_or_else(|e| panic!("{name}[{index}]: {e}"))
+                .to_json()
+            };
+            assert_eq!(
+                fresh, corpus[offset],
+                "{name}[{index}]: tracing must not perturb the verdict"
+            );
+            assert!(
+                !handle.finish().is_empty(),
+                "{name}[{index}]: the traced run emitted no events"
+            );
+            offset += 1;
+        }
+    }
+    assert_eq!(offset, corpus.len(), "corpus covers the whole expansion");
+}

@@ -227,11 +227,24 @@ impl BvcService {
         let started = Instant::now();
         let mut tallies: Vec<WorkerTally> = Vec::with_capacity(workers);
 
+        // When the caller runs the stream under a trace scope, each instance
+        // traces into its own slot (admission seq + 1): the sorted stream is
+        // then byte-identical across worker counts and batch sizes, because
+        // per-slot sequence numbers restart at every install.
+        let trace = bvc_trace::current_handle();
+
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for me in 0..workers {
-                let (shards, coord, cv_work, cv_space, emit, shared_cache) =
-                    (&shards, &coord, &cv_work, &cv_space, &emit, &shared_cache);
+                let (shards, coord, cv_work, cv_space, emit, shared_cache, trace) = (
+                    &shards,
+                    &coord,
+                    &cv_work,
+                    &cv_space,
+                    &emit,
+                    &shared_cache,
+                    &trace,
+                );
                 handles.push(scope.spawn(move || {
                     let mut tally = WorkerTally::default();
                     loop {
@@ -261,6 +274,17 @@ impl BvcService {
                             None => GammaCache::shared(),
                         };
                         run_config.gamma_cache = Some(Arc::clone(&child));
+
+                        let _trace_scope = trace.as_ref().map(|h| {
+                            bvc_trace::install(
+                                h.clone(),
+                                u32::try_from(seq + 1).unwrap_or(u32::MAX),
+                            )
+                        });
+                        bvc_trace::emit(|| bvc_trace::TraceEvent::SpanOpen {
+                            instance: seq as u64,
+                            label: config.label.clone(),
+                        });
 
                         let exec_started = Instant::now();
                         // Contain instance panics to the instance: a panic
@@ -302,6 +326,22 @@ impl BvcService {
                                 panic_line(&config.label, seq, panic_message(payload.as_ref()))
                             }
                         };
+                        bvc_trace::emit(|| {
+                            let (decided, violated, rounds) = match &outcome {
+                                Ok(report) => (
+                                    report.verdict().termination,
+                                    !report.verdict().all_hold(),
+                                    Some(report.rounds()),
+                                ),
+                                Err(_) => (false, true, None),
+                            };
+                            bvc_trace::TraceEvent::SpanClose {
+                                instance: seq as u64,
+                                decided,
+                                violated,
+                                rounds,
+                            }
+                        });
                         {
                             let mut state = lock(emit);
                             if state.error.is_none() {

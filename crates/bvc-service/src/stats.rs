@@ -199,10 +199,12 @@ impl ServiceStats {
         );
         let _ = write!(
             out,
-            ", \"messages\": {{\"sent\": {}, \"delivered\": {}, \"dropped\": {}}}",
+            ", \"messages\": {{\"sent\": {}, \"delivered\": {}, \"dropped\": {}, \
+             \"gamma_queries\": {}}}",
             self.messages.messages_sent,
             self.messages.messages_delivered,
             self.messages.messages_dropped,
+            self.messages.gamma_queries,
         );
         let _ = write!(
             out,

@@ -1,0 +1,401 @@
+//! A minimal flat-JSON reader and the `bvc-trace/v1` schema validator.
+//!
+//! Trace lines are flat objects (string / number / bool / null values, no
+//! nesting), so a full JSON parser is unnecessary; this module parses
+//! exactly that subset and rejects anything else — which doubles as a
+//! schema guard for `trace-report --check`.
+
+use std::collections::BTreeMap;
+
+/// A flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+}
+
+impl JsonValue {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'{') | Some(b'[') => Err("nested values are not part of the schema".into()),
+            Some(_) => {
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in number")?;
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| format!("invalid number `{text}`"))
+            }
+            None => Err("unexpected end of line".into()),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{word}` at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parses one flat JSON object line into a field map.
+pub fn parse_flat(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut cursor = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    cursor.skip_ws();
+    cursor.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    cursor.skip_ws();
+    if cursor.peek() == Some(b'}') {
+        cursor.pos += 1;
+    } else {
+        loop {
+            cursor.skip_ws();
+            let key = cursor.parse_string()?;
+            cursor.skip_ws();
+            cursor.expect(b':')?;
+            let value = cursor.parse_value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            cursor.skip_ws();
+            match cursor.peek() {
+                Some(b',') => cursor.pos += 1,
+                Some(b'}') => {
+                    cursor.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", cursor.pos)),
+            }
+        }
+    }
+    cursor.skip_ws();
+    if cursor.pos != cursor.bytes.len() {
+        return Err(format!("trailing bytes after object at {}", cursor.pos));
+    }
+    Ok(map)
+}
+
+/// Required fields (beyond `ev`/`slot`/`seq`) per event kind, with a coarse
+/// type letter: `u` unsigned int, `n` number-or-null, `b` bool, `s` string,
+/// `S` string-or-null, `U` unsigned-int-or-null.
+const EVENT_FIELDS: &[(&str, &[(&str, char)])] = &[
+    (
+        "run_open",
+        &[("protocol", 's'), ("n", 'u'), ("f", 'u'), ("d", 'u')],
+    ),
+    ("admission", &[("ok", 'b'), ("detail", 's')]),
+    ("validity_check", &[("ok", 'b'), ("detail", 's')]),
+    ("round_open", &[("round", 'u')]),
+    ("round_close", &[("round", 'u'), ("spread", 'n')]),
+    (
+        "fault_window",
+        &[("round", 'u'), ("kind", 's'), ("detail", 's')],
+    ),
+    ("send", &[("time", 'u'), ("from", 'u'), ("to", 'u')]),
+    ("deliver", &[("time", 'u'), ("from", 'u'), ("to", 'u')]),
+    ("drop", &[("time", 'u'), ("from", 'u'), ("to", 'u')]),
+    ("vanish", &[("time", 'u'), ("from", 'u'), ("to", 'u')]),
+    (
+        "gamma",
+        &[
+            ("kind", 's'),
+            ("cache", 's'),
+            ("path", 'S'),
+            ("probe_missed", 'b'),
+            ("len", 'u'),
+            ("f", 'u'),
+            ("d", 'u'),
+            ("found", 'b'),
+        ],
+    ),
+    (
+        "simplex",
+        &[
+            ("rows", 'u'),
+            ("cols", 'u'),
+            ("pivots", 'u'),
+            ("class", 'u'),
+            ("reused", 'b'),
+            ("status", 's'),
+        ],
+    ),
+    ("span_open", &[("instance", 'u'), ("label", 's')]),
+    (
+        "span_close",
+        &[
+            ("instance", 'u'),
+            ("decided", 'b'),
+            ("violated", 'b'),
+            ("rounds", 'U'),
+        ],
+    ),
+];
+
+fn type_ok(value: &JsonValue, ty: char) -> bool {
+    match ty {
+        'u' => value.as_uint().is_some(),
+        'n' => matches!(value, JsonValue::Null) || value.as_num().is_some(),
+        'b' => value.as_bool().is_some(),
+        's' => value.as_str().is_some(),
+        'S' => matches!(value, JsonValue::Null) || value.as_str().is_some(),
+        'U' => matches!(value, JsonValue::Null) || value.as_uint().is_some(),
+        _ => unreachable!("unknown type letter"),
+    }
+}
+
+/// Validates a full trace document (header + event lines) against the
+/// `bvc-trace/v1` schema.  Returns the number of event lines.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line (1-based).
+pub fn check_trace(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Err("empty trace: missing schema header".into());
+    };
+    let header = parse_flat(header).map_err(|e| format!("line 1: {e}"))?;
+    match header.get("schema").and_then(JsonValue::as_str) {
+        Some(schema) if schema == crate::event::SCHEMA => {}
+        Some(other) => return Err(format!("line 1: unknown schema `{other}`")),
+        None => return Err("line 1: missing `schema` field".into()),
+    }
+    let mut count = 0usize;
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            return Err(format!("line {lineno}: empty line"));
+        }
+        let fields = parse_flat(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let ev = fields
+            .get("ev")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("line {lineno}: missing `ev`"))?;
+        let spec = EVENT_FIELDS
+            .iter()
+            .find(|(kind, _)| *kind == ev)
+            .ok_or(format!("line {lineno}: unknown event kind `{ev}`"))?;
+        for key in ["slot", "seq"] {
+            if fields.get(key).and_then(JsonValue::as_uint).is_none() {
+                return Err(format!("line {lineno}: missing or non-integer `{key}`"));
+            }
+        }
+        for (field, ty) in spec.1 {
+            match fields.get(*field) {
+                Some(value) if type_ok(value, *ty) => {}
+                Some(_) => {
+                    return Err(format!(
+                        "line {lineno}: field `{field}` of `{ev}` has the wrong type"
+                    ))
+                }
+                None => return Err(format!("line {lineno}: `{ev}` is missing field `{field}`")),
+            }
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheLevel, GammaPath, GammaQueryKind, TraceEvent};
+    use crate::tracer::render_trace;
+
+    #[test]
+    fn parse_flat_round_trips_an_event() {
+        let ev = TraceEvent::Simplex {
+            rows: 4,
+            cols: 12,
+            pivots: 7,
+            class: 6,
+            reused: true,
+            status: "optimal".into(),
+        };
+        let map = parse_flat(&ev.to_json(0, 3)).unwrap();
+        assert_eq!(map.get("ev").unwrap().as_str(), Some("simplex"));
+        assert_eq!(map.get("pivots").unwrap().as_uint(), Some(7));
+        assert_eq!(map.get("reused").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn check_trace_accepts_generated_events() {
+        let events = [
+            TraceEvent::RunOpen {
+                protocol: "restricted-sync".into(),
+                n: 9,
+                f: 2,
+                d: 2,
+            },
+            TraceEvent::RoundOpen { round: 1 },
+            TraceEvent::Gamma {
+                kind: GammaQueryKind::Point,
+                cache: CacheLevel::Miss,
+                path: Some(GammaPath::ActiveSetLp),
+                probe_missed: true,
+                len: 7,
+                f: 2,
+                d: 2,
+                found: true,
+            },
+            TraceEvent::RoundClose {
+                round: 1,
+                spread: None,
+            },
+        ];
+        let lines: Vec<String> = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.to_json(0, i as u64))
+            .collect();
+        let doc = render_trace(&lines);
+        assert_eq!(check_trace(&doc), Ok(4));
+    }
+
+    #[test]
+    fn check_trace_rejects_missing_header_and_bad_fields() {
+        assert!(check_trace("{\"ev\": \"round_open\"}\n").is_err());
+        let doc =
+            "{\"schema\": \"bvc-trace/v1\"}\n{\"ev\": \"round_open\", \"slot\": 0, \"seq\": 0}\n";
+        let err = check_trace(doc).unwrap_err();
+        assert!(err.contains("round"), "missing field named: {err}");
+    }
+
+    #[test]
+    fn nested_json_is_rejected() {
+        assert!(parse_flat("{\"a\": {\"b\": 1}}").is_err());
+        assert!(parse_flat("{\"a\": [1]}").is_err());
+    }
+}

@@ -70,3 +70,4 @@ pub use bvc_net as net;
 pub use bvc_scenario as scenario;
 pub use bvc_service as service;
 pub use bvc_topology as topology;
+pub use bvc_trace as trace;
