@@ -11,7 +11,11 @@
 //!     [--tolerance 2.0] [--min-mean-us 500]
 //! ```
 //!
-//! A per-workload delta table goes to stdout either way.  Workloads whose
+//! A per-workload delta table goes to stdout either way; when the
+//! `GITHUB_STEP_SUMMARY` environment variable names a writable file (as it
+//! does inside a GitHub Actions job), the same table is appended there as
+//! GitHub-flavoured markdown so the deltas are readable from the run's
+//! summary page without opening the job log.  Workloads whose
 //! fresh mean is below `--min-mean-us` are reported but never gate: at the
 //! sub-millisecond scale the matrix's micro rows measure scheduler noise as much
 //! as the engine, and cross-machine variance would make a ratio gate flaky.
@@ -99,6 +103,38 @@ fn parse_snapshot(path: &str) -> Result<Vec<Workload>, String> {
     Ok(rows)
 }
 
+/// Appends the delta table as GitHub-flavoured markdown to the file named by
+/// `GITHUB_STEP_SUMMARY`, when set.  Best-effort: a summary write failure
+/// must never change the gate's verdict, so errors only warn on stderr.
+fn write_step_summary(baseline_path: &str, tolerance: f64, min_mean_us: f64, rows: &[String]) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut doc = format!(
+        "### Perf gate: `{baseline_path}` ({tolerance:.1}x tolerance, \
+         {min_mean_us:.0} µs floor)\n\n\
+         | workload | base µs | fresh µs | ratio | fast-path % | status |\n\
+         | --- | ---: | ---: | ---: | ---: | --- |\n"
+    );
+    for row in rows {
+        doc.push_str(row);
+        doc.push('\n');
+    }
+    doc.push('\n');
+    use std::io::Write;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(doc.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("perf-compare: cannot append step summary to `{path}`: {e}");
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: perf-compare --baseline <committed.json> --fresh <new.json> \
@@ -179,6 +215,7 @@ fn main() -> ExitCode {
     // shapes (the two ε variants of the restricted-sync macro) pair in order.
     let mut used = vec![false; baseline.len()];
     let mut regressions = 0usize;
+    let mut summary = Vec::new();
     println!(
         "{:<58} {:>12} {:>12} {:>8} {:>14}  status",
         "workload", "base µs", "fresh µs", "ratio", "fast-path %"
@@ -203,6 +240,12 @@ fn main() -> ExitCode {
                 "—",
                 fastpath_cell(None, row.fast_path_pct)
             );
+            summary.push(format!(
+                "| {} | — | {:.1} | — | {} | new (no baseline) |",
+                row.label(),
+                row.mean_us,
+                fastpath_cell(None, row.fast_path_pct)
+            ));
             continue;
         };
         used[index] = true;
@@ -242,6 +285,13 @@ fn main() -> ExitCode {
             ratio,
             fastpath_cell(base.fast_path_pct, row.fast_path_pct)
         );
+        summary.push(format!(
+            "| {} | {:.1} | {:.1} | {ratio:.2}x | {} | {status} |",
+            row.label(),
+            base.mean_us,
+            row.mean_us,
+            fastpath_cell(base.fast_path_pct, row.fast_path_pct)
+        ));
     }
     // A gated-magnitude workload that vanished from the matrix fails the
     // gate: deleting the slow row must not be a way to pass it.  (Sub-floor
@@ -263,8 +313,15 @@ fn main() -> ExitCode {
                 "—",
                 "—"
             );
+            summary.push(format!(
+                "| {} | {:.1} | — | — | — | {status} |",
+                base.label(),
+                base.mean_us
+            ));
         }
     }
+
+    write_step_summary(&baseline_path, tolerance, min_mean_us, &summary);
 
     if regressions > 0 || removed_gated > 0 {
         eprintln!(

@@ -315,7 +315,10 @@ fn main() -> ExitCode {
     // Micro matrix: shapes strictly above the Lemma-1 threshold
     // `(d+1)f + 1` (at the exact threshold Γ degenerates to a Tverberg
     // point, which is numerically borderline for *any* formulation),
-    // including the closed-form d = 1 path and the C(9,7)-subset f = 2 shape.
+    // including the closed-form d = 1 path, the C(9,7)-subset f = 2 shape,
+    // and the two pool-backed cliff shapes: `(10, 2, 3)` with C(10,8) = 45
+    // subset hulls and `(13, 3, 2)` with C(13,10) = 286, both above the
+    // heavy-scan threshold of 40.
     let micro_shapes: &[(usize, usize, usize)] = &[
         (4, 1, 1),
         (7, 2, 1),
@@ -323,6 +326,7 @@ fn main() -> ExitCode {
         (5, 1, 2),
         (8, 2, 2),
         (9, 2, 2),
+        (13, 3, 2),
         (6, 1, 3),
         (10, 2, 3),
     ];

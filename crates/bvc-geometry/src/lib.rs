@@ -46,6 +46,7 @@ pub mod gamma;
 pub mod hull;
 pub mod multiset;
 pub mod point;
+pub mod pool;
 pub mod relaxed;
 pub mod tverberg;
 pub mod workload;
@@ -58,6 +59,7 @@ pub use gamma::{
 pub use hull::ConvexHull;
 pub use multiset::PointMultiset;
 pub use point::{Point, DEFAULT_TOLERANCE};
+pub use pool::{gamma_workers, set_gamma_workers, HEAVY_SUBSET_THRESHOLD};
 pub use relaxed::{
     decision_point, dilate_about_centroid, k_relaxed_point, relaxed_gamma_contains,
     relaxed_gamma_point, ValidityPredicate,

@@ -1,0 +1,183 @@
+//! Deterministic worker pool for heavy subset-hull scans.
+//!
+//! The Γ engine's two hot scans — the membership stream (`contains`) and the
+//! active-set verification pass (`find_point`) — walk the `C(m, m−f)` subset
+//! hulls in ordinal order looking for the *first* hull that refutes a
+//! candidate point.  At `d ≥ 3` the subset count crosses from dozens into
+//! hundreds and the scan dominates the query, so shapes with at least
+//! [`HEAVY_SUBSET_THRESHOLD`] subset hulls are fanned out across a pool of
+//! scoped worker threads (the campaign-pool pattern of `bvc-scenario`, moved
+//! down to where the cost is).
+//!
+//! # Determinism contract
+//!
+//! Results are **byte-identical at every worker count** by construction, not
+//! by scheduling luck:
+//!
+//! * The scan returns the *minimum* matching ordinal.  Workers claim ordinals
+//!   off an atomic cursor in any order, but the minimum of a fixed predicate
+//!   over a fixed ordinal range is schedule-invariant, and it equals exactly
+//!   the ordinal a sequential first-match scan would report.
+//! * Membership predicates are evaluated via
+//!   [`unrank_combination`](crate::combinatorics::unrank_combination)
+//!   (random-access into the lexicographic combination stream), so a worker
+//!   never depends on another worker's progress.
+//! * Trace streams cannot observe the pool: scans run on spawned threads
+//!   **even at one worker**, and `bvc-trace` scopes are thread-local, so the
+//!   workers' LP solves emit no events at any worker count.  (Heavy shapes
+//!   are also strictly above everything the pinned corpora exercise.)
+//!
+//! Worker LP solves lease long-lived [`SimplexWorkspace`]s from a parked
+//! pool, so tableau buffers and warm-start column priorities survive across
+//! rounds even though the scan threads themselves are scoped.
+
+use bvc_lp::SimplexWorkspace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Subset-hull count at which the Γ scans switch from the sequential
+/// streamed walk to the worker pool.  Chosen above every shape the pinned
+/// determinism corpora exercise (their largest is `C(9, 7) = 36`) and below
+/// the d ≥ 3 cliff shapes (`C(10, 8) = 45`, `C(13, 10) = 286`).
+pub const HEAVY_SUBSET_THRESHOLD: usize = 40;
+
+/// Configured worker count; `0` means "resolve automatically" (environment,
+/// then available parallelism).
+static GAMMA_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Workspaces parked between scans so worker solves keep their tableau
+/// buffers and warm-start priorities across rounds.
+static PARKED_WORKSPACES: Mutex<Vec<SimplexWorkspace>> = Mutex::new(Vec::new());
+
+/// Upper bound on parked workspaces (a handful of threads' worth; beyond
+/// that, extra workspaces are simply dropped).
+const MAX_PARKED: usize = 32;
+
+/// Overrides the worker count of the heavy-scan pool (`0` restores the
+/// automatic choice).  Results are byte-identical at every setting; only
+/// wall-clock time changes.
+pub fn set_gamma_workers(workers: usize) {
+    GAMMA_WORKERS.store(workers, Ordering::Relaxed);
+}
+
+/// The worker count the next heavy scan will use: the programmatic override
+/// ([`set_gamma_workers`]) if set, else the `BVC_GAMMA_WORKERS` environment
+/// variable, else the available parallelism (capped at 8).
+pub fn gamma_workers() -> usize {
+    let configured = GAMMA_WORKERS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(n) = std::env::var("BVC_GAMMA_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+fn lease_workspace() -> SimplexWorkspace {
+    PARKED_WORKSPACES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pop()
+        .unwrap_or_default()
+}
+
+fn park_workspace(workspace: SimplexWorkspace) {
+    let mut parked = PARKED_WORKSPACES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if parked.len() < MAX_PARKED {
+        parked.push(workspace);
+    }
+}
+
+/// The minimum ordinal in `0..count` for which `test` holds, or `None` when
+/// none does — the pool-backed equivalent of a sequential first-match scan.
+///
+/// `test` must be a pure function of the ordinal (it is called from worker
+/// threads, possibly more than once per ordinal across retries of the outer
+/// loop, and its per-ordinal verdict must not depend on scan order).  The
+/// supplied workspace is a long-lived lease for the worker's LP solves.
+pub(crate) fn min_matching_ordinal(
+    count: usize,
+    test: &(dyn Fn(usize, &mut SimplexWorkspace) -> bool + Sync),
+) -> Option<usize> {
+    if count == 0 {
+        return None;
+    }
+    let workers = gamma_workers().clamp(1, count);
+    let cursor = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut workspace = lease_workspace();
+                loop {
+                    let ordinal = cursor.fetch_add(1, Ordering::Relaxed);
+                    // Ordinals at or above the best match so far cannot
+                    // improve the minimum; once the cursor passes the best,
+                    // every remaining claim is skippable and the worker
+                    // retires.
+                    if ordinal >= count || ordinal >= best.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if test(ordinal, &mut workspace) {
+                        best.fetch_min(ordinal, Ordering::Relaxed);
+                    }
+                }
+                park_workspace(workspace);
+            });
+        }
+    });
+    let found = best.load(Ordering::Relaxed);
+    (found != usize::MAX).then_some(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_matching_ordinal_equals_sequential_first_match() {
+        // A predicate with several matches: the pool must report the least.
+        let matches = [7usize, 23, 5, 61];
+        for workers in [1, 2, 4, 8] {
+            set_gamma_workers(workers);
+            let found = min_matching_ordinal(64, &|o, _ws| matches.contains(&o));
+            assert_eq!(found, Some(5), "workers={workers}");
+            let none = min_matching_ordinal(64, &|_, _| false);
+            assert_eq!(none, None, "workers={workers}");
+        }
+        set_gamma_workers(0);
+    }
+
+    #[test]
+    fn empty_range_has_no_match() {
+        assert_eq!(min_matching_ordinal(0, &|_, _| true), None);
+    }
+
+    #[test]
+    fn match_at_every_ordinal_reports_zero() {
+        for workers in [1, 3] {
+            set_gamma_workers(workers);
+            assert_eq!(min_matching_ordinal(100, &|_, _| true), Some(0));
+        }
+        set_gamma_workers(0);
+    }
+
+    #[test]
+    fn worker_count_resolution_prefers_the_override() {
+        set_gamma_workers(3);
+        assert_eq!(gamma_workers(), 3);
+        set_gamma_workers(0);
+        assert!(gamma_workers() >= 1);
+    }
+}

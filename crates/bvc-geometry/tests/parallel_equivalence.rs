@@ -1,0 +1,202 @@
+//! Determinism pins for the heavy-scan worker pool and the incremental
+//! cache mode.
+//!
+//! The Γ engine's determinism contract after the parallel subset-hull work:
+//!
+//! * `gamma_point` / `gamma_contains` results are **byte-identical at every
+//!   worker count** (the pool returns the minimum matching ordinal, which is
+//!   schedule-invariant);
+//! * trace streams are byte-identical too (heavy scans run on spawned,
+//!   scope-less worker threads even at one worker, so the pool is invisible
+//!   to tracing);
+//! * the incremental cache mode (refuter-ordinal hints) changes cost only —
+//!   every answer equals the plain cache's bit for bit.
+//!
+//! Worker-count mutation is global, so the tests that touch it serialise on
+//! a file-local mutex.
+
+use bvc_geometry::{
+    gamma_contains, gamma_point_attributed, set_gamma_workers, GammaCache, Point, PointMultiset,
+    WorkloadGenerator,
+};
+use bvc_trace::TraceHandle;
+use std::sync::Mutex;
+
+/// Serialises tests that mutate the global worker count.
+static WORKERS: Mutex<()> = Mutex::new(());
+
+fn bits(p: &Point) -> Vec<u64> {
+    p.coords().iter().map(|c| c.to_bits()).collect()
+}
+
+/// The heavy cliff shape: `n = 10`, `f = 2`, `d = 3` has `C(10, 8) = 45`
+/// subset hulls, above the pool's threshold of 40.
+fn heavy_workload(seed: u64) -> PointMultiset {
+    WorkloadGenerator::new(seed).box_points(10, 3, 0.0, 1.0)
+}
+
+#[test]
+fn gamma_results_are_byte_identical_at_every_worker_count() {
+    let _serialise = WORKERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let outcomes_at = |workers: usize| {
+        set_gamma_workers(workers);
+        let mut outcomes = Vec::new();
+        for s in 0..8u64 {
+            let y = heavy_workload(2000 + s);
+            let (point, attribution) = gamma_point_attributed(&y, 2);
+            let member = point
+                .as_ref()
+                .map(|p| gamma_contains(&y, 2, p))
+                .unwrap_or(false);
+            // A probe inside the trimmed box (forces a full scan when the
+            // point is outside Γ) and one far outside (box reject).
+            let centre = Point::new(vec![0.5, 0.5, 0.5]);
+            let outside = Point::new(vec![9.0, 9.0, 9.0]);
+            outcomes.push((
+                point.as_ref().map(bits),
+                attribution.path,
+                member,
+                gamma_contains(&y, 2, &centre),
+                gamma_contains(&y, 2, &outside),
+            ));
+        }
+        outcomes
+    };
+    let reference = outcomes_at(1);
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            outcomes_at(workers),
+            reference,
+            "workers = {workers}: results must be byte-identical to the single-worker scan"
+        );
+    }
+    set_gamma_workers(0);
+}
+
+#[test]
+fn traces_are_byte_identical_at_every_worker_count() {
+    let _serialise = WORKERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let capture = |workers: usize| -> Vec<String> {
+        set_gamma_workers(workers);
+        let handle = TraceHandle::jsonl();
+        {
+            let _scope = bvc_trace::install(handle.clone(), 0);
+            let cache = GammaCache::new();
+            for s in 0..4u64 {
+                let y = heavy_workload(3000 + s);
+                if let Some(p) = cache.find_point(&y, 2) {
+                    assert!(cache.contains(&y, 2, &p));
+                }
+                let _ = cache.contains(&y, 2, &Point::new(vec![0.5, 0.5, 0.5]));
+            }
+        }
+        handle.finish()
+    };
+    let reference = capture(1);
+    assert!(
+        !reference.is_empty(),
+        "the traced queries must emit events for the comparison to mean anything"
+    );
+    for workers in [2usize, 4] {
+        assert_eq!(
+            capture(workers),
+            reference,
+            "workers = {workers}: the pool must be invisible to the trace stream"
+        );
+    }
+    set_gamma_workers(0);
+}
+
+/// Contracts every point halfway towards the multiset centroid — the shape
+/// of successive rounds of the iterative protocols, which is exactly the
+/// workload the incremental mode targets.
+fn contract(points: &[Point]) -> Vec<Point> {
+    let d = points[0].dim();
+    let mut centroid = vec![0.0; d];
+    for p in points {
+        for (c, v) in centroid.iter_mut().zip(p.coords()) {
+            *c += v / points.len() as f64;
+        }
+    }
+    points
+        .iter()
+        .map(|p| {
+            Point::new(
+                p.coords()
+                    .iter()
+                    .zip(&centroid)
+                    .map(|(v, c)| 0.5 * (v + c))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn incremental_cache_equals_plain_cache_over_round_contractions() {
+    let plain = GammaCache::new();
+    let incremental = GammaCache::new();
+    incremental.enable_incremental();
+    assert!(incremental.incremental_enabled());
+    for seed in 0..3u64 {
+        let mut points = heavy_workload(4000 + seed).points().to_vec();
+        for round in 0..5 {
+            let y = PointMultiset::new(points.clone());
+            let a = plain.find_point(&y, 2);
+            let b = incremental.find_point(&y, 2);
+            assert_eq!(
+                a.as_ref().map(bits),
+                b.as_ref().map(bits),
+                "seed {seed} round {round}: hints must never change the chosen point"
+            );
+            for probe in [
+                Point::new(vec![0.5, 0.5, 0.5]),
+                Point::new(vec![9.0, 9.0, 9.0]),
+            ] {
+                assert_eq!(
+                    plain.contains(&y, 2, &probe),
+                    incremental.contains(&y, 2, &probe),
+                    "seed {seed} round {round}: hints must never change membership"
+                );
+            }
+            points = contract(&points);
+        }
+    }
+}
+
+#[test]
+fn incremental_hints_engage_on_recurring_refuters() {
+    // Square corners plus centre, f = 1: points near (3.5, 2.0) sit inside
+    // the trimmed box but outside Γ, and the same subset hull refutes each
+    // of them — the stable-refuter pattern of contracting rounds.  Distinct
+    // coordinates defeat the result cache, so every query reaches the
+    // engine, and from the second query on the remembered refuter must
+    // short-circuit the scan.
+    let y = PointMultiset::new(vec![
+        Point::new(vec![0.0, 0.0]),
+        Point::new(vec![4.0, 0.0]),
+        Point::new(vec![0.0, 4.0]),
+        Point::new(vec![4.0, 4.0]),
+        Point::new(vec![2.0, 2.0]),
+    ]);
+    let plain = GammaCache::new();
+    let incremental = GammaCache::new();
+    incremental.enable_incremental();
+    for i in 0..6 {
+        let probe = Point::new(vec![3.5 + 0.01 * f64::from(i), 2.0]);
+        assert_eq!(
+            plain.contains(&y, 1, &probe),
+            incremental.contains(&y, 1, &probe),
+            "query {i}"
+        );
+    }
+    assert!(
+        incremental.hint_hits() > 0,
+        "the remembered refuter must serve repeat refutations"
+    );
+    assert_eq!(plain.hint_hits(), 0, "hints are opt-in");
+}

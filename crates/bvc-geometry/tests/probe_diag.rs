@@ -1,37 +1,36 @@
-//! Path-attribution breakdown of the `gamma_point n=10 f=2 d=3` benchmark
-//! row — the reproduction referenced from the README's "Case study: the
-//! n = 10, f = 2, d = 3 outlier" section.
+//! Regression pin for the `gamma_point n=10 f=2 d=3` benchmark row — the
+//! reproduction referenced from the README's "Case study: the n = 10,
+//! f = 2, d = 3 outlier" section.
 //!
-//! Run with:
-//!
-//! ```text
-//! cargo test -p bvc-geometry --test probe_diag -- --ignored --nocapture
-//! ```
-//!
-//! Expected shape of the output (timings vary, attribution does not):
-//! 6 of the 24 seeds hit the trimmed-box probe, 17 escalate to the
-//! active-set LP, and seed 1016 falls all the way back to the naive
-//! all-hulls joint LP and still reports `found = false` — the Lemma-1
-//! sub-tolerance sliver that dominates the row's wall clock.  Ignored by
-//! default because the naive-fallback seed alone takes over a second in
-//! debug builds.
+//! Historically this was an `#[ignore]`d diagnostic: seed 1016 produced a
+//! degenerate phase-1 LP that stalled the banded simplex, corrupted the
+//! tableau, and sent the engine to the naive all-hulls fallback (over a
+//! second per query in debug builds) which then *mis-reported* the
+//! sub-tolerance Lemma-1 sliver as empty.  The lexicographic stall recovery
+//! in `bvc-lp` fixed both, so the diagnostic is now a latency-free
+//! regression test: every seed must find its Γ point, and none may take the
+//! naive fallback.  No timing assertions — only the engine path taken,
+//! which is deterministic.
 
 use bvc_geometry::{gamma_point_attributed, PointMultiset, WorkloadGenerator};
+use bvc_trace::GammaPath;
 
 #[test]
-#[ignore]
-fn diagnose_n10_f2_d3() {
+fn n10_f2_d3_corpus_finds_points_without_the_naive_fallback() {
     for s in 0..24u64 {
-        let y: PointMultiset = WorkloadGenerator::new(1000 + s).box_points(10, 3, 0.0, 1.0);
-        let start = std::time::Instant::now();
+        let seed = 1000 + s;
+        let y: PointMultiset = WorkloadGenerator::new(seed).box_points(10, 3, 0.0, 1.0);
         let (point, attribution) = gamma_point_attributed(&y, 2);
-        let us = start.elapsed().as_micros();
-        println!(
-            "seed {:4}  found={}  path={:?}  probe_missed={}  {us:>8} us",
-            1000 + s,
+        assert!(
             point.is_some(),
+            "seed {seed}: Lemma 1 holds (|Y| = 10 ≥ (d+1)f + 1 = 9), \
+             so Γ must be non-empty"
+        );
+        assert_ne!(
             attribution.path,
-            attribution.probe_missed,
+            GammaPath::NaiveFallback,
+            "seed {seed}: the stall recovery must keep the active-set loop \
+             off the naive all-hulls fallback"
         );
     }
 }

@@ -236,6 +236,32 @@ pub(crate) fn solve_two_phase(
     workspace: &mut SimplexWorkspace,
     mode: SolveMode,
 ) -> Solution {
+    solve_two_phase_inner(lp, workspace, mode, false)
+}
+
+/// [`solve_two_phase`] in feasibility-only mode with **warm-started**
+/// phase 1: the entering-column scan is reordered to front the columns that
+/// formed the final basis of the previous completed warm solve of the same
+/// tableau shape (stored in the workspace, cleared on trace-scope changes).
+/// The reordering is still Bland's rule under a fixed total order, so the
+/// verdict is identical to a cold solve — only the pivot walk is shorter on
+/// the near-identical successive programs of a contracting round sequence.
+/// Restricted to feasibility-only solves on purpose: a full solve's *chosen
+/// point* could depend on the pivot walk, and every consumer of this crate
+/// relies on point-valued answers being history-free.
+pub(crate) fn solve_two_phase_warm(
+    lp: &LinearProgram,
+    workspace: &mut SimplexWorkspace,
+) -> Solution {
+    solve_two_phase_inner(lp, workspace, SolveMode::FeasibilityOnly, true)
+}
+
+fn solve_two_phase_inner(
+    lp: &LinearProgram,
+    workspace: &mut SimplexWorkspace,
+    mode: SolveMode,
+    warm: bool,
+) -> Solution {
     let lay = layout(lp);
     let m = lp.num_constraints();
     // Pin the workspace to the current trace scope *before* leasing
@@ -247,7 +273,7 @@ pub(crate) fn solve_two_phase(
     let mut tableau = Tableau::from_workspace(m, lay.total_cols, workspace);
     let reused = workspace.reuses() > reuses_before;
     fill_tableau(lp, &lay, &mut tableau);
-    let solution = run_phases(lp, &lay, &mut tableau, workspace, mode);
+    let solution = run_phases(lp, &lay, &mut tableau, workspace, mode, warm);
     let pivots = tableau.pivots();
     tableau.recycle(workspace);
     bvc_trace::emit(|| bvc_trace::TraceEvent::Simplex {
@@ -267,6 +293,7 @@ fn run_phases(
     tableau: &mut Tableau,
     workspace: &mut SimplexWorkspace,
     mode: SolveMode,
+    warm: bool,
 ) -> Solution {
     let m = lp.num_constraints();
     let n_structural = lay.num_structural;
@@ -283,7 +310,39 @@ fn run_phases(
         // The phase-1 objective is bounded below by zero, so an "unbounded"
         // outcome can only be numerical noise; the decision is made on the
         // attained objective value.
-        let outcome = tableau.run_simplex(&eligible);
+        let warm_priority = if warm {
+            workspace
+                .warm_priority(m, total_cols)
+                .map(<[usize]>::to_vec)
+        } else {
+            None
+        };
+        let mut outcome = match &warm_priority {
+            Some(priority) => {
+                workspace.note_warm_hit();
+                tableau.run_simplex_priority(&eligible, priority)
+            }
+            None => tableau.run_simplex(&eligible),
+        };
+        if outcome == PivotOutcome::Stalled {
+            // The banded ratio test cycled on degenerate input, and by the
+            // time the iteration cap fires the tableau has ground thousands
+            // of near-tolerance pivots of rounding error into itself —
+            // continuing from that basis is hopeless.  Rebuild the tableau
+            // from the problem and redo phase 1 under the lexicographic
+            // rule, which cannot revisit a basis when started from the
+            // identity basis and so terminates in a modest number of pivots
+            // before error can accumulate.  Solves that finish inside the
+            // primary budget never reach this path, keeping their pivot
+            // sequences (and trace streams) bit-identical.
+            tableau.clear();
+            fill_tableau(lp, lay, tableau);
+            for col in lay.artificial_start..total_cols {
+                tableau.set_objective_coefficient(col, 1.0);
+            }
+            tableau.price_out_basis();
+            outcome = tableau.run_simplex_lex(&eligible);
+        }
         workspace.put_bool(eligible);
         if tableau.objective_value() > 1e-7 {
             // A completed phase 1 that could not zero the artificials is a
@@ -298,6 +357,11 @@ fn run_phases(
                 };
             }
             return Solution::infeasible(lp.num_variables());
+        }
+        if warm {
+            // Phase 1 completed feasibly: its final basis is the warm
+            // priority for the next same-shape solve.
+            workspace.store_warm_priority(m, total_cols, tableau.basis_columns());
         }
         if mode == SolveMode::FeasibilityOnly {
             return Solution {

@@ -83,6 +83,14 @@ impl Tableau {
         workspace.put_usize(self.basis);
     }
 
+    /// Zeroes every entry (constraint rows, objective row, RHS) while keeping
+    /// the accumulated pivot count, so the two-phase driver can re-fill the
+    /// tableau from the problem for a recovery run.  The basis is left to the
+    /// subsequent re-fill to restore.
+    pub(crate) fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
     #[allow(dead_code)]
     pub(crate) fn rows(&self) -> usize {
         self.rows
@@ -252,6 +260,12 @@ impl Tableau {
     /// chosen by the minimum-ratio test with lowest basic index as the tie
     /// breaker.  `eligible` restricts the columns allowed to enter the basis
     /// (used by phase 2 to keep artificial columns out).
+    ///
+    /// Every solve that terminates within the iteration budget pivots exactly
+    /// as it always has; [`PivotOutcome::Stalled`] hands control back to the
+    /// two-phase driver, which rebuilds the tableau and re-runs it under the
+    /// lexicographic rule ([`Tableau::run_simplex_lex`]) rather than letting
+    /// a cycling pass keep grinding rounding error into the data.
     pub(crate) fn run_simplex(&mut self, eligible: &[bool]) -> PivotOutcome {
         debug_assert_eq!(eligible.len(), self.cols);
         let stride = self.stride();
@@ -274,43 +288,8 @@ impl Tableau {
                 Some(col) => col,
                 None => return PivotOutcome::Optimal,
             };
-            // Minimum ratio test over rows with positive pivot column entry.
-            // Pivot elements below PIVOT_TOLERANCE are avoided (they amplify
-            // rounding error); if only tiny positive entries exist, the
-            // largest of them is used as a fallback rather than declaring the
-            // problem unbounded on numerical noise.
-            const PIVOT_TOLERANCE: f64 = 1e-7;
-            let mut leaving: Option<(usize, f64)> = None;
-            for row in 0..self.rows {
-                let a = self.data[row * stride + entering];
-                if a > PIVOT_TOLERANCE {
-                    let ratio = self.data[row * stride + self.cols] / a;
-                    match leaving {
-                        None => leaving = Some((row, ratio)),
-                        Some((best_row, best_ratio)) => {
-                            let better = ratio < best_ratio - EPSILON
-                                || (ratio < best_ratio + EPSILON
-                                    && self.basis[row] < self.basis[best_row]);
-                            if better {
-                                leaving = Some((row, ratio));
-                            }
-                        }
-                    }
-                }
-            }
-            if leaving.is_none() {
-                // Fallback: the largest positive-but-tiny pivot entry.
-                let mut best: Option<(usize, f64)> = None;
-                for row in 0..self.rows {
-                    let a = self.data[row * stride + entering];
-                    if a > EPSILON && best.is_none_or(|(_, b)| a > b) {
-                        best = Some((row, a));
-                    }
-                }
-                leaving = best.map(|(row, a)| (row, self.rhs(row) / a));
-            }
-            match leaving {
-                Some((row, _)) => self.pivot(row, entering),
+            match self.leaving_banded(entering) {
+                Some(row) => self.pivot(row, entering),
                 None => return PivotOutcome::Unbounded,
             }
         }
@@ -321,6 +300,182 @@ impl Tableau {
         // stalled phase 1 must not be misread as an infeasibility
         // certificate.
         PivotOutcome::Stalled
+    }
+
+    /// [`Tableau::run_simplex`] with a caller-supplied **column priority**:
+    /// the entering variable is the first column of `priority` (a permutation
+    /// of `0..cols`) that is eligible with a negative reduced cost.  This is
+    /// still Bland's rule — first negative cost under a total order of the
+    /// columns that is fixed for the whole solve — so the anti-cycling
+    /// property is unchanged; only the pivot *order* (and hence the pivot
+    /// count) can differ from the identity-order walk.  Warm starts use it to
+    /// revisit the columns that formed the previous solve's final basis
+    /// first, which on the near-identical successive programs of a
+    /// contracting round sequence skips most of the cold walk.
+    pub(crate) fn run_simplex_priority(
+        &mut self,
+        eligible: &[bool],
+        priority: &[usize],
+    ) -> PivotOutcome {
+        debug_assert_eq!(eligible.len(), self.cols);
+        debug_assert_eq!(priority.len(), self.cols);
+        let stride = self.stride();
+        let max_iterations = 1000 + 50 * (self.rows + self.cols);
+        for _ in 0..max_iterations {
+            let objective_row = &self.data[self.rows * stride..self.rows * stride + self.cols];
+            let entering = priority
+                .iter()
+                .copied()
+                .find(|&col| eligible[col] && objective_row[col] < -EPSILON);
+            let entering = match entering {
+                Some(col) => col,
+                None => return PivotOutcome::Optimal,
+            };
+            match self.leaving_banded(entering) {
+                Some(row) => self.pivot(row, entering),
+                None => return PivotOutcome::Unbounded,
+            }
+        }
+        PivotOutcome::Stalled
+    }
+
+    /// The current basis columns, one per constraint row.
+    pub(crate) fn basis_columns(&self) -> &[usize] {
+        &self.basis
+    }
+
+    /// Runs simplex iterations under the **lexicographic** leaving rule: the
+    /// leaving row minimises the ratio vector `(rhs, ref₀, ref₁, …) / aᵣ`
+    /// lexicographically, where the reference columns are the basis columns
+    /// at entry.  Started from the initial identity basis (slacks and
+    /// artificials, non-negative RHS) the reference rows are lex-positive, so
+    /// no basis ever repeats and the walk terminates without the long
+    /// degenerate cycles that corrupt the tableau numerically.  This is the
+    /// recovery path for solves the banded rule reported as stalled; the
+    /// driver re-fills the tableau before calling it, because a stalled
+    /// tableau has already accumulated unbounded rounding error.
+    pub(crate) fn run_simplex_lex(&mut self, eligible: &[bool]) -> PivotOutcome {
+        debug_assert_eq!(eligible.len(), self.cols);
+        let stride = self.stride();
+        let ref_cols = self.basis.clone();
+        let max_iterations = 1000 + 50 * (self.rows + self.cols);
+        for _ in 0..max_iterations {
+            let objective_row = &self.data[self.rows * stride..self.rows * stride + self.cols];
+            let entering = objective_row
+                .iter()
+                .zip(eligible)
+                .position(|(&cost, &ok)| ok && cost < -EPSILON);
+            let entering = match entering {
+                Some(col) => col,
+                None => return PivotOutcome::Optimal,
+            };
+            match self.leaving_lexicographic(entering, &ref_cols) {
+                Some(row) => self.pivot(row, entering),
+                None => return PivotOutcome::Unbounded,
+            }
+        }
+        PivotOutcome::Stalled
+    }
+
+    /// Tolerance-banded minimum-ratio test.  Pivot elements below
+    /// `PIVOT_TOLERANCE` are avoided (they amplify rounding error); if only
+    /// tiny positive entries exist, the largest of them is used as a fallback
+    /// rather than declaring the problem unbounded on numerical noise.  Rows
+    /// whose ratios agree within `EPSILON` count as tied and the lowest basic
+    /// variable index wins.
+    fn leaving_banded(&self, entering: usize) -> Option<usize> {
+        const PIVOT_TOLERANCE: f64 = 1e-7;
+        let stride = self.stride();
+        let mut leaving: Option<(usize, f64)> = None;
+        for row in 0..self.rows {
+            let a = self.data[row * stride + entering];
+            if a > PIVOT_TOLERANCE {
+                let ratio = self.data[row * stride + self.cols] / a;
+                match leaving {
+                    None => leaving = Some((row, ratio)),
+                    Some((best_row, best_ratio)) => {
+                        let better = ratio < best_ratio - EPSILON
+                            || (ratio < best_ratio + EPSILON
+                                && self.basis[row] < self.basis[best_row]);
+                        if better {
+                            leaving = Some((row, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        if leaving.is_none() {
+            // Fallback: the largest positive-but-tiny pivot entry.
+            let mut best: Option<(usize, f64)> = None;
+            for row in 0..self.rows {
+                let a = self.data[row * stride + entering];
+                if a > EPSILON && best.is_none_or(|(_, b)| a > b) {
+                    best = Some((row, a));
+                }
+            }
+            return best.map(|(row, _)| row);
+        }
+        leaving.map(|(row, _)| row)
+    }
+
+    /// Lexicographic minimum-ratio test.  Rows with a pivot entry above
+    /// `PIVOT_TOLERANCE` compete (falling back to anything above `EPSILON`
+    /// when none exist, mirroring the banded rule's tiny-pivot fallback);
+    /// among them the winner minimises `(rhs, ref₀, ref₁, …) / aᵣ`
+    /// lexicographically with exact comparisons at every level, which makes
+    /// the selection a strict total order — the anti-cycling property the
+    /// banded rule's ±EPSILON tie band gives up.
+    fn leaving_lexicographic(&self, entering: usize, ref_cols: &[usize]) -> Option<usize> {
+        const PIVOT_TOLERANCE: f64 = 1e-7;
+        let stride = self.stride();
+        let mut threshold = PIVOT_TOLERANCE;
+        let mut best: Option<usize> = None;
+        loop {
+            for row in 0..self.rows {
+                let a = self.data[row * stride + entering];
+                if a <= threshold {
+                    continue;
+                }
+                best = match best {
+                    None => Some(row),
+                    Some(b) => {
+                        if self.lex_ratio_less(row, b, entering, ref_cols) {
+                            Some(row)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+            if best.is_some() || threshold <= EPSILON {
+                return best;
+            }
+            // No comfortably-sized pivot entry: admit tiny ones rather than
+            // declaring unboundedness on numerical noise.
+            threshold = EPSILON;
+        }
+    }
+
+    /// Returns `true` when row `r`'s ratio vector `(rhs, ref₀, ref₁, …)/aᵣ`
+    /// is lexicographically smaller than row `b`'s.  Comparisons are exact;
+    /// equal prefixes fall through to the next reference column, and fully
+    /// identical vectors keep the incumbent (stable choice).
+    fn lex_ratio_less(&self, r: usize, b: usize, entering: usize, ref_cols: &[usize]) -> bool {
+        let ar = self.get(r, entering);
+        let ab = self.get(b, entering);
+        let x = self.rhs(r) / ar;
+        let y = self.rhs(b) / ab;
+        if x != y {
+            return x < y;
+        }
+        for &c in ref_cols {
+            let x = self.get(r, c) / ar;
+            let y = self.get(b, c) / ab;
+            if x != y {
+                return x < y;
+            }
+        }
+        false
     }
 }
 

@@ -1,0 +1,114 @@
+//! Property pins for simplex warm starts.
+//!
+//! Warm-started feasibility solves reorder the entering-column scan of
+//! phase 1 around the previous same-shape solve's final basis.  That is
+//! still Bland's rule under a total order that is fixed for the whole solve,
+//! so it changes the pivot walk — never the verdict.  These tests pin the
+//! contract over randomised programs:
+//!
+//! * every warm feasibility verdict equals the cold verdict, and
+//! * full solves (which are deliberately never warm-started, so chosen
+//!   points stay history-free) return bit-identical values no matter what
+//!   warm history the workspace carries.
+
+use bvc_lp::{LinearProgram, Objective, Relation, SimplexWorkspace, SolveStatus};
+
+/// Minimal deterministic generator (splitmix-style) so the corpus is stable.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-1, 1]`.
+    fn coeff(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A random small program.  Shapes are drawn from a handful of recurring
+/// `(vars, constraints)` pairs so the warm-priority map (keyed by tableau
+/// shape) actually gets re-hits, like the recurring membership/joint shapes
+/// of the Γ engine.
+fn random_lp(rng: &mut Rng) -> LinearProgram {
+    let vars = 2 + rng.below(3);
+    let constraints = 2 + rng.below(4);
+    let mut lp = LinearProgram::new(vars, Objective::Minimize);
+    for v in 0..vars {
+        lp.set_objective_coefficient(v, rng.coeff());
+    }
+    for c in 0..constraints {
+        let coefficients: Vec<f64> = (0..vars).map(|_| rng.coeff()).collect();
+        let relation = match c % 3 {
+            0 => Relation::LessEq,
+            1 => Relation::GreaterEq,
+            _ => Relation::Equal,
+        };
+        lp.add_constraint(coefficients, relation, rng.coeff());
+    }
+    lp
+}
+
+#[test]
+fn warm_feasibility_verdicts_equal_cold_verdicts() {
+    let mut rng = Rng(7);
+    let mut warm_workspace = SimplexWorkspace::new();
+    let mut feasible = 0u32;
+    let mut infeasible = 0u32;
+    for case in 0..400 {
+        let lp = random_lp(&mut rng);
+        let cold = lp.solve_feasibility();
+        let warm = lp.solve_feasibility_warm_with(&mut warm_workspace);
+        assert_eq!(
+            cold, warm,
+            "case {case}: warm starts must not change verdicts"
+        );
+        match cold {
+            SolveStatus::Optimal => feasible += 1,
+            SolveStatus::Infeasible => infeasible += 1,
+            SolveStatus::Unbounded | SolveStatus::Stalled => {}
+        }
+    }
+    assert!(
+        feasible > 0 && infeasible > 0,
+        "the corpus must exercise both verdicts (got {feasible} feasible, {infeasible} infeasible)"
+    );
+    assert!(
+        warm_workspace.warm_hits() > 0,
+        "recurring shapes must actually be served stored warm priorities"
+    );
+}
+
+#[test]
+fn full_solves_are_unaffected_by_warm_history() {
+    let mut rng = Rng(11);
+    for case in 0..100 {
+        let lp = random_lp(&mut rng);
+        // Reference: a full solve on a pristine workspace.
+        let pristine = lp.solve_with(&mut SimplexWorkspace::new());
+        // A workspace polluted by warm feasibility solves of unrelated
+        // programs (which store warm priorities for their shapes).
+        let mut polluted = SimplexWorkspace::new();
+        for _ in 0..5 {
+            let other = random_lp(&mut rng);
+            let _ = other.solve_feasibility_warm_with(&mut polluted);
+        }
+        let solved = lp.solve_with(&mut polluted);
+        assert_eq!(pristine.status, solved.status, "case {case}");
+        let a: Vec<u64> = pristine.values.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = solved.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            a, b,
+            "case {case}: full solves never warm-start, so chosen points are history-free"
+        );
+    }
+}

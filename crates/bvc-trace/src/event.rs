@@ -14,7 +14,8 @@ pub const SCHEMA: &str = "bvc-trace/v1";
 /// Which fast path resolved a Γ query (point selection or membership).
 ///
 /// The first five variants attribute point-selection queries, mirroring the
-/// engine's escalation ladder; the last three attribute membership tests.
+/// engine's escalation ladder; the remaining variants attribute membership
+/// tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GammaPath {
     /// `d = 1` closed-form trimmed interval (point: its midpoint).
@@ -36,6 +37,10 @@ pub enum GammaPath {
     /// Membership decided by streaming subset hulls (short-circuits on the
     /// first refuting hull).
     StreamScan,
+    /// Membership rejected by the remembered refuter hull of an earlier,
+    /// structurally similar query (the incremental cache mode's cross-round
+    /// hint), without scanning the subset stream.
+    HintReject,
 }
 
 impl GammaPath {
@@ -50,11 +55,12 @@ impl GammaPath {
             GammaPath::MultiplicityAccept => "multiplicity-accept",
             GammaPath::BoxReject => "box-reject",
             GammaPath::StreamScan => "stream-scan",
+            GammaPath::HintReject => "hint-reject",
         }
     }
 
     /// All variants, in wire order (index = [`Self::index`]).
-    pub const ALL: [GammaPath; 8] = [
+    pub const ALL: [GammaPath; 9] = [
         GammaPath::D1ClosedForm,
         GammaPath::HullF0,
         GammaPath::ProbeHit,
@@ -63,6 +69,7 @@ impl GammaPath {
         GammaPath::MultiplicityAccept,
         GammaPath::BoxReject,
         GammaPath::StreamScan,
+        GammaPath::HintReject,
     ];
 
     /// Dense index of the variant (for counter arrays).
