@@ -4,12 +4,17 @@
 //!
 //! ```text
 //! chaos-run --search [--seed S] [--restarts R] [--iters I]
-//!           [--repros DIR] [--pin]
+//!           [--repros DIR] [--pin] [--protocols LIST]
 //!     Hill-climbing adversary search.  Every genuine violation is shrunk
 //!     to a minimal reproducer and matched (by family signature) against
 //!     the reproducers already committed under DIR (default
 //!     scenarios/repros).  New families exit 1 — unless --pin, which
 //!     writes the shrunk reproducer + pinned verdict there instead.
+//!     --protocols takes a comma-separated list of schema protocol names
+//!     to attack (default exact,restricted-sync,approx — the pinned CI
+//!     trajectory).  Listing a directed kind (directed-exact,
+//!     directed-exact-lb) additionally unlocks the digraph-aware genome
+//!     operators: topology sampling/rewiring and broadcast-model flips.
 //!
 //! chaos-run --churn [--seed S] [--waves W] [--per-wave P] [--jobs J]
 //!           [--label L] [--metrics PATH] [--dashboard PATH]
@@ -31,6 +36,7 @@ use bvc_chaos::{
     churn, dashboard_header, evaluate, known_signatures, replay_dir, search, shrink, write_repro,
     ChurnConfig, SearchConfig,
 };
+use bvc_scenario::Protocol;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -39,6 +45,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: chaos-run --search [--seed S] [--restarts R] [--iters I] [--repros DIR] [--pin]\n\
+         \x20                [--protocols LIST]\n\
          \x20      chaos-run --churn [--seed S] [--waves W] [--per-wave P] [--jobs J] [--label L]\n\
          \x20                [--metrics PATH] [--dashboard PATH]\n\
          \x20      chaos-run --replay DIR\n\
@@ -111,7 +118,17 @@ fn run_search(args: &Args) -> Result<ExitCode, String> {
     let repros = PathBuf::from(args.value("--repros").unwrap_or("scenarios/repros"));
     let pin = args.has("--pin");
 
-    let config = SearchConfig::new(seed, restarts, iters);
+    let mut config = SearchConfig::new(seed, restarts, iters);
+    if let Some(raw) = args.value("--protocols") {
+        config.space.protocols = raw
+            .split(',')
+            .map(|name| {
+                let name = name.trim();
+                Protocol::from_name(name)
+                    .ok_or_else(|| format!("unknown protocol `{name}` in --protocols"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    }
     let report = search(&config);
     println!(
         "chaos-run: search seed {seed}: {} evaluation(s), best score {:.3}, {} finding(s)",

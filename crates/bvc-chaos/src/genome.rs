@@ -83,6 +83,13 @@ pub struct ChaosGenome {
     pub strategy: String,
     /// The validity knob.
     pub validity: ValidityGene,
+    /// Declared communication topology, in the campaign-compact label form
+    /// (`ring`, `random-regular:4`, …) of `TopologySpec::parse`.  `None` is
+    /// the paper's complete graph and keeps the serialised TOML
+    /// byte-identical to pre-digraph genomes; the search only declares a
+    /// topology for the directed protocol kinds, where the graph condition
+    /// is the whole game.
+    pub topology: Option<String>,
     /// Per-link latency fault windows.
     pub faults: Vec<FaultGene>,
     /// `true` selects the round-robin delivery schedule (async protocols;
@@ -110,16 +117,22 @@ impl ChaosGenome {
 
     /// The family signature used to name reproducers and to match freshly
     /// found violations against committed ones:
-    /// `<protocol>-n<n>f<f>d<d>-<validity family>`.
+    /// `<protocol>-n<n>f<f>d<d>-<validity family>`, with a `-<topology>`
+    /// suffix (`:` flattened to `-` so the signature stays a valid file
+    /// stem) when the genome declares one.
     pub fn signature(&self) -> String {
-        format!(
+        let mut signature = format!(
             "{}-n{}f{}d{}-{}",
             self.protocol.name(),
             self.n,
             self.f,
             self.d,
             self.validity.family()
-        )
+        );
+        if let Some(topology) = &self.topology {
+            let _ = write!(signature, "-{}", topology.replace(':', "-"));
+        }
+        signature
     }
 
     /// Serialises the genome as a standard scenario TOML document.  This is
@@ -164,6 +177,9 @@ impl ChaosGenome {
         }
         out.push_str("]\n");
         let _ = writeln!(out, "\n[adversary]\nstrategy = \"{}\"", self.strategy);
+        if let Some(topology) = &self.topology {
+            let _ = writeln!(out, "\n[topology]\nkind = \"{topology}\"");
+        }
         if self.round_robin {
             out.push_str("\n[delivery]\npolicy = \"round-robin\"\n");
         }
@@ -229,6 +245,7 @@ mod tests {
             ],
             strategy: "split-brain:5".to_string(),
             validity: ValidityGene::Alpha(0.5),
+            topology: None,
             faults: vec![FaultGene {
                 from: 0,
                 to: 2,
@@ -264,6 +281,30 @@ mod tests {
         assert_eq!(a.signature(), "exact-n5f1d2-alpha");
         b.validity = ValidityGene::K(1);
         assert_eq!(b.signature(), "exact-n5f1d2-k1");
+    }
+
+    #[test]
+    fn a_directed_genome_round_trips_with_its_topology() {
+        let mut g = genome();
+        g.protocol = Protocol::DirectedExactLb;
+        g.n = 8;
+        g.f = 1;
+        g.strategy = "crash:1".to_string();
+        g.validity = ValidityGene::Strict;
+        g.topology = Some("random-regular:4".to_string());
+        g.faults.clear();
+        g.fix_points(&mut StdRng::seed_from_u64(5));
+        let spec = g.to_spec().expect("directed genome TOML parses");
+        assert_eq!(spec.protocol.name(), "directed-exact-lb");
+        assert_eq!(
+            spec.topology.as_ref().map(|t| t.name()),
+            Some("random-regular:4".to_string())
+        );
+        assert_eq!(
+            g.signature(),
+            "directed-exact-lb-n8f1d2-strict-random-regular-4",
+            "the topology suffix flattens `:` into a file-stem-safe `-`"
+        );
     }
 
     #[test]

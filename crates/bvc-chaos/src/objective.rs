@@ -60,6 +60,12 @@ pub fn strict_bound(protocol: Protocol, d: usize, f: usize) -> usize {
         // sufficiency check, not an n-bound; the complete graphs the search
         // generates always pass it.
         Protocol::Iterative => 0,
+        // The directed kinds are governed by their graph condition plus a
+        // hard model floor that admission enforces outright — below it the
+        // run is rejected regardless of validity mode, so the floor is the
+        // strict line here too.
+        Protocol::DirectedExact => (3 * f + 1).max((d + 1) * f + 1),
+        Protocol::DirectedExactLb => (2 * f + 1).max((d + 1) * f + 1),
     }
 }
 
@@ -149,6 +155,7 @@ mod tests {
             points: vec![vec![0.2], vec![0.5], vec![0.8]],
             strategy: "equivocate".to_string(),
             validity: ValidityGene::Strict,
+            topology: None,
             faults: Vec::new(),
             round_robin: false,
             max_steps: 200_000,

@@ -14,6 +14,7 @@
 
 use crate::genome::ChaosGenome;
 use bvc_scenario::{run_scenario, ScenarioSpec};
+use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -34,14 +35,18 @@ pub fn spec_signature(spec: &ScenarioSpec) -> String {
             }
         }
     };
-    format!(
+    let mut signature = format!(
         "{}-n{}f{}d{}-{}",
         spec.protocol.name(),
         spec.n,
         spec.f,
         spec.d,
         family
-    )
+    );
+    if let Some(topology) = &spec.topology {
+        let _ = write!(signature, "-{}", topology.name().replace(':', "-"));
+    }
+    signature
 }
 
 /// Signatures of every committed reproducer in `dir` (empty if the
@@ -201,11 +206,24 @@ mod tests {
             ],
             strategy: "equivocate".to_string(),
             validity: ValidityGene::Alpha(0.5),
+            topology: None,
             faults: Vec::new(),
             round_robin: false,
             max_steps: 100_000,
         };
         let spec = genome.to_spec().unwrap();
         assert_eq!(spec_signature(&spec), genome.signature());
+
+        // A declared topology shows up in both signatures identically —
+        // directed reproducers dedup by (shape, validity, topology).
+        let mut directed = genome;
+        directed.protocol = Protocol::DirectedExact;
+        directed.n = 8;
+        directed.f = 1;
+        directed.validity = ValidityGene::Strict;
+        directed.topology = Some("random-regular:4".to_string());
+        directed.points = (0..7).map(|i| vec![0.1 * i as f64, 0.2]).collect();
+        let spec = directed.to_spec().unwrap();
+        assert_eq!(spec_signature(&spec), directed.signature());
     }
 }

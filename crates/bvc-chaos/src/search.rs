@@ -11,7 +11,7 @@
 
 use crate::genome::{ChaosGenome, FaultGene, ValidityGene};
 use crate::objective::{evaluate, strict_bound, Evaluation};
-use bvc_scenario::Protocol;
+use bvc_scenario::{BroadcastModel, Protocol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,6 +32,34 @@ pub struct SearchSpace {
     pub alpha_max: f64,
     /// Async delivery-step cap for sampled genomes.
     pub max_steps: usize,
+    /// Topology labels (campaign-compact form) a **directed** genome may
+    /// declare.  Drawn only when the sampled or mutated protocol is one of
+    /// the directed kinds, so spaces without a directed protocol consume no
+    /// extra randomness and their traces stay byte-identical to the
+    /// pre-digraph search.
+    pub directed_topologies: Vec<String>,
+}
+
+impl SearchSpace {
+    /// Whether the space contains a directed protocol kind — the gate that
+    /// unlocks the digraph-aware mutation operators (and with them a wider
+    /// operator draw, which is why it is a property of the *space*, not of
+    /// the current genome: the draw sequence must not depend on search
+    /// state that classic spaces never reach).
+    pub fn has_directed(&self) -> bool {
+        self.protocols.iter().any(|p| p.broadcast_model().is_some())
+    }
+
+    /// One topology label for a directed genome (`None` when the space
+    /// declares no labels — the genome then runs on the complete graph).
+    fn pick_topology(&self, rng: &mut StdRng) -> Option<String> {
+        if self.directed_topologies.is_empty() {
+            None
+        } else {
+            let i = rng.gen_range(0..self.directed_topologies.len());
+            Some(self.directed_topologies[i].clone())
+        }
+    }
 }
 
 impl Default for SearchSpace {
@@ -47,6 +75,14 @@ impl Default for SearchSpace {
             n_slack: 2,
             alpha_max: 4.0,
             max_steps: 400_000,
+            // Only drawn from once a directed protocol enters the space
+            // (the `--protocols` knob); the default protocol list above is
+            // deliberately unchanged so the seed-0 CI trajectory is too.
+            directed_topologies: vec![
+                "complete".to_string(),
+                "random-regular:4".to_string(),
+                "ring".to_string(),
+            ],
         }
     }
 }
@@ -139,6 +175,14 @@ pub(crate) fn sample(rng: &mut StdRng, space: &SearchSpace) -> ChaosGenome {
         i if i < strategies.len() => strategies[i].to_string(),
         _ => format!("split-brain:{}", rng.gen_range(1..(1u64 << n.min(16)))),
     };
+    // Directed protocols live or die by their graph condition, so every
+    // directed restart declares a topology; the classic kinds keep the
+    // complete graph and draw nothing here.
+    let topology = if protocol.broadcast_model().is_some() {
+        space.pick_topology(rng)
+    } else {
+        None
+    };
     let mut genome = ChaosGenome {
         protocol,
         n,
@@ -149,6 +193,7 @@ pub(crate) fn sample(rng: &mut StdRng, space: &SearchSpace) -> ChaosGenome {
         points: Vec::new(),
         strategy,
         validity,
+        topology,
         faults: Vec::new(),
         round_robin: false,
         max_steps: space.max_steps,
@@ -161,7 +206,12 @@ pub(crate) fn sample(rng: &mut StdRng, space: &SearchSpace) -> ChaosGenome {
 /// operator label recorded in the trace.
 fn mutate(genome: &ChaosGenome, rng: &mut StdRng, space: &SearchSpace) -> (ChaosGenome, String) {
     let mut g = genome.clone();
-    let op = match rng.gen_range(0..12u32) {
+    // Spaces holding a directed protocol unlock two digraph operators
+    // (protocol swap, broadcast-flip/retopo).  The wider draw is gated on
+    // the space — fixed per run — so classic spaces keep the exact operator
+    // distribution (and rng stream) of the pre-digraph search.
+    let operators = if space.has_directed() { 14u32 } else { 12 };
+    let op = match rng.gen_range(0..operators) {
         0 => {
             let p = rng.gen_range(0..g.points.len());
             let c = rng.gen_range(0..g.d);
@@ -257,7 +307,7 @@ fn mutate(genome: &ChaosGenome, rng: &mut StdRng, space: &SearchSpace) -> (Chaos
                 format!("fault-drop:{i}")
             }
         }
-        _ => {
+        11 => {
             let lo = space.d_range.0;
             let hi = space.d_range.1;
             g.d = if rng.gen_bool(0.5) && g.d > lo {
@@ -267,6 +317,54 @@ fn mutate(genome: &ChaosGenome, rng: &mut StdRng, space: &SearchSpace) -> (Chaos
             };
             g.fix_points(rng);
             "redim".to_string()
+        }
+        12 => {
+            // Digraph operator: hop to any protocol in the space.  Entering
+            // the directed family brings a topology along (the graph
+            // condition is what makes those kinds interesting); leaving it
+            // sheds the topology so classic genomes stay classic.
+            let protocol = space.protocols[rng.gen_range(0..space.protocols.len())];
+            g.protocol = protocol;
+            if protocol.broadcast_model().is_some() {
+                if g.topology.is_none() {
+                    g.topology = space.pick_topology(rng);
+                }
+            } else {
+                g.topology = None;
+            }
+            format!("swap-protocol:{}", protocol.name())
+        }
+        _ => {
+            // Digraph operator: on a directed genome, flip the delivery
+            // model (point-to-point ↔ local broadcast — the tighter cut
+            // threshold is exactly the boundary worth probing) or rewire
+            // onto a different topology; elsewhere fall back to a reseed so
+            // the operator is never a silent no-op.
+            match g.protocol.broadcast_model() {
+                Some(model) => {
+                    if rng.gen_bool(0.5) {
+                        let flipped = match model {
+                            BroadcastModel::PointToPoint => BroadcastModel::Local,
+                            BroadcastModel::Local => BroadcastModel::PointToPoint,
+                        };
+                        g.protocol = g
+                            .protocol
+                            .with_broadcast(flipped)
+                            .expect("directed protocols always have a broadcast axis");
+                        "flip-broadcast".to_string()
+                    } else {
+                        g.topology = space.pick_topology(rng);
+                        match &g.topology {
+                            Some(label) => format!("retopo:{label}"),
+                            None => "retopo:complete".to_string(),
+                        }
+                    }
+                }
+                None => {
+                    g.seed = rng.gen_range(0..1000u64);
+                    "reseed".to_string()
+                }
+            }
         }
     };
     (g, op)
@@ -380,6 +478,25 @@ mod tests {
                 n_slack: 1,
                 alpha_max: 2.0,
                 max_steps: 100_000,
+                directed_topologies: Vec::new(),
+            },
+        }
+    }
+
+    /// A cheap digraph space: both directed kinds over small topologies.
+    fn directed_config(seed: u64) -> SearchConfig {
+        SearchConfig {
+            master_seed: seed,
+            restarts: 2,
+            iters: 4,
+            space: SearchSpace {
+                protocols: vec![Protocol::DirectedExact, Protocol::DirectedExactLb],
+                f_range: (1, 1),
+                d_range: (1, 1),
+                n_slack: 1,
+                alpha_max: 2.0,
+                max_steps: 100_000,
+                directed_topologies: vec!["complete".to_string(), "ring".to_string()],
             },
         }
     }
@@ -398,5 +515,27 @@ mod tests {
         let a = search(&tiny_config(1));
         let b = search(&tiny_config(2));
         assert_ne!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn the_default_space_has_no_directed_protocols() {
+        // The seed-0 CI search trajectory is byte-stable only because the
+        // digraph operators stay locked behind the explicit `--protocols`
+        // opt-in: the default space must never grow a directed kind without
+        // regenerating every pinned chaos artefact.
+        assert!(!SearchSpace::default().has_directed());
+    }
+
+    #[test]
+    fn directed_spaces_search_deterministically_over_digraph_genomes() {
+        let a = search(&directed_config(9));
+        let b = search(&directed_config(9));
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert!(
+            a.trace.iter().any(|line| line.contains("directed-exact")),
+            "directed spaces must actually sample directed genomes: {:?}",
+            a.trace
+        );
     }
 }

@@ -150,7 +150,20 @@ pub fn shrink(genome: &ChaosGenome, flags: (bool, bool, bool)) -> ShrinkResult {
             }
         }
 
-        // Pass 8: shed processes (dropping the last honest input point).
+        // Pass 8: drop the declared topology — a directed finding that
+        // still reproduces on the complete graph is the simpler reproducer
+        // (and usually a deeper one: it survived losing its cut structure).
+        if best.topology.is_some() {
+            let mut candidate = best.clone();
+            candidate.topology = None;
+            if preserves(&candidate, flags, &mut evaluations) {
+                best = candidate;
+                steps.push("drop-topology".to_string());
+                changed = true;
+            }
+        }
+
+        // Pass 9: shed processes (dropping the last honest input point).
         while best.n > best.f + 2 {
             let mut candidate = best.clone();
             candidate.n -= 1;
@@ -164,7 +177,7 @@ pub fn shrink(genome: &ChaosGenome, flags: (bool, bool, bool)) -> ShrinkResult {
             }
         }
 
-        // Pass 9: fewer Byzantine processes (honest inputs are kept, so
+        // Pass 10: fewer Byzantine processes (honest inputs are kept, so
         // the freed id becomes an extra honest process only if a point
         // exists for it — instead we shrink n in lockstep to keep shape).
         if best.f > 1 {

@@ -46,6 +46,7 @@ fn alpha_family_genome() -> ChaosGenome {
         ],
         strategy: "anti-convergence".to_string(),
         validity: ValidityGene::Alpha(0.05),
+        topology: None,
         faults: Vec::new(),
         round_robin: false,
         max_steps: 200_000,

@@ -14,6 +14,12 @@
 //! | Restricted-round, synchronous | [`restricted`] | `n ≥ (d+2)f+1` |
 //! | Restricted-round, asynchronous | [`restricted`] | `n ≥ (d+4)f+1` |
 //!
+//! Beyond the paper's complete graph, [`iterative`] runs Vaidya's iterative
+//! protocol on arbitrary topologies and [`directed`] runs exact consensus on
+//! arbitrary directed graphs under point-to-point (arXiv:1208.5075) or
+//! local-broadcast (arXiv:1911.07298) delivery; both are governed by the
+//! graph conditions of `bvc-topology` rather than a closed-form bound.
+//!
 //! The necessity halves of the bounds are materialised as executable
 //! constructions in [`lower_bounds`]; the convergence formulas (the
 //! contraction factor `γ` and the round budget) live in [`convergence`]; the
@@ -52,6 +58,7 @@ pub mod aad;
 pub mod approx;
 pub mod config;
 pub mod convergence;
+pub mod directed;
 pub mod exact;
 pub mod iterative;
 pub mod lower_bounds;
@@ -69,6 +76,7 @@ pub use config::{BvcConfig, BvcError, Setting};
 pub use convergence::{
     gamma, gamma_iterative, gamma_witness_optimized, guaranteed_range, round_threshold,
 };
+pub use directed::{ByzantineDirectedProcess, DirectedExactProcess, DirectedMsg};
 pub use exact::{ByzantineExactProcess, ExactBvcProcess, ExactMsg};
 pub use iterative::{iterative_round_budget, ByzantineIterativeProcess, IterativeBvcProcess};
 pub use lower_bounds::{

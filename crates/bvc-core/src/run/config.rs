@@ -18,9 +18,11 @@ use bvc_geometry::{Point, SharedGammaCache};
 use bvc_net::{DeliveryPolicy, FaultPlan};
 use bvc_topology::Topology;
 
-/// The five protocols a [`BvcSession`](super::BvcSession) can dispatch to:
-/// the source paper's four complete-graph algorithms plus the iterative
-/// incomplete-graph protocol (Vaidya 2013).
+/// The seven protocols a [`BvcSession`](super::BvcSession) can dispatch to:
+/// the source paper's four complete-graph algorithms, the iterative
+/// incomplete-graph protocol (Vaidya 2013), and exact consensus on arbitrary
+/// directed graphs under the point-to-point (arXiv:1208.5075) and
+/// local-broadcast (arXiv:1911.07298) delivery models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// Exact BVC, synchronous (Theorems 1/3).
@@ -35,21 +37,32 @@ pub enum ProtocolKind {
     /// synchronous; solvability governed by the topology sufficiency check
     /// instead of a closed-form bound).
     Iterative,
+    /// Exact BVC on an arbitrary directed graph, point-to-point delivery
+    /// (synchronous; solvability governed by
+    /// `Topology::directed_exact_sufficiency`, recorded in the report).
+    DirectedExact,
+    /// Exact BVC on an arbitrary directed graph under the local-broadcast
+    /// delivery model (synchronous; solvability governed by
+    /// `Topology::directed_exact_lb_sufficiency`).
+    DirectedExactLb,
 }
 
 impl ProtocolKind {
-    /// All five protocols, in declaration order (handy for table-driven
+    /// All seven protocols, in declaration order (handy for table-driven
     /// tests and sweeps).
-    pub const ALL: [ProtocolKind; 5] = [
+    pub const ALL: [ProtocolKind; 7] = [
         ProtocolKind::Exact,
         ProtocolKind::Approx,
         ProtocolKind::RestrictedSync,
         ProtocolKind::RestrictedAsync,
         ProtocolKind::Iterative,
+        ProtocolKind::DirectedExact,
+        ProtocolKind::DirectedExactLb,
     ];
 
     /// The stable name (`exact`, `approx`, `restricted-sync`,
-    /// `restricted-async`, `iterative`), matching the scenario schema.
+    /// `restricted-async`, `iterative`, `directed-exact`,
+    /// `directed-exact-lb`), matching the scenario schema.
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::Exact => "exact",
@@ -57,6 +70,8 @@ impl ProtocolKind {
             ProtocolKind::RestrictedSync => "restricted-sync",
             ProtocolKind::RestrictedAsync => "restricted-async",
             ProtocolKind::Iterative => "iterative",
+            ProtocolKind::DirectedExact => "directed-exact",
+            ProtocolKind::DirectedExactLb => "directed-exact-lb",
         }
     }
 
@@ -68,16 +83,20 @@ impl ProtocolKind {
     }
 
     /// Whether the protocol is judged against ε-agreement (every protocol
-    /// except exact consensus, whose agreement is equality up to LP
-    /// round-off).
+    /// except the exact-consensus family, whose agreement is equality up to
+    /// LP round-off).
     pub fn uses_epsilon(self) -> bool {
-        !matches!(self, ProtocolKind::Exact)
+        !matches!(
+            self,
+            ProtocolKind::Exact | ProtocolKind::DirectedExact | ProtocolKind::DirectedExactLb
+        )
     }
 
     /// The paper setting whose resilience bound admits this protocol —
-    /// `None` for the iterative protocol, which has no closed-form bound
-    /// (its resource signal is the topology sufficiency check, recorded in
-    /// the report).
+    /// `None` for the iterative and directed protocols, which have no
+    /// closed-form bound (their resource signal is the topology sufficiency
+    /// check, recorded in the report; the directed kinds additionally
+    /// enforce their model's `n` floor at validation).
     pub fn setting(self) -> Option<Setting> {
         match self {
             ProtocolKind::Exact => Some(Setting::ExactSync),
@@ -85,7 +104,23 @@ impl ProtocolKind {
             ProtocolKind::RestrictedSync => Some(Setting::RestrictedSync),
             ProtocolKind::RestrictedAsync => Some(Setting::RestrictedAsync),
             ProtocolKind::Iterative => None,
+            ProtocolKind::DirectedExact | ProtocolKind::DirectedExactLb => None,
         }
+    }
+
+    /// The directed models' process floor — the part of the graph condition
+    /// that does not depend on the graph (arXiv:1208.5075 needs `n ≥ 3f+1`
+    /// point-to-point; arXiv:1911.07298 weakens it to `n ≥ 2f+1` under
+    /// local broadcast; the `(d+1)f+1` decision-step floor is
+    /// model-independent).  `None` for the non-directed protocols, whose
+    /// admission goes through [`Setting`] bounds instead.
+    fn directed_floor(self, d: usize, f: usize) -> Option<usize> {
+        let equivocation_floor = match self {
+            ProtocolKind::DirectedExact => 3 * f + 1,
+            ProtocolKind::DirectedExactLb => 2 * f + 1,
+            _ => return None,
+        };
+        Some(equivocation_floor.max((d + 1) * f + 1))
     }
 }
 
@@ -347,6 +382,19 @@ impl RunConfig {
                 ));
             }
         }
+        // The directed models' graph-independent floor is enforced here — the
+        // single admission point — while the graph-dependent part of the
+        // condition is recorded by the driver as the run's sufficiency
+        // verdict (a violating *graph* is expected data, a too-small `n`
+        // is a configuration error on every graph).
+        if let Some(floor) = protocol.directed_floor(core.d, core.f) {
+            if core.n < floor {
+                return Err(BvcError::InvalidParameter(format!(
+                    "{protocol} requires n >= {floor} (model floor at f = {}, d = {}), got n = {}",
+                    core.f, core.d, core.n
+                )));
+            }
+        }
         if self.honest_inputs.len() != core.honest_count() {
             return Err(BvcError::InvalidParameter(format!(
                 "expected {} honest inputs (n − f), got {}",
@@ -427,7 +475,10 @@ mod tests {
                         ValidityMode::Strict => setting.min_processes(d, f),
                         _ => setting.min_processes(1, f),
                     },
-                    None => 1, // iterative: no closed-form bound
+                    // Iterative has no closed-form bound; the directed kinds
+                    // keep their graph-independent model floor under every
+                    // validity mode (the flood has no relaxed variant).
+                    None => protocol.directed_floor(d, f).unwrap_or(1),
                 };
                 // One below the bound is rejected with the exact requirement…
                 if required > f + 1 {
@@ -442,6 +493,15 @@ mod tests {
                         }) => {
                             assert_eq!(r, required, "{protocol} / {mode:?}");
                             assert_eq!(actual, required - 1, "{protocol} / {mode:?}");
+                        }
+                        // The directed kinds have no Setting; their model
+                        // floor rejects as a structural violation naming the
+                        // required n.
+                        Err(BvcError::InvalidParameter(msg)) if protocol.setting().is_none() => {
+                            assert!(
+                                msg.contains(&format!("n >= {required}")),
+                                "{protocol} / {mode:?}: {msg}"
+                            );
                         }
                         other => panic!("{protocol} / {mode:?}: expected rejection, got {other:?}"),
                     }
@@ -474,12 +534,16 @@ mod tests {
     }
 
     #[test]
-    fn zero_faults_rejected_except_for_iterative() {
+    fn zero_faults_rejected_except_for_topology_governed_protocols() {
+        // The iterative and directed protocols accept the fault-free
+        // baseline (their solvability signal is the graph condition, which
+        // is trivial at f = 0); the four complete-graph protocols model at
+        // least one Byzantine process.
         for protocol in ProtocolKind::ALL {
             let config = RunConfig::new(6, 0, 2).honest_inputs(inputs(6, 2));
             let result = config.validate(protocol);
-            if protocol == ProtocolKind::Iterative {
-                result.unwrap_or_else(|e| panic!("iterative accepts f = 0: {e}"));
+            if protocol.setting().is_none() {
+                result.unwrap_or_else(|e| panic!("{protocol} accepts f = 0: {e}"));
             } else {
                 assert!(
                     matches!(result, Err(BvcError::InvalidParameter(_))),
@@ -519,6 +583,14 @@ mod tests {
         config
             .validate(ProtocolKind::Exact)
             .expect("ε is ignored by exact consensus");
+        // …and the two directed exact protocols ignore it the same way…
+        for protocol in [ProtocolKind::DirectedExact, ProtocolKind::DirectedExactLb] {
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(inputs(4, 2))
+                .epsilon(0.0)
+                .validate(protocol)
+                .expect("ε is ignored by the exact-consensus family");
+        }
         // …while every ε-judged protocol still rejects it.
         for protocol in [
             ProtocolKind::Approx,
@@ -569,12 +641,26 @@ mod tests {
 
     #[test]
     fn protocol_kind_surface() {
-        assert_eq!(ProtocolKind::ALL.len(), 5);
+        assert_eq!(ProtocolKind::ALL.len(), 7);
         assert!(ProtocolKind::Approx.is_async());
         assert!(!ProtocolKind::RestrictedSync.is_async());
         assert!(!ProtocolKind::Exact.uses_epsilon());
         assert!(ProtocolKind::Iterative.uses_epsilon());
         assert_eq!(ProtocolKind::RestrictedAsync.name(), "restricted-async");
         assert_eq!(ProtocolKind::Iterative.setting(), None);
+        assert_eq!(ProtocolKind::DirectedExact.name(), "directed-exact");
+        assert_eq!(ProtocolKind::DirectedExactLb.name(), "directed-exact-lb");
+        assert!(!ProtocolKind::DirectedExact.is_async());
+        assert!(!ProtocolKind::DirectedExactLb.is_async());
+        assert!(!ProtocolKind::DirectedExact.uses_epsilon());
+        assert!(!ProtocolKind::DirectedExactLb.uses_epsilon());
+        assert_eq!(ProtocolKind::DirectedExact.setting(), None);
+        assert_eq!(ProtocolKind::DirectedExactLb.setting(), None);
+        // The LB floor is strictly weaker where 3f+1 dominates…
+        assert_eq!(ProtocolKind::DirectedExact.directed_floor(1, 2), Some(7));
+        assert_eq!(ProtocolKind::DirectedExactLb.directed_floor(1, 2), Some(5));
+        // …and both keep the model-independent (d+1)f+1 decision floor.
+        assert_eq!(ProtocolKind::DirectedExact.directed_floor(4, 2), Some(11));
+        assert_eq!(ProtocolKind::DirectedExactLb.directed_floor(4, 2), Some(11));
     }
 }

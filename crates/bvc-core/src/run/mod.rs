@@ -2,9 +2,11 @@
 //! report.
 //!
 //! A [`BvcSession`] wires a protocol-agnostic [`RunConfig`] to one of the
-//! five [`ProtocolKind`]s — Exact BVC (synchronous), Approximate BVC
-//! (asynchronous), the two Section-4 restricted-round variants, and the
-//! iterative incomplete-graph protocol — validates the configuration **once**
+//! seven [`ProtocolKind`]s — Exact BVC (synchronous), Approximate BVC
+//! (asynchronous), the two Section-4 restricted-round variants, the
+//! iterative incomplete-graph protocol, and exact consensus on arbitrary
+//! directed graphs under point-to-point or local-broadcast delivery —
+//! validates the configuration **once**
 //! ([`RunConfig::validate`] is the only admission point in the workspace),
 //! executes the matching [`ProtocolDriver`], and scores the outcome into a
 //! unified [`RunReport`].
@@ -33,6 +35,7 @@ pub mod config;
 pub mod report;
 
 mod approx;
+mod directed;
 mod exact;
 mod iterative;
 mod restricted_async;
@@ -73,14 +76,15 @@ pub struct DriverOutcome {
     /// Full per-process outputs, for protocols that record them (the
     /// approximate protocol's decision + state history + `|Z_i|` sizes).
     pub outputs: Vec<ApproxOutput>,
-    /// The iterative protocol's topology sufficiency verdict.
+    /// The topology sufficiency verdict of the condition-governed protocols
+    /// (iterative and the two directed exact kinds).
     pub sufficiency: Option<Sufficiency>,
 }
 
 /// One protocol's execution strategy: consume a validated session, run the
 /// protocol over the shared net/Γ machinery, and return the raw outcome.
 ///
-/// The five built-in drivers (one per [`ProtocolKind`]) are selected by
+/// The seven built-in drivers (one per [`ProtocolKind`]) are selected by
 /// [`BvcSession::run`]; [`BvcSession::run_with`] accepts any implementation,
 /// so experimental protocols can ride the same config/report plumbing
 /// without touching it.
@@ -101,6 +105,8 @@ fn driver_for(kind: ProtocolKind) -> &'static dyn ProtocolDriver {
         ProtocolKind::RestrictedSync => &restricted_sync::RestrictedSyncDriver,
         ProtocolKind::RestrictedAsync => &restricted_async::RestrictedAsyncDriver,
         ProtocolKind::Iterative => &iterative::IterativeDriver,
+        ProtocolKind::DirectedExact => &directed::DirectedExactDriver,
+        ProtocolKind::DirectedExactLb => &directed::DirectedExactLbDriver,
     }
 }
 
@@ -196,7 +202,7 @@ impl BvcSession {
     }
 
     /// Scores the verdict and assembles the unified report — the one place
-    /// outcomes become results, shared by all five protocols.
+    /// outcomes become results, shared by all seven protocols.
     fn into_report(self, outcome: DriverOutcome) -> RunReport {
         let verdict = Verdict::score(
             &outcome.decisions,
@@ -617,6 +623,114 @@ mod tests {
         assert!(
             cache.hits() > warm,
             "second session must hit the shared cache"
+        );
+    }
+
+    /// Two directed 4-cliques bridged by an undirected perfect matching —
+    /// satisfies the local-broadcast condition at f = 1, d = 2 but violates
+    /// the point-to-point one (the divergence the two papers prove).
+    fn divergence_digraph() -> Topology {
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        for i in 0..4 {
+            edges.push((i, i + 4));
+        }
+        Topology::from_edges(8, &edges, true).unwrap()
+    }
+
+    fn divergence_inputs() -> Vec<Point> {
+        (0..7)
+            .map(|i| Point::new(vec![i as f64 / 6.0, (6 - i) as f64 / 6.0]))
+            .collect()
+    }
+
+    #[test]
+    fn directed_on_complete_graph_matches_exact_bit_for_bit() {
+        // On K_n the directed drivers delegate to the Section-2.2 protocol,
+        // so everything observable — decisions (bit-equal), verdict, rounds,
+        // message counts — matches ProtocolKind::Exact; only the recorded
+        // sufficiency (absent for exact) differs.
+        let config = || {
+            RunConfig::new(5, 1, 2)
+                .honest_inputs(square_inputs())
+                .adversary(ByzantineStrategy::Equivocate)
+                .seed(11)
+        };
+        let exact = session(ProtocolKind::Exact, config());
+        for protocol in [ProtocolKind::DirectedExact, ProtocolKind::DirectedExactLb] {
+            let directed = session(protocol, config());
+            assert_eq!(exact.decisions().len(), directed.decisions().len());
+            for (a, b) in exact.decisions().iter().zip(directed.decisions()) {
+                assert_eq!(
+                    a.coords(),
+                    b.coords(),
+                    "{protocol}: decisions must be bit-equal"
+                );
+            }
+            assert_eq!(exact.verdict(), directed.verdict(), "{protocol}");
+            assert_eq!(exact.rounds(), directed.rounds(), "{protocol}");
+            assert_eq!(
+                exact.stats().messages_sent,
+                directed.stats().messages_sent,
+                "{protocol}"
+            );
+            assert!(
+                directed.sufficiency().expect("recorded").is_satisfied(),
+                "{protocol}: K_5 satisfies both directed conditions at f = 1"
+            );
+            assert_eq!(directed.epsilon(), None, "{protocol} is exact consensus");
+        }
+        assert!(exact.sufficiency().is_none());
+    }
+
+    #[test]
+    fn directed_session_diverges_across_delivery_models() {
+        // The same digraph + inputs + crash adversary: condition-violated
+        // (expected-unsolvable) under point-to-point, satisfied and decided
+        // under local broadcast.
+        let config = || {
+            RunConfig::new(8, 1, 2)
+                .honest_inputs(divergence_inputs())
+                .adversary(ByzantineStrategy::Crash(1))
+                .seed(4)
+                .topology(divergence_digraph())
+        };
+        let p2p = session(ProtocolKind::DirectedExact, config());
+        assert!(
+            matches!(p2p.sufficiency(), Some(Sufficiency::Violated(_))),
+            "point-to-point condition must be violated: {:?}",
+            p2p.sufficiency()
+        );
+        let lb = session(ProtocolKind::DirectedExactLb, config());
+        assert!(
+            lb.sufficiency().expect("recorded").is_satisfied(),
+            "local-broadcast condition must hold: {:?}",
+            lb.sufficiency()
+        );
+        assert!(lb.verdict().all_hold(), "verdict: {:?}", lb.verdict());
+        assert_eq!(lb.rounds(), 9, "n + 1 flood rounds");
+    }
+
+    #[test]
+    fn directed_session_accepts_the_fault_free_baseline() {
+        let inputs: Vec<Point> = (0..6).map(|i| Point::new(vec![i as f64 / 5.0])).collect();
+        let report = session(
+            ProtocolKind::DirectedExact,
+            RunConfig::new(6, 0, 1)
+                .honest_inputs(inputs)
+                .topology(Topology::ring(6)),
+        );
+        assert!(report.sufficiency().expect("recorded").is_satisfied());
+        assert!(
+            report.verdict().all_hold(),
+            "verdict: {:?}",
+            report.verdict()
         );
     }
 

@@ -12,7 +12,7 @@
 //! asynchronous experiments and property tests reproducible.
 
 use crate::faults::FaultPlan;
-use crate::process::{ExecutionStats, Outgoing, ProcessId};
+use crate::process::{enforce_local_broadcast, ExecutionStats, Outgoing, ProcessId};
 use bvc_topology::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +89,7 @@ pub struct AsyncNetwork<M, O> {
     max_steps: usize,
     faults: FaultPlan,
     topology: Topology,
+    local_broadcast: bool,
 }
 
 impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
@@ -114,7 +115,18 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
             max_steps,
             faults: FaultPlan::new(),
             topology,
+            local_broadcast: false,
         }
+    }
+
+    /// Switches the executor to the **local-broadcast** delivery model: every
+    /// outgoing batch (at start and per delivery reaction) is canonicalised
+    /// with [`enforce_local_broadcast`] before per-link faults apply, so a
+    /// (Byzantine) sender cannot tell different receivers different things in
+    /// the same step.  Off by default (point-to-point channels).
+    pub fn with_local_broadcast(mut self, on: bool) -> Self {
+        self.local_broadcast = on;
+        self
     }
 
     /// Restricts delivery to the links of `topology` (the complete graph is
@@ -186,6 +198,7 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
                 &mut fault_rng,
                 &self.faults,
                 &self.topology,
+                self.local_broadcast,
                 now,
                 index,
                 outgoing,
@@ -253,6 +266,7 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
                 &mut fault_rng,
                 &self.faults,
                 &self.topology,
+                self.local_broadcast,
                 now,
                 to,
                 outgoing,
@@ -315,19 +329,32 @@ impl<M: Clone, O: Clone> AsyncNetwork<M, O> {
 /// across missing links vanish, drop faults destroy messages (attributed to
 /// the sender), latency faults stamp a later due tick.  Aggregate
 /// `messages_sent` counts every message the process emitted, dropped or not,
-/// so fault-free statistics match the unfaulted executor.
+/// so fault-free statistics match the unfaulted executor.  With
+/// `local_broadcast` the batch is canonicalised first, so per-link faults
+/// apply to the already-consistent payloads.
 #[allow(clippy::too_many_arguments)]
-fn enqueue<M>(
+fn enqueue<M: Clone>(
     channels: &mut [Vec<VecDeque<(usize, M)>>],
     stats: &mut ExecutionStats,
     fault_rng: &mut StdRng,
     faults: &FaultPlan,
     topology: &Topology,
+    local_broadcast: bool,
     now: usize,
     from: usize,
-    outgoing: Vec<Outgoing<M>>,
+    mut outgoing: Vec<Outgoing<M>>,
     n: usize,
 ) {
+    if local_broadcast {
+        if let Some((receivers, slots)) = enforce_local_broadcast(&mut outgoing) {
+            bvc_trace::emit(|| bvc_trace::TraceEvent::LocalBroadcast {
+                time: now,
+                from,
+                receivers,
+                slots,
+            });
+        }
+    }
     stats.record_sent(from, outgoing.len());
     for Outgoing { to, msg } in outgoing {
         bvc_trace::emit(|| bvc_trace::TraceEvent::Send {
@@ -561,6 +588,84 @@ mod tests {
         ];
         let outcome = AsyncNetwork::new(processes, DeliveryPolicy::RandomFair, 123, 1000).run(&[1]);
         assert_eq!(outcome.outputs[1], Some(vec![1, 2, 3]));
+    }
+
+    // ------------------------------------------------------------------
+    // Local-broadcast delivery
+    // ------------------------------------------------------------------
+
+    /// Process 0 equivocates at start: 1 to process 1, 2 to process 2.
+    struct AsyncEquivocator;
+    struct AsyncListener {
+        heard: Option<u64>,
+    }
+    impl AsyncProcess for AsyncEquivocator {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self) -> Vec<Outgoing<u64>> {
+            vec![
+                Outgoing::new(ProcessId::new(1), 1),
+                Outgoing::new(ProcessId::new(2), 2),
+            ]
+        }
+        fn on_message(&mut self, _f: ProcessId, _m: u64) -> Vec<Outgoing<u64>> {
+            Vec::new()
+        }
+        fn output(&self) -> Option<u64> {
+            Some(0)
+        }
+    }
+    impl AsyncProcess for AsyncListener {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self) -> Vec<Outgoing<u64>> {
+            Vec::new()
+        }
+        fn on_message(&mut self, from: ProcessId, msg: u64) -> Vec<Outgoing<u64>> {
+            if from == ProcessId::new(0) {
+                self.heard = Some(msg);
+            }
+            Vec::new()
+        }
+        fn output(&self) -> Option<u64> {
+            self.heard
+        }
+    }
+
+    fn async_equivocation_network() -> AsyncNetwork<u64, u64> {
+        let processes: Vec<Box<dyn AsyncProcess<Msg = u64, Output = u64>>> = vec![
+            Box::new(AsyncEquivocator),
+            Box::new(AsyncListener { heard: None }),
+            Box::new(AsyncListener { heard: None }),
+        ];
+        AsyncNetwork::new(processes, DeliveryPolicy::RoundRobin, 0, 100)
+    }
+
+    #[test]
+    fn async_point_to_point_permits_equivocation() {
+        let outcome = async_equivocation_network().run(&[1, 2]);
+        assert_eq!(outcome.outputs[1], Some(1));
+        assert_eq!(outcome.outputs[2], Some(2));
+    }
+
+    #[test]
+    fn async_local_broadcast_forces_receiver_consistency() {
+        let outcome = async_equivocation_network()
+            .with_local_broadcast(true)
+            .run(&[1, 2]);
+        assert_eq!(outcome.outputs[1], Some(1));
+        assert_eq!(outcome.outputs[2], Some(1));
+    }
+
+    #[test]
+    fn async_local_broadcast_is_identity_for_honest_broadcasters() {
+        let all: Vec<usize> = (0..4).collect();
+        let plain = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 42).run(&all);
+        let lb = summer_network(&[1, 2, 3, 4], DeliveryPolicy::RandomFair, 42)
+            .with_local_broadcast(true)
+            .run(&all);
+        assert_eq!(plain.outputs, lb.outputs);
+        assert_eq!(plain.stats, lb.stats);
     }
 
     // ------------------------------------------------------------------

@@ -24,6 +24,16 @@
 //! latency, scripted partitions — can be layered over either simulated
 //! executor with a [`FaultPlan`] (see [`faults`]).
 //!
+//! Every executor also supports the **local-broadcast** delivery model of
+//! Khan, Tseng & Vaidya (arXiv:1911.07298): with
+//! [`SyncNetwork::with_local_broadcast`],
+//! [`AsyncNetwork::with_local_broadcast`] or [`run_threaded_with`], each
+//! sender's per-step outgoing batch is canonicalised by
+//! [`enforce_local_broadcast`] so all receivers observe the same payloads —
+//! per-receiver Byzantine equivocation becomes structurally impossible.
+//! Canonicalisation happens *before* per-link faults, so drop/latency/
+//! partition plans still compose per link.
+//!
 //! Protocols are written once against the [`SyncProcess`] / [`AsyncProcess`]
 //! traits and can run on any of the executors that match their timing model.
 //!
@@ -67,7 +77,8 @@ pub use asim::{AsyncNetwork, AsyncOutcome, AsyncProcess, DeliveryPolicy};
 pub use bvc_topology::Topology;
 pub use faults::{FaultError, FaultEvent, FaultKind, FaultPlan, LinkSelector};
 pub use process::{
-    broadcast_to_all, Delivery, ExecutionStats, Outgoing, ProcessCounters, ProcessId,
+    broadcast_to_all, enforce_local_broadcast, Delivery, ExecutionStats, Outgoing, ProcessCounters,
+    ProcessId,
 };
 pub use sync::{SyncNetwork, SyncOutcome, SyncProcess, SyncScratch};
-pub use threaded::{run_threaded, run_threaded_on, ThreadedOutcome};
+pub use threaded::{run_threaded, run_threaded_on, run_threaded_with, ThreadedOutcome};

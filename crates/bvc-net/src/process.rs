@@ -87,6 +87,53 @@ pub fn broadcast_to_all<M: Clone>(
         .collect()
 }
 
+/// Canonicalises one sender's outgoing batch under the **local-broadcast**
+/// delivery guarantee (Khan, Tseng & Vaidya, arXiv:1911.07298): all
+/// out-neighbors of a sender observe the same message, so per-receiver
+/// equivocation is structurally impossible.
+///
+/// Messages are grouped by receiver preserving per-receiver order; the k-th
+/// message addressed to each receiver is replaced by the k-th message of the
+/// *lowest-indexed* receiver that has a k-th message.  Receivers keep their
+/// own slot counts (an omission fault model stays expressible), only payloads
+/// are forced consistent.  Executors apply this *before* per-link faults
+/// (vanish / drop / latency), so fault plans still compose per link.
+///
+/// Returns the sorted receiver set and the slot count (for trace
+/// attribution), or `None` for an empty batch.
+pub fn enforce_local_broadcast<M: Clone>(
+    outgoing: &mut [Outgoing<M>],
+) -> Option<(Vec<usize>, usize)> {
+    if outgoing.is_empty() {
+        return None;
+    }
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    let mut slot_of = Vec::with_capacity(outgoing.len());
+    for out in outgoing.iter() {
+        let count = counts.entry(out.to.index()).or_insert(0);
+        slot_of.push(*count);
+        *count += 1;
+    }
+    let slots = counts.values().copied().max().unwrap_or(0);
+    let mut canonical: Vec<Option<M>> = (0..slots).map(|_| None).collect();
+    for (slot, entry) in canonical.iter_mut().enumerate() {
+        let Some((&receiver, _)) = counts.iter().find(|(_, &count)| count > slot) else {
+            continue;
+        };
+        *entry = outgoing
+            .iter()
+            .zip(&slot_of)
+            .find(|(out, &s)| out.to.index() == receiver && s == slot)
+            .map(|(out, _)| out.msg.clone());
+    }
+    for (pos, out) in outgoing.iter_mut().enumerate() {
+        if let Some(msg) = &canonical[slot_of[pos]] {
+            out.msg = msg.clone();
+        }
+    }
+    Some((counts.keys().copied().collect(), slots))
+}
+
 /// Message counters attributed to one process.
 ///
 /// `sent` counts messages the process handed to the executor, `delivered`
@@ -221,6 +268,76 @@ mod tests {
         assert_eq!(out.msg, 42);
         let del = Delivery::new(ProcessId::new(1), "x");
         assert_eq!(del.from.index(), 1);
+    }
+
+    #[test]
+    fn local_broadcast_collapses_equivocation() {
+        // Sender equivocates: "a" to p1, "b" to p3.  Under local broadcast
+        // both receivers must observe the lowest receiver's payload.
+        let mut batch = vec![
+            Outgoing::new(ProcessId::new(2), "b"),
+            Outgoing::new(ProcessId::new(0), "a"),
+        ];
+        let (receivers, slots) = enforce_local_broadcast(&mut batch).unwrap();
+        assert_eq!(receivers, vec![0, 2]);
+        assert_eq!(slots, 1);
+        assert_eq!(batch[0].msg, "a");
+        assert_eq!(batch[1].msg, "a");
+        assert_eq!(batch[0].to, ProcessId::new(2));
+        assert_eq!(batch[1].to, ProcessId::new(0));
+    }
+
+    #[test]
+    fn local_broadcast_is_identity_for_uniform_batches() {
+        let mut batch = broadcast_to_all(4, Some(ProcessId::new(1)), &7u32);
+        let original = batch.clone();
+        let (receivers, slots) = enforce_local_broadcast(&mut batch).unwrap();
+        assert_eq!(batch, original);
+        assert_eq!(receivers, vec![0, 2, 3]);
+        assert_eq!(slots, 1);
+    }
+
+    #[test]
+    fn local_broadcast_canonicalises_slots_independently() {
+        // Two messages per receiver: each slot is forced to the lowest
+        // receiver's payload for that slot, preserving per-receiver order.
+        let mut batch = vec![
+            Outgoing::new(ProcessId::new(1), "x1"),
+            Outgoing::new(ProcessId::new(0), "y1"),
+            Outgoing::new(ProcessId::new(1), "x2"),
+            Outgoing::new(ProcessId::new(0), "y2"),
+        ];
+        let (receivers, slots) = enforce_local_broadcast(&mut batch).unwrap();
+        assert_eq!(receivers, vec![0, 1]);
+        assert_eq!(slots, 2);
+        assert_eq!(batch[0].msg, "y1");
+        assert_eq!(batch[1].msg, "y1");
+        assert_eq!(batch[2].msg, "y2");
+        assert_eq!(batch[3].msg, "y2");
+    }
+
+    #[test]
+    fn local_broadcast_keeps_per_receiver_counts() {
+        // Receiver 2 gets one extra message; its second slot draws from the
+        // lowest receiver that *has* a second message (receiver 2 itself).
+        let mut batch = vec![
+            Outgoing::new(ProcessId::new(0), "a"),
+            Outgoing::new(ProcessId::new(2), "b"),
+            Outgoing::new(ProcessId::new(2), "c"),
+        ];
+        let (receivers, slots) = enforce_local_broadcast(&mut batch).unwrap();
+        assert_eq!(receivers, vec![0, 2]);
+        assert_eq!(slots, 2);
+        assert_eq!(batch[0].msg, "a");
+        assert_eq!(batch[1].msg, "a");
+        assert_eq!(batch[2].msg, "c");
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn local_broadcast_on_empty_batch_is_none() {
+        let mut batch: Vec<Outgoing<u32>> = Vec::new();
+        assert!(enforce_local_broadcast(&mut batch).is_none());
     }
 
     #[test]

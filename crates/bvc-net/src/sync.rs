@@ -21,7 +21,7 @@
 //! crate provides reusable wrappers.
 
 use crate::faults::FaultPlan;
-use crate::process::{Delivery, ExecutionStats, Outgoing, ProcessId};
+use crate::process::{enforce_local_broadcast, Delivery, ExecutionStats, Outgoing, ProcessId};
 use bvc_topology::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -163,6 +163,7 @@ pub struct SyncNetwork<M, O> {
     faults: FaultPlan,
     fault_seed: u64,
     topology: Topology,
+    local_broadcast: bool,
 }
 
 impl<M: Clone, O: Clone> SyncNetwork<M, O> {
@@ -185,7 +186,19 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
             faults: FaultPlan::new(),
             fault_seed: 0,
             topology,
+            local_broadcast: false,
         }
+    }
+
+    /// Switches the executor to the **local-broadcast** delivery model: every
+    /// per-round outgoing batch is canonicalised with
+    /// [`enforce_local_broadcast`] before per-link faults apply, so a
+    /// (Byzantine) sender cannot tell different receivers different things in
+    /// the same round.  Off by default (point-to-point channels, the paper's
+    /// model).
+    pub fn with_local_broadcast(mut self, on: bool) -> Self {
+        self.local_broadcast = on;
+        self
     }
 
     /// Restricts delivery to the links of `topology` (the complete graph is
@@ -274,7 +287,17 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
                 }
             }
             for (index, process) in self.processes.iter_mut().enumerate() {
-                let outgoing = process.round(round, &inboxes[index]);
+                let mut outgoing = process.round(round, &inboxes[index]);
+                if self.local_broadcast {
+                    if let Some((receivers, slots)) = enforce_local_broadcast(&mut outgoing) {
+                        bvc_trace::emit(|| bvc_trace::TraceEvent::LocalBroadcast {
+                            time: round,
+                            from: index,
+                            receivers,
+                            slots,
+                        });
+                    }
+                }
                 stats.record_sent(index, outgoing.len());
                 for Outgoing { to, msg } in outgoing {
                     bvc_trace::emit(|| bvc_trace::TraceEvent::Send {
@@ -570,6 +593,119 @@ mod tests {
     #[should_panic(expected = "topology size must match")]
     fn topology_size_mismatch_panics() {
         let _ = summing_network(&[1, 2, 3], 1).with_topology(Topology::ring(4));
+    }
+
+    // ------------------------------------------------------------------
+    // Local-broadcast delivery
+    // ------------------------------------------------------------------
+
+    /// Process 0 equivocates: value 1 to process 1, value 2 to process 2.
+    /// The others are silent and record what they hear from process 0.
+    struct Equivocator;
+    struct Listener {
+        heard: Option<u64>,
+        rounds: usize,
+    }
+    impl SyncProcess for Equivocator {
+        type Msg = u64;
+        type Output = u64;
+        fn round(&mut self, round: usize, _inbox: &[Delivery<u64>]) -> Vec<Outgoing<u64>> {
+            if round == 1 {
+                vec![
+                    Outgoing::new(ProcessId::new(1), 1),
+                    Outgoing::new(ProcessId::new(2), 2),
+                ]
+            } else {
+                Vec::new()
+            }
+        }
+        fn output(&self) -> Option<u64> {
+            Some(0)
+        }
+    }
+    impl SyncProcess for Listener {
+        type Msg = u64;
+        type Output = u64;
+        fn round(&mut self, _round: usize, inbox: &[Delivery<u64>]) -> Vec<Outgoing<u64>> {
+            if let Some(d) = inbox.iter().find(|d| d.from == ProcessId::new(0)) {
+                self.heard = Some(d.msg);
+            }
+            self.rounds += 1;
+            Vec::new()
+        }
+        fn output(&self) -> Option<u64> {
+            if self.rounds >= 2 {
+                Some(self.heard.unwrap_or(u64::MAX))
+            } else {
+                None
+            }
+        }
+    }
+
+    fn equivocation_network() -> SyncNetwork<u64, u64> {
+        let processes: Vec<Box<dyn SyncProcess<Msg = u64, Output = u64>>> = vec![
+            Box::new(Equivocator),
+            Box::new(Listener {
+                heard: None,
+                rounds: 0,
+            }),
+            Box::new(Listener {
+                heard: None,
+                rounds: 0,
+            }),
+        ];
+        SyncNetwork::new(processes, 5)
+    }
+
+    #[test]
+    fn point_to_point_permits_equivocation() {
+        let outcome = equivocation_network().run(&[1, 2]);
+        assert_eq!(outcome.outputs[1], Some(1));
+        assert_eq!(outcome.outputs[2], Some(2));
+    }
+
+    #[test]
+    fn local_broadcast_forces_receiver_consistency() {
+        let outcome = equivocation_network()
+            .with_local_broadcast(true)
+            .run(&[1, 2]);
+        // Both listeners observe the lowest receiver's payload.
+        assert_eq!(outcome.outputs[1], Some(1));
+        assert_eq!(outcome.outputs[2], Some(1));
+    }
+
+    #[test]
+    fn local_broadcast_composes_with_drop_faults() {
+        // Canonicalise first, then drop the (already consistent) copy on the
+        // 0 → 1 link only: process 2 still hears the canonical value.
+        let plan = FaultPlan::new()
+            .with_event(FaultEvent {
+                kind: FaultKind::Drop {
+                    rate: 1.0,
+                    links: LinkSelector::Directed(vec![ProcessId::new(0)], vec![ProcessId::new(1)]),
+                },
+                start: 1,
+                duration: 1,
+            })
+            .unwrap();
+        let outcome = equivocation_network()
+            .with_local_broadcast(true)
+            .with_faults(plan, 3)
+            .run(&[1, 2]);
+        assert_eq!(outcome.outputs[1], Some(u64::MAX), "its copy was dropped");
+        assert_eq!(outcome.outputs[2], Some(1), "canonical payload survives");
+        assert_eq!(outcome.stats.messages_dropped, 1);
+    }
+
+    #[test]
+    fn local_broadcast_is_identity_for_honest_broadcasters() {
+        let all: Vec<usize> = (0..4).collect();
+        let plain = summing_network(&[1, 2, 3, 4], 2).run(&all);
+        let lb = summing_network(&[1, 2, 3, 4], 2)
+            .with_local_broadcast(true)
+            .run(&all);
+        assert_eq!(plain.outputs, lb.outputs);
+        assert_eq!(plain.stats, lb.stats);
     }
 
     // ------------------------------------------------------------------

@@ -13,7 +13,7 @@
 //! receiver's queue in program order), matching the paper's model.
 
 use crate::asim::AsyncProcess;
-use crate::process::{ExecutionStats, Outgoing, ProcessId};
+use crate::process::{enforce_local_broadcast, ExecutionStats, Outgoing, ProcessId};
 use bvc_topology::Topology;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -75,6 +75,30 @@ where
     M: Clone + Send + 'static,
     O: Clone + Send + 'static,
 {
+    run_threaded_with(processes, topology, false, wait_for, deadline)
+}
+
+/// [`run_threaded_on`] with a selectable delivery model: with
+/// `local_broadcast` every outgoing batch is canonicalised with
+/// [`enforce_local_broadcast`] before it is fanned out over the real
+/// channels, so a sender cannot tell different receivers different things in
+/// the same dispatch.
+///
+/// # Panics
+///
+/// Panics if `processes` is empty, any index in `wait_for` is out of range,
+/// or `topology.len()` differs from the process count.
+pub fn run_threaded_with<M, O>(
+    processes: Vec<Box<dyn AsyncProcess<Msg = M, Output = O> + Send>>,
+    topology: Topology,
+    local_broadcast: bool,
+    wait_for: &[usize],
+    deadline: Duration,
+) -> ThreadedOutcome<O>
+where
+    M: Clone + Send + 'static,
+    O: Clone + Send + 'static,
+{
     let n = processes.len();
     assert!(n > 0, "need at least one process");
     assert_eq!(
@@ -122,7 +146,17 @@ where
             let me = ProcessId::new(index);
             // Local logical clock: deliveries handled by this thread so far.
             let mut local_step = 0usize;
-            let dispatch = |local_step: usize, outgoing: Vec<Outgoing<M>>| {
+            let dispatch = |local_step: usize, mut outgoing: Vec<Outgoing<M>>| {
+                if local_broadcast {
+                    if let Some((receivers, slots)) = enforce_local_broadcast(&mut outgoing) {
+                        bvc_trace::emit(|| bvc_trace::TraceEvent::LocalBroadcast {
+                            time: local_step,
+                            from: index,
+                            receivers,
+                            slots,
+                        });
+                    }
+                }
                 for Outgoing { to, msg } in outgoing {
                     if to.index() < all_tx.len() {
                         sent.fetch_add(1, Ordering::Relaxed);
@@ -319,6 +353,22 @@ mod tests {
     fn empty_process_set_panics() {
         let procs: Vec<Box<dyn AsyncProcess<Msg = u64, Output = u64> + Send>> = Vec::new();
         let _ = run_threaded(procs, &[], Duration::from_millis(10));
+    }
+
+    #[test]
+    fn local_broadcast_mode_still_decides() {
+        let outcome = run_threaded_with(
+            summers(&[1, 2, 3, 4]),
+            Topology::complete(4),
+            true,
+            &[0, 1, 2, 3],
+            Duration::from_secs(5),
+        );
+        assert!(outcome.completed);
+        assert_eq!(
+            outcome.outputs,
+            vec![Some(10), Some(10), Some(10), Some(10)]
+        );
     }
 
     #[test]

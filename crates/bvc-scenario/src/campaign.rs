@@ -9,7 +9,7 @@
 //! interleaving: campaigns are as deterministic as single runs.
 
 use crate::runner::{run_scenario_instance, ScenarioError, ScenarioOutcome};
-use crate::schema::ScenarioSpec;
+use crate::schema::{Protocol, ScenarioSpec};
 use bvc_adversary::ByzantineStrategy;
 use bvc_core::ValidityMode;
 use bvc_net::DeliveryPolicy;
@@ -47,15 +47,30 @@ pub struct Instance {
 /// Synchronous protocols ignore the delivery policy, so their `policies`
 /// axis is collapsed to one value — sweeping it would only produce
 /// byte-identical duplicate instances.
+///
+/// A `broadcast` axis (directed protocols only; the schema rejects it
+/// elsewhere) rewrites each instance's *protocol* between the two directed
+/// kinds — the broadcast model is part of the protocol's delivery
+/// assumption, so the sweep shows up in the verdict's `protocol` field
+/// rather than a new one.
 pub fn expand(scenario_index: usize, spec: &ScenarioSpec) -> Vec<Instance> {
-    let (seeds, strategies, policies, topologies, validity_axis) = match &spec.campaign {
-        None => (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+    let (seeds, strategies, policies, topologies, validity_axis, broadcasts) = match &spec.campaign
+    {
+        None => (
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        ),
         Some(c) => (
             c.seeds.clone(),
             c.strategies.clone(),
             c.policies.clone(),
             c.topologies.clone(),
             c.validity_axis(),
+            c.broadcasts.clone(),
         ),
     };
     let seeds = if seeds.is_empty() {
@@ -83,23 +98,39 @@ pub fn expand(scenario_index: usize, spec: &ScenarioSpec) -> Vec<Instance> {
     } else {
         validity_axis.into_iter().map(Some).collect()
     };
-    let capacity =
-        seeds.len() * strategies.len() * policies.len() * topologies.len() * validities.len();
+    let protocols: Vec<Protocol> = if broadcasts.is_empty() {
+        vec![spec.protocol]
+    } else {
+        broadcasts
+            .iter()
+            .map(|&model| spec.protocol.with_broadcast(model).unwrap_or(spec.protocol))
+            .collect()
+    };
+    let capacity = seeds.len()
+        * strategies.len()
+        * policies.len()
+        * topologies.len()
+        * validities.len()
+        * protocols.len();
     let mut instances = Vec::with_capacity(capacity);
     for &seed in &seeds {
         for &strategy in &strategies {
             for policy in &policies {
                 for topology in &topologies {
                     for validity in &validities {
-                        instances.push(Instance {
-                            scenario_index,
-                            spec: spec.clone(),
-                            seed,
-                            strategy,
-                            policy: policy.clone(),
-                            topology: topology.clone(),
-                            validity: *validity,
-                        });
+                        for &protocol in &protocols {
+                            let mut spec = spec.clone();
+                            spec.protocol = protocol;
+                            instances.push(Instance {
+                                scenario_index,
+                                spec,
+                                seed,
+                                strategy,
+                                policy: policy.clone(),
+                                topology: topology.clone(),
+                                validity: *validity,
+                            });
+                        }
                     }
                 }
             }
@@ -366,6 +397,34 @@ mod tests {
         )
         .unwrap();
         assert_eq!(expand(0, &plain)[0].topology, None);
+    }
+
+    #[test]
+    fn broadcast_axis_rewrites_the_instance_protocol() {
+        let spec = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"dir\"\nprotocol = \"directed-exact\"\nn = 8\nf = 1\nd = 2\n\
+             [topology]\nkind = \"ring\"\n\
+             [campaign]\nseeds = [0, 1]\nbroadcast = [\"point-to-point\", \"local\"]\n",
+        )
+        .unwrap();
+        let instances = expand(0, &spec);
+        assert_eq!(instances.len(), 2 * 2);
+        // Broadcast varies fastest: the two delivery models of one seed land
+        // on adjacent lines of the campaign output.
+        assert_eq!(instances[0].spec.protocol, Protocol::DirectedExact);
+        assert_eq!(instances[1].spec.protocol, Protocol::DirectedExactLb);
+        assert_eq!(instances[0].seed, instances[1].seed);
+        assert_eq!(instances[2].seed, 1);
+        // Without the axis, the scenario protocol rides through untouched.
+        let plain = ScenarioSpec::from_toml(
+            "[scenario]\nname = \"dir\"\nprotocol = \"directed-exact-lb\"\nn = 8\nf = 1\nd = 2\n\
+             [topology]\nkind = \"ring\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            expand(0, &plain)[0].spec.protocol,
+            Protocol::DirectedExactLb
+        );
     }
 
     #[test]

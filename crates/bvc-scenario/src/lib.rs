@@ -33,7 +33,8 @@
 //! [scenario]
 //! name = "partition-heal"
 //! protocol = "approx"          # exact | approx | restricted-sync |
-//!                              # restricted-async | iterative
+//!                              # restricted-async | iterative |
+//!                              # directed-exact | directed-exact-lb
 //! n = 5                        # processes
 //! f = 1                        # Byzantine processes (the last f ids)
 //! d = 2                        # input dimension
@@ -83,6 +84,9 @@
 //! topologies = ["complete", "ring", "torus:2x4", "random-regular:6"]
 //! alphas = [0.0, 1.0, 3.0]       # validity axis: (1+α)-relaxed values …
 //! ks = [1]                       # … then k-relaxed values
+//! # broadcast = ["point-to-point", "local"]  # directed protocols only:
+//! #                                # rewrites the instance protocol between
+//! #                                # directed-exact / directed-exact-lb
 //!
 //! [service]                      # optional: run the file as a multi-shot
 //! instances = 1000               # consensus stream (`service-run`, the
@@ -100,6 +104,15 @@
 //! **iterative sufficiency check** — scenarios on graphs that fail the check
 //! are flagged `expected_solvable = false` up front, and campaign summaries
 //! count their violations separately (expected data, not regressions).
+//!
+//! The `directed-exact` / `directed-exact-lb` pair runs exact consensus on
+//! the declared directed topology under point-to-point channels
+//! (arXiv:1208.5075) or the local-broadcast delivery model
+//! (arXiv:1911.07298).  Their verdicts carry the matching cut-based
+//! sufficiency check, and the `broadcast` campaign axis sweeps one scenario
+//! across both delivery models — the model shows up in the verdict's
+//! `protocol` field, and `scenarios/directed_divergence.toml` pins a graph
+//! the two models provably separate.
 //!
 //! A declared (or swept) `validity` mode selects the relaxed conditions of
 //! *Relaxed Byzantine Vector Consensus* (Xiang & Vaidya, arXiv:1601.08067):
@@ -175,7 +188,7 @@ pub use runner::{
     strategy_label, ScenarioError, ScenarioOutcome, TopologyMeta, ValidityMeta,
 };
 pub use schema::{
-    parse_strategy, policy_name, CampaignSpec, InputSpec, Protocol, ScenarioSpec, SchemaError,
-    ServiceSpec,
+    parse_strategy, policy_name, BroadcastModel, CampaignSpec, InputSpec, Protocol, ScenarioSpec,
+    SchemaError, ServiceSpec,
 };
 pub use service::service_config_from_spec;

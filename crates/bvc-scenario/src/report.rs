@@ -2,9 +2,12 @@
 //!
 //! `campaign-run --out verdicts.jsonl` leaves one JSON verdict per instance;
 //! this module rolls those lines up into a violation-rate table keyed by
-//! **strategy × fault kinds × topology × validity mode** — the adversarial
-//! axes the scenario engine sweeps — and renders it as the Markdown that
-//! `campaign-report` writes into `EXPERIMENTS.md`.
+//! **strategy × fault kinds × topology × validity mode × broadcast model** —
+//! the adversarial axes the scenario engine sweeps — and renders it as the
+//! Markdown that `campaign-report` writes into `EXPERIMENTS.md`.  The
+//! broadcast model is not its own verdict field: it is derived from the
+//! `protocol` name (`directed-exact` ⇒ point-to-point, `directed-exact-lb`
+//! ⇒ local, anything else ⇒ `—`), so old corpora aggregate unchanged.
 //!
 //! Rates are reported separately for instances the up-front checks declared
 //! solvable and for *expected-unsolvable* ones — incomplete topologies that
@@ -17,7 +20,8 @@ use crate::json::Json;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Aggregated counts for one `(strategy, faults, topology, validity)` cell.
+/// Aggregated counts for one `(strategy, faults, topology, validity,
+/// broadcast)` cell.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CellStats {
     /// Verdicts observed on expected-solvable substrates.
@@ -30,11 +34,12 @@ pub struct CellStats {
     pub unsolvable_violations: usize,
 }
 
-/// The key of one aggregation cell: `(strategy, faults, topology, validity)`.
-pub type CellKey = (String, String, String, String);
+/// The key of one aggregation cell: `(strategy, faults, topology, validity,
+/// broadcast)`.
+pub type CellKey = (String, String, String, String, String);
 
 /// The full violation-rate table, keyed `(strategy, faults, topology,
-/// validity)` in sorted order (deterministic rendering).
+/// validity, broadcast)` in sorted order (deterministic rendering).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ViolationTable {
     cells: BTreeMap<CellKey, CellStats>,
@@ -98,6 +103,12 @@ impl ViolationTable {
             ),
             None => ("strict".to_string(), true),
         };
+        let broadcast = match verdict.get("protocol").and_then(Json::as_str) {
+            Some("directed-exact") => "point-to-point",
+            Some("directed-exact-lb") => "local",
+            _ => "—",
+        }
+        .to_string();
         let expected_solvable = topology_solvable && validity_satisfied;
         let holds = |key: &str| {
             verdict
@@ -109,7 +120,7 @@ impl ViolationTable {
         let violated = !(holds("agreement") && holds("validity") && holds("termination"));
         let cell = self
             .cells
-            .entry((strategy.to_string(), faults, topology, validity))
+            .entry((strategy.to_string(), faults, topology, validity, broadcast))
             .or_default();
         if expected_solvable {
             cell.runs += 1;
@@ -142,23 +153,26 @@ impl ViolationTable {
         let _ = writeln!(
             out,
             "{} verdicts aggregated per strategy × fault kinds × topology × \
-             validity mode.  `violation rate` counts failed verdicts on substrates \
-             the up-front checks declared solvable; `expected-unsolvable` runs \
-             (topologies failing the iterative sufficiency check, or runs below \
-             their validity mode's resource bound) are tallied separately — \
-             violations there are the anticipated outcome, not findings.",
+             validity mode × broadcast model.  `violation rate` counts failed \
+             verdicts on substrates the up-front checks declared solvable; \
+             `expected-unsolvable` runs (topologies failing their protocol's \
+             sufficiency check, or runs below their validity mode's resource \
+             bound) are tallied separately — violations there are the \
+             anticipated outcome, not findings.  `broadcast` is the delivery \
+             model of the directed protocols (`—` for the complete-graph \
+             protocols, where the distinction never arises).",
             self.total_runs()
         );
         let _ = writeln!(out);
         let _ = writeln!(
             out,
-            "| strategy | faults | topology | validity | runs | violations | violation rate | expected-unsolvable (violated/runs) |"
+            "| strategy | faults | topology | validity | broadcast | runs | violations | violation rate | expected-unsolvable (violated/runs) |"
         );
         let _ = writeln!(
             out,
-            "|----------|--------|----------|----------|-----:|-----------:|---------------:|------------------------------------:|"
+            "|----------|--------|----------|----------|-----------|-----:|-----------:|---------------:|------------------------------------:|"
         );
-        for ((strategy, faults, topology, validity), cell) in &self.cells {
+        for ((strategy, faults, topology, validity, broadcast), cell) in &self.cells {
             let rate = if cell.runs == 0 {
                 "—".to_string()
             } else {
@@ -171,7 +185,7 @@ impl ViolationTable {
             };
             let _ = writeln!(
                 out,
-                "| {strategy} | {faults} | {topology} | {validity} | {} | {} | {rate} | {unsolvable} |",
+                "| {strategy} | {faults} | {topology} | {validity} | {broadcast} | {} | {} | {rate} | {unsolvable} |",
                 cell.runs, cell.violations
             );
         }
@@ -226,7 +240,7 @@ mod tests {
     }
 
     #[test]
-    fn aggregation_buckets_by_all_four_axes() {
+    fn aggregation_buckets_by_all_axes() {
         let lines = [
             verdict_line("equivocate", Some("drop"), None, true),
             verdict_line("equivocate", Some("drop"), None, false),
@@ -248,7 +262,8 @@ mod tests {
                 "equivocate".to_string(),
                 "drop".to_string(),
                 "complete".to_string(),
-                "strict".to_string()
+                "strict".to_string(),
+                "—".to_string()
             )
         );
         assert_eq!(cells[0].1.runs, 2);
@@ -303,7 +318,33 @@ mod tests {
         .join("\n");
         let md = ViolationTable::from_jsonl(&lines).to_markdown("Smoke");
         assert!(md.contains("## Smoke"));
-        assert!(md.contains("| equivocate | latency | complete | strict | 2 | 1 | 50.0% | — |"));
+        assert!(md.contains("| equivocate | latency | complete | strict | — | 2 | 1 | 50.0% | — |"));
+    }
+
+    #[test]
+    fn broadcast_model_is_derived_from_the_protocol_name() {
+        let lines = [
+            "{\"scenario\": \"div\", \"protocol\": \"directed-exact\", \"strategy\": \"crash:1\", \
+             \"faults\": [], \"verdict\": {\"agreement\": false, \"validity\": true, \
+             \"termination\": false}}",
+            "{\"scenario\": \"div\", \"protocol\": \"directed-exact-lb\", \"strategy\": \"crash:1\", \
+             \"faults\": [], \"verdict\": {\"agreement\": true, \"validity\": true, \
+             \"termination\": true}}",
+        ]
+        .join("\n");
+        let table = ViolationTable::from_jsonl(&lines);
+        let cells: Vec<_> = table.cells().collect();
+        assert_eq!(cells.len(), 2, "the two delivery models get separate rows");
+        assert_eq!(
+            cells[0].0 .4, "local",
+            "BTreeMap order: local < point-to-point"
+        );
+        assert_eq!(cells[1].0 .4, "point-to-point");
+        let md = table.to_markdown("Directed");
+        assert!(md.contains("| crash:1 | none | complete | strict | local | 1 | 0 | 0.0% | — |"));
+        assert!(md.contains(
+            "| crash:1 | none | complete | strict | point-to-point | 1 | 1 | 100.0% | — |"
+        ));
     }
 
     #[test]

@@ -97,7 +97,9 @@ impl TopologyMeta {
         let expected_solvable = match protocol {
             // Unknown is treated as expected, so surprises surface loudly
             // instead of being excused by an unchecked condition.
-            Protocol::Iterative => !matches!(sufficiency, bvc_topology::Sufficiency::Violated(_)),
+            Protocol::Iterative | Protocol::DirectedExact | Protocol::DirectedExactLb => {
+                !matches!(sufficiency, bvc_topology::Sufficiency::Violated(_))
+            }
             _ => topology.is_complete(),
         };
         Self {
@@ -541,6 +543,8 @@ pub fn protocol_kind(protocol: Protocol) -> ProtocolKind {
         Protocol::RestrictedSync => ProtocolKind::RestrictedSync,
         Protocol::RestrictedAsync => ProtocolKind::RestrictedAsync,
         Protocol::Iterative => ProtocolKind::Iterative,
+        Protocol::DirectedExact => ProtocolKind::DirectedExact,
+        Protocol::DirectedExactLb => ProtocolKind::DirectedExactLb,
     }
 }
 

@@ -14,8 +14,9 @@ use bvc_topology::TopologySpec;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Which algorithm a scenario exercises: the source paper's four, or the
-/// iterative incomplete-graph protocol (Vaidya 2013).
+/// Which algorithm a scenario exercises: the source paper's four, the
+/// iterative incomplete-graph protocol (Vaidya 2013), or the directed-graph
+/// exact protocols (point-to-point and local-broadcast delivery).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Exact BVC, synchronous (Theorems 1/3).
@@ -28,11 +29,18 @@ pub enum Protocol {
     RestrictedAsync,
     /// Iterative BVC over a declared topology (incomplete graphs, synchronous).
     Iterative,
+    /// Exact BVC over a declared directed topology under point-to-point
+    /// delivery (arXiv:1208.5075), synchronous.
+    DirectedExact,
+    /// Exact BVC over a declared directed topology under local-broadcast
+    /// delivery (arXiv:1911.07298), synchronous.
+    DirectedExactLb,
 }
 
 impl Protocol {
     /// The stable schema name (`exact`, `approx`, `restricted-sync`,
-    /// `restricted-async`, `iterative`).
+    /// `restricted-async`, `iterative`, `directed-exact`,
+    /// `directed-exact-lb`).
     pub fn name(self) -> &'static str {
         match self {
             Protocol::Exact => "exact",
@@ -40,6 +48,8 @@ impl Protocol {
             Protocol::RestrictedSync => "restricted-sync",
             Protocol::RestrictedAsync => "restricted-async",
             Protocol::Iterative => "iterative",
+            Protocol::DirectedExact => "directed-exact",
+            Protocol::DirectedExactLb => "directed-exact-lb",
         }
     }
 
@@ -48,13 +58,70 @@ impl Protocol {
         matches!(self, Protocol::Approx | Protocol::RestrictedAsync)
     }
 
-    fn from_name(name: &str) -> Option<Self> {
+    /// The broadcast model the protocol assumes of the network, or `None`
+    /// for the complete-graph protocols where the distinction never arises.
+    pub fn broadcast_model(self) -> Option<BroadcastModel> {
+        match self {
+            Protocol::DirectedExact => Some(BroadcastModel::PointToPoint),
+            Protocol::DirectedExactLb => Some(BroadcastModel::Local),
+            _ => None,
+        }
+    }
+
+    /// The same protocol under a different broadcast model, or `None` when
+    /// the protocol has no broadcast axis (everything but the directed pair).
+    pub fn with_broadcast(self, model: BroadcastModel) -> Option<Self> {
+        match self {
+            Protocol::DirectedExact | Protocol::DirectedExactLb => Some(match model {
+                BroadcastModel::PointToPoint => Protocol::DirectedExact,
+                BroadcastModel::Local => Protocol::DirectedExactLb,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Parses a stable schema name back to a protocol (the inverse of
+    /// [`Protocol::name`]), or `None` for unknown names — also the form
+    /// CLI knobs like `chaos-run --protocols` accept.
+    pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "exact" => Some(Protocol::Exact),
             "approx" => Some(Protocol::Approx),
             "restricted-sync" => Some(Protocol::RestrictedSync),
             "restricted-async" => Some(Protocol::RestrictedAsync),
             "iterative" => Some(Protocol::Iterative),
+            "directed-exact" => Some(Protocol::DirectedExact),
+            "directed-exact-lb" => Some(Protocol::DirectedExactLb),
+            _ => None,
+        }
+    }
+}
+
+/// The delivery guarantee a directed-graph protocol assumes: classical
+/// point-to-point channels, or local broadcast (every transmission reaches
+/// all out-neighbours identically, so a faulty process cannot equivocate
+/// between them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BroadcastModel {
+    /// Independent per-edge channels (arXiv:1208.5075's model).
+    PointToPoint,
+    /// Local broadcast (arXiv:1911.07298's model).
+    Local,
+}
+
+impl BroadcastModel {
+    /// The stable schema name (`point-to-point`, `local`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BroadcastModel::PointToPoint => "point-to-point",
+            BroadcastModel::Local => "local",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "point-to-point" | "p2p" => Some(BroadcastModel::PointToPoint),
+            "local" | "local-broadcast" => Some(BroadcastModel::Local),
             _ => None,
         }
     }
@@ -118,6 +185,10 @@ pub struct CampaignSpec {
     /// `ks` together form one validity axis (alphas first, then ks); when
     /// both are empty the scenario's base `validity` is used.
     pub ks: Vec<usize>,
+    /// Broadcast models to sweep (`broadcast = [..]`; directed protocols
+    /// only).  Each value rewrites the instance's protocol to the directed
+    /// kind assuming that model (empty ⇒ the scenario protocol's own model).
+    pub broadcasts: Vec<BroadcastModel>,
 }
 
 impl CampaignSpec {
@@ -651,6 +722,22 @@ fn parse_campaign(table: &Table) -> Result<CampaignSpec, SchemaError> {
             }
         }
     }
+    if let Some(value) = table.get("broadcast") {
+        let Some(items) = value.as_array() else {
+            return bad("`broadcast` must be an array of broadcast model names");
+        };
+        for item in items {
+            let Some(name) = item.as_str() else {
+                return bad("`broadcast` must contain broadcast model names");
+            };
+            let model = BroadcastModel::from_name(name).ok_or_else(|| {
+                SchemaError(format!(
+                    "unknown broadcast model `{name}` (expected point-to-point or local)"
+                ))
+            })?;
+            campaign.broadcasts.push(model);
+        }
+    }
     Ok(campaign)
 }
 
@@ -716,7 +803,8 @@ impl ScenarioSpec {
         let protocol = Protocol::from_name(protocol_name).ok_or_else(|| {
             SchemaError(format!(
                 "unknown protocol `{protocol_name}` (expected exact, approx, \
-                 restricted-sync or restricted-async)"
+                 restricted-sync, restricted-async, iterative, directed-exact \
+                 or directed-exact-lb)"
             ))
         })?;
         let n = require(get_usize(scenario, "n")?, "n", "scenario")?;
@@ -777,6 +865,14 @@ impl ScenarioSpec {
             Some(table) => Some(parse_campaign(table)?),
             None => None,
         };
+        if let Some(spec) = &campaign {
+            if !spec.broadcasts.is_empty() && protocol.broadcast_model().is_none() {
+                return bad(format!(
+                    "`broadcast` axis requires a directed protocol, got `{}`",
+                    protocol.name()
+                ));
+            }
+        }
 
         let service = match root.get("service").and_then(|v| v.as_table()) {
             Some(table) => Some(parse_service(table)?),
@@ -1012,6 +1108,72 @@ strategies = ["equivocate", "silent"]
         let bad = "[scenario]\nname = \"t\"\nprotocol = \"iterative\"\nn = 8\nf = 1\nd = 1\n\
             [campaign]\ntopologies = [\"klein-bottle\"]\n";
         assert!(ScenarioSpec::from_toml(bad).is_err());
+    }
+
+    #[test]
+    fn directed_protocols_and_the_broadcast_axis_parse() {
+        let text =
+            "[scenario]\nname = \"dir\"\nprotocol = \"directed-exact\"\nn = 8\nf = 1\nd = 2\n\
+            [topology]\nkind = \"ring\"\n\
+            [campaign]\nbroadcast = [\"point-to-point\", \"local\"]\n";
+        let spec = ScenarioSpec::from_toml(text).unwrap();
+        assert_eq!(spec.protocol, Protocol::DirectedExact);
+        assert!(!spec.protocol.is_async());
+        assert_eq!(
+            spec.protocol.broadcast_model(),
+            Some(BroadcastModel::PointToPoint)
+        );
+        let campaign = spec.campaign.unwrap();
+        assert_eq!(
+            campaign.broadcasts,
+            vec![BroadcastModel::PointToPoint, BroadcastModel::Local]
+        );
+
+        let lb =
+            "[scenario]\nname = \"dir\"\nprotocol = \"directed-exact-lb\"\nn = 8\nf = 1\nd = 2\n";
+        let spec = ScenarioSpec::from_toml(lb).unwrap();
+        assert_eq!(spec.protocol, Protocol::DirectedExactLb);
+        assert_eq!(spec.protocol.broadcast_model(), Some(BroadcastModel::Local));
+    }
+
+    #[test]
+    fn with_broadcast_flips_only_the_directed_pair() {
+        assert_eq!(
+            Protocol::DirectedExact.with_broadcast(BroadcastModel::Local),
+            Some(Protocol::DirectedExactLb)
+        );
+        assert_eq!(
+            Protocol::DirectedExactLb.with_broadcast(BroadcastModel::PointToPoint),
+            Some(Protocol::DirectedExact)
+        );
+        assert_eq!(
+            Protocol::DirectedExactLb.with_broadcast(BroadcastModel::Local),
+            Some(Protocol::DirectedExactLb)
+        );
+        for protocol in [
+            Protocol::Exact,
+            Protocol::Approx,
+            Protocol::RestrictedSync,
+            Protocol::RestrictedAsync,
+            Protocol::Iterative,
+        ] {
+            assert_eq!(protocol.with_broadcast(BroadcastModel::Local), None);
+            assert_eq!(protocol.broadcast_model(), None);
+        }
+    }
+
+    #[test]
+    fn broadcast_axis_is_rejected_off_the_directed_protocols() {
+        let wrong_protocol =
+            "[scenario]\nname = \"b\"\nprotocol = \"exact\"\nn = 5\nf = 1\nd = 2\n\
+            [campaign]\nbroadcast = [\"local\"]\n";
+        let err = ScenarioSpec::from_toml(wrong_protocol).unwrap_err();
+        assert!(err.to_string().contains("requires a directed protocol"));
+        let unknown_model =
+            "[scenario]\nname = \"b\"\nprotocol = \"directed-exact\"\nn = 8\nf = 1\nd = 2\n\
+            [campaign]\nbroadcast = [\"telepathy\"]\n";
+        let err = ScenarioSpec::from_toml(unknown_model).unwrap_err();
+        assert!(err.to_string().contains("unknown broadcast model"));
     }
 
     #[test]

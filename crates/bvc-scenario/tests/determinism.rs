@@ -64,7 +64,7 @@ fn seeds_are_threaded_through_to_the_execution() {
     assert_ne!(a.to_json(), b.to_json());
 }
 
-/// The catalogue covers all five protocols and all three fault kinds.
+/// The catalogue covers all seven protocols and all three fault kinds.
 #[test]
 fn catalogue_covers_protocols_and_fault_kinds() {
     let specs = catalogue();
@@ -74,6 +74,8 @@ fn catalogue_covers_protocols_and_fault_kinds() {
         protocols.into_iter().collect::<Vec<_>>(),
         vec![
             "approx",
+            "directed-exact",
+            "directed-exact-lb",
             "exact",
             "iterative",
             "restricted-async",

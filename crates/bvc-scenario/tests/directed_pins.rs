@@ -1,0 +1,116 @@
+//! Pins for the directed-graph subsystem (PR 10).
+//!
+//! * **K_n byte-identity** — on a declared complete topology the directed
+//!   protocols delegate to the Section-2.2 complete-graph protocol, so
+//!   their verdict JSON must match `exact` byte for byte apart from the
+//!   protocol name (both delivery models: local broadcast is vacuous on
+//!   `K_n`, where every receiver set is all of Π).
+//! * **Divergence** — the committed `scenarios/directed_divergence.toml`
+//!   family must be flagged condition-violated under point-to-point
+//!   delivery and actually decide under local broadcast, in every swept
+//!   cell.
+//! * **Determinism** — same seed ⇒ byte-identical verdicts on seeded
+//!   random digraphs; different seeds actually reach the execution.
+
+use bvc_scenario::{expand, run_scenario, run_scenario_instance, ScenarioSpec};
+use std::path::PathBuf;
+
+fn scenario_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(file)
+}
+
+fn kn_spec(protocol: &str) -> ScenarioSpec {
+    let text = format!(
+        "[scenario]\nname = \"kn-pin\"\nprotocol = \"{protocol}\"\nn = 8\nf = 1\nd = 2\nseed = 7\n\
+         [inputs]\ngenerator = \"grid\"\n\
+         [adversary]\nstrategy = \"equivocate\"\n\
+         [topology]\nkind = \"complete\"\n"
+    );
+    ScenarioSpec::from_toml(&text).unwrap()
+}
+
+fn verdict_json(spec: &ScenarioSpec) -> String {
+    run_scenario(spec, spec.seed, spec.strategy, spec.policy.clone())
+        .unwrap()
+        .to_json()
+}
+
+#[test]
+fn directed_protocols_on_complete_topology_match_exact_byte_for_byte() {
+    let exact = verdict_json(&kn_spec("exact"));
+    assert!(exact.contains("\"sufficiency\": \"satisfied\""));
+    for protocol in ["directed-exact", "directed-exact-lb"] {
+        let directed = verdict_json(&kn_spec(protocol));
+        let normalized = directed.replace(
+            &format!("\"protocol\": \"{protocol}\""),
+            "\"protocol\": \"exact\"",
+        );
+        assert_eq!(
+            normalized, exact,
+            "{protocol} on K_8 must reproduce the exact verdict byte-for-byte \
+             apart from the protocol name"
+        );
+    }
+}
+
+#[test]
+fn divergence_campaign_separates_the_delivery_models() {
+    let text = std::fs::read_to_string(scenario_path("directed_divergence.toml")).unwrap();
+    let spec = ScenarioSpec::from_toml(&text).unwrap();
+    let instances = expand(0, &spec);
+    assert_eq!(instances.len(), 4, "2 seeds × 2 broadcast models");
+    for instance in &instances {
+        let outcome = run_scenario_instance(
+            &instance.spec,
+            instance.seed,
+            instance.strategy,
+            instance.policy.clone(),
+            instance.topology.as_ref(),
+            instance.validity.as_ref(),
+        )
+        .unwrap();
+        let meta = outcome.topology.as_ref().expect("topology metadata");
+        match instance.spec.protocol.name() {
+            "directed-exact" => {
+                assert_eq!(meta.sufficiency, "violated");
+                assert!(
+                    !meta.expected_solvable,
+                    "point-to-point cells are flagged up front"
+                );
+            }
+            "directed-exact-lb" => {
+                assert_eq!(meta.sufficiency, "satisfied");
+                assert!(meta.expected_solvable);
+                assert!(
+                    outcome.verdict.all_hold(),
+                    "local-broadcast cells must decide (seed {}): {:?}",
+                    instance.seed,
+                    outcome.verdict
+                );
+            }
+            other => panic!("unexpected protocol {other} in the expansion"),
+        }
+    }
+}
+
+#[test]
+fn directed_runs_are_byte_deterministic_on_random_digraphs() {
+    let text =
+        "[scenario]\nname = \"det\"\nprotocol = \"directed-exact-lb\"\nn = 9\nf = 1\nd = 2\n\
+         seed = 3\n\
+         [inputs]\ngenerator = \"simplex\"\n\
+         [adversary]\nstrategy = \"crash:2\"\n\
+         [topology]\nkind = \"random-regular\"\ndegree = 4\n";
+    let spec = ScenarioSpec::from_toml(text).unwrap();
+    let a = run_scenario(&spec, 3, spec.strategy, spec.policy.clone()).unwrap();
+    let b = run_scenario(&spec, 3, spec.strategy, spec.policy.clone()).unwrap();
+    assert_eq!(a.to_json(), b.to_json(), "same seed ⇒ byte-identical");
+    let c = run_scenario(&spec, 4, spec.strategy, spec.policy.clone()).unwrap();
+    assert_ne!(
+        a.to_json(),
+        c.to_json(),
+        "the seed reaches the inputs and the topology draw"
+    );
+}

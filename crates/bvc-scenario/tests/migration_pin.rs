@@ -7,8 +7,9 @@
 //! * `catalogue_single.jsonl` — one line per scenario file at its base
 //!   `(seed, strategy, policy)`, in sorted-filename order (what this test
 //!   replays: a debug run of every line stays cheap);
-//! * `campaign_verdicts.jsonl` — the full 178-instance campaign expansion
-//!   (seeds × strategies × policies × topologies × validity axes), which CI
+//! * `campaign_verdicts.jsonl` — the full campaign expansion (the original
+//!   178 instances plus every scenario committed since: seeds × strategies
+//!   × policies × topologies × validity × broadcast axes), which CI
 //!   regenerates in release mode and byte-diffs against the commit.
 //!
 //! Any behavioural drift in the session layer — config assembly, dispatch,

@@ -11,10 +11,12 @@
 //!   complete / ring / torus / random-regular / explicit constructors and
 //!   in-/out-neighbor iteration.  The loopback link `i → i` always exists, so
 //!   a process can deliver to itself on any topology.
-//! * [`conditions`] — graph-condition checkers: strong connectivity, degree
-//!   minima, and the iterative-BVC sufficiency condition (a 4-partition
-//!   condition checked by exact enumeration for small graphs), so a scenario
-//!   can be rejected or flagged as *expected-unsolvable* up front.
+//! * [`conditions`] — graph-condition checkers: strong connectivity, the
+//!   iterative-BVC sufficiency condition, and the exact directed-consensus
+//!   conditions under point-to-point (arXiv:1208.5075) and local-broadcast
+//!   (arXiv:1911.07298) delivery, all decided by one cut-based closed-set
+//!   engine with witness extraction, so a scenario can be flagged as
+//!   *expected-unsolvable* up front.
 //! * [`TopologySpec`] — a declarative description of a topology family,
 //!   materialised deterministically from the scenario seed (the
 //!   random-regular family is a seeded construction; everything else is

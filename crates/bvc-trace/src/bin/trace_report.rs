@@ -66,6 +66,8 @@ struct Report {
     simplex_pivots: u64,
     simplex_reused: u64,
     simplex_by_class: BTreeMap<u64, u64>,
+    local_broadcasts: u64,
+    local_broadcast_slots: u64,
     spans: Vec<(u64, String, bool, bool, Option<u64>)>,
     open_spans: BTreeMap<u64, String>,
     admissions: Vec<(bool, String)>,
@@ -109,6 +111,10 @@ impl Report {
                         _ => totals.vanished += 1,
                     }
                 }
+            }
+            "local_broadcast" => {
+                self.local_broadcasts += 1;
+                self.local_broadcast_slots += field_u(map, "slots");
             }
             "gamma" => {
                 let group = self.gamma.entry(context.clone()).or_default();
@@ -249,6 +255,14 @@ impl Report {
                     t.sent, t.delivered, t.dropped, t.vanished
                 ));
             }
+        }
+
+        if self.local_broadcasts > 0 {
+            out.push_str(&format!(
+                "\nLocal broadcast: {} canonicalised batch(es), {} slot(s) \
+                 (per-receiver equivocation structurally impossible)\n",
+                self.local_broadcasts, self.local_broadcast_slots
+            ));
         }
 
         if !self.gamma.is_empty() {

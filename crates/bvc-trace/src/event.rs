@@ -217,6 +217,20 @@ pub enum TraceEvent {
         /// Recipient index.
         to: usize,
     },
+    /// A sender's per-step outgoing batch was canonicalised under the
+    /// local-broadcast delivery guarantee: every receiver in `receivers`
+    /// observes the same `slots` messages, so per-receiver equivocation is
+    /// structurally impossible.  Emitted before per-link faults apply.
+    LocalBroadcast {
+        /// Round or delivery step of the send.
+        time: usize,
+        /// Sender index.
+        from: usize,
+        /// Sorted receiver set of the canonicalised batch.
+        receivers: Vec<usize>,
+        /// Number of broadcast slots (messages every receiver observes).
+        slots: usize,
+    },
     /// One Γ query through a [`GammaCache`](../bvc_geometry/struct.GammaCache.html)-style
     /// front end, with outcome attribution.
     Gamma {
@@ -314,6 +328,7 @@ impl TraceEvent {
             TraceEvent::Deliver { .. } => "deliver",
             TraceEvent::Drop { .. } => "drop",
             TraceEvent::Vanish { .. } => "vanish",
+            TraceEvent::LocalBroadcast { .. } => "local_broadcast",
             TraceEvent::Gamma { .. } => "gamma",
             TraceEvent::Simplex { .. } => "simplex",
             TraceEvent::SpanOpen { .. } => "span_open",
@@ -374,6 +389,25 @@ impl TraceEvent {
             | TraceEvent::Vanish { time, from, to } => {
                 out.push_str(&format!(
                     ", \"time\": {time}, \"from\": {from}, \"to\": {to}"
+                ));
+            }
+            TraceEvent::LocalBroadcast {
+                time,
+                from,
+                receivers,
+                slots,
+            } => {
+                // Flat-line schema: the receiver set is one comma-joined
+                // string field, not a JSON array (the v1 parser is
+                // deliberately flat — see `json::parse_flat`).
+                let receivers = receivers
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push_str(&format!(
+                    ", \"time\": {time}, \"from\": {from}, \
+                     \"receivers\": \"{receivers}\", \"slots\": {slots}"
                 ));
             }
             TraceEvent::Gamma {
@@ -460,6 +494,21 @@ mod tests {
             "{\"ev\": \"gamma\", \"slot\": 0, \"seq\": 7, \"kind\": \"point\", \
              \"cache\": \"miss\", \"path\": \"probe-hit\", \"probe_missed\": false, \
              \"len\": 9, \"f\": 2, \"d\": 2, \"found\": true}"
+        );
+    }
+
+    #[test]
+    fn local_broadcast_serializes_receiver_set() {
+        let ev = TraceEvent::LocalBroadcast {
+            time: 2,
+            from: 1,
+            receivers: vec![0, 2, 3],
+            slots: 1,
+        };
+        assert_eq!(
+            ev.to_json(1, 4),
+            "{\"ev\": \"local_broadcast\", \"slot\": 1, \"seq\": 4, \"time\": 2, \
+             \"from\": 1, \"receivers\": \"0,2,3\", \"slots\": 1}"
         );
     }
 

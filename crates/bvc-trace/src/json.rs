@@ -228,6 +228,15 @@ const EVENT_FIELDS: &[(&str, &[(&str, char)])] = &[
     ("drop", &[("time", 'u'), ("from", 'u'), ("to", 'u')]),
     ("vanish", &[("time", 'u'), ("from", 'u'), ("to", 'u')]),
     (
+        "local_broadcast",
+        &[
+            ("time", 'u'),
+            ("from", 'u'),
+            ("receivers", 's'),
+            ("slots", 'u'),
+        ],
+    ),
+    (
         "gamma",
         &[
             ("kind", 's'),
@@ -370,6 +379,12 @@ mod tests {
                 d: 2,
                 found: true,
             },
+            TraceEvent::LocalBroadcast {
+                time: 1,
+                from: 0,
+                receivers: vec![1, 2],
+                slots: 1,
+            },
             TraceEvent::RoundClose {
                 round: 1,
                 spread: None,
@@ -381,7 +396,7 @@ mod tests {
             .map(|(i, e)| e.to_json(0, i as u64))
             .collect();
         let doc = render_trace(&lines);
-        assert_eq!(check_trace(&doc), Ok(4));
+        assert_eq!(check_trace(&doc), Ok(5));
     }
 
     #[test]
